@@ -1,0 +1,704 @@
+(* The benchmark harness: regenerates every table and figure of the paper's
+   evaluation (Section 6), plus the ablations called out in DESIGN.md.
+
+   Usage:
+     dune exec bench/main.exe                 # everything
+     dune exec bench/main.exe -- --only fig1  # one experiment
+     dune exec bench/main.exe -- --list       # list experiment ids
+     dune exec bench/main.exe -- --fast       # fewer samples
+     dune exec bench/main.exe -- --no-bechamel
+
+   Cycle numbers come from the deterministic machine simulator; wall-clock
+   numbers (patch time, Bechamel suites) are measured on the host.  The
+   EXPERIMENTS.md file records these outputs against the paper's values. *)
+
+module H = Mv_workloads.Harness
+module Spinlock = Mv_workloads.Spinlock
+module Pvops = Mv_workloads.Pvops
+module Musl = Mv_workloads.Musl
+module Grep = Mv_workloads.Grep
+module Pygc = Mv_workloads.Pygc
+module Farm = Mv_workloads.Callsite_farm
+module Machine = Mv_vm.Machine
+
+let fast = ref false
+let samples () = if !fast then 40 else 150
+
+let header title =
+  Printf.printf "\n================================================================\n";
+  Printf.printf "%s\n" title;
+  Printf.printf "================================================================\n"
+
+let row fmt = Printf.printf fmt
+
+(* ------------------------------------------------------------------ *)
+(* E1: Figure 1 — static vs dynamic vs multiverse spinlock             *)
+(* ------------------------------------------------------------------ *)
+
+let fig1 () =
+  header
+    "E1 / Figure 1: spinlock lock+unlock, avg cycles\n\
+     (paper: SMP=false: A=6.64 B=9.75 C=7.48; SMP=true: ~28.8 all)";
+  row "%-12s %14s %15s %14s\n" "[avg cycles]" "A (static)" "B (dynamic if)" "C (multiverse)";
+  List.iter
+    (fun (label, a, b, c) ->
+      row "%-12s %14.2f %15.2f %14.2f\n" label a.H.m_mean b.H.m_mean c.H.m_mean)
+    (Spinlock.figure1 ~samples:(samples ()) ())
+
+(* ------------------------------------------------------------------ *)
+(* E2: Figure 4 left — four kernels, unicore vs multicore              *)
+(* ------------------------------------------------------------------ *)
+
+let fig4_spinlock () =
+  header
+    "E2 / Figure 4 (left): spinlock (lock+unlock) across kernel builds\n\
+     (paper shape: unicore ifdef < multiverse < if << mainline; multicore all ~equal)";
+  row "%-28s %10s %12s\n" "kernel" "unicore" "multicore";
+  List.iter
+    (fun k ->
+      let up = Spinlock.measure ~samples:(samples ()) k ~smp:false in
+      match k with
+      | Spinlock.Static_up ->
+          row "%-28s %10.2f %12s\n" (Spinlock.kernel_name k) up.H.m_mean "n/a"
+      | _ ->
+          let smp = Spinlock.measure ~samples:(samples ()) k ~smp:true in
+          row "%-28s %10.2f %12.2f\n" (Spinlock.kernel_name k) up.H.m_mean smp.H.m_mean)
+    [ Spinlock.Mainline_smp; Spinlock.If_elision; Spinlock.Multiverse; Spinlock.Static_up ]
+
+(* ------------------------------------------------------------------ *)
+(* E3: Figure 4 right — PV-Ops sti+cli                                 *)
+(* ------------------------------------------------------------------ *)
+
+let fig4_pvops () =
+  header
+    "E3 / Figure 4 (right): paravirtual operations (cli+sti), avg cycles\n\
+     (paper shape: native all ~equal; Xen guest: multiverse < current)";
+  row "%-30s %10s %12s\n" "kernel" "native" "XEN (guest)";
+  List.iter
+    (fun c ->
+      let native = Pvops.measure ~samples:(samples ()) c ~platform:Machine.Native in
+      match c with
+      | Pvops.Static_native ->
+          row "%-30s %10.2f %12s\n" (Pvops.config_name c) native.H.m_mean "n/a"
+      | Pvops.Current | Pvops.Multiverse ->
+          let xen = Pvops.measure ~samples:(samples ()) c ~platform:Machine.Xen in
+          row "%-30s %10.2f %12.2f\n" (Pvops.config_name c) native.H.m_mean xen.H.m_mean)
+    [ Pvops.Current; Pvops.Multiverse; Pvops.Static_native ]
+
+(* ------------------------------------------------------------------ *)
+(* E4: patch cost (Section 6.1 scalars)                                *)
+(* ------------------------------------------------------------------ *)
+
+let patch_cost () =
+  header
+    "E4 / Section 6.1 scalars: patching 1161 spinlock call sites\n\
+     (paper: 1161 call sites, ~16 ms patch time, +40 KiB image)";
+  let r = Farm.run ~sites:1161 () in
+  row "call sites recorded      %d\n" r.Farm.r_callsites;
+  row "commit wall-clock        %.2f ms\n" r.Farm.r_commit_ms;
+  row "revert wall-clock        %.2f ms\n" r.Farm.r_revert_ms;
+  row "individual patches       %d\n" r.Farm.r_patches;
+  row "bytes patched            %d\n" r.Farm.r_bytes_patched;
+  row "descriptor overhead      %d B\n" r.Farm.r_descriptor_bytes;
+  row "variant text             %d B\n" r.Farm.r_variant_text_bytes;
+  row "total multiverse bytes   %d B (paper: ~40 KiB for the whole kernel)\n"
+    (r.Farm.r_descriptor_bytes + r.Farm.r_variant_text_bytes)
+
+(* ------------------------------------------------------------------ *)
+(* E4b: patch-cost scaling (call sites vs commit time)                  *)
+(* ------------------------------------------------------------------ *)
+
+let patch_scaling () =
+  header
+    "E4b / scaling: commit wall-clock vs number of recorded call sites\n\
+     (the paper argues patch speed is not crucial, Section 7.1 — the cost\n\
+    \ should scale linearly in the call sites)";
+  row "%-12s %14s %14s %16s\n" "call sites" "commit (ms)" "revert (ms)" "bytes patched";
+  List.iter
+    (fun sites ->
+      let r = Farm.run ~sites () in
+      row "%-12d %14.3f %14.3f %16d\n" r.Farm.r_callsites r.Farm.r_commit_ms
+        r.Farm.r_revert_ms r.Farm.r_bytes_patched)
+    [ 100; 400; 1600; 6400 ]
+
+(* ------------------------------------------------------------------ *)
+(* E5: Figure 5 — musl                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let fig5_musl () =
+  header
+    "E5 / Figure 5: musl, accumulated ms for 10M invocations\n\
+     (paper single-threaded deltas: random -43%, malloc(0) -51%, malloc(1) -54%, fputc -53%;\n\
+    \ multi-threaded: no significant change)";
+  List.iter
+    (fun threads ->
+      row "\n-- %s --\n" (if threads = 0 then "single-threaded" else "multi-threaded");
+      row "%-12s %16s %16s %8s\n" "function" "w/o multiverse" "w/ multiverse" "delta";
+      List.iter
+        (fun bench ->
+          let plain = Musl.measure ~samples:(samples ()) Musl.Plain bench ~threads in
+          let mv = Musl.measure ~samples:(samples ()) Musl.Multiversed bench ~threads in
+          let p_ms = Musl.to_ms_for plain ~invocations:10_000_000 in
+          let m_ms = Musl.to_ms_for mv ~invocations:10_000_000 in
+          row "%-12s %13.1f ms %13.1f ms %+7.1f%%\n" (Musl.bench_name bench) p_ms m_ms
+            ((m_ms -. p_ms) /. p_ms *. 100.0))
+        Musl.all_benches)
+    [ 0; 1 ]
+
+(* ------------------------------------------------------------------ *)
+(* E6: musl scalars — fputc bandwidth and branch reduction             *)
+(* ------------------------------------------------------------------ *)
+
+let musl_scalars () =
+  header
+    "E6 / Section 6.2.2 scalars\n\
+     (paper: fputc bandwidth 124 -> 264 MiB/s; branches -40% for malloc(1))";
+  let plain_fputc = Musl.measure ~samples:(samples ()) Musl.Plain Musl.Fputc ~threads:0 in
+  let mv_fputc = Musl.measure ~samples:(samples ()) Musl.Multiversed Musl.Fputc ~threads:0 in
+  row "fputc bandwidth w/o multiverse  %8.0f MiB/s\n" (Musl.fputc_bandwidth plain_fputc);
+  row "fputc bandwidth w/  multiverse  %8.0f MiB/s\n" (Musl.fputc_bandwidth mv_fputc);
+  let bp = Musl.branches_per_call Musl.Plain Musl.Malloc1 ~threads:0 in
+  let bm = Musl.branches_per_call Musl.Multiversed Musl.Malloc1 ~threads:0 in
+  row "branches/call malloc(1) w/o multiverse  %6.2f\n" bp;
+  row "branches/call malloc(1) w/  multiverse  %6.2f (%+.0f%%)\n" bm
+    ((bm -. bp) /. bp *. 100.0)
+
+(* ------------------------------------------------------------------ *)
+(* E7: grep                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let grep () =
+  header
+    "E7 / Section 6.2.3: grep \"a.a\" over hexadecimal random text\n\
+     (paper: 7.84 s -> 7.63 s for 2 GiB, -2.73%)";
+  let rounds = if !fast then 8 else 25 in
+  let plain = Grep.cycles_per_byte ~rounds Grep.Plain ~mb_mode:0 in
+  let mv = Grep.cycles_per_byte ~rounds Grep.Multiversed ~mb_mode:0 in
+  row "cycles/byte w/o multiverse   %.3f  (projected %.2f s / 2 GiB)\n" plain
+    (Grep.seconds_for_2gib plain);
+  row "cycles/byte w/  multiverse   %.3f  (projected %.2f s / 2 GiB)\n" mv
+    (Grep.seconds_for_2gib mv);
+  row "delta                        %+.2f%%\n" ((mv -. plain) /. plain *. 100.0);
+  (* functional cross-check: the committed matcher must find the same matches *)
+  let c_plain = Grep.scan_count Grep.Plain ~mb_mode:0 in
+  let c_mv = Grep.scan_count Grep.Multiversed ~mb_mode:0 in
+  row "match count (both builds)    %d / %d%s\n" c_plain c_mv
+    (if c_plain = c_mv then "  [consistent]" else "  [MISMATCH]")
+
+(* ------------------------------------------------------------------ *)
+(* E8: cPython GC flag                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let cpython () =
+  header
+    "E8 / Section 6.2.1: cPython _PyObject_GC_Alloc with gc disabled\n\
+     (paper: no stable result on real hardware; deterministic model below)";
+  let plain = Pygc.measure ~samples:(samples ()) Pygc.Plain ~gc_enabled:0 in
+  let mv = Pygc.measure ~samples:(samples ()) Pygc.Multiversed ~gc_enabled:0 in
+  row "alloc cycles, gc off, w/o multiverse  %7.2f\n" plain.H.m_mean;
+  row "alloc cycles, gc off, w/  multiverse  %7.2f (%+.1f%%)\n" mv.H.m_mean
+    ((mv.H.m_mean -. plain.H.m_mean) /. plain.H.m_mean *. 100.0);
+  let on_plain = Pygc.measure ~samples:(samples ()) Pygc.Plain ~gc_enabled:1 in
+  let on_mv = Pygc.measure ~samples:(samples ()) Pygc.Multiversed ~gc_enabled:1 in
+  row "alloc cycles, gc on,  w/o multiverse  %7.2f\n" on_plain.H.m_mean;
+  row "alloc cycles, gc on,  w/  multiverse  %7.2f (%+.1f%%)\n" on_mv.H.m_mean
+    ((on_mv.H.m_mean -. on_plain.H.m_mean) /. on_plain.H.m_mean *. 100.0);
+  row "caveat: the paper could not measure this stably on real hardware.\n"
+
+(* ------------------------------------------------------------------ *)
+(* E9: descriptor sizes (Section 5 scalars)                            *)
+(* ------------------------------------------------------------------ *)
+
+let descriptor_sizes () =
+  header
+    "E9 / Section 5: descriptor overhead\n\
+     (paper: 32 B/switch, 16 B/call site, 48 + #v*(32 + #g*16) B/function)";
+  let s = H.session1 (Spinlock.source Spinlock.Multiverse) in
+  let stats = Core.Stats.of_program s.H.program in
+  Format.printf "%a@." Core.Stats.pp stats;
+  (* verify the formulas against the actual section bytes *)
+  let img = s.H.program.Core.Compiler.p_image in
+  let vars = Core.Descriptor.parse_variables img in
+  let fns = Core.Descriptor.parse_functions img in
+  let sites = Core.Descriptor.parse_callsites img in
+  let expected_vars = 32 * List.length vars in
+  let expected_sites = 16 * List.length sites in
+  let expected_fns =
+    List.fold_left
+      (fun acc (f : Core.Descriptor.function_record) ->
+        let guards =
+          List.fold_left
+            (fun acc (v : Core.Descriptor.variant_record) -> acc + List.length v.va_guards)
+            0 f.fd_variants
+        in
+        acc
+        + Core.Stats.function_record_bytes ~variants:(List.length f.fd_variants)
+            ~total_guards:guards)
+      0 fns
+  in
+  row "formula check: variables %d B, call sites %d B, functions %d B\n" expected_vars
+    expected_sites expected_fns;
+  row "actual:        variables %d B, call sites %d B, functions %d B%s\n"
+    stats.Core.Stats.ps_sections.Core.Stats.sz_variables
+    stats.Core.Stats.ps_sections.Core.Stats.sz_callsites
+    stats.Core.Stats.ps_sections.Core.Stats.sz_functions
+    (if
+       expected_vars = stats.Core.Stats.ps_sections.Core.Stats.sz_variables
+       && expected_sites = stats.Core.Stats.ps_sections.Core.Stats.sz_callsites
+       && expected_fns = stats.Core.Stats.ps_sections.Core.Stats.sz_functions
+     then "  [formulas hold]"
+     else "  [MISMATCH]")
+
+(* ------------------------------------------------------------------ *)
+(* E10: the Table 1 API                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let api () =
+  header "E10 / Table 1: the multiverse API, exercised end to end";
+  let s = H.session1 (Spinlock.source Spinlock.Multiverse) in
+  let r = s.H.runtime in
+  H.set s "config_smp" 0;
+  row "multiverse_commit()            -> %d bound\n" (Core.Runtime.commit r);
+  row "multiverse_revert()            -> %d reverted\n" (Core.Runtime.revert r);
+  row "multiverse_commit_func(lock)   -> %d\n" (Core.Runtime.commit_func r "spin_irq_lock");
+  row "multiverse_revert_func(lock)   -> %d\n" (Core.Runtime.revert_func r "spin_irq_lock");
+  row "multiverse_commit_refs(smp)    -> %d\n" (Core.Runtime.commit_refs r "config_smp");
+  row "multiverse_revert_refs(smp)    -> %d\n" (Core.Runtime.revert_refs r "config_smp");
+  row "fallbacks: [%s]\n" (String.concat "; " (Core.Runtime.fallbacks r))
+
+(* ------------------------------------------------------------------ *)
+(* E11: the Figures 2/3 worked example                                  *)
+(* ------------------------------------------------------------------ *)
+
+let worked_example () =
+  header "E11 / Figures 2-3: the multi()/foo() worked example";
+  let src =
+    {|
+    multiverse bool A;
+    multiverse int B;
+    int effects;
+    void calc() { effects = effects + 1; }
+    void log_() { effects = effects + 1000; }
+    multiverse void multi() {
+      if (A) {
+        calc();
+        if (B) { log_(); }
+      }
+    }
+    int foo() { effects = 0; multi(); return effects; }
+  |}
+  in
+  let s = H.session1 src in
+  let img = s.H.program.Core.Compiler.p_image in
+  let fns = Core.Descriptor.parse_functions img in
+  let f = List.hd fns in
+  row "variants generated for multi(): %d (4 assignments, A=0 bodies merged)\n"
+    (List.length f.Core.Descriptor.fd_variants);
+  List.iter
+    (fun (v : Core.Descriptor.variant_record) ->
+      row "  %-18s %3d bytes, guards:%s\n"
+        (Option.value ~default:"?" (Mv_link.Image.symbol_at img v.va_addr))
+        v.va_size
+        (String.concat ""
+           (List.map
+              (fun (g : Core.Descriptor.guard_record) ->
+                Printf.sprintf " %s in [%d,%d]"
+                  (Option.value ~default:"?" (Mv_link.Image.symbol_at img g.gr_var))
+                  g.gr_lo g.gr_hi)
+              v.va_guards)))
+    f.Core.Descriptor.fd_variants;
+  List.iter
+    (fun (a, b) ->
+      H.set s "A" a;
+      H.set s "B" b;
+      let bound = H.commit s in
+      row "A=%d B=%d: commit -> %d bound, foo() = %d%s\n" a b bound (H.call s "foo" [])
+        (match Core.Runtime.fallbacks s.H.runtime with
+        | [] -> ""
+        | fs -> Printf.sprintf "  (fallback: %s)" (String.concat ", " fs)))
+    [ (0, 0); (1, 0); (1, 1); (3, 4) ]
+
+(* ------------------------------------------------------------------ *)
+(* E12: extension — Ftrace-style zero-cost probes                       *)
+(* ------------------------------------------------------------------ *)
+
+let tracing () =
+  header
+    "E12 / extension: Ftrace-style function tracing via multiverse\n\
+     (Section 1.1: multiverse unifies the kernel's ad-hoc patching\n\
+    \ mechanisms; probes committed off become pure nops at every site)";
+  let module T = Mv_workloads.Tracing in
+  let off_dynamic = T.measure ~samples:(samples ()) T.Plain ~enabled:false in
+  let off_committed = T.measure ~samples:(samples ()) T.Multiversed ~enabled:false in
+  let on_committed = T.measure ~samples:(samples ()) T.Multiversed ~enabled:true in
+  let baseline =
+    (* the same functions with the probes removed at the source level *)
+    let src =
+      {|
+      int file_size;
+      int vfs_read(int n) { return n < file_size ? n : file_size; }
+      int vfs_write(int n) { file_size = file_size + n; return n; }
+      int sys_getpid() { return 42; }
+      void bench_loop(int n) {
+        for (int i = 0; i < n; i = i + 1) {
+          vfs_write(8);
+          vfs_read(4);
+          sys_getpid();
+        }
+      }
+    |}
+    in
+    H.measure ~samples:(samples ()) (H.session1 src) ~loop_fn:"bench_loop"
+  in
+  row "%-38s %10s\n" "configuration" "cycles";
+  row "%-38s %10.2f\n" "no probes compiled in (baseline)" baseline.H.m_mean;
+  row "%-38s %10.2f\n" "tracing off, dynamic check" off_dynamic.H.m_mean;
+  row "%-38s %10.2f\n" "tracing off, multiverse (nop probes)" off_committed.H.m_mean;
+  row "%-38s %10.2f\n" "tracing on, multiverse (recording)" on_committed.H.m_mean;
+  row "=> committed-off probes cost %.2f cycles over no probes at all\n"
+    (off_committed.H.m_mean -. baseline.H.m_mean);
+  let s = T.prepare T.Multiversed ~enabled:false in
+  row "   (%d probe sites inlined as nops)\n" (T.nop_sites s);
+  row "events recorded (on, 100 iterations): %d\n"
+    (T.events_recorded T.Multiversed ~enabled:true ~calls:100)
+
+(* ------------------------------------------------------------------ *)
+(* A1: ablation — completeness jump vs patched direct call              *)
+(* ------------------------------------------------------------------ *)
+
+let ablation_jmp () =
+  header
+    "A1 / ablation: cost of reaching a variant through the generic\n\
+     prologue jump (function pointers) vs a patched direct call site";
+  let src =
+    Spinlock.source Spinlock.Multiverse
+    ^ {|
+    fnptr lock_ptr = &spin_irq_lock;
+    fnptr unlock_ptr = &spin_irq_unlock;
+    void bench_ptr_loop(int n) {
+      for (int i = 0; i < n; i = i + 1) {
+        lock_ptr();
+        unlock_ptr();
+      }
+    }
+  |}
+  in
+  let s = H.session1 src in
+  H.set s "config_smp" 0;
+  ignore (H.commit s);
+  let direct = H.measure ~samples:(samples ()) s ~loop_fn:"bench_loop" in
+  let via_ptr = H.measure ~samples:(samples ()) s ~loop_fn:"bench_ptr_loop" in
+  row "patched direct call sites      %7.2f cycles\n" direct.H.m_mean;
+  row "via fn-pointer + prologue jmp  %7.2f cycles (the completeness path)\n"
+    via_ptr.H.m_mean;
+  row "=> call-site patching saves    %7.2f cycles per invocation pair\n"
+    (via_ptr.H.m_mean -. direct.H.m_mean)
+
+(* ------------------------------------------------------------------ *)
+(* A2: ablation — branch predictor warm vs cold                         *)
+(* ------------------------------------------------------------------ *)
+
+let ablation_btb () =
+  header
+    "A2 / ablation: the dynamic-if kernel under branch-predictor pressure\n\
+     (the paper's Section 1 argument: ~16-cycle misprediction on real paths)";
+  let measure_with_pressure ?(perturb = false) kernel ~flush_every =
+    let s = H.session1 (Spinlock.source kernel) in
+    (match kernel with
+    | Spinlock.If_elision -> H.set s "config_smp" 0
+    | Spinlock.Multiverse ->
+        H.set s "config_smp" 0;
+        ignore (H.commit s)
+    | Spinlock.Mainline_smp | Spinlock.Static_up -> ());
+    (* warmup *)
+    ignore (H.call s "bench_loop" [ 100 ]);
+    let n = samples () in
+    let total = ref 0.0 in
+    for i = 1 to n do
+      if flush_every > 0 && i mod flush_every = 0 then
+        if perturb then
+          Mv_vm.Branch_pred.perturb s.H.machine.Machine.bp ~seed:i ~fraction:0.5
+        else Mv_vm.Branch_pred.flush s.H.machine.Machine.bp;
+      total := !total +. (H.cycles_of_call s "bench_loop" [ 10 ] /. 10.0)
+    done;
+    !total /. float_of_int n
+  in
+  let if_warm = measure_with_pressure Spinlock.If_elision ~flush_every:0 in
+  let if_aliased = measure_with_pressure ~perturb:true Spinlock.If_elision ~flush_every:1 in
+  let if_cold = measure_with_pressure Spinlock.If_elision ~flush_every:1 in
+  let mv_warm = measure_with_pressure Spinlock.Multiverse ~flush_every:0 in
+  let mv_aliased = measure_with_pressure ~perturb:true Spinlock.Multiverse ~flush_every:1 in
+  let mv_cold = measure_with_pressure Spinlock.Multiverse ~flush_every:1 in
+  row "%-28s %10s %12s %12s\n" "unicore kernel" "warm BTB" "aliased BTB" "cold BTB";
+  row "%-28s %10.2f %12.2f %12.2f\n" "lock elision [if]" if_warm if_aliased if_cold;
+  row "%-28s %10.2f %12.2f %12.2f\n" "lock elision [multiverse]" mv_warm mv_aliased mv_cold;
+  row
+    "=> the dynamic branch is nearly free when predicted but pays extra cycles\n\
+    \   when cold (delta %.2f); the multiversed kernel has no such branch.\n"
+    (if_cold -. if_warm)
+
+(* ------------------------------------------------------------------ *)
+(* A3: ablation — call-site inlining disabled                           *)
+(* ------------------------------------------------------------------ *)
+
+let ablation_inline () =
+  header
+    "A3 / ablation: PV-Ops native with call-site inlining disabled\n\
+     (what Figure 4 right would look like without the inliner)";
+  let run ~inline =
+    let s = H.session1 (Pvops.source Pvops.Multiverse) in
+    Core.Runtime.set_inlining s.H.runtime inline;
+    Pvops.boot s Pvops.Multiverse Machine.Native;
+    (H.measure ~samples:(samples ()) s ~loop_fn:"bench_loop").H.m_mean
+  in
+  let with_inline = run ~inline:true in
+  let without = run ~inline:false in
+  row "native cli+sti, inlining on   %7.2f cycles\n" with_inline;
+  row "native cli+sti, inlining off  %7.2f cycles (call overhead retained)\n" without;
+  row "=> inlining contributes       %7.2f cycles per op pair\n" (without -. with_inline)
+
+(* ------------------------------------------------------------------ *)
+(* A4: ablation — body patching vs call-site patching (Section 7.1)     *)
+(* ------------------------------------------------------------------ *)
+
+let ablation_body_patching () =
+  header
+    "A4 / ablation: body patching vs call-site patching (Section 7.1)\n\
+     (the alternative the paper rejects: fewer patches, but the runtime\n\
+    \ must relocate variant bodies and loses call-site inlining)";
+  let farm_src = Farm.source ~callers:117 ~pairs:5 in
+  let run strategy =
+    let s = H.session1 farm_src in
+    Core.Runtime.set_strategy s.H.runtime strategy;
+    H.set s "config_smp" 1;
+    let t0 = Unix.gettimeofday () in
+    ignore (H.commit s);
+    let t1 = Unix.gettimeofday () in
+    let stats = Core.Runtime.stats s.H.runtime in
+    (* also measure the spinlock cost under each strategy, in UP mode *)
+    ignore (H.revert s);
+    H.set s "config_smp" 0;
+    ignore (H.commit s);
+    let m = H.measure ~samples:(samples ()) s ~loop_fn:"run_all" in
+    ((t1 -. t0) *. 1000.0, stats.Core.Runtime.st_patches, m.H.m_mean)
+  in
+  let cs_ms, cs_patches, cs_cycles = run Core.Runtime.Call_site_patching in
+  let bp_ms, bp_patches, bp_cycles = run Core.Runtime.Body_patching in
+  row "%-24s %12s %10s %18s\n" "strategy" "commit (ms)" "patches" "run_all (cycles)";
+  row "%-24s %12.3f %10d %18.1f\n" "call-site patching" cs_ms cs_patches cs_cycles;
+  row "%-24s %12.3f %10d %18.1f\n" "body patching" bp_ms bp_patches bp_cycles;
+  row
+    "=> body patching commits with ~%dx fewer patches but cannot inline\n\
+    \   tiny bodies into call sites (execution %.1f%% slower here).\n"
+    (cs_patches / max 1 bp_patches)
+    ((bp_cycles -. cs_cycles) /. cs_cycles *. 100.0)
+
+(* ------------------------------------------------------------------ *)
+(* A5: ablation — padded call sites (wider inlining, Section 7.1)       *)
+(* ------------------------------------------------------------------ *)
+
+let ablation_padded_sites () =
+  header
+    "A5 / ablation: nop-padded call sites widen the inlining budget\n\
+     (the \"adjusting the sizes of call sites\" extension of Section 7.1)";
+  let src =
+    {|
+    multiverse int m;
+    int w;
+    multiverse void store_one() {
+      if (m) {
+        w = 1;
+      }
+    }
+    void bench_loop(int n) {
+      for (int i = 0; i < n; i = i + 1) {
+        store_one();
+      }
+    }
+  |}
+  in
+  let run padding =
+    let program = Core.Compiler.build ~callsite_padding:padding [ ("m", src) ] in
+    let machine = Mv_vm.Machine.create program.Core.Compiler.p_image in
+    let runtime =
+      Core.Runtime.create program.Core.Compiler.p_image ~flush:(fun ~addr ~len ->
+          Mv_vm.Machine.flush_icache machine ~addr ~len)
+    in
+    let s = ({ program; machine; runtime } : H.session) in
+    H.set s "m" 1;
+    ignore (H.commit s);
+    let stats = Core.Runtime.stats runtime in
+    let m = H.measure ~samples:(samples ()) s ~loop_fn:"bench_loop" in
+    (m.H.m_mean, stats.Core.Runtime.st_sites_inlined)
+  in
+  row "%-14s %16s %14s\n" "site padding" "cycles/call" "sites inlined";
+  List.iter
+    (fun pad ->
+      let cycles, inlined = run pad in
+      row "%-14d %16.2f %14d\n" pad cycles inlined)
+    [ 0; 4; 8; 10 ];
+  row "=> once the variant body fits the padded site, the call disappears.\n"
+
+(* ------------------------------------------------------------------ *)
+(* A6: ablation — variant explosion (Section 7.1)                       *)
+(* ------------------------------------------------------------------ *)
+
+let ablation_explosion () =
+  header
+    "A6 / ablation: the cost of the assignment cross product\n\
+     (Section 7.1: \"the big threat arising from a function-level approach\n\
+    \ is the possibility of combinatorial explosion\")";
+  let source n_switches =
+    let buf = Buffer.create 512 in
+    for i = 0 to n_switches - 1 do
+      Buffer.add_string buf (Printf.sprintf "multiverse int s%d;\n" i)
+    done;
+    Buffer.add_string buf "int w;\nmultiverse void f() {\n";
+    for i = 0 to n_switches - 1 do
+      Buffer.add_string buf (Printf.sprintf "  if (s%d) { w = w + %d; }\n" i (1 lsl i))
+    done;
+    Buffer.add_string buf "}\nint d() { w = 0; f(); return w; }\n";
+    Buffer.contents buf
+  in
+  row "%-10s %10s %14s %14s %12s\n" "switches" "variants" "variant text" "descriptors"
+    "commit (ms)";
+  List.iter
+    (fun n ->
+      let s = H.session1 (source n) in
+      let stats = Core.Stats.of_program s.H.program in
+      let t0 = Unix.gettimeofday () in
+      ignore (H.commit s);
+      let t1 = Unix.gettimeofday () in
+      row "%-10d %10d %14d %14d %12.3f\n" n stats.Core.Stats.ps_variants
+        stats.Core.Stats.ps_text_in_variants
+        (Core.Stats.descriptor_overhead stats.Core.Stats.ps_sections)
+        ((t1 -. t0) *. 1000.0))
+    [ 1; 2; 4; 6 ];
+  row
+    "=> 2^n variants: the developer-controlled mitigations are values(..)\n\
+    \   (narrow domains) and bind(..) (partial specialization).\n";
+  (* demonstrate the mitigation: bind one switch out of six *)
+  let bound_src =
+    let base = source 6 in
+    let marker = "multiverse void f()" in
+    let idx =
+      let rec find i =
+        if String.sub base i (String.length marker) = marker then i else find (i + 1)
+      in
+      find 0
+    in
+    String.sub base 0 idx
+    ^ "multiverse bind(s0) void f()"
+    ^ String.sub base
+        (idx + String.length marker)
+        (String.length base - idx - String.length marker)
+  in
+  let s = H.session1 bound_src in
+  let stats = Core.Stats.of_program s.H.program in
+  row "with bind(s0):    %6d variants, %6d B of variant text\n"
+    stats.Core.Stats.ps_variants stats.Core.Stats.ps_text_in_variants
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel wall-clock suites (one Test.make per table)                 *)
+(* ------------------------------------------------------------------ *)
+
+let bechamel_suites () =
+  header "Bechamel: host wall-clock of the runtime operations behind each table";
+  let open Bechamel in
+  let open Bechamel.Toolkit in
+  (* pre-built sessions so the tests measure only the runtime operation *)
+  let spin = H.session1 (Spinlock.source Spinlock.Multiverse) in
+  let musl = H.session1 (Musl.source Musl.Multiversed) in
+  let farm = H.session1 (Farm.source ~callers:117 ~pairs:5) in
+  let toggle = ref 0 in
+  let tests =
+    [
+      (* E1/E2: the spinlock tables depend on one commit per mode change *)
+      Test.make ~name:"fig1-fig4.spinlock-commit"
+        (Staged.stage (fun () ->
+             toggle := 1 - !toggle;
+             H.set spin "config_smp" !toggle;
+             ignore (H.commit spin)));
+      (* E5: musl's commit when the second thread appears/exits *)
+      Test.make ~name:"fig5.musl-commit"
+        (Staged.stage (fun () ->
+             toggle := 1 - !toggle;
+             H.set musl "threads_minus_1" !toggle;
+             ignore (H.commit musl)));
+      (* E4: the 1170-call-site commit of the patch-cost table *)
+      Test.make ~name:"patch-cost.farm-commit-1170-sites"
+        (Staged.stage (fun () ->
+             toggle := 1 - !toggle;
+             H.set farm "config_smp" !toggle;
+             ignore (H.commit farm)));
+      (* machine throughput underlying every cycle table *)
+      Test.make ~name:"simulator.spinlock-100-iterations"
+        (Staged.stage (fun () -> ignore (H.call spin "bench_loop" [ 100 ])));
+    ]
+  in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.25) () in
+  let instances = Instance.[ monotonic_clock ] in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |] in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg instances test in
+      let results = Analyze.all ols Instance.monotonic_clock results in
+      Hashtbl.iter
+        (fun name ols_result ->
+          match Analyze.OLS.estimates ols_result with
+          | Some [ est ] -> row "%-42s %12.0f ns/run\n" name est
+          | Some _ | None -> row "%-42s %12s\n" name "n/a")
+        results)
+    tests
+
+(* ------------------------------------------------------------------ *)
+(* Driver                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let experiments =
+  [
+    ("fig1", fig1);
+    ("fig4-spinlock", fig4_spinlock);
+    ("fig4-pvops", fig4_pvops);
+    ("patch-cost", patch_cost);
+    ("patch-scaling", patch_scaling);
+    ("fig5-musl", fig5_musl);
+    ("musl-scalars", musl_scalars);
+    ("grep", grep);
+    ("cpython", cpython);
+    ("descriptor-sizes", descriptor_sizes);
+    ("api", api);
+    ("fig23-worked-example", worked_example);
+    ("tracing", tracing);
+    ("ablation-jmp", ablation_jmp);
+    ("ablation-btb", ablation_btb);
+    ("ablation-inline", ablation_inline);
+    ("ablation-body-patching", ablation_body_patching);
+    ("ablation-explosion", ablation_explosion);
+    ("ablation-padded-sites", ablation_padded_sites);
+  ]
+
+let () =
+  let only = ref [] in
+  let list_only = ref false in
+  let no_bechamel = ref false in
+  let args =
+    [
+      ("--only", Arg.String (fun s -> only := s :: !only), "ID run a single experiment");
+      ("--list", Arg.Set list_only, " list experiment ids");
+      ("--fast", Arg.Set fast, " fewer samples");
+      ("--no-bechamel", Arg.Set no_bechamel, " skip the Bechamel wall-clock suites");
+    ]
+  in
+  Arg.parse args (fun _ -> ()) "multiverse benchmark harness";
+  if !list_only then
+    List.iter (fun (id, _) -> print_endline id) (experiments @ [ ("bechamel", ignore) ])
+  else begin
+    let selected =
+      if !only = [] then experiments
+      else List.filter (fun (id, _) -> List.mem id !only) experiments
+    in
+    List.iter (fun (_, f) -> f ()) selected;
+    if (!only = [] || List.mem "bechamel" !only) && not !no_bechamel then bechamel_suites ();
+    print_newline ()
+  end

@@ -1,0 +1,1 @@
+examples/ftrace_probes.ml: Format List Mv_workloads String

@@ -1,0 +1,1 @@
+examples/ftrace_probes.mli:

@@ -1,0 +1,1 @@
+examples/grep_mode.ml: Format Mv_workloads

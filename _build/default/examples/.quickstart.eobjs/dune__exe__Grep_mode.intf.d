@@ -1,0 +1,1 @@
+examples/grep_mode.mli:

@@ -1,0 +1,1 @@
+examples/musl_locks.ml: Format Mv_workloads

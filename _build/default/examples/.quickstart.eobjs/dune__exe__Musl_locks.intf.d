@@ -1,0 +1,1 @@
+examples/musl_locks.mli:

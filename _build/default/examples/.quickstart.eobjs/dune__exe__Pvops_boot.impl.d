@@ -1,0 +1,1 @@
+examples/pvops_boot.ml: Core Format Mv_vm Mv_workloads

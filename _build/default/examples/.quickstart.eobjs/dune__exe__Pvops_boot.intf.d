@@ -1,0 +1,1 @@
+examples/pvops_boot.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Core Format List Mv_link Mv_workloads Option String

@@ -1,0 +1,1 @@
+examples/transaction.ml: Core Format Mv_workloads

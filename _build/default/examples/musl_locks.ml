@@ -1,0 +1,58 @@
+(* User-space scenario: musl-style lock elision around thread creation.
+
+     dune exec examples/musl_locks.exe
+
+   musl maintains [threads_minus_1] on every pthread_create/exit.  The
+   multiversed libc commits the single-threaded specialization at startup;
+   pthread_create re-commits *before* the second thread exists, and
+   pthread_exit re-commits after it is gone (Section 6.2.2). *)
+
+module H = Mv_workloads.Harness
+module Musl = Mv_workloads.Musl
+
+let cycles s loop =
+  let m = H.measure ~samples:60 ~calls:200 s ~loop_fn:loop in
+  m.H.m_mean
+
+let () =
+  Format.printf "--- mini-musl: thread-count-driven lock elision ---@.";
+  let s = H.session1 (Musl.source Musl.Multiversed) in
+
+  (* process start: one thread *)
+  H.set s "threads_minus_1" 0;
+  ignore (H.commit s);
+  Format.printf "@.single-threaded (committed):@.";
+  Format.printf "  random():  %6.2f cycles@." (cycles s "bench_random");
+  Format.printf "  malloc(1): %6.2f cycles@." (cycles s "bench_malloc1");
+  Format.printf "  fputc():   %6.2f cycles@." (cycles s "bench_fputc");
+
+  (* pthread_create: commit the multi-threaded state BEFORE the second
+     thread starts executing, so it never sees elided locks *)
+  Format.printf "@.pthread_create(): threads_minus_1=1, multiverse_commit()@.";
+  H.set s "threads_minus_1" 1;
+  ignore (H.commit s);
+  Format.printf "multi-threaded (committed):@.";
+  Format.printf "  random():  %6.2f cycles@." (cycles s "bench_random");
+  Format.printf "  malloc(1): %6.2f cycles@." (cycles s "bench_malloc1");
+  Format.printf "  fputc():   %6.2f cycles@." (cycles s "bench_fputc");
+
+  (* locking actually happens now *)
+  ignore (H.call s "bench_malloc1" [ 10 ]);
+  Format.printf "  (malloc lock word after use: %d — released)@." (H.get s "malloc_lock");
+
+  (* pthread_exit of the second thread: elide again *)
+  Format.printf "@.pthread_exit(): threads_minus_1=0, multiverse_commit()@.";
+  H.set s "threads_minus_1" 0;
+  ignore (H.commit s);
+  Format.printf "single-threaded again:@.";
+  Format.printf "  malloc(1): %6.2f cycles@." (cycles s "bench_malloc1");
+
+  (* allocator stays functional across all the patching *)
+  let p = H.call s "malloc" [ 24 ] in
+  let q = H.call s "malloc" [ 24 ] in
+  Format.printf "@.malloc(24) twice -> 0x%x, 0x%x (distinct: %b)@." p q (p <> q);
+  ignore (H.call s "free_" [ p ]);
+  ignore (H.call s "free_" [ q ]);
+  let r = H.call s "malloc" [ 24 ] in
+  Format.printf "after free, malloc(24) reuses the bin: 0x%x (= last freed: %b)@." r (r = q);
+  Format.printf "done.@."

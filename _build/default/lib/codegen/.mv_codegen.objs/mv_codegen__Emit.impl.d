@@ -1,0 +1,1 @@
+lib/codegen/emit.ml: Array Buffer Hashtbl Int32 List Minic Mv_ir Mv_isa Objfile Printf Regalloc

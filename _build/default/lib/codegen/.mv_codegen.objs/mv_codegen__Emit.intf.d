@@ -1,0 +1,1 @@
+lib/codegen/emit.mli: Mv_ir Objfile

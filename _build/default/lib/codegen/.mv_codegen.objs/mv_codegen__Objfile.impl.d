@@ -1,0 +1,1 @@
+lib/codegen/objfile.ml: Buffer Format List Printf String

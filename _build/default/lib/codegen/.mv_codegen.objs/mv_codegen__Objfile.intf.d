@@ -1,0 +1,1 @@
+lib/codegen/objfile.mli: Buffer Format

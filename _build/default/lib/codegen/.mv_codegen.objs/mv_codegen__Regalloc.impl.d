@@ -1,0 +1,1 @@
+lib/codegen/regalloc.ml: Array Hashtbl List Mv_ir Mv_opt Option

@@ -1,0 +1,1 @@
+lib/codegen/regalloc.mli: Hashtbl Mv_ir Mv_opt

@@ -1,0 +1,31 @@
+(** Instruction selection and emission: IR functions to encoded machine
+    code.
+
+    The emitter records the text offset of every call instruction and its
+    target symbol; the compiler driver turns the sites targeting
+    multiversed symbols into [multiverse.callsites] descriptor records —
+    the compiler-provided call-site knowledge that distinguishes multiverse
+    from ad-hoc inline-assembler patching mechanisms (paper Section 3). *)
+
+exception Error of string
+
+type callsite = {
+  cs_insn_offset : int;  (** offset of the call instruction in the fragment *)
+  cs_callee : string;  (** target symbol (fn-pointer variable if indirect) *)
+  cs_indirect : bool;
+}
+
+type fragment = {
+  fr_name : string;
+  fr_code : bytes;
+  fr_relocs : Objfile.reloc list;  (** offsets relative to the fragment *)
+  fr_callsites : callsite list;
+}
+
+(** Emit one function.
+
+    [call_pad] gives, per callee symbol, the number of [nop] bytes to emit
+    after the call instruction — padding that widens the runtime's inlining
+    budget (the Section 7.1 "adjusting the sizes of call sites"
+    extension). *)
+val emit_fn : ?call_pad:(string -> int) -> Mv_ir.Ir.fn -> fragment

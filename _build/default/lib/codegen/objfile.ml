@@ -1,0 +1,95 @@
+(* Relocatable object files.
+
+   Each translation unit compiles to one object with the sections the paper
+   describes in Section 5: [text], [data], and the three multiverse
+   descriptor sections ([multiverse.variables], [multiverse.functions],
+   [multiverse.callsites]).  The linker concatenates same-named sections of
+   all objects, so descriptors from different translation units can be
+   addressed as one regular array — exactly the trick the paper relies on.
+
+   Relocations are ELF-style: the linker stores [S + A] (absolute) or
+   [S + A - P] (pc-relative) into the field at [r_offset]. *)
+
+type section = Text | Data | Mv_variables | Mv_functions | Mv_callsites
+
+let all_sections = [ Text; Data; Mv_variables; Mv_functions; Mv_callsites ]
+
+let section_name = function
+  | Text -> ".text"
+  | Data -> ".data"
+  | Mv_variables -> "multiverse.variables"
+  | Mv_functions -> "multiverse.functions"
+  | Mv_callsites -> "multiverse.callsites"
+
+type reloc_kind = Abs64 | Abs32 | Rel32
+
+type reloc = {
+  r_section : section;  (** section containing the field to patch *)
+  r_offset : int;  (** offset of the field within that section *)
+  r_kind : reloc_kind;
+  r_sym : string;
+  r_addend : int;
+}
+
+type symbol = {
+  s_name : string;
+  s_section : section;
+  s_offset : int;
+  s_size : int;
+}
+
+type t = {
+  o_name : string;
+  buffers : (section * Buffer.t) list;
+  mutable relocs : reloc list;
+  mutable symbols : symbol list;
+}
+
+let create name =
+  {
+    o_name = name;
+    buffers = List.map (fun s -> (s, Buffer.create 256)) all_sections;
+    relocs = [];
+    symbols = [];
+  }
+
+let buffer t sec = List.assoc sec t.buffers
+
+let section_size t sec = Buffer.length (buffer t sec)
+
+(** Append [b] to [sec]; returns the offset at which it was placed. *)
+let append t sec (b : bytes) : int =
+  let buf = buffer t sec in
+  let off = Buffer.length buf in
+  Buffer.add_bytes buf b;
+  off
+
+let align t sec alignment =
+  let buf = buffer t sec in
+  while Buffer.length buf mod alignment <> 0 do
+    Buffer.add_char buf '\000'
+  done;
+  Buffer.length buf
+
+let add_reloc t r = t.relocs <- r :: t.relocs
+
+let add_symbol t s =
+  if List.exists (fun s' -> String.equal s'.s_name s.s_name) t.symbols then
+    invalid_arg (Printf.sprintf "%s: duplicate symbol %s" t.o_name s.s_name);
+  t.symbols <- s :: t.symbols
+
+let find_symbol t name = List.find_opt (fun s -> String.equal s.s_name name) t.symbols
+
+let section_contents t sec = Buffer.to_bytes (buffer t sec)
+
+let relocs t = List.rev t.relocs
+let symbols t = List.rev t.symbols
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>object %s:" t.o_name;
+  List.iter
+    (fun sec ->
+      Format.fprintf fmt "@,  %-22s %6d bytes" (section_name sec) (section_size t sec))
+    all_sections;
+  Format.fprintf fmt "@,  %d symbols, %d relocations@]" (List.length t.symbols)
+    (List.length t.relocs)

@@ -1,0 +1,57 @@
+(** Relocatable object files.
+
+    Each translation unit compiles to one object with the sections the
+    paper describes (Section 5): [.text], [.data], and the three multiverse
+    descriptor sections.  The linker concatenates same-named sections, so
+    descriptors from different units can be addressed as one array.
+    Relocations are ELF-style ([S + A] absolute, [S + A - P]
+    pc-relative). *)
+
+type section = Text | Data | Mv_variables | Mv_functions | Mv_callsites
+
+val all_sections : section list
+val section_name : section -> string
+
+type reloc_kind = Abs64 | Abs32 | Rel32
+
+type reloc = {
+  r_section : section;  (** section containing the field to patch *)
+  r_offset : int;  (** offset of the field within that section *)
+  r_kind : reloc_kind;
+  r_sym : string;
+  r_addend : int;
+}
+
+type symbol = {
+  s_name : string;
+  s_section : section;
+  s_offset : int;
+  s_size : int;
+}
+
+type t = {
+  o_name : string;
+  buffers : (section * Buffer.t) list;
+  mutable relocs : reloc list;
+  mutable symbols : symbol list;
+}
+
+val create : string -> t
+val section_size : t -> section -> int
+
+(** Append bytes to a section; returns the placement offset. *)
+val append : t -> section -> bytes -> int
+
+(** Zero-pad the section to the alignment; returns the new size. *)
+val align : t -> section -> int -> int
+
+val add_reloc : t -> reloc -> unit
+
+(** Raises [Invalid_argument] on duplicate names within the object. *)
+val add_symbol : t -> symbol -> unit
+
+val find_symbol : t -> string -> symbol option
+val section_contents : t -> section -> bytes
+val relocs : t -> reloc list
+val symbols : t -> symbol list
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,169 @@
+(* Graph-coloring register allocation.
+
+   Virtual registers are colored with the callee-saved machine registers
+   r6..r12 (values therefore survive calls without caller-side spills);
+   uncolorable registers are assigned stack slots and rewritten through the
+   two reserved scratch registers at emission time.  r0..r5 carry arguments
+   and the return value, r13/r14 are the spill scratch pair, r15 is the
+   stack pointer. *)
+
+module Ir = Mv_ir.Ir
+module Iset = Mv_opt.Dce.Iset
+module Imap = Mv_opt.Dce.Imap
+
+(** Callee-saved machine registers available for coloring.  Values in these
+    survive calls, at the cost of a push/pop pair in the prologue. *)
+let callee_saved_pool = [ 6; 7; 8; 9; 10; 11; 12 ]
+
+(** Caller-saved registers usable for free in *leaf* functions (no calls to
+    clobber them, no save/restore needed).  Registers still holding incoming
+    arguments are excluded per function. *)
+let caller_saved_pool = [ 1; 2; 3; 4; 5 ]
+
+let max_reg_args = 6
+
+type assignment =
+  | Phys of int
+  | Slot of int
+  | Unused  (** never mentioned in the body (e.g. eliminated by DCE) *)
+
+type t = {
+  assign : assignment array;  (** indexed by virtual register *)
+  used_callee_saved : int list;  (** sorted machine registers to save *)
+  frame_slots : int;
+}
+
+let assignment_of t vreg = t.assign.(vreg)
+
+(* ------------------------------------------------------------------ *)
+(* Interference graph construction                                     *)
+(* ------------------------------------------------------------------ *)
+
+let live_out_of live_in b =
+  List.fold_left
+    (fun acc succ ->
+      match Imap.find_opt succ live_in with
+      | Some s -> Iset.union acc s
+      | None -> acc)
+    Iset.empty
+    (Ir.successors b.Ir.b_term)
+
+let build_interference (fn : Ir.fn) : (int, Iset.t) Hashtbl.t =
+  let graph : (int, Iset.t) Hashtbl.t = Hashtbl.create 64 in
+  let node r =
+    if not (Hashtbl.mem graph r) then Hashtbl.replace graph r Iset.empty
+  in
+  let edge a b =
+    if a <> b then begin
+      node a;
+      node b;
+      Hashtbl.replace graph a (Iset.add b (Hashtbl.find graph a));
+      Hashtbl.replace graph b (Iset.add a (Hashtbl.find graph b))
+    end
+  in
+  let live_in = Mv_opt.Dce.liveness fn in
+  List.iter
+    (fun (b : Ir.block) ->
+      let live = ref (live_out_of live_in b) in
+      Iset.iter node !live;
+      List.iter
+        (fun r ->
+          node r;
+          live := Iset.add r !live)
+        (Mv_opt.Dce.term_uses b.b_term);
+      List.iter
+        (fun i ->
+          (match Ir.instr_def i with
+          | Some d ->
+              node d;
+              (* the def interferes with everything live after it *)
+              Iset.iter (fun r -> edge d r) (Iset.remove d !live);
+              live := Iset.remove d !live
+          | None -> ());
+          List.iter
+            (fun op ->
+              match op with
+              | Ir.Reg r ->
+                  node r;
+                  live := Iset.add r !live
+              | Ir.Imm _ -> ())
+            (Ir.instr_uses i))
+        (List.rev b.b_instrs))
+    fn.fn_blocks;
+  (* parameters are all defined simultaneously at entry and must not share *)
+  let rec pairs = function
+    | [] -> ()
+    | p :: rest ->
+        List.iter (fun q -> edge p q) rest;
+        pairs rest
+  in
+  pairs fn.fn_params;
+  (* parameters also interfere with the live-in of the entry block *)
+  (match fn.fn_blocks with
+  | entry :: _ ->
+      let live_entry =
+        Option.value ~default:Iset.empty (Imap.find_opt entry.b_id live_in)
+      in
+      List.iter (fun p -> Iset.iter (fun r -> edge p r) (Iset.remove p live_entry)) fn.fn_params
+  | [] -> ());
+  graph
+
+(* ------------------------------------------------------------------ *)
+(* Greedy coloring with spilling                                       *)
+(* ------------------------------------------------------------------ *)
+
+let is_leaf (fn : Ir.fn) =
+  List.for_all
+    (fun (b : Ir.block) ->
+      List.for_all
+        (function Ir.Icall _ | Ir.Icallp _ -> false | _ -> true)
+        b.b_instrs)
+    fn.fn_blocks
+
+let allocate (fn : Ir.fn) : t =
+  let allocatable =
+    if is_leaf fn then
+      (* caller-saved first (free), but never a register that still holds an
+         incoming argument at entry *)
+      let nparams = List.length fn.fn_params in
+      List.filter (fun r -> r >= nparams) caller_saved_pool @ callee_saved_pool
+    else callee_saved_pool
+  in
+  let graph = build_interference fn in
+  let assign = Array.make (max 1 fn.fn_nregs) Unused in
+  (* color in order of decreasing degree so constrained nodes go first *)
+  let nodes =
+    Hashtbl.fold (fun r adj acc -> (r, Iset.cardinal adj) :: acc) graph []
+    |> List.sort (fun (_, d1) (_, d2) -> compare d2 d1)
+    |> List.map fst
+  in
+  let colored : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  let spilled = ref [] in
+  List.iter
+    (fun r ->
+      let adj = Hashtbl.find graph r in
+      let taken =
+        Iset.fold
+          (fun n acc ->
+            match Hashtbl.find_opt colored n with
+            | Some c -> Iset.add c acc
+            | None -> acc)
+          adj Iset.empty
+      in
+      match List.find_opt (fun c -> not (Iset.mem c taken)) allocatable with
+      | Some c -> Hashtbl.replace colored r c
+      | None -> spilled := r :: !spilled)
+    nodes;
+  let slot = ref 0 in
+  List.iter
+    (fun r ->
+      assign.(r) <- Slot !slot;
+      incr slot)
+    (List.rev !spilled);
+  Hashtbl.iter (fun r c -> assign.(r) <- Phys c) colored;
+  let used =
+    Hashtbl.fold (fun _ c acc -> Iset.add c acc) colored Iset.empty
+    |> Iset.elements
+    |> List.filter (fun c -> List.mem c callee_saved_pool)
+  in
+  { assign; used_callee_saved = used; frame_slots = !slot }

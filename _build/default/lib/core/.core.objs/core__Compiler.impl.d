@@ -1,0 +1,1 @@
+lib/core/compiler.ml: Bytes Descriptor Format Int64 List Minic Mv_codegen Mv_ir Mv_link String Variantgen

@@ -1,0 +1,1 @@
+lib/core/descriptor.ml: Bool Bytes Guard Int32 Int64 List Mv_codegen Mv_ir Mv_link Variantgen

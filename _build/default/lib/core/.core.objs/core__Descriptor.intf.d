@@ -1,0 +1,1 @@
+lib/core/descriptor.mli: Mv_codegen Mv_ir Mv_link Variantgen

@@ -1,0 +1,1 @@
+lib/core/domain.ml: List Mv_ir

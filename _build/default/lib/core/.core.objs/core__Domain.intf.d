@@ -1,0 +1,1 @@
+lib/core/domain.mli: Mv_ir

@@ -1,0 +1,1 @@
+lib/core/guard.ml: Format List Map Option String

@@ -1,0 +1,1 @@
+lib/core/patch.ml: Bytes Char Fun Int32 List Mv_isa Mv_link Printf String

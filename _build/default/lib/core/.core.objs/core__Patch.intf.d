@@ -1,0 +1,1 @@
+lib/core/patch.mli: Mv_isa Mv_link

@@ -1,0 +1,1 @@
+lib/core/runtime.ml: Bool Bytes Char Descriptor List Mv_isa Mv_link Option Patch Printf

@@ -1,0 +1,1 @@
+lib/core/runtime.mli: Descriptor Mv_link Patch

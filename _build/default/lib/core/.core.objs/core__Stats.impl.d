@@ -1,0 +1,1 @@
+lib/core/stats.ml: Compiler Descriptor Format List Mv_codegen Mv_link

@@ -1,0 +1,1 @@
+lib/core/variantgen.ml: Domain Guard Hashtbl List Mv_ir Mv_opt Option Printf String

@@ -1,0 +1,1 @@
+lib/core/variantgen.mli: Guard Mv_ir

@@ -1,0 +1,60 @@
+(** The whole-pipeline driver: Mini-C source text to a runnable,
+    patch-ready process image.
+
+    Per translation unit: parse, typecheck, lower to IR, run multiverse
+    variant generation (Section 3), optimize, emit machine code, and
+    assemble an object with text, data and the three multiverse descriptor
+    sections (Section 5).  Units are then linked into one image, which
+    {!Runtime.create} can attach to.
+
+    Separate compilation follows the paper's rule: the [multiverse]
+    attribute must appear on the declaration visible in each unit (the
+    "header"), so every unit knows which symbols are multiversed. *)
+
+exception Compile_error of string
+
+type unit_input = { u_name : string; u_source : string }
+
+type compiled_unit = {
+  cu_name : string;
+  cu_obj : Mv_codegen.Objfile.t;
+  cu_prog : Mv_ir.Ir.prog;  (** after variant generation and optimization *)
+  cu_mv : Variantgen.mv_function list;
+  cu_warnings : string list;
+}
+
+type program = {
+  p_image : Mv_link.Image.t;
+  p_units : compiled_unit list;
+}
+
+(** Compile one translation unit.
+
+    @param max_variants cap on the per-function assignment cross product
+      (default {!Variantgen.default_max_variants}).
+    @param callsite_padding nop bytes (0..10, default 0) appended to every
+      call site of a multiversed symbol, widening the runtime's inlining
+      budget (the Section 7.1 "adjusting the sizes of call sites"
+      extension). *)
+val compile_unit :
+  ?max_variants:int -> ?callsite_padding:int -> unit_input -> compiled_unit
+
+(** Link compiled units into an image (raises {!Compile_error} on link
+    errors). *)
+val link : ?mem_size:int -> compiled_unit list -> Mv_link.Image.t
+
+(** Compile and link a list of (unit name, source text) pairs. *)
+val build :
+  ?max_variants:int ->
+  ?callsite_padding:int ->
+  ?mem_size:int ->
+  (string * string) list ->
+  program
+
+(** Compile and link a single source string (unit name ["main"]). *)
+val build_string :
+  ?max_variants:int -> ?callsite_padding:int -> ?mem_size:int -> string -> program
+
+(** All warnings across the program's units (front-end diagnostics and
+    variant-generation warnings). *)
+val warnings : program -> string list

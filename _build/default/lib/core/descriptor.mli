@@ -1,0 +1,75 @@
+(** Binary descriptor records (paper Sections 3 and 5).
+
+    Descriptors live in three dedicated sections — [multiverse.variables],
+    [multiverse.functions], [multiverse.callsites] — which the linker
+    concatenates across translation units into contiguous arrays.  Record
+    sizes match the paper exactly: 32 bytes per configuration switch, 16
+    bytes per call site, and [48 + #variants * (32 + #guards * 16)] bytes
+    per multiversed function.  Address fields are filled by Abs64
+    relocations, so position-independent placement comes for free. *)
+
+val variable_record_size : int  (** 32 *)
+
+val callsite_record_size : int  (** 16 *)
+
+val function_header_size : int  (** 48 *)
+
+val variant_record_size : int  (** 32 *)
+
+val guard_record_size : int  (** 16 *)
+
+(** The paper's per-function formula, with [guards] the total guard count
+    across all variant records. *)
+val function_record_size : variants:int -> guards:int -> int
+
+(** {1 Serialization into an object file} *)
+
+(** Emit a 32-byte variable record (address, width, signedness, fnptr flag)
+    for the switch [g]. *)
+val emit_variable : Mv_codegen.Objfile.t -> Mv_ir.Ir.global -> unit
+
+(** Emit a 16-byte call-site record: the callee's address (the generic
+    function for direct sites, the fn-pointer variable for indirect ones)
+    and the call instruction's address ([caller] + [site_offset]). *)
+val emit_callsite :
+  Mv_codegen.Objfile.t -> caller:string -> site_offset:int -> callee:string -> unit
+
+(** Emit the function record for [mf]: a 48-byte header followed by one
+    32-byte record per guard box, each followed by its 16-byte guard
+    records.  [size_of] maps a symbol to its emitted body size. *)
+val emit_function :
+  Mv_codegen.Objfile.t -> Variantgen.mv_function -> size_of:(string -> int) -> unit
+
+(** {1 Parsing from a linked image} *)
+
+type variable = {
+  vr_addr : int;  (** absolute address of the switch *)
+  vr_width : int;  (** width in bytes *)
+  vr_signed : bool;
+  vr_fnptr : bool;  (** function-pointer switch (Section 4 extension) *)
+}
+
+type callsite = {
+  cs_target : int;  (** generic function or fn-pointer variable address *)
+  cs_site : int;  (** absolute address of the call instruction *)
+}
+
+type guard_record = { gr_var : int; gr_lo : int; gr_hi : int }
+
+type variant_record = {
+  va_addr : int;  (** absolute address of the variant body *)
+  va_size : int;  (** encoded body size in bytes *)
+  va_guards : guard_record list;
+}
+
+type function_record = {
+  fd_generic : int;
+  fd_generic_size : int;
+  fd_variants : variant_record list;
+}
+
+exception Parse_error of string
+
+val parse_variables : Mv_link.Image.t -> variable list
+val parse_callsites : Mv_link.Image.t -> callsite list
+val parse_functions : Mv_link.Image.t -> function_record list

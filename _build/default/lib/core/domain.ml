@@ -1,0 +1,44 @@
+(* Specialization domains for configuration switches (Section 3).
+
+   Policy, in priority order:
+   1. an explicit [values(..)] attribute;
+   2. for enumeration types, all declared enumeration items;
+   3. the default {0, 1} — "for integer-typed variables, we default to 0 and
+      1 as they act as the different boolean values in C".
+
+   Function-pointer switches have no value domain: their "variants" are the
+   functions they point to, bound at commit time. *)
+
+module Ir = Mv_ir.Ir
+
+type t =
+  | Values of int list  (** sorted, deduplicated *)
+  | Fnptr
+
+let of_global (g : Ir.global) : t =
+  if g.gl_is_fnptr then Fnptr
+  else
+    let values =
+      match g.gl_values with
+      | Some vs -> vs
+      | None -> (
+          match g.gl_enum_items with
+          | Some (_ :: _ as items) -> items
+          | Some [] | None -> [ 0; 1 ])
+    in
+    Values (List.sort_uniq compare values)
+
+let cardinal = function Values vs -> List.length vs | Fnptr -> 0
+
+(** Cross product of the domains of [switches]; each element is an
+    assignment in the same order as the input list. *)
+let cross_product (domains : (string * int list) list) : (string * int) list list =
+  List.fold_right
+    (fun (name, values) acc ->
+      List.concat_map (fun v -> List.map (fun rest -> (name, v) :: rest) acc) values)
+    domains [ [] ]
+
+(** Number of assignments [cross_product] would produce, without building
+    them (guards the variant-explosion cap). *)
+let cross_product_size (domains : (string * int list) list) : int =
+  List.fold_left (fun acc (_, vs) -> acc * List.length vs) 1 domains

@@ -1,0 +1,30 @@
+(** Specialization domains for configuration switches (paper Section 3).
+
+    The domain of a switch is the set of values for which ahead-of-time
+    variants are generated.  Policy, in priority order:
+    + an explicit [values(..)] attribute,
+    + for enumeration types, all declared enumeration items,
+    + the default [{0, 1}] ("they act as the different boolean values
+      in C"). *)
+
+(** A switch's domain.  Function-pointer switches ([Fnptr]) have no value
+    domain: their binding is the pointed-to function, fixed at commit
+    time. *)
+type t =
+  | Values of int list  (** sorted and deduplicated specialization values *)
+  | Fnptr
+
+(** [of_global g] applies the domain policy to the switch [g]. *)
+val of_global : Mv_ir.Ir.global -> t
+
+(** Number of values in the domain; [0] for [Fnptr]. *)
+val cardinal : t -> int
+
+(** [cross_product domains] enumerates every assignment of the given
+    switches, each in the order of the input list.  The empty list yields
+    the single empty assignment. *)
+val cross_product : (string * int list) list -> (string * int) list list
+
+(** Size [cross_product] would have, computed without building it (used to
+    enforce the variant-explosion cap). *)
+val cross_product_size : (string * int list) list -> int

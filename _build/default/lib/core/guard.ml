@@ -1,0 +1,85 @@
+(* Guard expressions over configuration switches (Section 3).
+
+   A guard is a conjunction of value-range constraints, one per referenced
+   switch: [{ &A, .low=1, .high=1 }; { &B, .low=0, .high=1 }].  The paper
+   uses ranges "instead of single values to be able to cover multiple merged
+   variants" — [boxes_of_assignments] computes that cover. *)
+
+type range = { g_var : string; g_lo : int; g_hi : int }
+
+type t = range list  (** conjunction; variables are distinct and sorted *)
+
+let satisfied_by (guard : t) (lookup : string -> int) : bool =
+  List.for_all
+    (fun { g_var; g_lo; g_hi } ->
+      let v = lookup g_var in
+      g_lo <= v && v <= g_hi)
+    guard
+
+let pp_range fmt { g_var; g_lo; g_hi } =
+  if g_lo = g_hi then Format.fprintf fmt "%s=%d" g_var g_lo
+  else Format.fprintf fmt "%s=%d..%d" g_var g_lo g_hi
+
+let pp fmt (g : t) =
+  Format.pp_print_list
+    ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ", ")
+    pp_range fmt g
+
+let to_string g = Format.asprintf "%a" pp g
+
+(* ------------------------------------------------------------------ *)
+(* Box covers for merged variants                                      *)
+(* ------------------------------------------------------------------ *)
+
+module Smap = Map.Make (String)
+
+let values_per_var (assignments : (string * int) list list) : int list Smap.t =
+  List.fold_left
+    (fun acc assignment ->
+      List.fold_left
+        (fun acc (var, v) ->
+          let existing = Option.value ~default:[] (Smap.find_opt var acc) in
+          Smap.add var (v :: existing) acc)
+        acc assignment)
+    Smap.empty assignments
+  |> Smap.map (List.sort_uniq compare)
+
+let contiguous vs =
+  let rec go = function
+    | a :: (b :: _ as rest) -> b = a + 1 && go rest
+    | [ _ ] | [] -> true
+  in
+  go vs
+
+(** Try to cover the assignment set with a single box (a product of
+    per-variable contiguous ranges).  Succeeds exactly when the set equals
+    the cross product of its per-variable projections and every projection
+    is contiguous. *)
+let single_box (assignments : (string * int) list list) : t option =
+  match assignments with
+  | [] -> None
+  | first :: _ ->
+      let vars = List.map fst first in
+      let per_var = values_per_var assignments in
+      let projections = List.map (fun v -> (v, Smap.find v per_var)) vars in
+      let product_size = List.fold_left (fun acc (_, vs) -> acc * List.length vs) 1 projections in
+      if product_size = List.length assignments && List.for_all (fun (_, vs) -> contiguous vs) projections
+      then
+        Some
+          (List.map
+             (fun (var, vs) ->
+               { g_var = var; g_lo = List.hd vs; g_hi = List.nth vs (List.length vs - 1) })
+             projections)
+      else None
+
+(** Cover the assignment set with guard boxes: one box when the set is a
+    clean product of ranges (the common case after merging), otherwise one
+    point box per assignment. *)
+let boxes_of_assignments (assignments : (string * int) list list) : t list =
+  match single_box assignments with
+  | Some box -> [ box ]
+  | None ->
+      List.map
+        (fun assignment ->
+          List.map (fun (var, v) -> { g_var = var; g_lo = v; g_hi = v }) assignment)
+        assignments

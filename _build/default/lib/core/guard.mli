@@ -1,0 +1,36 @@
+(** Guard expressions over configuration switches (paper Section 3).
+
+    A guard is a conjunction of inclusive value-range constraints — one per
+    referenced switch — indicating for which assignments a variant is
+    usable.  Ranges (rather than single values) let one descriptor cover
+    several merged variants: Figure 2's [multi.A=0.B=01] carries the guard
+    [A in \[0,0\], B in \[0,1\]]. *)
+
+(** One range constraint: [g_lo <= value(g_var) <= g_hi]. *)
+type range = { g_var : string; g_lo : int; g_hi : int }
+
+(** A conjunction of constraints over distinct switches. *)
+type t = range list
+
+(** [satisfied_by guard lookup] checks every range against the current
+    switch values provided by [lookup]. *)
+val satisfied_by : t -> (string -> int) -> bool
+
+val pp_range : Format.formatter -> range -> unit
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+(** Per-variable projections of an assignment set: which values each switch
+    takes across the set (sorted, deduplicated). *)
+module Smap : Map.S with type key = string
+
+val values_per_var : (string * int) list list -> int list Smap.t
+
+(** [single_box assignments] covers the set with one box when it equals the
+    cross product of contiguous per-variable ranges; [None] otherwise. *)
+val single_box : (string * int) list list -> t option
+
+(** Cover an assignment set with guard boxes: a single box when possible,
+    otherwise one point box per assignment (each emitted as its own
+    descriptor record pointing at the shared body). *)
+val boxes_of_assignments : (string * int) list list -> t list

@@ -1,0 +1,506 @@
+(* The multiverse run-time library (Section 4, API of Table 1).
+
+   The runtime interprets the binary descriptor sections of a linked image,
+   selects variants according to the current configuration-switch values,
+   and installs them by binary patching:
+
+   - every recorded call site of the function is retargeted to the variant,
+     or — when the variant body is smaller than the call instruction —
+     the body is inlined into the call site (empty bodies become nops);
+   - the prologue of the generic function is overwritten with an
+     unconditional jump to the variant, which catches calls the compiler
+     could not see (function pointers, foreign code): completeness,
+     Section 7.4.
+
+   If no variant's guards match the current values, the runtime reverts the
+   function to its generic state and signals the situation via
+   [fallbacks].
+
+   Like the paper's library, the runtime deliberately performs no
+   synchronization: the caller must ensure the program is in a patchable
+   state (Section 2).
+
+   Note on signedness: descriptor records carry the declared signedness of
+   each switch, but sub-word switch values are evaluated zero-extended,
+   matching the machine's sub-word loads; use full-width (8-byte) switches
+   for negative domain values. *)
+
+module Image = Mv_link.Image
+module Insn = Mv_isa.Insn
+
+type site_state =
+  | Site_original
+  | Site_retargeted of int  (** direct call to this address *)
+  | Site_inlined of int  (** body of this variant inlined *)
+
+type site = {
+  s_addr : int;
+  s_size : int;  (** 5 for direct calls, 6 for indirect *)
+  s_original : bytes;
+  mutable s_state : site_state;
+  mutable s_written : bytes;  (** what we believe the site holds *)
+}
+
+type fn_entry = {
+  fe_name : string;
+  fe_record : Descriptor.function_record;
+  fe_sites : site list;
+  mutable fe_prologue : bytes option;  (** saved generic prologue *)
+  mutable fe_saved_body : bytes option;  (** saved generic body (body patching) *)
+  mutable fe_installed : int option;  (** installed variant address *)
+}
+
+type fnptr_entry = {
+  fp_name : string;
+  fp_var : Descriptor.variable;
+  fp_sites : site list;
+  mutable fp_committed : int option;
+}
+
+type t = {
+  image : Image.t;
+  patch : Patch.t;
+  variables : Descriptor.variable list;
+  functions : fn_entry list;
+  fnptrs : fnptr_entry list;
+  mutable fallbacks : string list;  (** functions left generic by the last commit *)
+  mutable skipped_sites : (int * string) list;  (** verification failures *)
+  mutable inline_enabled : bool;  (** call-site body inlining (Section 4); on by default *)
+  mutable strategy : strategy;
+}
+
+(** How variants are installed.
+
+    [Call_site_patching] is the paper's design: retarget (or inline into)
+    every recorded call site, plus the completeness jump in the generic
+    prologue.
+
+    [Body_patching] is the alternative Section 7.1 weighs and rejects:
+    copy the (relocated) variant body over the generic body.  It patches
+    one location per function instead of one per call site — faster to
+    commit — but requires the runtime to relocate variant bodies, and falls
+    back to a prologue jump when the variant is larger than the generic. *)
+and strategy = Call_site_patching | Body_patching
+
+exception Runtime_error of string
+
+let errf fmt = Printf.ksprintf (fun m -> raise (Runtime_error m)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Construction                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* The compiler may nop-pad call sites of multiversed symbols so larger
+   bodies can be inlined (Section 7.1's "adjusting the sizes of call sites").
+   At attach time nothing has been patched yet, so nops directly following
+   the recorded call instruction can only be that padding; they become part
+   of the site. *)
+let max_callsite_padding = 10
+
+let site_of_callsite (img : Image.t) (cs : Descriptor.callsite) : site =
+  let _, insn_size = Mv_isa.Decode.decode img.Image.mem ~off:cs.cs_site in
+  let nop = Char.chr (Insn.opcode Insn.Nop) in
+  let rec pad_len k =
+    if k >= max_callsite_padding then k
+    else if Bytes.get img.Image.mem (cs.cs_site + insn_size + k) = nop then pad_len (k + 1)
+    else k
+  in
+  let size = insn_size + pad_len 0 in
+  let original = Image.read_bytes img cs.cs_site size in
+  {
+    s_addr = cs.cs_site;
+    s_size = size;
+    s_original = original;
+    s_state = Site_original;
+    s_written = original;
+  }
+
+let name_of img addr =
+  match Image.symbol_at img addr with
+  | Some name -> name
+  | None -> Printf.sprintf "<0x%x>" addr
+
+(** Attach a runtime to a linked image.  [flush] is called after every text
+    patch with the affected range (wire it to the machine's instruction-
+    cache flush). *)
+let create (img : Image.t) ~flush : t =
+  let variables = Descriptor.parse_variables img in
+  let fn_records = Descriptor.parse_functions img in
+  let callsites = Descriptor.parse_callsites img in
+  let functions =
+    List.map
+      (fun (fr : Descriptor.function_record) ->
+        let sites =
+          List.filter_map
+            (fun (cs : Descriptor.callsite) ->
+              if cs.cs_target = fr.fd_generic then Some (site_of_callsite img cs)
+              else None)
+            callsites
+        in
+        {
+          fe_name = name_of img fr.fd_generic;
+          fe_record = fr;
+          fe_sites = sites;
+          fe_prologue = None;
+          fe_saved_body = None;
+          fe_installed = None;
+        })
+      fn_records
+  in
+  let fnptrs =
+    List.filter_map
+      (fun (v : Descriptor.variable) ->
+        if not v.vr_fnptr then None
+        else
+          let sites =
+            List.filter_map
+              (fun (cs : Descriptor.callsite) ->
+                if cs.cs_target = v.vr_addr then Some (site_of_callsite img cs) else None)
+              callsites
+          in
+          Some
+            {
+              fp_name = name_of img v.vr_addr;
+              fp_var = v;
+              fp_sites = sites;
+              fp_committed = None;
+            })
+      variables
+  in
+  {
+    image = img;
+    patch = Patch.create img ~flush;
+    variables;
+    functions;
+    fnptrs;
+    fallbacks = [];
+    skipped_sites = [];
+    inline_enabled = true;
+    strategy = Call_site_patching;
+  }
+
+(** Disable or re-enable call-site body inlining (the A3 ablation: measure
+    what the "current PV-Ops"-style inlining contributes). *)
+let set_inlining t enabled = t.inline_enabled <- enabled
+
+(** Switch the installation strategy (the A4 ablation).  Only allowed while
+    nothing is installed: revert first. *)
+let set_strategy t s =
+  let busy =
+    List.exists (fun fe -> fe.fe_installed <> None) t.functions
+    || List.exists (fun fp -> fp.fp_committed <> None) t.fnptrs
+  in
+  if busy then errf "cannot switch strategy while variants are installed (revert first)";
+  t.strategy <- s
+
+(* ------------------------------------------------------------------ *)
+(* Switch evaluation                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let read_switch t (addr : int) : int =
+  match List.find_opt (fun (v : Descriptor.variable) -> v.vr_addr = addr) t.variables with
+  | Some v -> Image.read t.image v.vr_addr v.vr_width
+  | None -> errf "guard references unknown switch at 0x%x" addr
+
+let guards_satisfied t (guards : Descriptor.guard_record list) : bool =
+  List.for_all
+    (fun (g : Descriptor.guard_record) ->
+      let v = read_switch t g.gr_var in
+      g.gr_lo <= v && v <= g.gr_hi)
+    guards
+
+(** Select the variant for the current switch values (first match in
+    descriptor order). *)
+let select_variant t (fe : fn_entry) : Descriptor.variant_record option =
+  List.find_opt
+    (fun (v : Descriptor.variant_record) -> guards_satisfied t v.va_guards)
+    fe.fe_record.fd_variants
+
+(* ------------------------------------------------------------------ *)
+(* Site patching with verification                                     *)
+(* ------------------------------------------------------------------ *)
+
+(** A site is only touched when its current bytes are exactly what the
+    runtime last wrote there (initially: what the linker produced).  A
+    mismatch means some other mechanism — e.g. the prologue jump of an
+    enclosing multiversed function — owns those bytes now; the site is
+    skipped and reported, never corrupted. *)
+let site_intact t (s : site) : bool =
+  let current = Image.read_bytes t.image s.s_addr s.s_size in
+  Bytes.equal current s.s_written
+
+let write_site t (s : site) (b : bytes) (state : site_state) =
+  Patch.write_text t.patch ~addr:s.s_addr b;
+  s.s_written <- Image.read_bytes t.image s.s_addr s.s_size;
+  s.s_state <- state
+
+let skip_site t (s : site) reason =
+  t.skipped_sites <- (s.s_addr, reason) :: t.skipped_sites
+
+(** Point the site at [target]: either inline the body at [target] (if small
+    enough) or patch a direct call.  [target_size] is the encoded size of
+    the target body, from its descriptor. *)
+let install_site t (s : site) ~target ~target_size =
+  if not (site_intact t s) then skip_site t s "site bytes changed by another mechanism"
+  else begin
+    let body =
+      if t.inline_enabled then
+        Patch.inlineable_body t.patch ~fn_addr:target ~fn_size:target_size ~budget:s.s_size
+      else None
+    in
+    match body with
+    | Some body ->
+        let b = Bytes.make s.s_size (Char.chr (Insn.opcode Insn.Nop)) in
+        Bytes.blit body 0 b 0 (Bytes.length body);
+        write_site t s b (Site_inlined target)
+    | None ->
+        (* a 6-byte indirect site gets a 5-byte direct call plus one nop *)
+        let call = Patch.encode_call ~site:s.s_addr ~target in
+        let b = Bytes.make s.s_size (Char.chr (Insn.opcode Insn.Nop)) in
+        Bytes.blit call 0 b 0 (Bytes.length call);
+        write_site t s b (Site_retargeted target)
+  end
+
+let restore_site t (s : site) =
+  match s.s_state with
+  | Site_original -> ()
+  | Site_retargeted _ | Site_inlined _ ->
+      if site_intact t s then write_site t s s.s_original Site_original
+      else skip_site t s "cannot restore: site bytes changed by another mechanism"
+
+(* ------------------------------------------------------------------ *)
+(* Function-level install / revert                                     *)
+(* ------------------------------------------------------------------ *)
+
+let revert_fn_entry t (fe : fn_entry) =
+  (match fe.fe_saved_body with
+  | Some saved ->
+      Patch.restore_bytes t.patch ~addr:fe.fe_record.fd_generic saved;
+      fe.fe_saved_body <- None
+  | None -> ());
+  (match fe.fe_prologue with
+  | Some saved ->
+      Patch.restore_bytes t.patch ~addr:fe.fe_record.fd_generic saved;
+      fe.fe_prologue <- None
+  | None -> ());
+  List.iter (restore_site t) fe.fe_sites;
+  fe.fe_installed <- None
+
+let install_variant_call_sites t (fe : fn_entry) (v : Descriptor.variant_record) =
+  List.iter (fun s -> install_site t s ~target:v.va_addr ~target_size:v.va_size) fe.fe_sites;
+  fe.fe_prologue <-
+    Some (Patch.install_prologue_jmp t.patch ~fn_addr:fe.fe_record.fd_generic ~target:v.va_addr)
+
+(* The Section 7.1 alternative: overwrite the generic body with the
+   relocated variant body.  One patch per function, no call-site work, but
+   the body must fit — otherwise fall back to the completeness jump. *)
+let install_variant_body t (fe : fn_entry) (v : Descriptor.variant_record) =
+  let generic = fe.fe_record.fd_generic in
+  if v.va_size <= fe.fe_record.fd_generic_size then begin
+    fe.fe_saved_body <-
+      Some (Patch.read_text t.patch ~addr:generic ~len:fe.fe_record.fd_generic_size);
+    let relocated =
+      Patch.relocate_body t.patch ~src:v.va_addr ~len:v.va_size ~dst:generic
+    in
+    Patch.write_text t.patch ~addr:generic relocated
+  end
+  else
+    (* variant larger than the generic body: redirect the prologue instead *)
+    fe.fe_prologue <-
+      Some (Patch.install_prologue_jmp t.patch ~fn_addr:generic ~target:v.va_addr)
+
+let install_variant t (fe : fn_entry) (v : Descriptor.variant_record) =
+  if fe.fe_installed = Some v.va_addr then ()
+  else begin
+    (* return to the pristine state first, then apply the new variant *)
+    revert_fn_entry t fe;
+    (match t.strategy with
+    | Call_site_patching -> install_variant_call_sites t fe v
+    | Body_patching -> install_variant_body t fe v);
+    fe.fe_installed <- Some v.va_addr
+  end
+
+(** Commit one multiversed function: bind it to the variant matching the
+    current switch values, or revert to generic (with a fallback signal)
+    when no variant matches.  Returns [true] when a variant was bound. *)
+let commit_fn_entry t (fe : fn_entry) : bool =
+  match select_variant t fe with
+  | Some v ->
+      install_variant t fe v;
+      true
+  | None ->
+      revert_fn_entry t fe;
+      (* only signal when the function actually has specialized variants:
+         a variant-less function is trivially bound to its generic body *)
+      if fe.fe_record.fd_variants <> [] then t.fallbacks <- fe.fe_name :: t.fallbacks;
+      false
+
+(* ------------------------------------------------------------------ *)
+(* Function-pointer switches                                           *)
+(* ------------------------------------------------------------------ *)
+
+let revert_fnptr_entry t (fp : fnptr_entry) =
+  List.iter (restore_site t) fp.fp_sites;
+  fp.fp_committed <- None
+
+(** Bind a function-pointer switch: read its current target and patch every
+    recorded indirect call site into a direct call (or inline the target
+    body).  The target's size is taken from the symbol table. *)
+let commit_fnptr_entry t (fp : fnptr_entry) : bool =
+  let target = Image.read t.image fp.fp_var.vr_addr 8 in
+  if target = 0 then begin
+    revert_fnptr_entry t fp;
+    t.fallbacks <- fp.fp_name :: t.fallbacks;
+    false
+  end
+  else begin
+    if fp.fp_committed <> Some target then begin
+      revert_fnptr_entry t fp;
+      let target_size =
+        match Image.symbol_at t.image target with
+        | Some name -> Image.symbol_size t.image name
+        | None -> 0
+      in
+      List.iter (fun s -> install_site t s ~target ~target_size) fp.fp_sites;
+      fp.fp_committed <- Some target
+    end;
+    true
+  end
+
+(* ------------------------------------------------------------------ *)
+(* The Table 1 API                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(** [multiverse_commit]: inspect all switches, select and install variants
+    everywhere.  Returns the number of entities bound to a specialized
+    state; [fallbacks t] lists functions left generic. *)
+let commit t : int =
+  t.fallbacks <- [];
+  let bound_fns = List.filter (commit_fn_entry t) t.functions in
+  let bound_ptrs = List.filter (commit_fnptr_entry t) t.fnptrs in
+  List.length bound_fns + List.length bound_ptrs
+
+(** [multiverse_revert]: restore the whole image to its unpatched state. *)
+let revert t : int =
+  t.fallbacks <- [];
+  List.iter (revert_fn_entry t) t.functions;
+  List.iter (revert_fnptr_entry t) t.fnptrs;
+  List.length t.functions + List.length t.fnptrs
+
+let find_fn t addr =
+  List.find_opt (fun fe -> fe.fe_record.fd_generic = addr) t.functions
+
+let find_fn_by_name t name =
+  match Image.symbol_opt t.image name with
+  | Some addr -> find_fn t addr
+  | None -> None
+
+(** [multiverse_commit_func(&fn)]. *)
+let commit_func_addr t addr : int =
+  match find_fn t addr with
+  | Some fe -> Bool.to_int (commit_fn_entry t fe)
+  | None -> -1
+
+(** [multiverse_revert_func(&fn)]. *)
+let revert_func_addr t addr : int =
+  match find_fn t addr with
+  | Some fe ->
+      revert_fn_entry t fe;
+      1
+  | None -> -1
+
+let commit_func t name =
+  match Image.symbol_opt t.image name with
+  | Some addr -> commit_func_addr t addr
+  | None -> -1
+
+let revert_func t name =
+  match Image.symbol_opt t.image name with
+  | Some addr -> revert_func_addr t addr
+  | None -> -1
+
+(** Functions whose variants guard on the switch at [var_addr]. *)
+let functions_referencing t var_addr =
+  List.filter
+    (fun fe ->
+      List.exists
+        (fun (v : Descriptor.variant_record) ->
+          List.exists (fun (g : Descriptor.guard_record) -> g.gr_var = var_addr) v.va_guards)
+        fe.fe_record.fd_variants)
+    t.functions
+
+(** [multiverse_commit_refs(&var)]: commit every function that references
+    the switch, and the switch itself if it is a function pointer. *)
+let commit_refs_addr t var_addr : int =
+  let fns = functions_referencing t var_addr in
+  let bound = List.filter (commit_fn_entry t) fns in
+  let ptr_bound =
+    match List.find_opt (fun fp -> fp.fp_var.vr_addr = var_addr) t.fnptrs with
+    | Some fp -> Bool.to_int (commit_fnptr_entry t fp)
+    | None -> 0
+  in
+  List.length bound + ptr_bound
+
+(** [multiverse_revert_refs(&var)]. *)
+let revert_refs_addr t var_addr : int =
+  let fns = functions_referencing t var_addr in
+  List.iter (revert_fn_entry t) fns;
+  let ptr_count =
+    match List.find_opt (fun fp -> fp.fp_var.vr_addr = var_addr) t.fnptrs with
+    | Some fp ->
+        revert_fnptr_entry t fp;
+        1
+    | None -> 0
+  in
+  List.length fns + ptr_count
+
+let commit_refs t name =
+  match Image.symbol_opt t.image name with
+  | Some addr -> commit_refs_addr t addr
+  | None -> -1
+
+let revert_refs t name =
+  match Image.symbol_opt t.image name with
+  | Some addr -> revert_refs_addr t addr
+  | None -> -1
+
+(* ------------------------------------------------------------------ *)
+(* Introspection                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let fallbacks t = List.rev t.fallbacks
+let skipped_sites t = List.rev t.skipped_sites
+
+let installed_variant t name =
+  match find_fn_by_name t name with
+  | Some fe -> Option.map (fun addr -> name_of t.image addr) fe.fe_installed
+  | None -> None
+
+type stats = {
+  st_functions : int;
+  st_variants : int;
+  st_callsites : int;
+  st_sites_inlined : int;
+  st_sites_retargeted : int;
+  st_patches : int;
+  st_bytes_patched : int;
+}
+
+let stats t =
+  let all_sites =
+    List.concat_map (fun fe -> fe.fe_sites) t.functions
+    @ List.concat_map (fun fp -> fp.fp_sites) t.fnptrs
+  in
+  {
+    st_functions = List.length t.functions;
+    st_variants =
+      List.fold_left (fun acc fe -> acc + List.length fe.fe_record.fd_variants) 0 t.functions;
+    st_callsites = List.length all_sites;
+    st_sites_inlined =
+      List.length (List.filter (fun s -> match s.s_state with Site_inlined _ -> true | _ -> false) all_sites);
+    st_sites_retargeted =
+      List.length
+        (List.filter (fun s -> match s.s_state with Site_retargeted _ -> true | _ -> false) all_sites);
+    st_patches = t.patch.Patch.patches;
+    st_bytes_patched = t.patch.Patch.bytes_patched;
+  }

@@ -1,0 +1,142 @@
+(** The multiverse run-time library: descriptor interpretation, variant
+    selection, and installation by binary patching (paper Section 4 and the
+    API of Table 1).
+
+    A commit inspects the current values of all configuration switches,
+    selects for each multiversed function the variant whose guards match,
+    and installs it: every recorded call site is retargeted (or, when the
+    body fits, the body is inlined in place of the call — empty bodies
+    become pure nops), and the generic prologue is overwritten with a jump
+    to the variant so that calls the compiler never saw (function pointers,
+    foreign code) land in the bound variant too.  If no variant matches,
+    the function reverts to its generic body and the situation is signalled
+    through {!fallbacks}.
+
+    Like the paper's library, no synchronization is performed: the caller
+    guarantees a patchable state (Section 2).
+
+    Note on signedness: descriptors record declared signedness, but
+    sub-word switch values are evaluated zero-extended (matching the
+    machine's sub-word loads); use 8-byte switches for negative domains. *)
+
+type site_state =
+  | Site_original
+  | Site_retargeted of int  (** direct call to this variant address *)
+  | Site_inlined of int  (** body of this variant inlined into the site *)
+
+(** One patchable call site.  [s_size] is the call instruction plus any
+    pristine nop padding the compiler emitted ([callsite_padding]). *)
+type site = {
+  s_addr : int;
+  s_size : int;
+  s_original : bytes;
+  mutable s_state : site_state;
+  mutable s_written : bytes;  (** what the runtime believes the site holds *)
+}
+
+type fn_entry = {
+  fe_name : string;
+  fe_record : Descriptor.function_record;
+  fe_sites : site list;
+  mutable fe_prologue : bytes option;  (** saved generic prologue bytes *)
+  mutable fe_saved_body : bytes option;  (** saved body (body patching) *)
+  mutable fe_installed : int option;  (** installed variant address *)
+}
+
+type fnptr_entry = {
+  fp_name : string;
+  fp_var : Descriptor.variable;
+  fp_sites : site list;
+  mutable fp_committed : int option;
+}
+
+type t = {
+  image : Mv_link.Image.t;
+  patch : Patch.t;
+  variables : Descriptor.variable list;
+  functions : fn_entry list;
+  fnptrs : fnptr_entry list;
+  mutable fallbacks : string list;
+  mutable skipped_sites : (int * string) list;
+  mutable inline_enabled : bool;
+  mutable strategy : strategy;
+}
+
+(** Variant installation strategy.  [Call_site_patching] is the paper's
+    design; [Body_patching] is the Section 7.1 alternative: the relocated
+    variant body overwrites the generic body — one patch per function, no
+    call-site inlining, prologue-jump fallback when the variant does not
+    fit. *)
+and strategy = Call_site_patching | Body_patching
+
+exception Runtime_error of string
+
+(** Attach a runtime to a linked image by parsing its descriptor sections.
+    [flush] receives every patched range (wire it to the machine's
+    instruction-cache flush). *)
+val create : Mv_link.Image.t -> flush:(addr:int -> len:int -> unit) -> t
+
+(** Disable/enable call-site body inlining (ablation A3). *)
+val set_inlining : t -> bool -> unit
+
+(** Switch the installation strategy (ablation A4).  Raises
+    {!Runtime_error} while anything is installed — revert first. *)
+val set_strategy : t -> strategy -> unit
+
+(** Current value of the switch whose descriptor address is given. *)
+val read_switch : t -> int -> int
+
+(** {1 The Table 1 API}
+
+    All functions return a count like the paper's [int] results: the number
+    of entities bound (or reverted), or [-1] when the argument does not name
+    a multiversed entity. *)
+
+(** [multiverse_commit()]: bind everything to the current switch values. *)
+val commit : t -> int
+
+(** [multiverse_revert()]: restore the whole image to its unpatched
+    state. *)
+val revert : t -> int
+
+(** [multiverse_commit_func(&fn)] / [multiverse_revert_func(&fn)], by
+    symbol name or by address. *)
+val commit_func : t -> string -> int
+
+val revert_func : t -> string -> int
+val commit_func_addr : t -> int -> int
+val revert_func_addr : t -> int -> int
+
+(** [multiverse_commit_refs(&var)] / [multiverse_revert_refs(&var)]:
+    (re)bind every function whose variants guard on the switch, and the
+    switch itself when it is a function pointer. *)
+val commit_refs : t -> string -> int
+
+val revert_refs : t -> string -> int
+val commit_refs_addr : t -> int -> int
+val revert_refs_addr : t -> int -> int
+
+(** {1 Introspection} *)
+
+(** Functions left generic by the last commit because no variant matched
+    the switch values (the Figure 3d signal). *)
+val fallbacks : t -> string list
+
+(** Call sites skipped because their bytes were not what the runtime last
+    wrote there — some other mechanism owns them (with the reason). *)
+val skipped_sites : t -> (int * string) list
+
+(** Symbol of the variant currently installed for the named function. *)
+val installed_variant : t -> string -> string option
+
+type stats = {
+  st_functions : int;
+  st_variants : int;
+  st_callsites : int;
+  st_sites_inlined : int;
+  st_sites_retargeted : int;
+  st_patches : int;
+  st_bytes_patched : int;
+}
+
+val stats : t -> stats

@@ -1,0 +1,86 @@
+(* Size accounting for Section 5 of the paper:
+
+   "For the descriptors, we add 32 bytes for every configuration switch,
+    16 bytes for every call site, and 48 + #variants * (32 + #guards * 16)
+    bytes per multiversed function to the binary."
+
+   These formulas are checked against the actual section sizes of the built
+   image — they hold by construction because [Descriptor] uses exactly those
+   record layouts. *)
+
+module Objfile = Mv_codegen.Objfile
+module Image = Mv_link.Image
+
+type section_sizes = {
+  sz_text : int;
+  sz_data : int;
+  sz_variables : int;
+  sz_functions : int;
+  sz_callsites : int;
+}
+
+let section_sizes (img : Image.t) : section_sizes =
+  let size sec =
+    match Image.section_range img sec with
+    | Some r -> r.Image.sr_size
+    | None -> 0
+  in
+  {
+    sz_text = size Objfile.Text;
+    sz_data = size Objfile.Data;
+    sz_variables = size Objfile.Mv_variables;
+    sz_functions = size Objfile.Mv_functions;
+    sz_callsites = size Objfile.Mv_callsites;
+  }
+
+let descriptor_overhead (s : section_sizes) = s.sz_variables + s.sz_functions + s.sz_callsites
+
+(** The paper's per-function descriptor formula. *)
+let function_record_bytes ~variants ~total_guards =
+  48 + (variants * 32) + (total_guards * 16)
+
+type program_stats = {
+  ps_sections : section_sizes;
+  ps_switches : int;
+  ps_mv_functions : int;
+  ps_variants : int;  (** descriptor records across all functions *)
+  ps_callsites : int;
+  ps_text_in_variants : int;  (** bytes of text occupied by variant bodies *)
+}
+
+let of_program (p : Compiler.program) : program_stats =
+  let img = p.Compiler.p_image in
+  let sections = section_sizes img in
+  let variables = Descriptor.parse_variables img in
+  let functions = Descriptor.parse_functions img in
+  let callsites = Descriptor.parse_callsites img in
+  let variants =
+    List.fold_left
+      (fun acc (f : Descriptor.function_record) -> acc + List.length f.fd_variants)
+      0 functions
+  in
+  let text_in_variants =
+    List.fold_left
+      (fun acc (f : Descriptor.function_record) ->
+        List.fold_left
+          (fun acc (v : Descriptor.variant_record) -> acc + v.va_size)
+          acc
+          (List.sort_uniq compare f.fd_variants))
+      0 functions
+  in
+  {
+    ps_sections = sections;
+    ps_switches = List.length variables;
+    ps_mv_functions = List.length functions;
+    ps_variants = variants;
+    ps_callsites = List.length callsites;
+    ps_text_in_variants = text_in_variants;
+  }
+
+let pp fmt (s : program_stats) =
+  Format.fprintf fmt
+    "@[<v>text                 %8d B@,data                 %8d B@,multiverse.variables %8d B (%d switches)@,multiverse.functions %8d B (%d functions, %d variant records)@,multiverse.callsites %8d B (%d call sites)@,variant text         %8d B@,descriptor overhead  %8d B@]"
+    s.ps_sections.sz_text s.ps_sections.sz_data s.ps_sections.sz_variables s.ps_switches
+    s.ps_sections.sz_functions s.ps_mv_functions s.ps_variants s.ps_sections.sz_callsites
+    s.ps_callsites s.ps_text_in_variants
+    (descriptor_overhead s.ps_sections)

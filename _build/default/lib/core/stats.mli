@@ -1,0 +1,31 @@
+(** Size accounting for the paper's Section 5 scalars: descriptor bytes
+    (32 B per switch, 16 B per call site, [48 + #v*(32 + #g*16)] B per
+    function) and the text occupied by variant bodies. *)
+
+type section_sizes = {
+  sz_text : int;
+  sz_data : int;
+  sz_variables : int;
+  sz_functions : int;
+  sz_callsites : int;
+}
+
+val section_sizes : Mv_link.Image.t -> section_sizes
+
+(** Total bytes of the three descriptor sections. *)
+val descriptor_overhead : section_sizes -> int
+
+(** The paper's per-function descriptor formula. *)
+val function_record_bytes : variants:int -> total_guards:int -> int
+
+type program_stats = {
+  ps_sections : section_sizes;
+  ps_switches : int;
+  ps_mv_functions : int;
+  ps_variants : int;  (** descriptor records across all functions *)
+  ps_callsites : int;
+  ps_text_in_variants : int;  (** text bytes occupied by variant bodies *)
+}
+
+val of_program : Compiler.program -> program_stats
+val pp : Format.formatter -> program_stats -> unit

@@ -1,0 +1,57 @@
+(** Ahead-of-time variant generation — the compiler-plugin half of
+    multiverse (paper Section 3).
+
+    For every function carrying the [multiverse] attribute the generator
+    clones the IR body once per assignment of the referenced configuration
+    switches, substitutes the assigned constants for the switch reads
+    {e before} optimization, optimizes each clone, and merges clones whose
+    bodies become structurally equal.  The generic body is optimized too but
+    never inlined, and remains the fallback for out-of-domain values. *)
+
+(** One (possibly merged) specialized variant. *)
+type variant = {
+  v_symbol : string;
+      (** variant symbol, e.g. ["multi.A=1.B=01"] for a merged variant *)
+  v_fn : Mv_ir.Ir.fn;  (** the specialized, optimized body *)
+  v_guards : Guard.t list;
+      (** guard boxes covering the assignments; one descriptor record is
+          emitted per box *)
+  v_assignments : (string * int) list list;  (** the assignments covered *)
+}
+
+(** Generation result for one multiversed function. *)
+type mv_function = {
+  mf_name : string;  (** the generic function's symbol *)
+  mf_switches : string list;  (** bound switches, sorted by name *)
+  mf_variants : variant list;
+}
+
+type result = {
+  r_prog : Mv_ir.Ir.prog;  (** input program with variants appended *)
+  r_functions : mv_function list;
+  r_warnings : string list;
+}
+
+(** Cap on the assignment cross product per function (default 128); beyond
+    it only the generic variant is kept and a warning points the developer
+    at [values(..)]/[bind(..)] — the paper's answer to variant explosion
+    (Section 7.1). *)
+val default_max_variants : int
+
+(** The multiverse switches visible to a translation unit (defined or
+    declared [extern multiverse]). *)
+val switch_globals : Mv_ir.Ir.prog -> (string * Mv_ir.Ir.global) list
+
+(** Replace every read of the assigned switches in [fn] with the assigned
+    constant (in place). *)
+val bind_switches : Mv_ir.Ir.fn -> (string * int) list -> unit
+
+(** Symbol name for a variant covering [assignments] of [switches]:
+    per-variable value lists are concatenated ("B=01") when single-digit,
+    comma-joined otherwise. *)
+val variant_symbol : string -> string list -> (string * int) list list -> string
+
+(** Run variant generation over a translation unit.  Generic functions are
+    optimized in place; variant functions are appended to the returned
+    program so the back end emits them like ordinary code. *)
+val generate : ?max_variants:int -> Mv_ir.Ir.prog -> result

@@ -1,0 +1,1 @@
+lib/ir/interp.ml: Array Bytes Char Hashtbl Int32 Int64 Ir List Minic Option Printf

@@ -1,0 +1,1 @@
+lib/ir/lower.ml: Format Ir List Map Minic Option String

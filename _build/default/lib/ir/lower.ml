@@ -1,0 +1,485 @@
+(* Lowering from the Mini-C AST to the IR.  Short-circuit operators and the
+   conditional expression become control flow; local variables become virtual
+   registers; reads and writes of globals become [Iloadg]/[Istoreg] so that
+   the multiverse variant generator can later substitute constants for
+   configuration-switch reads. *)
+
+module Ast = Minic.Ast
+module Tc = Minic.Typecheck
+
+exception Error of string * Ast.loc
+
+let err loc fmt = Format.kasprintf (fun m -> raise (Error (m, loc))) fmt
+
+module Smap = Map.Make (String)
+module Esmap = Tc.Smap
+
+type ctx = {
+  env : Tc.env;
+  mutable blocks : Ir.block list;  (** reverse order *)
+  mutable cur : Ir.block option;
+  mutable next_block : int;
+  mutable next_reg : int;
+  mutable locals : Ir.reg Smap.t list;
+  mutable loops : (int option * int) list;
+      (** (continue target if any, break target); a [switch] pushes an entry
+          with no continue target of its own *)
+}
+
+let fresh_reg ctx =
+  let r = ctx.next_reg in
+  ctx.next_reg <- r + 1;
+  r
+
+let fresh_block ctx =
+  let id = ctx.next_block in
+  ctx.next_block <- id + 1;
+  id
+
+(** Begin emitting into block [id]. *)
+let start_block ctx id =
+  assert (ctx.cur = None);
+  ctx.cur <- Some { Ir.b_id = id; b_instrs = []; b_term = Ir.Tret None }
+
+let rec emit ctx i =
+  match ctx.cur with
+  | Some b -> b.b_instrs <- i :: b.b_instrs
+  | None ->
+      (* unreachable code (e.g. after a return): emit into a throwaway block *)
+      start_block ctx (fresh_block ctx);
+      emit ctx i
+
+let finish ctx term =
+  match ctx.cur with
+  | Some b ->
+      b.b_instrs <- List.rev b.b_instrs;
+      b.b_term <- term;
+      ctx.blocks <- b :: ctx.blocks;
+      ctx.cur <- None
+  | None -> ()
+
+let push_scope ctx = ctx.locals <- Smap.empty :: ctx.locals
+
+let pop_scope ctx =
+  match ctx.locals with
+  | _ :: rest -> ctx.locals <- rest
+  | [] -> invalid_arg "pop_scope"
+
+let add_local ctx name r =
+  match ctx.locals with
+  | scope :: rest -> ctx.locals <- Smap.add name r scope :: rest
+  | [] -> invalid_arg "add_local"
+
+let find_local ctx name = List.find_map (fun s -> Smap.find_opt name s) ctx.locals
+
+let global_info ctx name = Esmap.find_opt name ctx.env.Tc.globals
+
+let global_width ctx name =
+  match global_info ctx name with
+  | Some gi -> Ast.ty_width gi.Tc.gi_ty
+  | None -> 8
+
+let is_fnptr_global ctx name =
+  match global_info ctx name with
+  | Some gi -> gi.Tc.gi_ty = Ast.Tfnptr
+  | None -> false
+
+let is_array_global ctx name =
+  match global_info ctx name with
+  | Some gi -> gi.Tc.gi_array <> None
+  | None -> false
+
+(* ------------------------------------------------------------------ *)
+(* Expressions                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let rec lower_expr ctx (e : Ast.expr) : Ir.operand =
+  match e.edesc with
+  | Ast.Eint n -> Ir.Imm n
+  | Ast.Evar name -> (
+      match find_local ctx name with
+      | Some r -> Ir.Reg r
+      | None ->
+          let r = fresh_reg ctx in
+          if is_array_global ctx name then begin
+            (* arrays decay to their base address *)
+            emit ctx (Ir.Iaddr (r, name));
+            Ir.Reg r
+          end
+          else begin
+            emit ctx (Ir.Iloadg (r, name, global_width ctx name));
+            Ir.Reg r
+          end)
+  | Ast.Eunop (op, a) ->
+      let a = lower_expr ctx a in
+      let r = fresh_reg ctx in
+      let op =
+        match op with Ast.Neg -> Ir.Neg | Ast.Lnot -> Ir.Lnot | Ast.Bnot -> Ir.Bnot
+      in
+      emit ctx (Ir.Iun (op, r, a));
+      Ir.Reg r
+  | Ast.Ebinop (Ast.Land, a, b) -> lower_short_circuit ctx ~is_and:true a b
+  | Ast.Ebinop (Ast.Lor, a, b) -> lower_short_circuit ctx ~is_and:false a b
+  | Ast.Ebinop (op, a, b) ->
+      let a = lower_expr ctx a in
+      let b = lower_expr ctx b in
+      let r = fresh_reg ctx in
+      emit ctx (Ir.Ibin (lower_binop e.eloc op, r, a, b));
+      Ir.Reg r
+  | Ast.Econd (c, a, b) ->
+      let r = fresh_reg ctx in
+      let c = lower_expr ctx c in
+      let bb_t = fresh_block ctx and bb_f = fresh_block ctx and bb_j = fresh_block ctx in
+      finish ctx (Ir.Tbr (c, bb_t, bb_f));
+      start_block ctx bb_t;
+      let va = lower_expr ctx a in
+      emit ctx (Ir.Imov (r, va));
+      finish ctx (Ir.Tjmp bb_j);
+      start_block ctx bb_f;
+      let vb = lower_expr ctx b in
+      emit ctx (Ir.Imov (r, vb));
+      finish ctx (Ir.Tjmp bb_j);
+      start_block ctx bb_j;
+      Ir.Reg r
+  | Ast.Ecall (name, args) ->
+      let args = List.map (lower_expr ctx) args in
+      if is_fnptr_global ctx name then begin
+        let r = fresh_reg ctx in
+        emit ctx (Ir.Icallp (Some r, name, args));
+        Ir.Reg r
+      end
+      else begin
+        let has_result =
+          match Esmap.find_opt name ctx.env.Tc.funcs with
+          | Some fi -> fi.Tc.fi_ret <> Ast.Tvoid
+          | None -> true
+        in
+        if has_result then begin
+          let r = fresh_reg ctx in
+          emit ctx (Ir.Icall (Some r, name, args));
+          Ir.Reg r
+        end
+        else begin
+          emit ctx (Ir.Icall (None, name, args));
+          Ir.Imm 0
+        end
+      end
+  | Ast.Eintrinsic (i, args) ->
+      let args = List.map (lower_expr ctx) args in
+      if Ast.intrinsic_has_result i then begin
+        let r = fresh_reg ctx in
+        emit ctx (Ir.Iintr (Some r, i, args));
+        Ir.Reg r
+      end
+      else begin
+        emit ctx (Ir.Iintr (None, i, args));
+        Ir.Imm 0
+      end
+  | Ast.Eindex (a, i) ->
+      let addr, width = lower_element_addr ctx a i in
+      let r = fresh_reg ctx in
+      emit ctx (Ir.Iload (r, addr, width));
+      Ir.Reg r
+  | Ast.Ederef p ->
+      let p = lower_expr ctx p in
+      let r = fresh_reg ctx in
+      emit ctx (Ir.Iload (r, p, 8));
+      Ir.Reg r
+  | Ast.Ederefw (w, p) ->
+      let p = lower_expr ctx p in
+      let r = fresh_reg ctx in
+      emit ctx (Ir.Iload (r, p, w));
+      Ir.Reg r
+  | Ast.Eaddr_of_fun name | Ast.Eaddr_of_var name ->
+      let r = fresh_reg ctx in
+      emit ctx (Ir.Iaddr (r, name));
+      Ir.Reg r
+
+and lower_binop loc = function
+  | Ast.Add -> Ir.Add | Ast.Sub -> Ir.Sub | Ast.Mul -> Ir.Mul
+  | Ast.Div -> Ir.Div | Ast.Mod -> Ir.Mod | Ast.Band -> Ir.Band
+  | Ast.Bor -> Ir.Bor | Ast.Bxor -> Ir.Bxor | Ast.Shl -> Ir.Shl
+  | Ast.Shr -> Ir.Shr | Ast.Eq -> Ir.Eq | Ast.Ne -> Ir.Ne
+  | Ast.Lt -> Ir.Lt | Ast.Le -> Ir.Le | Ast.Gt -> Ir.Gt | Ast.Ge -> Ir.Ge
+  | Ast.Land | Ast.Lor -> err loc "short-circuit operator not lowered"
+
+and lower_short_circuit ctx ~is_and a b =
+  let r = fresh_reg ctx in
+  let va = lower_expr ctx a in
+  let bb_rhs = fresh_block ctx and bb_skip = fresh_block ctx and bb_j = fresh_block ctx in
+  if is_and then finish ctx (Ir.Tbr (va, bb_rhs, bb_skip))
+  else finish ctx (Ir.Tbr (va, bb_skip, bb_rhs));
+  start_block ctx bb_rhs;
+  let vb = lower_expr ctx b in
+  emit ctx (Ir.Ibin (Ir.Ne, r, vb, Ir.Imm 0));
+  finish ctx (Ir.Tjmp bb_j);
+  start_block ctx bb_skip;
+  emit ctx (Ir.Imov (r, Ir.Imm (if is_and then 0 else 1)));
+  finish ctx (Ir.Tjmp bb_j);
+  start_block ctx bb_j;
+  Ir.Reg r
+
+(** Compute the address and element width for [a[i]]. *)
+and lower_element_addr ctx (a : Ast.expr) (i : Ast.expr) : Ir.operand * int =
+  let base, width =
+    match a.edesc with
+    | Ast.Evar name when find_local ctx name = None && is_array_global ctx name ->
+        let r = fresh_reg ctx in
+        emit ctx (Ir.Iaddr (r, name));
+        (Ir.Reg r, global_width ctx name)
+    | _ -> (lower_expr ctx a, 8)
+  in
+  let idx = lower_expr ctx i in
+  let scaled =
+    match idx, width with
+    | Ir.Imm n, w -> Ir.Imm (n * w)
+    | Ir.Reg _, 1 -> idx
+    | Ir.Reg _, w ->
+        let r = fresh_reg ctx in
+        emit ctx (Ir.Ibin (Ir.Mul, r, idx, Ir.Imm w));
+        Ir.Reg r
+  in
+  let addr = fresh_reg ctx in
+  emit ctx (Ir.Ibin (Ir.Add, addr, base, scaled));
+  (Ir.Reg addr, width)
+
+(* ------------------------------------------------------------------ *)
+(* Statements                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let rec lower_stmt ctx (s : Ast.stmt) =
+  match s.sdesc with
+  | Ast.Sdecl (name, _ty, init) ->
+      let r = fresh_reg ctx in
+      (match init with
+      | Some e ->
+          let v = lower_expr ctx e in
+          emit ctx (Ir.Imov (r, v))
+      | None -> emit ctx (Ir.Imov (r, Ir.Imm 0)));
+      add_local ctx name r
+  | Ast.Sassign (Ast.Lvar name, e) -> (
+      let v = lower_expr ctx e in
+      match find_local ctx name with
+      | Some r -> emit ctx (Ir.Imov (r, v))
+      | None -> emit ctx (Ir.Istoreg (name, v, global_width ctx name)))
+  | Ast.Sassign (Ast.Lindex (a, i), e) ->
+      let addr, width = lower_element_addr ctx a i in
+      let v = lower_expr ctx e in
+      emit ctx (Ir.Istore (addr, v, width))
+  | Ast.Sassign (Ast.Lderef p, e) ->
+      let p = lower_expr ctx p in
+      let v = lower_expr ctx e in
+      emit ctx (Ir.Istore (p, v, 8))
+  | Ast.Sassign (Ast.Lderefw (w, p), e) ->
+      let p = lower_expr ctx p in
+      let v = lower_expr ctx e in
+      emit ctx (Ir.Istore (p, v, w))
+  | Ast.Sif (c, then_, else_) ->
+      let vc = lower_expr ctx c in
+      let bb_t = fresh_block ctx and bb_j = fresh_block ctx in
+      let bb_f = if else_ = [] then bb_j else fresh_block ctx in
+      finish ctx (Ir.Tbr (vc, bb_t, bb_f));
+      start_block ctx bb_t;
+      lower_block ctx then_;
+      finish ctx (Ir.Tjmp bb_j);
+      if else_ <> [] then begin
+        start_block ctx bb_f;
+        lower_block ctx else_;
+        finish ctx (Ir.Tjmp bb_j)
+      end;
+      start_block ctx bb_j
+  | Ast.Swhile (c, body) ->
+      let bb_cond = fresh_block ctx and bb_body = fresh_block ctx in
+      let bb_exit = fresh_block ctx in
+      finish ctx (Ir.Tjmp bb_cond);
+      start_block ctx bb_cond;
+      let vc = lower_expr ctx c in
+      finish ctx (Ir.Tbr (vc, bb_body, bb_exit));
+      start_block ctx bb_body;
+      ctx.loops <- (Some bb_cond, bb_exit) :: ctx.loops;
+      lower_block ctx body;
+      ctx.loops <- List.tl ctx.loops;
+      finish ctx (Ir.Tjmp bb_cond);
+      start_block ctx bb_exit
+  | Ast.Sdo_while (body, c) ->
+      let bb_body = fresh_block ctx and bb_cond = fresh_block ctx in
+      let bb_exit = fresh_block ctx in
+      finish ctx (Ir.Tjmp bb_body);
+      start_block ctx bb_body;
+      ctx.loops <- (Some bb_cond, bb_exit) :: ctx.loops;
+      lower_block ctx body;
+      ctx.loops <- List.tl ctx.loops;
+      finish ctx (Ir.Tjmp bb_cond);
+      start_block ctx bb_cond;
+      let vc = lower_expr ctx c in
+      finish ctx (Ir.Tbr (vc, bb_body, bb_exit));
+      start_block ctx bb_exit
+  | Ast.Sfor (init, cond, step, body) ->
+      push_scope ctx;
+      Option.iter (lower_stmt ctx) init;
+      let bb_cond = fresh_block ctx and bb_body = fresh_block ctx in
+      let bb_step = fresh_block ctx and bb_exit = fresh_block ctx in
+      finish ctx (Ir.Tjmp bb_cond);
+      start_block ctx bb_cond;
+      (match cond with
+      | Some c ->
+          let vc = lower_expr ctx c in
+          finish ctx (Ir.Tbr (vc, bb_body, bb_exit))
+      | None -> finish ctx (Ir.Tjmp bb_body));
+      start_block ctx bb_body;
+      ctx.loops <- (Some bb_step, bb_exit) :: ctx.loops;
+      lower_block ctx body;
+      ctx.loops <- List.tl ctx.loops;
+      finish ctx (Ir.Tjmp bb_step);
+      start_block ctx bb_step;
+      Option.iter (lower_stmt ctx) step;
+      finish ctx (Ir.Tjmp bb_cond);
+      pop_scope ctx;
+      start_block ctx bb_exit
+  | Ast.Sreturn e ->
+      let v = Option.map (lower_expr ctx) e in
+      finish ctx (Ir.Tret v)
+  | Ast.Sexpr e ->
+      let (_ : Ir.operand) = lower_expr ctx e in
+      ()
+  | Ast.Sbreak -> (
+      match ctx.loops with
+      | (_, bb_exit) :: _ -> finish ctx (Ir.Tjmp bb_exit)
+      | [] -> err s.sloc "break outside of loop or switch")
+  | Ast.Scontinue -> (
+      (* continue skips enclosing switches and targets the nearest loop *)
+      match List.find_opt (fun (cont, _) -> cont <> None) ctx.loops with
+      | Some (Some bb_cont, _) -> finish ctx (Ir.Tjmp bb_cont)
+      | Some (None, _) | None -> err s.sloc "continue outside of loop")
+  | Ast.Sblock body -> lower_block ctx body
+  | Ast.Sswitch (scrutinee, cases, default) ->
+      (* a sequential test chain, as a compiler emits for sparse labels:
+         each case group tests its labels against the scrutinee value and
+         falls through to the next group; bodies exit to bb_exit.  There is
+         no C fall-through between bodies (each body is closed). *)
+      let v = lower_expr ctx scrutinee in
+      (* pin the scrutinee in a register: case tests evaluate it repeatedly *)
+      let r = fresh_reg ctx in
+      emit ctx (Ir.Imov (r, v));
+      let bb_exit = fresh_block ctx in
+      ctx.loops <- (None, bb_exit) :: ctx.loops;
+      let lower_group (labels, body) =
+        let bb_body = fresh_block ctx and bb_next = fresh_block ctx in
+        let rec test = function
+          | [] -> finish ctx (Ir.Tjmp bb_next)
+          | label :: rest ->
+              let t = fresh_reg ctx in
+              emit ctx (Ir.Ibin (Ir.Eq, t, Ir.Reg r, Ir.Imm label));
+              if rest = [] then finish ctx (Ir.Tbr (Ir.Reg t, bb_body, bb_next))
+              else begin
+                let bb_more = fresh_block ctx in
+                finish ctx (Ir.Tbr (Ir.Reg t, bb_body, bb_more));
+                start_block ctx bb_more;
+                test rest
+              end
+        in
+        test labels;
+        start_block ctx bb_body;
+        lower_block ctx body;
+        finish ctx (Ir.Tjmp bb_exit);
+        start_block ctx bb_next
+      in
+      List.iter lower_group cases;
+      (match default with
+      | Some body -> lower_block ctx body
+      | None -> ());
+      ctx.loops <- List.tl ctx.loops;
+      finish ctx (Ir.Tjmp bb_exit);
+      start_block ctx bb_exit
+
+and lower_block ctx body =
+  push_scope ctx;
+  List.iter (lower_stmt ctx) body;
+  pop_scope ctx
+
+(* ------------------------------------------------------------------ *)
+(* Top level                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let lower_fn env (f : Ast.func) body : Ir.fn =
+  let ctx =
+    { env; blocks = []; cur = None; next_block = 0; next_reg = 0; locals = [];
+      loops = [] }
+  in
+  let entry = fresh_block ctx in
+  push_scope ctx;
+  let params =
+    List.map
+      (fun (name, _ty) ->
+        let r = fresh_reg ctx in
+        add_local ctx name r;
+        r)
+      f.f_params
+  in
+  start_block ctx entry;
+  lower_block ctx body;
+  (* fall-through return for functions whose control reaches the end *)
+  finish ctx (Ir.Tret (if f.f_ret = Ast.Tvoid then None else Some (Ir.Imm 0)));
+  pop_scope ctx;
+  let blocks =
+    List.sort (fun a b -> compare a.Ir.b_id b.Ir.b_id) (List.rev ctx.blocks)
+  in
+  {
+    Ir.fn_name = f.f_name;
+    fn_params = params;
+    fn_blocks = blocks;
+    fn_nregs = ctx.next_reg;
+    fn_noinline = Ast.is_noinline f.f_attrs || Ast.is_multiversed f.f_attrs;
+    fn_conv = (if Ast.is_saveall f.f_attrs then Ir.Saveall else Ir.Standard);
+    fn_multiverse = Ast.is_multiversed f.f_attrs;
+    fn_bind = Ast.attr_bind f.f_attrs;
+  }
+
+let lower_global env (g : Ast.global) : Ir.global =
+  let enum_items =
+    match g.g_ty with
+    | Ast.Tenum e ->
+        Option.map (List.map snd) (Esmap.find_opt e env.Tc.enums)
+    | _ -> None
+  in
+  {
+    Ir.gl_name = g.g_name;
+    gl_width = Ast.ty_width g.g_ty;
+    gl_signed = Ast.ty_signed g.g_ty;
+    gl_count = Option.value g.g_array ~default:1;
+    gl_init = g.g_init;
+    gl_fn_init = g.g_fn_init;
+    gl_multiverse = Ast.is_multiversed g.g_attrs;
+    gl_values = Ast.attr_values g.g_attrs;
+    gl_is_fnptr = g.g_ty = Ast.Tfnptr;
+    gl_enum_items = enum_items;
+  }
+
+(** Lower a checked translation unit. *)
+let lower_tunit (tu : Ast.tunit) (env : Tc.env) : Ir.prog =
+  let globals = ref [] and fns = ref [] in
+  let extern_fns = ref [] and extern_globals = ref [] in
+  List.iter
+    (fun decl ->
+      match decl with
+      | Ast.Denum _ -> ()
+      | Ast.Dglobal g ->
+          if g.g_extern then extern_globals := lower_global env g :: !extern_globals
+          else globals := lower_global env g :: !globals
+      | Ast.Dfunc f -> (
+          match f.f_body with
+          | Some body -> fns := lower_fn env f body :: !fns
+          | None ->
+              extern_fns := (f.f_name, Ast.is_multiversed f.f_attrs) :: !extern_fns))
+    tu;
+  {
+    Ir.p_globals = List.rev !globals;
+    p_fns = List.rev !fns;
+    p_extern_fns = List.rev !extern_fns;
+    p_extern_globals = List.rev !extern_globals;
+  }
+
+(** Front-end convenience: source text to IR (raises on errors). *)
+let lower_string src =
+  let tu, env, warnings = Tc.check_string src in
+  (lower_tunit tu env, warnings)

@@ -1,0 +1,23 @@
+(** Lowering from the Mini-C AST to the IR.
+
+    Short-circuit operators and conditional expressions become control
+    flow, locals become virtual registers, and global accesses become
+    [Iloadg]/[Istoreg] — keeping switch reads visible as the substitution
+    points for multiverse variant generation (paper Section 3). *)
+
+exception Error of string * Minic.Ast.loc
+
+(** Lower one function body.  [env] resolves globals, functions and enum
+    constants. *)
+val lower_fn :
+  Minic.Typecheck.env -> Minic.Ast.func -> Minic.Ast.stmt list -> Ir.fn
+
+val lower_global : Minic.Typecheck.env -> Minic.Ast.global -> Ir.global
+
+(** Lower a checked translation unit. *)
+val lower_tunit : Minic.Ast.tunit -> Minic.Typecheck.env -> Ir.prog
+
+(** Front end in one step: parse, typecheck, lower.  Returns the program
+    and the front-end warnings.  Raises the front-end exceptions on
+    errors. *)
+val lower_string : string -> Ir.prog * Minic.Typecheck.diagnostic list

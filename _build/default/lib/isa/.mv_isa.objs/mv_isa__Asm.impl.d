@@ -1,0 +1,1 @@
+lib/isa/asm.ml: Buffer Bytes Char Decode Format Insn Printf

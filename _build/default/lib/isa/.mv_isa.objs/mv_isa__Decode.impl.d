@@ -1,0 +1,1 @@
+lib/isa/decode.ml: Bytes Char Insn Int32 Int64 List Printf

@@ -1,0 +1,1 @@
+lib/isa/encode.ml: Array Bytes Char Insn Int32 Int64 List Printf

@@ -1,0 +1,11 @@
+(** Disassembler / pretty-printer for the virtual ISA. *)
+
+val pp_insn : Format.formatter -> Insn.t -> unit
+val insn_to_string : Insn.t -> string
+
+(** Disassemble [len] bytes at [off].  pc-relative targets are annotated
+    with their absolute address and, via [resolve], a symbol name.
+    Undecodable bytes (e.g. residue after a patched-over prologue) stop the
+    listing gracefully. *)
+val disassemble :
+  ?resolve:(int -> string option) -> Bytes.t -> off:int -> len:int -> string

@@ -1,0 +1,76 @@
+(* Binary decoder for the virtual ISA; the inverse of [Encode.encode].
+   The machine simulator decodes through a cache that models the instruction
+   cache: after the runtime patches the text segment it must flush the
+   affected range or the machine keeps executing the stale decoding. *)
+
+exception Decode_error of string * int  (** message, offset *)
+
+let err off fmt = Printf.ksprintf (fun m -> raise (Decode_error (m, off))) fmt
+
+let get_i32 b off = Int32.to_int (Bytes.get_int32_le b off)
+let get_u32 b off = Int32.to_int (Bytes.get_int32_le b off) land 0xFFFF_FFFF
+let get_i64 b off = Int64.to_int (Bytes.get_int64_le b off)
+
+let get_reg b off pos =
+  let r = Char.code (Bytes.get b (off + pos)) in
+  if r >= Insn.num_regs then err off "bad register byte %d" r;
+  r
+
+let get_width b off pos =
+  match Char.code (Bytes.get b (off + pos)) with
+  | (1 | 2 | 4 | 8) as w -> w
+  | w -> err off "bad width byte %d" w
+
+(** Decode the instruction at [off]; returns it with its size. *)
+let decode (b : Bytes.t) ~off : Insn.t * int =
+  if off < 0 || off >= Bytes.length b then err off "decode out of bounds";
+  let opc = Char.code (Bytes.get b off) in
+  let insn =
+    match opc with
+    | 0x01 -> Insn.Mov_ri (get_reg b off 1, get_i64 b (off + 2))
+    | 0x1B -> Insn.Mov_ri32 (get_reg b off 1, get_i32 b (off + 2))
+    | 0x02 -> Insn.Mov_rr (get_reg b off 1, get_reg b off 2)
+    | 0x03 ->
+        let op = Insn.alu_of_code (Char.code (Bytes.get b (off + 1))) in
+        Insn.Alu (op, get_reg b off 2, get_reg b off 3, get_reg b off 4)
+    | 0x04 ->
+        let op = Insn.alu_of_code (Char.code (Bytes.get b (off + 1))) in
+        Insn.Alu_ri (op, get_reg b off 2, get_reg b off 3, get_i32 b (off + 4))
+    | 0x05 ->
+        let op = Insn.unop_of_code (Char.code (Bytes.get b (off + 1))) in
+        Insn.Un (op, get_reg b off 2, get_reg b off 3)
+    | 0x06 -> Insn.Load (get_reg b off 1, get_reg b off 2, get_i32 b (off + 3), get_width b off 7)
+    | 0x07 -> Insn.Store (get_reg b off 1, get_i32 b (off + 2), get_reg b off 6, get_width b off 7)
+    | 0x08 -> Insn.Loadg (get_reg b off 1, get_u32 b (off + 2), get_width b off 6)
+    | 0x09 -> Insn.Storeg (get_u32 b (off + 1), get_reg b off 5, get_width b off 6)
+    | 0x0A -> Insn.Lea (get_reg b off 1, get_i64 b (off + 2))
+    | 0x0B -> Insn.Call (get_i32 b (off + 1))
+    | 0x0C -> Insn.Call_ind (get_u32 b (off + 1))
+    | 0x0D -> Insn.Jmp (get_i32 b (off + 1))
+    | 0x0E -> Insn.Jnz (get_reg b off 1, get_i32 b (off + 2))
+    | 0x0F -> Insn.Jz (get_reg b off 1, get_i32 b (off + 2))
+    | 0x10 -> Insn.Ret
+    | 0x11 -> Insn.Push (get_reg b off 1)
+    | 0x12 -> Insn.Pop (get_reg b off 1)
+    | 0x13 -> Insn.Cli
+    | 0x14 -> Insn.Sti
+    | 0x15 -> Insn.Pause
+    | 0x16 -> Insn.Fence
+    | 0x17 -> Insn.Xchg (get_reg b off 1, get_reg b off 2, get_reg b off 3)
+    | 0x18 -> Insn.Hypercall (Char.code (Bytes.get b (off + 1)))
+    | 0x19 -> Insn.Rdtsc (get_reg b off 1)
+    | 0x1A -> Insn.Halt
+    | 0x90 -> Insn.Nop
+    | opc -> err off "unknown opcode 0x%02x" opc
+  in
+  (insn, Insn.size insn)
+
+(** Decode a whole range into an instruction listing (offset, insn). *)
+let decode_range (b : Bytes.t) ~off ~len : (int * Insn.t) list =
+  let rec go pos acc =
+    if pos >= off + len then List.rev acc
+    else
+      let insn, size = decode b ~off:pos in
+      go (pos + size) ((pos, insn) :: acc)
+  in
+  go off []

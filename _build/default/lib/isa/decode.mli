@@ -1,0 +1,11 @@
+(** Binary decoder for the virtual ISA: the inverse of {!Encode.encode}.
+    The machine simulator decodes through a cache modeling the instruction
+    cache, which is why the runtime flushes after patching. *)
+
+exception Decode_error of string * int  (** message and offset *)
+
+(** Decode the instruction at [off]; returns it with its encoded size. *)
+val decode : Bytes.t -> off:int -> Insn.t * int
+
+(** Decode a whole range into an [(offset, instruction)] listing. *)
+val decode_range : Bytes.t -> off:int -> len:int -> (int * Insn.t) list

@@ -1,0 +1,156 @@
+(* Binary encoder for the virtual ISA.  Multi-byte immediates are stored
+   little-endian.  [patch_*] helpers rewrite operand fields in place; they
+   are what the multiverse runtime uses to retarget call sites. *)
+
+exception Encode_error of string
+
+let check_reg r =
+  if r < 0 || r >= Insn.num_regs then
+    raise (Encode_error (Printf.sprintf "bad register r%d" r))
+
+let check_imm32 v =
+  if v < Int32.to_int Int32.min_int || v > Int32.to_int Int32.max_int then
+    raise (Encode_error (Printf.sprintf "immediate %d does not fit in 32 bits" v))
+
+let check_abs32 v =
+  if v < 0 || v > 0xFFFF_FFFF then
+    raise (Encode_error (Printf.sprintf "address 0x%x does not fit in 32 bits" v))
+
+let check_width w =
+  match w with
+  | 1 | 2 | 4 | 8 -> ()
+  | _ -> raise (Encode_error (Printf.sprintf "bad memory width %d" w))
+
+let set_i32 b off v = Bytes.set_int32_le b off (Int32.of_int v)
+let set_u32 b off v = Bytes.set_int32_le b off (Int32.of_int v)
+let set_i64 b off v = Bytes.set_int64_le b off (Int64.of_int v)
+
+(** Encode [insn] into a fresh byte string of exactly [Insn.size insn]
+    bytes. *)
+let encode (insn : Insn.t) : bytes =
+  let b = Bytes.make (Insn.size insn) '\000' in
+  Bytes.set b 0 (Char.chr (Insn.opcode insn));
+  let reg off r =
+    check_reg r;
+    Bytes.set b off (Char.chr r)
+  in
+  (match insn with
+  | Insn.Mov_ri (rd, imm) ->
+      reg 1 rd;
+      set_i64 b 2 imm
+  | Insn.Mov_ri32 (rd, imm) ->
+      check_imm32 imm;
+      reg 1 rd;
+      set_i32 b 2 imm
+  | Insn.Mov_rr (rd, rs) ->
+      reg 1 rd;
+      reg 2 rs
+  | Insn.Alu (op, rd, ra, rb) ->
+      Bytes.set b 1 (Char.chr (Insn.alu_code op));
+      reg 2 rd;
+      reg 3 ra;
+      reg 4 rb
+  | Insn.Alu_ri (op, rd, ra, imm) ->
+      check_imm32 imm;
+      Bytes.set b 1 (Char.chr (Insn.alu_code op));
+      reg 2 rd;
+      reg 3 ra;
+      set_i32 b 4 imm
+  | Insn.Un (op, rd, ra) ->
+      Bytes.set b 1 (Char.chr (Insn.unop_code op));
+      reg 2 rd;
+      reg 3 ra
+  | Insn.Load (rd, ra, off, w) ->
+      check_imm32 off;
+      check_width w;
+      reg 1 rd;
+      reg 2 ra;
+      set_i32 b 3 off;
+      Bytes.set b 7 (Char.chr w)
+  | Insn.Store (ra, off, rs, w) ->
+      check_imm32 off;
+      check_width w;
+      reg 1 ra;
+      set_i32 b 2 off;
+      reg 6 rs;
+      Bytes.set b 7 (Char.chr w)
+  | Insn.Loadg (rd, addr, w) ->
+      check_abs32 addr;
+      check_width w;
+      reg 1 rd;
+      set_u32 b 2 addr;
+      Bytes.set b 6 (Char.chr w)
+  | Insn.Storeg (addr, rs, w) ->
+      check_abs32 addr;
+      check_width w;
+      set_u32 b 1 addr;
+      reg 5 rs;
+      Bytes.set b 6 (Char.chr w)
+  | Insn.Lea (rd, addr) ->
+      reg 1 rd;
+      set_i64 b 2 addr
+  | Insn.Call rel ->
+      check_imm32 rel;
+      set_i32 b 1 rel
+  | Insn.Call_ind addr ->
+      check_abs32 addr;
+      set_u32 b 1 addr;
+      Bytes.set b 5 '\000'
+  | Insn.Jmp rel ->
+      check_imm32 rel;
+      set_i32 b 1 rel
+  | Insn.Jnz (r, rel) | Insn.Jz (r, rel) ->
+      check_imm32 rel;
+      reg 1 r;
+      set_i32 b 2 rel;
+      Bytes.set b 6 '\000'
+  | Insn.Push r | Insn.Pop r -> reg 1 r
+  | Insn.Xchg (rd, ra, rs) ->
+      reg 1 rd;
+      reg 2 ra;
+      reg 3 rs
+  | Insn.Hypercall n ->
+      if n < 0 || n > 255 then raise (Encode_error "hypercall number out of range");
+      Bytes.set b 1 (Char.chr n)
+  | Insn.Rdtsc rd -> reg 1 rd
+  | Insn.Ret | Insn.Cli | Insn.Sti | Insn.Pause | Insn.Fence | Insn.Halt | Insn.Nop ->
+      ());
+  b
+
+(** Encode a sequence, returning the concatenated bytes and the offset of
+    each instruction. *)
+let encode_seq (insns : Insn.t list) : bytes * int array =
+  let total = List.fold_left (fun acc i -> acc + Insn.size i) 0 insns in
+  let b = Bytes.create total in
+  let offsets = Array.make (List.length insns) 0 in
+  let off = ref 0 in
+  List.iteri
+    (fun idx i ->
+      offsets.(idx) <- !off;
+      let e = encode i in
+      Bytes.blit e 0 b !off (Bytes.length e);
+      off := !off + Bytes.length e)
+    insns;
+  (b, offsets)
+
+(* ------------------------------------------------------------------ *)
+(* In-place patching of operand fields                                 *)
+(* ------------------------------------------------------------------ *)
+
+(** Rewrite the rel32 of a [Call] or [Jmp] located at [off] so that it
+    transfers to absolute address [target]. *)
+let patch_rel32 (b : Bytes.t) ~off ~target =
+  let opc = Char.code (Bytes.get b off) in
+  if opc <> Insn.opcode (Insn.Call 0) && opc <> Insn.opcode (Insn.Jmp 0) then
+    raise
+      (Encode_error
+         (Printf.sprintf "patch_rel32 at 0x%x: opcode 0x%02x is not call/jmp" off opc));
+  let next = off + 5 in
+  let rel = target - next in
+  check_imm32 rel;
+  set_i32 b (off + 1) rel
+
+(** Read the absolute target of the [Call]/[Jmp] at [off]. *)
+let read_rel32_target (b : Bytes.t) ~off =
+  let rel = Int32.to_int (Bytes.get_int32_le b (off + 1)) in
+  off + 5 + rel

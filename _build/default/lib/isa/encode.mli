@@ -1,0 +1,20 @@
+(** Binary encoder for the virtual ISA (little-endian operand fields), plus
+    the in-place field rewriting used by the multiverse runtime to retarget
+    call sites. *)
+
+exception Encode_error of string
+
+(** Encode to exactly [Insn.size insn] bytes; validates registers,
+    immediate ranges, and memory widths. *)
+val encode : Insn.t -> bytes
+
+(** Encode a sequence; returns the concatenation and each instruction's
+    offset. *)
+val encode_seq : Insn.t list -> bytes * int array
+
+(** Rewrite the rel32 of the [Call]/[Jmp] at [off] to transfer to absolute
+    [target]; rejects other opcodes. *)
+val patch_rel32 : Bytes.t -> off:int -> target:int -> unit
+
+(** Absolute target of the [Call]/[Jmp] at [off]. *)
+val read_rel32_target : Bytes.t -> off:int -> int

@@ -1,0 +1,1 @@
+lib/link/image.ml: Array Bytes Char Hashtbl Int32 Int64 List Mv_codegen Option Printf

@@ -1,0 +1,1 @@
+lib/link/image.mli: Bytes Hashtbl Mv_codegen

@@ -1,0 +1,1 @@
+lib/link/linker.ml: Array Bytes Hashtbl Image Int32 Int64 List Mv_codegen Printf

@@ -1,0 +1,1 @@
+lib/link/linker.mli: Image Mv_codegen

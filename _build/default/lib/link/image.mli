@@ -1,0 +1,66 @@
+(** The process image: flat memory with per-page protection flags, the
+    symbol table, and the section map.
+
+    The text segment is mapped read+execute.  Any write to a protected page
+    raises {!Segfault} — the multiverse runtime must open a window with
+    {!mprotect} around each patch and restore protection afterwards, as the
+    paper requires (Section 7.2). *)
+
+module Objfile = Mv_codegen.Objfile
+
+exception Segfault of string
+
+type protection = { p_read : bool; p_write : bool; p_exec : bool }
+
+val prot_rw : protection
+val prot_rx : protection
+val prot_rwx : protection
+val prot_none : protection
+
+val page_size : int  (** 4096 *)
+
+type section_range = { sr_base : int; sr_size : int }
+
+type t = {
+  mem : Bytes.t;
+  prot : protection array;  (** one entry per page *)
+  symbols : (string, int) Hashtbl.t;
+  symbol_sizes : (string, int) Hashtbl.t;
+  sections : (Objfile.section * section_range) list;
+  text : section_range;
+  heap_base : int;  (** first page after all sections *)
+  stack_base : int;  (** initial stack pointer (grows down) *)
+}
+
+val size : t -> int
+
+(** {1 Protection-checked access} *)
+
+val read : t -> int -> int -> int
+(** [read t addr width] *)
+
+val write : t -> int -> int -> int -> unit
+(** [write t addr v width] *)
+
+val read_bytes : t -> int -> int -> bytes
+val write_bytes : t -> int -> bytes -> unit
+
+(** Fail unless the range is executable. *)
+val check_exec : t -> int -> int -> unit
+
+val prot_at : t -> int -> protection
+val mprotect : t -> addr:int -> len:int -> protection -> unit
+
+(** {1 Symbols and sections} *)
+
+(** Absolute address of a symbol; raises {!Segfault} when undefined. *)
+val symbol : t -> string -> int
+
+val symbol_opt : t -> string -> int option
+val symbol_size : t -> string -> int
+
+(** Symbol whose [base, base+size) range contains the address. *)
+val symbol_at : t -> int -> string option
+
+val section_range : t -> Objfile.section -> section_range option
+val in_text : t -> int -> bool

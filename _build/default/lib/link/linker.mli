@@ -1,0 +1,21 @@
+(** The static linker.
+
+    Same-named sections of all input objects are concatenated — this is how
+    the multiverse descriptor arrays from separate translation units become
+    one contiguous array in the image (paper Section 5).  Relocations are
+    ELF-style: absolute fields receive [S + A], pc-relative fields
+    [S + A - P]. *)
+
+module Objfile = Mv_codegen.Objfile
+
+exception Link_error of string
+
+(** Base address of the text segment (0x1000). *)
+val text_base : int
+
+val align_up : int -> int -> int
+
+(** Link the objects into a runnable image of [mem_size] bytes (default
+    4 MiB): place sections, build the global symbol table, apply
+    relocations, and set page protections (text r-x, the rest rw-). *)
+val link : ?mem_size:int -> Objfile.t list -> Image.t

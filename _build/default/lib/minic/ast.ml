@@ -1,0 +1,208 @@
+(* Abstract syntax of Mini-C, the C-like input language of this multiverse
+   reproduction.  The surface syntax mirrors the paper's examples: global
+   configuration switches and functions carry a [multiverse] attribute,
+   switches may restrict their specialization domain with [values(..)], and
+   functions may restrict the bound switches with [bind(..)]. *)
+
+type loc = { line : int; col : int }
+
+let dummy_loc = { line = 0; col = 0 }
+
+let pp_loc fmt { line; col } = Format.fprintf fmt "%d:%d" line col
+
+(** Integer-like storage types.  Widths are in bytes and matter for the
+    descriptor records (Section 5 of the paper stores width and signedness
+    of every configuration switch). *)
+type ty =
+  | Tvoid
+  | Tint of { width : int; signed : bool }
+  | Tbool
+  | Tenum of string
+  | Tptr  (** word-sized untyped pointer *)
+  | Tfnptr  (** pointer to function, usable as a configuration switch *)
+
+let ty_equal a b =
+  match a, b with
+  | Tvoid, Tvoid | Tbool, Tbool | Tptr, Tptr | Tfnptr, Tfnptr -> true
+  | Tint a, Tint b -> a.width = b.width && a.signed = b.signed
+  | Tenum a, Tenum b -> String.equal a b
+  | (Tvoid | Tint _ | Tbool | Tenum _ | Tptr | Tfnptr), _ -> false
+
+let int_ty = Tint { width = 8; signed = true }
+
+let pp_ty fmt = function
+  | Tvoid -> Format.pp_print_string fmt "void"
+  | Tint { width = 8; signed = true } -> Format.pp_print_string fmt "int"
+  | Tint { width; signed } ->
+      Format.fprintf fmt "%sint%d" (if signed then "" else "u") (width * 8)
+  | Tbool -> Format.pp_print_string fmt "bool"
+  | Tenum e -> Format.fprintf fmt "enum %s" e
+  | Tptr -> Format.pp_print_string fmt "ptr"
+  | Tfnptr -> Format.pp_print_string fmt "fnptr"
+
+type unop = Neg | Lnot | Bnot
+
+type binop =
+  | Add | Sub | Mul | Div | Mod
+  | Band | Bor | Bxor | Shl | Shr
+  | Eq | Ne | Lt | Le | Gt | Ge
+  | Land | Lor  (** short-circuit; lowered to control flow *)
+
+let pp_unop fmt op =
+  Format.pp_print_string fmt (match op with Neg -> "-" | Lnot -> "!" | Bnot -> "~")
+
+let pp_binop fmt op =
+  Format.pp_print_string fmt
+    (match op with
+    | Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "/" | Mod -> "%"
+    | Band -> "&" | Bor -> "|" | Bxor -> "^" | Shl -> "<<" | Shr -> ">>"
+    | Eq -> "==" | Ne -> "!=" | Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">="
+    | Land -> "&&" | Lor -> "||")
+
+(** Intrinsics map one-to-one to special machine instructions with their own
+    cycle costs; they are the hooks the kernel-like workloads are built on. *)
+type intrinsic =
+  | Icli          (** disable interrupts *)
+  | Isti          (** enable interrupts *)
+  | Ipause        (** spin-loop hint *)
+  | Ifence        (** full memory fence *)
+  | Iatomic_xchg  (** [__atomic_xchg(p, v)]: atomically swap, return old *)
+  | Ihypercall    (** [__hypercall(n)]: trap to the (simulated) hypervisor *)
+  | Irdtsc        (** read the cycle counter *)
+  | Ihalt         (** stop the machine (used by test drivers) *)
+
+let intrinsic_of_name = function
+  | "__cli" -> Some Icli
+  | "__sti" -> Some Isti
+  | "__pause" -> Some Ipause
+  | "__fence" -> Some Ifence
+  | "__atomic_xchg" -> Some Iatomic_xchg
+  | "__hypercall" -> Some Ihypercall
+  | "__rdtsc" -> Some Irdtsc
+  | "__halt" -> Some Ihalt
+  | _ -> None
+
+let intrinsic_name = function
+  | Icli -> "__cli"
+  | Isti -> "__sti"
+  | Ipause -> "__pause"
+  | Ifence -> "__fence"
+  | Iatomic_xchg -> "__atomic_xchg"
+  | Ihypercall -> "__hypercall"
+  | Irdtsc -> "__rdtsc"
+  | Ihalt -> "__halt"
+
+(** Number of arguments / whether the intrinsic produces a value. *)
+let intrinsic_arity = function
+  | Icli | Isti | Ipause | Ifence | Ihalt -> 0
+  | Ihypercall -> 1
+  | Irdtsc -> 0
+  | Iatomic_xchg -> 2
+
+let intrinsic_has_result = function
+  | Iatomic_xchg | Irdtsc -> true
+  | Icli | Isti | Ipause | Ifence | Ihypercall | Ihalt -> false
+
+type expr = { edesc : edesc; eloc : loc }
+
+and edesc =
+  | Eint of int
+  | Evar of string  (** local, global, or enum constant *)
+  | Eunop of unop * expr
+  | Ebinop of binop * expr * expr
+  | Ecall of string * expr list
+      (** direct call; resolved against fn-pointer globals during lowering *)
+  | Eintrinsic of intrinsic * expr list
+  | Eindex of expr * expr  (** [a[i]] where [a] is an array or pointer *)
+  | Ederef of expr  (** [*p]: load a word *)
+  | Ederefw of int * expr  (** width-cast load, "star (intN star) p" *)
+  | Eaddr_of_fun of string  (** [&f] *)
+  | Eaddr_of_var of string  (** [&g] for a global *)
+  | Econd of expr * expr * expr  (** [c ? a : b] *)
+
+type stmt = { sdesc : sdesc; sloc : loc }
+
+and sdesc =
+  | Sdecl of string * ty * expr option  (** local variable *)
+  | Sassign of lhs * expr
+  | Sif of expr * stmt list * stmt list
+  | Swhile of expr * stmt list
+  | Sdo_while of stmt list * expr
+  | Sfor of stmt option * expr option * stmt option * stmt list
+  | Sreturn of expr option
+  | Sexpr of expr
+  | Sbreak
+  | Scontinue
+  | Sblock of stmt list
+  | Sswitch of expr * (int list * stmt list) list * stmt list option
+      (** scrutinee, cases (labels may share a body), optional default;
+          C-style but without fall-through: each case body is closed *)
+
+and lhs =
+  | Lvar of string
+  | Lindex of expr * expr  (** [a[i] = e] *)
+  | Lderef of expr  (** [*p = e] *)
+  | Lderefw of int * expr  (** width-cast store *)
+
+(** Declaration attributes.  [Amultiverse] marks configuration switches
+    (globals) and variation points (functions); [Avalues] overrides the
+    specialization domain of a switch; [Abind] restricts which referenced
+    switches are bound for a function (partial specialization, Section 7.1);
+    [Anoinline] and [Asaveall] control code generation. *)
+type attr =
+  | Amultiverse
+  | Avalues of int list
+  | Abind of string list
+  | Anoinline
+  | Asaveall
+
+type global = {
+  g_name : string;
+  g_ty : ty;
+  g_attrs : attr list;
+  g_init : int option;
+  g_array : int option;  (** [Some n] for [int g[n]] *)
+  g_fn_init : string option;  (** [fnptr g = &f] *)
+  g_extern : bool;
+  g_loc : loc;
+}
+
+type func = {
+  f_name : string;
+  f_params : (string * ty) list;
+  f_ret : ty;
+  f_attrs : attr list;
+  f_body : stmt list option;  (** [None] for extern declarations *)
+  f_loc : loc;
+}
+
+type decl =
+  | Dglobal of global
+  | Dfunc of func
+  | Denum of string * (string * int) list * loc
+
+type tunit = decl list
+
+let has_attr attrs p = List.exists p attrs
+let is_multiversed attrs = has_attr attrs (function Amultiverse -> true | _ -> false)
+let is_noinline attrs = has_attr attrs (function Anoinline -> true | _ -> false)
+let is_saveall attrs = has_attr attrs (function Asaveall -> true | _ -> false)
+
+let attr_values attrs =
+  List.find_map (function Avalues vs -> Some vs | _ -> None) attrs
+
+let attr_bind attrs =
+  List.find_map (function Abind names -> Some names | _ -> None) attrs
+
+(** Width in bytes of values of type [ty] when stored in memory. *)
+let ty_width = function
+  | Tvoid -> 0
+  | Tint { width; _ } -> width
+  | Tbool -> 1
+  | Tenum _ -> 8  (* word-sized so negative enum values survive zero-extension *)
+  | Tptr | Tfnptr -> 8
+
+let ty_signed = function
+  | Tint { signed; _ } -> signed
+  | Tenum _ -> true
+  | Tvoid | Tbool | Tptr | Tfnptr -> false

@@ -1,0 +1,227 @@
+(* Hand-written lexer for Mini-C.  Supports line (//) and block comments,
+   decimal / hexadecimal / character literals, and tracks source locations
+   for diagnostics. *)
+
+exception Error of string * Ast.loc
+
+type state = {
+  src : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable bol : int;  (* offset of beginning of current line *)
+}
+
+let make src = { src; pos = 0; line = 1; bol = 0 }
+
+let loc st : Ast.loc = { line = st.line; col = st.pos - st.bol + 1 }
+
+let error st msg = raise (Error (msg, loc st))
+
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let peek2 st =
+  if st.pos + 1 < String.length st.src then Some st.src.[st.pos + 1] else None
+
+let advance st =
+  (match peek st with
+  | Some '\n' ->
+      st.line <- st.line + 1;
+      st.bol <- st.pos + 1
+  | Some _ | None -> ());
+  st.pos <- st.pos + 1
+
+let is_digit c = c >= '0' && c <= '9'
+let is_hex c = is_digit c || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident c = is_ident_start c || is_digit c
+
+let rec skip_ws st =
+  match peek st with
+  | Some (' ' | '\t' | '\r' | '\n') ->
+      advance st;
+      skip_ws st
+  | Some '/' -> (
+      match peek2 st with
+      | Some '/' ->
+          let rec eat () =
+            match peek st with
+            | Some '\n' | None -> ()
+            | Some _ ->
+                advance st;
+                eat ()
+          in
+          eat ();
+          skip_ws st
+      | Some '*' ->
+          advance st;
+          advance st;
+          let rec eat () =
+            match peek st, peek2 st with
+            | Some '*', Some '/' ->
+                advance st;
+                advance st
+            | None, _ -> error st "unterminated block comment"
+            | Some _, _ ->
+                advance st;
+                eat ()
+          in
+          eat ();
+          skip_ws st
+      | Some _ | None -> ())
+  | Some _ | None -> ()
+
+let lex_number st =
+  let start = st.pos in
+  if peek st = Some '0' && (peek2 st = Some 'x' || peek2 st = Some 'X') then begin
+    advance st;
+    advance st;
+    let digits_start = st.pos in
+    while match peek st with Some c -> is_hex c | None -> false do
+      advance st
+    done;
+    if st.pos = digits_start then error st "malformed hexadecimal literal";
+    int_of_string (String.sub st.src start (st.pos - start))
+  end
+  else begin
+    while match peek st with Some c -> is_digit c | None -> false do
+      advance st
+    done;
+    int_of_string (String.sub st.src start (st.pos - start))
+  end
+
+let lex_char st =
+  (* consume opening quote already done by caller *)
+  let c =
+    match peek st with
+    | Some '\\' -> (
+        advance st;
+        match peek st with
+        | Some 'n' -> '\n'
+        | Some 't' -> '\t'
+        | Some 'r' -> '\r'
+        | Some '0' -> '\000'
+        | Some '\\' -> '\\'
+        | Some '\'' -> '\''
+        | Some _ | None -> error st "bad escape in character literal")
+    | Some c -> c
+    | None -> error st "unterminated character literal"
+  in
+  advance st;
+  if peek st <> Some '\'' then error st "unterminated character literal";
+  advance st;
+  Char.code c
+
+let lex_string st =
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek st with
+    | Some '"' -> advance st
+    | Some '\\' ->
+        advance st;
+        (match peek st with
+        | Some 'n' -> Buffer.add_char buf '\n'
+        | Some 't' -> Buffer.add_char buf '\t'
+        | Some '\\' -> Buffer.add_char buf '\\'
+        | Some '"' -> Buffer.add_char buf '"'
+        | Some _ | None -> error st "bad escape in string literal");
+        advance st;
+        go ()
+    | Some c ->
+        Buffer.add_char buf c;
+        advance st;
+        go ()
+    | None -> error st "unterminated string literal"
+  in
+  go ();
+  Buffer.contents buf
+
+(** Lex one token; returns the token and the location where it started. *)
+let next st : Token.t * Ast.loc =
+  skip_ws st;
+  let l = loc st in
+  let tok =
+    match peek st with
+    | None -> Token.EOF
+    | Some c when is_digit c -> Token.INT (lex_number st)
+    | Some c when is_ident_start c ->
+        let start = st.pos in
+        while match peek st with Some c -> is_ident c | None -> false do
+          advance st
+        done;
+        let s = String.sub st.src start (st.pos - start) in
+        (match Token.keyword_of_string s with
+        | Some kw -> kw
+        | None -> Token.IDENT s)
+    | Some '\'' ->
+        advance st;
+        Token.INT (lex_char st)
+    | Some '"' ->
+        advance st;
+        Token.STRING (lex_string st)
+    | Some c ->
+        advance st;
+        let two expected tok_two tok_one =
+          if peek st = Some expected then begin
+            advance st;
+            tok_two
+          end
+          else tok_one
+        in
+        (match c with
+        | '(' -> Token.LPAREN
+        | ')' -> Token.RPAREN
+        | '{' -> Token.LBRACE
+        | '}' -> Token.RBRACE
+        | '[' -> Token.LBRACKET
+        | ']' -> Token.RBRACKET
+        | ';' -> Token.SEMI
+        | ',' -> Token.COMMA
+        | '?' -> Token.QUESTION
+        | ':' -> Token.COLON
+        | '+' ->
+            if peek st = Some '+' then begin
+              advance st;
+              Token.PLUSPLUS
+            end
+            else two '=' Token.PLUSEQ Token.PLUS
+        | '-' ->
+            if peek st = Some '-' then begin
+              advance st;
+              Token.MINUSMINUS
+            end
+            else two '=' Token.MINUSEQ Token.MINUS
+        | '*' -> Token.STAR
+        | '/' -> Token.SLASH
+        | '%' -> Token.PERCENT
+        | '^' -> Token.CARET
+        | '~' -> Token.TILDE
+        | '&' -> two '&' Token.ANDAND Token.AMP
+        | '|' -> two '|' Token.OROR Token.PIPE
+        | '=' -> two '=' Token.EQ Token.ASSIGN
+        | '!' -> two '=' Token.NE Token.BANG
+        | '<' ->
+            if peek st = Some '<' then begin
+              advance st;
+              Token.SHL
+            end
+            else two '=' Token.LE Token.LT
+        | '>' ->
+            if peek st = Some '>' then begin
+              advance st;
+              Token.SHR
+            end
+            else two '=' Token.GE Token.GT
+        | c -> error st (Printf.sprintf "unexpected character %C" c))
+  in
+  (tok, l)
+
+(** Lex a whole source string into a token list (with locations). *)
+let tokenize src =
+  let st = make src in
+  let rec go acc =
+    let tok, l = next st in
+    match tok with
+    | Token.EOF -> List.rev ((tok, l) :: acc)
+    | _ -> go ((tok, l) :: acc)
+  in
+  go []

@@ -1,0 +1,15 @@
+(** Hand-written lexer for Mini-C: line/block comments, decimal and
+    hexadecimal integers, character and string literals, with source
+    locations for diagnostics. *)
+
+exception Error of string * Ast.loc
+
+type state
+
+val make : string -> state
+
+(** Lex one token, with the location where it started. *)
+val next : state -> Token.t * Ast.loc
+
+(** Lex a whole source string; the last element is [EOF]. *)
+val tokenize : string -> (Token.t * Ast.loc) list

@@ -1,0 +1,629 @@
+(* Recursive-descent parser for Mini-C.
+
+   Attribute grammar (mirrors the paper's extension, Section 2/3):
+     multiverse int config_smp;              -- switch, default domain {0,1}
+     multiverse values(0,1,2) int mode;      -- explicit domain
+     multiverse values(0..3) int level;      -- range domain
+     multiverse enum mode cur;               -- domain = declared enum items
+     multiverse void spin_irq_lock() { .. }  -- variation point
+     multiverse bind(A) void f() { .. }      -- partial specialization
+     multiverse fnptr pv_cli = &native_cli;  -- function-pointer switch *)
+
+exception Error of string * Ast.loc
+
+type state = { toks : (Token.t * Ast.loc) array; mutable pos : int }
+
+let make toks = { toks = Array.of_list toks; pos = 0 }
+
+let cur st = fst st.toks.(st.pos)
+let cur_loc st = snd st.toks.(st.pos)
+let error st msg = raise (Error (msg, cur_loc st))
+
+let advance st = if st.pos < Array.length st.toks - 1 then st.pos <- st.pos + 1
+
+let eat st tok =
+  if cur st = tok then advance st
+  else
+    error st
+      (Printf.sprintf "expected %S but found %S" (Token.to_string tok)
+         (Token.to_string (cur st)))
+
+let eat_ident st =
+  match cur st with
+  | Token.IDENT s ->
+      advance st;
+      s
+  | t -> error st (Printf.sprintf "expected identifier, found %S" (Token.to_string t))
+
+let eat_int st =
+  match cur st with
+  | Token.INT n ->
+      advance st;
+      n
+  | Token.MINUS ->
+      advance st;
+      (match cur st with
+      | Token.INT n ->
+          advance st;
+          -n
+      | t -> error st (Printf.sprintf "expected integer, found %S" (Token.to_string t)))
+  | t -> error st (Printf.sprintf "expected integer, found %S" (Token.to_string t))
+
+(* ------------------------------------------------------------------ *)
+(* Types                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let width_ty = function
+  | Token.KW_INT8 -> Some (Ast.Tint { width = 1; signed = true })
+  | Token.KW_INT16 -> Some (Ast.Tint { width = 2; signed = true })
+  | Token.KW_INT32 -> Some (Ast.Tint { width = 4; signed = true })
+  | Token.KW_INT64 -> Some (Ast.Tint { width = 8; signed = true })
+  | Token.KW_UINT8 -> Some (Ast.Tint { width = 1; signed = false })
+  | Token.KW_UINT16 -> Some (Ast.Tint { width = 2; signed = false })
+  | Token.KW_UINT32 -> Some (Ast.Tint { width = 4; signed = false })
+  | Token.KW_UINT64 -> Some (Ast.Tint { width = 8; signed = false })
+  | _ -> None
+
+let is_type_start st =
+  match cur st with
+  | Token.KW_INT | Token.KW_BOOL | Token.KW_VOID | Token.KW_ENUM | Token.KW_PTR
+  | Token.KW_FNPTR -> true
+  | t -> width_ty t <> None
+
+let parse_type st =
+  match cur st with
+  | Token.KW_INT ->
+      advance st;
+      Ast.int_ty
+  | Token.KW_BOOL ->
+      advance st;
+      Ast.Tbool
+  | Token.KW_VOID ->
+      advance st;
+      Ast.Tvoid
+  | Token.KW_PTR ->
+      advance st;
+      Ast.Tptr
+  | Token.KW_FNPTR ->
+      advance st;
+      Ast.Tfnptr
+  | Token.KW_ENUM ->
+      advance st;
+      let name = eat_ident st in
+      Ast.Tenum name
+  | t -> (
+      match width_ty t with
+      | Some ty ->
+          advance st;
+          ty
+      | None -> error st (Printf.sprintf "expected type, found %S" (Token.to_string t)))
+
+(* ------------------------------------------------------------------ *)
+(* Expressions                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let mk l edesc : Ast.expr = { edesc; eloc = l }
+
+let rec parse_expr st = parse_cond st
+
+and parse_cond st =
+  let l = cur_loc st in
+  let c = parse_lor st in
+  if cur st = Token.QUESTION then begin
+    advance st;
+    let a = parse_expr st in
+    eat st Token.COLON;
+    let b = parse_cond st in
+    mk l (Ast.Econd (c, a, b))
+  end
+  else c
+
+and parse_lor st =
+  let l = cur_loc st in
+  let lhs = parse_land st in
+  if cur st = Token.OROR then begin
+    advance st;
+    let rhs = parse_lor st in
+    mk l (Ast.Ebinop (Ast.Lor, lhs, rhs))
+  end
+  else lhs
+
+and parse_land st =
+  let l = cur_loc st in
+  let lhs = parse_bor st in
+  if cur st = Token.ANDAND then begin
+    advance st;
+    let rhs = parse_land st in
+    mk l (Ast.Ebinop (Ast.Land, lhs, rhs))
+  end
+  else lhs
+
+and parse_bor st = parse_binop_level st [ (Token.PIPE, Ast.Bor) ] parse_bxor
+and parse_bxor st = parse_binop_level st [ (Token.CARET, Ast.Bxor) ] parse_band
+and parse_band st = parse_binop_level st [ (Token.AMP, Ast.Band) ] parse_equality
+
+and parse_equality st =
+  parse_binop_level st [ (Token.EQ, Ast.Eq); (Token.NE, Ast.Ne) ] parse_relational
+
+and parse_relational st =
+  parse_binop_level st
+    [ (Token.LT, Ast.Lt); (Token.LE, Ast.Le); (Token.GT, Ast.Gt); (Token.GE, Ast.Ge) ]
+    parse_shift
+
+and parse_shift st =
+  parse_binop_level st [ (Token.SHL, Ast.Shl); (Token.SHR, Ast.Shr) ] parse_additive
+
+and parse_additive st =
+  parse_binop_level st [ (Token.PLUS, Ast.Add); (Token.MINUS, Ast.Sub) ] parse_multiplicative
+
+and parse_multiplicative st =
+  parse_binop_level st
+    [ (Token.STAR, Ast.Mul); (Token.SLASH, Ast.Div); (Token.PERCENT, Ast.Mod) ]
+    parse_unary
+
+and parse_binop_level st table next =
+  let rec go lhs =
+    let l = cur_loc st in
+    match List.assoc_opt (cur st) table with
+    | Some op ->
+        advance st;
+        let rhs = next st in
+        go (mk l (Ast.Ebinop (op, lhs, rhs)))
+    | None -> lhs
+  in
+  go (next st)
+
+and parse_unary st =
+  let l = cur_loc st in
+  match cur st with
+  | Token.MINUS ->
+      advance st;
+      mk l (Ast.Eunop (Ast.Neg, parse_unary st))
+  | Token.BANG ->
+      advance st;
+      mk l (Ast.Eunop (Ast.Lnot, parse_unary st))
+  | Token.TILDE ->
+      advance st;
+      mk l (Ast.Eunop (Ast.Bnot, parse_unary st))
+  | Token.STAR ->
+      advance st;
+      (* A width-cast deref loads with an explicit width; a plain deref loads a word. *)
+      if cur st = Token.LPAREN && width_ty (fst st.toks.(st.pos + 1)) <> None then begin
+        advance st;
+        let ty =
+          match width_ty (cur st) with
+          | Some t ->
+              advance st;
+              t
+          | None -> error st "expected width type in cast"
+        in
+        eat st Token.STAR;
+        eat st Token.RPAREN;
+        let e = parse_unary st in
+        mk l (Ast.Ederefw (Ast.ty_width ty, e))
+      end
+      else mk l (Ast.Ederef (parse_unary st))
+  | Token.AMP ->
+      advance st;
+      (* [&name]: function or global address; the type checker resolves
+         which one and rewrites to [Eaddr_of_var] when needed. *)
+      let name = eat_ident st in
+      mk l (Ast.Eaddr_of_fun name)
+  | _ -> parse_postfix st
+
+and parse_postfix st =
+  let l = cur_loc st in
+  let e = parse_primary st in
+  let rec go e =
+    match cur st with
+    | Token.LBRACKET ->
+        advance st;
+        let idx = parse_expr st in
+        eat st Token.RBRACKET;
+        go (mk l (Ast.Eindex (e, idx)))
+    | _ -> e
+  in
+  go e
+
+and parse_primary st =
+  let l = cur_loc st in
+  match cur st with
+  | Token.INT n ->
+      advance st;
+      mk l (Ast.Eint n)
+  | Token.KW_TRUE ->
+      advance st;
+      mk l (Ast.Eint 1)
+  | Token.KW_FALSE ->
+      advance st;
+      mk l (Ast.Eint 0)
+  | Token.IDENT name ->
+      advance st;
+      if cur st = Token.LPAREN then begin
+        advance st;
+        let args = parse_args st in
+        eat st Token.RPAREN;
+        match Ast.intrinsic_of_name name with
+        | Some i -> mk l (Ast.Eintrinsic (i, args))
+        | None -> mk l (Ast.Ecall (name, args))
+      end
+      else mk l (Ast.Evar name)
+  | Token.LPAREN ->
+      advance st;
+      let e = parse_expr st in
+      eat st Token.RPAREN;
+      e
+  | t -> error st (Printf.sprintf "expected expression, found %S" (Token.to_string t))
+
+and parse_args st =
+  if cur st = Token.RPAREN then []
+  else
+    let rec go acc =
+      let e = parse_expr st in
+      if cur st = Token.COMMA then begin
+        advance st;
+        go (e :: acc)
+      end
+      else List.rev (e :: acc)
+    in
+    go []
+
+(* ------------------------------------------------------------------ *)
+(* Statements                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let lhs_of_expr st (e : Ast.expr) : Ast.lhs =
+  match e.edesc with
+  | Ast.Evar v -> Ast.Lvar v
+  | Ast.Eindex (a, i) -> Ast.Lindex (a, i)
+  | Ast.Ederef p -> Ast.Lderef p
+  | Ast.Ederefw (w, p) -> Ast.Lderefw (w, p)
+  | _ -> error st "invalid assignment target"
+
+let mk_stmt l sdesc : Ast.stmt = { sdesc; sloc = l }
+
+(* A "simple" statement is one usable as a for-loop header clause:
+   assignment, compound assignment, increment/decrement, or expression. *)
+let rec parse_simple st =
+  let l = cur_loc st in
+  if is_type_start st then begin
+    let ty = parse_type st in
+    let name = eat_ident st in
+    let init =
+      if cur st = Token.ASSIGN then begin
+        advance st;
+        Some (parse_expr st)
+      end
+      else None
+    in
+    mk_stmt l (Ast.Sdecl (name, ty, init))
+  end
+  else
+    let e = parse_expr st in
+    match cur st with
+    | Token.ASSIGN ->
+        advance st;
+        let rhs = parse_expr st in
+        mk_stmt l (Ast.Sassign (lhs_of_expr st e, rhs))
+    | Token.PLUSEQ ->
+        advance st;
+        let rhs = parse_expr st in
+        mk_stmt l (Ast.Sassign (lhs_of_expr st e, mk l (Ast.Ebinop (Ast.Add, e, rhs))))
+    | Token.MINUSEQ ->
+        advance st;
+        let rhs = parse_expr st in
+        mk_stmt l (Ast.Sassign (lhs_of_expr st e, mk l (Ast.Ebinop (Ast.Sub, e, rhs))))
+    | Token.PLUSPLUS ->
+        advance st;
+        mk_stmt l (Ast.Sassign (lhs_of_expr st e, mk l (Ast.Ebinop (Ast.Add, e, mk l (Ast.Eint 1)))))
+    | Token.MINUSMINUS ->
+        advance st;
+        mk_stmt l (Ast.Sassign (lhs_of_expr st e, mk l (Ast.Ebinop (Ast.Sub, e, mk l (Ast.Eint 1)))))
+    | _ -> mk_stmt l (Ast.Sexpr e)
+
+and parse_stmt st : Ast.stmt =
+  let l = cur_loc st in
+  match cur st with
+  | Token.LBRACE ->
+      advance st;
+      let body = parse_stmts st in
+      eat st Token.RBRACE;
+      mk_stmt l (Ast.Sblock body)
+  | Token.KW_IF ->
+      advance st;
+      eat st Token.LPAREN;
+      let c = parse_expr st in
+      eat st Token.RPAREN;
+      let then_ = parse_branch st in
+      let else_ =
+        if cur st = Token.KW_ELSE then begin
+          advance st;
+          parse_branch st
+        end
+        else []
+      in
+      mk_stmt l (Ast.Sif (c, then_, else_))
+  | Token.KW_WHILE ->
+      advance st;
+      eat st Token.LPAREN;
+      let c = parse_expr st in
+      eat st Token.RPAREN;
+      let body = parse_branch st in
+      mk_stmt l (Ast.Swhile (c, body))
+  | Token.KW_DO ->
+      advance st;
+      let body = parse_branch st in
+      eat st Token.KW_WHILE;
+      eat st Token.LPAREN;
+      let c = parse_expr st in
+      eat st Token.RPAREN;
+      eat st Token.SEMI;
+      mk_stmt l (Ast.Sdo_while (body, c))
+  | Token.KW_FOR ->
+      advance st;
+      eat st Token.LPAREN;
+      let init = if cur st = Token.SEMI then None else Some (parse_simple st) in
+      eat st Token.SEMI;
+      let cond = if cur st = Token.SEMI then None else Some (parse_expr st) in
+      eat st Token.SEMI;
+      let step = if cur st = Token.RPAREN then None else Some (parse_simple st) in
+      eat st Token.RPAREN;
+      let body = parse_branch st in
+      mk_stmt l (Ast.Sfor (init, cond, step, body))
+  | Token.KW_SWITCH ->
+      advance st;
+      eat st Token.LPAREN;
+      let scrutinee = parse_expr st in
+      eat st Token.RPAREN;
+      eat st Token.LBRACE;
+      let parse_case_body () =
+        (* statements until the next case/default label or the closing brace *)
+        let rec go acc =
+          match cur st with
+          | Token.KW_CASE | Token.KW_DEFAULT | Token.RBRACE -> List.rev acc
+          | _ -> go (parse_stmt st :: acc)
+        in
+        go []
+      in
+      let rec parse_labels acc =
+        (* one or more "case N:" in a row share the following body *)
+        match cur st with
+        | Token.KW_CASE ->
+            advance st;
+            let v = eat_int st in
+            eat st Token.COLON;
+            parse_labels (v :: acc)
+        | _ -> List.rev acc
+      in
+      let rec parse_groups cases default =
+        match cur st with
+        | Token.KW_CASE ->
+            let labels = parse_labels [] in
+            let body = parse_case_body () in
+            parse_groups ((labels, body) :: cases) default
+        | Token.KW_DEFAULT ->
+            if default <> None then error st "duplicate default in switch";
+            advance st;
+            eat st Token.COLON;
+            let body = parse_case_body () in
+            parse_groups cases (Some body)
+        | Token.RBRACE -> (List.rev cases, default)
+        | t ->
+            error st
+              (Printf.sprintf "expected case, default or '}' in switch, found %S"
+                 (Token.to_string t))
+      in
+      let cases, default = parse_groups [] None in
+      eat st Token.RBRACE;
+      mk_stmt l (Ast.Sswitch (scrutinee, cases, default))
+  | Token.KW_RETURN ->
+      advance st;
+      let e = if cur st = Token.SEMI then None else Some (parse_expr st) in
+      eat st Token.SEMI;
+      mk_stmt l (Ast.Sreturn e)
+  | Token.KW_BREAK ->
+      advance st;
+      eat st Token.SEMI;
+      mk_stmt l Ast.Sbreak
+  | Token.KW_CONTINUE ->
+      advance st;
+      eat st Token.SEMI;
+      mk_stmt l Ast.Scontinue
+  | _ ->
+      let s = parse_simple st in
+      eat st Token.SEMI;
+      s
+
+and parse_branch st =
+  (* A branch body: either a braced block or a single statement. *)
+  if cur st = Token.LBRACE then begin
+    advance st;
+    let body = parse_stmts st in
+    eat st Token.RBRACE;
+    body
+  end
+  else [ parse_stmt st ]
+
+and parse_stmts st =
+  let rec go acc =
+    if cur st = Token.RBRACE || cur st = Token.EOF then List.rev acc
+    else go (parse_stmt st :: acc)
+  in
+  go []
+
+(* ------------------------------------------------------------------ *)
+(* Declarations                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let parse_values st =
+  eat st Token.LPAREN;
+  let first = eat_int st in
+  (* either a range "lo..hi" (lexed as lo . . hi? no: ".." is not a token),
+     so ranges are written "values(lo, hi, step?)"?  We instead accept an
+     explicit list "values(a, b, c)" and the range form "values(a - b)" is
+     not supported; a contiguous range can be given as a list. *)
+  let rec go acc =
+    if cur st = Token.COMMA then begin
+      advance st;
+      let v = eat_int st in
+      go (v :: acc)
+    end
+    else List.rev acc
+  in
+  let vs = go [ first ] in
+  eat st Token.RPAREN;
+  vs
+
+let parse_bind st =
+  eat st Token.LPAREN;
+  let first = eat_ident st in
+  let rec go acc =
+    if cur st = Token.COMMA then begin
+      advance st;
+      go (eat_ident st :: acc)
+    end
+    else List.rev acc
+  in
+  let names = go [ first ] in
+  eat st Token.RPAREN;
+  names
+
+(** Parse leading attributes and the [extern] storage class, in any order. *)
+let parse_attrs st =
+  let rec go attrs ext =
+    match cur st with
+    | Token.KW_EXTERN ->
+        advance st;
+        go attrs true
+    | Token.KW_MULTIVERSE ->
+        advance st;
+        go (Ast.Amultiverse :: attrs) ext
+    | Token.KW_VALUES ->
+        advance st;
+        go (Ast.Avalues (parse_values st) :: attrs) ext
+    | Token.KW_BIND ->
+        advance st;
+        go (Ast.Abind (parse_bind st) :: attrs) ext
+    | Token.KW_NOINLINE ->
+        advance st;
+        go (Ast.Anoinline :: attrs) ext
+    | Token.KW_SAVEALL ->
+        advance st;
+        go (Ast.Asaveall :: attrs) ext
+    | _ -> (List.rev attrs, ext)
+  in
+  go [] false
+
+let parse_params st =
+  if cur st = Token.RPAREN then []
+  else if cur st = Token.KW_VOID && fst st.toks.(st.pos + 1) = Token.RPAREN then begin
+    advance st;
+    []
+  end
+  else
+    let rec go acc =
+      let ty = parse_type st in
+      let name = eat_ident st in
+      if cur st = Token.COMMA then begin
+        advance st;
+        go ((name, ty) :: acc)
+      end
+      else List.rev ((name, ty) :: acc)
+    in
+    go []
+
+let parse_enum st l =
+  eat st Token.KW_ENUM;
+  let name = eat_ident st in
+  eat st Token.LBRACE;
+  let rec go acc next =
+    match cur st with
+    | Token.RBRACE ->
+        if acc = [] then error st "enum must declare at least one item";
+        List.rev acc
+    | Token.IDENT item ->
+        advance st;
+        let v =
+          if cur st = Token.ASSIGN then begin
+            advance st;
+            eat_int st
+          end
+          else next
+        in
+        let acc = (item, v) :: acc in
+        if cur st = Token.COMMA then begin
+          advance st;
+          go acc (v + 1)
+        end
+        else go acc (v + 1)
+    | t -> error st (Printf.sprintf "expected enum item, found %S" (Token.to_string t))
+  in
+  let items = go [] 0 in
+  eat st Token.RBRACE;
+  eat st Token.SEMI;
+  Ast.Denum (name, items, l)
+
+let parse_decl st : Ast.decl =
+  let l = cur_loc st in
+  (* enum *definition* only when followed by IDENT '{' *)
+  if
+    cur st = Token.KW_ENUM
+    && (match fst st.toks.(st.pos + 1) with Token.IDENT _ -> true | _ -> false)
+    && fst st.toks.(st.pos + 2) = Token.LBRACE
+  then parse_enum st l
+  else begin
+    let attrs, ext = parse_attrs st in
+    let ty = parse_type st in
+    let name = eat_ident st in
+    match cur st with
+    | Token.LPAREN ->
+        advance st;
+        let params = parse_params st in
+        eat st Token.RPAREN;
+        let body =
+          if cur st = Token.SEMI then begin
+            advance st;
+            None
+          end
+          else begin
+            eat st Token.LBRACE;
+            let body = parse_stmts st in
+            eat st Token.RBRACE;
+            Some body
+          end
+        in
+        Ast.Dfunc
+          { f_name = name; f_params = params; f_ret = ty; f_attrs = attrs;
+            f_body = body; f_loc = l }
+    | Token.LBRACKET ->
+        advance st;
+        let n = eat_int st in
+        eat st Token.RBRACKET;
+        eat st Token.SEMI;
+        Ast.Dglobal
+          { g_name = name; g_ty = ty; g_attrs = attrs; g_init = None;
+            g_array = Some n; g_fn_init = None; g_extern = ext; g_loc = l }
+    | _ ->
+        let g_init, g_fn_init =
+          if cur st = Token.ASSIGN then begin
+            advance st;
+            if cur st = Token.AMP then begin
+              advance st;
+              let f = eat_ident st in
+              (None, Some f)
+            end
+            else (Some (eat_int st), None)
+          end
+          else (None, None)
+        in
+        eat st Token.SEMI;
+        Ast.Dglobal
+          { g_name = name; g_ty = ty; g_attrs = attrs; g_init; g_array = None;
+            g_fn_init; g_extern = ext; g_loc = l }
+  end
+
+(** Parse a full translation unit from source text. *)
+let parse_string src : Ast.tunit =
+  let st = make (Lexer.tokenize src) in
+  let rec go acc = if cur st = Token.EOF then List.rev acc else go (parse_decl st :: acc) in
+  go []

@@ -1,0 +1,16 @@
+(** Recursive-descent parser for Mini-C, including the multiverse attribute
+    grammar (paper Sections 2-3):
+
+    {v
+    multiverse int config_smp;              -- switch, default domain {0,1}
+    multiverse values(0, 1, 2) int mode;    -- explicit domain
+    multiverse enum mode cur;               -- domain = enum items
+    multiverse void spin_irq_lock() { .. }  -- variation point
+    multiverse bind(A) void f() { .. }      -- partial specialization
+    multiverse fnptr pv_cli = &native_cli;  -- function-pointer switch
+    v} *)
+
+exception Error of string * Ast.loc
+
+(** Parse a full translation unit from source text. *)
+val parse_string : string -> Ast.tunit

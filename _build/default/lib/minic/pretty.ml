@@ -1,0 +1,138 @@
+(* Pretty-printer for Mini-C ASTs; output re-parses to an equivalent tree,
+   which the test suite checks (round-trip property). *)
+
+open Format
+
+let pp_attr fmt = function
+  | Ast.Amultiverse -> pp_print_string fmt "multiverse"
+  | Ast.Avalues vs ->
+      fprintf fmt "values(%a)"
+        (pp_print_list ~pp_sep:(fun fmt () -> pp_print_string fmt ", ") pp_print_int)
+        vs
+  | Ast.Abind names ->
+      fprintf fmt "bind(%a)"
+        (pp_print_list ~pp_sep:(fun fmt () -> pp_print_string fmt ", ") pp_print_string)
+        names
+  | Ast.Anoinline -> pp_print_string fmt "noinline"
+  | Ast.Asaveall -> pp_print_string fmt "saveall"
+
+let pp_attrs fmt attrs =
+  List.iter (fun a -> fprintf fmt "%a " pp_attr a) attrs
+
+let rec pp_expr fmt (e : Ast.expr) =
+  match e.edesc with
+  | Ast.Eint n -> pp_print_int fmt n
+  | Ast.Evar v -> pp_print_string fmt v
+  | Ast.Eunop (op, a) -> fprintf fmt "%a(%a)" Ast.pp_unop op pp_expr a
+  | Ast.Ebinop (op, a, b) -> fprintf fmt "(%a %a %a)" pp_expr a Ast.pp_binop op pp_expr b
+  | Ast.Econd (c, a, b) -> fprintf fmt "(%a ? %a : %a)" pp_expr c pp_expr a pp_expr b
+  | Ast.Ecall (f, args) -> fprintf fmt "%s(%a)" f pp_args args
+  | Ast.Eintrinsic (i, args) -> fprintf fmt "%s(%a)" (Ast.intrinsic_name i) pp_args args
+  | Ast.Eindex (a, i) -> fprintf fmt "%a[%a]" pp_expr a pp_expr i
+  | Ast.Ederef p -> fprintf fmt "*(%a)" pp_expr p
+  | Ast.Ederefw (w, p) -> fprintf fmt "*(int%d*)(%a)" (w * 8) pp_expr p
+  | Ast.Eaddr_of_fun f -> fprintf fmt "&%s" f
+  | Ast.Eaddr_of_var v -> fprintf fmt "&%s" v
+
+and pp_args fmt args =
+  pp_print_list ~pp_sep:(fun fmt () -> pp_print_string fmt ", ") pp_expr fmt args
+
+let pp_lhs fmt = function
+  | Ast.Lvar v -> pp_print_string fmt v
+  | Ast.Lindex (a, i) -> fprintf fmt "%a[%a]" pp_expr a pp_expr i
+  | Ast.Lderef p -> fprintf fmt "*(%a)" pp_expr p
+  | Ast.Lderefw (w, p) -> fprintf fmt "*(int%d*)(%a)" (w * 8) pp_expr p
+
+let rec pp_stmt fmt (s : Ast.stmt) =
+  match s.sdesc with
+  | Ast.Sdecl (name, ty, None) -> fprintf fmt "@[%a %s;@]" Ast.pp_ty ty name
+  | Ast.Sdecl (name, ty, Some e) ->
+      fprintf fmt "@[%a %s = %a;@]" Ast.pp_ty ty name pp_expr e
+  | Ast.Sassign (l, e) -> fprintf fmt "@[%a = %a;@]" pp_lhs l pp_expr e
+  | Ast.Sif (c, t, []) -> fprintf fmt "@[<v 2>if (%a) {%a@]@,}" pp_expr c pp_block t
+  | Ast.Sif (c, t, f) ->
+      fprintf fmt "@[<v 2>if (%a) {%a@]@,@[<v 2>} else {%a@]@,}" pp_expr c pp_block t
+        pp_block f
+  | Ast.Swhile (c, body) ->
+      fprintf fmt "@[<v 2>while (%a) {%a@]@,}" pp_expr c pp_block body
+  | Ast.Sdo_while (body, c) ->
+      fprintf fmt "@[<v 2>do {%a@]@,} while (%a);" pp_block body pp_expr c
+  | Ast.Sfor (init, cond, step, body) ->
+      let pp_opt_stmt fmt = function
+        | None -> ()
+        | Some s -> pp_header_stmt fmt s
+      in
+      let pp_opt_expr fmt = function None -> () | Some e -> pp_expr fmt e in
+      fprintf fmt "@[<v 2>for (%a; %a; %a) {%a@]@,}" pp_opt_stmt init pp_opt_expr cond
+        pp_opt_stmt step pp_block body
+  | Ast.Sreturn None -> pp_print_string fmt "return;"
+  | Ast.Sreturn (Some e) -> fprintf fmt "@[return %a;@]" pp_expr e
+  | Ast.Sexpr e -> fprintf fmt "@[%a;@]" pp_expr e
+  | Ast.Sbreak -> pp_print_string fmt "break;"
+  | Ast.Scontinue -> pp_print_string fmt "continue;"
+  | Ast.Sblock body -> fprintf fmt "@[<v 2>{%a@]@,}" pp_block body
+  | Ast.Sswitch (scrutinee, cases, default) ->
+      fprintf fmt "@[<v 2>switch (%a) {" pp_expr scrutinee;
+      List.iter
+        (fun (labels, body) ->
+          List.iter (fun v -> fprintf fmt "@,case %d:" v) labels;
+          fprintf fmt "@[<v 2>%a@]" pp_block body)
+        cases;
+      (match default with
+      | Some body -> fprintf fmt "@,default:@[<v 2>%a@]" pp_block body
+      | None -> ());
+      fprintf fmt "@]@,}" 
+
+(* for-loop header clauses print without the trailing semicolon *)
+and pp_header_stmt fmt (s : Ast.stmt) =
+  match s.sdesc with
+  | Ast.Sdecl (name, ty, Some e) -> fprintf fmt "%a %s = %a" Ast.pp_ty ty name pp_expr e
+  | Ast.Sdecl (name, ty, None) -> fprintf fmt "%a %s" Ast.pp_ty ty name
+  | Ast.Sassign (l, e) -> fprintf fmt "%a = %a" pp_lhs l pp_expr e
+  | Ast.Sexpr e -> pp_expr fmt e
+  | _ -> pp_stmt fmt s
+
+and pp_block fmt body = List.iter (fun s -> fprintf fmt "@,%a" pp_stmt s) body
+
+let pp_decl fmt = function
+  | Ast.Denum (name, items, _) ->
+      let pp_item fmt (item, v) = fprintf fmt "%s = %d" item v in
+      fprintf fmt "@[enum %s { %a };@]" name
+        (pp_print_list ~pp_sep:(fun fmt () -> pp_print_string fmt ", ") pp_item)
+        items
+  | Ast.Dglobal g ->
+      let ext = if g.g_extern then "extern " else "" in
+      (match g.g_array, g.g_init, g.g_fn_init with
+      | Some n, _, _ ->
+          fprintf fmt "@[%s%a%a %s[%d];@]" ext pp_attrs g.g_attrs Ast.pp_ty g.g_ty g.g_name n
+      | None, Some v, _ ->
+          fprintf fmt "@[%s%a%a %s = %d;@]" ext pp_attrs g.g_attrs Ast.pp_ty g.g_ty
+            g.g_name v
+      | None, None, Some f ->
+          fprintf fmt "@[%s%a%a %s = &%s;@]" ext pp_attrs g.g_attrs Ast.pp_ty g.g_ty
+            g.g_name f
+      | None, None, None ->
+          fprintf fmt "@[%s%a%a %s;@]" ext pp_attrs g.g_attrs Ast.pp_ty g.g_ty g.g_name)
+  | Ast.Dfunc f ->
+      let pp_param fmt (name, ty) = fprintf fmt "%a %s" Ast.pp_ty ty name in
+      let pp_params fmt params =
+        pp_print_list ~pp_sep:(fun fmt () -> pp_print_string fmt ", ") pp_param fmt params
+      in
+      (match f.f_body with
+      | None ->
+          fprintf fmt "@[extern %a%a %s(%a);@]" pp_attrs f.f_attrs Ast.pp_ty f.f_ret
+            f.f_name pp_params f.f_params
+      | Some body ->
+          fprintf fmt "@[<v 2>%a%a %s(%a) {%a@]@,}" pp_attrs f.f_attrs Ast.pp_ty f.f_ret
+            f.f_name pp_params f.f_params pp_block body)
+
+let pp_tunit fmt tu =
+  fprintf fmt "@[<v>";
+  List.iteri
+    (fun i d ->
+      if i > 0 then fprintf fmt "@,@,";
+      pp_decl fmt d)
+    tu;
+  fprintf fmt "@]"
+
+let to_string tu = Format.asprintf "%a" pp_tunit tu

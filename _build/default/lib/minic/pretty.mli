@@ -1,0 +1,10 @@
+(** Pretty-printer for Mini-C ASTs.  Output re-parses to an equivalent
+    tree; the test suite checks the round trip. *)
+
+val pp_attr : Format.formatter -> Ast.attr -> unit
+val pp_expr : Format.formatter -> Ast.expr -> unit
+val pp_lhs : Format.formatter -> Ast.lhs -> unit
+val pp_stmt : Format.formatter -> Ast.stmt -> unit
+val pp_decl : Format.formatter -> Ast.decl -> unit
+val pp_tunit : Format.formatter -> Ast.tunit -> unit
+val to_string : Ast.tunit -> string

@@ -1,0 +1,84 @@
+(* Tokens produced by the Mini-C lexer. *)
+
+type t =
+  | INT of int
+  | IDENT of string
+  | STRING of string
+  (* keywords *)
+  | KW_INT | KW_BOOL | KW_VOID | KW_ENUM | KW_IF | KW_ELSE | KW_WHILE
+  | KW_DO | KW_FOR | KW_RETURN | KW_BREAK | KW_CONTINUE | KW_EXTERN
+  | KW_TRUE | KW_FALSE | KW_MULTIVERSE | KW_VALUES | KW_BIND | KW_NOINLINE
+  | KW_SWITCH | KW_CASE | KW_DEFAULT
+  | KW_SAVEALL | KW_FNPTR | KW_PTR | KW_UINT8 | KW_UINT16 | KW_UINT32
+  | KW_UINT64 | KW_INT8 | KW_INT16 | KW_INT32 | KW_INT64
+  (* punctuation *)
+  | LPAREN | RPAREN | LBRACE | RBRACE | LBRACKET | RBRACKET
+  | SEMI | COMMA | ASSIGN | QUESTION | COLON
+  (* operators *)
+  | PLUS | MINUS | STAR | SLASH | PERCENT
+  | AMP | PIPE | CARET | SHL | SHR
+  | EQ | NE | LT | LE | GT | GE
+  | ANDAND | OROR | BANG | TILDE
+  | PLUSEQ | MINUSEQ | PLUSPLUS | MINUSMINUS
+  | EOF
+
+let keyword_of_string = function
+  | "int" -> Some KW_INT
+  | "bool" -> Some KW_BOOL
+  | "void" -> Some KW_VOID
+  | "enum" -> Some KW_ENUM
+  | "if" -> Some KW_IF
+  | "else" -> Some KW_ELSE
+  | "while" -> Some KW_WHILE
+  | "do" -> Some KW_DO
+  | "for" -> Some KW_FOR
+  | "return" -> Some KW_RETURN
+  | "break" -> Some KW_BREAK
+  | "continue" -> Some KW_CONTINUE
+  | "extern" -> Some KW_EXTERN
+  | "switch" -> Some KW_SWITCH
+  | "case" -> Some KW_CASE
+  | "default" -> Some KW_DEFAULT
+  | "true" -> Some KW_TRUE
+  | "false" -> Some KW_FALSE
+  | "multiverse" -> Some KW_MULTIVERSE
+  | "values" -> Some KW_VALUES
+  | "bind" -> Some KW_BIND
+  | "noinline" -> Some KW_NOINLINE
+  | "saveall" -> Some KW_SAVEALL
+  | "fnptr" -> Some KW_FNPTR
+  | "ptr" -> Some KW_PTR
+  | "uint8" -> Some KW_UINT8
+  | "uint16" -> Some KW_UINT16
+  | "uint32" -> Some KW_UINT32
+  | "uint64" -> Some KW_UINT64
+  | "int8" -> Some KW_INT8
+  | "int16" -> Some KW_INT16
+  | "int32" -> Some KW_INT32
+  | "int64" -> Some KW_INT64
+  | _ -> None
+
+let to_string = function
+  | INT n -> string_of_int n
+  | IDENT s -> s
+  | STRING s -> Printf.sprintf "%S" s
+  | KW_INT -> "int" | KW_BOOL -> "bool" | KW_VOID -> "void" | KW_ENUM -> "enum"
+  | KW_IF -> "if" | KW_ELSE -> "else" | KW_WHILE -> "while" | KW_DO -> "do"
+  | KW_FOR -> "for" | KW_RETURN -> "return" | KW_BREAK -> "break"
+  | KW_CONTINUE -> "continue" | KW_EXTERN -> "extern" | KW_TRUE -> "true"
+  | KW_FALSE -> "false" | KW_MULTIVERSE -> "multiverse" | KW_VALUES -> "values"
+  | KW_BIND -> "bind" | KW_NOINLINE -> "noinline" | KW_SAVEALL -> "saveall"
+  | KW_FNPTR -> "fnptr" | KW_PTR -> "ptr"
+  | KW_SWITCH -> "switch" | KW_CASE -> "case" | KW_DEFAULT -> "default"
+  | KW_UINT8 -> "uint8" | KW_UINT16 -> "uint16" | KW_UINT32 -> "uint32"
+  | KW_UINT64 -> "uint64" | KW_INT8 -> "int8" | KW_INT16 -> "int16"
+  | KW_INT32 -> "int32" | KW_INT64 -> "int64"
+  | LPAREN -> "(" | RPAREN -> ")" | LBRACE -> "{" | RBRACE -> "}"
+  | LBRACKET -> "[" | RBRACKET -> "]" | SEMI -> ";" | COMMA -> ","
+  | ASSIGN -> "=" | QUESTION -> "?" | COLON -> ":"
+  | PLUS -> "+" | MINUS -> "-" | STAR -> "*" | SLASH -> "/" | PERCENT -> "%"
+  | AMP -> "&" | PIPE -> "|" | CARET -> "^" | SHL -> "<<" | SHR -> ">>"
+  | EQ -> "==" | NE -> "!=" | LT -> "<" | LE -> "<=" | GT -> ">" | GE -> ">="
+  | ANDAND -> "&&" | OROR -> "||" | BANG -> "!" | TILDE -> "~"
+  | PLUSEQ -> "+=" | MINUSEQ -> "-=" | PLUSPLUS -> "++" | MINUSMINUS -> "--"
+  | EOF -> "<eof>"

@@ -1,0 +1,398 @@
+(* Semantic analysis for Mini-C.
+
+   Mini-C is deliberately weakly typed (everything is an integer word, as in
+   the low-level C the paper targets), so the checker's main jobs are name
+   resolution, arity checking, and enforcing the multiverse attribute rules
+   from Sections 2-3 of the paper:
+
+   - [multiverse] on globals is restricted to integer, bool, enum and
+     function-pointer types;
+   - [values(..)] and [bind(..)] require [multiverse];
+   - [bind(..)] names must refer to multiverse switches;
+   - writes to a configuration switch inside a multiversed function are
+     legal but produce a warning (the paper's plugin "emits a warning if a
+     switch is written").
+
+   The checker also resolves [&name] between functions and globals and
+   returns a rewritten AST together with a symbol environment used by the
+   lowering pass. *)
+
+exception Error of string * Ast.loc
+
+type severity = Warning | Error_
+
+type diagnostic = { message : string; loc : Ast.loc; severity : severity }
+
+module Smap = Map.Make (String)
+
+type global_info = {
+  gi_ty : Ast.ty;
+  gi_attrs : Ast.attr list;
+  gi_array : int option;
+  gi_init : int option;
+  gi_fn_init : string option;
+  gi_extern : bool;
+}
+
+type func_info = {
+  fi_params : (string * Ast.ty) list;
+  fi_ret : Ast.ty;
+  fi_attrs : Ast.attr list;
+  fi_defined : bool;
+}
+
+type env = {
+  enums : (string * int) list Smap.t;  (** enum name -> items *)
+  enum_consts : int Smap.t;  (** enum item -> value *)
+  globals : global_info Smap.t;
+  funcs : func_info Smap.t;
+}
+
+let empty_env =
+  { enums = Smap.empty; enum_consts = Smap.empty; globals = Smap.empty; funcs = Smap.empty }
+
+let err loc fmt = Format.kasprintf (fun m -> raise (Error (m, loc))) fmt
+
+let is_switch_ty = function
+  | Ast.Tint _ | Ast.Tbool | Ast.Tenum _ | Ast.Tfnptr -> true
+  | Ast.Tvoid | Ast.Tptr -> false
+
+(* ------------------------------------------------------------------ *)
+(* Pass 1: collect top-level declarations                              *)
+(* ------------------------------------------------------------------ *)
+
+let check_global_attrs (g : Ast.global) =
+  let mv = Ast.is_multiversed g.g_attrs in
+  List.iter
+    (fun (a : Ast.attr) ->
+      match a with
+      | Ast.Amultiverse ->
+          if not (is_switch_ty g.g_ty) then
+            err g.g_loc "multiverse attribute on %s requires an integer-like or fnptr type"
+              g.g_name;
+          if g.g_array <> None then
+            err g.g_loc "multiverse attribute cannot apply to array %s" g.g_name
+      | Ast.Avalues vs ->
+          if not mv then err g.g_loc "values(..) on %s requires multiverse" g.g_name;
+          if vs = [] then err g.g_loc "values(..) on %s must be non-empty" g.g_name
+      | Ast.Abind _ -> err g.g_loc "bind(..) is only valid on functions (%s)" g.g_name
+      | Ast.Anoinline | Ast.Asaveall ->
+          err g.g_loc "code-generation attribute on variable %s" g.g_name)
+    g.g_attrs
+
+let check_func_attrs (f : Ast.func) =
+  let mv = Ast.is_multiversed f.f_attrs in
+  List.iter
+    (fun (a : Ast.attr) ->
+      match a with
+      | Ast.Avalues _ -> err f.f_loc "values(..) is only valid on variables (%s)" f.f_name
+      | Ast.Abind _ ->
+          if not mv then err f.f_loc "bind(..) on %s requires multiverse" f.f_name
+      | Ast.Amultiverse | Ast.Anoinline | Ast.Asaveall -> ())
+    f.f_attrs
+
+let collect (tu : Ast.tunit) : env =
+  let add_enum env name items loc =
+    if Smap.mem name env.enums then err loc "duplicate enum %s" name;
+    let enum_consts =
+      List.fold_left
+        (fun acc (item, v) ->
+          if Smap.mem item acc then err loc "duplicate enum item %s" item;
+          Smap.add item v acc)
+        env.enum_consts items
+    in
+    { env with enums = Smap.add name items env.enums; enum_consts }
+  in
+  let add_global env (g : Ast.global) =
+    check_global_attrs g;
+    (match Smap.find_opt g.g_name env.globals with
+    | Some prev when (not prev.gi_extern) && not g.g_extern ->
+        err g.g_loc "duplicate global %s" g.g_name
+    | Some prev ->
+        if not (Ast.ty_equal prev.gi_ty g.g_ty) then
+          err g.g_loc "conflicting types for global %s" g.g_name
+    | None -> ());
+    let info =
+      { gi_ty = g.g_ty; gi_attrs = g.g_attrs; gi_array = g.g_array; gi_init = g.g_init;
+        gi_fn_init = g.g_fn_init; gi_extern = g.g_extern }
+    in
+    (* a definition overrides an earlier extern declaration *)
+    let keep_prev =
+      match Smap.find_opt g.g_name env.globals with
+      | Some prev -> g.g_extern && not prev.gi_extern
+      | None -> false
+    in
+    if keep_prev then env else { env with globals = Smap.add g.g_name info env.globals }
+  in
+  let add_func env (f : Ast.func) =
+    check_func_attrs f;
+    (match Smap.find_opt f.f_name env.funcs with
+    | Some prev when prev.fi_defined && f.f_body <> None ->
+        err f.f_loc "duplicate function %s" f.f_name
+    | Some prev ->
+        if List.length prev.fi_params <> List.length f.f_params then
+          err f.f_loc "conflicting arity for function %s" f.f_name
+    | None -> ());
+    let info =
+      { fi_params = f.f_params; fi_ret = f.f_ret; fi_attrs = f.f_attrs;
+        fi_defined = f.f_body <> None }
+    in
+    let keep_prev =
+      match Smap.find_opt f.f_name env.funcs with
+      | Some prev -> prev.fi_defined && f.f_body = None
+      | None -> false
+    in
+    if keep_prev then env else { env with funcs = Smap.add f.f_name info env.funcs }
+  in
+  List.fold_left
+    (fun env decl ->
+      match decl with
+      | Ast.Denum (name, items, loc) -> add_enum env name items loc
+      | Ast.Dglobal g -> add_global env g
+      | Ast.Dfunc f -> add_func env f)
+    empty_env tu
+
+(* ------------------------------------------------------------------ *)
+(* Pass 2: check and rewrite bodies                                    *)
+(* ------------------------------------------------------------------ *)
+
+type ctx = {
+  env : env;
+  fn : Ast.func;
+  mutable locals : Ast.ty Smap.t list;  (** scope stack *)
+  mutable loop_depth : int;
+  mutable switch_depth : int;
+  diags : diagnostic list ref;
+}
+
+let warn ctx loc fmt =
+  Format.kasprintf
+    (fun message -> ctx.diags := { message; loc; severity = Warning } :: !(ctx.diags))
+    fmt
+
+let push_scope ctx = ctx.locals <- Smap.empty :: ctx.locals
+
+let pop_scope ctx =
+  match ctx.locals with
+  | _ :: rest -> ctx.locals <- rest
+  | [] -> invalid_arg "pop_scope on empty stack"
+
+let find_local ctx name =
+  List.find_map (fun scope -> Smap.find_opt name scope) ctx.locals
+
+let add_local ctx loc name ty =
+  match ctx.locals with
+  | scope :: rest ->
+      if Smap.mem name scope then err loc "duplicate local %s" name;
+      ctx.locals <- Smap.add name ty scope :: rest
+  | [] -> invalid_arg "add_local with no scope"
+
+let is_global_switch env name =
+  match Smap.find_opt name env.globals with
+  | Some gi -> Ast.is_multiversed gi.gi_attrs
+  | None -> false
+
+let rec check_expr ctx (e : Ast.expr) : Ast.expr =
+  let loc = e.eloc in
+  let mk edesc : Ast.expr = { e with edesc } in
+  match e.edesc with
+  | Ast.Eint _ -> e
+  | Ast.Evar name ->
+      if find_local ctx name <> None then e
+      else if Smap.mem name ctx.env.enum_consts then
+        (* enum constants become plain integer literals here *)
+        mk (Ast.Eint (Smap.find name ctx.env.enum_consts))
+      else if Smap.mem name ctx.env.globals then e
+      else err loc "undefined variable %s" name
+  | Ast.Eunop (op, a) -> mk (Ast.Eunop (op, check_expr ctx a))
+  | Ast.Ebinop (op, a, b) -> mk (Ast.Ebinop (op, check_expr ctx a, check_expr ctx b))
+  | Ast.Econd (c, a, b) ->
+      mk (Ast.Econd (check_expr ctx c, check_expr ctx a, check_expr ctx b))
+  | Ast.Ecall (name, args) ->
+      let args = List.map (check_expr ctx) args in
+      (match Smap.find_opt name ctx.env.funcs with
+      | Some fi ->
+          if List.length args <> List.length fi.fi_params then
+            err loc "function %s expects %d argument(s), got %d" name
+              (List.length fi.fi_params) (List.length args);
+          mk (Ast.Ecall (name, args))
+      | None -> (
+          (* a call through a function-pointer global keeps the same syntax *)
+          match Smap.find_opt name ctx.env.globals with
+          | Some gi when gi.gi_ty = Ast.Tfnptr -> mk (Ast.Ecall (name, args))
+          | Some _ -> err loc "%s is not a function or function pointer" name
+          | None -> err loc "undefined function %s" name))
+  | Ast.Eintrinsic (i, args) ->
+      let args = List.map (check_expr ctx) args in
+      if List.length args <> Ast.intrinsic_arity i then
+        err loc "intrinsic %s expects %d argument(s), got %d" (Ast.intrinsic_name i)
+          (Ast.intrinsic_arity i) (List.length args);
+      mk (Ast.Eintrinsic (i, args))
+  | Ast.Eindex (a, i) -> mk (Ast.Eindex (check_expr ctx a, check_expr ctx i))
+  | Ast.Ederef p -> mk (Ast.Ederef (check_expr ctx p))
+  | Ast.Ederefw (w, p) -> mk (Ast.Ederefw (w, check_expr ctx p))
+  | Ast.Eaddr_of_fun name ->
+      if Smap.mem name ctx.env.funcs then e
+      else if Smap.mem name ctx.env.globals then mk (Ast.Eaddr_of_var name)
+      else err loc "cannot take address of undefined symbol %s" name
+  | Ast.Eaddr_of_var name ->
+      if Smap.mem name ctx.env.globals then e
+      else err loc "cannot take address of undefined global %s" name
+
+let check_lhs ctx loc (l : Ast.lhs) : Ast.lhs =
+  match l with
+  | Ast.Lvar name ->
+      if find_local ctx name <> None then l
+      else if Smap.mem name ctx.env.enum_consts then
+        err loc "cannot assign to enum constant %s" name
+      else if Smap.mem name ctx.env.globals then begin
+        if Ast.is_multiversed ctx.fn.f_attrs && is_global_switch ctx.env name then
+          warn ctx loc
+            "write to configuration switch %s inside multiversed function %s" name
+            ctx.fn.f_name;
+        l
+      end
+      else err loc "undefined variable %s" name
+  | Ast.Lindex (a, i) -> Ast.Lindex (check_expr ctx a, check_expr ctx i)
+  | Ast.Lderef p -> Ast.Lderef (check_expr ctx p)
+  | Ast.Lderefw (w, p) -> Ast.Lderefw (w, check_expr ctx p)
+
+let rec check_stmt ctx (s : Ast.stmt) : Ast.stmt =
+  let loc = s.sloc in
+  let mk sdesc : Ast.stmt = { s with sdesc } in
+  match s.sdesc with
+  | Ast.Sdecl (name, ty, init) ->
+      if ty = Ast.Tvoid then err loc "local %s cannot have type void" name;
+      let init = Option.map (check_expr ctx) init in
+      add_local ctx loc name ty;
+      mk (Ast.Sdecl (name, ty, init))
+  | Ast.Sassign (l, e) ->
+      let e = check_expr ctx e in
+      let l = check_lhs ctx loc l in
+      mk (Ast.Sassign (l, e))
+  | Ast.Sif (c, t, f) ->
+      let c = check_expr ctx c in
+      let t = check_block ctx t in
+      let f = check_block ctx f in
+      mk (Ast.Sif (c, t, f))
+  | Ast.Swhile (c, body) ->
+      let c = check_expr ctx c in
+      ctx.loop_depth <- ctx.loop_depth + 1;
+      let body = check_block ctx body in
+      ctx.loop_depth <- ctx.loop_depth - 1;
+      mk (Ast.Swhile (c, body))
+  | Ast.Sdo_while (body, c) ->
+      ctx.loop_depth <- ctx.loop_depth + 1;
+      let body = check_block ctx body in
+      ctx.loop_depth <- ctx.loop_depth - 1;
+      let c = check_expr ctx c in
+      mk (Ast.Sdo_while (body, c))
+  | Ast.Sfor (init, cond, step, body) ->
+      push_scope ctx;
+      let init = Option.map (check_stmt ctx) init in
+      let cond = Option.map (check_expr ctx) cond in
+      let step = Option.map (check_stmt ctx) step in
+      ctx.loop_depth <- ctx.loop_depth + 1;
+      let body = check_block ctx body in
+      ctx.loop_depth <- ctx.loop_depth - 1;
+      pop_scope ctx;
+      mk (Ast.Sfor (init, cond, step, body))
+  | Ast.Sreturn e ->
+      let e = Option.map (check_expr ctx) e in
+      (match e, ctx.fn.f_ret with
+      | Some _, Ast.Tvoid -> err loc "void function %s returns a value" ctx.fn.f_name
+      | None, ret when ret <> Ast.Tvoid ->
+          err loc "non-void function %s returns without a value" ctx.fn.f_name
+      | _ -> ());
+      mk (Ast.Sreturn e)
+  | Ast.Sexpr e -> mk (Ast.Sexpr (check_expr ctx e))
+  | Ast.Sbreak ->
+      if ctx.loop_depth = 0 && ctx.switch_depth = 0 then
+        err loc "break outside of loop or switch";
+      s
+  | Ast.Scontinue ->
+      if ctx.loop_depth = 0 then err loc "continue outside of loop";
+      s
+  | Ast.Sblock body -> mk (Ast.Sblock (check_block ctx body))
+  | Ast.Sswitch (scrutinee, cases, default) ->
+      let scrutinee = check_expr ctx scrutinee in
+      let seen = Hashtbl.create 8 in
+      List.iter
+        (fun (labels, _) ->
+          List.iter
+            (fun v ->
+              if Hashtbl.mem seen v then err loc "duplicate case label %d" v;
+              Hashtbl.replace seen v ())
+            labels)
+        cases;
+      ctx.switch_depth <- ctx.switch_depth + 1;
+      let cases = List.map (fun (labels, body) -> (labels, check_block ctx body)) cases in
+      let default = Option.map (check_block ctx) default in
+      ctx.switch_depth <- ctx.switch_depth - 1;
+      mk (Ast.Sswitch (scrutinee, cases, default))
+
+and check_block ctx body =
+  push_scope ctx;
+  let body = List.map (check_stmt ctx) body in
+  pop_scope ctx;
+  body
+
+let check_bind_attr env (f : Ast.func) =
+  match Ast.attr_bind f.f_attrs with
+  | None -> ()
+  | Some names ->
+      List.iter
+        (fun name ->
+          match Smap.find_opt name env.globals with
+          | Some gi when Ast.is_multiversed gi.gi_attrs -> ()
+          | Some _ -> err f.f_loc "bind(%s) on %s: not a multiverse switch" name f.f_name
+          | None -> err f.f_loc "bind(%s) on %s: undefined global" name f.f_name)
+        names
+
+let check_fn_init env (g : Ast.global) =
+  match g.g_fn_init with
+  | None -> ()
+  | Some f ->
+      if g.g_ty <> Ast.Tfnptr then
+        err g.g_loc "initializer &%s requires fnptr type for %s" f g.g_name;
+      if not (Smap.mem f env.funcs) then
+        err g.g_loc "fnptr %s initialized with undefined function %s" g.g_name f
+
+(** Check a translation unit.  Returns the (rewritten) unit, the symbol
+    environment, and the list of warnings.  Raises [Error] on hard errors. *)
+let check (tu : Ast.tunit) : Ast.tunit * env * diagnostic list =
+  let env = collect tu in
+  let diags = ref [] in
+  let tu =
+    List.map
+      (fun decl ->
+        match decl with
+        | Ast.Denum _ -> decl
+        | Ast.Dglobal g ->
+            check_fn_init env g;
+            (match g.g_ty with
+            | Ast.Tenum e when not (Smap.mem e env.enums) ->
+                err g.g_loc "global %s has undefined enum type %s" g.g_name e
+            | _ -> ());
+            decl
+        | Ast.Dfunc f -> (
+            check_bind_attr env f;
+            match f.f_body with
+            | None -> decl
+            | Some body ->
+                let ctx =
+                  { env; fn = f; locals = []; loop_depth = 0; switch_depth = 0; diags }
+                in
+                push_scope ctx;
+                List.iter (fun (name, ty) -> add_local ctx f.f_loc name ty) f.f_params;
+                let body = check_block ctx body in
+                pop_scope ctx;
+                Ast.Dfunc { f with f_body = Some body }))
+      tu
+  in
+  (tu, env, List.rev !diags)
+
+(** Convenience: parse and check in one step. *)
+let check_string src =
+  let tu = Parser.parse_string src in
+  check tu

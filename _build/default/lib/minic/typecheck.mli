@@ -1,0 +1,48 @@
+(** Semantic analysis for Mini-C: name resolution, arity checking, and the
+    multiverse attribute rules of paper Sections 2-3 — including the
+    warning when a multiversed function writes a configuration switch. *)
+
+exception Error of string * Ast.loc
+
+type severity = Warning | Error_
+
+type diagnostic = { message : string; loc : Ast.loc; severity : severity }
+
+module Smap : Map.S with type key = string
+
+type global_info = {
+  gi_ty : Ast.ty;
+  gi_attrs : Ast.attr list;
+  gi_array : int option;
+  gi_init : int option;
+  gi_fn_init : string option;
+  gi_extern : bool;
+}
+
+type func_info = {
+  fi_params : (string * Ast.ty) list;
+  fi_ret : Ast.ty;
+  fi_attrs : Ast.attr list;
+  fi_defined : bool;
+}
+
+(** Symbol environment produced by checking; consumed by lowering. *)
+type env = {
+  enums : (string * int) list Smap.t;
+  enum_consts : int Smap.t;
+  globals : global_info Smap.t;
+  funcs : func_info Smap.t;
+}
+
+val empty_env : env
+
+(** Collect top-level declarations into an environment (pass 1). *)
+val collect : Ast.tunit -> env
+
+(** Check a translation unit.  Returns the rewritten unit (enum constants
+    folded, [&name] resolved), the environment, and the warnings.  Raises
+    {!Error} on hard errors. *)
+val check : Ast.tunit -> Ast.tunit * env * diagnostic list
+
+(** Parse and check in one step. *)
+val check_string : string -> Ast.tunit * env * diagnostic list

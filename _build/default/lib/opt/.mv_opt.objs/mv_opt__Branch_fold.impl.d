@@ -1,0 +1,1 @@
+lib/opt/branch_fold.ml: List Mv_ir

@@ -1,0 +1,1 @@
+lib/opt/branch_fold.mli: Mv_ir

@@ -1,0 +1,1 @@
+lib/opt/const_prop.ml: Hashtbl List Mv_ir

@@ -1,0 +1,1 @@
+lib/opt/const_prop.mli: Mv_ir

@@ -1,0 +1,1 @@
+lib/opt/dce.ml: Int List Map Mv_ir Option Set

@@ -1,0 +1,1 @@
+lib/opt/dce.mli: Map Mv_ir Set

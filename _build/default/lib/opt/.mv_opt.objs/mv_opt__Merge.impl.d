@@ -1,0 +1,1 @@
+lib/opt/merge.ml: Buffer Hashtbl List Minic Mv_ir Printf String

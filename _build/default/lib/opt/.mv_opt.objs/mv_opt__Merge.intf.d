@@ -1,0 +1,1 @@
+lib/opt/merge.mli: Mv_ir

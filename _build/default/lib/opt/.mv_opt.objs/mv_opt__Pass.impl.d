@@ -1,0 +1,1 @@
+lib/opt/pass.ml: Branch_fold Const_prop Dce List Mv_ir Simplify_cfg

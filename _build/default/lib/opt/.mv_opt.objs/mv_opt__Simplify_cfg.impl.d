@@ -1,0 +1,1 @@
+lib/opt/simplify_cfg.ml: Hashtbl Int List Map Mv_ir Option Printf

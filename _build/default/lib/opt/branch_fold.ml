@@ -1,0 +1,20 @@
+(* Fold conditional branches whose condition is a constant.  Combined with
+   constant propagation this performs the dead-branch elimination that makes
+   specialized multiverse variants branch-free (Figure 1.C in the paper). *)
+
+module Ir = Mv_ir.Ir
+
+let run (fn : Ir.fn) : bool =
+  let changed = ref false in
+  List.iter
+    (fun (b : Ir.block) ->
+      match b.b_term with
+      | Ir.Tbr (Ir.Imm c, t, f) ->
+          b.b_term <- Ir.Tjmp (if c <> 0 then t else f);
+          changed := true
+      | Ir.Tbr (_, t, f) when t = f ->
+          b.b_term <- Ir.Tjmp t;
+          changed := true
+      | Ir.Tbr _ | Ir.Tjmp _ | Ir.Tret _ -> ())
+    fn.fn_blocks;
+  !changed

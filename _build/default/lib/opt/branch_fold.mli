@@ -1,0 +1,6 @@
+(** Fold conditional branches with constant conditions (and branches whose
+    arms coincide).  Together with constant propagation this performs the
+    dead-branch elimination that makes specialized multiverse variants
+    branch-free (paper Figure 1.C). *)
+
+val run : Mv_ir.Ir.fn -> bool

@@ -1,0 +1,102 @@
+(* Block-local constant and copy propagation with algebraic simplification.
+   This is the pass that turns a specialized variant (where configuration
+   switch reads have been replaced by constants) into straight-line code:
+   propagated constants reach the branch terminators, which [Branch_fold]
+   then folds away. *)
+
+module Ir = Mv_ir.Ir
+
+(** Fold a binary operation over constants.  Division and modulo by zero are
+    left un-folded so the trap survives to run time. *)
+let fold_binop op a b =
+  match op with
+  | (Ir.Div | Ir.Mod) when b = 0 -> None
+  | _ -> Some (Mv_ir.Interp.eval_binop op a b)
+
+let fold_unop = Mv_ir.Interp.eval_unop
+
+(** Algebraic identities on one constant operand. *)
+let simplify_binop op a b =
+  match op, a, b with
+  | Ir.Add, Ir.Imm 0, x | Ir.Add, x, Ir.Imm 0 -> Some (`Op x)
+  | Ir.Sub, x, Ir.Imm 0 -> Some (`Op x)
+  | Ir.Mul, Ir.Imm 1, x | Ir.Mul, x, Ir.Imm 1 -> Some (`Op x)
+  | Ir.Mul, Ir.Imm 0, _ | Ir.Mul, _, Ir.Imm 0 -> Some (`Op (Ir.Imm 0))
+  | Ir.Div, x, Ir.Imm 1 -> Some (`Op x)
+  | Ir.Band, Ir.Imm 0, _ | Ir.Band, _, Ir.Imm 0 -> Some (`Op (Ir.Imm 0))
+  | Ir.Bor, Ir.Imm 0, x | Ir.Bor, x, Ir.Imm 0 -> Some (`Op x)
+  | Ir.Bxor, Ir.Imm 0, x | Ir.Bxor, x, Ir.Imm 0 -> Some (`Op x)
+  | Ir.Shl, x, Ir.Imm 0 | Ir.Shr, x, Ir.Imm 0 -> Some (`Op x)
+  | _ -> None
+
+type facts = (Ir.reg, Ir.operand) Hashtbl.t
+
+(** Forget all facts about [r] and all facts that mention [r] as a source. *)
+let invalidate (facts : facts) r =
+  Hashtbl.remove facts r;
+  let stale =
+    Hashtbl.fold
+      (fun d src acc -> match src with Ir.Reg s when s = r -> d :: acc | _ -> acc)
+      facts []
+  in
+  List.iter (Hashtbl.remove facts) stale
+
+let subst (facts : facts) (op : Ir.operand) : Ir.operand =
+  match op with
+  | Ir.Imm _ -> op
+  | Ir.Reg r -> ( match Hashtbl.find_opt facts r with Some v -> v | None -> op)
+
+(** Propagate within one block.  Returns [true] if anything changed. *)
+let run_block (b : Ir.block) : bool =
+  let changed = ref false in
+  let facts : facts = Hashtbl.create 16 in
+  let rewrite i =
+    let i' = Ir.map_instr_operands (subst facts) i in
+    if i' <> i then changed := true;
+    (* compute the new fact produced by the rewritten instruction *)
+    let folded =
+      match i' with
+      | Ir.Ibin (op, d, Ir.Imm a, Ir.Imm b) -> (
+          match fold_binop op a b with
+          | Some v -> Some (Ir.Imov (d, Ir.Imm v))
+          | None -> None)
+      | Ir.Ibin (op, d, a, b) -> (
+          match simplify_binop op a b with
+          | Some (`Op x) -> Some (Ir.Imov (d, x))
+          | None -> None)
+      | Ir.Iun (op, d, Ir.Imm a) -> Some (Ir.Imov (d, Ir.Imm (fold_unop op a)))
+      | _ -> None
+    in
+    let i' =
+      match folded with
+      | Some f ->
+          changed := true;
+          f
+      | None -> i'
+    in
+    (match Ir.instr_def i' with
+    | Some d -> (
+        invalidate facts d;
+        match i' with
+        | Ir.Imov (_, (Ir.Imm _ as src)) -> Hashtbl.replace facts d src
+        | Ir.Imov (_, (Ir.Reg s as src)) when s <> d -> Hashtbl.replace facts d src
+        | _ -> ())
+    | None -> ());
+    i'
+  in
+  b.b_instrs <- List.map rewrite b.b_instrs;
+  (* also rewrite the terminator with end-of-block facts *)
+  let term' =
+    match b.b_term with
+    | Ir.Tbr (c, t, f) -> Ir.Tbr (subst facts c, t, f)
+    | Ir.Tret (Some v) -> Ir.Tret (Some (subst facts v))
+    | (Ir.Tjmp _ | Ir.Tret None) as t -> t
+  in
+  if term' <> b.b_term then begin
+    b.b_term <- term';
+    changed := true
+  end;
+  !changed
+
+let run (fn : Ir.fn) : bool =
+  List.fold_left (fun acc b -> run_block b || acc) false fn.fn_blocks

@@ -1,0 +1,20 @@
+(** Block-local constant and copy propagation with algebraic
+    simplification.  This pass turns a constant-substituted multiverse
+    clone into straight-line code: propagated constants reach the branch
+    terminators, which {!Branch_fold} then folds away. *)
+
+(** Fold a binary operation over constants; [None] for division/modulo by
+    zero (the trap must survive to run time). *)
+val fold_binop : Mv_ir.Ir.binop -> int -> int -> int option
+
+val fold_unop : Mv_ir.Ir.unop -> int -> int
+
+(** Algebraic identities on one constant operand (x+0, x*1, x&0, ...). *)
+val simplify_binop :
+  Mv_ir.Ir.binop ->
+  Mv_ir.Ir.operand ->
+  Mv_ir.Ir.operand ->
+  [ `Op of Mv_ir.Ir.operand ] option
+
+(** Run over one function; [true] if anything changed. *)
+val run : Mv_ir.Ir.fn -> bool

@@ -1,0 +1,125 @@
+(* Liveness-based dead-code elimination over the whole CFG.  Instructions
+   whose destination register is dead and which have no side effect are
+   removed.  Together with constant propagation this erases the residue of a
+   specialized configuration-switch read. *)
+
+module Ir = Mv_ir.Ir
+
+module Iset = Set.Make (Int)
+module Imap = Map.Make (Int)
+
+let operand_regs ops =
+  List.filter_map (function Ir.Reg r -> Some r | Ir.Imm _ -> None) ops
+
+let term_uses = function
+  | Ir.Tbr (c, _, _) -> operand_regs [ c ]
+  | Ir.Tret (Some v) -> operand_regs [ v ]
+  | Ir.Tjmp _ | Ir.Tret None -> []
+
+(** Compute live-in sets for every block by backward fixpoint. *)
+let liveness (fn : Ir.fn) : Iset.t Imap.t =
+  let live_in = ref Imap.empty in
+  let get id = Option.value ~default:Iset.empty (Imap.find_opt id !live_in) in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    (* iterate in reverse order for faster convergence *)
+    List.iter
+      (fun (b : Ir.block) ->
+        let live_out =
+          List.fold_left
+            (fun acc succ -> Iset.union acc (get succ))
+            Iset.empty
+            (Ir.successors b.b_term)
+        in
+        let live =
+          List.fold_left
+            (fun acc r -> Iset.add r acc)
+            live_out (term_uses b.b_term)
+        in
+        let live =
+          List.fold_right
+            (fun i live ->
+              let live =
+                match Ir.instr_def i with Some d -> Iset.remove d live | None -> live
+              in
+              List.fold_left
+                (fun acc op ->
+                  match op with Ir.Reg r -> Iset.add r acc | Ir.Imm _ -> acc)
+                live (Ir.instr_uses i))
+            b.b_instrs live
+        in
+        if not (Iset.equal live (get b.b_id)) then begin
+          live_in := Imap.add b.b_id live !live_in;
+          changed := true
+        end)
+      (List.rev fn.fn_blocks)
+  done;
+  !live_in
+
+let run (fn : Ir.fn) : bool =
+  let live_in = liveness fn in
+  let get id = Option.value ~default:Iset.empty (Imap.find_opt id live_in) in
+  let changed = ref false in
+  List.iter
+    (fun (b : Ir.block) ->
+      let live_out =
+        List.fold_left
+          (fun acc succ -> Iset.union acc (get succ))
+          Iset.empty
+          (Ir.successors b.b_term)
+      in
+      let live =
+        List.fold_left (fun acc r -> Iset.add r acc) live_out (term_uses b.b_term)
+      in
+      (* walk backwards, dropping dead pure instructions *)
+      let live = ref live in
+      let keep =
+        List.fold_right
+          (fun i acc ->
+            let dead =
+              (not (Ir.instr_has_side_effect i))
+              &&
+              match Ir.instr_def i with
+              | Some d -> not (Iset.mem d !live)
+              | None -> true
+            in
+            if dead then begin
+              changed := true;
+              acc
+            end
+            else begin
+              (* side-effecting instruction with a dead result: keep it but
+                 drop the destination (e.g. an ignored call return value) *)
+              let i =
+                match Ir.instr_def i with
+                | Some d when not (Iset.mem d !live) -> (
+                    match i with
+                    | Ir.Icall (Some _, f, args) ->
+                        changed := true;
+                        Ir.Icall (None, f, args)
+                    | Ir.Icallp (Some _, f, args) ->
+                        changed := true;
+                        Ir.Icallp (None, f, args)
+                    | Ir.Iintr (Some _, intr, args) ->
+                        changed := true;
+                        Ir.Iintr (None, intr, args)
+                    | _ -> i)
+                | Some _ | None -> i
+              in
+              (match Ir.instr_def i with
+              | Some d -> live := Iset.remove d !live
+              | None -> ());
+              List.iter
+                (fun op ->
+                  match op with
+                  | Ir.Reg r -> live := Iset.add r !live
+                  | Ir.Imm _ -> ())
+                (Ir.instr_uses i);
+              i :: acc
+            end)
+          b.b_instrs []
+      in
+      b.b_instrs <- keep)
+    fn.fn_blocks;
+  !changed

@@ -1,0 +1,114 @@
+(* Control-flow graph cleanup:
+   - removal of blocks unreachable from the entry,
+   - skipping of empty forwarding blocks (no instructions, unconditional jump),
+   - merging of a block into its unique predecessor when that predecessor
+     jumps unconditionally to it.
+   The entry block always keeps its position at the head of the list. *)
+
+module Ir = Mv_ir.Ir
+
+module Imap = Map.Make (Int)
+
+let block_map (fn : Ir.fn) =
+  List.fold_left (fun m (b : Ir.block) -> Imap.add b.b_id b m) Imap.empty fn.fn_blocks
+
+let reachable (fn : Ir.fn) =
+  let blocks = block_map fn in
+  let seen = Hashtbl.create 16 in
+  let rec visit id =
+    if not (Hashtbl.mem seen id) then begin
+      Hashtbl.replace seen id ();
+      match Imap.find_opt id blocks with
+      | Some b -> List.iter visit (Ir.successors b.b_term)
+      | None -> invalid_arg (Printf.sprintf "%s: missing block %d" fn.fn_name id)
+    end
+  in
+  (match fn.fn_blocks with
+  | entry :: _ -> visit entry.b_id
+  | [] -> ());
+  seen
+
+let remove_unreachable (fn : Ir.fn) : bool =
+  let seen = reachable fn in
+  let before = List.length fn.fn_blocks in
+  fn.fn_blocks <- List.filter (fun (b : Ir.block) -> Hashtbl.mem seen b.b_id) fn.fn_blocks;
+  List.length fn.fn_blocks <> before
+
+(** Retarget jumps through empty blocks that only forward to another block. *)
+let skip_empty (fn : Ir.fn) : bool =
+  let changed = ref false in
+  let forward = Hashtbl.create 16 in
+  (match fn.fn_blocks with
+  | entry :: rest ->
+      List.iter
+        (fun (b : Ir.block) ->
+          match b.b_instrs, b.b_term with
+          | [], Ir.Tjmp t when t <> b.b_id -> Hashtbl.replace forward b.b_id t
+          | _ -> ())
+        rest;
+      ignore entry
+  | [] -> ());
+  (* resolve chains, guarding against cycles of empty blocks *)
+  let rec resolve ?(fuel = 64) id =
+    if fuel = 0 then id
+    else
+      match Hashtbl.find_opt forward id with
+      | Some t -> resolve ~fuel:(fuel - 1) t
+      | None -> id
+  in
+  List.iter
+    (fun (b : Ir.block) ->
+      let retarget t =
+        let t' = resolve t in
+        if t' <> t then changed := true;
+        t'
+      in
+      b.b_term <-
+        (match b.b_term with
+        | Ir.Tjmp t -> Ir.Tjmp (retarget t)
+        | Ir.Tbr (c, t, f) -> Ir.Tbr (c, retarget t, retarget f)
+        | Ir.Tret _ as r -> r))
+    fn.fn_blocks;
+  !changed
+
+(** Merge [b -> succ] pairs where [b] ends in [Tjmp succ] and [succ] has no
+    other predecessor (and is not the entry block). *)
+let merge_straight_line (fn : Ir.fn) : bool =
+  let changed = ref false in
+  let pred_count = Hashtbl.create 16 in
+  let bump id = Hashtbl.replace pred_count id (1 + Option.value ~default:0 (Hashtbl.find_opt pred_count id)) in
+  List.iter (fun (b : Ir.block) -> List.iter bump (Ir.successors b.b_term)) fn.fn_blocks;
+  let entry_id = match fn.fn_blocks with b :: _ -> b.b_id | [] -> -1 in
+  let blocks = block_map fn in
+  let merged = Hashtbl.create 16 in
+  List.iter
+    (fun (b : Ir.block) ->
+      if not (Hashtbl.mem merged b.b_id) then begin
+        let rec absorb () =
+          match b.b_term with
+          | Ir.Tjmp t
+            when t <> b.b_id && t <> entry_id
+                 && Hashtbl.find_opt pred_count t = Some 1
+                 && not (Hashtbl.mem merged t) -> (
+              match Imap.find_opt t blocks with
+              | Some succ ->
+                  b.b_instrs <- b.b_instrs @ succ.b_instrs;
+                  b.b_term <- succ.b_term;
+                  Hashtbl.replace merged t ();
+                  changed := true;
+                  absorb ()
+              | None -> ())
+          | _ -> ()
+        in
+        absorb ()
+      end)
+    fn.fn_blocks;
+  fn.fn_blocks <- List.filter (fun (b : Ir.block) -> not (Hashtbl.mem merged b.b_id)) fn.fn_blocks;
+  !changed
+
+let run (fn : Ir.fn) : bool =
+  let c1 = skip_empty fn in
+  let c2 = remove_unreachable fn in
+  let c3 = merge_straight_line fn in
+  let c4 = remove_unreachable fn in
+  c1 || c2 || c3 || c4

@@ -1,0 +1,1 @@
+lib/vm/branch_pred.ml: Array Bool

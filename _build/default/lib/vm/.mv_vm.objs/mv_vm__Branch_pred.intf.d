@@ -1,0 +1,1 @@
+lib/vm/branch_pred.mli:

@@ -1,0 +1,1 @@
+lib/vm/machine.ml: Array Bool Branch_pred Cost List Mv_isa Mv_link Perf Printf

@@ -1,0 +1,1 @@
+lib/vm/machine.mli: Branch_pred Cost Mv_isa Mv_link Perf

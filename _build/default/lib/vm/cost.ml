@@ -1,0 +1,78 @@
+(* Cycle cost model, calibrated against published Skylake-class latencies.
+
+   The constants that carry the paper's story:
+   - [mispredict_penalty] ~ 16 cycles (the paper's footnote cites 16.5/19-20
+     for Skylake) — this is why dynamically-evaluated configuration switches
+     are expensive on real execution paths;
+   - [atomic] ~ 18 cycles — why eliding the spinlock acquisition on a
+     uniprocessor pays (Figure 1: 28.8 vs 6.6 cycles);
+   - [cli]/[sti] a few cycles — the paravirtual operations of Section 6.1;
+   - [hypercall] — the Xen guest path, much more expensive than native. *)
+
+type t = {
+  mov : float;
+  mov_imm : float;
+  alu : float;
+  mul : float;
+  div : float;
+  load : float;
+  store : float;
+  load_global : float;
+  lea : float;
+  push : float;
+  pop : float;
+  call : float;
+  call_ind : float;  (** extra decode/indirection cost of an indirect call *)
+  ret : float;
+  jmp : float;
+  branch : float;  (** correctly predicted conditional branch *)
+  mispredict_penalty : float;
+  btb_miss_penalty : float;  (** indirect-branch target miss *)
+  nop : float;
+  cli : float;
+  sti : float;
+  pause : float;
+  fence : float;
+  atomic : float;
+  hypercall : float;
+  rdtsc : float;
+}
+
+(** Default model: an aggressive out-of-order core around 3 GHz. *)
+let default =
+  {
+    mov = 0.3;
+    mov_imm = 0.3;
+    alu = 0.3;
+    mul = 1.0;
+    div = 20.0;
+    load = 0.6;
+    store = 0.6;
+    load_global = 0.6;
+    lea = 0.3;
+    push = 0.3;
+    pop = 0.3;
+    call = 1.3;
+    call_ind = 2.2;
+    ret = 1.3;
+    jmp = 0.4;
+    branch = 0.5;
+    mispredict_penalty = 16.0;
+    btb_miss_penalty = 14.0;
+    nop = 0.12;
+    cli = 2.4;
+    sti = 3.0;
+    pause = 1.2;
+    fence = 5.0;
+    atomic = 17.5;
+    hypercall = 120.0;
+    rdtsc = 6.0;
+  }
+
+(** Nominal clock used to convert simulated cycles into wall time when a
+    benchmark reports seconds (as the musl and grep experiments do). *)
+let nominal_ghz = 3.0
+
+let cycles_to_seconds cycles = cycles /. (nominal_ghz *. 1e9)
+
+let cycles_to_ms cycles = cycles_to_seconds cycles *. 1e3

@@ -1,0 +1,46 @@
+(** The cycle cost model, calibrated against published Skylake-class
+    latencies.  The constants that carry the paper's story:
+    - [mispredict_penalty] ~16 cycles (the Section 1 footnote) — why
+      dynamically-evaluated switches are expensive on real paths;
+    - [atomic] ~18 cycles — why uniprocessor lock elision pays
+      (Figure 1: 28.8 vs 6.6 cycles);
+    - [cli]/[sti]/[hypercall] — the paravirtual-operation costs. *)
+
+type t = {
+  mov : float;
+  mov_imm : float;
+  alu : float;
+  mul : float;
+  div : float;
+  load : float;
+  store : float;
+  load_global : float;
+  lea : float;
+  push : float;
+  pop : float;
+  call : float;
+  call_ind : float;  (** extra cost of the indirection itself *)
+  ret : float;
+  jmp : float;
+  branch : float;  (** correctly predicted conditional branch *)
+  mispredict_penalty : float;
+  btb_miss_penalty : float;
+  nop : float;
+  cli : float;
+  sti : float;
+  pause : float;
+  fence : float;
+  atomic : float;
+  hypercall : float;
+  rdtsc : float;
+}
+
+(** An aggressive out-of-order core around 3 GHz. *)
+val default : t
+
+(** Nominal clock for converting simulated cycles into wall time when an
+    experiment reports seconds (musl, grep). *)
+val nominal_ghz : float
+
+val cycles_to_seconds : float -> float
+val cycles_to_ms : float -> float

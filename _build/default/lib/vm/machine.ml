@@ -1,0 +1,264 @@
+(* The machine simulator: fetch / decode / execute over a linked image, with
+   a cycle cost model, branch prediction, and a decode cache that models the
+   instruction cache.
+
+   The decode cache is the reason the multiverse runtime must flush after
+   patching (Section 4: "flush the instruction cache for the respective
+   locations"): until [flush_icache] is called for a patched range, the
+   machine keeps executing the stale decoded instructions. *)
+
+module Insn = Mv_isa.Insn
+module Image = Mv_link.Image
+
+exception Fault of string
+
+let faultf fmt = Printf.ksprintf (fun m -> raise (Fault m)) fmt
+
+(** Native hardware or a Xen paravirtualized guest.  In a PV guest the
+    privileged [cli]/[sti] instructions must not be executed directly — the
+    kernel has to go through hypercalls (Section 6.1). *)
+type platform = Native | Xen
+
+type t = {
+  image : Image.t;
+  regs : int array;
+  mutable pc : int;
+  perf : Perf.t;
+  bp : Branch_pred.t;
+  cost : Cost.t;
+  platform : platform;
+  cache : (Insn.t * int) option array;  (** decode cache, indexed by text offset *)
+  mutable irq_enabled : bool;
+  mutable steps_left : int;
+  max_steps : int;
+}
+
+let return_sentinel = 0
+
+let create ?(cost = Cost.default) ?(platform = Native) ?(max_steps = 2_000_000_000)
+    (image : Image.t) : t =
+  {
+    image;
+    regs = Array.make Insn.num_regs 0;
+    pc = return_sentinel;
+    perf = Perf.create ();
+    bp = Branch_pred.create ();
+    cost;
+    platform;
+    cache = Array.make (max 1 image.Image.text.Image.sr_size) None;
+    irq_enabled = true;
+    steps_left = max_steps;
+    max_steps;
+  }
+
+let text_base t = t.image.Image.text.Image.sr_base
+
+(** Drop decode-cache entries overlapping [addr, addr+len).  Mirrors an
+    instruction-cache flush; the multiverse runtime calls this after every
+    patch. *)
+let flush_icache t ~addr ~len =
+  t.perf.Perf.icache_flushes <- t.perf.Perf.icache_flushes + 1;
+  let base = text_base t in
+  let lo = max 0 (addr - base - 15) and hi = min (Array.length t.cache) (addr - base + len) in
+  for i = lo to hi - 1 do
+    t.cache.(i) <- None
+  done
+
+let flush_all_icache t =
+  t.perf.Perf.icache_flushes <- t.perf.Perf.icache_flushes + 1;
+  Array.fill t.cache 0 (Array.length t.cache) None
+
+let fetch t pc : Insn.t * int =
+  let off = pc - text_base t in
+  if off < 0 || off >= Array.length t.cache then
+    faultf "instruction fetch outside text at 0x%x" pc;
+  match t.cache.(off) with
+  | Some entry -> entry
+  | None ->
+      Image.check_exec t.image pc 1;
+      let entry =
+        try Mv_isa.Decode.decode t.image.Image.mem ~off:pc
+        with Mv_isa.Decode.Decode_error (m, o) -> faultf "decode at 0x%x: %s" o m
+      in
+      t.cache.(off) <- Some entry;
+      entry
+
+let add_cycles t c = t.perf.Perf.cycles <- t.perf.Perf.cycles +. c
+
+let push_word t v =
+  t.regs.(Insn.sp) <- t.regs.(Insn.sp) - 8;
+  Image.write t.image t.regs.(Insn.sp) v 8
+
+let pop_word t =
+  let v = Image.read t.image t.regs.(Insn.sp) 8 in
+  t.regs.(Insn.sp) <- t.regs.(Insn.sp) + 8;
+  v
+
+let alu_eval op a b =
+  match op with
+  | Insn.Add -> a + b
+  | Insn.Sub -> a - b
+  | Insn.Mul -> a * b
+  | Insn.Div -> if b = 0 then raise (Fault "division by zero") else a / b
+  | Insn.Mod -> if b = 0 then raise (Fault "modulo by zero") else a mod b
+  | Insn.Band -> a land b
+  | Insn.Bor -> a lor b
+  | Insn.Bxor -> a lxor b
+  | Insn.Shl -> a lsl (b land 63)
+  | Insn.Shr -> a asr (b land 63)
+  | Insn.Eq -> Bool.to_int (a = b)
+  | Insn.Ne -> Bool.to_int (a <> b)
+  | Insn.Lt -> Bool.to_int (a < b)
+  | Insn.Le -> Bool.to_int (a <= b)
+  | Insn.Gt -> Bool.to_int (a > b)
+  | Insn.Ge -> Bool.to_int (a >= b)
+
+let alu_cost t = function
+  | Insn.Mul -> t.cost.Cost.mul
+  | Insn.Div | Insn.Mod -> t.cost.Cost.div
+  | _ -> t.cost.Cost.alu
+
+(** Execute exactly one instruction at [t.pc].  Returns [false] when the
+    machine returned to the sentinel address (top-level return). *)
+let step t : bool =
+  if t.steps_left <= 0 then faultf "step limit exceeded (pc=0x%x)" t.pc;
+  t.steps_left <- t.steps_left - 1;
+  let pc = t.pc in
+  let insn, size = fetch t pc in
+  let c = t.cost in
+  let perf = t.perf in
+  perf.Perf.instructions <- perf.Perf.instructions + 1;
+  let next = pc + size in
+  t.pc <- next;
+  (match insn with
+  | Insn.Mov_ri (rd, imm) | Insn.Mov_ri32 (rd, imm) ->
+      t.regs.(rd) <- imm;
+      add_cycles t c.Cost.mov_imm
+  | Insn.Mov_rr (rd, rs) ->
+      t.regs.(rd) <- t.regs.(rs);
+      add_cycles t c.Cost.mov
+  | Insn.Alu (op, rd, ra, rb) ->
+      t.regs.(rd) <- alu_eval op t.regs.(ra) t.regs.(rb);
+      add_cycles t (alu_cost t op)
+  | Insn.Alu_ri (op, rd, ra, imm) ->
+      t.regs.(rd) <- alu_eval op t.regs.(ra) imm;
+      add_cycles t (alu_cost t op)
+  | Insn.Un (op, rd, ra) ->
+      let a = t.regs.(ra) in
+      t.regs.(rd) <-
+        (match op with
+        | Insn.Neg -> -a
+        | Insn.Lnot -> Bool.to_int (a = 0)
+        | Insn.Bnot -> lnot a);
+      add_cycles t c.Cost.alu
+  | Insn.Load (rd, ra, off, w) ->
+      t.regs.(rd) <- Image.read t.image (t.regs.(ra) + off) w;
+      perf.Perf.loads <- perf.Perf.loads + 1;
+      add_cycles t c.Cost.load
+  | Insn.Store (ra, off, rs, w) ->
+      Image.write t.image (t.regs.(ra) + off) t.regs.(rs) w;
+      perf.Perf.stores <- perf.Perf.stores + 1;
+      add_cycles t c.Cost.store
+  | Insn.Loadg (rd, addr, w) ->
+      t.regs.(rd) <- Image.read t.image addr w;
+      perf.Perf.loads <- perf.Perf.loads + 1;
+      add_cycles t c.Cost.load_global
+  | Insn.Storeg (addr, rs, w) ->
+      Image.write t.image addr t.regs.(rs) w;
+      perf.Perf.stores <- perf.Perf.stores + 1;
+      add_cycles t c.Cost.store
+  | Insn.Lea (rd, addr) ->
+      t.regs.(rd) <- addr;
+      add_cycles t c.Cost.lea
+  | Insn.Call rel ->
+      push_word t next;
+      t.pc <- next + rel;
+      perf.Perf.calls <- perf.Perf.calls + 1;
+      add_cycles t c.Cost.call
+  | Insn.Call_ind addr ->
+      let target = Image.read t.image addr 8 in
+      push_word t next;
+      t.pc <- target;
+      perf.Perf.calls <- perf.Perf.calls + 1;
+      perf.Perf.indirect_calls <- perf.Perf.indirect_calls + 1;
+      add_cycles t (c.Cost.call +. c.Cost.call_ind);
+      if not (Branch_pred.indirect t.bp ~pc ~target) then begin
+        perf.Perf.btb_misses <- perf.Perf.btb_misses + 1;
+        add_cycles t c.Cost.btb_miss_penalty
+      end
+  | Insn.Jmp rel ->
+      t.pc <- next + rel;
+      add_cycles t c.Cost.jmp
+  | Insn.Jnz (r, rel) | Insn.Jz (r, rel) ->
+      let taken =
+        match insn with
+        | Insn.Jnz _ -> t.regs.(r) <> 0
+        | _ -> t.regs.(r) = 0
+      in
+      if taken then t.pc <- next + rel;
+      perf.Perf.branches <- perf.Perf.branches + 1;
+      add_cycles t c.Cost.branch;
+      if not (Branch_pred.conditional t.bp ~pc ~taken) then begin
+        perf.Perf.branch_mispredicts <- perf.Perf.branch_mispredicts + 1;
+        add_cycles t c.Cost.mispredict_penalty
+      end
+  | Insn.Ret ->
+      let target = pop_word t in
+      t.pc <- target;
+      add_cycles t c.Cost.ret
+  | Insn.Push r ->
+      push_word t t.regs.(r);
+      add_cycles t c.Cost.push
+  | Insn.Pop r ->
+      t.regs.(r) <- pop_word t;
+      add_cycles t c.Cost.pop
+  | Insn.Cli ->
+      if t.platform = Xen then faultf "privileged cli in PV guest at 0x%x" pc;
+      t.irq_enabled <- false;
+      add_cycles t c.Cost.cli
+  | Insn.Sti ->
+      if t.platform = Xen then faultf "privileged sti in PV guest at 0x%x" pc;
+      t.irq_enabled <- true;
+      add_cycles t c.Cost.sti
+  | Insn.Pause -> add_cycles t c.Cost.pause
+  | Insn.Fence -> add_cycles t c.Cost.fence
+  | Insn.Xchg (rd, ra, rs) ->
+      let addr = t.regs.(ra) in
+      let old = Image.read t.image addr 8 in
+      Image.write t.image addr t.regs.(rs) 8;
+      t.regs.(rd) <- old;
+      perf.Perf.atomics <- perf.Perf.atomics + 1;
+      add_cycles t c.Cost.atomic
+  | Insn.Hypercall _n ->
+      if t.platform = Native then faultf "hypercall on native hardware at 0x%x" pc;
+      perf.Perf.hypercalls <- perf.Perf.hypercalls + 1;
+      add_cycles t c.Cost.hypercall
+  | Insn.Rdtsc rd ->
+      t.regs.(rd) <- int_of_float perf.Perf.cycles;
+      add_cycles t c.Cost.rdtsc
+  | Insn.Halt -> t.pc <- return_sentinel
+  | Insn.Nop -> add_cycles t c.Cost.nop);
+  t.pc <> return_sentinel
+
+(** Call the function at [addr] with up to 6 arguments; runs to completion
+    and returns r0.  The machine's memory (globals, heap) persists across
+    calls. *)
+let call_addr t addr (args : int list) : int =
+  if List.length args > 6 then invalid_arg "call_addr: too many arguments";
+  List.iteri (fun i v -> t.regs.(i) <- v) args;
+  t.regs.(Insn.sp) <- t.image.Image.stack_base;
+  push_word t return_sentinel;
+  t.pc <- addr;
+  t.steps_left <- t.max_steps;
+  while step t do
+    ()
+  done;
+  t.regs.(0)
+
+let call t name args = call_addr t (Image.symbol t.image name) args
+
+(** Read/write globals by symbol from the host side (test and benchmark
+    drivers use this to set configuration switches). *)
+let read_global t name ~width = Image.read t.image (Image.symbol t.image name) width
+
+let write_global t name v ~width = Image.write t.image (Image.symbol t.image name) v width

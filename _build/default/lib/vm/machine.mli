@@ -1,0 +1,56 @@
+(** The machine simulator: fetch / decode / execute over a linked image,
+    with a cycle cost model, branch prediction, per-page protection
+    enforcement, and a decode cache that models the instruction cache.
+
+    The decode cache is why the multiverse runtime must flush after
+    patching: until {!flush_icache} covers a patched range, the machine
+    keeps executing the stale decoded instructions — observable, and
+    covered by the test suite. *)
+
+module Insn = Mv_isa.Insn
+module Image = Mv_link.Image
+
+exception Fault of string
+
+(** Native hardware or a Xen PV guest.  In a PV guest the privileged
+    [cli]/[sti] fault (the kernel must go through PV-Ops); on native
+    hardware [hypercall] faults. *)
+type platform = Native | Xen
+
+type t = {
+  image : Image.t;
+  regs : int array;
+  mutable pc : int;
+  perf : Perf.t;
+  bp : Branch_pred.t;
+  cost : Cost.t;
+  platform : platform;
+  cache : (Insn.t * int) option array;
+  mutable irq_enabled : bool;
+  mutable steps_left : int;
+  max_steps : int;
+}
+
+val return_sentinel : int
+
+val create : ?cost:Cost.t -> ?platform:platform -> ?max_steps:int -> Image.t -> t
+
+(** Drop decode-cache entries overlapping the range (icache flush). *)
+val flush_icache : t -> addr:int -> len:int -> unit
+
+val flush_all_icache : t -> unit
+
+(** Execute one instruction; [false] once control returns to the
+    sentinel. *)
+val step : t -> bool
+
+(** Call the function at [addr] with up to 6 integer arguments; runs to
+    completion and returns r0.  Memory (globals, heap) persists across
+    calls. *)
+val call_addr : t -> int -> int list -> int
+
+(** [call t name args]: {!call_addr} by symbol name. *)
+val call : t -> string -> int list -> int
+
+val read_global : t -> string -> width:int -> int
+val write_global : t -> string -> int -> width:int -> unit

@@ -1,0 +1,88 @@
+(* Performance counters, in the spirit of the TSC / CPU_CLK_UNHALTED
+   measurements of Section 6 and the branch counts reported for musl
+   (Section 6.2.2: "-40% branches in the case of malloc(1)"). *)
+
+type t = {
+  mutable cycles : float;
+  mutable instructions : int;
+  mutable branches : int;  (** conditional branches executed *)
+  mutable branch_mispredicts : int;
+  mutable calls : int;
+  mutable indirect_calls : int;
+  mutable btb_misses : int;
+  mutable loads : int;
+  mutable stores : int;
+  mutable atomics : int;
+  mutable hypercalls : int;
+  mutable icache_flushes : int;
+}
+
+let create () =
+  {
+    cycles = 0.0;
+    instructions = 0;
+    branches = 0;
+    branch_mispredicts = 0;
+    calls = 0;
+    indirect_calls = 0;
+    btb_misses = 0;
+    loads = 0;
+    stores = 0;
+    atomics = 0;
+    hypercalls = 0;
+    icache_flushes = 0;
+  }
+
+type snapshot = {
+  s_cycles : float;
+  s_instructions : int;
+  s_branches : int;
+  s_branch_mispredicts : int;
+  s_calls : int;
+  s_indirect_calls : int;
+  s_btb_misses : int;
+  s_loads : int;
+  s_stores : int;
+  s_atomics : int;
+  s_hypercalls : int;
+  s_icache_flushes : int;
+}
+
+let snapshot t =
+  {
+    s_cycles = t.cycles;
+    s_instructions = t.instructions;
+    s_branches = t.branches;
+    s_branch_mispredicts = t.branch_mispredicts;
+    s_calls = t.calls;
+    s_indirect_calls = t.indirect_calls;
+    s_btb_misses = t.btb_misses;
+    s_loads = t.loads;
+    s_stores = t.stores;
+    s_atomics = t.atomics;
+    s_hypercalls = t.hypercalls;
+    s_icache_flushes = t.icache_flushes;
+  }
+
+(** Counter deltas between two snapshots ([b] after [a]). *)
+let diff a b =
+  {
+    s_cycles = b.s_cycles -. a.s_cycles;
+    s_instructions = b.s_instructions - a.s_instructions;
+    s_branches = b.s_branches - a.s_branches;
+    s_branch_mispredicts = b.s_branch_mispredicts - a.s_branch_mispredicts;
+    s_calls = b.s_calls - a.s_calls;
+    s_indirect_calls = b.s_indirect_calls - a.s_indirect_calls;
+    s_btb_misses = b.s_btb_misses - a.s_btb_misses;
+    s_loads = b.s_loads - a.s_loads;
+    s_stores = b.s_stores - a.s_stores;
+    s_atomics = b.s_atomics - a.s_atomics;
+    s_hypercalls = b.s_hypercalls - a.s_hypercalls;
+    s_icache_flushes = b.s_icache_flushes - a.s_icache_flushes;
+  }
+
+let pp fmt s =
+  Format.fprintf fmt
+    "@[<v>cycles            %12.1f@,instructions      %12d@,branches          %12d@,mispredicts       %12d@,calls             %12d@,indirect calls    %12d@,btb misses        %12d@,loads             %12d@,stores            %12d@,atomics           %12d@,hypercalls        %12d@]"
+    s.s_cycles s.s_instructions s.s_branches s.s_branch_mispredicts s.s_calls
+    s.s_indirect_calls s.s_btb_misses s.s_loads s.s_stores s.s_atomics s.s_hypercalls

@@ -1,0 +1,43 @@
+(** Performance counters, in the spirit of the paper's TSC /
+    CPU_CLK_UNHALTED measurements (Section 6) and the branch counts
+    reported for musl ("-40% branches for malloc(1)"). *)
+
+type t = {
+  mutable cycles : float;
+  mutable instructions : int;
+  mutable branches : int;
+  mutable branch_mispredicts : int;
+  mutable calls : int;
+  mutable indirect_calls : int;
+  mutable btb_misses : int;
+  mutable loads : int;
+  mutable stores : int;
+  mutable atomics : int;
+  mutable hypercalls : int;
+  mutable icache_flushes : int;
+}
+
+val create : unit -> t
+
+(** Immutable counter snapshot. *)
+type snapshot = {
+  s_cycles : float;
+  s_instructions : int;
+  s_branches : int;
+  s_branch_mispredicts : int;
+  s_calls : int;
+  s_indirect_calls : int;
+  s_btb_misses : int;
+  s_loads : int;
+  s_stores : int;
+  s_atomics : int;
+  s_hypercalls : int;
+  s_icache_flushes : int;
+}
+
+val snapshot : t -> snapshot
+
+(** [diff a b] is the counter delta from [a] to [b]. *)
+val diff : snapshot -> snapshot -> snapshot
+
+val pp : Format.formatter -> snapshot -> unit

@@ -1,0 +1,1 @@
+lib/workloads/callsite_farm.ml: Bool Buffer Core Harness Printf Unix

@@ -1,0 +1,1 @@
+lib/workloads/callsite_farm.mli:

@@ -1,0 +1,1 @@
+lib/workloads/grep.ml: Char Core Harness Mv_link Mv_vm Printf String

@@ -1,0 +1,1 @@
+lib/workloads/grep.mli: Harness

@@ -1,0 +1,1 @@
+lib/workloads/harness.ml: Core Format List Mv_link Mv_vm Option

@@ -1,0 +1,1 @@
+lib/workloads/musl.ml: Harness Mv_vm Printf

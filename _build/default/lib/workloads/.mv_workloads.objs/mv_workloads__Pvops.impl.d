@@ -1,0 +1,1 @@
+lib/workloads/pvops.ml: Harness Mv_vm

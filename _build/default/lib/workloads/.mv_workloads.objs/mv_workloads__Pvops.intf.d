@@ -1,0 +1,1 @@
+lib/workloads/pvops.mli: Harness Mv_vm

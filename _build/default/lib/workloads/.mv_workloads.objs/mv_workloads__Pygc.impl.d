@@ -1,0 +1,1 @@
+lib/workloads/pygc.ml: Harness Printf

@@ -1,0 +1,1 @@
+lib/workloads/spinlock.ml: Bool Harness Printf

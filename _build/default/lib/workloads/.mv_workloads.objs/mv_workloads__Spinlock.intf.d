@@ -1,0 +1,1 @@
+lib/workloads/spinlock.mli: Harness

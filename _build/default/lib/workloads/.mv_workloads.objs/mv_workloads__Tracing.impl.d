@@ -1,0 +1,1 @@
+lib/workloads/tracing.ml: Bool Core Harness List Mv_link Printf

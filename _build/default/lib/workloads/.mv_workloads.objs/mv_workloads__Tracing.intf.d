@@ -1,0 +1,1 @@
+lib/workloads/tracing.mli: Harness

@@ -1,0 +1,24 @@
+(** The patch-cost experiment (paper Section 6.1 scalars: 1161 spinlock
+    call sites, ~16 ms patch time, +40 KiB image).  Synthesizes a
+    kernel-sized population of spinlock call sites and measures commit
+    cost and multiverse size overhead. *)
+
+val spinlock_core : string
+
+(** A translation unit with [callers] functions of [pairs] lock/unlock
+    pairs each: [callers * pairs * 2] recorded call sites, plus a
+    [run_all] dispatcher. *)
+val source : callers:int -> pairs:int -> string
+
+type result = {
+  r_callsites : int;
+  r_commit_ms : float;  (** host wall-clock of one full commit *)
+  r_revert_ms : float;
+  r_patches : int;
+  r_bytes_patched : int;
+  r_descriptor_bytes : int;
+  r_variant_text_bytes : int;
+}
+
+(** Build a farm of about [sites] call sites (default 1161) and measure. *)
+val run : ?sites:int -> ?smp:bool -> unit -> result

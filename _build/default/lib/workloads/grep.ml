@@ -1,0 +1,111 @@
+(* User-level case study: GNU grep (Section 6.2.3).
+
+   At startup grep fixes a mode: does the matcher have to deal with
+   multi-byte (UTF-8) characters, given the locale and the pattern?  The
+   mode never changes afterwards, yet the inner matching loop keeps
+   consulting it.  The multiversed build marks the mode variable as a
+   configuration switch and the scanning function as a variation point, so
+   committing specializes the hot loop for the single-byte case.
+
+   The workload mirrors the paper's: search for the pattern "a.a" in a
+   buffer of hexadecimal-formatted random numbers (the paper used a 2 GiB
+   ramdisk file; we scan a 64 KiB buffer and scale). *)
+
+type build = Plain | Multiversed
+
+let buffer_size = 65536
+
+let source (b : build) : string =
+  let mv = match b with Plain -> "" | Multiversed -> "multiverse " in
+  Printf.sprintf
+    {|
+    uint8 text[%d];
+    %sint mb_mode;
+    int line_count;
+    int letter_count;
+
+    // match count for the pattern "a.a" ('.' = any byte except newline)
+    %sint grep_scan(int len) {
+      int count = 0;
+      int i = 0;
+      while (i < len) {
+        int c = text[i];
+        if (c > 57) {
+          // non-digit byte: classify it, and in multi-byte mode first
+          // validate the character sequence it might start
+          letter_count = letter_count + 1;
+          if (mb_mode) {
+            int k = text[i + 1];
+            if (k >= 128) {
+              i = i + 2;
+              continue;
+            }
+          }
+        }
+        if (c == 97) {
+          if (i + 2 < len) {
+            int mid = text[i + 1];
+            if (mid != 10) {
+              int c2 = text[i + 2];
+              if (c2 == 97) {
+                count = count + 1;
+              }
+            }
+          }
+        }
+        if (c == 10) {
+          line_count = line_count + 1;
+        }
+        i = i + 1;
+      }
+      return count;
+    }
+  |}
+    buffer_size mv mv
+
+(** Deterministic "hexadecimal-formatted random numbers" text, matching the
+    paper's workload: hex digits in lines of 64 characters. *)
+let fill_text (s : Harness.session) =
+  let img = s.Harness.program.Core.Compiler.p_image in
+  let base = Mv_link.Image.symbol img "text" in
+  let state = ref 0x2545F491 in
+  let hex = "0123456789abcdef" in
+  for i = 0 to buffer_size - 1 do
+    let c =
+      if i mod 64 = 63 then '\n'
+      else begin
+        state := ((!state * 1103515245) + 12345) land 0x7FFFFFFF;
+        hex.[(!state lsr 16) land 15]
+      end
+    in
+    Mv_link.Image.write img (base + i) (Char.code c) 1
+  done
+
+let prepare (b : build) ~mb_mode : Harness.session =
+  let s = Harness.session1 (source b) in
+  fill_text s;
+  Harness.set s "mb_mode" mb_mode;
+  (match b with
+  | Plain -> ()
+  | Multiversed -> ignore (Harness.commit s));
+  s
+
+(** Match count over the standard buffer (functional check). *)
+let scan_count (b : build) ~mb_mode : int =
+  let s = prepare b ~mb_mode in
+  Harness.call s "grep_scan" [ buffer_size ]
+
+(** Cycles per scanned byte. *)
+let cycles_per_byte ?(rounds = 30) (b : build) ~mb_mode : float =
+  let s = prepare b ~mb_mode in
+  (* warmup *)
+  ignore (Harness.call s "grep_scan" [ buffer_size ]);
+  let total = ref 0.0 in
+  for _ = 1 to rounds do
+    total := !total +. Harness.cycles_of_call s "grep_scan" [ buffer_size ]
+  done;
+  !total /. float_of_int rounds /. float_of_int buffer_size
+
+(** Projected end-to-end seconds for the paper's 2 GiB input. *)
+let seconds_for_2gib cycles_per_byte =
+  Mv_vm.Cost.cycles_to_seconds (cycles_per_byte *. 2147483648.0)

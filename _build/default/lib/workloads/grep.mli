@@ -1,0 +1,27 @@
+(** User-level case study: GNU grep (paper Section 6.2.3).  The matcher's
+    multi-byte mode is fixed at startup from the locale and the pattern;
+    the multiversed build specializes the scanning loop for it.  The
+    workload searches "a.a" in hexadecimal-formatted random text. *)
+
+type build = Plain | Multiversed
+
+(** Bytes scanned per run (the paper used a 2 GiB file; results scale). *)
+val buffer_size : int
+
+val source : build -> string
+
+(** Fill the guest text buffer with deterministic hexadecimal lines. *)
+val fill_text : Harness.session -> unit
+
+(** Build, fill the buffer, set the mode, and commit (for
+    [Multiversed]). *)
+val prepare : build -> mb_mode:int -> Harness.session
+
+(** Matches of "a.a" over the standard buffer (functional check). *)
+val scan_count : build -> mb_mode:int -> int
+
+(** Mean cycles per scanned byte. *)
+val cycles_per_byte : ?rounds:int -> build -> mb_mode:int -> float
+
+(** Projected end-to-end seconds for the paper's 2 GiB input. *)
+val seconds_for_2gib : float -> float

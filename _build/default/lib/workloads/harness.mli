@@ -1,0 +1,66 @@
+(** The measurement harness, mirroring the paper's protocol (Section 6.1):
+    many samples of a fixed number of calls each, with "clearly
+    distinguishable" outliers (simulated interrupts) excluded. *)
+
+type measurement = {
+  m_mean : float;  (** mean cycles per call, outliers excluded *)
+  m_stddev : float;
+  m_samples : int;  (** samples kept *)
+  m_excluded : int;  (** outliers dropped *)
+}
+
+(** A built program with an attached machine and multiverse runtime. *)
+type session = {
+  program : Core.Compiler.program;
+  machine : Mv_vm.Machine.t;
+  runtime : Core.Runtime.t;
+}
+
+val session :
+  ?platform:Mv_vm.Machine.platform ->
+  ?cost:Mv_vm.Cost.t ->
+  (string * string) list ->
+  session
+
+val session1 :
+  ?platform:Mv_vm.Machine.platform -> ?cost:Mv_vm.Cost.t -> string -> session
+
+(** Read/write a word-sized global by symbol. *)
+val set : session -> string -> int -> unit
+
+val get : session -> string -> int
+
+(** Point a function-pointer global at a function symbol. *)
+val set_fnptr : session -> string -> string -> unit
+
+val commit : session -> int
+val revert : session -> int
+val call : session -> string -> int list -> int
+
+(** Cycles consumed by one invocation. *)
+val cycles_of_call : session -> string -> int list -> float
+
+val mean : float list -> float
+val stddev : float list -> float
+
+(** Drop samples beyond 3x the median (interrupt-scale disturbances);
+    returns (kept, excluded). *)
+val exclude_outliers : float list -> float list * float list
+
+(** Measure [loop_fn], a guest function running [calls] invocations of the
+    function under test per sample.  [jitter] (a seed) makes a small
+    fraction of samples absorb a simulated interrupt, exercising the
+    outlier-exclusion protocol. *)
+val measure :
+  ?samples:int ->
+  ?calls:int ->
+  ?warmup:int ->
+  ?jitter:int ->
+  session ->
+  loop_fn:string ->
+  measurement
+
+(** Perf-counter deltas over one [loop_fn calls] invocation. *)
+val counters : session -> loop_fn:string -> calls:int -> Mv_vm.Perf.snapshot
+
+val pp_measurement : Format.formatter -> measurement -> unit

@@ -1,0 +1,89 @@
+(* User-level case study: cPython's garbage-collector enable flag
+   (Section 6.2.1).
+
+   cPython's [gc.enable()]/[gc.disable()] toggle a boolean that the
+   object-allocation path (_PyObject_GC_Alloc) consults on every
+   allocation: when enabled, the object is linked into generation 0 and the
+   collection threshold (700 allocations by default) is checked.  The
+   multiversed build marks the flag as a configuration switch and the
+   allocation function as a variation point.
+
+   The paper could not obtain stable measurements for this case study on
+   real hardware ("we cannot report on a significant influence of
+   multiverse"); the simulator is deterministic, so the bench reports the
+   modeled delta with that caveat attached. *)
+
+type build = Plain | Multiversed
+
+let source (b : build) : string =
+  let mv = match b with Plain -> "" | Multiversed -> "multiverse " in
+  Printf.sprintf
+    {|
+    %sint gc_enabled = 1;
+    int gc_heap[131072];
+    int gc_brk;
+    int gc_head;
+    int gc_count;
+    int gc_collections;
+    int gc_threshold = 700;
+
+    void gc_collect() {
+      // walk generation 0 (bounded by the threshold) and unlink everything
+      ptr q = gc_head;
+      while (q) {
+        q = *q;
+      }
+      gc_head = 0;
+      gc_count = 0;
+      gc_collections = gc_collections + 1;
+    }
+
+    %sptr gc_alloc(int n) {
+      int need = (((n + 15) / 16) * 16) + 16;
+      if ((gc_brk + need) >= 1048576) {
+        // arena wrap: allocations in the benchmark are transient
+        gc_brk = 0;
+        gc_head = 0;
+        gc_count = 0;
+      }
+      ptr p = gc_heap + gc_brk;
+      gc_brk = gc_brk + need;
+      if (gc_enabled) {
+        *p = gc_head;
+        gc_head = p;
+        gc_count = gc_count + 1;
+        if (gc_count >= gc_threshold) {
+          gc_collect();
+        }
+      }
+      return p + 8;
+    }
+
+    void bench_alloc(int n) {
+      for (int i = 0; i < n; i = i + 1) {
+        gc_alloc(32);
+      }
+    }
+  |}
+    mv mv
+
+let prepare (b : build) ~gc_enabled : Harness.session =
+  let s = Harness.session1 (source b) in
+  Harness.set s "gc_enabled" gc_enabled;
+  (match b with
+  | Plain -> ()
+  | Multiversed -> ignore (Harness.commit s));
+  s
+
+(** Mean cycles per object allocation. *)
+let measure ?(samples = 120) ?(calls = 200) (b : build) ~gc_enabled :
+    Harness.measurement =
+  let s = prepare b ~gc_enabled in
+  Harness.measure ~samples ~calls s ~loop_fn:"bench_alloc"
+
+(** Functional check: collections must trigger every [threshold]
+    allocations while the collector is enabled. *)
+let collections_after (b : build) ~gc_enabled ~allocations : int =
+  let s = prepare b ~gc_enabled in
+  ignore (Harness.call s "bench_alloc" [ allocations ]);
+  Harness.get s "gc_collections"

@@ -1,0 +1,18 @@
+(** User-level case study: cPython's garbage-collector enable flag on the
+    object-allocation path (paper Section 6.2.1).  The paper could not
+    measure this stably on real hardware; the deterministic simulator
+    reports the modeled delta, with that caveat attached in the bench. *)
+
+type build = Plain | Multiversed
+
+val source : build -> string
+
+val prepare : build -> gc_enabled:int -> Harness.session
+
+(** Mean cycles per object allocation. *)
+val measure :
+  ?samples:int -> ?calls:int -> build -> gc_enabled:int -> Harness.measurement
+
+(** Collections triggered after [allocations] (threshold 700, as in
+    cPython). *)
+val collections_after : build -> gc_enabled:int -> allocations:int -> int

@@ -1,0 +1,1 @@
+test/test_asm.ml: Bytes Core List Mv_isa Mv_link String Util

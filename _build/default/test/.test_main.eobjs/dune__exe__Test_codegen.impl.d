@@ -1,0 +1,1 @@
+test/test_codegen.ml: Alcotest Bytes List Mv_codegen Mv_ir Mv_isa Mv_link Util

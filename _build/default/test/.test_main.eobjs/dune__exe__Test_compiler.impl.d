@@ -1,0 +1,1 @@
+test/test_compiler.ml: Alcotest Core List Mv_link Printf String Util

@@ -1,0 +1,1 @@
+test/test_descriptor.ml: Alcotest Core List Mv_codegen Mv_isa Mv_link Option Util

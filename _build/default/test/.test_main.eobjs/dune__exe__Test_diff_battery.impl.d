@@ -1,0 +1,1 @@
+test/test_diff_battery.ml: List Util

@@ -1,0 +1,1 @@
+test/test_e2e.ml: Alcotest Bytes Char Core List Mv_link Printf String Util

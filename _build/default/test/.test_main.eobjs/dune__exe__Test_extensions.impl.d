@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Bytes Core List Mv_isa Mv_link Mv_vm Mv_workloads Printf Util

@@ -1,0 +1,1 @@
+test/test_harness.ml: Core List Mv_link Mv_vm Mv_workloads Util

@@ -1,0 +1,1 @@
+test/test_isa.ml: Alcotest Bytes List Mv_isa QCheck QCheck_alcotest Util

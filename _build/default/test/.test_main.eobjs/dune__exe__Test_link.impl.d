@@ -1,0 +1,1 @@
+test/test_link.ml: Alcotest Core List Mv_codegen Mv_isa Mv_link Option String Util

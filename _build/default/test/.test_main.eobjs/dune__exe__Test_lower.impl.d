@@ -1,0 +1,1 @@
+test/test_lower.ml: Alcotest List Mv_ir String Util

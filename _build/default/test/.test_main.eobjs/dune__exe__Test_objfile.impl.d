@@ -1,0 +1,1 @@
+test/test_objfile.ml: Alcotest Bytes Char Core List Mv_codegen Util

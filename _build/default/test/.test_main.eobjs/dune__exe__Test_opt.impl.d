@@ -1,0 +1,1 @@
+test/test_opt.ml: List Mv_ir Mv_opt Printf String Util

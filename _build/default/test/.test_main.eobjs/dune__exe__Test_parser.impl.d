@@ -1,0 +1,1 @@
+test/test_parser.ml: Alcotest Format List Minic Printf String Util

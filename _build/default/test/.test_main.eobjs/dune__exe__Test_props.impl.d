@@ -1,0 +1,1 @@
+test/test_props.ml: Bytes Core List Mv_ir Mv_link Mv_opt Mv_vm Option Printf QCheck QCheck_alcotest String Util

@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Array Bytes Core List Mv_isa Mv_link Mv_vm Util

@@ -1,0 +1,1 @@
+test/test_switch.ml: Alcotest Core List Minic Mv_vm Printf String Util

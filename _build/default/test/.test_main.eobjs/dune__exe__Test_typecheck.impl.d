@@ -1,0 +1,1 @@
+test/test_typecheck.ml: List Minic Printf String Util

@@ -1,0 +1,1 @@
+test/test_variantgen.ml: Alcotest Core List Mv_ir Printf String Util

@@ -1,0 +1,1 @@
+test/test_vm.ml: Alcotest Array Core Mv_isa Mv_link Mv_vm Util

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Char Core List Mv_link Mv_vm Mv_workloads Printf String Util

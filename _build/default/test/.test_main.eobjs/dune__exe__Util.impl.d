@@ -1,0 +1,1 @@
+test/util.ml: Alcotest Core Minic Mv_ir Mv_link Mv_opt Mv_vm

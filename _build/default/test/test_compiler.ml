@@ -1,0 +1,154 @@
+(* Driver-level tests: warnings surfacing, error reporting with unit names
+   and locations, multi-unit corner cases, option plumbing, and the mvcc
+   building blocks. *)
+
+open Util
+module C = Core.Compiler
+module Image = Mv_link.Image
+
+let contains hay needle =
+  let lh = String.length hay and ln = String.length needle in
+  let rec go i = i + ln <= lh && (String.sub hay i ln = needle || go (i + 1)) in
+  ln = 0 || go 0
+
+let expect_compile_error ?expect sources =
+  match C.build sources with
+  | exception C.Compile_error m -> (
+      match expect with
+      | Some needle ->
+          check_bool (Printf.sprintf "error %S mentions %S" m needle) true
+            (contains m needle)
+      | None -> ())
+  | _ -> Alcotest.fail "expected a compile error"
+
+let test_error_messages_carry_unit_and_location () =
+  expect_compile_error ~expect:"bad.c:2" [ ("bad.c", "int x;\nint x;") ];
+  expect_compile_error ~expect:"lexical" [ ("l.c", "int x = @;") ];
+  expect_compile_error ~expect:"parse" [ ("p.c", "int f( {") ]
+
+let test_warnings_are_surfaced () =
+  let p =
+    C.build
+      [ ("w.c", "multiverse int s; multiverse void f() { s = 1; }") ]
+  in
+  check_bool "switch-write warning surfaced" true
+    (List.exists (fun w -> contains w "write to configuration switch") (C.warnings p))
+
+let test_variant_cap_warning_via_build () =
+  let p =
+    C.build ~max_variants:2
+      [
+        ( "cap.c",
+          "multiverse values(0,1,2) int m; multiverse void f() { if (m) { } }" );
+      ]
+  in
+  check_bool "cap warning surfaced" true
+    (List.exists (fun w -> contains w "cross product") (C.warnings p));
+  (* the function still works through the generic body *)
+  let s = session_units [ ("cap.c", "multiverse values(0,1,2) int m; int w; multiverse void f() { if (m) { w = 1; } } int d() { w = 0; f(); return w; }") ] in
+  ignore s
+
+let test_three_unit_kernel_layout () =
+  (* header-style extern declarations in every unit, definitions split *)
+  let config = "multiverse int smp;\nint lock_word;" in
+  let locking =
+    {|
+    extern multiverse int smp;
+    extern int lock_word;
+    multiverse void lock_() {
+      if (smp) {
+        while (__atomic_xchg(&lock_word, 1)) { __pause(); }
+      }
+    }
+    multiverse void unlock_() {
+      if (smp) { lock_word = 0; }
+    }
+  |}
+  in
+  let client =
+    {|
+    extern multiverse void lock_();
+    extern multiverse void unlock_();
+    extern int lock_word;
+    int count;
+    int work(int n) {
+      for (int i = 0; i < n; i++) {
+        lock_();
+        count = count + 1;
+        unlock_();
+      }
+      return count;
+    }
+  |}
+  in
+  let s =
+    session_units [ ("config.c", config); ("locking.c", locking); ("client.c", client) ]
+  in
+  set_global s "smp" 1;
+  ignore (Core.Runtime.commit s.runtime);
+  check_int "works committed SMP" 100 (run s "work" [ 100 ]);
+  set_global s "smp" 0;
+  ignore (Core.Runtime.commit s.runtime);
+  check_int "works committed UP" 200 (run s "work" [ 100 ]);
+  (* call sites from client.c were recorded *)
+  let sites = Core.Descriptor.parse_callsites s.program.C.p_image in
+  check_int "two recorded sites" 2 (List.length sites)
+
+let test_unit_order_does_not_matter () =
+  let defs = "int v = 7;" in
+  let uses = "extern int v; int get() { return v; }" in
+  let a = session_units [ ("defs.c", defs); ("uses.c", uses) ] in
+  let b = session_units [ ("uses.c", uses); ("defs.c", defs) ] in
+  check_int "defs-first" 7 (run a "get" []);
+  check_int "uses-first" 7 (run b "get" [])
+
+let test_callsite_padding_plumbing () =
+  let src =
+    "multiverse int m; int w; multiverse void f() { if (m) { w = 1; } } void c() { f(); }"
+  in
+  let plain = C.build_string src in
+  let padded = C.build_string ~callsite_padding:6 src in
+  let size p = Image.symbol_size p.C.p_image "c" in
+  check_int "six nops added" (size plain + 6) (size padded);
+  (* non-multiverse callees are not padded *)
+  let src2 = "int w; void g() { w = 1; } void c() { g(); }" in
+  let plain2 = C.build_string src2 in
+  let padded2 = C.build_string ~callsite_padding:6 src2 in
+  check_int "plain callee unpadded"
+    (Image.symbol_size plain2.C.p_image "c")
+    (Image.symbol_size padded2.C.p_image "c")
+
+let test_mem_size_plumbing () =
+  let p = C.build_string ~mem_size:(1 lsl 23) "int big[262144]; void f() { big[0] = 1; }" in
+  check_bool "8 MiB image accommodates a 2 MiB array" true
+    (Image.size p.C.p_image = 1 lsl 23)
+
+let test_empty_unit () =
+  (* a unit with only declarations links fine *)
+  let s =
+    session_units
+      [ ("decls.c", "extern void f();"); ("defs.c", "void f() { }") ]
+  in
+  check_int "runs" 0 (run s "f" [])
+
+let test_variants_get_symbols_and_sizes () =
+  let p =
+    C.build_string
+      "multiverse int m; int w; multiverse void f() { if (m) { w = 1; } }"
+  in
+  let img = p.C.p_image in
+  check_bool "variant symbol linked" true (Image.symbol_opt img "f.m=0" <> None);
+  check_bool "variant has a size" true (Image.symbol_size img "f.m=0" > 0)
+
+let suite =
+  [
+    tc "errors carry unit and location" test_error_messages_carry_unit_and_location;
+    tc "warnings are surfaced" test_warnings_are_surfaced;
+    tc "variant cap warning via build" test_variant_cap_warning_via_build;
+    tc "three-unit kernel layout" test_three_unit_kernel_layout;
+    tc "unit order does not matter" test_unit_order_does_not_matter;
+    tc "callsite_padding plumbing" test_callsite_padding_plumbing;
+    tc "mem_size plumbing" test_mem_size_plumbing;
+    tc "declaration-only units" test_empty_unit;
+    tc "variants get symbols and sizes" test_variants_get_symbols_and_sizes;
+  ]

@@ -1,0 +1,198 @@
+(* A battery of hand-written tricky programs, each run through the full
+   pipeline (compile, link, execute on the machine) and checked against the
+   reference interpreter plus an explicitly computed expected value.  These
+   complement the random differential property with targeted corner
+   cases. *)
+
+open Util
+
+(* (name, source, entry, args, expected) *)
+let cases : (string * string * string * int list * int) list =
+  [
+    ( "shadowing across scopes",
+      {|int f(int x) {
+          int r = x;
+          { int x = 100; r = r + x; }
+          if (x > 0) { int x = 1000; r = r + x; }
+          return r + x;
+        }|},
+      "f", [ 5 ], 5 + 100 + 1000 + 5 );
+    ( "deeply nested arithmetic",
+      {|int f(int a, int b) {
+          return ((a + b) * (a - b) + (a * a - b * b)) / 2 + ((a ^ b) & (a | b));
+        }|},
+      "f", [ 9; 4 ], (((9 + 4) * (9 - 4)) + ((9 * 9) - (4 * 4))) / 2 + ((9 lxor 4) land (9 lor 4)) );
+    ( "logical operator values",
+      "int f(int x) { return (x && 7) * 100 + (x || 0) * 10 + !x; }",
+      "f", [ 3 ], 110 );
+    ( "ternary chains",
+      "int f(int x) { return x < 0 ? -1 : x == 0 ? 0 : x < 10 ? 1 : 2; }",
+      "f", [ 7 ], 1 );
+    ( "while with complex condition",
+      {|int f(int n) {
+          int i = 0;
+          int s = 0;
+          while (i < n && s < 50) { s = s + i; i = i + 1; }
+          return s * 100 + i;
+        }|},
+      "f", [ 100 ], (55 * 100) + 11 );
+    ( "triple nested loops",
+      {|int f(int n) {
+          int c = 0;
+          for (int i = 0; i < n; i++) {
+            for (int j = 0; j < i; j++) {
+              for (int k = 0; k < j; k++) { c = c + 1; }
+            }
+          }
+          return c;
+        }|},
+      "f", [ 6 ], 20 );
+    ( "early returns from loops",
+      {|int f(int n) {
+          for (int i = 0; i < 100; i++) {
+            if (i * i >= n) { return i; }
+          }
+          return -1;
+        }|},
+      "f", [ 50 ], 8 );
+    ( "ackermann (small)",
+      {|int ack(int m, int n) {
+          if (m == 0) { return n + 1; }
+          if (n == 0) { return ack(m - 1, 1); }
+          return ack(m - 1, ack(m, n - 1));
+        }|},
+      "ack", [ 2; 3 ], 9 );
+    ( "gcd",
+      {|int gcd(int a, int b) {
+          while (b) { int t = b; b = a % b; a = t; }
+          return a;
+        }|},
+      "gcd", [ 252; 105 ], 21 );
+    ( "collatz steps",
+      {|int f(int n) {
+          int steps = 0;
+          while (n != 1) {
+            if (n & 1) { n = n * 3 + 1; } else { n = n / 2; }
+            steps = steps + 1;
+          }
+          return steps;
+        }|},
+      "f", [ 27 ], 111 );
+    ( "global array as scratch memory",
+      {|int a[32];
+        int f(int n) {
+          for (int i = 0; i < 32; i++) { a[i] = 0; }
+          a[0] = 0; a[1] = 1;
+          for (int i = 2; i <= n; i++) { a[i] = a[i - 1] + a[i - 2]; }
+          return a[n];
+        }|},
+      "f", [ 20 ], 6765 );
+    ( "byte buffer checksum",
+      {|uint8 buf[64];
+        int f() {
+          for (int i = 0; i < 64; i++) { buf[i] = i * 7; }
+          int s = 0;
+          for (int i = 0; i < 64; i++) { s = s + buf[i]; }
+          return s;
+        }|},
+      "f", [],
+      (let s = ref 0 in
+       for i = 0 to 63 do
+         s := !s + (i * 7 mod 256)
+       done;
+       !s) );
+    ( "pointer walking",
+      {|int a[8];
+        int f() {
+          for (int i = 0; i < 8; i++) { a[i] = i + 1; }
+          ptr p = a;
+          int s = 0;
+          for (int i = 0; i < 8; i++) {
+            s = s + *p;
+            p = p + 8;
+          }
+          return s;
+        }|},
+      "f", [], 36 );
+    ( "word into bytes",
+      {|int g;
+        int f() {
+          g = 0x0A0B0C0D;
+          ptr p = &g;
+          return *(int8*)p * 1000000 + *(int8*)(p + 1) * 10000
+               + *(int8*)(p + 2) * 100 + *(int8*)(p + 3);
+        }|},
+      "f", [], (0x0D * 1000000) + (0x0C * 10000) + (0x0B * 100) + 0x0A );
+    ( "mutual recursion with state",
+      {|int depth;
+        int pong(int n);
+        int ping(int n) {
+          depth = depth + 1;
+          if (n == 0) { return depth; }
+          return pong(n - 1);
+        }
+        int pong(int n) {
+          depth = depth + 10;
+          if (n == 0) { return depth; }
+          return ping(n - 1);
+        }|},
+      "ping", [ 5 ], 33 );
+    ( "function pointer table dispatch",
+      {|int add1(int x) { return x + 1; }
+        int dbl(int x) { return x * 2; }
+        int sq(int x) { return x * x; }
+        fnptr op = &add1;
+        int f(int which, int x) {
+          if (which == 0) { op = &add1; }
+          if (which == 1) { op = &dbl; }
+          if (which == 2) { op = &sq; }
+          return op(x);
+        }|},
+      "f", [ 2; 9 ], 81 );
+    ( "short-circuit with side effects",
+      {|int calls;
+        int check(int v) { calls = calls + 1; return v; }
+        int f() {
+          calls = 0;
+          int a = check(1) || check(1);
+          int b = check(0) && check(1);
+          return calls * 10 + a + b;
+        }|},
+      "f", [], 21 );
+    ( "shift-heavy hashing",
+      {|int f(int x) {
+          int h = x;
+          h = h ^ (h >> 4);
+          h = (h * 37) & 0xFFFF;
+          h = h ^ (h << 3);
+          return h & 0x7FFFFFFF;
+        }|},
+      "f", [ 12345 ],
+      (let h = 12345 in
+       let h = h lxor (h asr 4) in
+       let h = h * 37 land 0xFFFF in
+       let h = h lxor (h lsl 3) in
+       h land 0x7FFFFFFF) );
+    ( "negative division and modulo",
+      "int f(int a, int b) { return (a / b) * 1000 + (a % b); }",
+      "f", [ -17; 5 ], (-3 * 1000) + -2 );
+    ( "do-while with break",
+      {|int f(int n) {
+          int i = 0;
+          do {
+            if (i >= n) { break; }
+            i = i + 2;
+          } while (1);
+          return i;
+        }|},
+      "f", [ 7 ], 8 );
+  ]
+
+let make_case (name, src, fn, args, expected) =
+  tc name (fun () ->
+      check_int (name ^ " (interp)") expected (interp_run src fn args);
+      check_int (name ^ " (interp, optimized)") expected
+        (interp_run ~optimize:true src fn args);
+      check_differential ~args (name ^ " (machine)") src fn)
+
+let suite = List.map make_case cases

@@ -1,0 +1,90 @@
+(* Tests for the measurement harness: the statistics helpers, the paper's
+   outlier-exclusion protocol (Section 6.1), and measurement stability on
+   the deterministic machine. *)
+
+open Util
+module H = Mv_workloads.Harness
+
+let feq ?(eps = 1e-9) a b = abs_float (a -. b) < eps
+
+let test_mean_and_stddev () =
+  check_bool "mean empty" true (feq (H.mean []) 0.0);
+  check_bool "mean" true (feq (H.mean [ 1.0; 2.0; 3.0 ]) 2.0);
+  check_bool "stddev singleton" true (feq (H.stddev [ 5.0 ]) 0.0);
+  (* sample stddev of 2,4,4,4,5,5,7,9 is ~2.138 *)
+  check_bool "stddev" true
+    (abs_float (H.stddev [ 2.; 4.; 4.; 4.; 5.; 5.; 7.; 9. ] -. 2.138) < 0.01)
+
+let test_outlier_exclusion () =
+  (* interrupt-scale disturbances are dropped; ordinary spread is kept *)
+  let values = [ 10.0; 10.2; 9.9; 10.1; 10.0; 500.0; 10.0; 9.8 ] in
+  let kept, excluded = H.exclude_outliers values in
+  check_int "one outlier dropped" 1 (List.length excluded);
+  check_int "rest kept" 7 (List.length kept);
+  check_bool "the outlier is the interrupt" true (List.mem 500.0 excluded);
+  (* a tight distribution loses nothing *)
+  let kept2, excluded2 = H.exclude_outliers [ 7.0; 7.1; 6.9; 7.0 ] in
+  check_int "nothing dropped" 0 (List.length excluded2);
+  check_int "all kept" 4 (List.length kept2)
+
+let bench_src =
+  {|
+  int w;
+  void bench_loop(int n) {
+    for (int i = 0; i < n; i = i + 1) {
+      w = w + i;
+    }
+  }
+|}
+
+let test_measurement_is_deterministic () =
+  let m1 = H.measure ~samples:50 ~calls:50 (H.session1 bench_src) ~loop_fn:"bench_loop" in
+  let m2 = H.measure ~samples:50 ~calls:50 (H.session1 bench_src) ~loop_fn:"bench_loop" in
+  check_bool "identical means on a deterministic machine" true
+    (feq m1.H.m_mean m2.H.m_mean);
+  check_bool "no outliers without jitter" true (m1.H.m_excluded = 0)
+
+let test_jitter_produces_and_excludes_outliers () =
+  let s = H.session1 bench_src in
+  let m = H.measure ~samples:5000 ~calls:10 ~jitter:42 s ~loop_fn:"bench_loop" in
+  (* the paper observed <= 0.04% outliers; our injection rate is ~1/2500 *)
+  check_bool "some samples absorbed an interrupt" true (m.H.m_excluded > 0);
+  check_bool "exclusion keeps the rate tiny" true
+    (float_of_int m.H.m_excluded /. float_of_int (m.H.m_samples + m.H.m_excluded) < 0.01);
+  (* the cleaned mean matches the jitter-free mean *)
+  let clean = H.measure ~samples:100 ~calls:10 (H.session1 bench_src) ~loop_fn:"bench_loop" in
+  check_bool "cleaned mean is unbiased" true
+    (abs_float (m.H.m_mean -. clean.H.m_mean) < 0.5)
+
+let test_counters_helper () =
+  let s = H.session1 bench_src in
+  let d = H.counters s ~loop_fn:"bench_loop" ~calls:100 in
+  check_bool "instructions scale with calls" true (d.Mv_vm.Perf.s_instructions > 300);
+  check_bool "branches counted" true (d.Mv_vm.Perf.s_branches >= 100)
+
+let test_session_helpers () =
+  let s = H.session1 "int g = 5; void f() { } fnptr p = &f;" in
+  check_int "get" 5 (H.get s "g");
+  H.set s "g" 9;
+  check_int "set" 9 (H.get s "g");
+  H.set_fnptr s "p" "f";
+  let img = s.H.program.Core.Compiler.p_image in
+  check_int "set_fnptr" (Mv_link.Image.symbol img "f")
+    (Mv_link.Image.read img (Mv_link.Image.symbol img "p") 8)
+
+let test_cycles_of_call_accumulates () =
+  let s = H.session1 bench_src in
+  let c10 = H.cycles_of_call s "bench_loop" [ 10 ] in
+  let c100 = H.cycles_of_call s "bench_loop" [ 100 ] in
+  check_bool "cost scales with work" true (c100 > c10 *. 5.0)
+
+let suite =
+  [
+    tc "mean and stddev" test_mean_and_stddev;
+    tc "outlier exclusion (Section 6.1 protocol)" test_outlier_exclusion;
+    tc "measurements are deterministic" test_measurement_is_deterministic;
+    tc_slow "jitter produces and excludes outliers" test_jitter_produces_and_excludes_outliers;
+    tc "counter deltas" test_counters_helper;
+    tc "session helpers" test_session_helpers;
+    tc "cycles scale with work" test_cycles_of_call_accumulates;
+  ]

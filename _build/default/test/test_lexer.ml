@@ -1,0 +1,81 @@
+(* Lexer unit tests. *)
+
+open Util
+
+module Token = Minic.Token
+
+let toks src =
+  List.map fst (Minic.Lexer.tokenize src) |> List.filter (fun t -> t <> Token.EOF)
+
+let token = Alcotest.testable (fun fmt t -> Format.pp_print_string fmt (Token.to_string t)) ( = )
+
+let check_tokens name src expected = Alcotest.(check (list token)) name expected (toks src)
+
+let test_integers () =
+  check_tokens "decimal" "42" [ Token.INT 42 ];
+  check_tokens "zero" "0" [ Token.INT 0 ];
+  check_tokens "hex" "0x2A" [ Token.INT 42 ];
+  check_tokens "hex lowercase" "0xff" [ Token.INT 255 ];
+  check_tokens "adjacent" "1 2 3" [ Token.INT 1; Token.INT 2; Token.INT 3 ]
+
+let test_character_literals () =
+  check_tokens "plain char" "'a'" [ Token.INT 97 ];
+  check_tokens "newline escape" "'\\n'" [ Token.INT 10 ];
+  check_tokens "zero escape" "'\\0'" [ Token.INT 0 ];
+  check_tokens "backslash" "'\\\\'" [ Token.INT 92 ]
+
+let test_identifiers_and_keywords () =
+  check_tokens "identifier" "foo_bar1" [ Token.IDENT "foo_bar1" ];
+  check_tokens "keyword int" "int" [ Token.KW_INT ];
+  check_tokens "keyword multiverse" "multiverse" [ Token.KW_MULTIVERSE ];
+  check_tokens "values/bind" "values bind" [ Token.KW_VALUES; Token.KW_BIND ];
+  check_tokens "underscore start" "_x" [ Token.IDENT "_x" ];
+  check_tokens "keyword prefix is ident" "intx" [ Token.IDENT "intx" ]
+
+let test_operators () =
+  check_tokens "comparison" "< <= > >= == !="
+    [ Token.LT; Token.LE; Token.GT; Token.GE; Token.EQ; Token.NE ];
+  check_tokens "shifts" "<< >>" [ Token.SHL; Token.SHR ];
+  check_tokens "logical" "&& || !" [ Token.ANDAND; Token.OROR; Token.BANG ];
+  check_tokens "bitwise" "& | ^ ~" [ Token.AMP; Token.PIPE; Token.CARET; Token.TILDE ];
+  check_tokens "compound" "+= -= ++ --"
+    [ Token.PLUSEQ; Token.MINUSEQ; Token.PLUSPLUS; Token.MINUSMINUS ];
+  check_tokens "assign vs eq" "= ==" [ Token.ASSIGN; Token.EQ ]
+
+let test_comments () =
+  check_tokens "line comment" "1 // ignored\n2" [ Token.INT 1; Token.INT 2 ];
+  check_tokens "block comment" "1 /* x\ny */ 2" [ Token.INT 1; Token.INT 2 ];
+  check_tokens "comment at eof" "1 // end" [ Token.INT 1 ]
+
+let test_locations () =
+  let all = Minic.Lexer.tokenize "a\n  b" in
+  match all with
+  | [ (Token.IDENT "a", la); (Token.IDENT "b", lb); (Token.EOF, _) ] ->
+      check_int "a line" 1 la.Minic.Ast.line;
+      check_int "a col" 1 la.Minic.Ast.col;
+      check_int "b line" 2 lb.Minic.Ast.line;
+      check_int "b col" 3 lb.Minic.Ast.col
+  | _ -> Alcotest.fail "unexpected token stream"
+
+let expect_lex_error src =
+  match Minic.Lexer.tokenize src with
+  | exception Minic.Lexer.Error _ -> ()
+  | _ -> Alcotest.failf "expected a lexer error for %S" src
+
+let test_errors () =
+  expect_lex_error "@";
+  expect_lex_error "/* unterminated";
+  expect_lex_error "'a";
+  expect_lex_error "0x";
+  expect_lex_error "\"unterminated"
+
+let suite =
+  [
+    tc "integer literals" test_integers;
+    tc "character literals" test_character_literals;
+    tc "identifiers and keywords" test_identifiers_and_keywords;
+    tc "operators" test_operators;
+    tc "comments" test_comments;
+    tc "source locations" test_locations;
+    tc "lexical errors" test_errors;
+  ]

@@ -1,0 +1,163 @@
+(* Linker and image tests: section concatenation (the descriptor-array
+   trick of Section 5), symbol resolution, relocation arithmetic, and the
+   page-protection model. *)
+
+open Util
+module Objfile = Mv_codegen.Objfile
+module Linker = Mv_link.Linker
+module Image = Mv_link.Image
+
+let build_image sources = (build_units sources).Core.Compiler.p_image
+
+let test_section_layout () =
+  let img = build_image [ ("a", "int x; void f() { x = 1; }") ] in
+  let text = Option.get (Image.section_range img Objfile.Text) in
+  let data = Option.get (Image.section_range img Objfile.Data) in
+  check_int "text base" Linker.text_base text.Image.sr_base;
+  check_bool "data after text" true (data.Image.sr_base >= text.Image.sr_base + text.Image.sr_size);
+  check_int "data page aligned" 0 (data.Image.sr_base mod Image.page_size);
+  check_bool "heap after sections" true (img.Image.heap_base >= data.Image.sr_base + data.Image.sr_size);
+  check_int "heap page aligned" 0 (img.Image.heap_base mod Image.page_size)
+
+let test_cross_unit_symbols () =
+  let img =
+    build_image
+      [
+        ("defs", "int shared = 5; void helper() { shared = shared + 1; }");
+        ("uses", "extern int shared; extern void helper(); int get() { helper(); return shared; }");
+      ]
+  in
+  check_bool "shared resolved" true (Image.symbol_opt img "shared" <> None);
+  check_bool "helper resolved" true (Image.symbol_opt img "helper" <> None);
+  check_bool "get resolved" true (Image.symbol_opt img "get" <> None)
+
+let test_descriptor_sections_concatenate () =
+  (* two units each define one switch; the merged multiverse.variables
+     section must be a contiguous 2-record array *)
+  let img =
+    build_image
+      [
+        ("u1", "multiverse int a; multiverse void f() { if (a) { } }");
+        ("u2", "multiverse int b; multiverse void g() { if (b) { } }");
+      ]
+  in
+  let vars = Core.Descriptor.parse_variables img in
+  check_int "two variable records" 2 (List.length vars);
+  let range = Option.get (Image.section_range img Objfile.Mv_variables) in
+  check_int "section is exactly 2 x 32 bytes" 64 range.Image.sr_size;
+  let addrs = List.map (fun (v : Core.Descriptor.variable) -> v.vr_addr) vars in
+  check_bool "addresses are the symbols" true
+    (List.mem (Image.symbol img "a") addrs && List.mem (Image.symbol img "b") addrs)
+
+let test_undefined_symbol_errors () =
+  match build_units [ ("u", "extern void missing(); void f() { missing(); }") ] with
+  | exception Core.Compiler.Compile_error m ->
+      check_bool "mentions the symbol" true
+        (let needle = "missing" in
+         let lh = String.length m and ln = String.length needle in
+         let rec go i = i + ln <= lh && (String.sub m i ln = needle || go (i + 1)) in
+         go 0)
+  | _ -> Alcotest.fail "expected a link error"
+
+let test_duplicate_symbol_errors () =
+  match build_units [ ("u1", "int x;"); ("u2", "int x;") ] with
+  | exception Core.Compiler.Compile_error _ -> ()
+  | _ -> Alcotest.fail "expected a duplicate-symbol error"
+
+let test_rel32_resolution () =
+  (* a cross-unit call must land exactly on the callee *)
+  let sources =
+    [
+      ("callee", "int target() { return 99; }");
+      ("caller", "extern int target(); int f() { return target(); }");
+    ]
+  in
+  let s = session_units sources in
+  check_int "cross-unit call executes" 99 (run s "f" []);
+  let img = s.program.Core.Compiler.p_image in
+  (* find the call instruction inside f and check its resolved target *)
+  let f_addr = Image.symbol img "f" in
+  let f_size = Image.symbol_size img "f" in
+  let listing = Mv_isa.Decode.decode_range img.Image.mem ~off:f_addr ~len:f_size in
+  let call_target =
+    List.find_map
+      (fun (pos, i) ->
+        match i with Mv_isa.Insn.Call rel -> Some (pos + 5 + rel) | _ -> None)
+      listing
+  in
+  check_int "rel32 resolves to the callee" (Image.symbol img "target")
+    (Option.get call_target)
+
+let test_abs64_fnptr_init () =
+  let s = session "int ten() { return 10; } fnptr op = &ten;" in
+  let img = s.program.Core.Compiler.p_image in
+  check_int "fnptr cell holds the function address" (Image.symbol img "ten")
+    (Image.read img (Image.symbol img "op") 8)
+
+let test_global_initializers () =
+  let s = session "int a = 42; int b = -7; int c; uint8 d = 200;" in
+  check_int "a" 42 (get_global s "a");
+  check_int "b" (-7) (get_global s "b");
+  check_int "c zero" 0 (get_global s "c");
+  let img = s.program.Core.Compiler.p_image in
+  check_int "d" 200 (Image.read img (Image.symbol img "d") 1)
+
+let test_text_protection () =
+  let img = build_image [ ("u", "void f() { }") ] in
+  let f = Image.symbol img "f" in
+  (* executing is allowed, writing is not *)
+  Image.check_exec img f 1;
+  (match Image.write img f 0x90 1 with
+  | exception Image.Segfault _ -> ()
+  | () -> Alcotest.fail "text must not be writable");
+  (* after mprotect(rwx) the write goes through; restore rejects again *)
+  Image.mprotect img ~addr:f ~len:1 Image.prot_rwx;
+  Image.write img f 0x90 1;
+  Image.mprotect img ~addr:f ~len:1 Image.prot_rx;
+  match Image.write img f 0x90 1 with
+  | exception Image.Segfault _ -> ()
+  | () -> Alcotest.fail "protection must be restorable"
+
+let test_data_not_executable () =
+  let img = build_image [ ("u", "int x; void f() { x = 1; }") ] in
+  let x = Image.symbol img "x" in
+  match Image.check_exec img x 1 with
+  | exception Image.Segfault _ -> ()
+  | () -> Alcotest.fail "data must not be executable"
+
+let test_out_of_bounds_faults () =
+  let img = build_image [ ("u", "void f() { }") ] in
+  (match Image.read img (-8) 8 with
+  | exception Image.Segfault _ -> ()
+  | _ -> Alcotest.fail "negative address must fault");
+  match Image.read img (Image.size img) 8 with
+  | exception Image.Segfault _ -> ()
+  | _ -> Alcotest.fail "past-the-end read must fault"
+
+let test_symbol_at_reverse_lookup () =
+  let img = build_image [ ("u", "void first() { } void second() { __cli(); }") ] in
+  let second = Image.symbol img "second" in
+  check_bool "start of function" true (Image.symbol_at img second = Some "second");
+  check_bool "inside function" true (Image.symbol_at img (second + 1) = Some "second")
+
+let test_image_too_small () =
+  match Core.Compiler.build ~mem_size:8192 [ ("u", "int big[100000];") ] with
+  | exception Core.Compiler.Compile_error _ -> ()
+  | _ -> Alcotest.fail "expected an image-size error"
+
+let suite =
+  [
+    tc "section layout" test_section_layout;
+    tc "cross-unit symbols" test_cross_unit_symbols;
+    tc "descriptor sections concatenate (Section 5)" test_descriptor_sections_concatenate;
+    tc "undefined symbols error" test_undefined_symbol_errors;
+    tc "duplicate symbols error" test_duplicate_symbol_errors;
+    tc "Rel32 resolution" test_rel32_resolution;
+    tc "Abs64 fnptr initializer" test_abs64_fnptr_init;
+    tc "global initializers" test_global_initializers;
+    tc "text is write-protected (W^X)" test_text_protection;
+    tc "data is not executable" test_data_not_executable;
+    tc "out-of-bounds access faults" test_out_of_bounds_faults;
+    tc "reverse symbol lookup" test_symbol_at_reverse_lookup;
+    tc "image size limit" test_image_too_small;
+  ]

@@ -1,0 +1,28 @@
+(* Aggregated alcotest entry point; each [Test_*] module exports a [suite]. *)
+
+let () =
+  Alcotest.run "multiverse"
+    [
+      ("lexer", Test_lexer.suite);
+      ("parser", Test_parser.suite);
+      ("typecheck", Test_typecheck.suite);
+      ("lower", Test_lower.suite);
+      ("switch", Test_switch.suite);
+      ("opt", Test_opt.suite);
+      ("isa", Test_isa.suite);
+      ("codegen", Test_codegen.suite);
+      ("diff-battery", Test_diff_battery.suite);
+      ("asm", Test_asm.suite);
+      ("objfile", Test_objfile.suite);
+      ("link", Test_link.suite);
+      ("vm", Test_vm.suite);
+      ("variantgen", Test_variantgen.suite);
+      ("descriptor", Test_descriptor.suite);
+      ("runtime", Test_runtime.suite);
+      ("workloads", Test_workloads.suite);
+      ("harness", Test_harness.suite);
+      ("compiler", Test_compiler.suite);
+      ("extensions", Test_extensions.suite);
+      ("properties", Test_props.suite);
+      ("e2e", Test_e2e.suite);
+    ]

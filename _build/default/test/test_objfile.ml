@@ -1,0 +1,84 @@
+(* Object-file unit tests: section buffers, alignment, symbols and the
+   relocation records the linker consumes. *)
+
+open Util
+module Objfile = Mv_codegen.Objfile
+
+let test_append_and_size () =
+  let o = Objfile.create "u" in
+  check_int "empty" 0 (Objfile.section_size o Objfile.Text);
+  let off1 = Objfile.append o Objfile.Text (Bytes.make 10 'x') in
+  let off2 = Objfile.append o Objfile.Text (Bytes.make 6 'y') in
+  check_int "first at 0" 0 off1;
+  check_int "second appended" 10 off2;
+  check_int "size" 16 (Objfile.section_size o Objfile.Text);
+  (* sections are independent *)
+  check_int "data untouched" 0 (Objfile.section_size o Objfile.Data)
+
+let test_align () =
+  let o = Objfile.create "u" in
+  ignore (Objfile.append o Objfile.Text (Bytes.make 3 'x'));
+  let aligned = Objfile.align o Objfile.Text 16 in
+  check_int "aligned to 16" 16 aligned;
+  check_int "padded with zeros" 0
+    (Char.code (Bytes.get (Objfile.section_contents o Objfile.Text) 5));
+  (* aligning an aligned section is a no-op *)
+  check_int "idempotent" 16 (Objfile.align o Objfile.Text 16)
+
+let test_symbols () =
+  let o = Objfile.create "u" in
+  Objfile.add_symbol o
+    { Objfile.s_name = "f"; s_section = Objfile.Text; s_offset = 0; s_size = 8 };
+  check_bool "found" true (Objfile.find_symbol o "f" <> None);
+  check_bool "missing" true (Objfile.find_symbol o "g" = None);
+  match
+    Objfile.add_symbol o
+      { Objfile.s_name = "f"; s_section = Objfile.Data; s_offset = 0; s_size = 8 }
+  with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "duplicate symbols must be rejected"
+
+let test_reloc_accumulation () =
+  let o = Objfile.create "u" in
+  Objfile.add_reloc o
+    { Objfile.r_section = Objfile.Text; r_offset = 1; r_kind = Objfile.Rel32;
+      r_sym = "a"; r_addend = -4 };
+  Objfile.add_reloc o
+    { Objfile.r_section = Objfile.Data; r_offset = 0; r_kind = Objfile.Abs64;
+      r_sym = "b"; r_addend = 0 };
+  let rs = Objfile.relocs o in
+  check_int "both recorded" 2 (List.length rs);
+  (* order preserved (insertion order) *)
+  check_string "first sym" "a" (List.nth rs 0).Objfile.r_sym
+
+let test_section_names () =
+  check_string "variables section name" "multiverse.variables"
+    (Objfile.section_name Objfile.Mv_variables);
+  check_string "functions section name" "multiverse.functions"
+    (Objfile.section_name Objfile.Mv_functions);
+  check_string "callsites section name" "multiverse.callsites"
+    (Objfile.section_name Objfile.Mv_callsites);
+  check_int "five sections" 5 (List.length Objfile.all_sections)
+
+let test_guard_pretty () =
+  let g =
+    [ { Core.Guard.g_var = "A"; g_lo = 1; g_hi = 1 };
+      { Core.Guard.g_var = "B"; g_lo = 0; g_hi = 1 } ]
+  in
+  check_string "range formatting" "A=1, B=0..1" (Core.Guard.to_string g)
+
+let test_domain_cardinal () =
+  check_int "values cardinal" 3 (Core.Domain.cardinal (Core.Domain.Values [ 0; 1; 2 ]));
+  check_int "fnptr cardinal" 0 (Core.Domain.cardinal Core.Domain.Fnptr);
+  check_int "empty product" 1 (List.length (Core.Domain.cross_product []))
+
+let suite =
+  [
+    tc "append and section sizes" test_append_and_size;
+    tc "alignment" test_align;
+    tc "symbol table" test_symbols;
+    tc "relocation records" test_reloc_accumulation;
+    tc "section names" test_section_names;
+    tc "guard pretty-printing" test_guard_pretty;
+    tc "domain helpers" test_domain_cardinal;
+  ]

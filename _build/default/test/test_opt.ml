@@ -1,0 +1,243 @@
+(* Optimizer tests: these passes are what turn a constant-substituted clone
+   into the branch-free specialized variant of Section 3. *)
+
+open Util
+module Ir = Mv_ir.Ir
+module Pass = Mv_opt.Pass
+module Merge = Mv_opt.Merge
+
+let fn_named prog name =
+  List.find (fun (f : Ir.fn) -> String.equal f.fn_name name) prog.Ir.p_fns
+
+let optimized src name =
+  let prog = lower src in
+  Pass.optimize_prog prog;
+  fn_named prog name
+
+let count_instrs p (fn : Ir.fn) =
+  List.fold_left
+    (fun acc (b : Ir.block) -> acc + List.length (List.filter p b.b_instrs))
+    0 fn.fn_blocks
+
+let count_blocks (fn : Ir.fn) = List.length fn.fn_blocks
+
+let has_branch (fn : Ir.fn) =
+  List.exists
+    (fun (b : Ir.block) -> match b.b_term with Ir.Tbr _ -> true | _ -> false)
+    fn.fn_blocks
+
+(* semantic preservation helper: optimized program behaves identically *)
+let check_preserves name src fn args =
+  let expected = interp_run src fn args in
+  let actual = interp_run ~optimize:true src fn args in
+  check_int name expected actual
+
+(* ------------------------------------------------------------------ *)
+
+let test_constant_folding () =
+  let f = optimized "int f() { return 2 + 3 * 4; }" "f" in
+  check_int "no ALU instructions remain"
+    0
+    (count_instrs (function Ir.Ibin _ | Ir.Iun _ -> true | _ -> false) f);
+  check_preserves "folded value" "int f() { return 2 + 3 * 4; }" "f" []
+
+let test_folding_respects_division_by_zero () =
+  (* 1/0 must fold to nothing — the trap has to survive to run time *)
+  let f = optimized "int f() { return 1 / 0; }" "f" in
+  check_int "division retained"
+    1
+    (count_instrs (function Ir.Ibin (Ir.Div, _, _, _) -> true | _ -> false) f)
+
+let test_algebraic_identities () =
+  List.iter
+    (fun (src, expected) ->
+      let full = Printf.sprintf "int f(int x) { return %s; }" src in
+      check_int (src ^ " value") expected (interp_run ~optimize:true full "f" [ 7 ]);
+      let f = optimized full "f" in
+      check_int (src ^ " simplified away") 0
+        (count_instrs (function Ir.Ibin _ -> true | _ -> false) f))
+    [
+      ("x + 0", 7); ("0 + x", 7); ("x - 0", 7); ("x * 1", 7); ("1 * x", 7);
+      ("x * 0", 0); ("0 * x", 0); ("x / 1", 7); ("x & 0", 0); ("x | 0", 7);
+      ("x ^ 0", 7); ("x << 0", 7); ("x >> 0", 7);
+    ]
+
+let test_copy_propagation () =
+  let f = optimized "int f(int x) { int y = x; int z = y; return z; }" "f" in
+  check_int "copies eliminated" 0
+    (count_instrs (function Ir.Imov _ -> true | _ -> false) f)
+
+let test_branch_folding_true () =
+  let f = optimized "int f() { if (1) { return 10; } return 20; }" "f" in
+  check_bool "no conditional branch" false (has_branch f);
+  check_preserves "value" "int f() { if (1) { return 10; } return 20; }" "f" []
+
+let test_branch_folding_false () =
+  let f = optimized "int f() { if (0) { return 10; } return 20; }" "f" in
+  check_bool "no conditional branch" false (has_branch f);
+  check_int "single block remains" 1 (count_blocks f)
+
+let test_dead_branch_code_removed () =
+  (* the call inside the dead branch must disappear entirely *)
+  let src =
+    "int g() { return 1; } int f() { if (0) { return g(); } return 2; }"
+  in
+  let f = optimized src "f" in
+  check_int "dead call removed" 0
+    (count_instrs (function Ir.Icall _ -> true | _ -> false) f)
+
+let test_dce_keeps_side_effects () =
+  let src = "int g; int f() { g = 1; int dead = 2 + 3; return 0; }" in
+  let f = optimized src "f" in
+  check_int "store kept" 1
+    (count_instrs (function Ir.Istoreg _ -> true | _ -> false) f);
+  check_int "dead arithmetic removed" 0
+    (count_instrs (function Ir.Ibin _ | Ir.Imov _ -> true | _ -> false) f)
+
+let test_dce_keeps_calls_with_dead_results () =
+  let src = "int hits; int g() { hits = hits + 1; return 7; } int f() { int dead = g(); return 0; }" in
+  let f = optimized src "f" in
+  check_int "call kept" 1 (count_instrs (function Ir.Icall _ -> true | _ -> false) f);
+  (* ... but its destination register is dropped *)
+  check_int "result dropped" 1
+    (count_instrs (function Ir.Icall (None, _, _) -> true | _ -> false) f);
+  check_int "side effect observed" 1
+    (let prog = lower src in
+     Pass.optimize_prog prog;
+     let t = Mv_ir.Interp.create [ prog ] in
+     let _ = Mv_ir.Interp.run t "f" [] in
+     Mv_ir.Interp.read_global t "hits")
+
+let test_dce_liveness_across_loop () =
+  (* x is defined before the loop and used inside it on every iteration;
+     DCE must not remove the definition *)
+  let src =
+    {|int f(int n) {
+        int x = 5;
+        int s = 0;
+        for (int i = 0; i < n; i++) { s = s + x; }
+        return s;
+      }|}
+  in
+  check_preserves "loop-carried liveness" src "f" [ 4 ]
+
+let test_cfg_simplification_block_count () =
+  (* a diamond with constant condition collapses into a straight line *)
+  let src = "int f(int x) { int r; if (1) { r = x + 1; } else { r = x + 2; } return r; }" in
+  let f = optimized src "f" in
+  check_int "collapsed to one block" 1 (count_blocks f);
+  check_preserves "value" src "f" [ 10 ]
+
+let test_specialization_pipeline () =
+  (* the exact transformation variant generation performs: substitute the
+     switch read, then optimize — the function becomes branch-free *)
+  let src =
+    {|multiverse int config;
+      int work;
+      multiverse void f() {
+        if (config) {
+          work = work + 1;
+        }
+      }|}
+  in
+  let prog = lower src in
+  let f = fn_named prog "f" in
+  let clone = Ir.copy_fn f in
+  (* bind config = 0 *)
+  List.iter
+    (fun (b : Ir.block) ->
+      b.Ir.b_instrs <-
+        List.map
+          (function
+            | Ir.Iloadg (d, "config", _) -> Ir.Imov (d, Ir.Imm 0)
+            | i -> i)
+          b.Ir.b_instrs)
+    clone.Ir.fn_blocks;
+  Pass.optimize_fn clone;
+  check_bool "specialized clone is branch-free" false (has_branch clone);
+  check_int "specialized clone is empty" 0
+    (count_instrs (fun _ -> true) clone);
+  (* the original is untouched *)
+  check_bool "generic still branches" true (has_branch f)
+
+(* ------------------------------------------------------------------ *)
+(* Structural merging                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_merge_equal_bodies () =
+  let prog =
+    lower
+      {|int f(int x) { int a = x + 1; return a * 2; }
+        int g(int y) { int b = y + 1; return b * 2; }|}
+  in
+  Pass.optimize_prog prog;
+  let f = fn_named prog "f" and g = fn_named prog "g" in
+  check_bool "identical up to renaming" true (Merge.equal_bodies f g)
+
+let test_merge_distinguishes_constants () =
+  let prog = lower "int f(int x) { return x + 1; } int g(int x) { return x + 2; }" in
+  let f = fn_named prog "f" and g = fn_named prog "g" in
+  check_bool "different constants differ" false (Merge.equal_bodies f g)
+
+let test_merge_distinguishes_symbols () =
+  let prog =
+    lower "int a; int b; int f() { return a; } int g() { return b; }"
+  in
+  let f = fn_named prog "f" and g = fn_named prog "g" in
+  check_bool "different globals differ" false (Merge.equal_bodies f g)
+
+let test_merge_block_order_insensitive () =
+  (* same CFG reached through different block id numbering *)
+  let src1 = "int f(int x) { if (x) { return 1; } return 2; }" in
+  let src2 = "int g(int x) { if (x) { return 1; } return 2; }" in
+  let p1 = lower (src1 ^ src2) in
+  Pass.optimize_prog p1;
+  let f = fn_named p1 "f" and g = fn_named p1 "g" in
+  check_bool "same shape merges" true (Merge.equal_bodies f g)
+
+let test_optimizer_terminates () =
+  (* a pathological but legal function: the fixpoint must stop *)
+  let src =
+    {|int f(int x) {
+        int a = x;
+        for (int i = 0; i < 100; i++) {
+          a = a * 1 + 0;
+          if (0) { a = a / 0; }
+        }
+        return a;
+      }|}
+  in
+  check_preserves "pathological function" src "f" [ 3 ]
+
+let test_semantic_preservation_battery () =
+  List.iter
+    (fun (src, fn, args) -> check_preserves (fn ^ " preserved") src fn args)
+    [
+      ("int f(int n) { int s = 0; while (n) { s += n; n = n - 1; } return s; }", "f", [ 7 ]);
+      ("int f(int a, int b) { return (a < b ? a : b) * 2; }", "f", [ 3; 9 ]);
+      ("int f(int x) { return x && (x > 2) || !x; }", "f", [ 1 ]);
+      ("int g(int n) { return n * n; } int f(int n) { return g(n) + g(n + 1); }", "f", [ 5 ]);
+      ("int a[4]; int f(int i) { a[i] = i; return a[i]; }", "f", [ 2 ]);
+    ]
+
+let suite =
+  [
+    tc "constant folding" test_constant_folding;
+    tc "folding preserves division by zero" test_folding_respects_division_by_zero;
+    tc "algebraic identities" test_algebraic_identities;
+    tc "copy propagation" test_copy_propagation;
+    tc "branch folding (true)" test_branch_folding_true;
+    tc "branch folding (false)" test_branch_folding_false;
+    tc "dead branch code removed" test_dead_branch_code_removed;
+    tc "DCE keeps side effects" test_dce_keeps_side_effects;
+    tc "DCE keeps calls, drops dead results" test_dce_keeps_calls_with_dead_results;
+    tc "DCE respects loop liveness" test_dce_liveness_across_loop;
+    tc "CFG simplification" test_cfg_simplification_block_count;
+    tc "specialization pipeline (Section 3)" test_specialization_pipeline;
+    tc "merge: equal bodies" test_merge_equal_bodies;
+    tc "merge: constants distinguish" test_merge_distinguishes_constants;
+    tc "merge: symbols distinguish" test_merge_distinguishes_symbols;
+    tc "merge: block-order insensitive" test_merge_block_order_insensitive;
+    tc "optimizer terminates" test_optimizer_terminates;
+    tc "semantic preservation battery" test_semantic_preservation_battery;
+  ]

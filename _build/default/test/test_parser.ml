@@ -1,0 +1,259 @@
+(* Parser unit tests: declaration forms, attribute grammar, statement and
+   expression structure, precedence, and the pretty-printer round-trip. *)
+
+open Util
+module Ast = Minic.Ast
+
+let parse src = Minic.Parser.parse_string src
+
+let parse1 src =
+  match parse src with
+  | [ d ] -> d
+  | ds -> Alcotest.failf "expected one declaration, got %d" (List.length ds)
+
+let expect_parse_error src =
+  match parse src with
+  | exception Minic.Parser.Error _ -> ()
+  | _ -> Alcotest.failf "expected a parse error for %S" src
+
+(* ------------------------------------------------------------------ *)
+(* Declarations                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_global_forms () =
+  (match parse1 "int x;" with
+  | Ast.Dglobal g ->
+      check_string "name" "x" g.g_name;
+      check_bool "no init" true (g.g_init = None)
+  | _ -> Alcotest.fail "expected a global");
+  (match parse1 "int x = 42;" with
+  | Ast.Dglobal g -> check_bool "init" true (g.g_init = Some 42)
+  | _ -> Alcotest.fail "expected a global");
+  (match parse1 "int x = -7;" with
+  | Ast.Dglobal g -> check_bool "negative init" true (g.g_init = Some (-7))
+  | _ -> Alcotest.fail "expected a global");
+  (match parse1 "int buf[128];" with
+  | Ast.Dglobal g -> check_bool "array" true (g.g_array = Some 128)
+  | _ -> Alcotest.fail "expected an array");
+  match parse1 "extern int y;" with
+  | Ast.Dglobal g -> check_bool "extern" true g.g_extern
+  | _ -> Alcotest.fail "expected extern global"
+
+let test_width_types () =
+  List.iter
+    (fun (src, width, signed) ->
+      match parse1 src with
+      | Ast.Dglobal g ->
+          check_int (src ^ " width") width (Ast.ty_width g.g_ty);
+          check_bool (src ^ " signed") signed (Ast.ty_signed g.g_ty)
+      | _ -> Alcotest.fail "expected a global")
+    [
+      ("int8 a;", 1, true); ("uint8 b;", 1, false);
+      ("int16 c;", 2, true); ("uint16 d;", 2, false);
+      ("int32 e;", 4, true); ("uint32 f;", 4, false);
+      ("int64 g;", 8, true); ("uint64 h;", 8, false);
+      ("bool i;", 1, false);
+    ]
+
+let test_multiverse_attributes () =
+  (match parse1 "multiverse int config;" with
+  | Ast.Dglobal g -> check_bool "attr present" true (Ast.is_multiversed g.g_attrs)
+  | _ -> Alcotest.fail "expected a global");
+  (match parse1 "multiverse values(0, 1, 2) int mode;" with
+  | Ast.Dglobal g ->
+      check_bool "values" true (Ast.attr_values g.g_attrs = Some [ 0; 1; 2 ])
+  | _ -> Alcotest.fail "expected a global");
+  (match parse1 "multiverse values(-1, 0, 1) int delta;" with
+  | Ast.Dglobal g ->
+      check_bool "negative values" true (Ast.attr_values g.g_attrs = Some [ -1; 0; 1 ])
+  | _ -> Alcotest.fail "expected a global");
+  (match parse1 "extern multiverse bool A;" with
+  | Ast.Dglobal g ->
+      check_bool "extern+multiverse" true (g.g_extern && Ast.is_multiversed g.g_attrs)
+  | _ -> Alcotest.fail "expected a global");
+  match parse1 "multiverse bind(A, B) void f() { }" with
+  | Ast.Dfunc f -> check_bool "bind" true (Ast.attr_bind f.f_attrs = Some [ "A"; "B" ])
+  | _ -> Alcotest.fail "expected a function"
+
+let test_function_forms () =
+  (match parse1 "void f() { }" with
+  | Ast.Dfunc f ->
+      check_string "name" "f" f.f_name;
+      check_bool "defined" true (f.f_body <> None)
+  | _ -> Alcotest.fail "expected a function");
+  (match parse1 "extern void g(int a, ptr b);" with
+  | Ast.Dfunc f ->
+      check_bool "declaration" true (f.f_body = None);
+      check_int "params" 2 (List.length f.f_params)
+  | _ -> Alcotest.fail "expected a function");
+  (match parse1 "int h(void) { return 1; }" with
+  | Ast.Dfunc f -> check_int "void param list" 0 (List.length f.f_params)
+  | _ -> Alcotest.fail "expected a function");
+  match parse1 "saveall noinline void k() { }" with
+  | Ast.Dfunc f ->
+      check_bool "saveall" true (Ast.is_saveall f.f_attrs);
+      check_bool "noinline" true (Ast.is_noinline f.f_attrs)
+  | _ -> Alcotest.fail "expected a function"
+
+let test_enum () =
+  (match parse1 "enum mode { OFF, ON, AUTO };" with
+  | Ast.Denum ("mode", items, _) ->
+      check_bool "items" true (items = [ ("OFF", 0); ("ON", 1); ("AUTO", 2) ])
+  | _ -> Alcotest.fail "expected an enum");
+  match parse1 "enum lvl { LOW = 10, MID, HIGH = 20 };" with
+  | Ast.Denum ("lvl", items, _) ->
+      check_bool "explicit values" true (items = [ ("LOW", 10); ("MID", 11); ("HIGH", 20) ])
+  | _ -> Alcotest.fail "expected an enum"
+
+let test_fnptr_global () =
+  match parse1 "multiverse fnptr op = &native;" with
+  | Ast.Dglobal g ->
+      check_bool "fnptr type" true (g.g_ty = Ast.Tfnptr);
+      check_bool "fn init" true (g.g_fn_init = Some "native")
+  | _ -> Alcotest.fail "expected a fnptr global"
+
+(* ------------------------------------------------------------------ *)
+(* Expressions                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let body_of src =
+  match parse1 src with
+  | Ast.Dfunc { f_body = Some body; _ } -> body
+  | _ -> Alcotest.fail "expected a defined function"
+
+let ret_expr src =
+  match body_of src with
+  | [ { Ast.sdesc = Ast.Sreturn (Some e); _ } ] -> e
+  | _ -> Alcotest.fail "expected a single return"
+
+let rec expr_to_string (e : Ast.expr) =
+  match e.edesc with
+  | Ast.Eint n -> string_of_int n
+  | Ast.Evar v -> v
+  | Ast.Eunop (op, a) -> Format.asprintf "(%a%s)" Ast.pp_unop op (expr_to_string a)
+  | Ast.Ebinop (op, a, b) ->
+      Format.asprintf "(%s%a%s)" (expr_to_string a) Ast.pp_binop op (expr_to_string b)
+  | Ast.Econd (c, a, b) ->
+      Printf.sprintf "(%s?%s:%s)" (expr_to_string c) (expr_to_string a) (expr_to_string b)
+  | Ast.Ecall (f, args) ->
+      Printf.sprintf "%s(%s)" f (String.concat "," (List.map expr_to_string args))
+  | Ast.Eintrinsic (i, args) ->
+      Printf.sprintf "%s(%s)" (Ast.intrinsic_name i)
+        (String.concat "," (List.map expr_to_string args))
+  | Ast.Eindex (a, i) -> Printf.sprintf "%s[%s]" (expr_to_string a) (expr_to_string i)
+  | Ast.Ederef p -> Printf.sprintf "(*%s)" (expr_to_string p)
+  | Ast.Ederefw (w, p) -> Printf.sprintf "(*%d:%s)" w (expr_to_string p)
+  | Ast.Eaddr_of_fun f -> "&" ^ f
+  | Ast.Eaddr_of_var v -> "&v:" ^ v
+
+let check_expr name src expected =
+  check_string name expected (expr_to_string (ret_expr ("int f() { return " ^ src ^ "; }")))
+
+let test_precedence () =
+  check_expr "mul over add" "1 + 2 * 3" "(1+(2*3))";
+  check_expr "left assoc sub" "10 - 3 - 2" "((10-3)-2)";
+  check_expr "shift under cmp" "a << 1 < b" "((a<<1)<b)";
+  check_expr "cmp under eq" "a < b == c < d" "((a<b)==(c<d))";
+  check_expr "bitand under bitxor" "a ^ b & c" "(a^(b&c))";
+  check_expr "bitor lowest bitwise" "a | b ^ c" "(a|(b^c))";
+  check_expr "and over or" "a || b && c" "(a||(b&&c))";
+  check_expr "parens" "(1 + 2) * 3" "((1+2)*3)";
+  check_expr "unary binds tight" "-a + b" "((-a)+b)";
+  check_expr "ternary" "a ? b : c ? d : e" "(a?b:(c?d:e))";
+  check_expr "not of comparison" "!(a == b)" "(!(a==b))"
+
+let test_postfix_and_unary () =
+  check_expr "call with args" "f(1, x + 1)" "f(1,(x+1))";
+  check_expr "index" "buf[i + 1]" "buf[(i+1)]";
+  check_expr "deref" "*p" "(*p)";
+  check_expr "width deref" "*(int32*)p" "(*4:p)";
+  check_expr "address of" "&f" "&f";
+  check_expr "intrinsic" "__atomic_xchg(p, 1)" "__atomic_xchg(p,1)";
+  check_expr "true/false" "true + false" "(1+0)"
+
+let test_statements () =
+  let body =
+    body_of
+      {|void f() {
+         int x = 1;
+         x = 2;
+         x += 3;
+         x++;
+         if (x) { x = 4; } else { x = 5; }
+         while (x) { break; }
+         do { continue; } while (x);
+         for (int i = 0; i < 10; i++) { }
+         return;
+       }|}
+  in
+  check_int "statement count" 9 (List.length body);
+  match body with
+  | { Ast.sdesc = Ast.Sdecl ("x", _, Some _); _ } :: _ -> ()
+  | _ -> Alcotest.fail "first statement should be a declaration"
+
+let test_single_statement_branches () =
+  let body = body_of "void f() { if (1) return; else return; }" in
+  match body with
+  | [ { Ast.sdesc = Ast.Sif (_, [ _ ], [ _ ]); _ } ] -> ()
+  | _ -> Alcotest.fail "expected single-statement branches"
+
+let test_dangling_else () =
+  let body = body_of "void f() { if (1) if (2) return; else return; }" in
+  (* else binds to the inner if *)
+  match body with
+  | [ { Ast.sdesc = Ast.Sif (_, [ { Ast.sdesc = Ast.Sif (_, _, [ _ ]); _ } ], []); _ } ] -> ()
+  | _ -> Alcotest.fail "else should bind to the inner if"
+
+let test_parse_errors () =
+  expect_parse_error "int;";
+  expect_parse_error "int f( { }";
+  expect_parse_error "void f() { return }";
+  expect_parse_error "void f() { 1 +; }";
+  (* "values without multiverse" is a *typecheck* error, so it parses; a
+     missing paren does not *)
+  expect_parse_error "multiverse values 1 int x;";
+  expect_parse_error "enum e { };";
+  expect_parse_error "void f() { if 1 { } }"
+
+let test_pretty_roundtrip () =
+  let src =
+    {|
+    enum mode { OFF = 0, ON = 1 };
+    multiverse values(0, 1, 2) int level;
+    extern multiverse bool flag;
+    int arr[16];
+    multiverse fnptr op = &f;
+    noinline int f(int a, int b) {
+      int x = (a + b) * 2;
+      if (x > 0 && flag) {
+        x = arr[a] + *(int16*)(arr + 8);
+      } else {
+        while (x) { x = x - 1; }
+      }
+      for (int i = 0; i < b; i++) { x += i; }
+      return x > 0 ? x : -x;
+    }
+  |}
+  in
+  let tu = parse src in
+  let printed = Minic.Pretty.to_string tu in
+  let tu2 = parse printed in
+  let printed2 = Minic.Pretty.to_string tu2 in
+  check_string "pretty-print fixpoint" printed printed2
+
+let suite =
+  [
+    tc "global declaration forms" test_global_forms;
+    tc "width types" test_width_types;
+    tc "multiverse attributes" test_multiverse_attributes;
+    tc "function forms" test_function_forms;
+    tc "enum declarations" test_enum;
+    tc "fnptr globals" test_fnptr_global;
+    tc "operator precedence" test_precedence;
+    tc "postfix and unary" test_postfix_and_unary;
+    tc "statement forms" test_statements;
+    tc "single-statement branches" test_single_statement_branches;
+    tc "dangling else" test_dangling_else;
+    tc "parse errors" test_parse_errors;
+    tc "pretty-printer round trip" test_pretty_roundtrip;
+  ]

@@ -1,0 +1,407 @@
+(* Property-based tests (qcheck).
+
+   The central property is the paper's soundness claim (Section 7.4): for
+   any program and any configuration assignment, a committed image behaves
+   exactly like the generic, dynamically-evaluating one.  A random Mini-C
+   program generator drives this, together with:
+   - back-end correctness: machine execution == reference interpreter,
+   - revert restores the text segment byte-for-byte,
+   - commit idempotence,
+   - optimizer semantic preservation. *)
+
+open Util
+module Image = Mv_link.Image
+module Runtime = Core.Runtime
+
+(* ------------------------------------------------------------------ *)
+(* Random Mini-C generator                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Expressions over: the switches a (domain {0,1}) and b ({0,1,2}), plain
+   globals g0/g1, locals x/y, and a parameter n.  Division-free so no traps;
+   shifts bounded. *)
+let gen_expr : string QCheck.Gen.t =
+  let open QCheck.Gen in
+  sized @@ fix (fun self size ->
+      let leaf =
+        oneof
+          [
+            map string_of_int (int_range (-20) 20);
+            oneofl [ "a"; "b"; "g0"; "g1"; "x"; "y"; "n" ];
+          ]
+      in
+      if size <= 0 then leaf
+      else
+        frequency
+          [
+            (2, leaf);
+            ( 5,
+              let* op =
+                oneofl [ "+"; "-"; "*"; "&"; "|"; "^"; "<"; "<="; "=="; "!="; ">"; ">=" ]
+              in
+              let* l = self (size / 2) and* r = self (size / 2) in
+              return (Printf.sprintf "(%s %s %s)" l op r) );
+            ( 1,
+              let* e = self (size / 2) in
+              let* k = int_range 0 3 in
+              return (Printf.sprintf "(%s << %d)" e k) );
+            ( 1,
+              let* e = self (size / 2) in
+              return (Printf.sprintf "(-(%s))" e) );
+            ( 1,
+              let* e = self (size / 2) in
+              return (Printf.sprintf "(!(%s))" e) );
+            ( 2,
+              let* c = self (size / 3) and* t = self (size / 3) and* f = self (size / 3) in
+              return (Printf.sprintf "(%s ? %s : %s)" c t f) );
+            ( 2,
+              let* l = self (size / 2) and* r = self (size / 2) in
+              let* op = oneofl [ "&&"; "||" ] in
+              return (Printf.sprintf "(%s %s %s)" l op r) );
+          ])
+
+let gen_stmts : string QCheck.Gen.t =
+  let open QCheck.Gen in
+  let stmt depth self =
+    frequency
+      [
+        ( 4,
+          let* e = gen_expr in
+          return (Printf.sprintf "w = w * 3 + (%s);" e) );
+        ( 2,
+          let* e = gen_expr in
+          return (Printf.sprintf "x = (%s);" e) );
+        ( 1,
+          let* e = gen_expr in
+          return (Printf.sprintf "y = y + (%s);" e) );
+        ( 3,
+          if depth <= 0 then return "w = w + 1;"
+          else
+            let* c = gen_expr in
+            let* body = self (depth - 1) in
+            let* els = self (depth - 1) in
+            return (Printf.sprintf "if (%s) { %s } else { %s }" c body els) );
+        ( 1,
+          if depth <= 0 then return "w = w + 2;"
+          else
+            let* k = int_range 1 4 in
+            let* body = self (depth - 1) in
+            return (Printf.sprintf "for (int i = 0; i < %d; i++) { %s }" k body) );
+        (1, return "aux(w & 1023);");
+        (1, return "w = w + aux(x);");
+      ]
+  in
+  let rec block depth =
+    let* count = int_range 1 4 in
+    let* stmts = list_repeat count (stmt depth block) in
+    return (String.concat "\n        " stmts)
+  in
+  block 2
+
+let program_of_stmts stmts =
+  Printf.sprintf
+    {|
+    multiverse int a;
+    multiverse values(0, 1, 2) int b;
+    int g0 = 3;
+    int g1 = -5;
+    int w;
+    int aux(int v) { return (v * 2) + 1; }
+    multiverse void mvfn(int n) {
+      int x = n;
+      int y = 0;
+      %s
+    }
+    int driver(int n) {
+      w = 0;
+      mvfn(n);
+      return w;
+    }
+  |}
+    stmts
+
+type case = { src : string; a : int; b : int; n : int }
+
+let gen_case : case QCheck.Gen.t =
+  let open QCheck.Gen in
+  let* stmts = gen_stmts in
+  (* include out-of-domain values to exercise the generic fallback *)
+  let* a = oneofl [ 0; 1; 3 ] in
+  let* b = oneofl [ 0; 1; 2; 7 ] in
+  let* n = int_range (-5) 20 in
+  return { src = program_of_stmts stmts; a; b; n }
+
+let arbitrary_case =
+  QCheck.make
+    ~print:(fun c -> Printf.sprintf "a=%d b=%d n=%d\n%s" c.a c.b c.n c.src)
+    gen_case
+
+(* bound the machine so pathological programs cannot hang the suite *)
+let quick_session src =
+  let program = build src in
+  let machine =
+    Mv_vm.Machine.create ~max_steps:2_000_000 program.Core.Compiler.p_image
+  in
+  let runtime =
+    Core.Runtime.create program.Core.Compiler.p_image ~flush:(fun ~addr ~len ->
+        Mv_vm.Machine.flush_icache machine ~addr ~len)
+  in
+  ({ program; machine; runtime } : session)
+
+let count = 60  (* full compile + commit per case keeps this moderate *)
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(** Section 7.4 soundness: committed == generic for every assignment. *)
+let prop_commit_soundness =
+  QCheck.Test.make ~name:"commit preserves semantics (soundness)" ~count arbitrary_case
+    (fun c ->
+      let dynamic = quick_session c.src in
+      set_global dynamic "a" c.a;
+      set_global dynamic "b" c.b;
+      let expected = run dynamic "driver" [ c.n ] in
+      let committed = quick_session c.src in
+      set_global committed "a" c.a;
+      set_global committed "b" c.b;
+      ignore (Runtime.commit committed.runtime);
+      let actual = run committed "driver" [ c.n ] in
+      expected = actual)
+
+(** Machine == reference interpreter on the same generic program. *)
+let prop_backend_differential =
+  QCheck.Test.make ~name:"machine matches the reference interpreter" ~count
+    arbitrary_case (fun c ->
+      let prog, _ = Mv_ir.Lower.lower_string c.src in
+      let t = Mv_ir.Interp.create ~step_limit:2_000_000 [ prog ] in
+      Mv_ir.Interp.write_global t "a" c.a;
+      Mv_ir.Interp.write_global t "b" c.b;
+      let expected = Mv_ir.Interp.run t "driver" [ c.n ] in
+      let s = quick_session c.src in
+      set_global s "a" c.a;
+      set_global s "b" c.b;
+      expected = run s "driver" [ c.n ])
+
+(** Optimizer preserves semantics on random programs. *)
+let prop_optimizer_preserves =
+  QCheck.Test.make ~name:"optimizer preserves semantics" ~count arbitrary_case
+    (fun c ->
+      let run_with optimize =
+        let prog, _ = Mv_ir.Lower.lower_string c.src in
+        if optimize then Mv_opt.Pass.optimize_prog prog;
+        let t = Mv_ir.Interp.create ~step_limit:2_000_000 [ prog ] in
+        Mv_ir.Interp.write_global t "a" c.a;
+        Mv_ir.Interp.write_global t "b" c.b;
+        Mv_ir.Interp.run t "driver" [ c.n ]
+      in
+      run_with false = run_with true)
+
+(** Revert restores the text segment byte-for-byte. *)
+let prop_revert_restores_text =
+  QCheck.Test.make ~name:"revert restores the text segment" ~count arbitrary_case
+    (fun c ->
+      let s = quick_session c.src in
+      let img = s.program.Core.Compiler.p_image in
+      let text = img.Image.text in
+      let snapshot () = Bytes.sub img.Image.mem text.Image.sr_base text.Image.sr_size in
+      let before = snapshot () in
+      set_global s "a" c.a;
+      set_global s "b" c.b;
+      ignore (Runtime.commit s.runtime);
+      ignore (Runtime.revert s.runtime);
+      Bytes.equal before (snapshot ()))
+
+(** Committing twice with the same values is a no-op on the text. *)
+let prop_commit_idempotent =
+  QCheck.Test.make ~name:"commit is idempotent" ~count arbitrary_case (fun c ->
+      let s = quick_session c.src in
+      let img = s.program.Core.Compiler.p_image in
+      let text = img.Image.text in
+      let snapshot () = Bytes.sub img.Image.mem text.Image.sr_base text.Image.sr_size in
+      set_global s "a" c.a;
+      set_global s "b" c.b;
+      ignore (Runtime.commit s.runtime);
+      let first = snapshot () in
+      ignore (Runtime.commit s.runtime);
+      Bytes.equal first (snapshot ()))
+
+(** Re-committing after switch flips always tracks the current values. *)
+let prop_recommit_tracks_switches =
+  QCheck.Test.make ~name:"re-commit tracks switch changes" ~count:30 arbitrary_case
+    (fun c ->
+      let dynamic = quick_session c.src in
+      let committed = quick_session c.src in
+      List.for_all
+        (fun (a, b) ->
+          set_global dynamic "a" a;
+          set_global dynamic "b" b;
+          set_global committed "a" a;
+          set_global committed "b" b;
+          ignore (Runtime.commit committed.runtime);
+          run dynamic "driver" [ c.n ] = run committed "driver" [ c.n ])
+        [ (c.a, c.b); (1, 2); (0, 0); (c.a, 1) ])
+
+(** The guard boxes of a function's variants partition the full domain:
+    exactly one variant record matches every in-domain assignment. *)
+let prop_guards_partition_domain =
+  QCheck.Test.make ~name:"variant guards partition the domain" ~count:40
+    arbitrary_case (fun c ->
+      let s = quick_session c.src in
+      let img = s.program.Core.Compiler.p_image in
+      let fns = Core.Descriptor.parse_functions img in
+      let a_addr = Image.symbol img "a" in
+      let b_addr = Image.symbol img "b" in
+      List.for_all
+        (fun (f : Core.Descriptor.function_record) ->
+          f.fd_variants = []
+          || List.for_all
+               (fun (a, b) ->
+                 let matches =
+                   List.filter
+                     (fun (v : Core.Descriptor.variant_record) ->
+                       List.for_all
+                         (fun (g : Core.Descriptor.guard_record) ->
+                           let value =
+                             if g.gr_var = a_addr then a
+                             else if g.gr_var = b_addr then b
+                             else 0
+                           in
+                           g.gr_lo <= value && value <= g.gr_hi)
+                         v.va_guards)
+                     f.fd_variants
+                 in
+                 List.length matches = 1)
+               [ (0, 0); (0, 1); (0, 2); (1, 0); (1, 1); (1, 2) ])
+        fns)
+
+(* ------------------------------------------------------------------ *)
+(* Structural properties (no compilation involved)                     *)
+(* ------------------------------------------------------------------ *)
+
+(** Guard box covers are exact: an assignment satisfies some box iff it is
+    in the covered set. *)
+let prop_box_cover_exact =
+  let gen =
+    let open QCheck.Gen in
+    let* n = int_range 1 8 in
+    let* raw =
+      list_repeat n
+        (let* a = int_range 0 3 and* b = int_range 0 3 in
+         return [ ("a", a); ("b", b) ])
+    in
+    return (List.sort_uniq compare raw)
+  in
+  let arb =
+    QCheck.make
+      ~print:(fun set ->
+        String.concat "; "
+          (List.map
+             (fun assignment ->
+               String.concat ","
+                 (List.map (fun (v, x) -> Printf.sprintf "%s=%d" v x) assignment))
+             set))
+      gen
+  in
+  QCheck.Test.make ~name:"guard boxes cover exactly the assignment set" ~count:300 arb
+    (fun set ->
+      let boxes = Core.Guard.boxes_of_assignments set in
+      let satisfies assignment box =
+        Core.Guard.satisfied_by box (fun v -> List.assoc v assignment)
+      in
+      let all_assignments =
+        List.concat_map
+          (fun a -> List.map (fun b -> [ ("a", a); ("b", b) ]) [ 0; 1; 2; 3 ])
+          [ 0; 1; 2; 3 ]
+      in
+      List.for_all
+        (fun assignment ->
+          let covered = List.exists (satisfies assignment) boxes in
+          covered = List.mem assignment set)
+        all_assignments)
+
+(** Canonical forms are invariant under block-id and register renumbering. *)
+let prop_canonical_form_invariant =
+  QCheck.Test.make ~name:"canonical form invariant under renumbering" ~count:40
+    arbitrary_case (fun c ->
+      let prog, _ = Mv_ir.Lower.lower_string c.src in
+      List.for_all
+        (fun (fn : Mv_ir.Ir.fn) ->
+          let renumber (fn : Mv_ir.Ir.fn) : Mv_ir.Ir.fn =
+            let shift_block b = b + 1000 in
+            let shift_reg r = r + 500 in
+            let shift_op = function
+              | Mv_ir.Ir.Reg r -> Mv_ir.Ir.Reg (shift_reg r)
+              | Mv_ir.Ir.Imm n -> Mv_ir.Ir.Imm n
+            in
+            let shift_instr i =
+              let i = Mv_ir.Ir.map_instr_operands shift_op i in
+              match i with
+              | Mv_ir.Ir.Imov (d, s) -> Mv_ir.Ir.Imov (shift_reg d, s)
+              | Mv_ir.Ir.Iun (op, d, a) -> Mv_ir.Ir.Iun (op, shift_reg d, a)
+              | Mv_ir.Ir.Ibin (op, d, a, b) -> Mv_ir.Ir.Ibin (op, shift_reg d, a, b)
+              | Mv_ir.Ir.Iload (d, a, w) -> Mv_ir.Ir.Iload (shift_reg d, a, w)
+              | Mv_ir.Ir.Istore (a, v, w) -> Mv_ir.Ir.Istore (a, v, w)
+              | Mv_ir.Ir.Iloadg (d, s, w) -> Mv_ir.Ir.Iloadg (shift_reg d, s, w)
+              | Mv_ir.Ir.Istoreg (s, v, w) -> Mv_ir.Ir.Istoreg (s, v, w)
+              | Mv_ir.Ir.Iaddr (d, s) -> Mv_ir.Ir.Iaddr (shift_reg d, s)
+              | Mv_ir.Ir.Icall (d, s, args) ->
+                  Mv_ir.Ir.Icall (Option.map shift_reg d, s, args)
+              | Mv_ir.Ir.Icallp (d, s, args) ->
+                  Mv_ir.Ir.Icallp (Option.map shift_reg d, s, args)
+              | Mv_ir.Ir.Iintr (d, intr, args) ->
+                  Mv_ir.Ir.Iintr (Option.map shift_reg d, intr, args)
+            in
+            let shift_term = function
+              | Mv_ir.Ir.Tjmp t -> Mv_ir.Ir.Tjmp (shift_block t)
+              | Mv_ir.Ir.Tbr (c', t, f) -> Mv_ir.Ir.Tbr (shift_op c', shift_block t, shift_block f)
+              | Mv_ir.Ir.Tret v -> Mv_ir.Ir.Tret (Option.map shift_op v)
+            in
+            {
+              fn with
+              Mv_ir.Ir.fn_params = List.map shift_reg fn.Mv_ir.Ir.fn_params;
+              fn_nregs = fn.Mv_ir.Ir.fn_nregs + 500;
+              fn_blocks =
+                List.map
+                  (fun (b : Mv_ir.Ir.block) ->
+                    {
+                      Mv_ir.Ir.b_id = shift_block b.b_id;
+                      b_instrs = List.map shift_instr b.b_instrs;
+                      b_term = shift_term b.b_term;
+                    })
+                  fn.Mv_ir.Ir.fn_blocks;
+            }
+          in
+          Mv_opt.Merge.equal_bodies fn (renumber fn))
+        prog.Mv_ir.Ir.p_fns)
+
+(** Interpreter truncation semantics. *)
+let prop_truncate =
+  QCheck.Test.make ~name:"truncate is idempotent and width-bounded" ~count:300
+    QCheck.(pair (oneofl [ 1; 2; 4 ]) int)
+    (fun (width, v) ->
+      let u = Mv_ir.Interp.truncate ~width ~signed:false v in
+      let s = Mv_ir.Interp.truncate ~width ~signed:true v in
+      let bits = width * 8 in
+      u >= 0
+      && u < 1 lsl bits
+      && s >= -(1 lsl (bits - 1))
+      && s < 1 lsl (bits - 1)
+      && Mv_ir.Interp.truncate ~width ~signed:false u = u
+      && Mv_ir.Interp.truncate ~width ~signed:true s = s
+      && u land ((1 lsl bits) - 1) = v land ((1 lsl bits) - 1))
+
+let suite =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_commit_soundness;
+      prop_backend_differential;
+      prop_optimizer_preserves;
+      prop_revert_restores_text;
+      prop_commit_idempotent;
+      prop_recommit_tracks_switches;
+      prop_guards_partition_domain;
+      prop_box_cover_exact;
+      prop_canonical_form_invariant;
+      prop_truncate;
+    ]

@@ -1,0 +1,219 @@
+(* Tests for the [switch] statement — the natural construct for the paper's
+   "rarely-changing program modes" — through the whole pipeline: parsing,
+   checking, lowering, machine execution, and multiverse specialization of
+   a mode variable. *)
+
+open Util
+module Ast = Minic.Ast
+module Runtime = Core.Runtime
+
+let test_parse_shapes () =
+  let tu =
+    Minic.Parser.parse_string
+      {|int f(int x) {
+          switch (x) {
+            case 1: return 10;
+            case 2: case 3: return 23;
+            default: return 0;
+          }
+        }|}
+  in
+  match tu with
+  | [ Ast.Dfunc { f_body = Some [ { sdesc = Ast.Sswitch (_, cases, Some _); _ } ]; _ } ] ->
+      check_int "two case groups" 2 (List.length cases);
+      check_bool "shared labels" true (List.mem [ 2; 3 ] (List.map fst cases))
+  | _ -> Alcotest.fail "unexpected parse"
+
+let test_parse_errors () =
+  let expect_error src =
+    match Minic.Parser.parse_string src with
+    | exception Minic.Parser.Error _ -> ()
+    | _ -> Alcotest.failf "expected a parse error for %s" src
+  in
+  expect_error "void f() { switch (1) { case: ; } }";
+  expect_error "void f() { switch (1) { default: default: } }";
+  expect_error "void f() { switch (1) { return 1; } }"
+
+let test_typecheck_rules () =
+  let msg = check_fails "void f(int x) { switch (x) { case 1: case 1: break; } }" in
+  check_bool "duplicate labels rejected" true
+    (String.length msg > 0);
+  (* break legal inside switch, continue is not *)
+  let _ = check_ok "void f(int x) { switch (x) { case 1: break; } }" in
+  (match Minic.Typecheck.check_string
+           "void f(int x) { switch (x) { case 1: continue; } }"
+   with
+  | exception Minic.Typecheck.Error _ -> ()
+  | _ -> Alcotest.fail "continue must be rejected inside a bare switch");
+  (* ... but legal when the switch is inside a loop *)
+  let _ =
+    check_ok
+      "void f(int x) { while (x) { switch (x) { case 1: continue; } x = x - 1; } }"
+  in
+  ()
+
+let dispatch_src =
+  {|
+  int f(int x) {
+    switch (x) {
+      case 0: return 100;
+      case 1: case 2: return 120;
+      case 7: return 700;
+      default: return -1;
+    }
+  }
+|}
+
+let test_dispatch_semantics () =
+  List.iter
+    (fun (arg, expected) ->
+      check_differential ~args:[ arg ] (Printf.sprintf "switch(%d)" arg) dispatch_src "f";
+      check_int (Printf.sprintf "value for %d" arg) expected (interp_run dispatch_src "f" [ arg ]))
+    [ (0, 100); (1, 120); (2, 120); (7, 700); (3, -1); (-5, -1) ]
+
+let test_no_default_falls_through () =
+  let src =
+    {|int f(int x) {
+        int r = 42;
+        switch (x) {
+          case 1: r = 1;
+        }
+        return r;
+      }|}
+  in
+  check_differential ~args:[ 1 ] "matched" src "f";
+  check_differential ~args:[ 9 ] "unmatched keeps running" src "f";
+  check_int "unmatched value" 42 (interp_run src "f" [ 9 ])
+
+let test_break_in_switch () =
+  let src =
+    {|int f(int x) {
+        int r = 0;
+        switch (x) {
+          case 1:
+            r = 1;
+            break;
+          default:
+            r = 2;
+        }
+        return r * 10;
+      }|}
+  in
+  check_differential ~args:[ 1 ] "break exits the switch" src "f";
+  check_int "value" 10 (interp_run src "f" [ 1 ])
+
+let test_switch_in_loop_with_continue () =
+  let src =
+    {|int f(int n) {
+        int evens = 0;
+        for (int i = 0; i < n; i++) {
+          switch (i & 1) {
+            case 1: continue;
+          }
+          evens = evens + 1;
+        }
+        return evens;
+      }|}
+  in
+  check_differential ~args:[ 10 ] "continue targets the loop" src "f";
+  check_int "value" 5 (interp_run src "f" [ 10 ])
+
+let test_nested_switch () =
+  let src =
+    {|int f(int a, int b) {
+        switch (a) {
+          case 1:
+            switch (b) {
+              case 1: return 11;
+              default: return 10;
+            }
+          default:
+            return 0;
+        }
+      }|}
+  in
+  List.iter
+    (fun (a, b, expected) ->
+      check_int (Printf.sprintf "nested %d %d" a b) expected (interp_run src "f" [ a; b ]))
+    [ (1, 1, 11); (1, 5, 10); (2, 1, 0) ]
+
+let test_multiverse_specializes_mode_switch () =
+  (* the paper's "rarely-changing program modes": a multiversed dispatcher
+     over an enum mode collapses to a straight return when committed *)
+  let src =
+    {|
+    enum mode { OFF, SLOW, FAST };
+    multiverse enum mode m;
+    multiverse int step() {
+      switch (m) {
+        case 0: return 0;
+        case 1: return 1;
+        case 2: return 10;
+      }
+      return -1;
+    }
+    int run(int n) {
+      int total = 0;
+      for (int i = 0; i < n; i++) {
+        total = total + step();
+      }
+      return total;
+    }
+  |}
+  in
+  let s = session src in
+  List.iter
+    (fun (mode, expected) ->
+      set_global s "m" mode;
+      ignore (Runtime.commit s.runtime);
+      check_int (Printf.sprintf "mode %d" mode) expected (run s "run" [ 10 ]))
+    [ (0, 0); (1, 10); (2, 100) ];
+  (* the committed variant for a fixed mode is branch-free: the whole test
+     chain folds away *)
+  let img = s.program.Core.Compiler.p_image in
+  let fns = Core.Descriptor.parse_functions img in
+  let f = List.hd fns in
+  check_int "three variants (one per enum item)" 3
+    (List.length f.Core.Descriptor.fd_variants);
+  List.iter
+    (fun (v : Core.Descriptor.variant_record) ->
+      (* a specialized mode variant is just "mov r0, k; ret" *)
+      check_bool "variant is tiny" true (v.Core.Descriptor.va_size <= 8))
+    f.Core.Descriptor.fd_variants;
+  (* committed dispatch executes no conditional branches in step() *)
+  set_global s "m" 2;
+  ignore (Runtime.commit s.runtime);
+  let before = s.machine.Mv_vm.Machine.perf.Mv_vm.Perf.branches in
+  ignore (run s "step" []);
+  check_int "branch-free committed dispatch" 0
+    (s.machine.Mv_vm.Machine.perf.Mv_vm.Perf.branches - before)
+
+let test_pretty_roundtrip_with_switch () =
+  let src =
+    {|int f(int x) {
+        switch (x + 1) {
+          case 1: return 10;
+          case 2: case 3: { int y = x; return y; }
+          default: return 0;
+        }
+      }|}
+  in
+  let tu = Minic.Parser.parse_string src in
+  let printed = Minic.Pretty.to_string tu in
+  let tu2 = Minic.Parser.parse_string printed in
+  let printed2 = Minic.Pretty.to_string tu2 in
+  check_string "fixpoint" printed printed2
+
+let suite =
+  [
+    tc "parse shapes" test_parse_shapes;
+    tc "parse errors" test_parse_errors;
+    tc "typecheck rules" test_typecheck_rules;
+    tc "dispatch semantics (differential)" test_dispatch_semantics;
+    tc "no default falls through" test_no_default_falls_through;
+    tc "break exits the switch" test_break_in_switch;
+    tc "continue inside switch targets the loop" test_switch_in_loop_with_continue;
+    tc "nested switches" test_nested_switch;
+    tc "multiverse specializes a mode dispatcher" test_multiverse_specializes_mode_switch;
+    tc "pretty-printer round trip" test_pretty_roundtrip_with_switch;
+  ]

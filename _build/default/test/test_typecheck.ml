@@ -1,0 +1,184 @@
+(* Semantic-analysis tests: name resolution, arity, attribute rules, and
+   the switch-write warning mandated by Section 3 of the paper. *)
+
+open Util
+module Ast = Minic.Ast
+module Tc = Minic.Typecheck
+
+let warnings src =
+  let _, _, diags = check_ok src in
+  List.map (fun (d : Tc.diagnostic) -> d.message) diags
+
+let contains_substring hay needle =
+  let lh = String.length hay and ln = String.length needle in
+  let rec go i = i + ln <= lh && (String.sub hay i ln = needle || go (i + 1)) in
+  ln = 0 || go 0
+
+let check_error_mentions src needle =
+  let msg = check_fails src in
+  check_bool
+    (Printf.sprintf "error %S mentions %S" msg needle)
+    true (contains_substring msg needle)
+
+(* ------------------------------------------------------------------ *)
+
+let test_accepts_valid_programs () =
+  let _ =
+    check_ok
+      {|
+      enum mode { OFF, ON };
+      multiverse enum mode cur;
+      multiverse int flag;
+      int buf[8];
+      int helper(int a) { return a + 1; }
+      multiverse int use(int n) {
+        if (flag && cur == ON) { return helper(n); }
+        return buf[n];
+      }
+    |}
+  in
+  ()
+
+let test_undefined_names () =
+  check_error_mentions "int f() { return nope; }" "undefined variable";
+  check_error_mentions "int f() { return g(); }" "undefined function";
+  check_error_mentions "int f() { return &nope; }" "undefined symbol";
+  check_error_mentions "void f() { nope = 1; }" "undefined variable"
+
+let test_duplicates () =
+  check_error_mentions "int x; int x;" "duplicate global";
+  check_error_mentions "void f() { } void f() { }" "duplicate function";
+  check_error_mentions "enum a { X }; enum b { X };" "duplicate enum item";
+  check_error_mentions "void f() { int x; int x; }" "duplicate local"
+
+let test_extern_merging () =
+  (* extern declaration + definition is fine, in either order *)
+  let _ = check_ok "extern int x; int x = 1;" in
+  let _ = check_ok "int x = 1; extern int x;" in
+  let _ = check_ok "extern void f(); void f() { }" in
+  check_error_mentions "extern int x; bool x;" "conflicting types";
+  check_error_mentions "extern void f(int a); void f() { }" "conflicting arity"
+
+let test_arity () =
+  check_error_mentions "void g(int a) { } void f() { g(); }" "expects 1 argument";
+  check_error_mentions "void g() { } void f() { g(1); }" "expects 0 argument";
+  check_error_mentions "void f() { __atomic_xchg(1); }" "expects 2 argument";
+  check_error_mentions "void f() { __cli(1); }" "expects 0 argument"
+
+let test_attribute_rules () =
+  check_error_mentions "multiverse ptr p;" "integer-like";
+  check_error_mentions "multiverse int a[4];" "cannot apply to array";
+  check_error_mentions "values(1) int x;" "requires multiverse";
+  check_error_mentions "multiverse bind(x) int y;" "only valid on functions";
+  check_error_mentions "int x; multiverse bind(x) void f() { }" "not a multiverse switch";
+  check_error_mentions "multiverse bind(zz) void f() { }" "undefined global";
+  check_error_mentions "bind(x) void f() { }" "requires multiverse";
+  check_error_mentions "noinline int x;" "code-generation attribute";
+  check_error_mentions "multiverse values(1) void f() { }" "only valid on variables"
+
+let test_enum_rules () =
+  check_error_mentions "enum nope_t x;" "undefined enum";
+  check_error_mentions "enum e { A }; void f() { A = 1; }" "enum constant";
+  (* enum constants fold to integers *)
+  let _ = check_ok "enum e { A = 5 }; int f() { return A + 1; }" in
+  ()
+
+let test_return_rules () =
+  check_error_mentions "void f() { return 1; }" "void function";
+  check_error_mentions "int f() { return; }" "without a value"
+
+let test_loop_rules () =
+  check_error_mentions "void f() { break; }" "break outside";
+  check_error_mentions "void f() { continue; }" "continue outside";
+  let _ = check_ok "void f() { while (1) { break; } }" in
+  let _ = check_ok "void f() { for (;;) { continue; } }" in
+  ()
+
+let test_fnptr_rules () =
+  check_error_mentions "int g = &f;" "requires fnptr";
+  check_error_mentions "fnptr g = &missing;" "undefined function";
+  let _ = check_ok "void f() { } fnptr g = &f;" in
+  (* calling through a fnptr global uses call syntax *)
+  let _ = check_ok "void f() { } fnptr g = &f; void h() { g(); }" in
+  check_error_mentions "int x; void h() { x(); }" "not a function"
+
+let test_switch_write_warning () =
+  let ws =
+    warnings
+      {|
+      multiverse int flag;
+      multiverse void f() {
+        flag = 1;
+      }
+    |}
+  in
+  check_int "one warning" 1 (List.length ws);
+  check_bool "mentions the switch" true
+    (contains_substring (List.hd ws) "write to configuration switch flag");
+  (* no warning outside multiversed functions *)
+  let ws2 = warnings "multiverse int flag; void g() { flag = 1; }" in
+  check_int "no warning in plain function" 0 (List.length ws2)
+
+let test_local_shadowing () =
+  (* an inner scope may shadow an outer local; a local may shadow a global *)
+  let _ =
+    check_ok
+      {|
+      int x;
+      int f() {
+        int x = 1;
+        if (x) {
+          int x = 2;
+          return x;
+        }
+        return x;
+      }
+    |}
+  in
+  ()
+
+let test_addr_resolution () =
+  (* &name resolves to a function or rewrites to a global address *)
+  let tu, _, _ =
+    check_ok "int g; void f() { } int h() { return &f + &g; }"
+  in
+  let found = ref [] in
+  let rec walk_expr (e : Ast.expr) =
+    match e.edesc with
+    | Ast.Eaddr_of_fun n -> found := ("fun", n) :: !found
+    | Ast.Eaddr_of_var n -> found := ("var", n) :: !found
+    | Ast.Ebinop (_, a, b) ->
+        walk_expr a;
+        walk_expr b
+    | _ -> ()
+  in
+  List.iter
+    (function
+      | Ast.Dfunc { f_body = Some body; _ } ->
+          List.iter
+            (fun (s : Ast.stmt) ->
+              match s.sdesc with
+              | Ast.Sreturn (Some e) -> walk_expr e
+              | _ -> ())
+            body
+      | _ -> ())
+    tu;
+  check_bool "resolved to fun and var" true
+    (List.mem ("fun", "f") !found && List.mem ("var", "g") !found)
+
+let suite =
+  [
+    tc "accepts valid programs" test_accepts_valid_programs;
+    tc "undefined names" test_undefined_names;
+    tc "duplicate definitions" test_duplicates;
+    tc "extern merging" test_extern_merging;
+    tc "arity checking" test_arity;
+    tc "attribute rules" test_attribute_rules;
+    tc "enum rules" test_enum_rules;
+    tc "return rules" test_return_rules;
+    tc "loop rules" test_loop_rules;
+    tc "fnptr rules" test_fnptr_rules;
+    tc "switch-write warning (Section 3)" test_switch_write_warning;
+    tc "local shadowing" test_local_shadowing;
+    tc "address-of resolution" test_addr_resolution;
+  ]
