@@ -363,6 +363,60 @@ let tracing () =
     (T.events_recorded T.Multiversed ~enabled:true ~calls:100)
 
 (* ------------------------------------------------------------------ *)
+(* E13: extension — safe commit (quiescence + deferred patching)        *)
+(* ------------------------------------------------------------------ *)
+
+let safe_commit_bench () =
+  header
+    "E13 / extension: safe commit — stack quiescence and deferred patching\n\
+     (beyond the paper: Section 2's \"caller guarantees a patchable state\"\n\
+    \ replaced by a live-activation check and a safepoint drain; the poll\n\
+    \ is a per-ret flag test, budget < 2% on the spinlock workload)";
+  let spin ~smp ~hook =
+    let s = H.session1 (Spinlock.source Spinlock.Multiverse) in
+    H.set s "config_smp" (Bool.to_int smp);
+    ignore (H.commit s);
+    if hook then H.enable_safe_commit s;
+    H.measure ~samples:(samples ()) s ~loop_fn:"bench_loop"
+  in
+  row "%-40s %10s %10s %8s\n" "spinlock lock+unlock [avg cycles]" "w/o hook" "w/ hook"
+    "delta";
+  List.iter
+    (fun (label, smp) ->
+      let off = spin ~smp ~hook:false in
+      let on = spin ~smp ~hook:true in
+      let delta = (on.H.m_mean -. off.H.m_mean) /. off.H.m_mean *. 100.0 in
+      row "%-40s %10.2f %10.2f %+7.2f%%\n" label off.H.m_mean on.H.m_mean delta)
+    [ ("unicore (elided, sites inlined)", false); ("multicore (atomic path)", true) ];
+  (* deferral in action: commit while an activation of the target is live *)
+  let src =
+    {|
+    multiverse bool m;
+    int w;
+    multiverse void f() { if (m) { w = w + 100; } }
+    void spacer() { w = w + 1; }
+    int driver() { w = 0; f(); spacer(); spacer(); f(); return w; }
+  |}
+  in
+  let s = H.session1 src in
+  H.enable_safe_commit s;
+  H.set s "m" 1;
+  let f_addr = Mv_link.Image.symbol s.H.program.Core.Compiler.p_image "f" in
+  Machine.start_call s.H.machine "driver" [];
+  while s.H.machine.Machine.pc <> f_addr do
+    ignore (Machine.step s.H.machine)
+  done;
+  let bound = H.commit_safe s in
+  row "\ncommit_safe with the target live: %d bound, pending: [%s]\n" bound
+    (String.concat "; " (Core.Runtime.pending s.H.runtime));
+  let w = Machine.finish s.H.machine in
+  let st = Core.Runtime.stats s.H.runtime in
+  row "run result %d (specialized mid-run at a quiescent safepoint)\n" w;
+  row "deferred %d, applied %d, rolled back %d, safepoint polls %d\n"
+    st.Core.Runtime.st_safe_deferred st.Core.Runtime.st_safe_applied
+    st.Core.Runtime.st_safe_rolled_back st.Core.Runtime.st_safepoint_polls
+
+(* ------------------------------------------------------------------ *)
 (* A1: ablation — completeness jump vs patched direct call              *)
 (* ------------------------------------------------------------------ *)
 
@@ -670,6 +724,7 @@ let experiments =
     ("api", api);
     ("fig23-worked-example", worked_example);
     ("tracing", tracing);
+    ("safe-commit", safe_commit_bench);
     ("ablation-jmp", ablation_jmp);
     ("ablation-btb", ablation_btb);
     ("ablation-inline", ablation_inline);

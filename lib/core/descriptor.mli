@@ -70,6 +70,11 @@ type function_record = {
 
 exception Parse_error of string
 
+(** Parse the [multiverse.variables] section of a linked image. *)
 val parse_variables : Mv_link.Image.t -> variable list
+
+(** Parse the [multiverse.callsites] section of a linked image. *)
 val parse_callsites : Mv_link.Image.t -> callsite list
+
+(** Parse the [multiverse.functions] section of a linked image. *)
 val parse_functions : Mv_link.Image.t -> function_record list

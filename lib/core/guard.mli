@@ -16,14 +16,21 @@ type t = range list
     switch values provided by [lookup]. *)
 val satisfied_by : t -> (string -> int) -> bool
 
+(** Print one range as [var in \[lo,hi\]]. *)
 val pp_range : Format.formatter -> range -> unit
+
+(** Print a guard as a comma-separated conjunction (empty prints [true]). *)
 val pp : Format.formatter -> t -> unit
+
+(** {!pp} into a string. *)
 val to_string : t -> string
 
 (** Per-variable projections of an assignment set: which values each switch
     takes across the set (sorted, deduplicated). *)
 module Smap : Map.S with type key = string
 
+(** The per-variable projection described above, as a map keyed by switch
+    name. *)
 val values_per_var : (string * int) list list -> int list Smap.t
 
 (** [single_box assignments] covers the set with one box when it equals the

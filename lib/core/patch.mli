@@ -16,6 +16,8 @@ type t = {
   mutable patches : int;
 }
 
+(** Attach the patching layer to a linked image; [flush] is the icache
+    callback invoked after every text write. *)
 val create : Mv_link.Image.t -> flush:(addr:int -> len:int -> unit) -> t
 
 (** Run [f] with the pages covering the range writable; the previous
@@ -25,6 +27,7 @@ val with_writable : t -> addr:int -> len:int -> (unit -> 'a) -> 'a
 (** Protected write + icache flush: the single funnel for text mutation. *)
 val write_text : t -> addr:int -> bytes -> unit
 
+(** Read [len] text bytes at [addr] (no write window needed). *)
 val read_text : t -> addr:int -> len:int -> bytes
 
 (** Decode the instruction at [addr] (raises {!Patch_error} on garbage). *)
@@ -65,4 +68,5 @@ val relocate_body : t -> src:int -> len:int -> dst:int -> bytes
     (Section 7.4). *)
 val install_prologue_jmp : t -> fn_addr:int -> target:int -> bytes
 
+(** Write previously saved bytes back (the revert side of every patch). *)
 val restore_bytes : t -> addr:int -> bytes -> unit

@@ -57,6 +57,36 @@ type fnptr_entry = {
   mutable fp_committed : int option;
 }
 
+(* --- The safe-commit subsystem (beyond the paper, closing its Section 2
+   "caller guarantees a patchable state" gap) ------------------------------
+
+   A deferred patch is journaled as an [action]; one [commit_safe] or
+   [revert_safe] call produces at most one [pending_set], which is applied
+   transactionally — all actions or none — at a later quiescence point. *)
+
+type pending_action =
+  | Act_bind of fn_entry * Descriptor.variant_record
+      (** install this variant for the function *)
+  | Act_unbind of fn_entry  (** revert the function to its generic state *)
+  | Act_bind_ptr of fnptr_entry * int
+      (** bind the fn-pointer switch to the target captured at commit time *)
+  | Act_unbind_ptr of fnptr_entry  (** restore the indirect call sites *)
+
+type pending_set = {
+  pset_id : int;
+  pset_actions : pending_action list;
+}
+
+(** Counters for the safe-commit paths (surfaced through {!stats}). *)
+type safe_counters = {
+  mutable sc_deferred : int;  (** actions journaled instead of applied *)
+  mutable sc_denied : int;  (** actions refused under the [Deny] policy *)
+  mutable sc_superseded : int;  (** journaled actions dropped by a newer commit *)
+  mutable sc_applied : int;  (** deferred actions applied at a safepoint *)
+  mutable sc_rolled_back : int;  (** pending sets rolled back mid-apply *)
+  mutable sc_polls : int;  (** safepoint invocations *)
+}
+
 type t = {
   image : Image.t;
   patch : Patch.t;
@@ -67,6 +97,13 @@ type t = {
   mutable skipped_sites : (int * string) list;  (** verification failures *)
   mutable inline_enabled : bool;  (** call-site body inlining (Section 4); on by default *)
   mutable strategy : strategy;
+  mutable live_scanner : (unit -> int list) option;
+      (** reports code addresses with live activations (pc + return
+          addresses); wire to [Machine.live_code_addrs] *)
+  mutable pending : pending_set list;  (** deferred patch sets, oldest first *)
+  mutable next_pset_id : int;
+  mutable in_safepoint : bool;  (** reentrancy guard for {!safepoint} *)
+  safe : safe_counters;
 }
 
 (** How variants are installed.
@@ -177,6 +214,19 @@ let create (img : Image.t) ~flush : t =
     skipped_sites = [];
     inline_enabled = true;
     strategy = Call_site_patching;
+    live_scanner = None;
+    pending = [];
+    next_pset_id = 0;
+    in_safepoint = false;
+    safe =
+      {
+        sc_deferred = 0;
+        sc_denied = 0;
+        sc_superseded = 0;
+        sc_applied = 0;
+        sc_rolled_back = 0;
+        sc_polls = 0;
+      };
   }
 
 (** Disable or re-enable call-site body inlining (the A3 ablation: measure
@@ -191,6 +241,8 @@ let set_strategy t s =
     || List.exists (fun fp -> fp.fp_committed <> None) t.fnptrs
   in
   if busy then errf "cannot switch strategy while variants are installed (revert first)";
+  if t.pending <> [] then
+    errf "cannot switch strategy while patch sets are pending (drain safepoints first)";
   t.strategy <- s
 
 (* ------------------------------------------------------------------ *)
@@ -343,9 +395,22 @@ let revert_fnptr_entry t (fp : fnptr_entry) =
   List.iter (restore_site t) fp.fp_sites;
   fp.fp_committed <- None
 
-(** Bind a function-pointer switch: read its current target and patch every
-    recorded indirect call site into a direct call (or inline the target
-    body).  The target's size is taken from the symbol table. *)
+(** Patch every recorded indirect call site of the fn-pointer switch into a
+    direct call to [target] (or inline the target body).  The target's size
+    is taken from the symbol table. *)
+let install_fnptr t (fp : fnptr_entry) ~target =
+  if fp.fp_committed <> Some target then begin
+    revert_fnptr_entry t fp;
+    let target_size =
+      match Image.symbol_at t.image target with
+      | Some name -> Image.symbol_size t.image name
+      | None -> 0
+    in
+    List.iter (fun s -> install_site t s ~target ~target_size) fp.fp_sites;
+    fp.fp_committed <- Some target
+  end
+
+(** Bind a function-pointer switch to its current in-memory target. *)
 let commit_fnptr_entry t (fp : fnptr_entry) : bool =
   let target = Image.read t.image fp.fp_var.vr_addr 8 in
   if target = 0 then begin
@@ -354,16 +419,7 @@ let commit_fnptr_entry t (fp : fnptr_entry) : bool =
     false
   end
   else begin
-    if fp.fp_committed <> Some target then begin
-      revert_fnptr_entry t fp;
-      let target_size =
-        match Image.symbol_at t.image target with
-        | Some name -> Image.symbol_size t.image name
-        | None -> 0
-      in
-      List.iter (fun s -> install_site t s ~target ~target_size) fp.fp_sites;
-      fp.fp_committed <- Some target
-    end;
+    install_fnptr t fp ~target;
     true
   end
 
@@ -371,10 +427,21 @@ let commit_fnptr_entry t (fp : fnptr_entry) : bool =
 (* The Table 1 API                                                     *)
 (* ------------------------------------------------------------------ *)
 
+(* Any whole-image (re)decision makes previously journaled patch sets
+   stale: drop them so a safepoint cannot apply an outdated binding over a
+   newer one. *)
+let supersede_pending t =
+  List.iter
+    (fun pset ->
+      t.safe.sc_superseded <- t.safe.sc_superseded + List.length pset.pset_actions)
+    t.pending;
+  t.pending <- []
+
 (** [multiverse_commit]: inspect all switches, select and install variants
     everywhere.  Returns the number of entities bound to a specialized
     state; [fallbacks t] lists functions left generic. *)
 let commit t : int =
+  supersede_pending t;
   t.fallbacks <- [];
   let bound_fns = List.filter (commit_fn_entry t) t.functions in
   let bound_ptrs = List.filter (commit_fnptr_entry t) t.fnptrs in
@@ -382,6 +449,7 @@ let commit t : int =
 
 (** [multiverse_revert]: restore the whole image to its unpatched state. *)
 let revert t : int =
+  supersede_pending t;
   t.fallbacks <- [];
   List.iter (revert_fn_entry t) t.functions;
   List.iter (revert_fnptr_entry t) t.fnptrs;
@@ -465,6 +533,259 @@ let revert_refs t name =
   | None -> -1
 
 (* ------------------------------------------------------------------ *)
+(* Safe commit: stack-quiescence detection and deferred patching       *)
+(* ------------------------------------------------------------------ *)
+
+(* The paper's runtime performs no synchronization — "the caller guarantees
+   a patchable state" (Section 2) — and Section 7.1 leaves safe application
+   while specialized code is live open.  In the simulator we can prove
+   quiescence: the machine reports every code address with a live
+   activation (pc + conservative stack scan), and a patch is applied only
+   when none of them falls inside the bytes it would rewrite.  Patches for
+   live functions are journaled and drained transactionally at quiescence
+   points (the machine's safepoint hook). *)
+
+type safe_policy = Defer | Deny
+
+let set_live_scanner t scan = t.live_scanner <- Some scan
+
+let live_addrs t =
+  match t.live_scanner with
+  | Some scan -> scan ()
+  | None -> errf "safe commit requires a live scanner (Runtime.set_live_scanner)"
+
+(* The half-open byte ranges a (re)bind or revert of the function would
+   rewrite: the generic prologue/body and every recorded call site.  The
+   range end matters: a return address just past an unpadded call
+   instruction is *outside* its site and safe, while the same return
+   address inside a nop-padded site (where an inlined body may extend past
+   it) keeps the site live. *)
+let fn_touched_ranges (fe : fn_entry) : (int * int) list =
+  let generic = fe.fe_record.fd_generic in
+  let body_hi = generic + max fe.fe_record.fd_generic_size Insn.jmp_size in
+  (generic, body_hi)
+  :: List.map (fun s -> (s.s_addr, s.s_addr + s.s_size)) fe.fe_sites
+
+let fnptr_touched_ranges (fp : fnptr_entry) : (int * int) list =
+  List.map (fun s -> (s.s_addr, s.s_addr + s.s_size)) fp.fp_sites
+
+let ranges_live ranges live =
+  List.exists (fun a -> List.exists (fun (lo, hi) -> a >= lo && a < hi) ranges) live
+
+let action_ranges = function
+  | Act_bind (fe, _) | Act_unbind fe -> fn_touched_ranges fe
+  | Act_bind_ptr (fp, _) | Act_unbind_ptr fp -> fnptr_touched_ranges fp
+
+let action_name = function
+  | Act_bind (fe, _) | Act_unbind fe -> fe.fe_name
+  | Act_bind_ptr (fp, _) | Act_unbind_ptr fp -> fp.fp_name
+
+(* Deferred application is strict where an interactive commit is lenient: a
+   call site whose bytes diverged from what the runtime last wrote is a
+   transaction failure (triggering rollback of the whole set), not a
+   skip-and-report.  A deferred set must apply exactly as journaled or not
+   at all. *)
+let check_sites_strict t who sites =
+  List.iter
+    (fun s ->
+      if not (site_intact t s) then
+        errf "deferred apply: call site 0x%x of %s changed by another mechanism" s.s_addr
+          who)
+    sites
+
+(* Lenient application, used for the entities commit_safe/revert_safe can
+   patch immediately: identical behavior to the unsafe paths (foreign site
+   bytes are skipped and reported, never corrupted). *)
+let apply_action_lenient t = function
+  | Act_bind (fe, v) -> install_variant t fe v
+  | Act_unbind fe -> revert_fn_entry t fe
+  | Act_bind_ptr (fp, target) -> install_fnptr t fp ~target
+  | Act_unbind_ptr fp -> revert_fnptr_entry t fp
+
+(* Strict application, used inside a deferred transaction: foreign site
+   bytes abort the set (and roll it back) instead of being skipped. *)
+let apply_action t action =
+  (match action with
+  | Act_bind (fe, _) | Act_unbind fe -> check_sites_strict t fe.fe_name fe.fe_sites
+  | Act_bind_ptr (fp, _) | Act_unbind_ptr fp ->
+      check_sites_strict t fp.fp_name fp.fp_sites);
+  apply_action_lenient t action
+
+(* What it takes to restore an entity to its pre-transaction state. *)
+type undo =
+  | Undo_fn of fn_entry * int option  (* previously installed variant *)
+  | Undo_ptr of fnptr_entry * int option  (* previously committed target *)
+
+let undo_of = function
+  | Act_bind (fe, _) | Act_unbind fe -> Undo_fn (fe, fe.fe_installed)
+  | Act_bind_ptr (fp, _) | Act_unbind_ptr fp -> Undo_ptr (fp, fp.fp_committed)
+
+let undo_action t = function
+  | Undo_fn (fe, prior) -> (
+      revert_fn_entry t fe;
+      match prior with
+      | None -> ()
+      | Some addr -> (
+          match
+            List.find_opt
+              (fun (v : Descriptor.variant_record) -> v.va_addr = addr)
+              fe.fe_record.fd_variants
+          with
+          | Some v -> install_variant t fe v
+          | None -> ()))
+  | Undo_ptr (fp, prior) -> (
+      revert_fnptr_entry t fp;
+      match prior with None -> () | Some target -> install_fnptr t fp ~target)
+
+(** Apply one journaled set transactionally: every action, in order, or —
+    if any application fails — undo the already-applied prefix (in reverse
+    order) so the image is exactly as before the attempt.  Returns [true]
+    on full application. *)
+let apply_set t (pset : pending_set) : bool =
+  let applied = ref [] in
+  match
+    List.iter
+      (fun act ->
+        applied := undo_of act :: !applied;
+        apply_action t act)
+      pset.pset_actions
+  with
+  | () ->
+      t.safe.sc_applied <- t.safe.sc_applied + List.length pset.pset_actions;
+      true
+  | exception (Runtime_error _ | Patch.Patch_error _) ->
+      List.iter (undo_action t) !applied;
+      t.safe.sc_rolled_back <- t.safe.sc_rolled_back + 1;
+      false
+
+let journal t actions =
+  if actions <> [] then begin
+    let pset = { pset_id = t.next_pset_id; pset_actions = actions } in
+    t.next_pset_id <- t.next_pset_id + 1;
+    t.pending <- t.pending @ [ pset ]
+  end
+
+(** [multiverse_commit], made safe: bind every entity whose patch ranges
+    have no live activation; journal (policy [Defer], the default) or
+    refuse (policy [Deny]) the rest.  Returns the number of entities in the
+    specialized state *now* — deferred ones are excluded and appear in
+    {!pending} until a safepoint applies them.  Like {!commit}, binding
+    decisions use the switch values at call time; a deferred action binds
+    the variant selected *now*, not at application time. *)
+let commit_safe ?(policy = Defer) t : int =
+  let live = live_addrs t in
+  supersede_pending t;
+  t.fallbacks <- [];
+  let deferred = ref [] in
+  let bound = ref 0 in
+  let stage action =
+    if ranges_live (action_ranges action) live then
+      match policy with
+      | Defer ->
+          deferred := action :: !deferred;
+          t.safe.sc_deferred <- t.safe.sc_deferred + 1
+      | Deny -> t.safe.sc_denied <- t.safe.sc_denied + 1
+    else begin
+      apply_action_lenient t action;
+      incr bound
+    end
+  in
+  List.iter
+    (fun fe ->
+      match select_variant t fe with
+      | Some v ->
+          if fe.fe_installed = Some v.va_addr then incr bound else stage (Act_bind (fe, v))
+      | None ->
+          let installed =
+            fe.fe_installed <> None || fe.fe_prologue <> None || fe.fe_saved_body <> None
+          in
+          if installed then begin
+            (* a revert to generic is not a bind: stage it, then take the
+               count back out *)
+            let before = !bound in
+            stage (Act_unbind fe);
+            bound := before
+          end;
+          if fe.fe_record.fd_variants <> [] then t.fallbacks <- fe.fe_name :: t.fallbacks)
+    t.functions;
+  List.iter
+    (fun fp ->
+      let target = Image.read t.image fp.fp_var.vr_addr 8 in
+      if target = 0 then begin
+        if fp.fp_committed <> None then begin
+          let before = !bound in
+          stage (Act_unbind_ptr fp);
+          bound := before
+        end;
+        t.fallbacks <- fp.fp_name :: t.fallbacks
+      end
+      else if fp.fp_committed = Some target then incr bound
+      else stage (Act_bind_ptr (fp, target)))
+    t.fnptrs;
+  journal t (List.rev !deferred);
+  !bound
+
+(** [multiverse_revert], made safe: restore every entity whose patch ranges
+    are quiescent; journal or refuse the rest.  Returns the number of
+    entities in the pristine state when the call returns. *)
+let revert_safe ?(policy = Defer) t : int =
+  let live = live_addrs t in
+  supersede_pending t;
+  t.fallbacks <- [];
+  let deferred = ref [] in
+  let blocked = ref 0 in
+  let stage action =
+    if ranges_live (action_ranges action) live then begin
+      incr blocked;
+      match policy with
+      | Defer ->
+          deferred := action :: !deferred;
+          t.safe.sc_deferred <- t.safe.sc_deferred + 1
+      | Deny -> t.safe.sc_denied <- t.safe.sc_denied + 1
+    end
+    else apply_action_lenient t action
+  in
+  List.iter (fun fe -> stage (Act_unbind fe)) t.functions;
+  List.iter (fun fp -> stage (Act_unbind_ptr fp)) t.fnptrs;
+  journal t (List.rev !deferred);
+  List.length t.functions + List.length t.fnptrs - !blocked
+
+(** The quiescence-point drain, wired to the machine's safepoint hook.
+    Cheap when nothing is pending (one list check).  Otherwise each pending
+    set whose touched ranges are all quiescent is applied transactionally
+    and removed — applied exactly once, or rolled back and dropped if an
+    application fails mid-set.  Sets whose targets are still live stay
+    journaled for a later safepoint. *)
+let safepoint t =
+  t.safe.sc_polls <- t.safe.sc_polls + 1;
+  if t.pending <> [] && not t.in_safepoint then begin
+    t.in_safepoint <- true;
+    Fun.protect
+      ~finally:(fun () -> t.in_safepoint <- false)
+      (fun () ->
+        let live = live_addrs t in
+        t.pending <-
+          List.filter
+            (fun pset ->
+              let quiescent =
+                not
+                  (List.exists
+                     (fun a -> ranges_live (action_ranges a) live)
+                     pset.pset_actions)
+              in
+              if quiescent then begin
+                ignore (apply_set t pset);
+                false (* applied or rolled back: either way the set is done *)
+              end
+              else true)
+            t.pending)
+  end
+
+(** Names of entities with journaled (not yet applied) patches. *)
+let pending t : string list =
+  List.concat_map (fun pset -> List.map action_name pset.pset_actions) t.pending
+
+(* ------------------------------------------------------------------ *)
 (* Introspection                                                       *)
 (* ------------------------------------------------------------------ *)
 
@@ -484,6 +805,13 @@ type stats = {
   st_sites_retargeted : int;
   st_patches : int;
   st_bytes_patched : int;
+  st_safe_deferred : int;  (** actions journaled by commit_safe/revert_safe *)
+  st_safe_denied : int;  (** actions refused under the [Deny] policy *)
+  st_safe_superseded : int;  (** journaled actions dropped by a newer commit *)
+  st_safe_applied : int;  (** deferred actions applied at safepoints *)
+  st_safe_rolled_back : int;  (** pending sets rolled back mid-apply *)
+  st_safepoint_polls : int;  (** safepoint invocations *)
+  st_pending : int;  (** actions currently journaled *)
 }
 
 let stats t =
@@ -503,4 +831,12 @@ let stats t =
         (List.filter (fun s -> match s.s_state with Site_retargeted _ -> true | _ -> false) all_sites);
     st_patches = t.patch.Patch.patches;
     st_bytes_patched = t.patch.Patch.bytes_patched;
+    st_safe_deferred = t.safe.sc_deferred;
+    st_safe_denied = t.safe.sc_denied;
+    st_safe_superseded = t.safe.sc_superseded;
+    st_safe_applied = t.safe.sc_applied;
+    st_safe_rolled_back = t.safe.sc_rolled_back;
+    st_safepoint_polls = t.safe.sc_polls;
+    st_pending =
+      List.fold_left (fun acc pset -> acc + List.length pset.pset_actions) 0 t.pending;
   }

@@ -12,8 +12,14 @@
     the function reverts to its generic body and the situation is signalled
     through {!fallbacks}.
 
-    Like the paper's library, no synchronization is performed: the caller
-    guarantees a patchable state (Section 2).
+    Like the paper's library, the {!commit}/{!revert} family performs no
+    synchronization: the caller guarantees a patchable state (Section 2).
+    The {e safe-commit} extension closes that gap where the execution
+    environment can prove quiescence: {!commit_safe}/{!revert_safe} consult
+    a live-activation scanner (see [Machine.live_code_addrs]), defer or
+    refuse patches whose target bytes have live activations, and apply
+    journaled patch sets transactionally at quiescence points
+    ({!safepoint}, wired to the machine's safepoint hook).
 
     Note on signedness: descriptors record declared signedness, but
     sub-word switch values are evaluated zero-extended (matching the
@@ -50,6 +56,33 @@ type fnptr_entry = {
   mutable fp_committed : int option;
 }
 
+(** A patch the safe-commit path could not apply immediately (the target
+    bytes had live activations), journaled for a later quiescence point. *)
+type pending_action =
+  | Act_bind of fn_entry * Descriptor.variant_record
+      (** install this variant for the function *)
+  | Act_unbind of fn_entry  (** revert the function to its generic state *)
+  | Act_bind_ptr of fnptr_entry * int
+      (** bind the fn-pointer switch to the target captured at commit time *)
+  | Act_unbind_ptr of fnptr_entry  (** restore the indirect call sites *)
+
+(** One {!commit_safe}/{!revert_safe} call journals at most one set; a set
+    is applied transactionally — all actions or none. *)
+type pending_set = {
+  pset_id : int;
+  pset_actions : pending_action list;
+}
+
+(** Counters for the safe-commit paths (surfaced through {!stats}). *)
+type safe_counters = {
+  mutable sc_deferred : int;  (** actions journaled instead of applied *)
+  mutable sc_denied : int;  (** actions refused under the [Deny] policy *)
+  mutable sc_superseded : int;  (** journaled actions dropped by a newer commit *)
+  mutable sc_applied : int;  (** deferred actions applied at a safepoint *)
+  mutable sc_rolled_back : int;  (** pending sets rolled back mid-apply *)
+  mutable sc_polls : int;  (** safepoint invocations *)
+}
+
 type t = {
   image : Mv_link.Image.t;
   patch : Patch.t;
@@ -60,6 +93,11 @@ type t = {
   mutable skipped_sites : (int * string) list;
   mutable inline_enabled : bool;
   mutable strategy : strategy;
+  mutable live_scanner : (unit -> int list) option;
+  mutable pending : pending_set list;
+  mutable next_pset_id : int;
+  mutable in_safepoint : bool;
+  safe : safe_counters;
 }
 
 (** Variant installation strategy.  [Call_site_patching] is the paper's
@@ -99,22 +137,75 @@ val commit : t -> int
     state. *)
 val revert : t -> int
 
-(** [multiverse_commit_func(&fn)] / [multiverse_revert_func(&fn)], by
-    symbol name or by address. *)
+(** [multiverse_commit_func(&fn)]: bind one function by symbol name. *)
 val commit_func : t -> string -> int
 
+(** [multiverse_revert_func(&fn)]: revert one function by symbol name. *)
 val revert_func : t -> string -> int
+
+(** {!commit_func} by generic-body address. *)
 val commit_func_addr : t -> int -> int
+
+(** {!revert_func} by generic-body address. *)
 val revert_func_addr : t -> int -> int
 
-(** [multiverse_commit_refs(&var)] / [multiverse_revert_refs(&var)]:
-    (re)bind every function whose variants guard on the switch, and the
-    switch itself when it is a function pointer. *)
+(** [multiverse_commit_refs(&var)]: (re)bind every function whose variants
+    guard on the switch, and the switch itself when it is a function
+    pointer. *)
 val commit_refs : t -> string -> int
 
+(** [multiverse_revert_refs(&var)]: revert everything {!commit_refs} would
+    bind. *)
 val revert_refs : t -> string -> int
+
+(** {!commit_refs} by switch address. *)
 val commit_refs_addr : t -> int -> int
+
+(** {!revert_refs} by switch address. *)
 val revert_refs_addr : t -> int -> int
+
+(** {1 Safe commit (beyond the paper)}
+
+    Stack-quiescence detection and deferred patching.  Where the Table 1
+    API trusts the caller ("the caller guarantees a patchable state",
+    Section 2), these entry points prove it: a patch is applied only when
+    no live activation — program counter or stack return address — falls
+    inside the bytes it would rewrite.  The rest is journaled and drained
+    at quiescence points, transactionally. *)
+
+(** What to do with a patch whose target bytes have live activations:
+    [Defer] (default) journals it for the next quiescent safepoint; [Deny]
+    refuses it, leaving the entity in its current state. *)
+type safe_policy = Defer | Deny
+
+(** Install the live-activation scanner ({!commit_safe}/{!revert_safe}/
+    {!safepoint} require one).  Wire to [Machine.live_code_addrs]. *)
+val set_live_scanner : t -> (unit -> int list) -> unit
+
+(** [multiverse_commit()], made safe: binds every entity whose patch ranges
+    are quiescent; defers or denies the rest per [policy].  Returns the
+    number of entities in the specialized state when the call returns
+    (deferred entities are excluded until a safepoint applies them).
+    Binding decisions — variant selection, fn-pointer targets — are made at
+    call time and journaled verbatim.  Supersedes any previously pending
+    sets.  Raises {!Runtime_error} if no live scanner is installed. *)
+val commit_safe : ?policy:safe_policy -> t -> int
+
+(** [multiverse_revert()], made safe: restores every entity whose patch
+    ranges are quiescent; defers or denies the rest.  Returns the number of
+    entities in the pristine state when the call returns. *)
+val revert_safe : ?policy:safe_policy -> t -> int
+
+(** The quiescence-point drain; wire to [Machine.set_safepoint].  Cheap
+    when nothing is pending.  Each pending set whose touched ranges are all
+    quiescent is applied transactionally — every action or, on a mid-set
+    failure (e.g. a call site changed by another mechanism), a full
+    rollback to the pre-set state — and removed either way, so a set is
+    applied at most once. *)
+val safepoint : t -> unit
+
+(** Names of entities with journaled, not-yet-applied patches. *)
+val pending : t -> string list
 
 (** {1 Introspection} *)
 
@@ -129,6 +220,10 @@ val skipped_sites : t -> (int * string) list
 (** Symbol of the variant currently installed for the named function. *)
 val installed_variant : t -> string -> string option
 
+(** Runtime-level statistics.  The [st_safe_*] block counts safe-commit
+    outcomes: actions deferred/denied at commit time, journaled actions
+    dropped by a superseding commit, actions applied at safepoints, sets
+    rolled back mid-apply, and safepoint polls served. *)
 type stats = {
   st_functions : int;
   st_variants : int;
@@ -137,6 +232,14 @@ type stats = {
   st_sites_retargeted : int;
   st_patches : int;
   st_bytes_patched : int;
+  st_safe_deferred : int;
+  st_safe_denied : int;
+  st_safe_superseded : int;
+  st_safe_applied : int;
+  st_safe_rolled_back : int;
+  st_safepoint_polls : int;
+  st_pending : int;  (** journaled actions not yet applied *)
 }
 
+(** Aggregate counters for reporting (benches, examples). *)
 val stats : t -> stats

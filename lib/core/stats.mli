@@ -10,6 +10,7 @@ type section_sizes = {
   sz_callsites : int;
 }
 
+(** Byte sizes of the image's text, data, and descriptor sections. *)
 val section_sizes : Mv_link.Image.t -> section_sizes
 
 (** Total bytes of the three descriptor sections. *)
@@ -27,5 +28,8 @@ type program_stats = {
   ps_text_in_variants : int;  (** text bytes occupied by variant bodies *)
 }
 
+(** Collect the Section 5 scalars for a compiled program. *)
 val of_program : Compiler.program -> program_stats
+
+(** Human-readable rendering of {!program_stats}. *)
 val pp : Format.formatter -> program_stats -> unit

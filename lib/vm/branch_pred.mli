@@ -13,6 +13,8 @@ type t = {
   bits : int;
 }
 
+(** Fresh predictor; [bits] sizes the history/counter tables (default 12,
+    i.e. 4096 entries). *)
 val create : ?bits:int -> unit -> t
 
 (** Predict-and-update for the conditional branch at [pc]; [true] when the

@@ -36,6 +36,11 @@ type t = {
   atomic : float;
   hypercall : float;
   rdtsc : float;
+  safepoint_poll : float;
+      (** per-poll cost of the safe-commit safepoint check: a test of a
+          cached flag plus a predicted-not-taken branch, mostly hidden by
+          an out-of-order core.  Charged only while a safepoint hook is
+          installed (see {!Machine.set_safepoint}). *)
 }
 
 (** Default model: an aggressive out-of-order core around 3 GHz. *)
@@ -67,6 +72,7 @@ let default =
     atomic = 17.5;
     hypercall = 120.0;
     rdtsc = 6.0;
+    safepoint_poll = 0.25;
   }
 
 (** Nominal clock used to convert simulated cycles into wall time when a

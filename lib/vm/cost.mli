@@ -33,6 +33,10 @@ type t = {
   atomic : float;
   hypercall : float;
   rdtsc : float;
+  safepoint_poll : float;
+      (** per-poll cost of the safe-commit safepoint check (a cached-flag
+          test plus a predicted-not-taken branch); charged only while a
+          safepoint hook is installed *)
 }
 
 (** An aggressive out-of-order core around 3 GHz. *)
@@ -42,5 +46,9 @@ val default : t
     experiment reports seconds (musl, grep). *)
 val nominal_ghz : float
 
+(** [cycles_to_seconds c] converts simulated cycles into wall time at
+    {!nominal_ghz}. *)
 val cycles_to_seconds : float -> float
+
+(** [cycles_to_ms c] is {!cycles_to_seconds} scaled to milliseconds. *)
 val cycles_to_ms : float -> float

@@ -31,6 +31,9 @@ type t = {
   mutable irq_enabled : bool;
   mutable steps_left : int;
   max_steps : int;
+  mutable safepoint : (unit -> unit) option;
+      (** invoked at every quiescence point (after each [ret] and on halt);
+          the safe-commit runtime drains deferred patch sets here *)
 }
 
 let return_sentinel = 0
@@ -49,7 +52,14 @@ let create ?(cost = Cost.default) ?(platform = Native) ?(max_steps = 2_000_000_0
     irq_enabled = true;
     steps_left = max_steps;
     max_steps;
+    safepoint = None;
   }
+
+(** Install (or remove) the safepoint hook.  While a hook is installed,
+    every [ret] and halt charges [Cost.safepoint_poll] cycles and invokes
+    it — the polling overhead the safe-commit bench measures.  With no
+    hook the machine behaves exactly as before (zero cost). *)
+let set_safepoint t hook = t.safepoint <- hook
 
 let text_base t = t.image.Image.text.Image.sr_base
 
@@ -117,6 +127,16 @@ let alu_cost t = function
   | Insn.Mul -> t.cost.Cost.mul
   | Insn.Div | Insn.Mod -> t.cost.Cost.div
   | _ -> t.cost.Cost.alu
+
+(* A quiescence point: an activation just ended ([ret]/halt), so code ranges
+   that were live may have gone quiet.  The poll itself models a cached-flag
+   test and is charged only when a hook is installed. *)
+let poll_safepoint t =
+  match t.safepoint with
+  | None -> ()
+  | Some hook ->
+      add_cycles t t.cost.Cost.safepoint_poll;
+      hook ()
 
 (** Execute exactly one instruction at [t.pc].  Returns [false] when the
     machine returned to the sentinel address (top-level return). *)
@@ -205,7 +225,8 @@ let step t : bool =
   | Insn.Ret ->
       let target = pop_word t in
       t.pc <- target;
-      add_cycles t c.Cost.ret
+      add_cycles t c.Cost.ret;
+      poll_safepoint t
   | Insn.Push r ->
       push_word t t.regs.(r);
       add_cycles t c.Cost.push
@@ -236,26 +257,66 @@ let step t : bool =
   | Insn.Rdtsc rd ->
       t.regs.(rd) <- int_of_float perf.Perf.cycles;
       add_cycles t c.Cost.rdtsc
-  | Insn.Halt -> t.pc <- return_sentinel
+  | Insn.Halt ->
+      t.pc <- return_sentinel;
+      poll_safepoint t
   | Insn.Nop -> add_cycles t c.Cost.nop);
   t.pc <> return_sentinel
 
-(** Call the function at [addr] with up to 6 arguments; runs to completion
-    and returns r0.  The machine's memory (globals, heap) persists across
-    calls. *)
-let call_addr t addr (args : int list) : int =
-  if List.length args > 6 then invalid_arg "call_addr: too many arguments";
+(** Prepare a call to [addr] without running it: load argument registers,
+    reset the stack, push the return sentinel, point the pc at the entry.
+    Drive the prepared call with {!step} (or {!finish}); this is how the
+    safe-commit tests and demos park the machine mid-function. *)
+let start_call_addr t addr (args : int list) : unit =
+  if List.length args > 6 then invalid_arg "start_call_addr: too many arguments";
   List.iteri (fun i v -> t.regs.(i) <- v) args;
   t.regs.(Insn.sp) <- t.image.Image.stack_base;
   push_word t return_sentinel;
   t.pc <- addr;
-  t.steps_left <- t.max_steps;
+  t.steps_left <- t.max_steps
+
+let start_call t name args = start_call_addr t (Image.symbol t.image name) args
+
+(** Run the machine until control returns to the sentinel; returns r0. *)
+let finish t : int =
   while step t do
     ()
   done;
   t.regs.(0)
 
+(** Call the function at [addr] with up to 6 arguments; runs to completion
+    and returns r0.  The machine's memory (globals, heap) persists across
+    calls. *)
+let call_addr t addr (args : int list) : int =
+  start_call_addr t addr args;
+  finish t
+
 let call t name args = call_addr t (Image.symbol t.image name) args
+
+(* ------------------------------------------------------------------ *)
+(* Stack/PC scanning (the safe-commit quiescence detector)             *)
+(* ------------------------------------------------------------------ *)
+
+(** Every code address with a live activation: the current pc plus a
+    conservative scan of the simulated stack.  Any stack word that falls
+    inside the text section is treated as a potential return address (the
+    same over-approximation a conservative garbage collector makes for
+    roots); false positives can only delay a deferred patch, never corrupt
+    one.  The return sentinel and data words outside text are excluded. *)
+let live_code_addrs t : int list =
+  let live = if Image.in_text t.image t.pc then [ t.pc ] else [] in
+  let sp = t.regs.(Insn.sp) and base = t.image.Image.stack_base in
+  if sp <= 0 || sp > base then live
+  else begin
+    let acc = ref live in
+    let a = ref sp in
+    while !a < base do
+      let v = Image.read t.image !a 8 in
+      if Image.in_text t.image v then acc := v :: !acc;
+      a := !a + 8
+    done;
+    !acc
+  end
 
 (** Read/write globals by symbol from the host side (test and benchmark
     drivers use this to set configuration switches). *)

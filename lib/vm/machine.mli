@@ -29,20 +29,48 @@ type t = {
   mutable irq_enabled : bool;
   mutable steps_left : int;
   max_steps : int;
+  mutable safepoint : (unit -> unit) option;
+      (** quiescence-point hook; install via {!set_safepoint} *)
 }
 
+(** The address a top-level call returns to; control reaching it ends
+    {!step}'s [true] stream.  It lies outside the text section, so it can
+    never be mistaken for a live code address. *)
 val return_sentinel : int
 
+(** Build a machine over a linked image.  [cost] selects the cycle model,
+    [platform] whether privileged instructions or hypercalls fault, and
+    [max_steps] bounds each top-level call (runaway-loop protection). *)
 val create : ?cost:Cost.t -> ?platform:platform -> ?max_steps:int -> Image.t -> t
+
+(** Install (or remove, with [None]) the safepoint hook.  While installed,
+    every [ret] and halt charges {!Cost.t.safepoint_poll} cycles and invokes
+    the hook — wire it to {!Core.Runtime.safepoint} so deferred patch sets
+    drain at quiescence points.  Without a hook the machine is exactly as
+    fast as before. *)
+val set_safepoint : t -> (unit -> unit) option -> unit
 
 (** Drop decode-cache entries overlapping the range (icache flush). *)
 val flush_icache : t -> addr:int -> len:int -> unit
 
+(** Drop the whole decode cache (full icache flush). *)
 val flush_all_icache : t -> unit
 
 (** Execute one instruction; [false] once control returns to the
     sentinel. *)
 val step : t -> bool
+
+(** Prepare a call without running it: argument registers, fresh stack with
+    the return sentinel pushed, pc at the entry.  Drive the prepared call
+    with {!step} or {!finish} — this is how callers park the machine inside
+    a function (e.g. to exercise safe-commit deferral). *)
+val start_call_addr : t -> int -> int list -> unit
+
+(** [start_call t name args]: {!start_call_addr} by symbol name. *)
+val start_call : t -> string -> int list -> unit
+
+(** Run until control returns to the sentinel; returns r0. *)
+val finish : t -> int
 
 (** Call the function at [addr] with up to 6 integer arguments; runs to
     completion and returns r0.  Memory (globals, heap) persists across
@@ -52,5 +80,17 @@ val call_addr : t -> int -> int list -> int
 (** [call t name args]: {!call_addr} by symbol name. *)
 val call : t -> string -> int list -> int
 
+(** Every code address with a live activation: the current pc plus a
+    conservative scan of the simulated stack (any word inside the text
+    section counts, like conservative GC root scanning).  False positives
+    only delay deferred patches; they never unblock an unsafe one.  Wire
+    this to {!Core.Runtime.set_live_scanner}. *)
+val live_code_addrs : t -> int list
+
+(** [read_global t name ~width] reads a global by symbol (host-side view of
+    configuration switches). *)
 val read_global : t -> string -> width:int -> int
+
+(** [write_global t name v ~width] writes a global by symbol (host-side
+    switch flipping for tests and benches). *)
 val write_global : t -> string -> int -> width:int -> unit

@@ -17,6 +17,7 @@ type t = {
   mutable icache_flushes : int;
 }
 
+(** Fresh counters, all zero. *)
 val create : unit -> t
 
 (** Immutable counter snapshot. *)
@@ -35,9 +36,11 @@ type snapshot = {
   s_icache_flushes : int;
 }
 
+(** Capture the current counter values. *)
 val snapshot : t -> snapshot
 
 (** [diff a b] is the counter delta from [a] to [b]. *)
 val diff : snapshot -> snapshot -> snapshot
 
+(** One-counter-per-line rendering of a snapshot. *)
 val pp : Format.formatter -> snapshot -> unit

@@ -55,6 +55,18 @@ let set_fnptr s name target =
 let commit s = Core.Runtime.commit s.runtime
 let revert s = Core.Runtime.revert s.runtime
 
+(* Wire the vm and the runtime together for safe commit: the runtime scans
+   the machine's stack for live activations, and the machine's
+   quiescence-point hook drains the runtime's deferred patch sets. *)
+let enable_safe_commit s =
+  Core.Runtime.set_live_scanner s.runtime (fun () ->
+      Machine.live_code_addrs s.machine);
+  Machine.set_safepoint s.machine
+    (Some (fun () -> Core.Runtime.safepoint s.runtime))
+
+let commit_safe ?policy s = Core.Runtime.commit_safe ?policy s.runtime
+let revert_safe ?policy s = Core.Runtime.revert_safe ?policy s.runtime
+
 let call s fn args = Machine.call s.machine fn args
 
 (** Cycles consumed by one invocation [fn args]. *)

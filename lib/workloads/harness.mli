@@ -33,8 +33,24 @@ val get : session -> string -> int
 (** Point a function-pointer global at a function symbol. *)
 val set_fnptr : session -> string -> string -> unit
 
+(** Whole-image [Runtime.commit] / [Runtime.revert]. *)
 val commit : session -> int
+
 val revert : session -> int
+
+(** Wire safe commit end to end: install the machine's stack scanner as the
+    runtime's live-activation source and the runtime's {!Core.Runtime.safepoint}
+    as the machine's quiescence-point hook.  After this, every guest [ret]
+    pays the (small) safepoint-poll cost and drains deferred patch sets. *)
+val enable_safe_commit : session -> unit
+
+(** {!Core.Runtime.commit_safe} / {!Core.Runtime.revert_safe} on the
+    session's runtime ({!enable_safe_commit} first). *)
+val commit_safe : ?policy:Core.Runtime.safe_policy -> session -> int
+
+val revert_safe : ?policy:Core.Runtime.safe_policy -> session -> int
+
+(** Run a guest function by symbol name to completion; returns r0. *)
 val call : session -> string -> int list -> int
 
 (** Cycles consumed by one invocation. *)

@@ -1,0 +1,9 @@
+#!/bin/sh
+# The full local gate: docs build warning-free, everything compiles, and
+# the whole test suite passes.  Run from anywhere inside the repository.
+set -eu
+cd "$(dirname "$0")/.."
+
+dune build @doc
+dune build
+dune runtest

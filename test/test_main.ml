@@ -19,6 +19,7 @@ let () =
       ("variantgen", Test_variantgen.suite);
       ("descriptor", Test_descriptor.suite);
       ("runtime", Test_runtime.suite);
+      ("safe-commit", Test_safe_commit.suite);
       ("workloads", Test_workloads.suite);
       ("harness", Test_harness.suite);
       ("compiler", Test_compiler.suite);

@@ -1,0 +1,225 @@
+(* Safe-commit tests: stack-quiescence detection, deferral, exactly-once
+   application at safepoints, transactional rollback, policy handling, and
+   the invariant that the unsafe Table 1 paths are unchanged. *)
+
+open Util
+module Runtime = Core.Runtime
+module Machine = Mv_vm.Machine
+module Image = Mv_link.Image
+module Insn = Mv_isa.Insn
+
+(* Wire scanner and safepoint hook, as Harness.enable_safe_commit does. *)
+let enable s =
+  Runtime.set_live_scanner s.runtime (fun () -> Machine.live_code_addrs s.machine);
+  Machine.set_safepoint s.machine (Some (fun () -> Runtime.safepoint s.runtime))
+
+(* Step the machine until the pc sits at [fn]'s generic entry — i.e. the
+   call has transferred control but no body instruction has run yet. *)
+let park s fn =
+  let img = s.program.Core.Compiler.p_image in
+  let addr = Image.symbol img fn in
+  let guard = ref 1_000_000 in
+  while s.machine.Machine.pc <> addr && !guard > 0 do
+    decr guard;
+    ignore (Machine.step s.machine)
+  done;
+  check_bool ("parked at " ^ fn) true (s.machine.Machine.pc = addr)
+
+(* The deferral workload: the generic [f] adds 100 only when [m] is set at
+   run time; the m=1 variant adds 100 unconditionally.  The spacers give
+   the machine quiescent safepoints between the two calls to [f]. *)
+let defer_src =
+  {|
+  multiverse bool m;
+  int w;
+  multiverse void f() { if (m) { w = w + 100; } }
+  void spacer() { w = w + 1; }
+  int driver() { w = 0; f(); spacer(); spacer(); f(); return w; }
+|}
+
+let test_commit_inside_live_fn_is_deferred () =
+  let s = session defer_src in
+  enable s;
+  set_global s "m" 1;
+  Machine.start_call s.machine "driver" [];
+  park s "f";
+  let bound = Runtime.commit_safe s.runtime in
+  check_int "live function not bound now" 0 bound;
+  check_bool "f still generic" true (Runtime.installed_variant s.runtime "f" = None);
+  check_bool "f journaled" true (Runtime.pending s.runtime = [ "f" ]);
+  let st = Runtime.stats s.runtime in
+  check_int "one action deferred" 1 st.Runtime.st_safe_deferred;
+  check_int "nothing applied yet" 0 st.Runtime.st_safe_applied
+
+let test_deferred_set_applied_at_safepoint_mid_run () =
+  let s = session defer_src in
+  enable s;
+  set_global s "m" 1;
+  Machine.start_call s.machine "driver" [];
+  park s "f";
+  ignore (Runtime.commit_safe s.runtime);
+  (* the binding decision is journaled: flipping the switch now must not
+     change which variant gets applied *)
+  set_global s "m" 0;
+  let w = Machine.finish s.machine in
+  (* first f(): still generic, reads m=0, adds nothing; the set drains at a
+     quiescent safepoint after f returns; second f(): the m=1 variant *)
+  check_int "applied between the two calls" 102 w;
+  check_bool "variant installed" true (Runtime.installed_variant s.runtime "f" <> None);
+  check_bool "journal drained" true (Runtime.pending s.runtime = []);
+  let st = Runtime.stats s.runtime in
+  check_int "applied exactly once" 1 st.Runtime.st_safe_applied;
+  check_int "no rollback" 0 st.Runtime.st_safe_rolled_back;
+  check_int "journal empty" 0 st.Runtime.st_pending;
+  check_bool "safepoints polled" true (st.Runtime.st_safepoint_polls > 0);
+  (* a second run re-applies nothing: the patches are in the image *)
+  check_int "bound code persists" 202 (run s "driver" []);
+  let st = Runtime.stats s.runtime in
+  check_int "still applied exactly once" 1 st.Runtime.st_safe_applied
+
+let test_deny_policy_refuses_live_patch () =
+  let s = session defer_src in
+  enable s;
+  set_global s "m" 1;
+  Machine.start_call s.machine "driver" [];
+  park s "f";
+  let bound = Runtime.commit_safe ~policy:Runtime.Deny s.runtime in
+  check_int "nothing bound" 0 bound;
+  check_bool "nothing journaled" true (Runtime.pending s.runtime = []);
+  let w = Machine.finish s.machine in
+  (* never patched: both calls run the generic body with m=1 *)
+  check_int "generic throughout" 202 w;
+  check_bool "still generic" true (Runtime.installed_variant s.runtime "f" = None);
+  check_int "denial counted" 1 (Runtime.stats s.runtime).Runtime.st_safe_denied
+
+let test_new_commit_supersedes_pending () =
+  let s = session defer_src in
+  enable s;
+  set_global s "m" 1;
+  Machine.start_call s.machine "driver" [];
+  park s "f";
+  ignore (Runtime.commit_safe s.runtime);
+  ignore (Runtime.commit_safe s.runtime);
+  check_bool "one pending set, not two" true (Runtime.pending s.runtime = [ "f" ]);
+  check_int "stale action superseded" 1
+    (Runtime.stats s.runtime).Runtime.st_safe_superseded;
+  ignore (Machine.finish s.machine)
+
+let test_revert_safe_defers_while_live () =
+  let s = session defer_src in
+  enable s;
+  set_global s "m" 1;
+  check_int "idle commit binds immediately" 1 (Runtime.commit_safe s.runtime);
+  Machine.start_call s.machine "driver" [];
+  (* park inside the bound variant: f's call sites are patched, so step
+     until the pc leaves the driver's text... the variant body runs in
+     place of the site or behind the prologue jump; parking on the first
+     spacer entry guarantees at least one f activation has come and gone
+     while the *sites* stay live only during the call.  Simpler and
+     airtight: park at driver entry and ask while its frame is live. *)
+  park s "spacer";
+  let n = Runtime.revert_safe s.runtime in
+  (* the pc sits inside spacer; f's sites in driver hold no live
+     activation unless a stack word lands in them — the return address
+     into driver sits past the call sites, so the revert may apply
+     immediately or defer depending on layout; either way the journal
+     drains and the image ends pristine. *)
+  ignore n;
+  ignore (Machine.finish s.machine);
+  check_bool "journal drained" true (Runtime.pending s.runtime = []);
+  check_bool "back to generic" true (Runtime.installed_variant s.runtime "f" = None);
+  (* pristine generic behavior *)
+  set_global s "m" 0;
+  check_int "generic again" 2 (run s "driver" [])
+
+(* Rollback workload: driver -> f -> g, both multiversed.  Parking inside g
+   keeps both live (g via the pc, f via the return address inside its
+   body), so one commit journals a two-action set. *)
+let rollback_src =
+  {|
+  multiverse bool m;
+  int w;
+  multiverse void g() { if (m) { w = w + 7; } }
+  multiverse void f() { if (m) { w = w + 1; } g(); }
+  int driver() { w = 0; f(); return w; }
+|}
+
+let test_mid_set_failure_rolls_back () =
+  let s = session rollback_src in
+  let img = s.program.Core.Compiler.p_image in
+  enable s;
+  set_global s "m" 1;
+  Machine.start_call s.machine "driver" [];
+  park s "g";
+  let bound = Runtime.commit_safe s.runtime in
+  check_int "both live, none bound" 0 bound;
+  check_int "two actions journaled" 2 (Runtime.stats s.runtime).Runtime.st_pending;
+  (* a foreign mechanism rewrites f's (already executed) call site in the
+     driver before the set drains; g stages first, f's strict site check
+     then fails, and the whole set must roll back *)
+  let f_addr = Image.symbol img "f" in
+  let site =
+    (List.find
+       (fun (cs : Core.Descriptor.callsite) -> cs.Core.Descriptor.cs_target = f_addr)
+       (Core.Descriptor.parse_callsites img))
+      .Core.Descriptor.cs_site
+  in
+  Image.mprotect img ~addr:site ~len:5 Image.prot_rwx;
+  Image.write_bytes img site (Mv_isa.Encode.encode (Insn.Jmp 0));
+  Image.mprotect img ~addr:site ~len:5 Image.prot_rx;
+  let w = Machine.finish s.machine in
+  check_int "run unaffected" 8 w;
+  let st = Runtime.stats s.runtime in
+  check_int "set rolled back" 1 st.Runtime.st_safe_rolled_back;
+  check_int "nothing counted applied" 0 st.Runtime.st_safe_applied;
+  check_bool "g rolled back to generic" true
+    (Runtime.installed_variant s.runtime "g" = None);
+  check_bool "f never bound" true (Runtime.installed_variant s.runtime "f" = None);
+  check_bool "set dropped, not retried" true (Runtime.pending s.runtime = [])
+
+let test_idle_commit_safe_acts_like_commit () =
+  let s = session defer_src in
+  enable s;
+  set_global s "m" 1;
+  check_int "binds immediately when idle" 1 (Runtime.commit_safe s.runtime);
+  check_bool "no journal" true (Runtime.pending s.runtime = []);
+  check_bool "installed" true (Runtime.installed_variant s.runtime "f" <> None);
+  set_global s "m" 0;
+  check_int "bound code executes" 202 (run s "driver" []);
+  check_int "reverts immediately when idle" 1 (Runtime.revert_safe s.runtime);
+  check_int "generic again" 2 (run s "driver" [])
+
+let test_commit_safe_requires_scanner () =
+  let s = session defer_src in
+  set_global s "m" 1;
+  match Runtime.commit_safe s.runtime with
+  | exception Runtime.Runtime_error _ -> ()
+  | _ -> Alcotest.fail "commit_safe without a live scanner must fail"
+
+let test_unsafe_commit_path_unchanged () =
+  (* the paper's commit performs no synchronization: parked inside f, the
+     unsafe path still patches immediately, and with no safepoint hook the
+     machine never polls *)
+  let s = session defer_src in
+  set_global s "m" 1;
+  Machine.start_call s.machine "driver" [];
+  park s "f";
+  check_int "unsafe commit binds the live function" 1 (Runtime.commit s.runtime);
+  check_bool "installed while live" true (Runtime.installed_variant s.runtime "f" <> None);
+  ignore (Machine.finish s.machine);
+  check_int "no safepoint polls without a hook" 0
+    (Runtime.stats s.runtime).Runtime.st_safepoint_polls
+
+let suite =
+  [
+    tc "commit inside live fn is deferred" test_commit_inside_live_fn_is_deferred;
+    tc "deferred set applied at safepoint mid-run"
+      test_deferred_set_applied_at_safepoint_mid_run;
+    tc "deny policy refuses live patch" test_deny_policy_refuses_live_patch;
+    tc "new commit supersedes pending" test_new_commit_supersedes_pending;
+    tc "revert_safe drains cleanly" test_revert_safe_defers_while_live;
+    tc "mid-set failure rolls back" test_mid_set_failure_rolls_back;
+    tc "idle commit_safe acts like commit" test_idle_commit_safe_acts_like_commit;
+    tc "commit_safe requires a scanner" test_commit_safe_requires_scanner;
+    tc "unsafe commit path unchanged" test_unsafe_commit_path_unchanged;
+  ]
