@@ -20,6 +20,7 @@ module Grep = Mv_workloads.Grep
 module Pygc = Mv_workloads.Pygc
 module Farm = Mv_workloads.Callsite_farm
 module Machine = Mv_vm.Machine
+module Json = Mv_obs.Json
 
 let fast = ref false
 let samples () = if !fast then 40 else 150
@@ -30,6 +31,48 @@ let header title =
   Printf.printf "================================================================\n"
 
 let row fmt = Printf.printf fmt
+
+(* --json collector: experiments append labelled rows under the id the
+   driver is currently running; at exit the tables are written as one
+   mv-bench-rows/1 document (schema documented in EXPERIMENTS.md). *)
+let json_path : string option ref = ref None
+let current_exp = ref ""
+let json_tables : (string * Json.t list ref) list ref = ref []
+
+let jrow label (fields : (string * Json.t) list) =
+  if !json_path <> None then begin
+    let tbl =
+      match List.assoc_opt !current_exp !json_tables with
+      | Some t -> t
+      | None ->
+          let t = ref [] in
+          json_tables := !json_tables @ [ (!current_exp, t) ];
+          t
+    in
+    tbl := Json.Obj (("label", Json.String label) :: fields) :: !tbl
+  end
+
+(* Row whose fields are full measurements (mean/stddev/percentiles). *)
+let jmeas label pairs =
+  jrow label (List.map (fun (k, m) -> (k, H.measurement_json m)) pairs)
+
+let write_json_tables path =
+  let doc =
+    Json.Obj
+      [
+        ("schema", Json.String "mv-bench-rows/1");
+        ("fast", Json.Bool !fast);
+        ( "experiments",
+          Json.Obj
+            (List.map (fun (id, rows) -> (id, Json.List (List.rev !rows))) !json_tables)
+        );
+      ]
+  in
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (Json.to_string_pretty doc));
+  Printf.printf "results -> %s\n" path
 
 (* ------------------------------------------------------------------ *)
 (* E1: Figure 1 — static vs dynamic vs multiverse spinlock             *)
@@ -42,7 +85,8 @@ let fig1 () =
   row "%-12s %14s %15s %14s\n" "[avg cycles]" "A (static)" "B (dynamic if)" "C (multiverse)";
   List.iter
     (fun (label, a, b, c) ->
-      row "%-12s %14.2f %15.2f %14.2f\n" label a.H.m_mean b.H.m_mean c.H.m_mean)
+      row "%-12s %14.2f %15.2f %14.2f\n" label a.H.m_mean b.H.m_mean c.H.m_mean;
+      jmeas label [ ("static", a); ("dynamic_if", b); ("multiverse", c) ])
     (Spinlock.figure1 ~samples:(samples ()) ())
 
 (* ------------------------------------------------------------------ *)
@@ -59,10 +103,12 @@ let fig4_spinlock () =
       let up = Spinlock.measure ~samples:(samples ()) k ~smp:false in
       match k with
       | Spinlock.Static_up ->
-          row "%-28s %10.2f %12s\n" (Spinlock.kernel_name k) up.H.m_mean "n/a"
+          row "%-28s %10.2f %12s\n" (Spinlock.kernel_name k) up.H.m_mean "n/a";
+          jmeas (Spinlock.kernel_name k) [ ("unicore", up) ]
       | _ ->
           let smp = Spinlock.measure ~samples:(samples ()) k ~smp:true in
-          row "%-28s %10.2f %12.2f\n" (Spinlock.kernel_name k) up.H.m_mean smp.H.m_mean)
+          row "%-28s %10.2f %12.2f\n" (Spinlock.kernel_name k) up.H.m_mean smp.H.m_mean;
+          jmeas (Spinlock.kernel_name k) [ ("unicore", up); ("multicore", smp) ])
     [ Spinlock.Mainline_smp; Spinlock.If_elision; Spinlock.Multiverse; Spinlock.Static_up ]
 
 (* ------------------------------------------------------------------ *)
@@ -79,10 +125,12 @@ let fig4_pvops () =
       let native = Pvops.measure ~samples:(samples ()) c ~platform:Machine.Native in
       match c with
       | Pvops.Static_native ->
-          row "%-30s %10.2f %12s\n" (Pvops.config_name c) native.H.m_mean "n/a"
+          row "%-30s %10.2f %12s\n" (Pvops.config_name c) native.H.m_mean "n/a";
+          jmeas (Pvops.config_name c) [ ("native", native) ]
       | Pvops.Current | Pvops.Multiverse ->
           let xen = Pvops.measure ~samples:(samples ()) c ~platform:Machine.Xen in
-          row "%-30s %10.2f %12.2f\n" (Pvops.config_name c) native.H.m_mean xen.H.m_mean)
+          row "%-30s %10.2f %12.2f\n" (Pvops.config_name c) native.H.m_mean xen.H.m_mean;
+          jmeas (Pvops.config_name c) [ ("native", native); ("xen", xen) ])
     [ Pvops.Current; Pvops.Multiverse; Pvops.Static_native ]
 
 (* ------------------------------------------------------------------ *)
@@ -102,7 +150,17 @@ let patch_cost () =
   row "descriptor overhead      %d B\n" r.Farm.r_descriptor_bytes;
   row "variant text             %d B\n" r.Farm.r_variant_text_bytes;
   row "total multiverse bytes   %d B (paper: ~40 KiB for the whole kernel)\n"
-    (r.Farm.r_descriptor_bytes + r.Farm.r_variant_text_bytes)
+    (r.Farm.r_descriptor_bytes + r.Farm.r_variant_text_bytes);
+  jrow "farm-1161"
+    [
+      ("callsites", Json.Int r.Farm.r_callsites);
+      ("commit_ms", Json.Float r.Farm.r_commit_ms);
+      ("revert_ms", Json.Float r.Farm.r_revert_ms);
+      ("patches", Json.Int r.Farm.r_patches);
+      ("bytes_patched", Json.Int r.Farm.r_bytes_patched);
+      ("descriptor_bytes", Json.Int r.Farm.r_descriptor_bytes);
+      ("variant_text_bytes", Json.Int r.Farm.r_variant_text_bytes);
+    ]
 
 (* ------------------------------------------------------------------ *)
 (* E4b: patch-cost scaling (call sites vs commit time)                  *)
@@ -118,7 +176,14 @@ let patch_scaling () =
     (fun sites ->
       let r = Farm.run ~sites () in
       row "%-12d %14.3f %14.3f %16d\n" r.Farm.r_callsites r.Farm.r_commit_ms
-        r.Farm.r_revert_ms r.Farm.r_bytes_patched)
+        r.Farm.r_revert_ms r.Farm.r_bytes_patched;
+      jrow (string_of_int sites)
+        [
+          ("callsites", Json.Int r.Farm.r_callsites);
+          ("commit_ms", Json.Float r.Farm.r_commit_ms);
+          ("revert_ms", Json.Float r.Farm.r_revert_ms);
+          ("bytes_patched", Json.Int r.Farm.r_bytes_patched);
+        ])
     [ 100; 400; 1600; 6400 ]
 
 (* ------------------------------------------------------------------ *)
@@ -141,7 +206,10 @@ let fig5_musl () =
           let p_ms = Musl.to_ms_for plain ~invocations:10_000_000 in
           let m_ms = Musl.to_ms_for mv ~invocations:10_000_000 in
           row "%-12s %13.1f ms %13.1f ms %+7.1f%%\n" (Musl.bench_name bench) p_ms m_ms
-            ((m_ms -. p_ms) /. p_ms *. 100.0))
+            ((m_ms -. p_ms) /. p_ms *. 100.0);
+          jrow
+            (Printf.sprintf "%s/threads=%d" (Musl.bench_name bench) threads)
+            [ ("plain_ms", Json.Float p_ms); ("multiverse_ms", Json.Float m_ms) ])
         Musl.all_benches)
     [ 0; 1 ]
 
@@ -161,7 +229,14 @@ let musl_scalars () =
   let bm = Musl.branches_per_call Musl.Multiversed Musl.Malloc1 ~threads:0 in
   row "branches/call malloc(1) w/o multiverse  %6.2f\n" bp;
   row "branches/call malloc(1) w/  multiverse  %6.2f (%+.0f%%)\n" bm
-    ((bm -. bp) /. bp *. 100.0)
+    ((bm -. bp) /. bp *. 100.0);
+  jrow "fputc-bandwidth"
+    [
+      ("plain_mib_s", Json.Float (Musl.fputc_bandwidth plain_fputc));
+      ("multiverse_mib_s", Json.Float (Musl.fputc_bandwidth mv_fputc));
+    ];
+  jrow "malloc1-branches"
+    [ ("plain", Json.Float bp); ("multiverse", Json.Float bm) ]
 
 (* ------------------------------------------------------------------ *)
 (* E7: grep                                                             *)
@@ -183,7 +258,13 @@ let grep () =
   let c_plain = Grep.scan_count Grep.Plain ~mb_mode:0 in
   let c_mv = Grep.scan_count Grep.Multiversed ~mb_mode:0 in
   row "match count (both builds)    %d / %d%s\n" c_plain c_mv
-    (if c_plain = c_mv then "  [consistent]" else "  [MISMATCH]")
+    (if c_plain = c_mv then "  [consistent]" else "  [MISMATCH]");
+  jrow "a.a-hex"
+    [
+      ("plain_cycles_per_byte", Json.Float plain);
+      ("multiverse_cycles_per_byte", Json.Float mv);
+      ("matches_consistent", Json.Bool (c_plain = c_mv));
+    ]
 
 (* ------------------------------------------------------------------ *)
 (* E8: cPython GC flag                                                  *)
@@ -203,7 +284,9 @@ let cpython () =
   row "alloc cycles, gc on,  w/o multiverse  %7.2f\n" on_plain.H.m_mean;
   row "alloc cycles, gc on,  w/  multiverse  %7.2f (%+.1f%%)\n" on_mv.H.m_mean
     ((on_mv.H.m_mean -. on_plain.H.m_mean) /. on_plain.H.m_mean *. 100.0);
-  row "caveat: the paper could not measure this stably on real hardware.\n"
+  row "caveat: the paper could not measure this stably on real hardware.\n";
+  jmeas "gc-off" [ ("plain", plain); ("multiverse", mv) ];
+  jmeas "gc-on" [ ("plain", on_plain); ("multiverse", on_mv) ]
 
 (* ------------------------------------------------------------------ *)
 (* E9: descriptor sizes (Section 5 scalars)                            *)
@@ -247,7 +330,9 @@ let descriptor_sizes () =
        && expected_sites = stats.Core.Stats.ps_sections.Core.Stats.sz_callsites
        && expected_fns = stats.Core.Stats.ps_sections.Core.Stats.sz_functions
      then "  [formulas hold]"
-     else "  [MISMATCH]")
+     else "  [MISMATCH]");
+  jrow "spinlock-multiverse"
+    [ ("program_stats", Core.Stats.program_stats_json stats) ]
 
 (* ------------------------------------------------------------------ *)
 (* E10: the Table 1 API                                                 *)
@@ -357,6 +442,13 @@ let tracing () =
   row "%-38s %10.2f\n" "tracing on, multiverse (recording)" on_committed.H.m_mean;
   row "=> committed-off probes cost %.2f cycles over no probes at all\n"
     (off_committed.H.m_mean -. baseline.H.m_mean);
+  jmeas "probes"
+    [
+      ("baseline", baseline);
+      ("off_dynamic", off_dynamic);
+      ("off_multiverse", off_committed);
+      ("on_multiverse", on_committed);
+    ];
   let s = T.prepare T.Multiversed ~enabled:false in
   row "   (%d probe sites inlined as nops)\n" (T.nop_sites s);
   row "events recorded (on, 100 iterations): %d\n"
@@ -386,7 +478,8 @@ let safe_commit_bench () =
       let off = spin ~smp ~hook:false in
       let on = spin ~smp ~hook:true in
       let delta = (on.H.m_mean -. off.H.m_mean) /. off.H.m_mean *. 100.0 in
-      row "%-40s %10.2f %10.2f %+7.2f%%\n" label off.H.m_mean on.H.m_mean delta)
+      row "%-40s %10.2f %10.2f %+7.2f%%\n" label off.H.m_mean on.H.m_mean delta;
+      jmeas label [ ("without_hook", off); ("with_hook", on) ])
     [ ("unicore (elided, sites inlined)", false); ("multicore (atomic path)", true) ];
   (* deferral in action: commit while an activation of the target is live *)
   let src =
@@ -446,7 +539,8 @@ let ablation_jmp () =
   row "via fn-pointer + prologue jmp  %7.2f cycles (the completeness path)\n"
     via_ptr.H.m_mean;
   row "=> call-site patching saves    %7.2f cycles per invocation pair\n"
-    (via_ptr.H.m_mean -. direct.H.m_mean)
+    (via_ptr.H.m_mean -. direct.H.m_mean);
+  jmeas "unicore" [ ("direct", direct); ("via_fnptr", via_ptr) ]
 
 (* ------------------------------------------------------------------ *)
 (* A2: ablation — branch predictor warm vs cold                         *)
@@ -486,6 +580,18 @@ let ablation_btb () =
   row "%-28s %10s %12s %12s\n" "unicore kernel" "warm BTB" "aliased BTB" "cold BTB";
   row "%-28s %10.2f %12.2f %12.2f\n" "lock elision [if]" if_warm if_aliased if_cold;
   row "%-28s %10.2f %12.2f %12.2f\n" "lock elision [multiverse]" mv_warm mv_aliased mv_cold;
+  jrow "if"
+    [
+      ("warm", Json.Float if_warm);
+      ("aliased", Json.Float if_aliased);
+      ("cold", Json.Float if_cold);
+    ];
+  jrow "multiverse"
+    [
+      ("warm", Json.Float mv_warm);
+      ("aliased", Json.Float mv_aliased);
+      ("cold", Json.Float mv_cold);
+    ];
   row
     "=> the dynamic branch is nearly free when predicted but pays extra cycles\n\
     \   when cold (delta %.2f); the multiversed kernel has no such branch.\n"
@@ -509,7 +615,9 @@ let ablation_inline () =
   let without = run ~inline:false in
   row "native cli+sti, inlining on   %7.2f cycles\n" with_inline;
   row "native cli+sti, inlining off  %7.2f cycles (call overhead retained)\n" without;
-  row "=> inlining contributes       %7.2f cycles per op pair\n" (without -. with_inline)
+  row "=> inlining contributes       %7.2f cycles per op pair\n" (without -. with_inline);
+  jrow "pvops-native"
+    [ ("inlining_on", Json.Float with_inline); ("inlining_off", Json.Float without) ]
 
 (* ------------------------------------------------------------------ *)
 (* A4: ablation — body patching vs call-site patching (Section 7.1)     *)
@@ -541,6 +649,18 @@ let ablation_body_patching () =
   row "%-24s %12s %10s %18s\n" "strategy" "commit (ms)" "patches" "run_all (cycles)";
   row "%-24s %12.3f %10d %18.1f\n" "call-site patching" cs_ms cs_patches cs_cycles;
   row "%-24s %12.3f %10d %18.1f\n" "body patching" bp_ms bp_patches bp_cycles;
+  jrow "call-site"
+    [
+      ("commit_ms", Json.Float cs_ms);
+      ("patches", Json.Int cs_patches);
+      ("cycles", Json.Float cs_cycles);
+    ];
+  jrow "body"
+    [
+      ("commit_ms", Json.Float bp_ms);
+      ("patches", Json.Int bp_patches);
+      ("cycles", Json.Float bp_cycles);
+    ];
   row
     "=> body patching commits with ~%dx fewer patches but cannot inline\n\
     \   tiny bodies into call sites (execution %.1f%% slower here).\n"
@@ -578,7 +698,7 @@ let ablation_padded_sites () =
       Core.Runtime.create program.Core.Compiler.p_image ~flush:(fun ~addr ~len ->
           Mv_vm.Machine.flush_icache machine ~addr ~len)
     in
-    let s = ({ program; machine; runtime } : H.session) in
+    let s = H.of_parts program machine runtime in
     H.set s "m" 1;
     ignore (H.commit s);
     let stats = Core.Runtime.stats runtime in
@@ -589,7 +709,9 @@ let ablation_padded_sites () =
   List.iter
     (fun pad ->
       let cycles, inlined = run pad in
-      row "%-14d %16.2f %14d\n" pad cycles inlined)
+      row "%-14d %16.2f %14d\n" pad cycles inlined;
+      jrow (string_of_int pad)
+        [ ("cycles", Json.Float cycles); ("sites_inlined", Json.Int inlined) ])
     [ 0; 4; 8; 10 ];
   row "=> once the variant body fits the padded site, the call disappears.\n"
 
@@ -626,7 +748,15 @@ let ablation_explosion () =
       row "%-10d %10d %14d %14d %12.3f\n" n stats.Core.Stats.ps_variants
         stats.Core.Stats.ps_text_in_variants
         (Core.Stats.descriptor_overhead stats.Core.Stats.ps_sections)
-        ((t1 -. t0) *. 1000.0))
+        ((t1 -. t0) *. 1000.0);
+      jrow (string_of_int n)
+        [
+          ("variants", Json.Int stats.Core.Stats.ps_variants);
+          ("variant_text", Json.Int stats.Core.Stats.ps_text_in_variants);
+          ( "descriptor_bytes",
+            Json.Int (Core.Stats.descriptor_overhead stats.Core.Stats.ps_sections) );
+          ("commit_ms", Json.Float ((t1 -. t0) *. 1000.0));
+        ])
     [ 1; 2; 4; 6 ];
   row
     "=> 2^n variants: the developer-controlled mitigations are values(..)\n\
@@ -651,6 +781,46 @@ let ablation_explosion () =
   let stats = Core.Stats.of_program s.H.program in
   row "with bind(s0):    %6d variants, %6d B of variant text\n"
     stats.Core.Stats.ps_variants stats.Core.Stats.ps_text_in_variants
+
+(* ------------------------------------------------------------------ *)
+(* E14: observability overhead — tracing/profiling are pay-for-use      *)
+(* ------------------------------------------------------------------ *)
+
+let obs_overhead () =
+  header
+    "E14 / observability: cost of the tracing and profiling hooks\n\
+     (the hooks are host-side observers charging zero simulated cycles,\n\
+    \ so the cycle tables are unchanged whether or not they are armed;\n\
+    \ only host wall-clock pays for the bookkeeping)";
+  let run ~trace ~profile =
+    let s = H.session1 (Spinlock.source Spinlock.Multiverse) in
+    H.set s "config_smp" 0;
+    ignore (H.commit s);
+    if trace then H.enable_tracing s;
+    if profile then H.enable_profiling s;
+    let t0 = Unix.gettimeofday () in
+    let m = H.measure ~samples:(samples ()) s ~loop_fn:"bench_loop" in
+    let t1 = Unix.gettimeofday () in
+    (m, (t1 -. t0) *. 1000.0)
+  in
+  let base, base_ms = run ~trace:false ~profile:false in
+  let traced, traced_ms = run ~trace:true ~profile:false in
+  let profiled, profiled_ms = run ~trace:false ~profile:true in
+  row "%-36s %12s %10s\n" "spinlock unicore" "cycles/call" "host ms";
+  row "%-36s %12.2f %10.1f\n" "no sinks (baseline)" base.H.m_mean base_ms;
+  row "%-36s %12.2f %10.1f\n" "tracing armed" traced.H.m_mean traced_ms;
+  row "%-36s %12.2f %10.1f\n" "profiling armed" profiled.H.m_mean profiled_ms;
+  let delta a = (a -. base.H.m_mean) /. base.H.m_mean *. 100.0 in
+  row "=> simulated-cycle delta: tracing %+.2f%%, profiling %+.2f%%\n"
+    (delta traced.H.m_mean) (delta profiled.H.m_mean);
+  jmeas "spinlock-unicore"
+    [ ("baseline", base); ("tracing", traced); ("profiling", profiled) ];
+  jrow "host-ms"
+    [
+      ("baseline", Json.Float base_ms);
+      ("tracing", Json.Float traced_ms);
+      ("profiling", Json.Float profiled_ms);
+    ]
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel wall-clock suites (one Test.make per table)                 *)
@@ -731,6 +901,7 @@ let experiments =
     ("ablation-body-patching", ablation_body_patching);
     ("ablation-explosion", ablation_explosion);
     ("ablation-padded-sites", ablation_padded_sites);
+    ("obs-overhead", obs_overhead);
   ]
 
 let () =
@@ -743,6 +914,9 @@ let () =
       ("--list", Arg.Set list_only, " list experiment ids");
       ("--fast", Arg.Set fast, " fewer samples");
       ("--no-bechamel", Arg.Set no_bechamel, " skip the Bechamel wall-clock suites");
+      ( "--json",
+        Arg.String (fun p -> json_path := Some p),
+        "FILE write per-experiment result rows as JSON (mv-bench-rows/1)" );
     ]
   in
   Arg.parse args (fun _ -> ()) "multiverse benchmark harness";
@@ -753,7 +927,12 @@ let () =
       if !only = [] then experiments
       else List.filter (fun (id, _) -> List.mem id !only) experiments
     in
-    List.iter (fun (_, f) -> f ()) selected;
+    List.iter
+      (fun (id, f) ->
+        current_exp := id;
+        f ())
+      selected;
     if (!only = [] || List.mem "bechamel" !only) && not !no_bechamel then bechamel_suites ();
+    (match !json_path with Some path -> write_json_tables path | None -> ());
     print_newline ()
   end

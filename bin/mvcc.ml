@@ -9,7 +9,8 @@
      mvcc prog.mvc --dump-ir --dump-asm
      mvcc a.mvc b.mvc --descriptors --stats
      mvcc prog.mvc --commit --strategy body --run main
-     mvcc prog.mvc --padding 8 --commit --bench bench_loop                *)
+     mvcc prog.mvc --padding 8 --commit --bench bench_loop
+     mvcc prog.mvc --commit --run main --trace out.json --stats-json m.json *)
 
 module Image = Mv_link.Image
 
@@ -18,6 +19,12 @@ let read_file path =
   Fun.protect
     ~finally:(fun () -> close_in_noerr ic)
     (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_file path contents =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc contents)
 
 let dump_ir (p : Core.Compiler.program) =
   List.iter
@@ -136,7 +143,26 @@ let bench_arg =
     & info [ "bench" ] ~docv:"FN"
         ~doc:"Measure mean cycles per call of loop function $(docv) (called with a count argument)")
 
-let main files run args sets commit perf ir asm descriptors xen stats strategy padding bench =
+let trace_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:"Record patching/execution events and write a Chrome trace_event JSON to $(docv) (load in about:tracing or Perfetto)")
+
+let stats_json_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "stats-json" ] ~docv:"FILE"
+        ~doc:"Write the unified metrics snapshot (runtime, perf, program stats) as JSON to $(docv)")
+
+let profile_arg =
+  Arg.(
+    value & flag
+    & info [ "profile" ]
+        ~doc:"Sample the step loop and print the hot-function table (variants attributed separately)")
+
+let main files run args sets commit perf ir asm descriptors xen stats strategy padding bench
+    trace stats_json profile =
   try
     let sources = List.map (fun f -> (Filename.basename f, read_file f)) files in
     let program = Core.Compiler.build ~callsite_padding:padding sources in
@@ -151,6 +177,9 @@ let main files run args sets commit perf ir asm descriptors xen stats strategy p
       Core.Runtime.create img ~flush:(fun ~addr ~len ->
           Mv_vm.Machine.flush_icache machine ~addr ~len)
     in
+    let session = Mv_workloads.Harness.of_parts program machine runtime in
+    if trace <> None then Mv_workloads.Harness.enable_tracing session;
+    if profile then Mv_workloads.Harness.enable_profiling session;
     (match strategy with
     | `Call_site -> ()
     | `Body -> Core.Runtime.set_strategy runtime Core.Runtime.Body_patching);
@@ -202,6 +231,23 @@ let main files run args sets commit perf ir asm descriptors xen stats strategy p
           result;
         if perf then Format.printf "%a@." Mv_vm.Perf.pp (Mv_vm.Perf.diff before after)
     | None -> ());
+    if profile then
+      Option.iter
+        (fun p -> Format.printf "%a@." (fun fmt -> Mv_obs.Profile.pp fmt) p)
+        session.Mv_workloads.Harness.profile;
+    (match trace with
+    | Some path ->
+        write_file path (Mv_workloads.Harness.trace_dump session);
+        Format.printf "trace: %d event(s) -> %s@."
+          (List.length (Mv_workloads.Harness.trace_events session))
+          path
+    | None -> ());
+    (match stats_json with
+    | Some path ->
+        write_file path
+          (Mv_obs.Json.to_string_pretty (Mv_workloads.Harness.metrics_json session));
+        Format.printf "metrics -> %s@." path
+    | None -> ());
     0
   with
   | Core.Compiler.Compile_error m ->
@@ -221,6 +267,7 @@ let cmd =
     Term.(
       const main $ files_arg $ run_arg $ args_arg $ set_arg $ commit_arg $ perf_arg
       $ dump_ir_arg $ dump_asm_arg $ descriptors_arg $ xen_arg $ stats_arg
-      $ strategy_arg $ padding_arg $ bench_arg)
+      $ strategy_arg $ padding_arg $ bench_arg $ trace_arg $ stats_json_arg
+      $ profile_arg)
 
 let () = exit (Cmd.eval' cmd)

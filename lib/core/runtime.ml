@@ -27,6 +27,7 @@
 
 module Image = Mv_link.Image
 module Insn = Mv_isa.Insn
+module Trace = Mv_obs.Trace
 
 type site_state =
   | Site_original
@@ -104,6 +105,10 @@ type t = {
   mutable next_pset_id : int;
   mutable in_safepoint : bool;  (** reentrancy guard for {!safepoint} *)
   safe : safe_counters;
+  mutable tracer : (Trace.event -> unit) option;
+      (** optional event sink; every patching decision is reported through
+          it, and with [None] installed the emit sites reduce to one match
+          (pay-for-use, like the safepoint hook) *)
 }
 
 (** How variants are installed.
@@ -227,7 +232,41 @@ let create (img : Image.t) ~flush : t =
         sc_rolled_back = 0;
         sc_polls = 0;
       };
+    tracer = None;
   }
+
+(* ------------------------------------------------------------------ *)
+(* Trace emission                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(** Install (or remove) the structured-event sink.  See {!Mv_obs.Trace}. *)
+let set_tracer t sink = t.tracer <- sink
+
+(* The single emit funnel: one match when no sink is installed.  Call
+   sites that build expensive payloads (e.g. the switch-value list of a
+   commit span) guard on [tracing] first so an untraced run never pays
+   for the construction either. *)
+let[@inline] tracing t = t.tracer <> None
+
+let emit t ev = match t.tracer with None -> () | Some sink -> sink ev
+
+(** Every configuration switch's (name, current value) — the payload of a
+    commit span's begin event. *)
+let switch_values t =
+  List.map
+    (fun (v : Descriptor.variable) ->
+      (name_of t.image v.vr_addr, Image.read t.image v.vr_addr v.vr_width))
+    t.variables
+
+let emit_span_begin t op =
+  if tracing t then emit t (Trace.Commit_begin { op; switches = switch_values t })
+
+let emit_span_end t op bound = emit t (Trace.Commit_end { op; bound })
+
+(* Fallback registration, with its event. *)
+let fallback t name =
+  t.fallbacks <- name :: t.fallbacks;
+  emit t (Trace.Fallback { fn = name })
 
 (** Disable or re-enable call-site body inlining (the A3 ablation: measure
     what the "current PV-Ops"-style inlining contributes). *)
@@ -292,7 +331,7 @@ let skip_site t (s : site) reason =
 (** Point the site at [target]: either inline the body at [target] (if small
     enough) or patch a direct call.  [target_size] is the encoded size of
     the target body, from its descriptor. *)
-let install_site t (s : site) ~target ~target_size =
+let install_site t (s : site) ~who ~target ~target_size =
   if not (site_intact t s) then skip_site t s "site bytes changed by another mechanism"
   else begin
     let body =
@@ -304,13 +343,15 @@ let install_site t (s : site) ~target ~target_size =
     | Some body ->
         let b = Bytes.make s.s_size (Char.chr (Insn.opcode Insn.Nop)) in
         Bytes.blit body 0 b 0 (Bytes.length body);
-        write_site t s b (Site_inlined target)
+        write_site t s b (Site_inlined target);
+        emit t (Trace.Site_inlined { fn = who; site = s.s_addr; target })
     | None ->
         (* a 6-byte indirect site gets a 5-byte direct call plus one nop *)
         let call = Patch.encode_call ~site:s.s_addr ~target in
         let b = Bytes.make s.s_size (Char.chr (Insn.opcode Insn.Nop)) in
         Bytes.blit call 0 b 0 (Bytes.length call);
-        write_site t s b (Site_retargeted target)
+        write_site t s b (Site_retargeted target);
+        emit t (Trace.Site_retargeted { fn = who; site = s.s_addr; target })
   end
 
 let restore_site t (s : site) =
@@ -339,9 +380,12 @@ let revert_fn_entry t (fe : fn_entry) =
   fe.fe_installed <- None
 
 let install_variant_call_sites t (fe : fn_entry) (v : Descriptor.variant_record) =
-  List.iter (fun s -> install_site t s ~target:v.va_addr ~target_size:v.va_size) fe.fe_sites;
+  List.iter
+    (fun s -> install_site t s ~who:fe.fe_name ~target:v.va_addr ~target_size:v.va_size)
+    fe.fe_sites;
   fe.fe_prologue <-
-    Some (Patch.install_prologue_jmp t.patch ~fn_addr:fe.fe_record.fd_generic ~target:v.va_addr)
+    Some (Patch.install_prologue_jmp t.patch ~fn_addr:fe.fe_record.fd_generic ~target:v.va_addr);
+  emit t (Trace.Prologue_patched { fn = fe.fe_name; target = v.va_addr })
 
 (* The Section 7.1 alternative: overwrite the generic body with the
    relocated variant body.  One patch per function, no call-site work, but
@@ -356,14 +400,19 @@ let install_variant_body t (fe : fn_entry) (v : Descriptor.variant_record) =
     in
     Patch.write_text t.patch ~addr:generic relocated
   end
-  else
+  else begin
     (* variant larger than the generic body: redirect the prologue instead *)
     fe.fe_prologue <-
-      Some (Patch.install_prologue_jmp t.patch ~fn_addr:generic ~target:v.va_addr)
+      Some (Patch.install_prologue_jmp t.patch ~fn_addr:generic ~target:v.va_addr);
+    emit t (Trace.Prologue_patched { fn = fe.fe_name; target = v.va_addr })
+  end
 
 let install_variant t (fe : fn_entry) (v : Descriptor.variant_record) =
   if fe.fe_installed = Some v.va_addr then ()
   else begin
+    if tracing t then
+      emit t
+        (Trace.Variant_selected { fn = fe.fe_name; variant = name_of t.image v.va_addr });
     (* return to the pristine state first, then apply the new variant *)
     revert_fn_entry t fe;
     (match t.strategy with
@@ -384,7 +433,7 @@ let commit_fn_entry t (fe : fn_entry) : bool =
       revert_fn_entry t fe;
       (* only signal when the function actually has specialized variants:
          a variant-less function is trivially bound to its generic body *)
-      if fe.fe_record.fd_variants <> [] then t.fallbacks <- fe.fe_name :: t.fallbacks;
+      if fe.fe_record.fd_variants <> [] then fallback t fe.fe_name;
       false
 
 (* ------------------------------------------------------------------ *)
@@ -406,7 +455,7 @@ let install_fnptr t (fp : fnptr_entry) ~target =
       | Some name -> Image.symbol_size t.image name
       | None -> 0
     in
-    List.iter (fun s -> install_site t s ~target ~target_size) fp.fp_sites;
+    List.iter (fun s -> install_site t s ~who:fp.fp_name ~target ~target_size) fp.fp_sites;
     fp.fp_committed <- Some target
   end
 
@@ -415,7 +464,7 @@ let commit_fnptr_entry t (fp : fnptr_entry) : bool =
   let target = Image.read t.image fp.fp_var.vr_addr 8 in
   if target = 0 then begin
     revert_fnptr_entry t fp;
-    t.fallbacks <- fp.fp_name :: t.fallbacks;
+    fallback t fp.fp_name;
     false
   end
   else begin
@@ -441,19 +490,25 @@ let supersede_pending t =
     everywhere.  Returns the number of entities bound to a specialized
     state; [fallbacks t] lists functions left generic. *)
 let commit t : int =
+  emit_span_begin t "commit";
   supersede_pending t;
   t.fallbacks <- [];
   let bound_fns = List.filter (commit_fn_entry t) t.functions in
   let bound_ptrs = List.filter (commit_fnptr_entry t) t.fnptrs in
-  List.length bound_fns + List.length bound_ptrs
+  let bound = List.length bound_fns + List.length bound_ptrs in
+  emit_span_end t "commit" bound;
+  bound
 
 (** [multiverse_revert]: restore the whole image to its unpatched state. *)
 let revert t : int =
+  emit_span_begin t "revert";
   supersede_pending t;
   t.fallbacks <- [];
   List.iter (revert_fn_entry t) t.functions;
   List.iter (revert_fnptr_entry t) t.fnptrs;
-  List.length t.functions + List.length t.fnptrs
+  let n = List.length t.functions + List.length t.fnptrs in
+  emit_span_end t "revert" n;
+  n
 
 let find_fn t addr =
   List.find_opt (fun fe -> fe.fe_record.fd_generic = addr) t.functions
@@ -652,10 +707,14 @@ let apply_set t (pset : pending_set) : bool =
   with
   | () ->
       t.safe.sc_applied <- t.safe.sc_applied + List.length pset.pset_actions;
+      emit t
+        (Trace.Pending_drained
+           { pset = pset.pset_id; actions = List.length pset.pset_actions });
       true
   | exception (Runtime_error _ | Patch.Patch_error _) ->
       List.iter (undo_action t) !applied;
       t.safe.sc_rolled_back <- t.safe.sc_rolled_back + 1;
+      emit t (Trace.Pending_rollback { pset = pset.pset_id });
       false
 
 let journal t actions =
@@ -673,6 +732,7 @@ let journal t actions =
     decisions use the switch values at call time; a deferred action binds
     the variant selected *now*, not at application time. *)
 let commit_safe ?(policy = Defer) t : int =
+  emit_span_begin t "commit_safe";
   let live = live_addrs t in
   supersede_pending t;
   t.fallbacks <- [];
@@ -683,8 +743,11 @@ let commit_safe ?(policy = Defer) t : int =
       match policy with
       | Defer ->
           deferred := action :: !deferred;
-          t.safe.sc_deferred <- t.safe.sc_deferred + 1
-      | Deny -> t.safe.sc_denied <- t.safe.sc_denied + 1
+          t.safe.sc_deferred <- t.safe.sc_deferred + 1;
+          emit t (Trace.Safe_defer { fn = action_name action })
+      | Deny ->
+          t.safe.sc_denied <- t.safe.sc_denied + 1;
+          emit t (Trace.Safe_deny { fn = action_name action })
     else begin
       apply_action_lenient t action;
       incr bound
@@ -706,7 +769,7 @@ let commit_safe ?(policy = Defer) t : int =
             stage (Act_unbind fe);
             bound := before
           end;
-          if fe.fe_record.fd_variants <> [] then t.fallbacks <- fe.fe_name :: t.fallbacks)
+          if fe.fe_record.fd_variants <> [] then fallback t fe.fe_name)
     t.functions;
   List.iter
     (fun fp ->
@@ -717,18 +780,20 @@ let commit_safe ?(policy = Defer) t : int =
           stage (Act_unbind_ptr fp);
           bound := before
         end;
-        t.fallbacks <- fp.fp_name :: t.fallbacks
+        fallback t fp.fp_name
       end
       else if fp.fp_committed = Some target then incr bound
       else stage (Act_bind_ptr (fp, target)))
     t.fnptrs;
   journal t (List.rev !deferred);
+  emit_span_end t "commit_safe" !bound;
   !bound
 
 (** [multiverse_revert], made safe: restore every entity whose patch ranges
     are quiescent; journal or refuse the rest.  Returns the number of
     entities in the pristine state when the call returns. *)
 let revert_safe ?(policy = Defer) t : int =
+  emit_span_begin t "revert_safe";
   let live = live_addrs t in
   supersede_pending t;
   t.fallbacks <- [];
@@ -740,15 +805,20 @@ let revert_safe ?(policy = Defer) t : int =
       match policy with
       | Defer ->
           deferred := action :: !deferred;
-          t.safe.sc_deferred <- t.safe.sc_deferred + 1
-      | Deny -> t.safe.sc_denied <- t.safe.sc_denied + 1
+          t.safe.sc_deferred <- t.safe.sc_deferred + 1;
+          emit t (Trace.Safe_defer { fn = action_name action })
+      | Deny ->
+          t.safe.sc_denied <- t.safe.sc_denied + 1;
+          emit t (Trace.Safe_deny { fn = action_name action })
     end
     else apply_action_lenient t action
   in
   List.iter (fun fe -> stage (Act_unbind fe)) t.functions;
   List.iter (fun fp -> stage (Act_unbind_ptr fp)) t.fnptrs;
   journal t (List.rev !deferred);
-  List.length t.functions + List.length t.fnptrs - !blocked
+  let n = List.length t.functions + List.length t.fnptrs - !blocked in
+  emit_span_end t "revert_safe" n;
+  n
 
 (** The quiescence-point drain, wired to the machine's safepoint hook.
     Cheap when nothing is pending (one list check).  Otherwise each pending
@@ -759,6 +829,9 @@ let revert_safe ?(policy = Defer) t : int =
 let safepoint t =
   t.safe.sc_polls <- t.safe.sc_polls + 1;
   if t.pending <> [] && not t.in_safepoint then begin
+    (* only polls that actually inspect a journal are reported: the
+       empty-journal fast path would flood the ring with noise *)
+    emit t (Trace.Safepoint_poll { pending = List.length t.pending });
     t.in_safepoint <- true;
     Fun.protect
       ~finally:(fun () -> t.in_safepoint <- false)
@@ -840,3 +913,24 @@ let stats t =
     st_pending =
       List.fold_left (fun acc pset -> acc + List.length pset.pset_actions) 0 t.pending;
   }
+
+(** The {!stats} record as a JSON object (field names without the [st_]
+    prefix) — one third of the unified metrics export. *)
+let stats_json (s : stats) : Mv_obs.Json.t =
+  Mv_obs.Json.Obj
+    [
+      ("functions", Mv_obs.Json.Int s.st_functions);
+      ("variants", Mv_obs.Json.Int s.st_variants);
+      ("callsites", Mv_obs.Json.Int s.st_callsites);
+      ("sites_inlined", Mv_obs.Json.Int s.st_sites_inlined);
+      ("sites_retargeted", Mv_obs.Json.Int s.st_sites_retargeted);
+      ("patches", Mv_obs.Json.Int s.st_patches);
+      ("bytes_patched", Mv_obs.Json.Int s.st_bytes_patched);
+      ("safe_deferred", Mv_obs.Json.Int s.st_safe_deferred);
+      ("safe_denied", Mv_obs.Json.Int s.st_safe_denied);
+      ("safe_superseded", Mv_obs.Json.Int s.st_safe_superseded);
+      ("safe_applied", Mv_obs.Json.Int s.st_safe_applied);
+      ("safe_rolled_back", Mv_obs.Json.Int s.st_safe_rolled_back);
+      ("safepoint_polls", Mv_obs.Json.Int s.st_safepoint_polls);
+      ("pending", Mv_obs.Json.Int s.st_pending);
+    ]

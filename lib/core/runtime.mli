@@ -98,6 +98,7 @@ type t = {
   mutable next_pset_id : int;
   mutable in_safepoint : bool;
   safe : safe_counters;
+  mutable tracer : (Mv_obs.Trace.event -> unit) option;
 }
 
 (** Variant installation strategy.  [Call_site_patching] is the paper's
@@ -116,6 +117,16 @@ val create : Mv_link.Image.t -> flush:(addr:int -> len:int -> unit) -> t
 
 (** Disable/enable call-site body inlining (ablation A3). *)
 val set_inlining : t -> bool -> unit
+
+(** Install (or remove, with [None]) the structured-event sink.  Every
+    patching decision — commit/revert spans with switch values, variant
+    selection, site retargeting/inlining, prologue patches, fallbacks,
+    safe-commit deferrals and drains — is reported through it.  With no
+    sink installed the emit sites reduce to a single [option] match:
+    tracing is pay-for-use, like the safepoint hook.  The usual sink is
+    [Mv_obs.Trace.sink] over a ring clocked by the machine's cycle
+    counter (see [Harness.enable_tracing]). *)
+val set_tracer : t -> (Mv_obs.Trace.event -> unit) option -> unit
 
 (** Switch the installation strategy (ablation A4).  Raises
     {!Runtime_error} while anything is installed — revert first. *)
@@ -243,3 +254,8 @@ type stats = {
 
 (** Aggregate counters for reporting (benches, examples). *)
 val stats : t -> stats
+
+(** The {!stats} record as a JSON object (field names without the [st_]
+    prefix) — the runtime's third of the unified metrics export
+    ([Mv_obs.Export.metrics]). *)
+val stats_json : stats -> Mv_obs.Json.t

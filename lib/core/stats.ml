@@ -77,6 +77,29 @@ let of_program (p : Compiler.program) : program_stats =
     ps_text_in_variants = text_in_variants;
   }
 
+(** {!program_stats} as a JSON object — the static third of the unified
+    metrics export. *)
+let program_stats_json (s : program_stats) : Mv_obs.Json.t =
+  let open Mv_obs.Json in
+  Obj
+    [
+      ( "sections",
+        Obj
+          [
+            ("text", Int s.ps_sections.sz_text);
+            ("data", Int s.ps_sections.sz_data);
+            ("variables", Int s.ps_sections.sz_variables);
+            ("functions", Int s.ps_sections.sz_functions);
+            ("callsites", Int s.ps_sections.sz_callsites);
+          ] );
+      ("switches", Int s.ps_switches);
+      ("mv_functions", Int s.ps_mv_functions);
+      ("variants", Int s.ps_variants);
+      ("callsites", Int s.ps_callsites);
+      ("text_in_variants", Int s.ps_text_in_variants);
+      ("descriptor_overhead", Int (descriptor_overhead s.ps_sections));
+    ]
+
 let pp fmt (s : program_stats) =
   Format.fprintf fmt
     "@[<v>text                 %8d B@,data                 %8d B@,multiverse.variables %8d B (%d switches)@,multiverse.functions %8d B (%d functions, %d variant records)@,multiverse.callsites %8d B (%d call sites)@,variant text         %8d B@,descriptor overhead  %8d B@]"

@@ -31,5 +31,10 @@ type program_stats = {
 (** Collect the Section 5 scalars for a compiled program. *)
 val of_program : Compiler.program -> program_stats
 
+(** {!program_stats} as a JSON object (section sizes nested under
+    [sections], plus the Section 5 scalars) — the static third of the
+    unified metrics export ([Mv_obs.Export.metrics]). *)
+val program_stats_json : program_stats -> Mv_obs.Json.t
+
 (** Human-readable rendering of {!program_stats}. *)
 val pp : Format.formatter -> program_stats -> unit

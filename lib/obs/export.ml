@@ -1,0 +1,76 @@
+(* Chrome trace_event and metrics-envelope exporters.
+
+   Chrome's JSON array format (the subset we emit):
+     {"name": .., "ph": "B"|"E"|"i", "ts": microseconds, "pid": .., "tid": ..,
+      "args": {..}}
+   Simulated cycles are passed through as the microsecond timestamps: the
+   timeline then reads in guest cycles, which is the unit every other
+   number in this repository is in. *)
+
+let args_of_event (ev : Trace.event) : (string * Json.t) list =
+  match ev with
+  | Trace.Commit_begin { switches; _ } ->
+      [ ("switches", Json.Obj (List.map (fun (n, v) -> (n, Json.Int v)) switches)) ]
+  | Trace.Commit_end { bound; _ } -> [ ("bound", Json.Int bound) ]
+  | Trace.Variant_selected { fn; variant } ->
+      [ ("fn", Json.String fn); ("variant", Json.String variant) ]
+  | Trace.Site_retargeted { fn; site; target } | Trace.Site_inlined { fn; site; target }
+    ->
+      [ ("fn", Json.String fn); ("site", Json.Int site); ("target", Json.Int target) ]
+  | Trace.Prologue_patched { fn; target } ->
+      [ ("fn", Json.String fn); ("target", Json.Int target) ]
+  | Trace.Fallback { fn } | Trace.Safe_defer { fn } | Trace.Safe_deny { fn } ->
+      [ ("fn", Json.String fn) ]
+  | Trace.Pending_drained { pset; actions } ->
+      [ ("pset", Json.Int pset); ("actions", Json.Int actions) ]
+  | Trace.Pending_rollback { pset } -> [ ("pset", Json.Int pset) ]
+  | Trace.Safepoint_poll { pending } -> [ ("pending", Json.Int pending) ]
+  | Trace.Icache_flush { addr; len } ->
+      [ ("addr", Json.Int addr); ("len", Json.Int len) ]
+
+let chrome_event ~pid (st : Trace.stamped) : Json.t =
+  let phase, name =
+    match st.Trace.ev with
+    | Trace.Commit_begin { op; _ } -> ("B", op)
+    | Trace.Commit_end { op; _ } -> ("E", op)
+    | ev -> ("i", Trace.event_name ev)
+  in
+  let base =
+    [
+      ("name", Json.String name);
+      ("ph", Json.String phase);
+      ("ts", Json.Float st.Trace.ts);
+      ("pid", Json.Int pid);
+      ("tid", Json.Int 1);
+      ("args", Json.Obj (("seq", Json.Int st.Trace.seq) :: args_of_event st.Trace.ev));
+    ]
+  in
+  (* instants need a scope; "t" = thread-scoped *)
+  Json.Obj (if phase = "i" then base @ [ ("s", Json.String "t") ] else base)
+
+let chrome_trace ?(pid = 1) stamped = Json.List (List.map (chrome_event ~pid) stamped)
+let chrome_trace_string ?pid stamped = Json.to_string_pretty (chrome_trace ?pid stamped)
+
+let profile_json rows =
+  Json.List
+    (List.map
+       (fun (r : Profile.row) ->
+         Json.Obj
+           [
+             ("name", Json.String r.Profile.r_name);
+             ("samples", Json.Int r.Profile.r_samples);
+             ("cycles", Json.Float r.Profile.r_cycles);
+             ("share", Json.Float r.Profile.r_share);
+             ("variant", Json.Bool r.Profile.r_variant);
+           ])
+       rows)
+
+let metrics ?(extra = []) ~runtime ~perf ~program () =
+  Json.Obj
+    ([
+       ("schema", Json.String "mv-metrics/1");
+       ("runtime", runtime);
+       ("perf", perf);
+       ("program", program);
+     ]
+    @ extra)

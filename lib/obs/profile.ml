@@ -1,0 +1,106 @@
+(* Interval-sampling profiler: every [interval]-th executed instruction,
+   attribute the cycles elapsed since the last sample to the symbol
+   containing the current pc.  Attribution is approximate in exactly the
+   way hardware PMU sampling is — cycles spent in short callees between
+   samples land on whoever holds the pc at sample time — and converges
+   with run length. *)
+
+type row = {
+  r_name : string;
+  r_samples : int;
+  r_cycles : float;
+  r_share : float;
+  r_variant : bool;
+}
+
+type cell = { mutable c_samples : int; mutable c_cycles : float }
+
+type t = {
+  resolve : int -> string option;
+  is_variant : string -> bool;
+  now : unit -> float;
+  interval : int;
+  mutable countdown : int;
+  mutable last : float;
+  mutable total_samples : int;
+  mutable total_cycles : float;
+  table : (string, cell) Hashtbl.t;
+}
+
+let unknown = "<unknown>"
+
+let create ?(interval = 97) ?(is_variant = fun _ -> false) ~resolve ~now () =
+  let interval = max 1 interval in
+  {
+    resolve;
+    is_variant;
+    now;
+    interval;
+    countdown = interval;
+    last = now ();
+    total_samples = 0;
+    total_cycles = 0.0;
+    table = Hashtbl.create 64;
+  }
+
+let sample t pc =
+  t.countdown <- t.countdown - 1;
+  if t.countdown <= 0 then begin
+    t.countdown <- t.interval;
+    let ts = t.now () in
+    let delta = ts -. t.last in
+    t.last <- ts;
+    let name = match t.resolve pc with Some n -> n | None -> unknown in
+    let cell =
+      match Hashtbl.find_opt t.table name with
+      | Some c -> c
+      | None ->
+          let c = { c_samples = 0; c_cycles = 0.0 } in
+          Hashtbl.add t.table name c;
+          c
+    in
+    cell.c_samples <- cell.c_samples + 1;
+    cell.c_cycles <- cell.c_cycles +. delta;
+    t.total_samples <- t.total_samples + 1;
+    t.total_cycles <- t.total_cycles +. delta
+  end
+
+let samples t = t.total_samples
+let cycles t = t.total_cycles
+
+let reset t =
+  Hashtbl.reset t.table;
+  t.countdown <- t.interval;
+  t.last <- t.now ();
+  t.total_samples <- 0;
+  t.total_cycles <- 0.0
+
+let report t =
+  let total = if t.total_cycles > 0.0 then t.total_cycles else 1.0 in
+  Hashtbl.fold
+    (fun name cell acc ->
+      {
+        r_name = name;
+        r_samples = cell.c_samples;
+        r_cycles = cell.c_cycles;
+        r_share = cell.c_cycles /. total;
+        r_variant = name <> unknown && t.is_variant name;
+      }
+      :: acc)
+    t.table []
+  |> List.sort (fun a b ->
+         let c = compare b.r_cycles a.r_cycles in
+         if c <> 0 then c else compare a.r_name b.r_name)
+
+let pp ?(limit = 10) fmt t =
+  let rows = report t in
+  Format.fprintf fmt "@[<v>%-36s %8s %12s %7s@," "hot functions" "samples" "cycles" "share";
+  List.iteri
+    (fun i r ->
+      if i < limit then
+        Format.fprintf fmt "%-36s %8d %12.1f %6.1f%%@,"
+          (if r.r_variant then r.r_name ^ " [variant]" else r.r_name)
+          r.r_samples r.r_cycles (100.0 *. r.r_share))
+    rows;
+  Format.fprintf fmt "(%d samples, %.1f cycles attributed)@]" t.total_samples
+    t.total_cycles

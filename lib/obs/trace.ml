@@ -1,0 +1,113 @@
+(* Structured trace events and the fixed-capacity ring recorder.
+
+   Design constraints (mirroring the safepoint hook of the safe-commit
+   subsystem): emitters hold an [event -> unit] option and do nothing but
+   one match when it is [None]; the recorder is bounded so tracing a
+   billion-cycle run cannot exhaust memory; overflow drops the oldest
+   events, because the interesting window is almost always the most
+   recent one (the patch that just went wrong). *)
+
+type event =
+  | Commit_begin of { op : string; switches : (string * int) list }
+  | Commit_end of { op : string; bound : int }
+  | Variant_selected of { fn : string; variant : string }
+  | Site_retargeted of { fn : string; site : int; target : int }
+  | Site_inlined of { fn : string; site : int; target : int }
+  | Prologue_patched of { fn : string; target : int }
+  | Fallback of { fn : string }
+  | Safe_defer of { fn : string }
+  | Safe_deny of { fn : string }
+  | Pending_drained of { pset : int; actions : int }
+  | Pending_rollback of { pset : int }
+  | Safepoint_poll of { pending : int }
+  | Icache_flush of { addr : int; len : int }
+
+type stamped = { ts : float; seq : int; ev : event }
+type sink = event -> unit
+
+type ring = {
+  clock : unit -> float;
+  slots : stamped option array;  (* circular, indexed by seq mod capacity *)
+  mutable next_seq : int;
+  mutable base_seq : int;  (* sequence numbers below this were cleared *)
+  mutable dropped : int;
+}
+
+let ring ?(capacity = 4096) ~clock () =
+  {
+    clock;
+    slots = Array.make (max 1 capacity) None;
+    next_seq = 0;
+    base_seq = 0;
+    dropped = 0;
+  }
+
+let record r ev =
+  let cap = Array.length r.slots in
+  let seq = r.next_seq in
+  r.next_seq <- seq + 1;
+  if r.slots.(seq mod cap) <> None then r.dropped <- r.dropped + 1;
+  r.slots.(seq mod cap) <- Some { ts = r.clock (); seq; ev }
+
+let sink r : sink = fun ev -> record r ev
+
+let events r =
+  let cap = Array.length r.slots in
+  let lo = max r.base_seq (r.next_seq - cap) in
+  let acc = ref [] in
+  for seq = r.next_seq - 1 downto lo do
+    match r.slots.(seq mod cap) with
+    | Some st when st.seq = seq -> acc := st :: !acc
+    | _ -> ()
+  done;
+  !acc
+
+let recorded r = r.next_seq - r.base_seq
+let dropped r = r.dropped
+
+let clear r =
+  Array.fill r.slots 0 (Array.length r.slots) None;
+  r.base_seq <- r.next_seq;
+  r.dropped <- 0
+
+let event_name = function
+  | Commit_begin _ -> "commit_begin"
+  | Commit_end _ -> "commit_end"
+  | Variant_selected _ -> "variant_selected"
+  | Site_retargeted _ -> "site_retargeted"
+  | Site_inlined _ -> "site_inlined"
+  | Prologue_patched _ -> "prologue_patched"
+  | Fallback _ -> "fallback"
+  | Safe_defer _ -> "safe_defer"
+  | Safe_deny _ -> "safe_deny"
+  | Pending_drained _ -> "pending_drained"
+  | Pending_rollback _ -> "pending_rollback"
+  | Safepoint_poll _ -> "safepoint_poll"
+  | Icache_flush _ -> "icache_flush"
+
+let pp_event fmt = function
+  | Commit_begin { op; switches } ->
+      Format.fprintf fmt "%s begin {%s}" op
+        (String.concat ", "
+           (List.map (fun (n, v) -> Printf.sprintf "%s=%d" n v) switches))
+  | Commit_end { op; bound } -> Format.fprintf fmt "%s end -> %d" op bound
+  | Variant_selected { fn; variant } -> Format.fprintf fmt "select %s for %s" variant fn
+  | Site_retargeted { fn; site; target } ->
+      Format.fprintf fmt "retarget site 0x%x of %s -> 0x%x" site fn target
+  | Site_inlined { fn; site; target } ->
+      Format.fprintf fmt "inline 0x%x into site 0x%x of %s" target site fn
+  | Prologue_patched { fn; target } ->
+      Format.fprintf fmt "prologue of %s -> jmp 0x%x" fn target
+  | Fallback { fn } -> Format.fprintf fmt "fallback: %s stays generic" fn
+  | Safe_defer { fn } -> Format.fprintf fmt "defer %s (live)" fn
+  | Safe_deny { fn } -> Format.fprintf fmt "deny %s (live)" fn
+  | Pending_drained { pset; actions } ->
+      Format.fprintf fmt "pending set #%d drained (%d actions)" pset actions
+  | Pending_rollback { pset } -> Format.fprintf fmt "pending set #%d rolled back" pset
+  | Safepoint_poll { pending } ->
+      Format.fprintf fmt "safepoint poll (%d sets pending)" pending
+  | Icache_flush { addr; len } ->
+      if len = 0 then Format.fprintf fmt "icache flush (all)"
+      else Format.fprintf fmt "icache flush [0x%x, 0x%x)" addr (addr + len)
+
+let pp fmt st = Format.fprintf fmt "[%10.1f/%d] %a" st.ts st.seq pp_event st.ev

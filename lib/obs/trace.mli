@@ -1,0 +1,98 @@
+(** Structured trace events for the multiverse runtime and the machine
+    simulator.
+
+    The runtime and the machine each accept an optional sink (an
+    [event -> unit] function).  With no sink installed the hook sites
+    reduce to one [option] match and the simulated cycle counts are
+    bit-for-bit identical to an untraced run — tracing is strictly
+    pay-for-use, like the safepoint hook.  The usual sink is {!sink} over
+    a {!ring}, which stamps each event with a clock reading (simulated
+    cycles) and a global sequence number and stores it in a fixed-capacity
+    ring buffer: tracing a long run costs bounded memory, and overflow
+    drops the {e oldest} events, keeping the most recent window. *)
+
+(** Everything the runtime and machine report.  Addresses are absolute
+    image addresses; names are symbol names. *)
+type event =
+  | Commit_begin of { op : string; switches : (string * int) list }
+      (** A whole-image operation starts.  [op] is one of ["commit"],
+          ["revert"], ["commit_safe"], ["revert_safe"]; [switches] records
+          every configuration switch's value at decision time. *)
+  | Commit_end of { op : string; bound : int }
+      (** The matching end of a {!Commit_begin} span; [bound] is the
+          operation's return value (entities bound or reverted). *)
+  | Variant_selected of { fn : string; variant : string }
+      (** A variant was chosen and is about to be installed for [fn]. *)
+  | Site_retargeted of { fn : string; site : int; target : int }
+      (** The call site at [site] now calls [target] directly. *)
+  | Site_inlined of { fn : string; site : int; target : int }
+      (** The body of [target] was inlined over the call site at [site]. *)
+  | Prologue_patched of { fn : string; target : int }
+      (** The generic prologue of [fn] was overwritten with a jump to
+          [target] (the completeness path). *)
+  | Fallback of { fn : string }
+      (** No variant matched the switch values; [fn] stays generic. *)
+  | Safe_defer of { fn : string }
+      (** A safe commit/revert journaled [fn]'s patch (live activation). *)
+  | Safe_deny of { fn : string }
+      (** A safe commit/revert refused [fn]'s patch under [Deny]. *)
+  | Pending_drained of { pset : int; actions : int }
+      (** Pending set [pset] applied in full ([actions] actions) at a
+          quiescent safepoint. *)
+  | Pending_rollback of { pset : int }
+      (** Pending set [pset] failed mid-apply and was rolled back. *)
+  | Safepoint_poll of { pending : int }
+      (** A safepoint inspected a non-empty journal of [pending] sets.
+          Polls with an empty journal are not reported — they are the
+          fast path and would flood the ring. *)
+  | Icache_flush of { addr : int; len : int }
+      (** The machine dropped decoded instructions over the range
+          ([len = 0] means a whole-cache flush). *)
+
+(** A recorded event: [ts] is the clock reading at record time (simulated
+    cycles for the standard wiring) and [seq] a strictly increasing
+    per-ring sequence number (survives overflow, so gaps reveal drops). *)
+type stamped = { ts : float; seq : int; ev : event }
+
+(** An event consumer, installed into [Runtime.set_tracer] /
+    [Machine.set_tracer]. *)
+type sink = event -> unit
+
+(** The fixed-capacity recorder. *)
+type ring
+
+(** [ring ~clock ()] creates an empty recorder keeping the last
+    [capacity] events (default 4096; at least 1).  [clock] supplies the
+    timestamp for each recorded event — wire it to the machine's cycle
+    counter. *)
+val ring : ?capacity:int -> clock:(unit -> float) -> unit -> ring
+
+(** The sink that stamps and records into the ring. *)
+val sink : ring -> sink
+
+(** Stamp and store one event (what {!sink} does). *)
+val record : ring -> event -> unit
+
+(** Recorded events, oldest first. *)
+val events : ring -> stamped list
+
+(** Number of events recorded since creation (or {!clear}), including
+    any that overflow has already discarded. *)
+val recorded : ring -> int
+
+(** Events discarded by overflow. *)
+val dropped : ring -> int
+
+(** Forget all events and reset the drop counter (sequence numbers keep
+    increasing, so merged logs stay ordered). *)
+val clear : ring -> unit
+
+(** Stable machine-readable tag of an event's constructor, e.g.
+    ["site_retargeted"] — the [name] field of the Chrome export. *)
+val event_name : event -> string
+
+(** One-line human rendering of an event. *)
+val pp_event : Format.formatter -> event -> unit
+
+(** [pp] renders a stamped event as ["[ts/seq] event"]. *)
+val pp : Format.formatter -> stamped -> unit

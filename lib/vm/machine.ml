@@ -34,6 +34,12 @@ type t = {
   mutable safepoint : (unit -> unit) option;
       (** invoked at every quiescence point (after each [ret] and on halt);
           the safe-commit runtime drains deferred patch sets here *)
+  mutable tracer : (Mv_obs.Trace.event -> unit) option;
+      (** optional event sink for machine-side events (icache flushes) *)
+  mutable sampler : (int -> unit) option;
+      (** optional per-instruction pc observer — the sampling profiler's
+          feed.  A host-side observer: it charges no simulated cycles, so
+          cycle counts are identical with and without it *)
 }
 
 let return_sentinel = 0
@@ -53,6 +59,8 @@ let create ?(cost = Cost.default) ?(platform = Native) ?(max_steps = 2_000_000_0
     steps_left = max_steps;
     max_steps;
     safepoint = None;
+    tracer = None;
+    sampler = None;
   }
 
 (** Install (or remove) the safepoint hook.  While a hook is installed,
@@ -61,6 +69,16 @@ let create ?(cost = Cost.default) ?(platform = Native) ?(max_steps = 2_000_000_0
     hook the machine behaves exactly as before (zero cost). *)
 let set_safepoint t hook = t.safepoint <- hook
 
+(** Install (or remove) the machine-side event sink (icache flushes). *)
+let set_tracer t sink = t.tracer <- sink
+
+(** Install (or remove) the per-instruction pc observer (the sampling
+    profiler's feed; see [Mv_obs.Profile]).  Purely host-side: simulated
+    cycle counts do not change. *)
+let set_sampler t hook = t.sampler <- hook
+
+let emit t ev = match t.tracer with None -> () | Some sink -> sink ev
+
 let text_base t = t.image.Image.text.Image.sr_base
 
 (** Drop decode-cache entries overlapping [addr, addr+len).  Mirrors an
@@ -68,6 +86,7 @@ let text_base t = t.image.Image.text.Image.sr_base
     patch. *)
 let flush_icache t ~addr ~len =
   t.perf.Perf.icache_flushes <- t.perf.Perf.icache_flushes + 1;
+  emit t (Mv_obs.Trace.Icache_flush { addr; len });
   let base = text_base t in
   let lo = max 0 (addr - base - 15) and hi = min (Array.length t.cache) (addr - base + len) in
   for i = lo to hi - 1 do
@@ -76,6 +95,7 @@ let flush_icache t ~addr ~len =
 
 let flush_all_icache t =
   t.perf.Perf.icache_flushes <- t.perf.Perf.icache_flushes + 1;
+  emit t (Mv_obs.Trace.Icache_flush { addr = 0; len = 0 });
   Array.fill t.cache 0 (Array.length t.cache) None
 
 let fetch t pc : Insn.t * int =
@@ -148,6 +168,7 @@ let step t : bool =
   let c = t.cost in
   let perf = t.perf in
   perf.Perf.instructions <- perf.Perf.instructions + 1;
+  (match t.sampler with None -> () | Some observe -> observe pc);
   let next = pc + size in
   t.pc <- next;
   (match insn with

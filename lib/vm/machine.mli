@@ -31,6 +31,10 @@ type t = {
   max_steps : int;
   mutable safepoint : (unit -> unit) option;
       (** quiescence-point hook; install via {!set_safepoint} *)
+  mutable tracer : (Mv_obs.Trace.event -> unit) option;
+      (** machine-side event sink; install via {!set_tracer} *)
+  mutable sampler : (int -> unit) option;
+      (** per-instruction pc observer; install via {!set_sampler} *)
 }
 
 (** The address a top-level call returns to; control reaching it ends
@@ -49,6 +53,18 @@ val create : ?cost:Cost.t -> ?platform:platform -> ?max_steps:int -> Image.t -> 
     drain at quiescence points.  Without a hook the machine is exactly as
     fast as before. *)
 val set_safepoint : t -> (unit -> unit) option -> unit
+
+(** Install (or remove, with [None]) the machine-side event sink.  The
+    machine reports [Icache_flush] events through it (a whole-cache flush
+    reports [len = 0]).  With no sink the flush paths behave exactly as
+    before. *)
+val set_tracer : t -> (Mv_obs.Trace.event -> unit) option -> unit
+
+(** Install (or remove, with [None]) the per-instruction pc observer —
+    the sampling profiler's feed ([Mv_obs.Profile.sample]).  The observer
+    is host-side only: it charges no simulated cycles, so guest cycle
+    counts are bit-for-bit identical with and without it. *)
+val set_sampler : t -> (int -> unit) option -> unit
 
 (** Drop decode-cache entries overlapping the range (icache flush). *)
 val flush_icache : t -> addr:int -> len:int -> unit

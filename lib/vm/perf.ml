@@ -81,8 +81,48 @@ let diff a b =
     s_icache_flushes = b.s_icache_flushes - a.s_icache_flushes;
   }
 
+(* Derived metrics, the ratios the paper's evaluation actually argues
+   with: raw counter values depend on run length, these do not. *)
+
+let ratio num den = if den = 0.0 then 0.0 else num /. den
+
+(** Instructions per cycle. *)
+let ipc s = ratio (float_of_int s.s_instructions) s.s_cycles
+
+(** Mispredicted fraction of executed conditional branches, in [0, 1]. *)
+let mispredict_rate s = ratio (float_of_int s.s_branch_mispredicts) (float_of_int s.s_branches)
+
+(** Mean cycles per executed call instruction. *)
+let cycles_per_call s = ratio s.s_cycles (float_of_int s.s_calls)
+
 let pp fmt s =
   Format.fprintf fmt
-    "@[<v>cycles            %12.1f@,instructions      %12d@,branches          %12d@,mispredicts       %12d@,calls             %12d@,indirect calls    %12d@,btb misses        %12d@,loads             %12d@,stores            %12d@,atomics           %12d@,hypercalls        %12d@]"
+    "@[<v>cycles            %12.1f@,instructions      %12d@,branches          %12d@,mispredicts       %12d@,calls             %12d@,indirect calls    %12d@,btb misses        %12d@,loads             %12d@,stores            %12d@,atomics           %12d@,hypercalls        %12d@,ipc               %12.3f@,mispredict rate   %11.2f%%@,cycles/call       %12.2f@]"
     s.s_cycles s.s_instructions s.s_branches s.s_branch_mispredicts s.s_calls
     s.s_indirect_calls s.s_btb_misses s.s_loads s.s_stores s.s_atomics s.s_hypercalls
+    (ipc s)
+    (100.0 *. mispredict_rate s)
+    (cycles_per_call s)
+
+(** Snapshot as a JSON object: every raw counter plus the derived
+    [ipc]/[mispredict_rate]/[cycles_per_call] block — the machine's third
+    of the unified metrics export. *)
+let snapshot_json s : Mv_obs.Json.t =
+  Mv_obs.Json.Obj
+    [
+      ("cycles", Mv_obs.Json.Float s.s_cycles);
+      ("instructions", Mv_obs.Json.Int s.s_instructions);
+      ("branches", Mv_obs.Json.Int s.s_branches);
+      ("branch_mispredicts", Mv_obs.Json.Int s.s_branch_mispredicts);
+      ("calls", Mv_obs.Json.Int s.s_calls);
+      ("indirect_calls", Mv_obs.Json.Int s.s_indirect_calls);
+      ("btb_misses", Mv_obs.Json.Int s.s_btb_misses);
+      ("loads", Mv_obs.Json.Int s.s_loads);
+      ("stores", Mv_obs.Json.Int s.s_stores);
+      ("atomics", Mv_obs.Json.Int s.s_atomics);
+      ("hypercalls", Mv_obs.Json.Int s.s_hypercalls);
+      ("icache_flushes", Mv_obs.Json.Int s.s_icache_flushes);
+      ("ipc", Mv_obs.Json.Float (ipc s));
+      ("mispredict_rate", Mv_obs.Json.Float (mispredict_rate s));
+      ("cycles_per_call", Mv_obs.Json.Float (cycles_per_call s));
+    ]

@@ -42,5 +42,25 @@ val snapshot : t -> snapshot
 (** [diff a b] is the counter delta from [a] to [b]. *)
 val diff : snapshot -> snapshot -> snapshot
 
-(** One-counter-per-line rendering of a snapshot. *)
+(** {1 Derived metrics}
+
+    The ratios the paper's evaluation argues with; all return [0.0] when
+    the denominator is zero (an empty delta). *)
+
+(** Instructions per cycle. *)
+val ipc : snapshot -> float
+
+(** Mispredicted fraction of executed conditional branches, in [0, 1]. *)
+val mispredict_rate : snapshot -> float
+
+(** Mean cycles per executed call instruction. *)
+val cycles_per_call : snapshot -> float
+
+(** One-counter-per-line rendering of a snapshot, raw counters followed
+    by the derived {!ipc}/{!mispredict_rate}/{!cycles_per_call} block. *)
 val pp : Format.formatter -> snapshot -> unit
+
+(** Snapshot as a JSON object (raw counters plus derived metrics) — the
+    machine's third of the unified metrics export
+    ([Mv_obs.Export.metrics]). *)
+val snapshot_json : snapshot -> Mv_obs.Json.t

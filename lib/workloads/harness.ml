@@ -13,20 +13,35 @@
 module Machine = Mv_vm.Machine
 module Perf = Mv_vm.Perf
 module Image = Mv_link.Image
+module Trace = Mv_obs.Trace
+module Profile = Mv_obs.Profile
+module Json = Mv_obs.Json
 
 type measurement = {
   m_mean : float;  (** mean cycles per call, outliers excluded *)
   m_stddev : float;
+  m_min : float;
+  m_max : float;
+  m_p50 : float;
+  m_p95 : float;
   m_samples : int;
   m_excluded : int;
 }
 
-(** A built program with an attached machine and multiverse runtime. *)
+(** A built program with an attached machine and multiverse runtime, plus
+    the (lazily enabled) observability state. *)
 type session = {
   program : Core.Compiler.program;
   machine : Machine.t;
   runtime : Core.Runtime.t;
+  mutable trace : Trace.ring option;  (** set by {!enable_tracing} *)
+  mutable profile : Profile.t option;  (** set by {!enable_profiling} *)
 }
+
+(** Assemble a session from pre-built parts (for callers that need custom
+    build options, e.g. call-site padding). *)
+let of_parts program machine runtime : session =
+  { program; machine; runtime; trace = None; profile = None }
 
 let session ?platform ?cost (sources : (string * string) list) : session =
   let program = Core.Compiler.build sources in
@@ -35,7 +50,7 @@ let session ?platform ?cost (sources : (string * string) list) : session =
     Core.Runtime.create program.Core.Compiler.p_image ~flush:(fun ~addr ~len ->
         Machine.flush_icache machine ~addr ~len)
   in
-  { program; machine; runtime }
+  of_parts program machine runtime
 
 let session1 ?platform ?cost source = session ?platform ?cost [ ("main", source) ]
 
@@ -67,6 +82,89 @@ let enable_safe_commit s =
 let commit_safe ?policy s = Core.Runtime.commit_safe ?policy s.runtime
 let revert_safe ?policy s = Core.Runtime.revert_safe ?policy s.runtime
 
+(* ------------------------------------------------------------------ *)
+(* Observability: tracing, profiling, metrics                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Wire the structured-event recorder: one ring, clocked by the machine's
+   cycle counter, receiving both the runtime's patching events and the
+   machine's icache flushes.  Idempotent; the second call replaces the
+   ring (useful to re-arm with a different capacity). *)
+let enable_tracing ?capacity s =
+  let ring =
+    Trace.ring ?capacity ~clock:(fun () -> s.machine.Machine.perf.Perf.cycles) ()
+  in
+  let sink = Some (Trace.sink ring) in
+  Core.Runtime.set_tracer s.runtime sink;
+  Machine.set_tracer s.machine sink;
+  s.trace <- Some ring
+
+(* Symbol names of all generated variants, for profiler classification. *)
+let variant_names s =
+  let img = s.program.Core.Compiler.p_image in
+  let tbl = Hashtbl.create 32 in
+  List.iter
+    (fun (f : Core.Descriptor.function_record) ->
+      List.iter
+        (fun (v : Core.Descriptor.variant_record) ->
+          match Image.symbol_at img v.Core.Descriptor.va_addr with
+          | Some name -> Hashtbl.replace tbl name ()
+          | None -> ())
+        f.Core.Descriptor.fd_variants)
+    (Core.Descriptor.parse_functions img);
+  tbl
+
+(* Attach the sampling profiler to the machine's step loop.  Resolution
+   goes through the image symbol map, so generic bodies and installed
+   variants (whose symbols carry the assignment suffix) are attributed
+   separately. *)
+let enable_profiling ?interval s =
+  let img = s.program.Core.Compiler.p_image in
+  let variants = variant_names s in
+  let prof =
+    Profile.create ?interval
+      ~is_variant:(fun name -> Hashtbl.mem variants name)
+      ~resolve:(fun pc -> Image.symbol_at img pc)
+      ~now:(fun () -> s.machine.Machine.perf.Perf.cycles)
+      ()
+  in
+  Machine.set_sampler s.machine (Some (Profile.sample prof));
+  s.profile <- Some prof
+
+let trace_events s = match s.trace with None -> [] | Some ring -> Trace.events ring
+
+let trace_dump s = Mv_obs.Export.chrome_trace_string (trace_events s)
+
+let profile_report s = match s.profile with None -> [] | Some p -> Profile.report p
+
+(* The unified metrics snapshot: runtime patching counters, machine perf
+   counters (with derived metrics), static program statistics, and — when
+   enabled — the profiler's hot-function table and the trace recorder's
+   accounting. *)
+let metrics_json s : Json.t =
+  let extra =
+    (match s.profile with
+    | Some p -> [ ("profile", Mv_obs.Export.profile_json (Profile.report p)) ]
+    | None -> [])
+    @
+    match s.trace with
+    | Some ring ->
+        [
+          ( "trace",
+            Json.Obj
+              [
+                ("recorded", Json.Int (Trace.recorded ring));
+                ("dropped", Json.Int (Trace.dropped ring));
+              ] );
+        ]
+    | None -> []
+  in
+  Mv_obs.Export.metrics ~extra
+    ~runtime:(Core.Runtime.stats_json (Core.Runtime.stats s.runtime))
+    ~perf:(Perf.snapshot_json (Perf.snapshot s.machine.Machine.perf))
+    ~program:(Core.Stats.program_stats_json (Core.Stats.of_program s.program))
+    ()
+
 let call s fn args = Machine.call s.machine fn args
 
 (** Cycles consumed by one invocation [fn args]. *)
@@ -89,6 +187,17 @@ let stddev values =
         /. float_of_int (List.length values - 1)
       in
       sqrt var
+
+(** Nearest-rank percentile of a sample list, [p] in [0, 1]; 0.0 for the
+    empty list.  [percentile 0.5] is the median, [percentile 0.95] the
+    tail-latency figure the bench tables report. *)
+let percentile values p =
+  match List.sort compare values with
+  | [] -> 0.0
+  | sorted ->
+      let n = List.length sorted in
+      let rank = int_of_float (ceil (p *. float_of_int n)) in
+      List.nth sorted (max 0 (min (n - 1) (rank - 1)))
 
 (** Exclude "clearly distinguishable" outliers: anything beyond 3x the
     median (interrupt-scale disturbances, not ordinary noise). *)
@@ -126,6 +235,10 @@ let measure ?(samples = 200) ?(calls = 100) ?(warmup = 3) ?jitter (s : session)
   {
     m_mean = mean kept;
     m_stddev = stddev kept;
+    m_min = (match List.sort compare kept with [] -> 0.0 | v :: _ -> v);
+    m_max = List.fold_left max 0.0 kept;
+    m_p50 = percentile kept 0.5;
+    m_p95 = percentile kept 0.95;
     m_samples = List.length kept;
     m_excluded = List.length excluded;
   }
@@ -138,5 +251,20 @@ let counters (s : session) ~loop_fn ~calls : Perf.snapshot =
   Perf.diff before after
 
 let pp_measurement fmt m =
-  Format.fprintf fmt "%.2f ± %.2f cycles (n=%d, excluded=%d)" m.m_mean m.m_stddev
-    m.m_samples m.m_excluded
+  Format.fprintf fmt
+    "%.2f ± %.2f cycles (min=%.2f p50=%.2f p95=%.2f max=%.2f, n=%d, excluded=%d)"
+    m.m_mean m.m_stddev m.m_min m.m_p50 m.m_p95 m.m_max m.m_samples m.m_excluded
+
+(** A measurement as a JSON object — the bench exporter's row payload. *)
+let measurement_json m : Json.t =
+  Json.Obj
+    [
+      ("mean", Json.Float m.m_mean);
+      ("stddev", Json.Float m.m_stddev);
+      ("min", Json.Float m.m_min);
+      ("max", Json.Float m.m_max);
+      ("p50", Json.Float m.m_p50);
+      ("p95", Json.Float m.m_p95);
+      ("samples", Json.Int m.m_samples);
+      ("excluded", Json.Int m.m_excluded);
+    ]

@@ -5,16 +5,30 @@
 type measurement = {
   m_mean : float;  (** mean cycles per call, outliers excluded *)
   m_stddev : float;
+  m_min : float;  (** fastest kept sample *)
+  m_max : float;  (** slowest kept sample *)
+  m_p50 : float;  (** median (nearest-rank) *)
+  m_p95 : float;  (** 95th percentile — the tail-latency figure *)
   m_samples : int;  (** samples kept *)
   m_excluded : int;  (** outliers dropped *)
 }
 
-(** A built program with an attached machine and multiverse runtime. *)
+(** A built program with an attached machine and multiverse runtime, plus
+    the observability state ({!enable_tracing}/{!enable_profiling} fill
+    the two optional fields). *)
 type session = {
   program : Core.Compiler.program;
   machine : Mv_vm.Machine.t;
   runtime : Core.Runtime.t;
+  mutable trace : Mv_obs.Trace.ring option;
+  mutable profile : Mv_obs.Profile.t option;
 }
+
+(** Assemble a session from pre-built parts (for callers that need custom
+    build options, e.g. call-site padding); observability starts
+    disabled. *)
+val of_parts :
+  Core.Compiler.program -> Mv_vm.Machine.t -> Core.Runtime.t -> session
 
 val session :
   ?platform:Mv_vm.Machine.platform ->
@@ -50,6 +64,41 @@ val commit_safe : ?policy:Core.Runtime.safe_policy -> session -> int
 
 val revert_safe : ?policy:Core.Runtime.safe_policy -> session -> int
 
+(** {1 Observability}
+
+    Structured tracing, sampling profiling, and the unified metrics
+    snapshot.  All of it is pay-for-use: a session that never calls
+    {!enable_tracing}/{!enable_profiling} executes with bit-identical
+    simulated cycle counts. *)
+
+(** Arm the structured-event recorder: one ring of [capacity] events
+    (default 4096), clocked by the machine's cycle counter, receiving
+    both the runtime's patching events and the machine's icache flushes.
+    Calling again replaces the ring. *)
+val enable_tracing : ?capacity:int -> session -> unit
+
+(** Attach the sampling profiler to the machine's step loop ([interval]
+    is the sampling period in instructions, default 97).  Attribution
+    resolves pcs through the image symbol map, so generic bodies and
+    installed variants are reported separately. *)
+val enable_profiling : ?interval:int -> session -> unit
+
+(** Recorded events, oldest first ([[]] until {!enable_tracing}). *)
+val trace_events : session -> Mv_obs.Trace.stamped list
+
+(** The recorded events as a Chrome [trace_event] JSON document —
+    loadable in [about:tracing] / Perfetto. *)
+val trace_dump : session -> string
+
+(** The profiler's hot-function table, hottest first ([[]] until
+    {!enable_profiling}). *)
+val profile_report : session -> Mv_obs.Profile.row list
+
+(** The unified metrics snapshot ([mv-metrics/1]): runtime patching
+    counters, machine perf counters with derived metrics, static program
+    statistics, plus profiler/trace sections when enabled. *)
+val metrics_json : session -> Mv_obs.Json.t
+
 (** Run a guest function by symbol name to completion; returns r0. *)
 val call : session -> string -> int list -> int
 
@@ -58,6 +107,10 @@ val cycles_of_call : session -> string -> int list -> float
 
 val mean : float list -> float
 val stddev : float list -> float
+
+(** Nearest-rank percentile of a sample list, [p] in [0, 1]; [0.0] for
+    the empty list. *)
+val percentile : float list -> float -> float
 
 (** Drop samples beyond 3x the median (interrupt-scale disturbances);
     returns (kept, excluded). *)
@@ -80,3 +133,8 @@ val measure :
 val counters : session -> loop_fn:string -> calls:int -> Mv_vm.Perf.snapshot
 
 val pp_measurement : Format.formatter -> measurement -> unit
+
+(** A measurement as a JSON object
+    ([mean]/[stddev]/[min]/[max]/[p50]/[p95]/[samples]/[excluded]) — the
+    bench exporter's row payload. *)
+val measurement_json : measurement -> Mv_obs.Json.t

@@ -1,9 +1,26 @@
 #!/bin/sh
-# The full local gate: docs build warning-free, everything compiles, and
-# the whole test suite passes.  Run from anywhere inside the repository.
+# The full local gate: docs build warning-free, everything compiles, the
+# whole test suite passes, and the bench harness emits a valid results
+# document.  Run from anywhere inside the repository.
 set -eu
 cd "$(dirname "$0")/.."
 
 dune build @doc
 dune build
 dune runtest
+
+# Smoke the machine-readable bench export: one fast experiment, then
+# check the document parses and carries the expected schema/rows.
+bench_json=$(mktemp /tmp/mv-bench-XXXXXX.json)
+trap 'rm -f "$bench_json"' EXIT
+dune exec bench/main.exe -- --fast --only fig1 --no-bechamel --json "$bench_json" > /dev/null
+if command -v jq > /dev/null 2>&1; then
+  jq -e '.schema == "mv-bench-rows/1" and (.experiments.fig1 | length > 0)' \
+    "$bench_json" > /dev/null || { echo "bench JSON invalid: $bench_json"; exit 1; }
+elif command -v python3 > /dev/null 2>&1; then
+  python3 -c 'import json,sys; d=json.load(open(sys.argv[1])); assert d["schema"]=="mv-bench-rows/1" and d["experiments"]["fig1"], "bench JSON invalid"' \
+    "$bench_json"
+else
+  echo "note: neither jq nor python3 found; skipping bench JSON validation"
+fi
+echo "check.sh: all gates passed"

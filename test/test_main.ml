@@ -22,6 +22,7 @@ let () =
       ("safe-commit", Test_safe_commit.suite);
       ("workloads", Test_workloads.suite);
       ("harness", Test_harness.suite);
+      ("obs", Test_obs.suite);
       ("compiler", Test_compiler.suite);
       ("extensions", Test_extensions.suite);
       ("properties", Test_props.suite);

@@ -1,0 +1,430 @@
+(* Observability tests: the trace ring (ordering, overflow, sequence
+   numbers), the hook wiring end to end (commit spans, site events,
+   exactly-once drain reporting under safe commit), the JSON exporters
+   (parse-back of the Chrome trace and the metrics snapshot), the
+   sampling profiler, the derived perf metrics, and the pay-for-use
+   invariant: with no sink installed the simulated cycle counts are
+   bit-for-bit identical. *)
+
+open Util
+module H = Mv_workloads.Harness
+module Trace = Mv_obs.Trace
+module Profile = Mv_obs.Profile
+module Json = Mv_obs.Json
+module Export = Mv_obs.Export
+module Runtime = Core.Runtime
+module Machine = Mv_vm.Machine
+module Perf = Mv_vm.Perf
+
+let check_float = Alcotest.(check (float 1e-9))
+
+let spin_src =
+  {|
+  multiverse int config_smp;
+  int word;
+  multiverse void spin_lock() {
+    if (config_smp) { word = word + 1; }
+  }
+  void bench_loop(int n) {
+    for (int i = 0; i < n; i = i + 1) { spin_lock(); }
+  }
+|}
+
+(* ------------------------------------------------------------------ *)
+(* Ring semantics                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_ring_order_and_seq () =
+  let clock = ref 0.0 in
+  let ring = Trace.ring ~capacity:16 ~clock:(fun () -> !clock) () in
+  for i = 1 to 5 do
+    clock := float_of_int i;
+    Trace.record ring (Trace.Fallback { fn = Printf.sprintf "f%d" i })
+  done;
+  let evs = Trace.events ring in
+  check_int "all recorded" 5 (List.length evs);
+  check_int "recorded counter" 5 (Trace.recorded ring);
+  check_int "none dropped" 0 (Trace.dropped ring);
+  List.iteri
+    (fun i (st : Trace.stamped) ->
+      check_int "seq is dense from 0" i st.Trace.seq;
+      check_float "ts preserved" (float_of_int (i + 1)) st.Trace.ts;
+      match st.Trace.ev with
+      | Trace.Fallback { fn } -> check_string "oldest first" (Printf.sprintf "f%d" (i + 1)) fn
+      | _ -> Alcotest.fail "unexpected event")
+    evs
+
+let test_ring_overflow_keeps_newest () =
+  let ring = Trace.ring ~capacity:4 ~clock:(fun () -> 0.0) () in
+  for i = 1 to 10 do
+    Trace.record ring (Trace.Fallback { fn = string_of_int i })
+  done;
+  check_int "capacity bounds the window" 4 (List.length (Trace.events ring));
+  check_int "recorded counts everything" 10 (Trace.recorded ring);
+  check_int "overflow counted" 6 (Trace.dropped ring);
+  let names =
+    List.map
+      (fun (st : Trace.stamped) ->
+        match st.Trace.ev with Trace.Fallback { fn } -> fn | _ -> "?")
+      (Trace.events ring)
+  in
+  Alcotest.(check (list string)) "newest window survives" [ "7"; "8"; "9"; "10" ] names;
+  (* seq numbers reveal the gap *)
+  let first = List.hd (Trace.events ring) in
+  check_int "first surviving seq" 6 first.Trace.seq
+
+let test_ring_clear_keeps_seq_monotonic () =
+  let ring = Trace.ring ~capacity:8 ~clock:(fun () -> 0.0) () in
+  Trace.record ring (Trace.Fallback { fn = "a" });
+  Trace.record ring (Trace.Fallback { fn = "b" });
+  Trace.clear ring;
+  check_int "cleared" 0 (List.length (Trace.events ring));
+  check_int "recorded resets" 0 (Trace.recorded ring);
+  Trace.record ring (Trace.Fallback { fn = "c" });
+  let st = List.hd (Trace.events ring) in
+  check_int "seq continues past the clear" 2 st.Trace.seq
+
+(* ------------------------------------------------------------------ *)
+(* Hook wiring: commit spans and site events                           *)
+(* ------------------------------------------------------------------ *)
+
+let names_of s = List.map (fun (st : Trace.stamped) -> Trace.event_name st.Trace.ev) s
+
+let test_commit_span_and_site_events () =
+  let s = H.session1 spin_src in
+  H.enable_tracing s;
+  H.set s "config_smp" 1;
+  check_int "one function bound" 1 (H.commit s);
+  let evs = H.trace_events s in
+  let names = names_of evs in
+  check_bool "has commit_begin" true (List.mem "commit_begin" names);
+  check_bool "has commit_end" true (List.mem "commit_end" names);
+  check_bool "has variant_selected" true (List.mem "variant_selected" names);
+  check_bool "has site_retargeted or site_inlined" true
+    (List.mem "site_retargeted" names || List.mem "site_inlined" names);
+  check_bool "has prologue_patched" true (List.mem "prologue_patched" names);
+  check_bool "has icache_flush" true (List.mem "icache_flush" names);
+  (* the span brackets everything: begin is first, end is last *)
+  check_string "span opens the log" "commit_begin" (List.hd names);
+  check_string "span closes the log" "commit_end" (List.nth names (List.length names - 1));
+  (* begin carries the switch values at decision time *)
+  (match (List.hd evs).Trace.ev with
+  | Trace.Commit_begin { op; switches } ->
+      check_string "op tag" "commit" op;
+      check_int "switch value recorded" 1 (List.assoc "config_smp" switches)
+  | _ -> Alcotest.fail "expected Commit_begin first");
+  (* end carries the return value *)
+  match (List.nth evs (List.length evs - 1)).Trace.ev with
+  | Trace.Commit_end { op; bound } ->
+      check_string "matching op tag" "commit" op;
+      check_int "bound count" 1 bound
+  | _ -> Alcotest.fail "expected Commit_end last"
+
+let test_fallback_event () =
+  (* values(0,1) with the switch out of range: no variant matches *)
+  let s =
+    H.session1
+      {|
+      multiverse values(0,1) int m;
+      int w;
+      multiverse void f() { if (m) { w = 1; } }
+      void d() { f(); }
+    |}
+  in
+  H.enable_tracing s;
+  H.set s "m" 7;
+  ignore (H.commit s);
+  check_bool "fallback reported" true (List.mem "fallback" (names_of (H.trace_events s)))
+
+let test_revert_span () =
+  let s = H.session1 spin_src in
+  H.set s "config_smp" 0;
+  ignore (H.commit s);
+  H.enable_tracing s;
+  ignore (H.revert s);
+  let names = names_of (H.trace_events s) in
+  check_string "revert span opens" "commit_begin" (List.hd names);
+  match (List.hd (H.trace_events s)).Trace.ev with
+  | Trace.Commit_begin { op; _ } -> check_string "op is revert" "revert" op
+  | _ -> Alcotest.fail "expected Commit_begin"
+
+(* ------------------------------------------------------------------ *)
+(* Safe commit: defer + exactly-once drain reporting                   *)
+(* ------------------------------------------------------------------ *)
+
+let defer_src =
+  {|
+  multiverse bool m;
+  int w;
+  multiverse void f() { if (m) { w = w + 100; } }
+  void spacer() { w = w + 1; }
+  int driver() { w = 0; f(); spacer(); spacer(); f(); return w; }
+|}
+
+let park s fn =
+  let img = s.H.program.Core.Compiler.p_image in
+  let addr = Mv_link.Image.symbol img fn in
+  let guard = ref 1_000_000 in
+  while s.H.machine.Machine.pc <> addr && !guard > 0 do
+    decr guard;
+    ignore (Machine.step s.H.machine)
+  done;
+  check_bool ("parked at " ^ fn) true (s.H.machine.Machine.pc = addr)
+
+let test_safe_commit_defer_drain_exactly_once () =
+  let s = H.session1 defer_src in
+  H.enable_safe_commit s;
+  H.enable_tracing s;
+  H.set s "m" 1;
+  Machine.start_call s.H.machine "driver" [];
+  park s "f";
+  check_int "live function deferred" 0 (H.commit_safe s);
+  let names = names_of (H.trace_events s) in
+  check_bool "safe_defer reported" true (List.mem "safe_defer" names);
+  check_bool "not yet drained" false (List.mem "pending_drained" names);
+  (* first f(): still generic, reads m=1, adds 100; the set drains at a
+     quiescent safepoint after f returns; second f(): the m=1 variant *)
+  check_int "driver result" 202 (Machine.finish s.H.machine);
+  let names = names_of (H.trace_events s) in
+  let count tag = List.length (List.filter (( = ) tag) names) in
+  check_int "drained exactly once" 1 (count "pending_drained");
+  check_bool "polls with a non-empty journal reported" true (count "safepoint_poll" >= 1);
+  (match
+     List.find_map
+       (fun (st : Trace.stamped) ->
+         match st.Trace.ev with
+         | Trace.Pending_drained { actions; _ } -> Some actions
+         | _ -> None)
+       (H.trace_events s)
+   with
+  | Some actions -> check_int "one action in the set" 1 actions
+  | None -> Alcotest.fail "no Pending_drained event");
+  (* a second full run drains nothing further *)
+  ignore (H.call s "driver" []);
+  check_int "still exactly once" 1
+    (List.length
+       (List.filter (( = ) "pending_drained") (names_of (H.trace_events s))))
+
+let test_safe_deny_event () =
+  let s = H.session1 defer_src in
+  H.enable_safe_commit s;
+  H.enable_tracing s;
+  H.set s "m" 1;
+  Machine.start_call s.H.machine "driver" [];
+  park s "f";
+  check_int "denied" 0 (H.commit_safe ~policy:Runtime.Deny s);
+  check_bool "safe_deny reported" true
+    (List.mem "safe_deny" (names_of (H.trace_events s)));
+  ignore (Machine.finish s.H.machine)
+
+(* ------------------------------------------------------------------ *)
+(* Exporters: parse-back                                               *)
+(* ------------------------------------------------------------------ *)
+
+let parse_ok what str =
+  match Json.parse str with
+  | Ok j -> j
+  | Error msg -> Alcotest.failf "%s does not parse: %s" what msg
+
+let test_chrome_trace_parses_back () =
+  let s = H.session1 spin_src in
+  H.enable_tracing s;
+  H.set s "config_smp" 1;
+  ignore (H.commit s);
+  ignore (H.call s "bench_loop" [ 5 ]);
+  let doc = parse_ok "chrome trace" (H.trace_dump s) in
+  match doc with
+  | Json.List entries ->
+      check_int "one entry per event" (List.length (H.trace_events s))
+        (List.length entries);
+      let phases =
+        List.filter_map
+          (fun e -> match Json.member "ph" e with Some (Json.String p) -> Some p | _ -> None)
+          entries
+      in
+      check_int "every entry has a phase" (List.length entries) (List.length phases);
+      let count p = List.length (List.filter (( = ) p) phases) in
+      check_int "balanced B/E spans" (count "B") (count "E");
+      check_bool "at least one span" true (count "B" >= 1);
+      List.iter
+        (fun e ->
+          match (Json.member "name" e, Json.member "ts" e) with
+          | Some (Json.String _), Some (Json.Int _ | Json.Float _) -> ()
+          | _ -> Alcotest.fail "entry lacks name/ts")
+        entries
+  | _ -> Alcotest.fail "chrome trace must be a JSON array"
+
+let test_metrics_json_parses_back () =
+  let s = H.session1 spin_src in
+  H.enable_tracing s;
+  H.enable_profiling s;
+  H.set s "config_smp" 1;
+  ignore (H.commit s);
+  ignore (H.call s "bench_loop" [ 50 ]);
+  let doc = parse_ok "metrics" (Json.to_string_pretty (H.metrics_json s)) in
+  (match Json.member "schema" doc with
+  | Some (Json.String v) -> check_string "schema tag" "mv-metrics/1" v
+  | _ -> Alcotest.fail "missing schema");
+  List.iter
+    (fun key ->
+      match Json.member key doc with
+      | Some (Json.Obj _) -> ()
+      | _ -> Alcotest.failf "missing %s section" key)
+    [ "runtime"; "perf"; "program"; "trace" ];
+  (match Json.member "profile" doc with
+  | Some (Json.List _) -> ()
+  | _ -> Alcotest.fail "missing profile section");
+  (* a couple of load-bearing leaves *)
+  (match Option.bind (Json.member "perf" doc) (Json.member "instructions") with
+  | Some (Json.Int n) -> check_bool "instructions counted" true (n > 0)
+  | _ -> Alcotest.fail "perf.instructions missing");
+  match Option.bind (Json.member "runtime" doc) (Json.member "patches") with
+  | Some (Json.Int n) -> check_bool "patches counted" true (n > 0)
+  | _ -> Alcotest.fail "runtime.patches missing"
+
+let test_json_roundtrip_and_escapes () =
+  let doc =
+    Json.Obj
+      [
+        ("s", Json.String "a\"b\\c\nd\te\x01f");
+        ("l", Json.List [ Json.Int (-3); Json.Float 1.5; Json.Bool false; Json.Null ]);
+        ("nested", Json.Obj [ ("empty_l", Json.List []); ("empty_o", Json.Obj []) ]);
+      ]
+  in
+  check_bool "compact roundtrip" true (Json.parse (Json.to_string doc) = Ok doc);
+  check_bool "pretty roundtrip" true (Json.parse (Json.to_string_pretty doc) = Ok doc);
+  check_bool "non-finite floats become null" true
+    (Json.to_string (Json.Float nan) = "null" && Json.to_string (Json.Float infinity) = "null")
+
+(* ------------------------------------------------------------------ *)
+(* Pay-for-use: identical cycles with and without sinks                *)
+(* ------------------------------------------------------------------ *)
+
+let test_zero_overhead_without_and_with_sinks () =
+  let run ~instrument =
+    let s = H.session1 spin_src in
+    H.set s "config_smp" 1;
+    ignore (H.commit s);
+    if instrument then begin
+      H.enable_tracing s;
+      H.enable_profiling s
+    end;
+    ignore (H.call s "bench_loop" [ 200 ]);
+    s.H.machine.Machine.perf.Perf.cycles
+  in
+  (* the tracer and sampler are host-side observers: the simulated clock
+     must not move by even one cycle when they are armed *)
+  check_float "bit-identical cycle counts" (run ~instrument:false) (run ~instrument:true)
+
+(* ------------------------------------------------------------------ *)
+(* Profiler                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_profiler_attributes_variants () =
+  let s = H.session1 spin_src in
+  H.set s "config_smp" 1;
+  ignore (H.commit s);
+  H.enable_profiling ~interval:1 s;
+  ignore (H.call s "bench_loop" [ 100 ]);
+  let rows = H.profile_report s in
+  check_bool "rows reported" true (rows <> []);
+  let shares = List.fold_left (fun acc r -> acc +. r.Profile.r_share) 0.0 rows in
+  check_bool "shares sum to 1" true (abs_float (shares -. 1.0) < 1e-6);
+  check_bool "hottest first" true
+    (rows = List.sort (fun a b -> compare b.Profile.r_cycles a.Profile.r_cycles) rows);
+  (* config_smp=1 keeps the generic body (the variant is the atomic path
+     installed over the call sites or behind the prologue): either way the
+     loop body shows up, and some row must be variant-classified code when
+     the prologue jump routes through a variant symbol *)
+  check_bool "bench loop attributed" true
+    (List.exists (fun r -> r.Profile.r_name = "bench_loop") rows)
+
+let test_profiler_interval_thins_samples () =
+  let samples_at interval =
+    let s = H.session1 spin_src in
+    H.enable_profiling ~interval s;
+    ignore (H.call s "bench_loop" [ 100 ]);
+    match s.H.profile with Some p -> Profile.samples p | None -> 0
+  in
+  let dense = samples_at 1 in
+  let sparse = samples_at 50 in
+  check_bool "denser interval, more samples" true (dense > sparse);
+  check_bool "sparse still samples" true (sparse > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Derived perf metrics and measurement percentiles                    *)
+(* ------------------------------------------------------------------ *)
+
+let zero_snapshot =
+  {
+    Perf.s_cycles = 0.0;
+    s_instructions = 0;
+    s_branches = 0;
+    s_branch_mispredicts = 0;
+    s_calls = 0;
+    s_indirect_calls = 0;
+    s_btb_misses = 0;
+    s_loads = 0;
+    s_stores = 0;
+    s_atomics = 0;
+    s_hypercalls = 0;
+    s_icache_flushes = 0;
+  }
+
+let test_perf_derived_metrics () =
+  let s =
+    { zero_snapshot with Perf.s_cycles = 100.0; s_instructions = 250; s_branches = 40;
+      s_branch_mispredicts = 10; s_calls = 4 }
+  in
+  check_float "ipc" 2.5 (Perf.ipc s);
+  check_float "mispredict rate" 0.25 (Perf.mispredict_rate s);
+  check_float "cycles per call" 25.0 (Perf.cycles_per_call s);
+  (* zero denominators stay finite *)
+  check_float "ipc of empty delta" 0.0 (Perf.ipc zero_snapshot);
+  check_float "rate of empty delta" 0.0 (Perf.mispredict_rate zero_snapshot);
+  check_float "cpc of empty delta" 0.0 (Perf.cycles_per_call zero_snapshot)
+
+let test_percentiles_and_measurement_fields () =
+  let values = List.init 100 (fun i -> float_of_int (i + 1)) in
+  check_float "p0 is the min" 1.0 (H.percentile values 0.0);
+  check_float "p100 is the max" 100.0 (H.percentile values 1.0);
+  check_float "median of 1..100" 50.0 (H.percentile values 0.5);
+  check_float "p95 of 1..100" 95.0 (H.percentile values 0.95);
+  check_float "empty list" 0.0 (H.percentile [] 0.5);
+  let s = H.session1 spin_src in
+  H.set s "config_smp" 0;
+  ignore (H.commit s);
+  let m = H.measure ~samples:50 s ~loop_fn:"bench_loop" in
+  check_bool "min <= p50" true (m.H.m_min <= m.H.m_p50);
+  check_bool "p50 <= p95" true (m.H.m_p50 <= m.H.m_p95);
+  check_bool "p95 <= max" true (m.H.m_p95 <= m.H.m_max);
+  check_bool "mean within range" true (m.H.m_min <= m.H.m_mean && m.H.m_mean <= m.H.m_max);
+  (* the measurement exports every field *)
+  let j = H.measurement_json m in
+  List.iter
+    (fun k ->
+      match Json.member k j with
+      | Some (Json.Float _ | Json.Int _) -> ()
+      | _ -> Alcotest.failf "measurement_json lacks %s" k)
+    [ "mean"; "stddev"; "min"; "max"; "p50"; "p95"; "samples"; "excluded" ]
+
+let suite =
+  [
+    tc "ring preserves order and seq" test_ring_order_and_seq;
+    tc "ring overflow keeps the newest window" test_ring_overflow_keeps_newest;
+    tc "ring clear keeps seq monotonic" test_ring_clear_keeps_seq_monotonic;
+    tc "commit emits a span with site events" test_commit_span_and_site_events;
+    tc "fallback reported" test_fallback_event;
+    tc "revert emits a revert span" test_revert_span;
+    tc "safe commit: defer then drain exactly once"
+      test_safe_commit_defer_drain_exactly_once;
+    tc "safe deny reported" test_safe_deny_event;
+    tc "chrome trace parses back" test_chrome_trace_parses_back;
+    tc "metrics snapshot parses back" test_metrics_json_parses_back;
+    tc "json roundtrip and escapes" test_json_roundtrip_and_escapes;
+    tc "no sink, no cycles: pay-for-use" test_zero_overhead_without_and_with_sinks;
+    tc "profiler attributes symbols" test_profiler_attributes_variants;
+    tc "profiler interval thins samples" test_profiler_interval_thins_samples;
+    tc "derived perf metrics" test_perf_derived_metrics;
+    tc "percentiles and measurement fields" test_percentiles_and_measurement_fields;
+  ]
