@@ -1,0 +1,144 @@
+(* mvfuzz — differential fuzzer for the multiverse pipeline.
+
+   Generates random Mini-C programs covering the whole language surface,
+   runs them through every oracle pairing (reference interpreter vs VM,
+   -O0 vs optimized, generic vs committed, randomized patching schedules
+   with mid-run safe commits), and on divergence shrinks the case to a
+   small reproducer.
+
+     mvfuzz --iters 2000 --seed 1
+     mvfuzz --seed 137 --replay
+     mvfuzz --iters 500 --corpus fuzz-corpus
+     mvfuzz --check-corpus fuzz-corpus
+     mvfuzz --iters 50 --chaos skip-flush --corpus /tmp/chaos   # must diverge
+
+   Exit codes: 0 clean, 1 divergence found, 2 usage/internal error. *)
+
+module Driver = Mv_fuzz.Driver
+module Oracle = Mv_fuzz.Oracle
+
+open Cmdliner
+
+let iters_arg =
+  Arg.(value & opt int 200 & info [ "iters" ] ~docv:"N" ~doc:"Number of cases to fuzz")
+
+let seed_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "seed" ] ~docv:"N"
+        ~doc:"Base seed; case $(i,i) uses seed N+i, so any failure names its seed")
+
+let replay_arg =
+  Arg.(
+    value & flag
+    & info [ "replay" ]
+        ~doc:"Replay a single seed verbosely: print the program, the schedule, and \
+              every oracle verdict")
+
+let corpus_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "corpus" ] ~docv:"DIR" ~doc:"Save shrunk reproducers to $(docv)")
+
+let check_corpus_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "check-corpus" ] ~docv:"DIR"
+        ~doc:"Re-run every stored reproducer in $(docv) instead of fuzzing")
+
+let chaos_arg =
+  let chaos_conv =
+    Arg.enum
+      [
+        ("none", Oracle.No_chaos);
+        ("skip-flush", Oracle.Skip_flush);
+        ("lost-flush", Oracle.Lost_flush);
+      ]
+  in
+  Arg.(
+    value & opt chaos_conv Oracle.No_chaos
+    & info [ "chaos" ] ~docv:"MODE"
+        ~doc:
+          "Inject a fault into the runtime's icache-flush path \
+           (none|skip-flush|lost-flush); used to validate that the oracles \
+           catch real patching bugs")
+
+let oracle_arg =
+  Arg.(
+    value & opt_all string []
+    & info [ "oracle" ] ~docv:"NAME"
+        ~doc:"Restrict to the named oracle(s); repeatable.  Known: interp-vs-vm, \
+              opt-vs-unopt, commit-soundness, commit-idempotent, schedule-equiv")
+
+let small_arg =
+  Arg.(value & flag & info [ "small" ] ~doc:"Generate smaller programs (quick smokes)")
+
+let keep_going_arg =
+  Arg.(
+    value & flag
+    & info [ "keep-going" ] ~doc:"Continue fuzzing after a divergence (collect all)")
+
+let shrink_budget_arg =
+  Arg.(
+    value & opt int 300
+    & info [ "shrink-budget" ] ~docv:"N" ~doc:"Max oracle evaluations while shrinking")
+
+let quiet_arg = Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"No progress output")
+
+let emit_snippet (r : Driver.report) =
+  Format.printf "@.--- shrunk reproducer (%d source lines) ---@."
+    (List.length (String.split_on_char '\n' r.Driver.rp_entry.Mv_fuzz.Corpus.e_src));
+  print_string r.Driver.rp_entry.Mv_fuzz.Corpus.e_src;
+  Format.printf "@.--- ready-to-paste test case ---@.";
+  print_string (Mv_fuzz.Corpus.ocaml_snippet r.Driver.rp_entry)
+
+let main iters seed replay corpus check_corpus chaos only small keep_going
+    shrink_budget quiet =
+  let log = if quiet then ignore else print_endline in
+  let cfg = if small then Mv_fuzz.Gen.small_cfg else Mv_fuzz.Gen.default_cfg in
+  let bad_oracles = List.filter (fun o -> not (List.mem o Oracle.oracle_names)) only in
+  if bad_oracles <> [] then begin
+    Format.eprintf "unknown oracle(s): %s (known: %s)@."
+      (String.concat ", " bad_oracles)
+      (String.concat ", " Oracle.oracle_names);
+    2
+  end
+  else
+    try
+      let summary =
+        match check_corpus with
+        | Some dir -> Driver.check_corpus ~chaos ~log ~dir ()
+        | None ->
+            if replay then Driver.replay ~cfg ~chaos ~only ~log ~seed ()
+            else
+              Driver.run ~cfg ~chaos ~only ?corpus_dir:corpus ~keep_going
+                ~shrink_budget ~log ~seed ~iters ()
+      in
+      match summary.Driver.s_reports with
+      | [] ->
+          if not quiet then
+            Format.printf "mvfuzz: %d case(s), no divergence@." summary.Driver.s_tested;
+          0
+      | reports ->
+          List.iter emit_snippet reports;
+          Format.printf "mvfuzz: %d divergence(s) in %d case(s)@."
+            (List.length reports) summary.Driver.s_tested;
+          1
+    with
+    | Failure m ->
+        Format.eprintf "mvfuzz: %s@." m;
+        2
+    | exn ->
+        Format.eprintf "mvfuzz: uncaught %s@." (Printexc.to_string exn);
+        2
+
+let cmd =
+  let doc = "Differential fuzzer for the multiverse compiler and runtime" in
+  Cmd.v
+    (Cmd.info "mvfuzz" ~doc)
+    Term.(
+      const main $ iters_arg $ seed_arg $ replay_arg $ corpus_arg
+      $ check_corpus_arg $ chaos_arg $ oracle_arg $ small_arg $ keep_going_arg
+      $ shrink_budget_arg $ quiet_arg)
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,38 @@
+(** Reproducer corpus: JSON files ([mv-fuzz-repro/1]) that pin a
+    divergence byte-for-byte — source text, driver arguments, switch
+    assignments, schedule, and the oracle that caught it — so a CI
+    failure replays anywhere with [mvfuzz --check-corpus]. *)
+
+type entry = {
+  e_seed : int;
+  e_oracle : string;
+  e_detail : string;  (** divergence detail at save time (informational) *)
+  e_src : string;
+  e_args : int list;
+  e_assignments : Gen.assignment list;
+  e_schedule : Schedule.t;
+}
+
+val of_shrunk : Shrink.result -> entry
+
+(** Rebuild the runnable case ([Gen.case_of_source]; raises front-end
+    exceptions if the stored source no longer parses). *)
+val to_case : entry -> Gen.case
+
+val to_json : entry -> Mv_obs.Json.t
+val of_json : Mv_obs.Json.t -> (entry, string) result
+
+(** Write the entry to [dir] (created if missing) as
+    [repro-seed<N>-<oracle>.json]; returns the path. *)
+val save : dir:string -> entry -> string
+
+val load_file : string -> (entry, string) result
+
+(** All [*.json] entries of a directory, sorted by filename; parse
+    failures are reported per file. *)
+val load_dir : string -> (string * (entry, string) result) list
+
+(** A ready-to-paste Alcotest test case asserting the oracle passes —
+    the import path into [test_diff_battery.ml] described in
+    EXPERIMENTS.md E15. *)
+val ocaml_snippet : entry -> string

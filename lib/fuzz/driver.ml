@@ -1,0 +1,127 @@
+type report = {
+  rp_seed : int;
+  rp_original : Oracle.divergence;
+  rp_shrunk : Shrink.result;
+  rp_entry : Corpus.entry;
+  rp_path : string option;
+}
+
+type summary = { s_tested : int; s_reports : report list }
+
+let schedule_for case seed = Schedule.gen (Rng.split (Rng.create seed) 3) case
+
+let handle_divergence ?chaos ?corpus_dir ?(shrink_budget = 300) ~log seed case
+    sched (div : Oracle.divergence) : report =
+  log (Format.asprintf "seed %d DIVERGED: %a" seed Oracle.pp_divergence div);
+  let shrunk = Shrink.shrink ~budget:shrink_budget ?chaos ~log case sched div in
+  let lines = List.length (String.split_on_char '\n' shrunk.Shrink.sh_case.Gen.c_src) in
+  log
+    (Printf.sprintf "shrunk to %d source lines in %d evaluations" lines
+       shrunk.Shrink.sh_evals);
+  let entry = Corpus.of_shrunk shrunk in
+  let path =
+    match corpus_dir with
+    | None -> None
+    | Some dir ->
+        let p = Corpus.save ~dir entry in
+        log ("reproducer saved: " ^ p);
+        Some p
+  in
+  { rp_seed = seed; rp_original = div; rp_shrunk = shrunk; rp_entry = entry;
+    rp_path = path }
+
+let run ?cfg ?chaos ?only ?corpus_dir ?(keep_going = false) ?shrink_budget
+    ?(log = ignore) ~seed ~iters () : summary =
+  let reports = ref [] in
+  let tested = ref 0 in
+  (try
+     for i = 0 to iters - 1 do
+       let s = seed + i in
+       let case = Gen.case ?cfg s in
+       let sched = schedule_for case s in
+       incr tested;
+       (match Oracle.run_all ?chaos ?only case sched with
+       | None -> ()
+       | Some div ->
+           let r =
+             handle_divergence ?chaos ?corpus_dir ?shrink_budget ~log s case
+               sched div
+           in
+           reports := r :: !reports;
+           if not keep_going then raise Exit);
+       if (i + 1) mod 100 = 0 then
+         log (Printf.sprintf "%d/%d cases clean" (i + 1) iters)
+     done
+   with Exit -> ());
+  { s_tested = !tested; s_reports = List.rev !reports }
+
+let replay ?cfg ?chaos ?only ?(log = ignore) ~seed () : summary =
+  let case = Gen.case ?cfg seed in
+  let sched = schedule_for case seed in
+  log (Printf.sprintf "seed %d: program (%d bytes):" seed (String.length case.Gen.c_src));
+  log case.Gen.c_src;
+  log
+    (Format.asprintf "switches: %s"
+       (String.concat ", "
+          (List.map
+             (fun sw ->
+               Printf.sprintf "%s:%s" sw.Gen.sw_name
+                 (Format.asprintf "%a" Minic.Ast.pp_ty sw.Gen.sw_ty))
+             case.Gen.c_switches)));
+  log
+    (Format.asprintf "assignments:@.%s"
+       (String.concat "\n"
+          (List.map
+             (fun a -> "  " ^ Format.asprintf "%a" Gen.pp_assignment a)
+             case.Gen.c_assignments)));
+  log (Format.asprintf "schedule:@.%a" Schedule.pp sched);
+  let names = match only with Some o when o <> [] -> o | _ -> Oracle.oracle_names in
+  let reports = ref [] in
+  List.iter
+    (fun name ->
+      match Oracle.run_named ?chaos name case sched with
+      | None -> log (Printf.sprintf "oracle %-18s ok" name)
+      | Some div ->
+          log (Format.asprintf "oracle %-18s %a" name Oracle.pp_divergence div);
+          if !reports = [] then
+            reports := [ handle_divergence ?chaos ~log seed case sched div ])
+    names;
+  { s_tested = 1; s_reports = !reports }
+
+let check_corpus ?chaos ?(log = ignore) ~dir () : summary =
+  let entries = Corpus.load_dir dir in
+  let tested = ref 0 in
+  let reports = ref [] in
+  List.iter
+    (fun (path, loaded) ->
+      match loaded with
+      | Error m -> log (Printf.sprintf "%s: unreadable (%s)" path m)
+      | Ok entry -> (
+          incr tested;
+          match Corpus.to_case entry with
+          | exception exn ->
+              log
+                (Printf.sprintf "%s: stored source no longer builds (%s)" path
+                   (Printexc.to_string exn))
+          | case -> (
+              match Oracle.run_named ?chaos entry.Corpus.e_oracle case entry.Corpus.e_schedule with
+              | None -> log (Printf.sprintf "%s: ok (bug stays fixed)" path)
+              | Some div ->
+                  log (Format.asprintf "%s: STILL DIVERGES: %a" path Oracle.pp_divergence div);
+                  reports :=
+                    {
+                      rp_seed = entry.Corpus.e_seed;
+                      rp_original = div;
+                      rp_shrunk =
+                        {
+                          Shrink.sh_case = case;
+                          sh_sched = entry.Corpus.e_schedule;
+                          sh_divergence = div;
+                          sh_evals = 0;
+                        };
+                      rp_entry = entry;
+                      rp_path = Some path;
+                    }
+                    :: !reports)))
+    entries;
+  { s_tested = !tested; s_reports = List.rev !reports }

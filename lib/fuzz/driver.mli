@@ -1,0 +1,50 @@
+(** The fuzzing loop: generate, run all oracles, shrink and persist on
+    divergence.  Everything is a pure function of [seed] (per-iteration
+    seed is [seed + i]), so any failure replays with
+    [mvfuzz --seed N --replay]. *)
+
+type report = {
+  rp_seed : int;  (** the per-iteration seed that diverged *)
+  rp_original : Oracle.divergence;
+  rp_shrunk : Shrink.result;
+  rp_entry : Corpus.entry;
+  rp_path : string option;  (** corpus file, when a directory was given *)
+}
+
+type summary = {
+  s_tested : int;
+  s_reports : report list;  (** empty = clean run *)
+}
+
+val schedule_for : Gen.case -> int -> Schedule.t
+(** The schedule the fuzzing loop pairs with [Gen.case seed] — exposed so
+    tests replaying a seed reconstruct the exact same run. *)
+
+val run :
+  ?cfg:Gen.cfg ->
+  ?chaos:Oracle.chaos ->
+  ?only:string list ->
+  ?corpus_dir:string ->
+  ?keep_going:bool ->
+  ?shrink_budget:int ->
+  ?log:(string -> unit) ->
+  seed:int ->
+  iters:int ->
+  unit ->
+  summary
+
+(** Re-run a single seed verbosely: prints the generated program, the
+    schedule, and each oracle verdict through [log]. *)
+val replay :
+  ?cfg:Gen.cfg ->
+  ?chaos:Oracle.chaos ->
+  ?only:string list ->
+  ?log:(string -> unit) ->
+  seed:int ->
+  unit ->
+  summary
+
+(** Re-check every stored reproducer in [dir]; a reproducer passes when
+    its oracle reports no divergence (i.e. the bug stays fixed). *)
+val check_corpus :
+  ?chaos:Oracle.chaos -> ?log:(string -> unit) -> dir:string -> unit -> summary

@@ -1,0 +1,925 @@
+(* Typed random Mini-C program generator.
+
+   The generator builds an [Ast.tunit] directly (no string templates),
+   pretty-prints it, and re-checks the text through the real front end, so
+   the canonical artifact of a case is its source.  See gen.mli for the
+   three invariants (well-typed, trap-free/terminating, observably
+   deterministic) and how they are maintained. *)
+
+module Ast = Minic.Ast
+
+type switch = {
+  sw_name : string;
+  sw_ty : Ast.ty;
+  sw_domain : int list;
+  sw_targets : string list;
+}
+
+type assignment = {
+  a_ints : (string * int) list;
+  a_ptrs : (string * string) list;
+}
+
+type case = {
+  c_seed : int;
+  c_tu : Ast.tunit;
+  c_src : string;
+  c_switches : switch list;
+  c_entry : string;
+  c_args : int list;
+  c_assignments : assignment list;
+}
+
+type cfg = {
+  n_helpers : int * int;
+  n_switches : int * int;
+  n_leaves : int * int;
+  stmt_fuel : int;
+  max_block : int;
+  max_depth : int;
+  max_expr_depth : int;
+  n_args : int * int;
+  n_assignments : int * int;
+  work_budget : int;
+}
+
+let default_cfg =
+  {
+    n_helpers = (1, 3);
+    n_switches = (1, 3);
+    n_leaves = (1, 3);
+    stmt_fuel = 26;
+    max_block = 4;
+    max_depth = 3;
+    max_expr_depth = 3;
+    n_args = (1, 3);
+    n_assignments = (2, 4);
+    work_budget = 30_000;
+  }
+
+let small_cfg =
+  {
+    n_helpers = (1, 2);
+    n_switches = (1, 2);
+    n_leaves = (1, 2);
+    stmt_fuel = 12;
+    max_block = 3;
+    max_depth = 2;
+    max_expr_depth = 2;
+    n_args = (1, 2);
+    n_assignments = (2, 3);
+    work_budget = 8_000;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* AST shorthands                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let e d : Ast.expr = { Ast.edesc = d; eloc = Ast.dummy_loc }
+let s d : Ast.stmt = { Ast.sdesc = d; sloc = Ast.dummy_loc }
+let lit n = e (Ast.Eint n)
+let var v = e (Ast.Evar v)
+let bin op a b = e (Ast.Ebinop (op, a, b))
+let un op a = e (Ast.Eunop (op, a))
+
+(* masks are powers of two minus one, so [x land m] is always in [0, m] *)
+let masked x m = bin Ast.Band x (lit m)
+let assign l x = s (Ast.Sassign (l, x))
+let assign_var v x = assign (Ast.Lvar v) x
+let decl name ty init = s (Ast.Sdecl (name, ty, Some init))
+
+(* a[i & (len-1)], both as value and as lvalue *)
+let arr_index name len i = (var name, masked i (len - 1))
+
+(* ------------------------------------------------------------------ *)
+(* Per-function generation context                                     *)
+(* ------------------------------------------------------------------ *)
+
+type fctx = {
+  r : Rng.t;
+  cfg : cfg;
+  (* static *)
+  callables : (string * int * bool * int) list;  (* name, arity, has result, cost *)
+  fnptr_calls : (string * int) list;  (* fnptr global, worst-case target cost *)
+  switch_rvals : string list;  (* integer-like switches: read-only *)
+  enum_consts : string list;
+  int_globals : string list;  (* plain word-sized globals: read/write *)
+  arrays : (string * int * int) list;  (* name, elems (power of two), elem width *)
+  ret_ty : Ast.ty;
+  (* mutable generation state *)
+  mutable ro_ints : string list;  (* params, loop counters, fuel vars *)
+  mutable mut_ints : string list;  (* assignable int locals *)
+  mutable ptr_locals : string list;  (* word-aligned pointers into arrays *)
+  mutable fresh : int;
+  mutable fuel : int;
+  mutable cost : int;  (* worst-case dynamic statements, multiplier applied *)
+  mutable mult : int;  (* product of enclosing loop bounds *)
+  mutable loop_depth : int;
+}
+
+let fresh ctx prefix =
+  let n = ctx.fresh in
+  ctx.fresh <- n + 1;
+  Printf.sprintf "%s%d" prefix n
+
+let charge ctx n = ctx.cost <- ctx.cost + (n * ctx.mult)
+let affordable ctx n = ctx.cost + (n * ctx.mult) <= ctx.cfg.work_budget
+
+(* word-sized arrays: safe targets for 8-byte derefs and atomic_xchg *)
+let word_arrays ctx = List.filter (fun (_, _, w) -> w = 8) ctx.arrays
+
+(* ------------------------------------------------------------------ *)
+(* Expressions                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* An integer expression.  Pointer-valued things (array bases, &symbols,
+   ptr locals) never appear here: pointer values are layout-dependent and
+   must not flow into observable results. *)
+let rec gen_int ctx depth : Ast.expr =
+  if depth <= 0 then gen_leaf ctx
+  else
+    let arms =
+      [
+        (3, `Leaf);
+        (6, `Arith);
+        (3, `Cmp);
+        (2, `Logic);
+        (2, `Divmod);
+        (2, `Shift);
+        (2, `Unop);
+        (2, `Cond);
+        (if ctx.arrays <> [] then 3 else 0), `Index;
+        (if word_arrays ctx <> [] then 1 else 0), `Deref;
+        (if ctx.arrays <> [] then 1 else 0), `Derefw;
+        (if call_candidates ctx <> [] then 2 else 0), `Call;
+        (if fnptr_candidates ctx <> [] then 1 else 0), `Fpcall;
+        (if word_arrays ctx <> [] then 1 else 0), `Xchg;
+      ]
+      |> List.filter (fun (w, _) -> w > 0)
+    in
+    match Rng.weighted ctx.r arms with
+    | `Leaf -> gen_leaf ctx
+    | `Arith ->
+        let op = Rng.choose ctx.r Ast.[ Add; Sub; Mul; Band; Bor; Bxor ] in
+        bin op (gen_int ctx (depth - 1)) (gen_int ctx (depth - 1))
+    | `Cmp ->
+        let op = Rng.choose ctx.r Ast.[ Eq; Ne; Lt; Le; Gt; Ge ] in
+        bin op (gen_int ctx (depth - 1)) (gen_int ctx (depth - 1))
+    | `Logic ->
+        let op = Rng.choose ctx.r Ast.[ Land; Lor ] in
+        bin op (gen_int ctx (depth - 1)) (gen_int ctx (depth - 1))
+    | `Divmod ->
+        (* divisor masked into [1, 8]: no division by zero, no overflow *)
+        let op = Rng.choose ctx.r Ast.[ Div; Mod ] in
+        bin op (gen_int ctx (depth - 1))
+          (bin Ast.Add (masked (gen_int ctx (depth - 1)) 7) (lit 1))
+    | `Shift ->
+        let op = Rng.choose ctx.r Ast.[ Shl; Shr ] in
+        bin op (gen_int ctx (depth - 1)) (masked (gen_int ctx (depth - 1)) 15)
+    | `Unop -> un (Rng.choose ctx.r Ast.[ Neg; Lnot; Bnot ]) (gen_int ctx (depth - 1))
+    | `Cond ->
+        e
+          (Ast.Econd
+             (gen_int ctx (depth - 1), gen_int ctx (depth - 1), gen_int ctx (depth - 1)))
+    | `Index ->
+        let name, len, _ = Rng.choose ctx.r ctx.arrays in
+        let a, i = arr_index name len (gen_int ctx (depth - 1)) in
+        e (Ast.Eindex (a, i))
+    | `Deref -> e (Ast.Ederef (gen_ptr ctx (depth - 1) 8))
+    | `Derefw ->
+        let w = Rng.choose ctx.r [ 1; 2; 4 ] in
+        e (Ast.Ederefw (w, gen_ptr ctx (depth - 1) w))
+    | `Call -> gen_call ctx depth
+    | `Fpcall -> gen_fnptr_call ctx depth
+    | `Xchg ->
+        e (Ast.Eintrinsic (Ast.Iatomic_xchg, [ gen_ptr ctx 1 8; gen_int ctx (depth - 1) ]))
+
+and gen_leaf ctx : Ast.expr =
+  let arms =
+    [
+      (4, `Lit);
+      (List.length ctx.ro_ints * 3, `Ro);
+      (List.length ctx.mut_ints * 3, `Mut);
+      (List.length ctx.int_globals * 2, `Global);
+      (List.length ctx.switch_rvals * 3, `Switch);
+      (List.length ctx.enum_consts, `Enum);
+    ]
+    |> List.filter (fun (w, _) -> w > 0)
+  in
+  match Rng.weighted ctx.r arms with
+  | `Lit ->
+      if Rng.chance ctx.r 1 12 then lit (Rng.choose ctx.r [ 0x1234_5678; -0x0FED_CBA9; 1 lsl 40 ])
+      else lit (Rng.range ctx.r (-64) 64)
+  | `Ro -> var (Rng.choose ctx.r ctx.ro_ints)
+  | `Mut -> var (Rng.choose ctx.r ctx.mut_ints)
+  | `Global -> var (Rng.choose ctx.r ctx.int_globals)
+  | `Switch -> var (Rng.choose ctx.r ctx.switch_rvals)
+  | `Enum -> var (Rng.choose ctx.r ctx.enum_consts)
+
+(* A pointer expression that a [width]-byte access may safely dereference:
+   array base + byte offset masked to [0, total - width] (the mask keeps
+   the offset width-aligned because total and width are powers of two), an
+   existing word-aligned pointer local, or the address of a word-sized
+   global (width <= 8 at offset 0). *)
+and gen_ptr ctx depth width : Ast.expr =
+  (* ptr locals are always 8-byte aligned into a word array, so any
+     access of width <= 8 through one stays in bounds *)
+  let arms =
+    [
+      (3, `Array);
+      (List.length ctx.ptr_locals * 2, `Local);
+      (List.length ctx.int_globals, `Addr);
+    ]
+    |> List.filter (fun (w, _) -> w > 0)
+  in
+  match Rng.weighted ctx.r arms with
+  | `Local -> var (Rng.choose ctx.r ctx.ptr_locals)
+  | `Addr -> e (Ast.Eaddr_of_var (Rng.choose ctx.r ctx.int_globals))
+  | `Array -> (
+      let pool = List.filter (fun (_, len, w) -> len * w >= width) ctx.arrays in
+      match pool with
+      | [] -> e (Ast.Eaddr_of_var (Rng.choose ctx.r ctx.int_globals))
+      | _ ->
+          (* total and width are powers of two with width <= total, so the
+             mask (total - width) keeps the byte offset width-aligned and
+             the access entirely inside the array *)
+          let name, len, w = Rng.choose ctx.r pool in
+          let total = len * w in
+          bin Ast.Add (var name) (masked (gen_int ctx depth) (total - width)))
+
+and call_candidates ctx =
+  List.filter (fun (_, _, res, cost) -> res && affordable ctx (cost + 1)) ctx.callables
+
+and fnptr_candidates ctx =
+  List.filter (fun (_, cost) -> affordable ctx (cost + 1)) ctx.fnptr_calls
+
+and gen_call ctx depth : Ast.expr =
+  let name, arity, _, cost = Rng.choose ctx.r (call_candidates ctx) in
+  charge ctx (cost + 1);
+  e (Ast.Ecall (name, List.init arity (fun _ -> gen_int ctx (min 1 (depth - 1)))))
+
+and gen_fnptr_call ctx depth : Ast.expr =
+  let name, cost = Rng.choose ctx.r (fnptr_candidates ctx) in
+  charge ctx (cost + 1);
+  e (Ast.Ecall (name, [ gen_int ctx (min 1 (depth - 1)) ]))
+
+(* ------------------------------------------------------------------ *)
+(* Statements                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let gen_cond ctx = gen_int ctx (min 2 ctx.cfg.max_expr_depth)
+
+let cheap_stmt ctx : Ast.stmt =
+  match ctx.mut_ints with
+  | v :: _ -> assign_var v (bin Ast.Add (var v) (lit (Rng.range ctx.r 1 5)))
+  | [] -> (
+      match ctx.int_globals with
+      | g :: _ -> assign_var g (bin Ast.Add (var g) (lit (Rng.range ctx.r 1 5)))
+      | [] -> s (Ast.Sexpr (e (Ast.Eintrinsic (Ast.Ipause, [])))))
+
+let rec gen_stmts ctx depth : Ast.stmt list =
+  if ctx.fuel <= 0 || not (affordable ctx 1) then begin
+    charge ctx 1;
+    [ cheap_stmt ctx ]
+  end
+  else begin
+    ctx.fuel <- ctx.fuel - 1;
+    charge ctx 1;
+    let arms =
+      [
+        (3, `Decl);
+        (5, `Assign);
+        ((if depth > 0 then 3 else 0), `If);
+        ((if depth > 0 && affordable ctx 8 then 3 else 0), `For);
+        ((if depth > 0 && affordable ctx 8 then 2 else 0), `While);
+        ((if depth > 0 && affordable ctx 6 then 1 else 0), `Dowhile);
+        ((if depth > 0 then 2 else 0), `Switch);
+        (2, `Expr);
+        ((if ctx.ret_ty <> Ast.Tvoid || Rng.bool ctx.r then 1 else 0), `Return);
+        ((if ctx.loop_depth > 0 then 2 else 0), `Breakcont);
+        ((if word_arrays ctx <> [] then 1 else 0), `Ptrdecl);
+        ((if depth > 0 then 1 else 0), `Block);
+      ]
+      |> List.filter (fun (w, _) -> w > 0)
+    in
+    match Rng.weighted ctx.r arms with
+    | `Decl ->
+        let name = fresh ctx "x" in
+        let d = decl name Ast.int_ty (gen_int ctx ctx.cfg.max_expr_depth) in
+        ctx.mut_ints <- name :: ctx.mut_ints;
+        [ d ]
+    | `Assign -> [ gen_assign ctx ]
+    | `If ->
+        let c = gen_cond ctx in
+        let t = gen_block ctx (depth - 1) in
+        let f = if Rng.chance ctx.r 2 3 then gen_block ctx (depth - 1) else [] in
+        [ s (Ast.Sif (c, t, f)) ]
+    | `For ->
+        let k = Rng.range ctx.r 1 6 in
+        let i = fresh ctx "i" in
+        let body = in_loop ctx k (fun () -> gen_block ~extra_ro:[ i ] ctx (depth - 1)) in
+        [
+          s
+            (Ast.Sfor
+               ( Some (decl i Ast.int_ty (lit 0)),
+                 Some (bin Ast.Lt (var i) (lit k)),
+                 Some (assign_var i (bin Ast.Add (var i) (lit 1))),
+                 body ));
+        ]
+    | `While ->
+        (* fuel-bounded: [int t = k; while (t > 0) { t = t - 1; ... }];
+           the fuel variable is read-only for the body generator *)
+        let k = Rng.range ctx.r 1 6 in
+        let t = fresh ctx "t" in
+        let body = in_loop ctx k (fun () -> gen_block ~extra_ro:[ t ] ctx (depth - 1)) in
+        [
+          decl t Ast.int_ty (lit k);
+          s
+            (Ast.Swhile
+               ( bin Ast.Gt (var t) (lit 0),
+                 assign_var t (bin Ast.Sub (var t) (lit 1)) :: body ));
+        ]
+    | `Dowhile ->
+        let k = Rng.range ctx.r 1 4 in
+        let t = fresh ctx "t" in
+        let body = in_loop ctx k (fun () -> gen_block ~extra_ro:[ t ] ctx (depth - 1)) in
+        [
+          decl t Ast.int_ty (lit k);
+          s
+            (Ast.Sdo_while
+               ( assign_var t (bin Ast.Sub (var t) (lit 1)) :: body,
+                 bin Ast.Gt (var t) (lit 0) ));
+        ]
+    | `Switch ->
+        let scrut = masked (gen_int ctx ctx.cfg.max_expr_depth) 3 in
+        let labels = Rng.sample ctx.r (Rng.range ctx.r 1 3) [ 0; 1; 2; 3; 4 ] in
+        (* each case label gets its own body (no fall-through in Mini-C) *)
+        let cases =
+          List.map (fun l -> ([ l ], gen_block ctx (depth - 1))) labels
+        in
+        let default =
+          if Rng.chance ctx.r 3 4 then Some (gen_block ctx (depth - 1)) else None
+        in
+        [ s (Ast.Sswitch (scrut, cases, default)) ]
+    | `Expr -> [ gen_effect ctx ]
+    | `Return ->
+        let ret =
+          match ctx.ret_ty with
+          | Ast.Tvoid -> s (Ast.Sreturn None)
+          | _ -> s (Ast.Sreturn (Some (gen_int ctx ctx.cfg.max_expr_depth)))
+        in
+        [ s (Ast.Sif (gen_cond ctx, [ ret ], [])) ]
+    | `Breakcont ->
+        let brk = if Rng.chance ctx.r 2 3 then Ast.Sbreak else Ast.Scontinue in
+        [ s (Ast.Sif (gen_cond ctx, [ s brk ], [])) ]
+    | `Ptrdecl ->
+        let name, len, w = Rng.choose ctx.r (word_arrays ctx) in
+        let p = fresh ctx "p" in
+        let d =
+          decl p Ast.Tptr
+            (bin Ast.Add (var name) (masked (gen_int ctx 1) ((len * w) - 8)))
+        in
+        ctx.ptr_locals <- p :: ctx.ptr_locals;
+        [ d ]
+    | `Block -> [ s (Ast.Sblock (gen_block ctx (depth - 1))) ]
+  end
+
+and in_loop ctx k body =
+  let saved_mult = ctx.mult in
+  ctx.mult <- ctx.mult * k;
+  ctx.loop_depth <- ctx.loop_depth + 1;
+  let r = body () in
+  ctx.loop_depth <- ctx.loop_depth - 1;
+  ctx.mult <- saved_mult;
+  r
+
+and gen_assign ctx : Ast.stmt =
+  let v = gen_int ctx ctx.cfg.max_expr_depth in
+  let arms =
+    [
+      (List.length ctx.mut_ints * 3, `Local);
+      (List.length ctx.int_globals * 3, `Global);
+      (List.length ctx.arrays * 2, `Index);
+      ((if word_arrays ctx <> [] then 1 else 0), `Deref);
+      ((if ctx.arrays <> [] then 1 else 0), `Derefw);
+    ]
+    |> List.filter (fun (w, _) -> w > 0)
+  in
+  match Rng.weighted ctx.r arms with
+  | `Local -> assign_var (Rng.choose ctx.r ctx.mut_ints) v
+  | `Global -> assign_var (Rng.choose ctx.r ctx.int_globals) v
+  | `Index ->
+      let name, len, _ = Rng.choose ctx.r ctx.arrays in
+      let a, i = arr_index name len (gen_int ctx 2) in
+      assign (Ast.Lindex (a, i)) v
+  | `Deref -> assign (Ast.Lderef (gen_ptr ctx 1 8)) v
+  | `Derefw ->
+      let w = Rng.choose ctx.r [ 1; 2; 4 ] in
+      assign (Ast.Lderefw (w, gen_ptr ctx 1 w)) v
+
+and gen_effect ctx : Ast.stmt =
+  let void_calls =
+    List.filter (fun (_, _, _, cost) -> affordable ctx (cost + 1)) ctx.callables
+  in
+  let arms =
+    [
+      (2, `Intrinsic);
+      ((if void_calls <> [] then 3 else 0), `Call);
+      ((if word_arrays ctx <> [] then 1 else 0), `Xchg);
+    ]
+    |> List.filter (fun (w, _) -> w > 0)
+  in
+  match Rng.weighted ctx.r arms with
+  | `Intrinsic ->
+      let i = Rng.choose ctx.r Ast.[ Ifence; Ipause; Icli; Isti ] in
+      s (Ast.Sexpr (e (Ast.Eintrinsic (i, []))))
+  | `Call ->
+      let name, arity, _, cost = Rng.choose ctx.r void_calls in
+      charge ctx (cost + 1);
+      s (Ast.Sexpr (e (Ast.Ecall (name, List.init arity (fun _ -> gen_int ctx 1)))))
+  | `Xchg ->
+      s (Ast.Sexpr (e (Ast.Eintrinsic (Ast.Iatomic_xchg, [ gen_ptr ctx 1 8; gen_int ctx 2 ]))))
+
+and gen_block ?(extra_ro = []) ctx depth : Ast.stmt list =
+  let saved_ro = ctx.ro_ints
+  and saved_mut = ctx.mut_ints
+  and saved_ptr = ctx.ptr_locals in
+  ctx.ro_ints <- extra_ro @ ctx.ro_ints;
+  let n = Rng.range ctx.r 1 ctx.cfg.max_block in
+  let stmts = List.concat (List.init n (fun _ -> gen_stmts ctx depth)) in
+  ctx.ro_ints <- saved_ro;
+  ctx.mut_ints <- saved_mut;
+  ctx.ptr_locals <- saved_ptr;
+  stmts
+
+(* ------------------------------------------------------------------ *)
+(* Top-level program assembly                                          *)
+(* ------------------------------------------------------------------ *)
+
+type proto = {
+  p_name : string;
+  p_params : (string * Ast.ty) list;
+  p_ret : Ast.ty;
+  p_cost : int;
+}
+
+let mk_fctx r cfg ~callables ~fnptr_calls ~switch_rvals ~enum_consts ~int_globals
+    ~arrays ~params ~ret_ty =
+  {
+    r;
+    cfg;
+    callables;
+    fnptr_calls;
+    switch_rvals;
+    enum_consts;
+    int_globals;
+    arrays;
+    ret_ty;
+    ro_ints = params;
+    mut_ints = [];
+    ptr_locals = [];
+    fresh = 0;
+    fuel = cfg.stmt_fuel;
+    cost = 0;
+    mult = 1;
+    loop_depth = 0;
+  }
+
+let mk_func name params ret attrs body : Ast.decl =
+  Ast.Dfunc
+    {
+      Ast.f_name = name;
+      f_params = params;
+      f_ret = ret;
+      f_attrs = attrs;
+      f_body = Some body;
+      f_loc = Ast.dummy_loc;
+    }
+
+let mk_global ?(attrs = []) ?init ?array ?fn_init name ty : Ast.decl =
+  Ast.Dglobal
+    {
+      Ast.g_name = name;
+      g_ty = ty;
+      g_attrs = attrs;
+      g_init = init;
+      g_array = array;
+      g_fn_init = fn_init;
+      g_extern = false;
+      g_loc = Ast.dummy_loc;
+    }
+
+(* out-of-domain value that still fits the switch's storage width *)
+let out_of_domain r (sw : switch) =
+  match sw.sw_domain with
+  | [] -> 0
+  | d ->
+      let above = List.fold_left max (List.hd d) d + 1 + Rng.int r 3 in
+      let fits_signed_word =
+        match sw.sw_ty with
+        | Ast.Tint { width = 8; signed = true } | Ast.Tenum _ -> true
+        | _ -> false
+      in
+      if fits_signed_word && Rng.chance r 1 3 then
+        List.fold_left min (List.hd d) d - 1 - Rng.int r 3
+      else above
+
+let gen_assignment r ~in_domain (switches : switch list) : assignment =
+  let ints, ptrs =
+    List.fold_left
+      (fun (ints, ptrs) sw ->
+        match sw.sw_ty with
+        | Ast.Tfnptr -> (
+            match sw.sw_targets with
+            | [] -> (ints, ptrs)
+            | ts -> (ints, (sw.sw_name, Rng.choose r ts) :: ptrs))
+        | _ ->
+            let v =
+              if in_domain || Rng.chance r 5 6 then Rng.choose r sw.sw_domain
+              else out_of_domain r sw
+            in
+            ((sw.sw_name, v) :: ints, ptrs))
+      ([], []) switches
+  in
+  { a_ints = List.rev ints; a_ptrs = List.rev ptrs }
+
+let gen_assignments r n switches =
+  List.init n (fun i -> gen_assignment r ~in_domain:(i = 0) switches)
+
+let pp_assignment fmt a =
+  let ints = List.map (fun (n, v) -> Printf.sprintf "%s=%d" n v) a.a_ints in
+  let ptrs = List.map (fun (n, t) -> Printf.sprintf "%s=&%s" n t) a.a_ptrs in
+  Format.pp_print_string fmt (String.concat " " (ints @ ptrs))
+
+(* ------------------------------------------------------------------ *)
+(* Switch extraction (also used on shrunk / stored sources)            *)
+(* ------------------------------------------------------------------ *)
+
+let switches_of_tu (tu : Ast.tunit) : switch list =
+  let enums = Hashtbl.create 4 in
+  let leafs = ref [] in
+  List.iter
+    (function
+      | Ast.Denum (name, items, _) -> Hashtbl.replace enums name (List.map snd items)
+      | Ast.Dfunc f ->
+          (* fnptr assignment targets: the generator's uniform int(int)
+             leaf signature, recognised by name so shrunk sources keep
+             working after other functions disappear *)
+          if
+            f.Ast.f_body <> None
+            && List.length f.Ast.f_params = 1
+            && String.length f.Ast.f_name >= 4
+            && String.sub f.Ast.f_name 0 4 = "leaf"
+          then leafs := f.Ast.f_name :: !leafs
+      | Ast.Dglobal _ -> ())
+    tu;
+  let leafs = List.rev !leafs in
+  List.filter_map
+    (function
+      | Ast.Dglobal g when Ast.is_multiversed g.Ast.g_attrs ->
+          let domain =
+            match Ast.attr_values g.Ast.g_attrs with
+            | Some vs -> List.sort_uniq compare vs
+            | None -> (
+                match g.Ast.g_ty with
+                | Ast.Tenum e ->
+                    List.sort_uniq compare
+                      (Option.value ~default:[ 0; 1 ] (Hashtbl.find_opt enums e))
+                | Ast.Tfnptr -> []
+                | _ -> [ 0; 1 ])
+          in
+          let targets =
+            match g.Ast.g_ty with
+            | Ast.Tfnptr ->
+                let init = Option.to_list g.Ast.g_fn_init in
+                List.sort_uniq compare (init @ leafs)
+            | _ -> []
+          in
+          Some { sw_name = g.Ast.g_name; sw_ty = g.Ast.g_ty; sw_domain = domain;
+                 sw_targets = targets }
+      | _ -> None)
+    tu
+
+let restrict_assignment switches a =
+  let int_names =
+    List.filter_map
+      (fun sw -> match sw.sw_ty with Ast.Tfnptr -> None | _ -> Some sw.sw_name)
+      switches
+  in
+  let ptr_ok name target =
+    List.exists
+      (fun sw -> sw.sw_name = name && List.mem target sw.sw_targets)
+      switches
+  in
+  {
+    a_ints = List.filter (fun (n, _) -> List.mem n int_names) a.a_ints;
+    a_ptrs = List.filter (fun (n, t) -> ptr_ok n t) a.a_ptrs;
+  }
+
+let case_of_source ~seed ~args ~assignments src : case =
+  let tu, _env, _warnings = Minic.Typecheck.check_string src in
+  let entry_ok =
+    List.exists
+      (function
+        | Ast.Dfunc f ->
+            f.Ast.f_name = "driver" && f.Ast.f_body <> None
+            && List.length f.Ast.f_params = 1
+        | _ -> false)
+      tu
+  in
+  if not entry_ok then failwith "case_of_source: no int driver(int) entry point";
+  let switches = switches_of_tu tu in
+  {
+    c_seed = seed;
+    c_tu = tu;
+    c_src = src;
+    c_switches = switches;
+    c_entry = "driver";
+    c_args = (if args = [] then [ 1 ] else args);
+    c_assignments = List.map (restrict_assignment switches) assignments;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* The generator                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let case ?(cfg = default_cfg) seed : case =
+  let root = Rng.create seed in
+  let r = Rng.split root 1 in
+  let range (lo, hi) = Rng.range r lo hi in
+
+  (* --- enum ------------------------------------------------------- *)
+  let have_enum = Rng.chance r 2 3 in
+  let enum_items =
+    if not have_enum then []
+    else begin
+      let n = Rng.range r 2 4 in
+      let rec build i v acc =
+        if i >= n then List.rev acc
+        else build (i + 1) (v + Rng.range r 1 3) ((Printf.sprintf "K%d" i, v) :: acc)
+      in
+      build 0 (Rng.range r (-2) 1) []
+    end
+  in
+  let enum_consts = List.map fst enum_items in
+
+  (* --- leaves (fnptr targets, uniform signature int leafK(int)) ---- *)
+  let n_leaves = range cfg.n_leaves in
+  let leaf_names = List.init n_leaves (Printf.sprintf "leaf%d") in
+
+  (* --- switches ---------------------------------------------------- *)
+  let n_switches = range cfg.n_switches in
+  let switch_decl i : Ast.decl * switch =
+    let name = Printf.sprintf "s%d" i in
+    let kind =
+      (* the first switch is always integer-like so variants exist *)
+      let arms =
+        [ (4, `Int01); (3, `Values); (2, `Subword); (2, `Bool) ]
+        @ (if have_enum then [ (2, `Enum) ] else [])
+        @ if i > 0 then [ (2, `Fnptr) ] else []
+      in
+      Rng.weighted r arms
+    in
+    match kind with
+    | `Int01 ->
+        ( mk_global ~attrs:[ Ast.Amultiverse ] name Ast.int_ty,
+          { sw_name = name; sw_ty = Ast.int_ty; sw_domain = [ 0; 1 ]; sw_targets = [] } )
+    | `Values ->
+        let card = Rng.range r 2 4 in
+        let vs =
+          List.sort_uniq compare
+            (List.init card (fun _ -> Rng.range r (-4) 9))
+        in
+        let vs = if List.length vs < 2 then [ 0; 1 ] else vs in
+        ( mk_global ~attrs:[ Ast.Amultiverse; Ast.Avalues vs ] name Ast.int_ty,
+          { sw_name = name; sw_ty = Ast.int_ty; sw_domain = vs; sw_targets = [] } )
+    | `Subword ->
+        let width = Rng.choose r [ 1; 2; 4 ] in
+        let signed = Rng.bool r in
+        let ty = Ast.Tint { width; signed } in
+        let card = Rng.range r 2 3 in
+        let vs =
+          List.sort_uniq compare (List.init card (fun _ -> Rng.range r 0 9))
+        in
+        let vs = if List.length vs < 2 then [ 0; 1 ] else vs in
+        ( mk_global ~attrs:[ Ast.Amultiverse; Ast.Avalues vs ] name ty,
+          { sw_name = name; sw_ty = ty; sw_domain = vs; sw_targets = [] } )
+    | `Bool ->
+        ( mk_global ~attrs:[ Ast.Amultiverse ] name Ast.Tbool,
+          { sw_name = name; sw_ty = Ast.Tbool; sw_domain = [ 0; 1 ]; sw_targets = [] } )
+    | `Enum ->
+        let ty = Ast.Tenum "mode" in
+        ( mk_global ~attrs:[ Ast.Amultiverse ] name ty,
+          { sw_name = name; sw_ty = ty; sw_domain = List.map snd enum_items;
+            sw_targets = [] } )
+    | `Fnptr ->
+        let target = Rng.choose r leaf_names in
+        ( mk_global ~attrs:[ Ast.Amultiverse ] ~fn_init:target name Ast.Tfnptr,
+          { sw_name = name; sw_ty = Ast.Tfnptr; sw_domain = [];
+            sw_targets = leaf_names } )
+  in
+  let switch_decls, switches =
+    List.split (List.init n_switches switch_decl)
+  in
+  let int_switches =
+    List.filter (fun sw -> sw.sw_ty <> Ast.Tfnptr) switches
+  in
+  let fnptr_switches = List.filter (fun sw -> sw.sw_ty = Ast.Tfnptr) switches in
+
+  (* --- plain globals ----------------------------------------------- *)
+  let acc_decl = mk_global "acc" Ast.int_ty ~init:0 in
+  let n_extra = Rng.range r 1 3 in
+  let extra_globals =
+    List.init n_extra (fun i ->
+        let name = Printf.sprintf "g%d" i in
+        (mk_global name Ast.int_ty ~init:(Rng.range r (-9) 9), name))
+  in
+  let int_globals = "acc" :: List.map snd extra_globals in
+  let arr_decl = mk_global "arr0" Ast.int_ty ~array:8 in
+  let have_buf = Rng.bool r in
+  let buf_decl =
+    if have_buf then [ mk_global "buf0" (Ast.Tint { width = 1; signed = false }) ~array:16 ]
+    else []
+  in
+  let arrays =
+    ("arr0", 8, 8) :: (if have_buf then [ ("buf0", 16, 1) ] else [])
+  in
+  let have_plain_fnptr = Rng.chance r 1 2 in
+  let plain_fnptr_decl =
+    if have_plain_fnptr then
+      [ mk_global "fp0" Ast.Tfnptr ~fn_init:(Rng.choose r leaf_names) ]
+    else []
+  in
+
+  let switch_rvals = List.map (fun sw -> sw.sw_name) int_switches in
+
+  (* --- leaf bodies -------------------------------------------------- *)
+  let leaf_cost = 4 in
+  let leaf_decls =
+    List.map
+      (fun name ->
+        let ctx =
+          mk_fctx r cfg ~callables:[] ~fnptr_calls:[] ~switch_rvals ~enum_consts
+            ~int_globals ~arrays ~params:[ "x" ] ~ret_ty:Ast.int_ty
+        in
+        ctx.fuel <- 3;
+        let body =
+          (if Rng.chance r 1 3 then gen_stmts ctx 1 else [])
+          @ [ s (Ast.Sreturn (Some (gen_int ctx 2))) ]
+        in
+        mk_func name [ ("x", Ast.int_ty) ] Ast.int_ty [] body)
+      leaf_names
+  in
+
+  (* --- helpers ------------------------------------------------------ *)
+  let n_helpers = range cfg.n_helpers in
+  let fnptr_calls =
+    List.map (fun sw -> (sw.sw_name, leaf_cost)) fnptr_switches
+    @ (if have_plain_fnptr then [ ("fp0", leaf_cost) ] else [])
+  in
+  let leaf_callables =
+    List.map (fun n -> (n, 1, true, leaf_cost)) leaf_names
+  in
+  let helper_budget = cfg.work_budget / 4 in
+  let rec build_helpers i acc_protos acc_decls =
+    if i > n_helpers then (List.rev acc_protos, List.rev acc_decls)
+    else begin
+      let name = Printf.sprintf "fn%d" i in
+      let is_mv = i = 1 || Rng.chance r 3 5 in
+      let ret_ty = if Rng.chance r 2 3 then Ast.int_ty else Ast.Tvoid in
+      let n_params = Rng.range r 0 2 in
+      let params = List.init n_params (Printf.sprintf "a%d") in
+      let attrs =
+        (if is_mv then [ Ast.Amultiverse ] else [])
+        @ (if is_mv && int_switches <> [] && Rng.chance r 1 3 then
+             [ Ast.Abind
+                 (List.map (fun sw -> sw.sw_name)
+                    (Rng.sample r (Rng.range r 1 2) int_switches)) ]
+           else [])
+        @ (if Rng.chance r 1 5 then [ Ast.Anoinline ] else [])
+        @ if Rng.chance r 1 6 then [ Ast.Asaveall ] else []
+      in
+      let callables =
+        leaf_callables
+        @ List.map (fun p -> (p.p_name, List.length p.p_params,
+                              p.p_ret <> Ast.Tvoid, p.p_cost))
+            acc_protos
+      in
+      let ctx =
+        mk_fctx r cfg ~callables ~fnptr_calls ~switch_rvals ~enum_consts
+          ~int_globals ~arrays ~params ~ret_ty
+      in
+      ctx.fuel <- cfg.stmt_fuel / 2;
+      ctx.cost <- 0;
+      let forced_read =
+        (* every multiversed function provably reads a switch, so variant
+           generation has something to specialize *)
+        match (is_mv, int_switches) with
+        | true, sw :: _ ->
+            let v = Rng.choose r sw.sw_domain in
+            [
+              s
+                (Ast.Sif
+                   ( bin Ast.Eq (var sw.sw_name) (lit v),
+                     [ assign_var "acc" (bin Ast.Add (var "acc") (lit (Rng.range r 1 9))) ],
+                     [ assign_var "acc" (bin Ast.Bxor (var "acc") (lit (Rng.range r 1 9))) ]
+                   ));
+            ]
+        | _ -> []
+      in
+      let body_stmts =
+        forced_read
+        @ gen_block ctx (min 2 cfg.max_depth)
+        @
+        match ret_ty with
+        | Ast.Tvoid -> []
+        | _ -> [ s (Ast.Sreturn (Some (gen_int ctx 2))) ]
+      in
+      let cost = min (ctx.cost + 2) helper_budget in
+      let params_t = List.map (fun p -> (p, Ast.int_ty)) params in
+      let proto = { p_name = name; p_params = params_t; p_ret = ret_ty; p_cost = cost } in
+      build_helpers (i + 1) (proto :: acc_protos)
+        (mk_func name params_t ret_ty attrs body_stmts :: acc_decls)
+    end
+  in
+  let helper_protos, helper_decls = build_helpers 1 [] [] in
+
+  (* --- driver ------------------------------------------------------- *)
+  let callables =
+    leaf_callables
+    @ List.map
+        (fun p -> (p.p_name, List.length p.p_params, p.p_ret <> Ast.Tvoid, p.p_cost))
+        helper_protos
+  in
+  let ctx =
+    mk_fctx r cfg ~callables ~fnptr_calls ~switch_rvals ~enum_consts ~int_globals
+      ~arrays ~params:[ "n" ] ~ret_ty:Ast.int_ty
+  in
+  let init_arr (name, len, _w) =
+    let i = fresh ctx "i" in
+    s
+      (Ast.Sfor
+         ( Some (decl i Ast.int_ty (lit 0)),
+           Some (bin Ast.Lt (var i) (lit len)),
+           Some (assign_var i (bin Ast.Add (var i) (lit 1))),
+           [
+             assign
+               (Ast.Lindex (var name, var i))
+               (bin Ast.Add (var "n") (bin Ast.Mul (var i) (lit 3)));
+           ] ))
+  in
+  charge ctx (List.fold_left (fun a (_, len, _) -> a + len) 0 arrays);
+  let prelude = assign_var "acc" (lit 0) :: List.map init_arr arrays in
+  let main_block = gen_block ctx cfg.max_depth in
+  (* every helper and fnptr switch is exercised at least once per run *)
+  let guaranteed =
+    List.map
+      (fun p ->
+        charge ctx (p.p_cost + 1);
+        let args = List.map (fun _ -> gen_int ctx 1) p.p_params in
+        let call = e (Ast.Ecall (p.p_name, args)) in
+        if p.p_ret = Ast.Tvoid then s (Ast.Sexpr call)
+        else assign_var "acc" (bin Ast.Add (bin Ast.Mul (var "acc") (lit 31)) call))
+      helper_protos
+    @ List.map
+        (fun (name, cost) ->
+          charge ctx (cost + 1);
+          assign_var "acc"
+            (bin Ast.Bxor (var "acc") (e (Ast.Ecall (name, [ gen_int ctx 1 ])))))
+        fnptr_calls
+  in
+  let final_ret =
+    let a, i = arr_index "arr0" 8 (var "n") in
+    s
+      (Ast.Sreturn
+         (Some
+            (bin Ast.Bxor
+               (bin Ast.Add (bin Ast.Mul (var "acc") (lit 31)) (gen_int ctx 2))
+               (e (Ast.Eindex (a, i))))))
+  in
+  let driver_decl =
+    mk_func "driver" [ ("n", Ast.int_ty) ] Ast.int_ty []
+      (prelude @ main_block @ guaranteed @ [ final_ret ])
+  in
+
+  (* --- assemble, print, and re-check through the real front end ----- *)
+  let enum_decl =
+    if have_enum then [ Ast.Denum ("mode", enum_items, Ast.dummy_loc) ] else []
+  in
+  let tu =
+    enum_decl @ switch_decls
+    @ (acc_decl :: List.map fst extra_globals)
+    @ (arr_decl :: buf_decl)
+    @ plain_fnptr_decl @ leaf_decls @ helper_decls
+    @ [ driver_decl ]
+  in
+  let src = Minic.Pretty.to_string tu in
+  let ra = Rng.split root 2 in
+  let args = List.init (range cfg.n_args) (fun _ -> Rng.range ra (-6) 30) in
+  let assignments = gen_assignments ra (range cfg.n_assignments) switches in
+  match case_of_source ~seed ~args ~assignments src with
+  | c -> c
+  | exception exn ->
+      failwith
+        (Printf.sprintf "Mv_fuzz.Gen bug: seed %d generated invalid program (%s):\n%s"
+           seed (Printexc.to_string exn) src)

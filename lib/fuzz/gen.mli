@@ -1,0 +1,96 @@
+(** Typed random Mini-C program generator.
+
+    Programs are generated as {!Minic.Ast} trees — not string templates —
+    and cover the whole surface the pipeline accepts: several functions
+    with (acyclic) calls, [multiverse] switches of every integer-like
+    shape ([values(..)] lists, sub-word widths, [bool], [enum], function
+    pointers), [bind(..)]/[noinline]/[saveall] attributes, global arrays,
+    guarded pointer and width-cast loads/stores, the safe intrinsics, and
+    every statement form (loops with bounded fuel, [switch]/[case],
+    [break]/[continue], early returns).
+
+    Three invariants make every generated program a valid differential
+    subject:
+    + {b well-typed}: the tree is pretty-printed and re-checked through
+      the real front end; a generator bug raises immediately;
+    + {b trap-free and terminating}: divisors are masked positive, shift
+      counts masked, array indices masked to the (power-of-two) bounds,
+      loops carry bounded fuel, the call graph is acyclic, and a
+      worst-case work budget caps total dynamic statements well under the
+      engines' step limits;
+    + {b observably deterministic}: pointer values never flow into
+      results (pointers are only dereferenced), [__rdtsc] is never
+      generated, and configuration switches are never written by guest
+      code — so any cross-engine or cross-image divergence is a real bug,
+      not generator noise. *)
+
+(** One configuration switch of the generated program. *)
+type switch = {
+  sw_name : string;
+  sw_ty : Minic.Ast.ty;
+  sw_domain : int list;  (** specialization domain; [[]] for fnptr switches *)
+  sw_targets : string list;  (** candidate targets, fnptr switches only *)
+}
+
+(** A host-side configuration: values for the integer-like switches and
+    target functions for the fnptr switches.  Values may lie outside the
+    specialization domain (exercising the generic fallback). *)
+type assignment = {
+  a_ints : (string * int) list;
+  a_ptrs : (string * string) list;
+}
+
+type case = {
+  c_seed : int;
+  c_tu : Minic.Ast.tunit;
+  c_src : string;  (** pretty-printed source — the canonical artifact *)
+  c_switches : switch list;
+  c_entry : string;  (** always ["driver"], arity 1 *)
+  c_args : int list;  (** driver arguments, run in sequence *)
+  c_assignments : assignment list;  (** first one is always in-domain *)
+}
+
+(** Size knobs.  [work_budget] bounds the worst-case number of dynamic
+    statements one driver call can execute (loops multiply, calls add the
+    callee's cost) — the generator falls back to cheap statements when a
+    candidate would exceed it. *)
+type cfg = {
+  n_helpers : int * int;
+  n_switches : int * int;
+  n_leaves : int * int;
+  stmt_fuel : int;  (** total statements per function body *)
+  max_block : int;
+  max_depth : int;
+  max_expr_depth : int;
+  n_args : int * int;
+  n_assignments : int * int;
+  work_budget : int;
+}
+
+val default_cfg : cfg
+
+(** Smaller programs for property tests and quick smokes. *)
+val small_cfg : cfg
+
+(** Generate the case for a seed (pure function of [seed] and [cfg]). *)
+val case : ?cfg:cfg -> int -> case
+
+(** Recompute the switch records of a (parsed, checked) unit — used when
+    rebuilding a case from shrunk or stored source. *)
+val switches_of_tu : Minic.Ast.tunit -> switch list
+
+(** Drop assignment entries whose switch (or fnptr target) no longer
+    exists in the given switch set. *)
+val restrict_assignment : switch list -> assignment -> assignment
+
+(** Rebuild a case from source text (raises the front-end exceptions on
+    invalid input).  [args]/[assignments] are filtered against the
+    switches actually present. *)
+val case_of_source :
+  seed:int -> args:int list -> assignments:assignment list -> string -> case
+
+(** Fresh assignments for a switch set (used by replay tooling when a
+    stored reproducer predates a switch). *)
+val gen_assignments : Rng.t -> int -> switch list -> assignment list
+
+val pp_assignment : Format.formatter -> assignment -> unit

@@ -1,0 +1,449 @@
+module Ast = Minic.Ast
+module Interp = Mv_ir.Interp
+module Lower = Mv_ir.Lower
+module Machine = Mv_vm.Machine
+module Image = Mv_link.Image
+module Runtime = Core.Runtime
+module Compiler = Core.Compiler
+
+type chaos = No_chaos | Skip_flush | Lost_flush
+
+type divergence = { d_oracle : string; d_detail : string }
+
+let pp_divergence fmt d =
+  Format.fprintf fmt "[%s] %s" d.d_oracle d.d_detail
+
+let oracle_names =
+  [
+    "interp-vs-vm";
+    "opt-vs-unopt";
+    "commit-soundness";
+    "commit-idempotent";
+    "schedule-equiv";
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Engine plumbing                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Generated programs are trap-free, so a fault in either engine is a
+   reportable outcome of its own, not noise to be matched up. *)
+type outcome = Ret of int | Fault of string
+
+let pp_outcome = function
+  | Ret v -> string_of_int v
+  | Fault m -> "fault:" ^ m
+
+let interp_step_limit = 10_000_000
+
+let run_interp it entry arg : outcome =
+  match Interp.run it entry [ arg ] with
+  | v -> Ret v
+  | exception Interp.Fault m -> Fault m
+  | exception Interp.Step_limit_exceeded -> Fault "step-limit"
+
+let run_machine m entry arg : outcome =
+  match Machine.call m entry [ arg ] with
+  | v -> Ret v
+  | exception Machine.Fault m' -> Fault m'
+
+(* Observable state: every non-pointer global (arrays element-wise).
+   Pointer and fnptr globals are excluded — their values depend on the
+   engine's address-space layout, not on program semantics. *)
+type obs = Scalar of string * int | Arr of string * int * int
+
+let observables (case : Gen.case) : obs list =
+  List.filter_map
+    (function
+      | Ast.Dglobal g
+        when (not g.Ast.g_extern)
+             && g.Ast.g_ty <> Ast.Tptr
+             && g.Ast.g_ty <> Ast.Tfnptr -> (
+          let w = Ast.ty_width g.Ast.g_ty in
+          match g.Ast.g_array with
+          | Some n -> Some (Arr (g.Ast.g_name, n, w))
+          | None -> Some (Scalar (g.Ast.g_name, w)))
+      | _ -> None)
+    case.Gen.c_tu
+
+let read_obs_machine img obs =
+  List.concat_map
+    (function
+      | Scalar (name, w) -> [ (name, Image.read img (Image.symbol img name) w) ]
+      | Arr (name, n, w) ->
+          let base = Image.symbol img name in
+          List.init n (fun i ->
+              (Printf.sprintf "%s[%d]" name i, Image.read img (base + (i * w)) w)))
+    obs
+
+let read_obs_interp it obs =
+  List.concat_map
+    (function
+      | Scalar (name, w) -> [ (name, Interp.load it (Interp.global_addr it name) w) ]
+      | Arr (name, n, w) ->
+          let base = Interp.global_addr it name in
+          List.init n (fun i ->
+              (Printf.sprintf "%s[%d]" name i, Interp.load it (base + (i * w)) w)))
+    obs
+
+let diff_states a b =
+  List.find_map
+    (fun ((name, va), (name', vb)) ->
+      assert (name = name');
+      if va <> vb then Some (Printf.sprintf "%s: %d vs %d" name va vb) else None)
+    (List.combine a b)
+
+(* Switch assignments, written width-aware so sub-word switches do not
+   clobber their neighbours. *)
+let switch_width (case : Gen.case) name =
+  match List.find_opt (fun sw -> sw.Gen.sw_name = name) case.Gen.c_switches with
+  | Some sw -> Ast.ty_width sw.Gen.sw_ty
+  | None -> 8
+
+let apply_machine case img (a : Gen.assignment) =
+  List.iter
+    (fun (name, v) ->
+      Image.write img (Image.symbol img name) v (switch_width case name))
+    a.Gen.a_ints;
+  List.iter
+    (fun (name, target) ->
+      Image.write img (Image.symbol img name) (Image.symbol img target) 8)
+    a.Gen.a_ptrs
+
+let apply_interp it (a : Gen.assignment) =
+  List.iter (fun (name, v) -> Interp.write_global it name v) a.Gen.a_ints;
+  List.iter
+    (fun (name, target) ->
+      Interp.store it (Interp.global_addr it name) (Interp.symbol_addr it target) 8)
+    a.Gen.a_ptrs
+
+(* A machine + runtime pair with optional fault injection in the flush
+   path (the chaos modes exist so the fuzzer can prove it would catch a
+   pipeline that forgets to invalidate the decode cache). *)
+let build_session ?(chaos = No_chaos) src =
+  let program = Compiler.build_string src in
+  let machine = Machine.create program.Compiler.p_image in
+  let lost = ref false in
+  let flush ~addr ~len =
+    match chaos with
+    | No_chaos -> Machine.flush_icache machine ~addr ~len
+    | Skip_flush -> ()
+    | Lost_flush ->
+        (* every other invalidation request is dropped on the floor *)
+        lost := not !lost;
+        if not !lost then Machine.flush_icache machine ~addr ~len
+  in
+  let runtime = Runtime.create program.Compiler.p_image ~flush in
+  (program, machine, runtime)
+
+let text_snapshot img =
+  let t = img.Image.text in
+  Image.read_bytes img t.Image.sr_base t.Image.sr_size
+
+let diff_text ~pristine img =
+  let now = text_snapshot img in
+  if Bytes.equal pristine now then None
+  else begin
+    let n = Bytes.length pristine in
+    let rec first i =
+      if i >= n then n
+      else if Bytes.get pristine i <> Bytes.get now i then i
+      else first (i + 1)
+    in
+    Some (Printf.sprintf "text differs from pristine at offset +0x%x" (first 0))
+  end
+
+let make_interp src =
+  let prog, _warnings = Lower.lower_string src in
+  Interp.create ~step_limit:interp_step_limit [ prog ]
+
+(* ------------------------------------------------------------------ *)
+(* Oracle: reference interpreter vs full-pipeline machine              *)
+(* ------------------------------------------------------------------ *)
+
+let interp_vs_vm (case : Gen.case) (_sched : Schedule.t) : divergence option =
+  let it = make_interp case.Gen.c_src in
+  let _program, machine, _rt = build_session case.Gen.c_src in
+  let img = _program.Compiler.p_image in
+  let obs = observables case in
+  let fail fmt = Printf.ksprintf (fun d -> Some { d_oracle = "interp-vs-vm"; d_detail = d }) fmt in
+  (* first with the initializer defaults, then under every assignment;
+     state persists across runs in both engines identically *)
+  let configs = None :: List.map Option.some case.Gen.c_assignments in
+  List.fold_left
+    (fun acc config ->
+      match acc with
+      | Some _ -> acc
+      | None -> (
+          (match config with
+          | None -> ()
+          | Some a ->
+              apply_interp it a;
+              apply_machine case img a);
+          List.fold_left
+            (fun acc arg ->
+              match acc with
+              | Some _ -> acc
+              | None -> (
+                  let ri = run_interp it case.Gen.c_entry arg in
+                  let rm = run_machine machine case.Gen.c_entry arg in
+                  if ri <> rm then
+                    fail "driver(%d): interp=%s vm=%s" arg (pp_outcome ri)
+                      (pp_outcome rm)
+                  else
+                    match
+                      diff_states (read_obs_interp it obs) (read_obs_machine img obs)
+                    with
+                    | Some d -> fail "driver(%d): global %s (interp vs vm)" arg d
+                    | None -> None))
+            None case.Gen.c_args))
+    None configs
+
+(* ------------------------------------------------------------------ *)
+(* Oracle: unoptimized IR vs optimized IR                              *)
+(* ------------------------------------------------------------------ *)
+
+let opt_vs_unopt (case : Gen.case) (_sched : Schedule.t) : divergence option =
+  let plain = make_interp case.Gen.c_src in
+  let opt =
+    let prog, _warnings = Lower.lower_string case.Gen.c_src in
+    Mv_opt.Pass.optimize_prog prog;
+    Interp.create ~step_limit:interp_step_limit [ prog ]
+  in
+  let obs = observables case in
+  let fail fmt = Printf.ksprintf (fun d -> Some { d_oracle = "opt-vs-unopt"; d_detail = d }) fmt in
+  let configs = None :: List.map Option.some case.Gen.c_assignments in
+  List.fold_left
+    (fun acc config ->
+      match acc with
+      | Some _ -> acc
+      | None -> (
+          (match config with
+          | None -> ()
+          | Some a ->
+              apply_interp plain a;
+              apply_interp opt a);
+          List.fold_left
+            (fun acc arg ->
+              match acc with
+              | Some _ -> acc
+              | None -> (
+                  let r0 = run_interp plain case.Gen.c_entry arg in
+                  let r1 = run_interp opt case.Gen.c_entry arg in
+                  if r0 <> r1 then
+                    fail "driver(%d): -O0=%s opt=%s" arg (pp_outcome r0) (pp_outcome r1)
+                  else
+                    match
+                      diff_states (read_obs_interp plain obs) (read_obs_interp opt obs)
+                    with
+                    | Some d -> fail "driver(%d): global %s (-O0 vs opt)" arg d
+                    | None -> None))
+            None case.Gen.c_args))
+    None configs
+
+(* ------------------------------------------------------------------ *)
+(* Oracle: generic (dynamic) image vs committed image                  *)
+(* ------------------------------------------------------------------ *)
+
+let commit_soundness ?chaos (case : Gen.case) (_sched : Schedule.t) :
+    divergence option =
+  let _dprog, dyn_machine, _dyn_rt = build_session case.Gen.c_src in
+  let dyn_img = _dprog.Compiler.p_image in
+  let _cprog, com_machine, com_rt = build_session ?chaos case.Gen.c_src in
+  let com_img = _cprog.Compiler.p_image in
+  let pristine = text_snapshot com_img in
+  let obs = observables case in
+  let fail fmt =
+    Printf.ksprintf (fun d -> Some { d_oracle = "commit-soundness"; d_detail = d }) fmt
+  in
+  let result =
+    List.fold_left
+      (fun acc (ai, a) ->
+        match acc with
+        | Some _ -> acc
+        | None ->
+            apply_machine case dyn_img a;
+            apply_machine case com_img a;
+            ignore (Runtime.commit com_rt);
+            let r =
+              List.fold_left
+                (fun acc arg ->
+                  match acc with
+                  | Some _ -> acc
+                  | None -> (
+                      let rd = run_machine dyn_machine case.Gen.c_entry arg in
+                      let rc = run_machine com_machine case.Gen.c_entry arg in
+                      if rd <> rc then
+                        fail "assignment #%d (%s), driver(%d): generic=%s committed=%s"
+                          ai
+                          (Format.asprintf "%a" Gen.pp_assignment a)
+                          arg (pp_outcome rd) (pp_outcome rc)
+                      else
+                        match
+                          diff_states
+                            (read_obs_machine dyn_img obs)
+                            (read_obs_machine com_img obs)
+                        with
+                        | Some d ->
+                            fail "assignment #%d, driver(%d): global %s (generic vs committed)"
+                              ai arg d
+                        | None -> None))
+                None case.Gen.c_args
+            in
+            ignore (Runtime.revert com_rt);
+            r)
+      None
+      (List.mapi (fun i a -> (i, a)) case.Gen.c_assignments)
+  in
+  match result with
+  | Some _ -> result
+  | None -> (
+      match diff_text ~pristine com_img with
+      | Some d -> fail "after final revert: %s" d
+      | None -> None)
+
+(* ------------------------------------------------------------------ *)
+(* Oracle: committing twice is a no-op                                 *)
+(* ------------------------------------------------------------------ *)
+
+let commit_idempotent ?chaos (case : Gen.case) (_sched : Schedule.t) :
+    divergence option =
+  let _prog, _machine, rt = build_session ?chaos case.Gen.c_src in
+  let img = _prog.Compiler.p_image in
+  let pristine = text_snapshot img in
+  let fail fmt =
+    Printf.ksprintf (fun d -> Some { d_oracle = "commit-idempotent"; d_detail = d }) fmt
+  in
+  match case.Gen.c_assignments with
+  | [] -> None
+  | a :: _ -> (
+      apply_machine case img a;
+      ignore (Runtime.commit rt);
+      let snap1 = text_snapshot img in
+      ignore (Runtime.commit rt);
+      let snap2 = text_snapshot img in
+      if not (Bytes.equal snap1 snap2) then
+        fail "second commit changed the text segment"
+      else begin
+        ignore (Runtime.revert rt);
+        match diff_text ~pristine img with
+        | Some d -> fail "after revert: %s" d
+        | None -> None
+      end)
+
+(* ------------------------------------------------------------------ *)
+(* Oracle: scheduled commit/revert/safe-commit vs value-writes only    *)
+(* ------------------------------------------------------------------ *)
+
+(* The baseline machine receives only the schedule's value writes and
+   stays generic for the whole schedule; the subject executes every
+   operation, including safe ops injected at mid-run safepoint polls.
+   Well-formed schedules (see schedule.mli) keep the two observationally
+   equivalent. *)
+let run_rounds ~subject case (machine, rt) (sched : Schedule.t) : outcome list =
+  let img = machine.Machine.image in
+  if subject then
+    Runtime.set_live_scanner rt (fun () -> Machine.live_code_addrs machine);
+  let returns =
+    List.map
+      (fun (round : Schedule.round) ->
+        List.iter
+          (fun (op : Schedule.top_op) ->
+            match op with
+            | Schedule.Tset a -> apply_machine case img a
+            | _ when not subject -> ()
+            | Schedule.Tcommit -> ignore (Runtime.commit rt)
+            | Schedule.Trevert -> ignore (Runtime.revert rt)
+            | Schedule.Tcommit_safe -> ignore (Runtime.commit_safe rt)
+            | Schedule.Trevert_safe -> ignore (Runtime.revert_safe rt)
+            | Schedule.Tdrain -> Runtime.safepoint rt)
+          round.Schedule.r_top;
+        if subject then begin
+          let polls = ref 0 in
+          let todo = ref round.Schedule.r_mid in
+          Machine.set_safepoint machine
+            (Some
+               (fun () ->
+                 let i = !polls in
+                 incr polls;
+                 let now, later = List.partition (fun (ix, _) -> ix = i) !todo in
+                 todo := later;
+                 List.iter
+                   (fun ((_, op) : int * Schedule.mid_op) ->
+                     let policy d = if d then Runtime.Defer else Runtime.Deny in
+                     match op with
+                     | Schedule.Mcommit_safe d ->
+                         ignore (Runtime.commit_safe ~policy:(policy d) rt)
+                     | Schedule.Mrevert_safe d ->
+                         ignore (Runtime.revert_safe ~policy:(policy d) rt)
+                     | Schedule.Mdrain -> ())
+                   now;
+                 Runtime.safepoint rt))
+        end;
+        run_machine machine case.Gen.c_entry round.Schedule.r_arg)
+      sched
+  in
+  if subject then begin
+    Machine.set_safepoint machine None;
+    ignore (Runtime.revert rt);
+    Runtime.safepoint rt
+  end;
+  returns
+
+let schedule_equiv ?chaos (case : Gen.case) (sched : Schedule.t) :
+    divergence option =
+  if sched = [] then None
+  else begin
+    let _bprog, base_machine, base_rt = build_session case.Gen.c_src in
+    let base_img = _bprog.Compiler.p_image in
+    let _sprog, subj_machine, subj_rt = build_session ?chaos case.Gen.c_src in
+    let subj_img = _sprog.Compiler.p_image in
+    let pristine = text_snapshot subj_img in
+    let obs = observables case in
+    let fail fmt =
+      Printf.ksprintf (fun d -> Some { d_oracle = "schedule-equiv"; d_detail = d }) fmt
+    in
+    let base_returns = run_rounds ~subject:false case (base_machine, base_rt) sched in
+    let subj_returns = run_rounds ~subject:true case (subj_machine, subj_rt) sched in
+    let per_round =
+      List.find_map
+        (fun (i, (rb, rs)) ->
+          if rb <> rs then
+            fail "round %d (arg %d): generic=%s scheduled=%s" i
+              (List.nth sched i).Schedule.r_arg (pp_outcome rb) (pp_outcome rs)
+          else None)
+        (List.mapi (fun i p -> (i, p)) (List.combine base_returns subj_returns))
+    in
+    match per_round with
+    | Some _ -> per_round
+    | None -> (
+        match diff_states (read_obs_machine base_img obs) (read_obs_machine subj_img obs) with
+        | Some d -> fail "final global %s (generic vs scheduled)" d
+        | None -> (
+            match diff_text ~pristine subj_img with
+            | Some d -> fail "after final revert+drain: %s" d
+            | None -> None))
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Dispatch                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let run_named ?chaos name case sched =
+  match name with
+  | "interp-vs-vm" -> interp_vs_vm case sched
+  | "opt-vs-unopt" -> opt_vs_unopt case sched
+  | "commit-soundness" -> commit_soundness ?chaos case sched
+  | "commit-idempotent" -> commit_idempotent ?chaos case sched
+  | "schedule-equiv" -> schedule_equiv ?chaos case sched
+  | _ -> invalid_arg ("Oracle.run_named: unknown oracle " ^ name)
+
+let run_all ?chaos ?(only = []) case sched =
+  let names =
+    if only = [] then oracle_names
+    else List.filter (fun n -> List.mem n only) oracle_names
+  in
+  List.fold_left
+    (fun acc name ->
+      match acc with Some _ -> acc | None -> run_named ?chaos name case sched)
+    None names

@@ -1,0 +1,44 @@
+(** Differential oracles.
+
+    Each oracle runs one generated case through a pair of pipeline
+    configurations whose observable behavior must match, and reports the
+    first divergence: differing return values, differing observable
+    global/array state after a run, a fault on one side only, or
+    text-segment bytes that fail to return to the pristine image after a
+    final revert.
+
+    Observable state excludes pointer-typed globals (their values are
+    layout-dependent) and [__rdtsc] never occurs in generated programs, so
+    any divergence is a genuine bug in the pipeline under test. *)
+
+(** Fault injection for validating the oracles themselves: [Skip_flush]
+    drops the runtime's icache flushes entirely, [Lost_flush] drops every
+    other flush request (a lost invalidation IPI — the classic
+    cross-modifying-code bug).  A healthy pipeline diverges under both,
+    and the fuzzer must catch it. *)
+type chaos = No_chaos | Skip_flush | Lost_flush
+
+type divergence = {
+  d_oracle : string;
+  d_detail : string;
+}
+
+val pp_divergence : Format.formatter -> divergence -> unit
+
+(** All oracle names, in the order {!run_all} tries them. *)
+val oracle_names : string list
+
+(** Run one oracle by name ([Invalid_argument] on unknown names).
+    [chaos] affects the oracles that patch ([commit-soundness],
+    [commit-idempotent], [schedule-equiv]). *)
+val run_named :
+  ?chaos:chaos -> string -> Gen.case -> Schedule.t -> divergence option
+
+(** Run every oracle; first divergence wins.  [only] restricts to a
+    subset of {!oracle_names}. *)
+val run_all :
+  ?chaos:chaos ->
+  ?only:string list ->
+  Gen.case ->
+  Schedule.t ->
+  divergence option

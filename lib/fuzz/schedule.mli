@@ -1,0 +1,56 @@
+(** Randomized patching schedules.
+
+    A schedule drives the runtime the way a host kernel would: rounds of
+    top-level reconfiguration (set switch values, commit, revert, safe
+    variants, drain) each followed by one guest run, with safe-commit /
+    safe-revert / drain operations injected {e mid-run} at chosen
+    safepoint polls.
+
+    Schedules are {b well-formed by construction}: a [`set`] of switch
+    values always sits next to an operation that supersedes any journaled
+    pending set and re-synchronizes the committed state ([commit],
+    [commit_safe], or a preceding [revert]).  Mid-run operations never
+    change switch values.  Under these rules the paper's equivalence claim
+    applies to the whole schedule: the scheduled image must behave exactly
+    like a generic image that only receives the value writes — which is
+    what {!Oracle.check_schedule} checks. *)
+
+(** Mid-run operation, executed at a given safepoint poll.  The [bool] is
+    the policy: [true] = [Defer], [false] = [Deny]. *)
+type mid_op = Mcommit_safe of bool | Mrevert_safe of bool | Mdrain
+
+(** Top-level operation, executed between guest runs (machine quiescent). *)
+type top_op =
+  | Tset of Gen.assignment
+  | Tcommit
+  | Trevert
+  | Tcommit_safe
+  | Trevert_safe
+  | Tdrain
+
+type round = {
+  r_top : top_op list;
+  r_mid : (int * mid_op) list;  (** sorted by poll index *)
+  r_arg : int;  (** driver argument for this round's run *)
+}
+
+type t = round list
+
+(** Generate a schedule for a case (pure function of the stream).  Uses
+    the case's assignments for value writes; the first round always
+    commits. *)
+val gen : Rng.t -> Gen.case -> t
+
+(** Structurally smaller well-formed variants, for the shrinker: fewer
+    rounds, fewer/simpler mid ops, canonical top sequences, smaller poll
+    indices and arguments. *)
+val shrink_candidates : t -> t list
+
+val to_json : t -> Mv_obs.Json.t
+val of_json : Mv_obs.Json.t -> (t, string) result
+val pp : Format.formatter -> t -> unit
+
+(** Assignment (de)serialization, shared with the corpus format. *)
+val assignment_to_json : Gen.assignment -> Mv_obs.Json.t
+
+val assignment_of_json : Mv_obs.Json.t -> (Gen.assignment, string) result

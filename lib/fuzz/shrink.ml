@@ -1,0 +1,254 @@
+module Ast = Minic.Ast
+
+type result = {
+  sh_case : Gen.case;
+  sh_sched : Schedule.t;
+  sh_divergence : Oracle.divergence;
+  sh_evals : int;
+}
+
+(* ------------------------------------------------------------------ *)
+(* One-step reductions of statement lists                              *)
+(* ------------------------------------------------------------------ *)
+
+let mk d : Ast.stmt = { Ast.sdesc = d; sloc = Ast.dummy_loc }
+
+(* Replacement lists a compound statement can collapse into. *)
+let unwrappings (st : Ast.stmt) : Ast.stmt list list =
+  match st.Ast.sdesc with
+  | Ast.Sif (_, t, f) -> [ t; f ]
+  | Ast.Swhile (_, b) -> [ b ]
+  | Ast.Sdo_while (b, _) -> [ b ]
+  | Ast.Sfor (init, _, _, b) -> [ Option.to_list init @ b; b ]
+  | Ast.Sblock b -> [ b ]
+  | Ast.Sswitch (_, cases, default) -> List.map snd cases @ Option.to_list default
+  | _ -> []
+
+(* ddmin-style coarse cuts: drop aligned chunks of n/2, n/4, n/8
+   statements.  These go first so a large body collapses in a handful of
+   evaluations instead of one statement at a time. *)
+let chunk_removals (stmts : Ast.stmt list) : Ast.stmt list list =
+  let n = List.length stmts in
+  let sizes =
+    List.sort_uniq (fun a b -> compare b a)
+      (List.filter (fun s -> s >= 2 && s < n) [ n / 2; n / 4; n / 8 ])
+  in
+  List.concat_map
+    (fun k ->
+      let rec starts s acc = if s >= n then List.rev acc else starts (s + k) (s :: acc) in
+      List.map
+        (fun start ->
+          List.filteri (fun i _ -> i < start || i >= start + k) stmts)
+        (starts 0 []))
+    sizes
+
+let rec reductions_of_stmts (stmts : Ast.stmt list) : Ast.stmt list list =
+  chunk_removals stmts
+  @ List.concat
+      (List.mapi
+         (fun i st ->
+           let splice repl =
+             List.concat
+               (List.mapi (fun j st' -> if i = j then repl else [ st' ]) stmts)
+           in
+           (splice [] :: List.map splice (unwrappings st))
+           @ List.map (fun st' -> splice [ st' ]) (reductions_of_stmt st))
+         stmts)
+
+and reductions_of_stmt (st : Ast.stmt) : Ast.stmt list =
+  match st.Ast.sdesc with
+  | Ast.Sif (c, t, f) ->
+      List.map (fun t' -> mk (Ast.Sif (c, t', f))) (reductions_of_stmts t)
+      @ List.map (fun f' -> mk (Ast.Sif (c, t, f'))) (reductions_of_stmts f)
+  | Ast.Swhile (c, b) ->
+      List.map (fun b' -> mk (Ast.Swhile (c, b'))) (reductions_of_stmts b)
+  | Ast.Sdo_while (b, c) ->
+      List.map (fun b' -> mk (Ast.Sdo_while (b', c))) (reductions_of_stmts b)
+  | Ast.Sfor (i, c, u, b) ->
+      List.map (fun b' -> mk (Ast.Sfor (i, c, u, b'))) (reductions_of_stmts b)
+  | Ast.Sblock b -> List.map (fun b' -> mk (Ast.Sblock b')) (reductions_of_stmts b)
+  | Ast.Sswitch (sc, cases, default) ->
+      List.concat
+        (List.mapi
+           (fun i (labels, body) ->
+             List.map
+               (fun body' ->
+                 mk
+                   (Ast.Sswitch
+                      ( sc,
+                        List.mapi
+                          (fun j c -> if i = j then (labels, body') else c)
+                          cases,
+                        default )))
+               (reductions_of_stmts body))
+           cases)
+      @ (match default with
+        | None -> []
+        | Some d ->
+            List.map
+              (fun d' -> mk (Ast.Sswitch (sc, cases, Some d')))
+              (reductions_of_stmts d))
+      @ (if default <> None then [ mk (Ast.Sswitch (sc, cases, None)) ] else [])
+  | _ -> []
+
+(* ------------------------------------------------------------------ *)
+(* One-step reductions of the translation unit                         *)
+(* ------------------------------------------------------------------ *)
+
+let set_nth i v xs = List.mapi (fun j x -> if i = j then v else x) xs
+let drop_nth i xs = List.filteri (fun j _ -> j <> i) xs
+
+let tunit_candidates (tu : Ast.tunit) : Ast.tunit list =
+  let is_driver = function
+    | Ast.Dfunc f -> f.Ast.f_name = "driver"
+    | _ -> false
+  in
+  let drops =
+    List.concat
+      (List.mapi (fun i d -> if is_driver d then [] else [ drop_nth i tu ]) tu)
+  in
+  let attr_drops =
+    List.concat
+      (List.mapi
+         (fun i d ->
+           let with_attrs attrs rebuild =
+             List.mapi (fun j _ -> set_nth i (rebuild (drop_nth j attrs)) tu) attrs
+           in
+           match d with
+           | Ast.Dglobal g ->
+               with_attrs g.Ast.g_attrs (fun a -> Ast.Dglobal { g with Ast.g_attrs = a })
+           | Ast.Dfunc f ->
+               with_attrs f.Ast.f_attrs (fun a -> Ast.Dfunc { f with Ast.f_attrs = a })
+           | Ast.Denum _ -> [])
+         tu)
+  in
+  let stmt_reductions =
+    List.concat
+      (List.mapi
+         (fun i d ->
+           match d with
+           | Ast.Dfunc ({ Ast.f_body = Some body; _ } as f) ->
+               List.map
+                 (fun body' ->
+                   set_nth i (Ast.Dfunc { f with Ast.f_body = Some body' }) tu)
+                 (reductions_of_stmts body)
+           | _ -> [])
+         tu)
+  in
+  drops @ stmt_reductions @ attr_drops
+
+(* ------------------------------------------------------------------ *)
+(* The descent                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let rebuild_case (case : Gen.case) (tu : Ast.tunit) : Gen.case option =
+  let src = Minic.Pretty.to_string tu in
+  match
+    Gen.case_of_source ~seed:case.Gen.c_seed ~args:case.Gen.c_args
+      ~assignments:case.Gen.c_assignments src
+  with
+  | c -> Some c
+  | exception _ -> None
+
+(* Sub-lists to try for a list we want shorter: every singleton first,
+   then every drop-one (the divergence may need two entries to interact,
+   e.g. two commits where the first warms a cache the second corrupts). *)
+let list_trims (xs : 'a list) : 'a list list =
+  if List.length xs <= 1 then []
+  else
+    List.map (fun x -> [ x ]) xs
+    @ (if List.length xs > 2 then List.mapi (fun i _ -> drop_nth i xs) xs else [])
+
+(* Total size of a candidate state.  The descent only ever accepts a
+   strictly smaller state, which is what makes it terminate: candidate
+   generators are free to propose rewrites (canonical top sequences,
+   index zeroing) that could otherwise cycle. *)
+let sched_size (sched : Schedule.t) : int =
+  List.fold_left
+    (fun acc (r : Schedule.round) ->
+      acc + 4
+      + (2 * List.length r.Schedule.r_top)
+      + (2 * List.length r.Schedule.r_mid)
+      + List.fold_left
+          (fun a (ix, _) -> a + if ix > 0 then 1 else 0)
+          0 r.Schedule.r_mid
+      + if r.Schedule.r_arg <> 1 then 1 else 0)
+    0 sched
+
+let state_size ((case, sched) : Gen.case * Schedule.t) : int =
+  String.length case.Gen.c_src
+  + (4 * List.length case.Gen.c_args)
+  + (8 * List.length case.Gen.c_assignments)
+  + sched_size sched
+
+let shrink ?(budget = 300) ?chaos ?(log = ignore) (case0 : Gen.case)
+    (sched0 : Schedule.t) (div0 : Oracle.divergence) : result =
+  let evals = ref 0 in
+  let oracle = div0.Oracle.d_oracle in
+  (* keep a candidate only when the same oracle still reports a
+     divergence (the detail may legitimately change as the case shrinks) *)
+  let check (case, sched) : Oracle.divergence option =
+    if !evals >= budget then None
+    else begin
+      incr evals;
+      match Oracle.run_named ?chaos oracle case sched with
+      | d -> d
+      | exception _ -> None
+    end
+  in
+  (* candidate streams, lazy thunks so a hit early in the list costs
+     nothing for the rest.  Order matters twice over: argument and
+     assignment trimming comes first because it makes every later oracle
+     evaluation cheaper, and chunked statement cuts (inside
+     [tunit_candidates]) come before fine-grained ones so large bodies
+     collapse fast. *)
+  let candidates (case, sched) :
+      (string * (unit -> (Gen.case * Schedule.t) option)) list =
+    let with_case c = Option.map (fun c -> (c, sched)) c in
+    List.map
+      (fun args ->
+        ( Printf.sprintf "args -> [%s]"
+            (String.concat ";" (List.map string_of_int args)),
+          fun () -> with_case (Some { case with Gen.c_args = args }) ))
+      (list_trims case.Gen.c_args)
+    @ List.map
+        (fun assignments ->
+          ( Printf.sprintf "assignments -> %d" (List.length assignments),
+            fun () -> with_case (Some { case with Gen.c_assignments = assignments })
+          ))
+        (list_trims case.Gen.c_assignments)
+    @ List.map
+        (fun sched' -> ("schedule", fun () -> Some (case, sched')))
+        (Schedule.shrink_candidates sched)
+    @ List.map
+        (fun tu' ->
+          ( Printf.sprintf "tunit (%d decls)" (List.length tu'),
+            fun () -> with_case (rebuild_case case tu') ))
+        (tunit_candidates case.Gen.c_tu)
+  in
+  let rec improve state div =
+    if !evals >= budget then (state, div)
+    else begin
+      let limit = state_size state in
+      let rec first = function
+        | [] -> None
+        | (label, thunk) :: rest -> (
+            match thunk () with
+            | None -> first rest
+            | Some cand when state_size cand >= limit -> first rest
+            | Some cand -> (
+                match check cand with
+                | Some d ->
+                    log
+                      (Printf.sprintf "  shrink: %s (size %d -> %d, eval %d)"
+                         label limit (state_size cand) !evals);
+                    Some (cand, d)
+                | None -> first rest))
+      in
+      match first (candidates state) with
+      | Some (state', div') -> improve state' div'
+      | None -> (state, div)
+    end
+  in
+  let (case, sched), div = improve (case0, sched0) div0 in
+  { sh_case = case; sh_sched = sched; sh_divergence = div; sh_evals = !evals }

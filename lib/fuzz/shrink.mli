@@ -1,0 +1,27 @@
+(** Structural shrinking of a diverging case + schedule.
+
+    Greedy first-improvement descent over one-step reductions: drop
+    schedule rounds and operations, drop whole declarations, drop
+    attributes, delete statements, unwrap compound statements into their
+    bodies, and trim arguments/assignments — keeping a candidate only
+    when it still re-parses, re-checks, and still diverges on the {e
+    same oracle} that caught the original.  Deterministic (no randomness)
+    and bounded by an evaluation budget, since each evaluation may
+    rebuild and rerun the program. *)
+
+type result = {
+  sh_case : Gen.case;
+  sh_sched : Schedule.t;
+  sh_divergence : Oracle.divergence;  (** divergence of the shrunk case *)
+  sh_evals : int;  (** oracle evaluations spent *)
+}
+
+val shrink :
+  ?budget:int ->
+  ?chaos:Oracle.chaos ->
+  ?log:(string -> unit) ->
+  Gen.case ->
+  Schedule.t ->
+  Oracle.divergence ->
+  result
+(** [log] receives one line per adopted reduction (default: silent). *)

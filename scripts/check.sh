@@ -1,13 +1,20 @@
 #!/bin/sh
 # The full local gate: docs build warning-free, everything compiles, the
-# whole test suite passes, and the bench harness emits a valid results
-# document.  Run from anywhere inside the repository.
+# whole test suite passes, the differential fuzzer finds nothing, and the
+# bench harness emits a valid results document.  Run from anywhere inside
+# the repository.
 set -eu
 cd "$(dirname "$0")/.."
 
 dune build @doc
 dune build
 dune runtest
+
+# Differential fuzz smoke: 500 seed-pinned cases through every oracle.
+# On divergence mvfuzz exits 1 after printing (and, with MVFUZZ_CORPUS
+# set, saving) the shrunk reproducer.
+dune exec bin/mvfuzz.exe -- --iters 500 --seed 1 --quiet \
+  ${MVFUZZ_CORPUS:+--corpus "$MVFUZZ_CORPUS"}
 
 # Smoke the machine-readable bench export: one fast experiment, then
 # check the document parses and carries the expected schema/rows.

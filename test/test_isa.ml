@@ -178,5 +178,6 @@ let suite =
     tc "encode validation" test_encode_validation;
     tc "decode validation" test_decode_validation;
     tc "position-independence classification" test_position_independence_classification;
-    QCheck_alcotest.to_alcotest prop_roundtrip;
+    (* pinned seed, QCHECK_SEED honoured — see test_props.ml *)
+    Test_props.to_alcotest prop_roundtrip;
   ]

@@ -23,6 +23,8 @@ let () =
       ("workloads", Test_workloads.suite);
       ("harness", Test_harness.suite);
       ("obs", Test_obs.suite);
+      ("json", Test_json.suite);
+      ("fuzz", Test_fuzz.suite);
       ("compiler", Test_compiler.suite);
       ("extensions", Test_extensions.suite);
       ("properties", Test_props.suite);

@@ -2,278 +2,180 @@
 
    The central property is the paper's soundness claim (Section 7.4): for
    any program and any configuration assignment, a committed image behaves
-   exactly like the generic, dynamically-evaluating one.  A random Mini-C
-   program generator drives this, together with:
-   - back-end correctness: machine execution == reference interpreter,
-   - revert restores the text segment byte-for-byte,
-   - commit idempotence,
-   - optimizer semantic preservation. *)
+   exactly like the generic, dynamically-evaluating one.
 
-open Util
+   Programs come from the fuzzer's full-language generator (Mv_fuzz.Gen)
+   and the semantic checks are the fuzzer's differential oracles, so these
+   properties and `mvfuzz` exercise exactly the same code paths: a qcheck
+   counterexample is an mvfuzz seed and vice versa.
+
+   Seeds are pinned for reproducibility; override with QCHECK_SEED=n.  On
+   failure the seed is printed so the run can be replayed exactly. *)
+
+module Gen = Mv_fuzz.Gen
+module Schedule = Mv_fuzz.Schedule
+module Oracle = Mv_fuzz.Oracle
+module Driver = Mv_fuzz.Driver
 module Image = Mv_link.Image
-module Runtime = Core.Runtime
+module Json = Mv_obs.Json
 
 (* ------------------------------------------------------------------ *)
-(* Random Mini-C generator                                             *)
+(* Seed pinning                                                        *)
 (* ------------------------------------------------------------------ *)
 
-(* Expressions over: the switches a (domain {0,1}) and b ({0,1,2}), plain
-   globals g0/g1, locals x/y, and a parameter n.  Division-free so no traps;
-   shifts bounded. *)
-let gen_expr : string QCheck.Gen.t =
-  let open QCheck.Gen in
-  sized @@ fix (fun self size ->
-      let leaf =
-        oneof
-          [
-            map string_of_int (int_range (-20) 20);
-            oneofl [ "a"; "b"; "g0"; "g1"; "x"; "y"; "n" ];
-          ]
-      in
-      if size <= 0 then leaf
-      else
-        frequency
-          [
-            (2, leaf);
-            ( 5,
-              let* op =
-                oneofl [ "+"; "-"; "*"; "&"; "|"; "^"; "<"; "<="; "=="; "!="; ">"; ">=" ]
-              in
-              let* l = self (size / 2) and* r = self (size / 2) in
-              return (Printf.sprintf "(%s %s %s)" l op r) );
-            ( 1,
-              let* e = self (size / 2) in
-              let* k = int_range 0 3 in
-              return (Printf.sprintf "(%s << %d)" e k) );
-            ( 1,
-              let* e = self (size / 2) in
-              return (Printf.sprintf "(-(%s))" e) );
-            ( 1,
-              let* e = self (size / 2) in
-              return (Printf.sprintf "(!(%s))" e) );
-            ( 2,
-              let* c = self (size / 3) and* t = self (size / 3) and* f = self (size / 3) in
-              return (Printf.sprintf "(%s ? %s : %s)" c t f) );
-            ( 2,
-              let* l = self (size / 2) and* r = self (size / 2) in
-              let* op = oneofl [ "&&"; "||" ] in
-              return (Printf.sprintf "(%s %s %s)" l op r) );
-          ])
+let qcheck_seed =
+  match Sys.getenv_opt "QCHECK_SEED" with
+  | Some s -> ( match int_of_string_opt s with Some n -> n | None -> 0x5eed )
+  | None -> 0x5eed
 
-let gen_stmts : string QCheck.Gen.t =
-  let open QCheck.Gen in
-  let stmt depth self =
-    frequency
-      [
-        ( 4,
-          let* e = gen_expr in
-          return (Printf.sprintf "w = w * 3 + (%s);" e) );
-        ( 2,
-          let* e = gen_expr in
-          return (Printf.sprintf "x = (%s);" e) );
-        ( 1,
-          let* e = gen_expr in
-          return (Printf.sprintf "y = y + (%s);" e) );
-        ( 3,
-          if depth <= 0 then return "w = w + 1;"
-          else
-            let* c = gen_expr in
-            let* body = self (depth - 1) in
-            let* els = self (depth - 1) in
-            return (Printf.sprintf "if (%s) { %s } else { %s }" c body els) );
-        ( 1,
-          if depth <= 0 then return "w = w + 2;"
-          else
-            let* k = int_range 1 4 in
-            let* body = self (depth - 1) in
-            return (Printf.sprintf "for (int i = 0; i < %d; i++) { %s }" k body) );
-        (1, return "aux(w & 1023);");
-        (1, return "w = w + aux(x);");
-      ]
+(* [QCheck_alcotest.to_alcotest] without [~rand] self-initialises, which
+   makes failures unreproducible; pin it, and name the seed on failure. *)
+let to_alcotest test =
+  let name, speed, f =
+    QCheck_alcotest.to_alcotest
+      ~rand:(Random.State.make [| qcheck_seed |])
+      test
   in
-  let rec block depth =
-    let* count = int_range 1 4 in
-    let* stmts = list_repeat count (stmt depth block) in
-    return (String.concat "\n        " stmts)
-  in
-  block 2
+  ( name,
+    speed,
+    fun () ->
+      try f ()
+      with e ->
+        Printf.eprintf "[qcheck] reproduce with QCHECK_SEED=%d\n%!" qcheck_seed;
+        raise e )
 
-let program_of_stmts stmts =
-  Printf.sprintf
-    {|
-    multiverse int a;
-    multiverse values(0, 1, 2) int b;
-    int g0 = 3;
-    int g1 = -5;
-    int w;
-    int aux(int v) { return (v * 2) + 1; }
-    multiverse void mvfn(int n) {
-      int x = n;
-      int y = 0;
-      %s
-    }
-    int driver(int n) {
-      w = 0;
-      mvfn(n);
-      return w;
-    }
-  |}
-    stmts
+(* ------------------------------------------------------------------ *)
+(* Case generation: defer to the fuzzer's generator                    *)
+(* ------------------------------------------------------------------ *)
 
-type case = { src : string; a : int; b : int; n : int }
-
-let gen_case : case QCheck.Gen.t =
-  let open QCheck.Gen in
-  let* stmts = gen_stmts in
-  (* include out-of-domain values to exercise the generic fallback *)
-  let* a = oneofl [ 0; 1; 3 ] in
-  let* b = oneofl [ 0; 1; 2; 7 ] in
-  let* n = int_range (-5) 20 in
-  return { src = program_of_stmts stmts; a; b; n }
+(* A case is a pure function of its seed, so the qcheck search space is
+   just the seed space; a counterexample names the seed and the mvfuzz
+   command that replays it. *)
+let gen_case : Gen.case QCheck.Gen.t =
+  QCheck.Gen.map
+    (fun seed -> Gen.case ~cfg:Gen.small_cfg seed)
+    (QCheck.Gen.int_range 0 1_000_000)
 
 let arbitrary_case =
   QCheck.make
-    ~print:(fun c -> Printf.sprintf "a=%d b=%d n=%d\n%s" c.a c.b c.n c.src)
+    ~print:(fun (c : Gen.case) ->
+      Printf.sprintf "seed %d (replay: mvfuzz --small --seed %d --replay)\n%s"
+        c.Gen.c_seed c.Gen.c_seed c.Gen.c_src)
     gen_case
 
-(* bound the machine so pathological programs cannot hang the suite *)
-let quick_session src =
-  let program = build src in
-  let machine =
-    Mv_vm.Machine.create ~max_steps:2_000_000 program.Core.Compiler.p_image
-  in
-  let runtime =
-    Core.Runtime.create program.Core.Compiler.p_image ~flush:(fun ~addr ~len ->
-        Mv_vm.Machine.flush_icache machine ~addr ~len)
-  in
-  ({ program; machine; runtime } : session)
+(* Oracle-backed property: the named differential oracle stays silent. *)
+let oracle_prop ~name ~count oracle =
+  QCheck.Test.make ~name ~count arbitrary_case (fun c ->
+      let sched = Driver.schedule_for c c.Gen.c_seed in
+      match Oracle.run_named oracle c sched with
+      | None -> true
+      | Some d -> QCheck.Test.fail_reportf "%a" Oracle.pp_divergence d)
 
-let count = 60  (* full compile + commit per case keeps this moderate *)
-
-(* ------------------------------------------------------------------ *)
-(* Properties                                                          *)
-(* ------------------------------------------------------------------ *)
-
-(** Section 7.4 soundness: committed == generic for every assignment. *)
+(** Section 7.4 soundness: committed == generic for every assignment,
+    and the final revert restores the text segment byte-for-byte. *)
 let prop_commit_soundness =
-  QCheck.Test.make ~name:"commit preserves semantics (soundness)" ~count arbitrary_case
-    (fun c ->
-      let dynamic = quick_session c.src in
-      set_global dynamic "a" c.a;
-      set_global dynamic "b" c.b;
-      let expected = run dynamic "driver" [ c.n ] in
-      let committed = quick_session c.src in
-      set_global committed "a" c.a;
-      set_global committed "b" c.b;
-      ignore (Runtime.commit committed.runtime);
-      let actual = run committed "driver" [ c.n ] in
-      expected = actual)
+  oracle_prop ~name:"commit preserves semantics (soundness)" ~count:25
+    "commit-soundness"
 
-(** Machine == reference interpreter on the same generic program. *)
+(** Machine execution matches the reference interpreter. *)
 let prop_backend_differential =
-  QCheck.Test.make ~name:"machine matches the reference interpreter" ~count
-    arbitrary_case (fun c ->
-      let prog, _ = Mv_ir.Lower.lower_string c.src in
-      let t = Mv_ir.Interp.create ~step_limit:2_000_000 [ prog ] in
-      Mv_ir.Interp.write_global t "a" c.a;
-      Mv_ir.Interp.write_global t "b" c.b;
-      let expected = Mv_ir.Interp.run t "driver" [ c.n ] in
-      let s = quick_session c.src in
-      set_global s "a" c.a;
-      set_global s "b" c.b;
-      expected = run s "driver" [ c.n ])
+  oracle_prop ~name:"machine matches the reference interpreter" ~count:25
+    "interp-vs-vm"
 
 (** Optimizer preserves semantics on random programs. *)
 let prop_optimizer_preserves =
-  QCheck.Test.make ~name:"optimizer preserves semantics" ~count arbitrary_case
-    (fun c ->
-      let run_with optimize =
-        let prog, _ = Mv_ir.Lower.lower_string c.src in
-        if optimize then Mv_opt.Pass.optimize_prog prog;
-        let t = Mv_ir.Interp.create ~step_limit:2_000_000 [ prog ] in
-        Mv_ir.Interp.write_global t "a" c.a;
-        Mv_ir.Interp.write_global t "b" c.b;
-        Mv_ir.Interp.run t "driver" [ c.n ]
-      in
-      run_with false = run_with true)
+  oracle_prop ~name:"optimizer preserves semantics" ~count:25 "opt-vs-unopt"
 
-(** Revert restores the text segment byte-for-byte. *)
-let prop_revert_restores_text =
-  QCheck.Test.make ~name:"revert restores the text segment" ~count arbitrary_case
-    (fun c ->
-      let s = quick_session c.src in
-      let img = s.program.Core.Compiler.p_image in
-      let text = img.Image.text in
-      let snapshot () = Bytes.sub img.Image.mem text.Image.sr_base text.Image.sr_size in
-      let before = snapshot () in
-      set_global s "a" c.a;
-      set_global s "b" c.b;
-      ignore (Runtime.commit s.runtime);
-      ignore (Runtime.revert s.runtime);
-      Bytes.equal before (snapshot ()))
-
-(** Committing twice with the same values is a no-op on the text. *)
+(** Committing twice is a no-op; revert restores the pristine text. *)
 let prop_commit_idempotent =
-  QCheck.Test.make ~name:"commit is idempotent" ~count arbitrary_case (fun c ->
-      let s = quick_session c.src in
-      let img = s.program.Core.Compiler.p_image in
-      let text = img.Image.text in
-      let snapshot () = Bytes.sub img.Image.mem text.Image.sr_base text.Image.sr_size in
-      set_global s "a" c.a;
-      set_global s "b" c.b;
-      ignore (Runtime.commit s.runtime);
-      let first = snapshot () in
-      ignore (Runtime.commit s.runtime);
-      Bytes.equal first (snapshot ()))
+  oracle_prop ~name:"commit is idempotent, revert restores text" ~count:25
+    "commit-idempotent"
 
-(** Re-committing after switch flips always tracks the current values. *)
-let prop_recommit_tracks_switches =
-  QCheck.Test.make ~name:"re-commit tracks switch changes" ~count:30 arbitrary_case
+(** Randomized commit/revert/safe-commit schedules (including mid-run
+    safe ops injected at safepoints) never change observable behaviour
+    relative to a generic image receiving only the value writes. *)
+let prop_schedule_equiv =
+  oracle_prop ~name:"patching schedules preserve semantics" ~count:25
+    "schedule-equiv"
+
+(** Case generation is deterministic: one seed, one program, bit for bit.
+    Replayability of every mvfuzz/qcheck failure rests on this. *)
+let prop_generator_deterministic =
+  QCheck.Test.make ~name:"generator is deterministic per seed" ~count:40
+    (QCheck.make (QCheck.Gen.int_range 0 1_000_000))
+    (fun seed ->
+      let a = Gen.case ~cfg:Gen.small_cfg seed in
+      let b = Gen.case ~cfg:Gen.small_cfg seed in
+      String.equal a.Gen.c_src b.Gen.c_src
+      && a.Gen.c_args = b.Gen.c_args
+      && a.Gen.c_assignments = b.Gen.c_assignments)
+
+(** Schedules survive the JSON round-trip used by corpus files. *)
+let prop_schedule_json_roundtrip =
+  QCheck.Test.make ~name:"schedule JSON round-trip" ~count:40 arbitrary_case
     (fun c ->
-      let dynamic = quick_session c.src in
-      let committed = quick_session c.src in
-      List.for_all
-        (fun (a, b) ->
-          set_global dynamic "a" a;
-          set_global dynamic "b" b;
-          set_global committed "a" a;
-          set_global committed "b" b;
-          ignore (Runtime.commit committed.runtime);
-          run dynamic "driver" [ c.n ] = run committed "driver" [ c.n ])
-        [ (c.a, c.b); (1, 2); (0, 0); (c.a, 1) ])
+      let sched = Driver.schedule_for c c.Gen.c_seed in
+      let text = Format.asprintf "%a" Json.pp (Schedule.to_json sched) in
+      match Json.parse text with
+      | Error m -> QCheck.Test.fail_reportf "reparse failed: %s" m
+      | Ok j -> (
+          match Schedule.of_json j with
+          | Error m -> QCheck.Test.fail_reportf "decode failed: %s" m
+          | Ok sched' -> sched' = sched))
 
-(** The guard boxes of a function's variants partition the full domain:
-    exactly one variant record matches every in-domain assignment. *)
+(** The guard boxes of a function's variants partition its domain:
+    exactly one variant record matches every in-domain assignment.
+    (Functions whose cross product exceeds the variant cap keep only the
+    generic body and have no records to check.) *)
 let prop_guards_partition_domain =
-  QCheck.Test.make ~name:"variant guards partition the domain" ~count:40
+  QCheck.Test.make ~name:"variant guards partition the domain" ~count:15
     arbitrary_case (fun c ->
-      let s = quick_session c.src in
-      let img = s.program.Core.Compiler.p_image in
+      let program = Core.Compiler.build_string c.Gen.c_src in
+      let img = program.Core.Compiler.p_image in
       let fns = Core.Descriptor.parse_functions img in
-      let a_addr = Image.symbol img "a" in
-      let b_addr = Image.symbol img "b" in
-      List.for_all
-        (fun (f : Core.Descriptor.function_record) ->
-          f.fd_variants = []
-          || List.for_all
-               (fun (a, b) ->
-                 let matches =
-                   List.filter
-                     (fun (v : Core.Descriptor.variant_record) ->
-                       List.for_all
-                         (fun (g : Core.Descriptor.guard_record) ->
-                           let value =
-                             if g.gr_var = a_addr then a
-                             else if g.gr_var = b_addr then b
-                             else 0
-                           in
-                           g.gr_lo <= value && value <= g.gr_hi)
-                         v.va_guards)
-                     f.fd_variants
-                 in
-                 List.length matches = 1)
-               [ (0, 0); (0, 1); (0, 2); (1, 0); (1, 1); (1, 2) ])
-        fns)
+      (* every switch's value space, pointer targets as addresses *)
+      let spaces =
+        List.map
+          (fun (sw : Gen.switch) ->
+            ( Image.symbol img sw.Gen.sw_name,
+              sw.Gen.sw_domain
+              @ List.map (fun t -> Image.symbol img t) sw.Gen.sw_targets ))
+          c.Gen.c_switches
+      in
+      let assignments =
+        List.fold_left
+          (fun acc (addr, values) ->
+            List.concat_map
+              (fun partial -> List.map (fun v -> (addr, v) :: partial) values)
+              acc)
+          [ [] ] spaces
+      in
+      List.length assignments > 256
+      || List.for_all
+           (fun (f : Core.Descriptor.function_record) ->
+             f.Core.Descriptor.fd_variants = []
+             || List.for_all
+                  (fun assignment ->
+                    let matches =
+                      List.filter
+                        (fun (v : Core.Descriptor.variant_record) ->
+                          List.for_all
+                            (fun (g : Core.Descriptor.guard_record) ->
+                              let value =
+                                match
+                                  List.assoc_opt g.Core.Descriptor.gr_var assignment
+                                with
+                                | Some v -> v
+                                | None -> 0
+                              in
+                              g.Core.Descriptor.gr_lo <= value
+                              && value <= g.Core.Descriptor.gr_hi)
+                            v.Core.Descriptor.va_guards)
+                        f.Core.Descriptor.fd_variants
+                    in
+                    List.length matches = 1)
+                  assignments)
+           fns)
 
 (* ------------------------------------------------------------------ *)
 (* Structural properties (no compilation involved)                     *)
@@ -322,9 +224,9 @@ let prop_box_cover_exact =
 
 (** Canonical forms are invariant under block-id and register renumbering. *)
 let prop_canonical_form_invariant =
-  QCheck.Test.make ~name:"canonical form invariant under renumbering" ~count:40
+  QCheck.Test.make ~name:"canonical form invariant under renumbering" ~count:15
     arbitrary_case (fun c ->
-      let prog, _ = Mv_ir.Lower.lower_string c.src in
+      let prog, _ = Mv_ir.Lower.lower_string c.Gen.c_src in
       List.for_all
         (fun (fn : Mv_ir.Ir.fn) ->
           let renumber (fn : Mv_ir.Ir.fn) : Mv_ir.Ir.fn =
@@ -392,14 +294,15 @@ let prop_truncate =
       && u land ((1 lsl bits) - 1) = v land ((1 lsl bits) - 1))
 
 let suite =
-  List.map QCheck_alcotest.to_alcotest
+  List.map to_alcotest
     [
       prop_commit_soundness;
       prop_backend_differential;
       prop_optimizer_preserves;
-      prop_revert_restores_text;
       prop_commit_idempotent;
-      prop_recommit_tracks_switches;
+      prop_schedule_equiv;
+      prop_generator_deterministic;
+      prop_schedule_json_roundtrip;
       prop_guards_partition_domain;
       prop_box_cover_exact;
       prop_canonical_form_invariant;
