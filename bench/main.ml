@@ -34,13 +34,15 @@ let row fmt = Printf.printf fmt
 
 (* --json collector: experiments append labelled rows under the id the
    driver is currently running; at exit the tables are written as one
-   mv-bench-rows/1 document (schema documented in EXPERIMENTS.md). *)
+   mv-bench-rows/1 document (schema documented in EXPERIMENTS.md).
+   --baseline needs the same rows, so either flag arms the collector. *)
 let json_path : string option ref = ref None
+let baseline_path : string option ref = ref None
 let current_exp = ref ""
 let json_tables : (string * Json.t list ref) list ref = ref []
 
 let jrow label (fields : (string * Json.t) list) =
-  if !json_path <> None then begin
+  if !json_path <> None || !baseline_path <> None then begin
     let tbl =
       match List.assoc_opt !current_exp !json_tables with
       | Some t -> t
@@ -56,23 +58,40 @@ let jrow label (fields : (string * Json.t) list) =
 let jmeas label pairs =
   jrow label (List.map (fun (k, m) -> (k, H.measurement_json m)) pairs)
 
+let tables_doc () =
+  Json.Obj
+    [
+      ("schema", Json.String "mv-bench-rows/1");
+      ("fast", Json.Bool !fast);
+      ( "experiments",
+        Json.Obj
+          (List.map (fun (id, rows) -> (id, Json.List (List.rev !rows))) !json_tables) );
+    ]
+
 let write_json_tables path =
-  let doc =
-    Json.Obj
-      [
-        ("schema", Json.String "mv-bench-rows/1");
-        ("fast", Json.Bool !fast);
-        ( "experiments",
-          Json.Obj
-            (List.map (fun (id, rows) -> (id, Json.List (List.rev !rows))) !json_tables)
-        );
-      ]
-  in
   let oc = open_out_bin path in
   Fun.protect
     ~finally:(fun () -> close_out_noerr oc)
-    (fun () -> output_string oc (Json.to_string_pretty doc));
+    (fun () -> output_string oc (Json.to_string_pretty (tables_doc ())));
   Printf.printf "results -> %s\n" path
+
+(* --baseline: structural diff of this run's rows against a committed
+   mv-bench-rows/1 document (same comparison mvtrace diff performs). *)
+let print_baseline_diff path =
+  let contents =
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  match Json.parse contents with
+  | Error m -> Printf.eprintf "baseline %s: %s\n" path m
+  | Ok base -> (
+      match Mv_obs.Analyze.bench_diff ~base ~fresh:(tables_doc ()) () with
+      | Error m -> Printf.eprintf "baseline diff: %s\n" m
+      | Ok deltas ->
+          header (Printf.sprintf "diff vs baseline %s" path);
+          Format.printf "%a@." (Mv_obs.Analyze.pp_deltas ~only_changed:true) deltas)
 
 (* ------------------------------------------------------------------ *)
 (* E1: Figure 1 — static vs dynamic vs multiverse spinlock             *)
@@ -788,38 +807,52 @@ let ablation_explosion () =
 
 let obs_overhead () =
   header
-    "E14 / observability: cost of the tracing and profiling hooks\n\
-     (the hooks are host-side observers charging zero simulated cycles,\n\
-    \ so the cycle tables are unchanged whether or not they are armed;\n\
-    \ only host wall-clock pays for the bookkeeping)";
-  let run ~trace ~profile =
+    "E14+E16 / observability: cost of the tracing, profiling, stack-profiling\n\
+     and metrics hooks (all host-side observers charging zero simulated\n\
+    \ cycles, so the cycle tables are unchanged whether or not they are\n\
+    \ armed; only host wall-clock pays for the bookkeeping)";
+  let run arm =
     let s = H.session1 (Spinlock.source Spinlock.Multiverse) in
     H.set s "config_smp" 0;
     ignore (H.commit s);
-    if trace then H.enable_tracing s;
-    if profile then H.enable_profiling s;
+    arm s;
     let t0 = Unix.gettimeofday () in
     let m = H.measure ~samples:(samples ()) s ~loop_fn:"bench_loop" in
     let t1 = Unix.gettimeofday () in
     (m, (t1 -. t0) *. 1000.0)
   in
-  let base, base_ms = run ~trace:false ~profile:false in
-  let traced, traced_ms = run ~trace:true ~profile:false in
-  let profiled, profiled_ms = run ~trace:false ~profile:true in
+  let base, base_ms = run (fun _ -> ()) in
+  let traced, traced_ms = run H.enable_tracing in
+  let profiled, profiled_ms = run H.enable_profiling in
+  let stacked, stacked_ms = run H.enable_stack_profiling in
+  let metered, metered_ms = run (fun s -> H.enable_metrics s) in
   row "%-36s %12s %10s\n" "spinlock unicore" "cycles/call" "host ms";
   row "%-36s %12.2f %10.1f\n" "no sinks (baseline)" base.H.m_mean base_ms;
   row "%-36s %12.2f %10.1f\n" "tracing armed" traced.H.m_mean traced_ms;
   row "%-36s %12.2f %10.1f\n" "profiling armed" profiled.H.m_mean profiled_ms;
+  row "%-36s %12.2f %10.1f\n" "stack profiling armed" stacked.H.m_mean stacked_ms;
+  row "%-36s %12.2f %10.1f\n" "metrics registry armed" metered.H.m_mean metered_ms;
   let delta a = (a -. base.H.m_mean) /. base.H.m_mean *. 100.0 in
-  row "=> simulated-cycle delta: tracing %+.2f%%, profiling %+.2f%%\n"
-    (delta traced.H.m_mean) (delta profiled.H.m_mean);
+  row
+    "=> simulated-cycle delta: tracing %+.2f%%, profiling %+.2f%%, stack \
+     profiling %+.2f%%, metrics %+.2f%%\n"
+    (delta traced.H.m_mean) (delta profiled.H.m_mean) (delta stacked.H.m_mean)
+    (delta metered.H.m_mean);
   jmeas "spinlock-unicore"
-    [ ("baseline", base); ("tracing", traced); ("profiling", profiled) ];
+    [
+      ("baseline", base);
+      ("tracing", traced);
+      ("profiling", profiled);
+      ("stackprof", stacked);
+      ("metrics", metered);
+    ];
   jrow "host-ms"
     [
       ("baseline", Json.Float base_ms);
       ("tracing", Json.Float traced_ms);
       ("profiling", Json.Float profiled_ms);
+      ("stackprof", Json.Float stacked_ms);
+      ("metrics", Json.Float metered_ms);
     ]
 
 (* ------------------------------------------------------------------ *)
@@ -917,6 +950,10 @@ let () =
       ( "--json",
         Arg.String (fun p -> json_path := Some p),
         "FILE write per-experiment result rows as JSON (mv-bench-rows/1)" );
+      ( "--baseline",
+        Arg.String (fun p -> baseline_path := Some p),
+        "FILE print a structural diff of this run's rows against a committed \
+         mv-bench-rows/1 document" );
     ]
   in
   Arg.parse args (fun _ -> ()) "multiverse benchmark harness";
@@ -934,5 +971,6 @@ let () =
       selected;
     if (!only = [] || List.mem "bechamel" !only) && not !no_bechamel then bechamel_suites ();
     (match !json_path with Some path -> write_json_tables path | None -> ());
+    (match !baseline_path with Some path -> print_baseline_diff path | None -> ());
     print_newline ()
   end

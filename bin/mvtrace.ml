@@ -1,0 +1,311 @@
+(* mvtrace — observability analysis for multiverse workloads.
+
+   Builds a Mini-C workload, runs it under the requested recorders, and
+   renders the results; or compares two bench JSON documents offline.
+
+     mvtrace flame prog.mvc --set config_smp=1 --commit --run bench \
+         --out prog.folded --chrome prog.trace.json
+     mvtrace top prog.mvc --commit --run bench
+     mvtrace spans prog.mvc --commit --run bench
+     mvtrace diff BENCH_results.json fresh.json --gate 5
+
+   `flame` emits folded stacks (flamegraph.pl / speedscope input) and/or
+   a Chrome trace_event JSON; `top` prints the hot-stack table; `spans`
+   prints patching-span latency statistics and the event/metrics
+   summary; `diff` structurally compares two mv-bench-rows/1 documents
+   and, with --gate PCT, exits non-zero when any leaf drifts by more
+   than PCT percent. *)
+
+module Image = Mv_link.Image
+module Harness = Mv_workloads.Harness
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_file path contents =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc contents)
+
+(* Build a session and run the workload function under whatever
+   recorders the subcommand armed via [arm].  Shared by flame/top/spans. *)
+let run_workload ~files ~sets ~padding ~commit ~fn ~args ~arm =
+  let sources = List.map (fun f -> (Filename.basename f, read_file f)) files in
+  let program = Core.Compiler.build ~callsite_padding:padding sources in
+  List.iter (fun w -> Format.eprintf "%s@." w) (Core.Compiler.warnings program);
+  let img = program.p_image in
+  let machine = Mv_vm.Machine.create img in
+  let runtime =
+    Core.Runtime.create img ~flush:(fun ~addr ~len ->
+        Mv_vm.Machine.flush_icache machine ~addr ~len)
+  in
+  let session = Harness.of_parts program machine runtime in
+  arm session;
+  List.iter (fun (name, v) -> Image.write img (Image.symbol img name) v 8) sets;
+  if commit then begin
+    let n = Core.Runtime.commit runtime in
+    Format.eprintf "multiverse_commit: %d entities bound@." n
+  end;
+  let result = Harness.call session fn args in
+  Format.eprintf "%s(%s) = %d@." fn
+    (String.concat ", " (List.map string_of_int args))
+    result;
+  session
+
+(* ------------------------------------------------------------------ *)
+
+open Cmdliner
+
+let files_arg =
+  Arg.(non_empty & pos_all file [] & info [] ~docv:"FILE" ~doc:"Mini-C source files")
+
+let set_arg =
+  Arg.(
+    value & opt_all (pair ~sep:'=' string int) []
+    & info [ "set" ] ~docv:"VAR=VAL" ~doc:"Set a global before running")
+
+let commit_arg =
+  Arg.(value & flag & info [ "commit" ] ~doc:"Call multiverse_commit before running")
+
+let run_arg =
+  Arg.(
+    value & opt string "main"
+    & info [ "run" ] ~docv:"FN" ~doc:"Workload function to run (default $(b,main))")
+
+let args_arg =
+  Arg.(value & opt_all int [] & info [ "arg" ] ~docv:"N" ~doc:"Integer argument for --run")
+
+let padding_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "padding" ] ~docv:"N" ~doc:"Nop-pad call sites of multiversed symbols")
+
+let interval_arg =
+  Arg.(
+    value & opt int 97
+    & info [ "interval" ] ~docv:"N"
+        ~doc:"Sampling period in instructions (default 97)")
+
+let handle_errors f =
+  try f () with
+  | Core.Compiler.Compile_error m ->
+      Format.eprintf "error: %s@." m;
+      2
+  | Mv_vm.Machine.Fault m ->
+      Format.eprintf "machine fault: %s@." m;
+      2
+  | Image.Segfault m ->
+      Format.eprintf "segfault: %s@." m;
+      2
+  | Sys_error m ->
+      Format.eprintf "error: %s@." m;
+      2
+
+(* --- flame ---------------------------------------------------------- *)
+
+let flame_out_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "out"; "o" ] ~docv:"FILE"
+        ~doc:"Write folded stacks to $(docv) (default: stdout)")
+
+let chrome_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "chrome" ] ~docv:"FILE"
+        ~doc:"Also record trace events and write a Chrome trace_event JSON to $(docv)")
+
+let flame_main files sets commit fn args padding interval out chrome =
+  handle_errors (fun () ->
+      let session =
+        run_workload ~files ~sets ~padding ~commit ~fn ~args ~arm:(fun s ->
+            Harness.enable_stack_profiling ~interval s;
+            if chrome <> None then Harness.enable_tracing s)
+      in
+      let folded = Harness.folded_dump session in
+      (match out with
+      | Some path ->
+          write_file path folded;
+          Format.eprintf "folded stacks -> %s@." path
+      | None -> print_string folded);
+      (match chrome with
+      | Some path ->
+          write_file path (Harness.trace_dump session);
+          Format.eprintf "chrome trace: %d event(s) -> %s@."
+            (List.length (Harness.trace_events session))
+            path
+      | None -> ());
+      0)
+
+let flame_cmd =
+  let doc = "Emit folded stacks (flamegraph.pl / speedscope input)" in
+  Cmd.v
+    (Cmd.info "flame" ~doc)
+    Term.(
+      const flame_main $ files_arg $ set_arg $ commit_arg $ run_arg $ args_arg
+      $ padding_arg $ interval_arg $ flame_out_arg $ chrome_arg)
+
+(* --- top ------------------------------------------------------------ *)
+
+let limit_arg =
+  Arg.(
+    value & opt int 10
+    & info [ "limit"; "n" ] ~docv:"N" ~doc:"Rows to print (default 10)")
+
+let top_main files sets commit fn args padding interval limit =
+  handle_errors (fun () ->
+      let session =
+        run_workload ~files ~sets ~padding ~commit ~fn ~args ~arm:(fun s ->
+            Harness.enable_stack_profiling ~interval s)
+      in
+      (match session.Harness.stackprof with
+      | Some sp ->
+          Format.printf "%a@." (Mv_obs.Stackprof.pp ~limit) sp;
+          Format.printf "variant share: %.1f%%@."
+            (100.0 *. Mv_obs.Stackprof.variant_share sp)
+      | None -> ());
+      0)
+
+let top_cmd =
+  let doc = "Print the hot-stack table" in
+  Cmd.v
+    (Cmd.info "top" ~doc)
+    Term.(
+      const top_main $ files_arg $ set_arg $ commit_arg $ run_arg $ args_arg
+      $ padding_arg $ interval_arg $ limit_arg)
+
+(* --- spans ---------------------------------------------------------- *)
+
+let spans_metrics_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:"Also write the metrics-registry JSON ($(b,mv-metrics-registry/1)) to $(docv)")
+
+let spans_main files sets commit fn args padding metrics_out =
+  handle_errors (fun () ->
+      let session =
+        run_workload ~files ~sets ~padding ~commit ~fn ~args ~arm:(fun s ->
+            Harness.enable_tracing s;
+            Harness.enable_metrics s)
+      in
+      let events = Harness.trace_events session in
+      Format.printf "%a@." Mv_obs.Analyze.pp_span_stats
+        (Mv_obs.Analyze.span_stats events);
+      Format.printf "event counts:@.";
+      List.iter
+        (fun (tag, n) -> Format.printf "  %-20s %d@." tag n)
+        (Mv_obs.Analyze.event_counts events);
+      (match (metrics_out, Harness.metrics session) with
+      | Some path, Some m ->
+          Core.Runtime.stats_metrics (Core.Runtime.stats session.Harness.runtime) m;
+          write_file path (Mv_obs.Json.to_string_pretty (Mv_obs.Metrics.to_json m));
+          Format.eprintf "metrics registry -> %s@." path
+      | _ -> ());
+      0)
+
+let spans_cmd =
+  let doc = "Print patching-span latency statistics" in
+  Cmd.v
+    (Cmd.info "spans" ~doc)
+    Term.(
+      const spans_main $ files_arg $ set_arg $ commit_arg $ run_arg $ args_arg
+      $ padding_arg $ spans_metrics_arg)
+
+(* --- diff ----------------------------------------------------------- *)
+
+let base_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"BASE" ~doc:"Baseline bench JSON")
+
+let fresh_arg =
+  Arg.(required & pos 1 (some file) None & info [] ~docv:"FRESH" ~doc:"Fresh bench JSON")
+
+let gate_arg =
+  Arg.(
+    value & opt (some float) None
+    & info [ "gate" ] ~docv:"PCT"
+        ~doc:
+          "Exit non-zero when any compared leaf drifts by more than $(docv) percent \
+           (either direction: on a deterministic simulator any drift means the \
+           baseline is stale)")
+
+let all_arg =
+  Arg.(
+    value & flag
+    & info [ "all" ] ~doc:"Show unchanged leaves too, not just the drifted ones")
+
+let no_skip_arg =
+  Arg.(
+    value & flag
+    & info [ "no-skip" ]
+        ~doc:
+          "Compare host wall-clock series too (commit_ms/revert_ms fields and the \
+           host-ms row are skipped by default: they are not simulator-deterministic)")
+
+let diff_json_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "json" ] ~docv:"FILE" ~doc:"Write the delta list as JSON to $(docv)")
+
+let diff_main base fresh gate all no_skip json_out =
+  handle_errors (fun () ->
+      let parse path =
+        match Mv_obs.Json.parse (read_file path) with
+        | Ok j -> Ok j
+        | Error m -> Error (Printf.sprintf "%s: %s" path m)
+      in
+      match (parse base, parse fresh) with
+      | Error m, _ | _, Error m ->
+          Format.eprintf "error: %s@." m;
+          2
+      | Ok base_j, Ok fresh_j -> (
+          let skip =
+            if no_skip then Some (fun ~label:_ ~field:_ -> false) else None
+          in
+          match Mv_obs.Analyze.bench_diff ?skip ~base:base_j ~fresh:fresh_j () with
+          | Error m ->
+              Format.eprintf "error: %s@." m;
+              2
+          | Ok deltas ->
+              Format.printf "%a@."
+                (Mv_obs.Analyze.pp_deltas ~only_changed:(not all))
+                deltas;
+              (match json_out with
+              | Some path ->
+                  write_file path
+                    (Mv_obs.Json.to_string_pretty (Mv_obs.Analyze.deltas_json deltas))
+              | None -> ());
+              (match gate with
+              | None -> 0
+              | Some threshold -> (
+                  match Mv_obs.Analyze.regressions ~threshold deltas with
+                  | [] ->
+                      Format.printf "gate: ok (no leaf beyond %.2f%%)@." threshold;
+                      0
+                  | bad ->
+                      Format.printf "gate: FAIL — %d leaf(s) beyond %.2f%%:@."
+                        (List.length bad) threshold;
+                      List.iter
+                        (fun d -> Format.printf "  %a@." Mv_obs.Analyze.pp_delta d)
+                        bad;
+                      1))))
+
+let diff_cmd =
+  let doc = "Structurally compare two bench JSON documents" in
+  Cmd.v
+    (Cmd.info "diff" ~doc)
+    Term.(
+      const diff_main $ base_arg $ fresh_arg $ gate_arg $ all_arg $ no_skip_arg
+      $ diff_json_arg)
+
+(* ------------------------------------------------------------------ *)
+
+let cmd =
+  let doc = "Observability analysis for multiverse workloads" in
+  Cmd.group (Cmd.info "mvtrace" ~doc) [ flame_cmd; top_cmd; spans_cmd; diff_cmd ]
+
+let () = exit (Cmd.eval' cmd)

@@ -934,3 +934,29 @@ let stats_json (s : stats) : Mv_obs.Json.t =
       ("safepoint_polls", Mv_obs.Json.Int s.st_safepoint_polls);
       ("pending", Mv_obs.Json.Int s.st_pending);
     ]
+
+(** Export the {!stats} counters into a metrics registry as
+    [mv_runtime_<counter>] gauges, so one registry scrape carries the
+    runtime's cumulative state alongside the event-derived series.
+    Gauges, not counters: {!stats} is already cumulative, and re-bridging
+    after more patching must overwrite, not double-count. *)
+let stats_metrics (s : stats) (m : Mv_obs.Metrics.t) : unit =
+  List.iter
+    (fun (name, v) ->
+      Mv_obs.Metrics.set_gauge m ("mv_runtime_" ^ name) [] (float_of_int v))
+    [
+      ("functions", s.st_functions);
+      ("variants", s.st_variants);
+      ("callsites", s.st_callsites);
+      ("sites_inlined", s.st_sites_inlined);
+      ("sites_retargeted", s.st_sites_retargeted);
+      ("patches", s.st_patches);
+      ("bytes_patched", s.st_bytes_patched);
+      ("safe_deferred", s.st_safe_deferred);
+      ("safe_denied", s.st_safe_denied);
+      ("safe_superseded", s.st_safe_superseded);
+      ("safe_applied", s.st_safe_applied);
+      ("safe_rolled_back", s.st_safe_rolled_back);
+      ("safepoint_polls", s.st_safepoint_polls);
+      ("pending", s.st_pending);
+    ]

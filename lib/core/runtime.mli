@@ -259,3 +259,9 @@ val stats : t -> stats
     prefix) — the runtime's third of the unified metrics export
     ([Mv_obs.Export.metrics]). *)
 val stats_json : stats -> Mv_obs.Json.t
+
+(** Bridge the {!stats} counters into a metrics registry as
+    [mv_runtime_<counter>] gauges (gauges because {!stats} is already
+    cumulative: re-bridging overwrites instead of double-counting).
+    [Harness.metrics_json] calls this before every registry export. *)
+val stats_metrics : stats -> Mv_obs.Metrics.t -> unit

@@ -65,6 +65,20 @@ let profile_json rows =
            ])
        rows)
 
+let stack_profile_json rows =
+  Json.List
+    (List.map
+       (fun (r : Stackprof.row) ->
+         Json.Obj
+           [
+             ("stack", Json.List (List.map (fun f -> Json.String f) r.Stackprof.s_stack));
+             ("samples", Json.Int r.Stackprof.s_samples);
+             ("cycles", Json.Float r.Stackprof.s_cycles);
+             ("share", Json.Float r.Stackprof.s_share);
+             ("variant", Json.Bool r.Stackprof.s_variant);
+           ])
+       rows)
+
 let metrics ?(extra = []) ~runtime ~perf ~program () =
   Json.Obj
     ([

@@ -21,6 +21,11 @@ val chrome_trace_string : ?pid:int -> Trace.stamped list -> string
     ([name]/[samples]/[cycles]/[share]/[variant]). *)
 val profile_json : Profile.row list -> Json.t
 
+(** A stack-profiler report as a JSON array of row objects
+    ([stack] — frame array, outermost first —
+    /[samples]/[cycles]/[share]/[variant]). *)
+val stack_profile_json : Stackprof.row list -> Json.t
+
 (** [metrics ~runtime ~perf ~program] assembles the unified metrics
     snapshot: a versioned envelope ([schema = "mv-metrics/1"]) wrapping
     the three layers' own JSON renderings (runtime patching counters,

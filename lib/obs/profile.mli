@@ -53,7 +53,11 @@ val cycles : t -> float
 (** Forget all attributions and restart the clock baseline at [now ()]. *)
 val reset : t -> unit
 
-(** The hot-function table, hottest first. *)
+(** The hot-function table, hottest first.  Total-cycle shares are
+    computed against a denominator clamped to at least one cycle, so a
+    profiler that never attributed anything — zero samples, or samples
+    before the clock first advanced — reports [r_share = 0.] rows (or no
+    rows at all), never NaN. *)
 val report : t -> row list
 
 (** Render the table ([limit] rows, default 10). *)

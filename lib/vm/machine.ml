@@ -40,6 +40,11 @@ type t = {
       (** optional per-instruction pc observer — the sampling profiler's
           feed.  A host-side observer: it charges no simulated cycles, so
           cycle counts are identical with and without it *)
+  mutable frames : int list;
+      (** entry addresses of live activations, innermost first — pushed on
+          [call], popped on [ret].  Host-side bookkeeping like the perf
+          counters: it charges no simulated cycles, and the stack profiler
+          reads it through {!call_frames} to symbolize whole call stacks *)
 }
 
 let return_sentinel = 0
@@ -61,6 +66,7 @@ let create ?(cost = Cost.default) ?(platform = Native) ?(max_steps = 2_000_000_0
     safepoint = None;
     tracer = None;
     sampler = None;
+    frames = [];
   }
 
 (** Install (or remove) the safepoint hook.  While a hook is installed,
@@ -214,12 +220,14 @@ let step t : bool =
   | Insn.Call rel ->
       push_word t next;
       t.pc <- next + rel;
+      t.frames <- t.pc :: t.frames;
       perf.Perf.calls <- perf.Perf.calls + 1;
       add_cycles t c.Cost.call
   | Insn.Call_ind addr ->
       let target = Image.read t.image addr 8 in
       push_word t next;
       t.pc <- target;
+      t.frames <- target :: t.frames;
       perf.Perf.calls <- perf.Perf.calls + 1;
       perf.Perf.indirect_calls <- perf.Perf.indirect_calls + 1;
       add_cycles t (c.Cost.call +. c.Cost.call_ind);
@@ -246,6 +254,7 @@ let step t : bool =
   | Insn.Ret ->
       let target = pop_word t in
       t.pc <- target;
+      (match t.frames with [] -> () | _ :: rest -> t.frames <- rest);
       add_cycles t c.Cost.ret;
       poll_safepoint t
   | Insn.Push r ->
@@ -280,6 +289,7 @@ let step t : bool =
       add_cycles t c.Cost.rdtsc
   | Insn.Halt ->
       t.pc <- return_sentinel;
+      t.frames <- [];
       poll_safepoint t
   | Insn.Nop -> add_cycles t c.Cost.nop);
   t.pc <> return_sentinel
@@ -294,6 +304,7 @@ let start_call_addr t addr (args : int list) : unit =
   t.regs.(Insn.sp) <- t.image.Image.stack_base;
   push_word t return_sentinel;
   t.pc <- addr;
+  t.frames <- [ addr ];
   t.steps_left <- t.max_steps
 
 let start_call t name args = start_call_addr t (Image.symbol t.image name) args
@@ -338,6 +349,12 @@ let live_code_addrs t : int list =
     done;
     !acc
   end
+
+(** The live call stack as function entry addresses, innermost first.
+    Exact (maintained on call/ret), unlike the conservative
+    {!live_code_addrs} scan; the stack profiler symbolizes it into folded
+    stacks.  Reading it costs nothing on the simulated clock. *)
+let call_frames t : int list = t.frames
 
 (** Read/write globals by symbol from the host side (test and benchmark
     drivers use this to set configuration switches). *)

@@ -35,6 +35,8 @@ type t = {
       (** machine-side event sink; install via {!set_tracer} *)
   mutable sampler : (int -> unit) option;
       (** per-instruction pc observer; install via {!set_sampler} *)
+  mutable frames : int list;
+      (** live activation entries, innermost first; read via {!call_frames} *)
 }
 
 (** The address a top-level call returns to; control reaching it ends
@@ -102,6 +104,14 @@ val call : t -> string -> int list -> int
     only delay deferred patches; they never unblock an unsafe one.  Wire
     this to {!Core.Runtime.set_live_scanner}. *)
 val live_code_addrs : t -> int list
+
+(** The live call stack as function entry addresses, innermost first:
+    pushed on every [call], popped on the matching [ret], reset by
+    {!start_call_addr}/halt.  Exact where {!live_code_addrs} is
+    conservative.  Host-side bookkeeping only — maintaining and reading
+    it never moves the simulated clock, so a stack profiler built on it
+    (see [Mv_obs.Stackprof]) keeps cycle counts bit-identical. *)
+val call_frames : t -> int list
 
 (** [read_global t name ~width] reads a global by symbol (host-side view of
     configuration switches). *)

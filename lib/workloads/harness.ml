@@ -15,6 +15,8 @@ module Perf = Mv_vm.Perf
 module Image = Mv_link.Image
 module Trace = Mv_obs.Trace
 module Profile = Mv_obs.Profile
+module Stackprof = Mv_obs.Stackprof
+module Metrics = Mv_obs.Metrics
 module Json = Mv_obs.Json
 
 type measurement = {
@@ -36,12 +38,24 @@ type session = {
   runtime : Core.Runtime.t;
   mutable trace : Trace.ring option;  (** set by {!enable_tracing} *)
   mutable profile : Profile.t option;  (** set by {!enable_profiling} *)
+  mutable stackprof : Stackprof.t option;  (** set by {!enable_stack_profiling} *)
+  mutable metrics : Metrics.t option;  (** set by {!enable_metrics} *)
+  mutable metrics_sink : Trace.sink option;  (** the registry's trace bridge *)
 }
 
 (** Assemble a session from pre-built parts (for callers that need custom
     build options, e.g. call-site padding). *)
 let of_parts program machine runtime : session =
-  { program; machine; runtime; trace = None; profile = None }
+  {
+    program;
+    machine;
+    runtime;
+    trace = None;
+    profile = None;
+    stackprof = None;
+    metrics = None;
+    metrics_sink = None;
+  }
 
 let session ?platform ?cost (sources : (string * string) list) : session =
   let program = Core.Compiler.build sources in
@@ -86,18 +100,61 @@ let revert_safe ?policy s = Core.Runtime.revert_safe ?policy s.runtime
 (* Observability: tracing, profiling, metrics                          *)
 (* ------------------------------------------------------------------ *)
 
+let machine_clock s () = s.machine.Machine.perf.Perf.cycles
+
+(* One sink serves both emitters (runtime + machine); when the ring and
+   the metrics bridge are both armed, tee.  Re-run after any enable_* so
+   the installed chain always reflects the session's current state. *)
+let install_tracers s =
+  let sinks =
+    List.filter_map Fun.id
+      [ Option.map Trace.sink s.trace; s.metrics_sink ]
+  in
+  let sink =
+    match sinks with
+    | [] -> None
+    | [ f ] -> Some f
+    | fs -> Some (fun ev -> List.iter (fun f -> f ev) fs)
+  in
+  Core.Runtime.set_tracer s.runtime sink;
+  Machine.set_tracer s.machine sink
+
+(* Same for the machine's single per-instruction observer slot: the flat
+   profiler and the stack profiler can be armed together. *)
+let install_samplers s =
+  let fns =
+    List.filter_map Fun.id
+      [
+        Option.map (fun p -> Profile.sample p) s.profile;
+        Option.map (fun sp -> Stackprof.sample sp) s.stackprof;
+      ]
+  in
+  let hook =
+    match fns with
+    | [] -> None
+    | [ f ] -> Some f
+    | fs -> Some (fun pc -> List.iter (fun f -> f pc) fs)
+  in
+  Machine.set_sampler s.machine hook
+
 (* Wire the structured-event recorder: one ring, clocked by the machine's
    cycle counter, receiving both the runtime's patching events and the
    machine's icache flushes.  Idempotent; the second call replaces the
    ring (useful to re-arm with a different capacity). *)
 let enable_tracing ?capacity s =
-  let ring =
-    Trace.ring ?capacity ~clock:(fun () -> s.machine.Machine.perf.Perf.cycles) ()
-  in
-  let sink = Some (Trace.sink ring) in
-  Core.Runtime.set_tracer s.runtime sink;
-  Machine.set_tracer s.machine sink;
-  s.trace <- Some ring
+  let ring = Trace.ring ?capacity ~clock:(machine_clock s) () in
+  s.trace <- Some ring;
+  install_tracers s
+
+(* Arm the metrics registry: a second consumer of the same event stream
+   (Metrics.trace_sink), clocked like the ring so the latency histograms
+   are in simulated cycles.  Composes with enable_tracing in either
+   order. *)
+let enable_metrics s =
+  let m = Metrics.create () in
+  s.metrics <- Some m;
+  s.metrics_sink <- Some (Metrics.trace_sink m ~clock:(machine_clock s));
+  install_tracers s
 
 (* Symbol names of all generated variants, for profiler classification. *)
 let variant_names s =
@@ -125,17 +182,41 @@ let enable_profiling ?interval s =
     Profile.create ?interval
       ~is_variant:(fun name -> Hashtbl.mem variants name)
       ~resolve:(fun pc -> Image.symbol_at img pc)
-      ~now:(fun () -> s.machine.Machine.perf.Perf.cycles)
-      ()
+      ~now:(machine_clock s) ()
   in
-  Machine.set_sampler s.machine (Some (Profile.sample prof));
-  s.profile <- Some prof
+  s.profile <- Some prof;
+  install_samplers s
+
+(* Attach the stack-aware sampler: the same interval sampling, but each
+   sample symbolizes the whole call stack (Machine.call_frames plus the
+   pc as the leaf) and aggregates by collapsed stack — folded-stack
+   output for flamegraph.pl/speedscope.  Composes with enable_profiling:
+   both can observe the same run. *)
+let enable_stack_profiling ?interval s =
+  let img = s.program.Core.Compiler.p_image in
+  let variants = variant_names s in
+  let sp =
+    Stackprof.create ?interval
+      ~is_variant:(fun name -> Hashtbl.mem variants name)
+      ~resolve:(fun pc -> Image.symbol_at img pc)
+      ~frames:(fun () -> Machine.call_frames s.machine)
+      ~now:(machine_clock s) ()
+  in
+  s.stackprof <- Some sp;
+  install_samplers s
 
 let trace_events s = match s.trace with None -> [] | Some ring -> Trace.events ring
 
 let trace_dump s = Mv_obs.Export.chrome_trace_string (trace_events s)
 
 let profile_report s = match s.profile with None -> [] | Some p -> Profile.report p
+
+let stack_report s = match s.stackprof with None -> [] | Some sp -> Stackprof.report sp
+
+(** The folded-stack dump ([""] until {!enable_stack_profiling}). *)
+let folded_dump s = match s.stackprof with None -> "" | Some sp -> Stackprof.folded sp
+
+let metrics s = s.metrics
 
 (* The unified metrics snapshot: runtime patching counters, machine perf
    counters (with derived metrics), static program statistics, and — when
@@ -146,6 +227,15 @@ let metrics_json s : Json.t =
     (match s.profile with
     | Some p -> [ ("profile", Mv_obs.Export.profile_json (Profile.report p)) ]
     | None -> [])
+    @ (match s.stackprof with
+      | Some sp -> [ ("stacks", Mv_obs.Export.stack_profile_json (Stackprof.report sp)) ]
+      | None -> [])
+    @ (match s.metrics with
+      | Some m ->
+          (* refresh the runtime-counter gauges at scrape time *)
+          Core.Runtime.stats_metrics (Core.Runtime.stats s.runtime) m;
+          [ ("metrics", Metrics.to_json m) ]
+      | None -> [])
     @
     match s.trace with
     | Some ring ->

@@ -14,14 +14,18 @@ type measurement = {
 }
 
 (** A built program with an attached machine and multiverse runtime, plus
-    the observability state ({!enable_tracing}/{!enable_profiling} fill
-    the two optional fields). *)
+    the observability state (the [enable_*] functions fill the optional
+    fields). *)
 type session = {
   program : Core.Compiler.program;
   machine : Mv_vm.Machine.t;
   runtime : Core.Runtime.t;
   mutable trace : Mv_obs.Trace.ring option;
   mutable profile : Mv_obs.Profile.t option;
+  mutable stackprof : Mv_obs.Stackprof.t option;
+  mutable metrics : Mv_obs.Metrics.t option;
+  mutable metrics_sink : Mv_obs.Trace.sink option;
+      (** the registry's event bridge, teed with the ring sink *)
 }
 
 (** Assemble a session from pre-built parts (for callers that need custom
@@ -83,6 +87,22 @@ val enable_tracing : ?capacity:int -> session -> unit
     installed variants are reported separately. *)
 val enable_profiling : ?interval:int -> session -> unit
 
+(** Attach the stack-aware sampler: each sample records the collapsed
+    call stack (from [Machine.call_frames]) with the sampled pc's symbol
+    appended as the leaf when it differs from the innermost frame — so a
+    prologue-jump into a variant shows up as
+    [...;spin_lock;spin_lock.config_smp=0].  Composes with
+    {!enable_profiling} (both samplers tee off the machine's single
+    sampler slot). *)
+val enable_stack_profiling : ?interval:int -> session -> unit
+
+(** Attach the metrics registry: a {!Mv_obs.Metrics.trace_sink} bridges
+    every runtime/machine trace event into counters and latency
+    histograms ([mv_commits_total], [mv_patch_latency_cycles], ...).
+    Composes with {!enable_tracing} (both sinks tee off the single
+    tracer slot). *)
+val enable_metrics : session -> unit
+
 (** Recorded events, oldest first ([[]] until {!enable_tracing}). *)
 val trace_events : session -> Mv_obs.Trace.stamped list
 
@@ -93,6 +113,18 @@ val trace_dump : session -> string
 (** The profiler's hot-function table, hottest first ([[]] until
     {!enable_profiling}). *)
 val profile_report : session -> Mv_obs.Profile.row list
+
+(** The stack profiler's hot-stack table, hottest first ([[]] until
+    {!enable_stack_profiling}). *)
+val stack_report : session -> Mv_obs.Stackprof.row list
+
+(** The stack profile in folded-stack format
+    ([frame;frame;... count] lines, flamegraph.pl / speedscope input);
+    [""] until {!enable_stack_profiling}. *)
+val folded_dump : session -> string
+
+(** The metrics registry ([None] until {!enable_metrics}). *)
+val metrics : session -> Mv_obs.Metrics.t option
 
 (** The unified metrics snapshot ([mv-metrics/1]): runtime patching
     counters, machine perf counters with derived metrics, static program

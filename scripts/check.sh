@@ -30,4 +30,29 @@ elif command -v python3 > /dev/null 2>&1; then
 else
   echo "note: neither jq nor python3 found; skipping bench JSON validation"
 fi
+
+# mvtrace smoke: folded stacks from a tiny committed workload must name a
+# variant frame, and the fig1 rows just produced must match the committed
+# baseline (the simulator is deterministic, so any drift beyond the gate
+# means BENCH_results.json is stale).
+smoke_mvc=$(mktemp /tmp/mv-smoke-XXXXXX.mvc)
+smoke_folded=$(mktemp /tmp/mv-folded-XXXXXX.txt)
+trap 'rm -f "$bench_json" "$smoke_mvc" "$smoke_folded"' EXIT
+cat > "$smoke_mvc" <<'EOF'
+multiverse int config_smp;
+int lock_word;
+multiverse void spin_lock() {
+  if (config_smp) { lock_word = lock_word + 1; }
+}
+void bench_loop(int n) {
+  for (int i = 0; i < n; i = i + 1) { spin_lock(); }
+}
+EOF
+dune exec bin/mvtrace.exe -- flame "$smoke_mvc" --set config_smp=1 --commit \
+  --run bench_loop --arg 200 --interval 7 --out "$smoke_folded" 2> /dev/null
+grep -q 'spin_lock.config_smp=1' "$smoke_folded" \
+  || { echo "mvtrace flame: no variant frame in folded stacks"; exit 1; }
+dune exec bin/mvtrace.exe -- diff --gate 5 BENCH_results.json "$bench_json" > /dev/null \
+  || { echo "mvtrace diff: fig1 rows drifted from BENCH_results.json"; exit 1; }
+
 echo "check.sh: all gates passed"

@@ -282,6 +282,32 @@ let test_metrics_json_parses_back () =
   | Some (Json.Int n) -> check_bool "patches counted" true (n > 0)
   | _ -> Alcotest.fail "runtime.patches missing"
 
+let test_chrome_trace_deep_nesting_parses_back () =
+  (* deeply nested same-op spans must still produce balanced, parseable
+     B/E pairs — the pairing logic has no depth assumptions *)
+  let clock = ref 0.0 in
+  let ring = Trace.ring ~capacity:64 ~clock:(fun () -> !clock) () in
+  let depth = 8 in
+  for i = 1 to depth do
+    clock := float_of_int i;
+    Trace.record ring (Trace.Commit_begin { op = "commit"; switches = [] })
+  done;
+  for i = 1 to depth do
+    clock := float_of_int (depth + i);
+    Trace.record ring (Trace.Commit_end { op = "commit"; bound = i })
+  done;
+  let doc = parse_ok "nested chrome trace" (Export.chrome_trace_string (Trace.events ring)) in
+  match doc with
+  | Json.List entries ->
+      check_int "one entry per event" (2 * depth) (List.length entries);
+      let phase e =
+        match Json.member "ph" e with Some (Json.String p) -> p | _ -> "?"
+      in
+      let count p = List.length (List.filter (fun e -> phase e = p) entries) in
+      check_int "depth B entries" depth (count "B");
+      check_int "balanced E entries" depth (count "E")
+  | _ -> Alcotest.fail "chrome trace must be a JSON array"
+
 let test_json_roundtrip_and_escapes () =
   let doc =
     Json.Obj
@@ -296,6 +322,37 @@ let test_json_roundtrip_and_escapes () =
   check_bool "non-finite floats become null" true
     (Json.to_string (Json.Float nan) = "null" && Json.to_string (Json.Float infinity) = "null")
 
+let test_json_nonfinite_total_roundtrip () =
+  (* emission is total: any tree containing non-finite floats serializes
+     (non-finite leaves degrade to null) and the output parses back to
+     the same tree with those leaves replaced by Null — at any depth *)
+  let doc =
+    Json.Obj
+      [
+        ("nan", Json.Float nan);
+        ("inf", Json.Float infinity);
+        ("ninf", Json.Float neg_infinity);
+        ("fine", Json.Float 2.5);
+        ( "nested",
+          Json.List
+            [ Json.Obj [ ("deep", Json.List [ Json.Float nan; Json.Int 7 ]) ] ] );
+      ]
+  in
+  let expected =
+    Json.Obj
+      [
+        ("nan", Json.Null);
+        ("inf", Json.Null);
+        ("ninf", Json.Null);
+        ("fine", Json.Float 2.5);
+        ("nested", Json.List [ Json.Obj [ ("deep", Json.List [ Json.Null; Json.Int 7 ]) ] ]);
+      ]
+  in
+  check_bool "compact emission parses back with nulls" true
+    (Json.parse (Json.to_string doc) = Ok expected);
+  check_bool "pretty emission parses back with nulls" true
+    (Json.parse (Json.to_string_pretty doc) = Ok expected)
+
 (* ------------------------------------------------------------------ *)
 (* Pay-for-use: identical cycles with and without sinks                *)
 (* ------------------------------------------------------------------ *)
@@ -307,7 +364,9 @@ let test_zero_overhead_without_and_with_sinks () =
     ignore (H.commit s);
     if instrument then begin
       H.enable_tracing s;
-      H.enable_profiling s
+      H.enable_profiling s;
+      H.enable_stack_profiling s;
+      H.enable_metrics s
     end;
     ignore (H.call s "bench_loop" [ 200 ]);
     s.H.machine.Machine.perf.Perf.cycles
@@ -350,6 +409,318 @@ let test_profiler_interval_thins_samples () =
   let sparse = samples_at 50 in
   check_bool "denser interval, more samples" true (dense > sparse);
   check_bool "sparse still samples" true (sparse > 0)
+
+let test_profile_empty_report () =
+  (* zero samples: no rows, no NaN, and pp renders without raising *)
+  let p = Profile.create ~resolve:(fun _ -> None) ~now:(fun () -> 0.0) () in
+  check_int "no samples" 0 (Profile.samples p);
+  check_bool "empty report" true (Profile.report p = []);
+  let rendered = Format.asprintf "%a" (fun fmt -> Profile.pp fmt) p in
+  check_bool "pp total" true (String.length rendered > 0);
+  check_bool "no NaN in rendering" false
+    (let lower = String.lowercase_ascii rendered in
+     let needle = "nan" in
+     let n = String.length lower and m = String.length needle in
+     let rec scan i = i + m <= n && (String.sub lower i m = needle || scan (i + 1)) in
+     scan 0)
+
+(* ------------------------------------------------------------------ *)
+(* Stack profiler                                                      *)
+(* ------------------------------------------------------------------ *)
+
+module Stackprof = Mv_obs.Stackprof
+
+let nested_src =
+  {|
+  int w;
+  void leaf(int n) {
+    for (int i = 0; i < n; i = i + 1) { w = w + 1; }
+  }
+  void mid(int n) { leaf(n); }
+  void outer(int n) { mid(n); }
+  int top(int n) { outer(n); return w; }
+|}
+
+let test_stackprof_records_nested_stacks () =
+  let s = H.session1 nested_src in
+  H.enable_stack_profiling ~interval:1 s;
+  ignore (H.call s "top" [ 50 ]);
+  let rows = H.stack_report s in
+  check_bool "rows reported" true (rows <> []);
+  check_bool "hottest first" true
+    (rows = List.sort (fun a b -> compare b.Stackprof.s_cycles a.Stackprof.s_cycles) rows);
+  let shares = List.fold_left (fun acc r -> acc +. r.Stackprof.s_share) 0.0 rows in
+  check_bool "shares sum to 1" true (abs_float (shares -. 1.0) < 1e-6);
+  (* the loop body's samples carry the full ancestry, outermost first *)
+  check_bool "full call chain recorded" true
+    (List.exists
+       (fun r -> r.Stackprof.s_stack = [ "top"; "outer"; "mid"; "leaf" ])
+       rows)
+
+let test_stackprof_folded_line_format () =
+  let s = H.session1 nested_src in
+  H.enable_stack_profiling ~interval:1 s;
+  ignore (H.call s "top" [ 50 ]);
+  let folded = H.folded_dump s in
+  check_bool "non-empty dump" true (String.length folded > 0);
+  check_bool "newline-terminated" true (folded.[String.length folded - 1] = '\n');
+  let lines = String.split_on_char '\n' (String.sub folded 0 (String.length folded - 1)) in
+  check_bool "sorted lines" true (lines = List.sort compare lines);
+  List.iter
+    (fun line ->
+      (* every line is `frame;frame;... count`: a positive decimal count
+         after the last space, and non-empty ;-separated frames before it *)
+      match String.rindex_opt line ' ' with
+      | None -> Alcotest.failf "no count separator in %S" line
+      | Some i ->
+          let stack = String.sub line 0 i in
+          let count = String.sub line (i + 1) (String.length line - i - 1) in
+          (match int_of_string_opt count with
+          | Some n -> check_bool ("positive count in " ^ line) true (n > 0)
+          | None -> Alcotest.failf "count is not an integer in %S" line);
+          check_bool ("no spaces in frames of " ^ line) false (String.contains stack ' ');
+          List.iter
+            (fun frame ->
+              check_bool ("non-empty frame in " ^ line) true (frame <> ""))
+            (String.split_on_char ';' stack))
+    lines
+
+let test_stackprof_distinguishes_variant_frames () =
+  let s = H.session1 spin_src in
+  H.set s "config_smp" 1;
+  ignore (H.commit s);
+  H.enable_stack_profiling ~interval:1 s;
+  ignore (H.call s "bench_loop" [ 100 ]);
+  let rows = H.stack_report s in
+  (* the committed spin_lock body runs as its variant symbol, visible as
+     a distinct frame under bench_loop and classified as variant *)
+  check_bool "variant frame present" true
+    (List.exists
+       (fun r ->
+         r.Stackprof.s_variant
+         && List.exists
+              (fun f -> f = "spin_lock.config_smp=1")
+              r.Stackprof.s_stack)
+       rows);
+  check_bool "generic frames not classified as variant" true
+    (List.exists (fun r -> not r.Stackprof.s_variant) rows);
+  match s.H.stackprof with
+  | Some sp ->
+      let share = Stackprof.variant_share sp in
+      check_bool "variant share in (0,1]" true (share > 0.0 && share <= 1.0);
+      check_bool "folded dump names the variant" true
+        (let folded = Stackprof.folded sp in
+         let needle = "spin_lock.config_smp=1" in
+         let n = String.length folded and m = String.length needle in
+         let rec scan i = i + m <= n && (String.sub folded i m = needle || scan (i + 1)) in
+         scan 0)
+  | None -> Alcotest.fail "stack profiler not armed"
+
+let test_stackprof_empty_report () =
+  let sp =
+    Stackprof.create
+      ~resolve:(fun _ -> None)
+      ~frames:(fun () -> [])
+      ~now:(fun () -> 0.0)
+      ()
+  in
+  check_int "no samples" 0 (Stackprof.samples sp);
+  check_bool "empty report" true (Stackprof.report sp = []);
+  check_string "empty folded dump" "" (Stackprof.folded sp);
+  check_float "zero variant share, not NaN" 0.0 (Stackprof.variant_share sp)
+
+(* ------------------------------------------------------------------ *)
+(* Metrics registry                                                    *)
+(* ------------------------------------------------------------------ *)
+
+module Metrics = Mv_obs.Metrics
+
+let test_metrics_registry_primitives () =
+  let m = Metrics.create () in
+  Metrics.inc m "c" [ ("a", "1"); ("b", "2") ];
+  Metrics.inc ~by:4 m "c" [ ("b", "2"); ("a", "1") ];
+  check_int "labels canonicalized" 5 (Metrics.counter_value m "c" [ ("b", "2"); ("a", "1") ]);
+  check_int "distinct labels, distinct series" 0 (Metrics.counter_value m "c" [ ("a", "9") ]);
+  Metrics.set_gauge m "g" [] 2.5;
+  check_bool "gauge readable" true (Metrics.gauge_value m "g" [] = Some 2.5);
+  Metrics.observe m "h" [] 10.0;
+  Metrics.observe m "h" [] 30.0;
+  (match Metrics.histogram_summary m "h" [] with
+  | Some hs ->
+      check_int "histogram count" 2 hs.Metrics.hs_count;
+      check_float "histogram sum" 40.0 hs.Metrics.hs_sum;
+      check_float "histogram mean" 20.0 hs.Metrics.hs_mean
+  | None -> Alcotest.fail "histogram absent");
+  (* one name, one kind *)
+  check_bool "kind mismatch rejected" true
+    (try
+       Metrics.set_gauge m "c" [ ("a", "1"); ("b", "2") ] 0.0;
+       false
+     with Invalid_argument _ -> true);
+  (* the export parses back with the schema tag *)
+  match parse_ok "registry json" (Json.to_string_pretty (Metrics.to_json m)) with
+  | Json.Obj _ as doc -> (
+      match Json.member "schema" doc with
+      | Some (Json.String v) -> check_string "registry schema" "mv-metrics-registry/1" v
+      | _ -> Alcotest.fail "missing registry schema")
+  | _ -> Alcotest.fail "registry export must be an object"
+
+let test_metrics_trace_bridge_counts_commit () =
+  let s = H.session1 spin_src in
+  H.enable_tracing s;
+  H.enable_metrics s;
+  H.set s "config_smp" 1;
+  ignore (H.commit s);
+  ignore (H.call s "bench_loop" [ 20 ]);
+  match H.metrics s with
+  | None -> Alcotest.fail "metrics not armed"
+  | Some m ->
+      check_int "one commit" 1 (Metrics.counter_value m "mv_commits_total" [ ("op", "commit") ]);
+      check_int "committed switch value recorded" 1
+        (Metrics.counter_value m "mv_commit_switch_total"
+           [ ("op", "commit"); ("switch", "config_smp"); ("value", "1") ]);
+      check_int "variant install counted" 1
+        (Metrics.counter_value m "mv_variant_installs_total"
+           [ ("fn", "spin_lock"); ("variant", "spin_lock.config_smp=1") ]);
+      check_bool "patch events counted" true
+        (Metrics.counter_value m "mv_patches_total" [ ("kind", "site_retargeted") ]
+         + Metrics.counter_value m "mv_patches_total" [ ("kind", "site_inlined") ]
+         + Metrics.counter_value m "mv_patches_total" [ ("kind", "prologue_patched") ]
+         > 0);
+      (match Metrics.histogram_summary m "mv_patch_latency_cycles" [ ("op", "commit") ] with
+      | Some hs -> check_int "one commit latency observation" 1 hs.Metrics.hs_count
+      | None -> Alcotest.fail "patch-latency histogram absent");
+      (* the registry appears in the unified metrics snapshot *)
+      let doc = parse_ok "snapshot" (Json.to_string_pretty (H.metrics_json s)) in
+      (match Json.member "metrics" doc with
+      | Some (Json.Obj _) -> ()
+      | _ -> Alcotest.fail "snapshot lacks the registry section");
+      (* ... with the runtime counters bridged as gauges *)
+      check_bool "runtime counters bridged" true
+        (Metrics.gauge_value m "mv_runtime_patches" [] <> None)
+
+let test_metrics_safe_commit_outcomes () =
+  let s = H.session1 defer_src in
+  H.enable_safe_commit s;
+  H.enable_tracing s;
+  H.enable_metrics s;
+  H.set s "m" 1;
+  Machine.start_call s.H.machine "driver" [];
+  park s "f";
+  ignore (H.commit_safe s);
+  ignore (Machine.finish s.H.machine);
+  match H.metrics s with
+  | None -> Alcotest.fail "metrics not armed"
+  | Some m ->
+      check_int "defer counted" 1
+        (Metrics.counter_value m "mv_safe_total" [ ("outcome", "deferred") ]);
+      check_int "drain counted" 1
+        (Metrics.counter_value m "mv_safe_total" [ ("outcome", "drained") ]);
+      (match Metrics.histogram_summary m "mv_safe_drain_latency_cycles" [] with
+      | Some hs ->
+          check_int "one drain latency observation" 1 hs.Metrics.hs_count;
+          check_bool "cycles elapsed between defer and drain" true (hs.Metrics.hs_min > 0.0)
+      | None -> Alcotest.fail "drain-latency histogram absent");
+      check_bool "safepoint polls counted" true
+        (Metrics.counter_value m "mv_safepoint_polls_total" [] >= 1)
+
+(* ------------------------------------------------------------------ *)
+(* Analyze: spans and the bench diff                                   *)
+(* ------------------------------------------------------------------ *)
+
+module Analyze = Mv_obs.Analyze
+
+let test_analyze_span_stats () =
+  let clock = ref 0.0 in
+  let ring = Trace.ring ~capacity:64 ~clock:(fun () -> !clock) () in
+  let span op t0 t1 =
+    clock := t0;
+    Trace.record ring (Trace.Commit_begin { op; switches = [] });
+    clock := t1;
+    Trace.record ring (Trace.Commit_end { op; bound = 0 })
+  in
+  span "commit" 0.0 10.0;
+  span "commit" 20.0 50.0;
+  span "revert" 60.0 64.0;
+  (* an unmatched begin is dropped, not paired across ops *)
+  clock := 70.0;
+  Trace.record ring (Trace.Commit_begin { op = "commit"; switches = [] });
+  let evs = Trace.events ring in
+  let spans = Analyze.spans evs in
+  check_int "three completed spans" 3 (List.length spans);
+  match Analyze.span_stats evs with
+  | [ ("commit", c); ("revert", r) ] ->
+      check_int "two commit spans" 2 c.Analyze.d_count;
+      check_float "commit mean" 20.0 c.Analyze.d_mean;
+      check_float "commit min" 10.0 c.Analyze.d_min;
+      check_float "commit max" 30.0 c.Analyze.d_max;
+      check_int "one revert span" 1 r.Analyze.d_count;
+      check_float "revert mean" 4.0 r.Analyze.d_mean
+  | other -> Alcotest.failf "unexpected stats shape (%d ops)" (List.length other)
+
+let bench_doc ?(label = "r") mean =
+  Json.Obj
+    [
+      ("schema", Json.String "mv-bench-rows/1");
+      ("fast", Json.Bool true);
+      ( "experiments",
+        Json.Obj
+          [
+            ( "e1",
+              Json.List
+                [
+                  Json.Obj
+                    [
+                      ("label", Json.String label);
+                      ( "cycles",
+                        Json.Obj
+                          [ ("mean", Json.Float mean); ("stddev", Json.Float 0.5) ] );
+                      ("scalar", Json.Float 3.0);
+                      ("commit_ms", Json.Float 99.0);
+                    ];
+                ] );
+          ] );
+    ]
+
+let test_bench_diff_unchanged_tree_is_clean () =
+  match Analyze.bench_diff ~base:(bench_doc 10.0) ~fresh:(bench_doc 10.0) () with
+  | Error m -> Alcotest.failf "diff failed: %s" m
+  | Ok deltas ->
+      (* cycles.mean and scalar compared; commit_ms skipped by default *)
+      check_int "two leaves compared" 2 (List.length deltas);
+      check_bool "wall-clock fields skipped" false
+        (List.exists (fun d -> d.Analyze.dl_field = "commit_ms") deltas);
+      check_bool "no drift on an identical tree" true
+        (List.for_all (fun d -> d.Analyze.dl_pct = 0.0) deltas);
+      check_int "gate passes" 0 (List.length (Analyze.regressions ~threshold:5.0 deltas))
+
+let test_bench_diff_catches_synthetic_regression () =
+  match Analyze.bench_diff ~base:(bench_doc 10.0) ~fresh:(bench_doc 11.0) () with
+  | Error m -> Alcotest.failf "diff failed: %s" m
+  | Ok deltas -> (
+      match Analyze.regressions ~threshold:5.0 deltas with
+      | [ d ] ->
+          check_string "experiment" "e1" d.Analyze.dl_exp;
+          check_string "row" "r" d.Analyze.dl_label;
+          check_string "field" "cycles.mean" d.Analyze.dl_field;
+          check_bool "ten percent up" true (abs_float (d.Analyze.dl_pct -. 10.0) < 1e-9);
+          (* a generous threshold lets it through; an improvement of the
+             same size also trips the gate (stale-baseline detection) *)
+          check_int "threshold above the drift passes" 0
+            (List.length (Analyze.regressions ~threshold:15.0 deltas));
+          (match Analyze.bench_diff ~base:(bench_doc 11.0) ~fresh:(bench_doc 10.0) () with
+          | Ok d2 ->
+              check_int "improvements gate too" 1
+                (List.length (Analyze.regressions ~threshold:5.0 d2))
+          | Error m -> Alcotest.failf "reverse diff failed: %s" m)
+      | other -> Alcotest.failf "expected exactly one regression, got %d" (List.length other))
+
+let test_bench_diff_rejects_foreign_schema () =
+  let bogus = Json.Obj [ ("schema", Json.String "something-else/9") ] in
+  check_bool "foreign schema rejected" true
+    (match Analyze.bench_diff ~base:bogus ~fresh:(bench_doc 1.0) () with
+    | Error _ -> true
+    | Ok _ -> false)
 
 (* ------------------------------------------------------------------ *)
 (* Derived perf metrics and measurement percentiles                    *)
@@ -420,11 +791,27 @@ let suite =
       test_safe_commit_defer_drain_exactly_once;
     tc "safe deny reported" test_safe_deny_event;
     tc "chrome trace parses back" test_chrome_trace_parses_back;
+    tc "deeply nested spans parse back" test_chrome_trace_deep_nesting_parses_back;
     tc "metrics snapshot parses back" test_metrics_json_parses_back;
     tc "json roundtrip and escapes" test_json_roundtrip_and_escapes;
+    tc "json non-finite emission is total" test_json_nonfinite_total_roundtrip;
     tc "no sink, no cycles: pay-for-use" test_zero_overhead_without_and_with_sinks;
     tc "profiler attributes symbols" test_profiler_attributes_variants;
     tc "profiler interval thins samples" test_profiler_interval_thins_samples;
+    tc "profiler empty report has no NaN" test_profile_empty_report;
+    tc "stack profiler records nested stacks" test_stackprof_records_nested_stacks;
+    tc "folded dump follows the line format" test_stackprof_folded_line_format;
+    tc "stack profiler distinguishes variant frames"
+      test_stackprof_distinguishes_variant_frames;
+    tc "stack profiler empty report" test_stackprof_empty_report;
+    tc "metrics registry primitives" test_metrics_registry_primitives;
+    tc "trace bridge counts commits and patches" test_metrics_trace_bridge_counts_commit;
+    tc "safe-commit outcomes and drain latency" test_metrics_safe_commit_outcomes;
+    tc "span extraction and statistics" test_analyze_span_stats;
+    tc "bench diff: unchanged tree is clean" test_bench_diff_unchanged_tree_is_clean;
+    tc "bench diff: synthetic +10% trips the gate"
+      test_bench_diff_catches_synthetic_regression;
+    tc "bench diff: foreign schema rejected" test_bench_diff_rejects_foreign_schema;
     tc "derived perf metrics" test_perf_derived_metrics;
     tc "percentiles and measurement fields" test_percentiles_and_measurement_fields;
   ]
