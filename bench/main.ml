@@ -856,6 +856,51 @@ let obs_overhead () =
     ]
 
 (* ------------------------------------------------------------------ *)
+(* E17: stop_machine rendezvous cost vs hart count                     *)
+(* ------------------------------------------------------------------ *)
+
+let smp_rendezvous () =
+  header
+    "E17 / SMP: stop_machine rendezvous cost vs hart count\n\
+     (contended spinlock workload, config_smp=1 committed; a whole-image\n\
+    \ commit is injected mid-run, so every other running hart is IPI'd\n\
+    \ and parks at its next irq-enabled boundary; latency is in summed\n\
+    \ hart cycles per rendezvous.  Fully deterministic — the rows must\n\
+    \ not drift between runs)";
+  row "%-8s %10s %8s %8s %12s %14s %14s\n" "harts" "counter" "IPIs" "acks"
+    "rendezvous" "latency/stop" "total cycles";
+  List.iter
+    (fun n_harts ->
+      let iters = 25 in
+      (* inject once every hart is ~40 steps deep in lock contention, so
+         the acks actually wait on cli-protected critical sections *)
+      let s, counter =
+        Spinlock.run_contended ~n_harts ~seed:1 ~commit_at:(40 * n_harts)
+          ~smp:true ~iters ()
+      in
+      let smp = s.H.smp in
+      let sent = Mv_vm.Smp.ipis_sent smp in
+      let acks = Mv_vm.Smp.ipi_acks smp in
+      let count = Mv_vm.Smp.rendezvous_count smp in
+      let cyc = Mv_vm.Smp.rendezvous_cycles smp in
+      let latency = if count = 0 then 0.0 else cyc /. float_of_int count in
+      let clock = Mv_vm.Smp.clock smp in
+      row "%-8d %10d %8d %8d %12d %14.1f %14.1f\n" n_harts counter sent acks
+        count latency clock;
+      jrow (string_of_int n_harts)
+        [
+          ("n_harts", Json.Int n_harts);
+          ("counter", Json.Int counter);
+          ("ipis_sent", Json.Int sent);
+          ("ipi_acks", Json.Int acks);
+          ("rendezvous", Json.Int count);
+          ("rendezvous_cycles", Json.Float cyc);
+          ("latency_cycles", Json.Float latency);
+          ("clock", Json.Float clock);
+        ])
+    [ 1; 2; 4; 8 ]
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel wall-clock suites (one Test.make per table)                 *)
 (* ------------------------------------------------------------------ *)
 
@@ -935,6 +980,7 @@ let experiments =
     ("ablation-explosion", ablation_explosion);
     ("ablation-padded-sites", ablation_padded_sites);
     ("obs-overhead", obs_overhead);
+    ("smp-rendezvous", smp_rendezvous);
   ]
 
 let () =

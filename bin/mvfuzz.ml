@@ -11,6 +11,7 @@
      mvfuzz --iters 500 --corpus fuzz-corpus
      mvfuzz --check-corpus fuzz-corpus
      mvfuzz --iters 50 --chaos skip-flush --corpus /tmp/chaos   # must diverge
+     mvfuzz --iters 5 --chaos drop-ack --oracle smp-schedule-equiv  # must diverge
 
    Exit codes: 0 clean, 1 divergence found, 2 usage/internal error. *)
 
@@ -53,14 +54,17 @@ let chaos_arg =
         ("none", Oracle.No_chaos);
         ("skip-flush", Oracle.Skip_flush);
         ("lost-flush", Oracle.Lost_flush);
+        ("drop-ack", Oracle.Drop_ack);
       ]
   in
   Arg.(
     value & opt chaos_conv Oracle.No_chaos
     & info [ "chaos" ] ~docv:"MODE"
         ~doc:
-          "Inject a fault into the runtime's icache-flush path \
-           (none|skip-flush|lost-flush); used to validate that the oracles \
+          "Inject a fault into the patching machinery \
+           (none|skip-flush|lost-flush|drop-ack); skip/lost break the \
+           icache-flush path, drop-ack severs one hart's IPI channel in \
+           the multi-hart oracle.  Used to validate that the oracles \
            catch real patching bugs")
 
 let oracle_arg =
@@ -68,7 +72,8 @@ let oracle_arg =
     value & opt_all string []
     & info [ "oracle" ] ~docv:"NAME"
         ~doc:"Restrict to the named oracle(s); repeatable.  Known: interp-vs-vm, \
-              opt-vs-unopt, commit-soundness, commit-idempotent, schedule-equiv")
+              opt-vs-unopt, commit-soundness, commit-idempotent, schedule-equiv, \
+              smp-schedule-equiv")
 
 let small_arg =
   Arg.(value & flag & info [ "small" ] ~doc:"Generate smaller programs (quick smokes)")

@@ -18,9 +18,18 @@ type t = {
   flush : addr:int -> len:int -> unit;
   mutable bytes_patched : int;
   mutable patches : int;
+  mutable writer : (addr:int -> bytes -> unit) option;
+      (** when set, replaces the default write+flush path of {!write_text}
+          — the SMP layer routes text mutations through its breakpoint-
+          first [text_poke] protocol here.  The writer owns protection,
+          the byte store and the flushes; the patch counters still run. *)
 }
 
-let create image ~flush = { image; flush; bytes_patched = 0; patches = 0 }
+let create image ~flush =
+  { image; flush; bytes_patched = 0; patches = 0; writer = None }
+
+(** Install (or remove) the replacement text writer (see [writer]). *)
+let set_writer t w = t.writer <- w
 
 (** Execute [f] with the pages covering [addr, addr+len) writable, restoring
     their previous protection afterwards (even on exceptions). *)
@@ -33,9 +42,12 @@ let with_writable t ~addr ~len f =
 (** Protected raw write + icache flush; the single funnel for every text
     mutation. *)
 let write_text t ~addr (b : bytes) =
-  with_writable t ~addr ~len:(Bytes.length b) (fun () ->
-      Image.write_bytes t.image addr b);
-  t.flush ~addr ~len:(Bytes.length b);
+  (match t.writer with
+  | Some write -> write ~addr b
+  | None ->
+      with_writable t ~addr ~len:(Bytes.length b) (fun () ->
+          Image.write_bytes t.image addr b);
+      t.flush ~addr ~len:(Bytes.length b));
   t.patches <- t.patches + 1;
   t.bytes_patched <- t.bytes_patched + Bytes.length b
 

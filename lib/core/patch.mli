@@ -14,11 +14,21 @@ type t = {
       (** icache maintenance callback, invoked after every text write *)
   mutable bytes_patched : int;  (** accounting for the patch-cost tables *)
   mutable patches : int;
+  mutable writer : (addr:int -> bytes -> unit) option;
+      (** replacement write path; install via {!set_writer} *)
 }
 
 (** Attach the patching layer to a linked image; [flush] is the icache
     callback invoked after every text write. *)
 val create : Mv_link.Image.t -> flush:(addr:int -> len:int -> unit) -> t
+
+(** Install (or remove, with [None]) a replacement text writer.  When set,
+    {!write_text} hands the raw bytes to it instead of performing the
+    default protected-write-plus-flush; the writer owns page protection,
+    the byte store and icache maintenance.  The SMP layer installs its
+    breakpoint-first [text_poke] protocol here so every runtime patch
+    becomes a proper cross-modifying-code sequence. *)
+val set_writer : t -> (addr:int -> bytes -> unit) option -> unit
 
 (** Run [f] with the pages covering the range writable; the previous
     protection is restored even if [f] raises. *)

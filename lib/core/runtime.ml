@@ -109,6 +109,13 @@ type t = {
       (** optional event sink; every patching decision is reported through
           it, and with [None] installed the emit sites reduce to one match
           (pay-for-use, like the safepoint hook) *)
+  mutable barrier : ((unit -> unit) -> unit) option;
+      (** cross-modifying-code barrier: when set, every patching operation
+          (commit/revert and their safe/func/refs variants, plus the
+          safepoint drain) runs inside it.  Wire to [Smp.stop_machine] so
+          patches only land with every other hart parked at an
+          interrupts-enabled instruction boundary.  Must be re-entrant:
+          nested operations run their thunk directly. *)
 }
 
 (** How variants are installed.
@@ -233,6 +240,7 @@ let create (img : Image.t) ~flush : t =
         sc_polls = 0;
       };
     tracer = None;
+    barrier = None;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -249,6 +257,27 @@ let set_tracer t sink = t.tracer <- sink
 let[@inline] tracing t = t.tracer <> None
 
 let emit t ev = match t.tracer with None -> () | Some sink -> sink ev
+
+(** Install (or remove) the cross-modifying-code barrier (see the
+    [barrier] field).  SMP harnesses wire it to [Smp.stop_machine]. *)
+let set_patch_barrier t b = t.barrier <- b
+
+(** Route every text mutation through a replacement writer — e.g. the
+    SMP breakpoint-first [Smp.text_poke] ({!Patch.set_writer}). *)
+let set_text_writer t w = Patch.set_writer t.patch w
+
+(* Run a patching operation under the barrier (directly when none is
+   installed).  The barrier contract: it must invoke the thunk exactly
+   once, synchronously. *)
+let with_barrier t (f : unit -> 'a) : 'a =
+  match t.barrier with
+  | None -> f ()
+  | Some wrap ->
+      let r = ref None in
+      wrap (fun () -> r := Some (f ()));
+      (match !r with
+      | Some v -> v
+      | None -> errf "patch barrier did not run its thunk")
 
 (** Every configuration switch's (name, current value) — the payload of a
     commit span's begin event. *)
@@ -490,6 +519,7 @@ let supersede_pending t =
     everywhere.  Returns the number of entities bound to a specialized
     state; [fallbacks t] lists functions left generic. *)
 let commit t : int =
+  with_barrier t @@ fun () ->
   emit_span_begin t "commit";
   supersede_pending t;
   t.fallbacks <- [];
@@ -501,6 +531,7 @@ let commit t : int =
 
 (** [multiverse_revert]: restore the whole image to its unpatched state. *)
 let revert t : int =
+  with_barrier t @@ fun () ->
   emit_span_begin t "revert";
   supersede_pending t;
   t.fallbacks <- [];
@@ -521,14 +552,14 @@ let find_fn_by_name t name =
 (** [multiverse_commit_func(&fn)]. *)
 let commit_func_addr t addr : int =
   match find_fn t addr with
-  | Some fe -> Bool.to_int (commit_fn_entry t fe)
+  | Some fe -> with_barrier t (fun () -> Bool.to_int (commit_fn_entry t fe))
   | None -> -1
 
 (** [multiverse_revert_func(&fn)]. *)
 let revert_func_addr t addr : int =
   match find_fn t addr with
   | Some fe ->
-      revert_fn_entry t fe;
+      with_barrier t (fun () -> revert_fn_entry t fe);
       1
   | None -> -1
 
@@ -555,6 +586,7 @@ let functions_referencing t var_addr =
 (** [multiverse_commit_refs(&var)]: commit every function that references
     the switch, and the switch itself if it is a function pointer. *)
 let commit_refs_addr t var_addr : int =
+  with_barrier t @@ fun () ->
   let fns = functions_referencing t var_addr in
   let bound = List.filter (commit_fn_entry t) fns in
   let ptr_bound =
@@ -566,6 +598,7 @@ let commit_refs_addr t var_addr : int =
 
 (** [multiverse_revert_refs(&var)]. *)
 let revert_refs_addr t var_addr : int =
+  with_barrier t @@ fun () ->
   let fns = functions_referencing t var_addr in
   List.iter (revert_fn_entry t) fns;
   let ptr_count =
@@ -732,6 +765,7 @@ let journal t actions =
     decisions use the switch values at call time; a deferred action binds
     the variant selected *now*, not at application time. *)
 let commit_safe ?(policy = Defer) t : int =
+  with_barrier t @@ fun () ->
   emit_span_begin t "commit_safe";
   let live = live_addrs t in
   supersede_pending t;
@@ -793,6 +827,7 @@ let commit_safe ?(policy = Defer) t : int =
     are quiescent; journal or refuse the rest.  Returns the number of
     entities in the pristine state when the call returns. *)
 let revert_safe ?(policy = Defer) t : int =
+  with_barrier t @@ fun () ->
   emit_span_begin t "revert_safe";
   let live = live_addrs t in
   supersede_pending t;
@@ -836,6 +871,7 @@ let safepoint t =
     Fun.protect
       ~finally:(fun () -> t.in_safepoint <- false)
       (fun () ->
+        with_barrier t @@ fun () ->
         let live = live_addrs t in
         t.pending <-
           List.filter

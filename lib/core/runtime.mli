@@ -99,6 +99,8 @@ type t = {
   mutable in_safepoint : bool;
   safe : safe_counters;
   mutable tracer : (Mv_obs.Trace.event -> unit) option;
+  mutable barrier : ((unit -> unit) -> unit) option;
+      (** cross-modifying-code barrier; install via {!set_patch_barrier} *)
 }
 
 (** Variant installation strategy.  [Call_site_patching] is the paper's
@@ -127,6 +129,22 @@ val set_inlining : t -> bool -> unit
     [Mv_obs.Trace.sink] over a ring clocked by the machine's cycle
     counter (see [Harness.enable_tracing]). *)
 val set_tracer : t -> (Mv_obs.Trace.event -> unit) option -> unit
+
+(** Install (or remove, with [None]) the cross-modifying-code barrier.
+    When set, every patching operation — {!commit}, {!revert}, the
+    [_func]/[_refs]/[_safe] variants, and the {!safepoint} drain — runs
+    inside it, so an SMP harness can wire [Mv_vm.Smp.stop_machine] here
+    and guarantee patches only land with every other hart parked at an
+    interrupts-enabled instruction boundary.  The barrier must invoke its
+    thunk exactly once, synchronously, and be re-entrant (a nested
+    operation runs its thunk directly).  With [None] (the default) the
+    paper's model applies: the caller guarantees a patchable state. *)
+val set_patch_barrier : t -> ((unit -> unit) -> unit) option -> unit
+
+(** Route every text mutation through a replacement writer instead of the
+    default protected-write-plus-flush — e.g. the SMP breakpoint-first
+    [Mv_vm.Smp.text_poke] (see {!Patch.set_writer}). *)
+val set_text_writer : t -> (addr:int -> bytes -> unit) option -> unit
 
 (** Switch the installation strategy (ablation A4).  Raises
     {!Runtime_error} while anything is installed — revert first. *)

@@ -6,7 +6,7 @@ module Image = Mv_link.Image
 module Runtime = Core.Runtime
 module Compiler = Core.Compiler
 
-type chaos = No_chaos | Skip_flush | Lost_flush
+type chaos = No_chaos | Skip_flush | Lost_flush | Drop_ack
 
 type divergence = { d_oracle : string; d_detail : string }
 
@@ -20,6 +20,7 @@ let oracle_names =
     "commit-soundness";
     "commit-idempotent";
     "schedule-equiv";
+    "smp-schedule-equiv";
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -126,7 +127,9 @@ let build_session ?(chaos = No_chaos) src =
   let lost = ref false in
   let flush ~addr ~len =
     match chaos with
-    | No_chaos -> Machine.flush_icache machine ~addr ~len
+    (* [Drop_ack] breaks a cross-hart IPI channel; on a single machine
+       there is no other hart, so it degenerates to a healthy flush *)
+    | No_chaos | Drop_ack -> Machine.flush_icache machine ~addr ~len
     | Skip_flush -> ()
     | Lost_flush ->
         (* every other invalidation request is dropped on the floor *)
@@ -426,6 +429,241 @@ let schedule_equiv ?chaos (case : Gen.case) (sched : Schedule.t) :
   end
 
 (* ------------------------------------------------------------------ *)
+(* Oracle: multi-hart schedule equivalence + icache coherence probe    *)
+(* ------------------------------------------------------------------ *)
+
+module Smp = Mv_vm.Smp
+
+(* Auxiliary SMP workload appended to every generated case.  The [__smp_]
+   prefix cannot collide with generated identifiers, and the workload
+   touches only its own globals: the case's driver (pinned to hart 0) and
+   the worker (pinned to the last hart) share text, the patch runtime and
+   the rendezvous machinery, but no data — so driver outcomes and case
+   observables must be identical under every scheduler configuration.
+   Generated code never writes its switches (see gen.mli), so the mid-run
+   [commit_safe] below re-stages exactly the initial case bindings; the
+   only text that actually changes is [__smp_tick]'s binding. *)
+let smp_aux_src =
+  {|
+    multiverse int __smp_mode;
+    int __smp_acc;
+    multiverse void __smp_tick() {
+      if (__smp_mode) {
+        __smp_acc = __smp_acc + 2;
+      } else {
+        __smp_acc = __smp_acc + 1;
+      }
+    }
+    void __smp_worker(int n) {
+      for (int i = 0; i < n; i = i + 1) {
+        __smp_tick();
+      }
+    }
+  |}
+
+let smp_worker_iters = 48
+let smp_probe_iters = 8
+
+(* Global scheduler steps before the mode flip is injected mid-run. *)
+let smp_flip_step = 40
+let smp_step_budget = 5_000_000
+
+(* Configurations whose observable behavior is compared: two seeded
+   2-hart interleavings and the 1-hart degenerate container. *)
+let smp_configs =
+  [
+    (2, 11, Smp.Weighted_random [| 2; 1 |]);
+    (2, 47, Smp.Round_robin);
+    (1, 1, Smp.Round_robin);
+  ]
+
+type smp_summary = {
+  ss_outcomes : outcome list;
+  ss_finals : (string * int) list;
+}
+
+(* The SMP counterpart of [build_session]: full cross-modifying-code
+   wiring (live scanner, stop_machine barrier, breakpoint-first text
+   writer, per-hart safepoints).  [Drop_ack] severs the last hart's IPI
+   channel — commits neither stop nor re-flush it — which the coherence
+   probe below must catch.  The flush-path chaos modes are mapped too,
+   though with the text writer installed most invalidation traffic goes
+   through [Smp.text_poke] and is exercised by the plain oracles. *)
+let build_smp_session ?(chaos = No_chaos) ~n_harts ~policy ~seed src =
+  let program = Compiler.build_string src in
+  let image = program.Compiler.p_image in
+  let smp = Smp.create ~policy ~seed ~n_harts image in
+  let lost = ref false in
+  let flush ~addr ~len =
+    match chaos with
+    | No_chaos | Drop_ack -> Smp.flush_icache smp ~addr ~len
+    | Skip_flush -> ()
+    | Lost_flush ->
+        lost := not !lost;
+        if not !lost then Smp.flush_icache smp ~addr ~len
+  in
+  let runtime = Runtime.create image ~flush in
+  Runtime.set_live_scanner runtime (fun () -> Smp.live_code_addrs smp);
+  Runtime.set_patch_barrier runtime (Some (fun f -> Smp.stop_machine smp f));
+  Runtime.set_text_writer runtime (Some (fun ~addr b -> Smp.text_poke smp ~addr b));
+  Smp.set_safepoint smp (Some (fun () -> Runtime.safepoint runtime));
+  (match chaos with
+  | Drop_ack when n_harts > 1 -> Smp.set_drop_ack smp (Some (n_harts - 1))
+  | _ -> ());
+  (program, smp, runtime)
+
+let smp_schedule_equiv ?chaos (case : Gen.case) (_sched : Schedule.t) :
+    divergence option =
+  let fail fmt =
+    Printf.ksprintf
+      (fun d -> Some { d_oracle = "smp-schedule-equiv"; d_detail = d })
+      fmt
+  in
+  let src = case.Gen.c_src ^ smp_aux_src in
+  let obs = observables case in
+  let run_config (n_harts, seed, policy) : (smp_summary, string) result =
+    let cfail fmt =
+      Printf.ksprintf
+        (fun d -> Error (Printf.sprintf "[%d harts, seed %d] %s" n_harts seed d))
+        fmt
+    in
+    let _prog, smp, rt = build_smp_session ?chaos ~n_harts ~policy ~seed src in
+    let img = _prog.Compiler.p_image in
+    let mode_addr = Image.symbol img "__smp_mode" in
+    let acc_addr = Image.symbol img "__smp_acc" in
+    (match case.Gen.c_assignments with
+    | [] -> ()
+    | a :: _ -> apply_machine case img a);
+    ignore (Runtime.commit rt);
+    (* phase A: the driver runs its args on hart 0 while the worker grinds
+       [__smp_tick] on the last hart; after [smp_flip_step] global steps a
+       safe commit flips the tick binding under the live workload *)
+    let worker_hart = n_harts - 1 in
+    if worker_hart > 0 then
+      Smp.start_call smp ~hart:worker_hart "__smp_worker" [ smp_worker_iters ];
+    let steps = ref 0 in
+    let flipped = ref false in
+    let flip () =
+      flipped := true;
+      Image.write img mode_addr 1 8;
+      ignore (Runtime.commit_safe rt)
+    in
+    let drive stop : string option =
+      try
+        while not (stop ()) do
+          if (not !flipped) && !steps >= smp_flip_step then flip ();
+          if !steps > smp_step_budget then
+            raise (Machine.Fault "smp step budget exceeded");
+          ignore (Smp.step smp);
+          incr steps
+        done;
+        None
+      with Machine.Fault m -> Some m
+    in
+    let outcomes =
+      List.map
+        (fun arg ->
+          Smp.start_call smp ~hart:0 case.Gen.c_entry [ arg ];
+          match drive (fun () -> not (Smp.running smp 0)) with
+          | Some m -> Fault m
+          | None -> Ret (Smp.result smp ~hart:0))
+        case.Gen.c_args
+    in
+    let any_running () =
+      let r = ref false in
+      for h = 0 to n_harts - 1 do
+        if Smp.running smp h then r := true
+      done;
+      !r
+    in
+    match drive (fun () -> not (any_running ())) with
+    | Some m -> cfail "worker drain faulted: %s" m
+    | None -> (
+        if not !flipped then flip ();
+        if Runtime.pending rt <> [] then
+          cfail "safe-commit journal not drained at quiescence"
+        else begin
+          let acc = Image.read img acc_addr 8 in
+          if
+            worker_hart > 0
+            && (acc < smp_worker_iters || acc > 2 * smp_worker_iters)
+          then
+            cfail "worker accumulator %d outside [%d, %d]" acc smp_worker_iters
+              (2 * smp_worker_iters)
+          else begin
+            (* phase B, the coherence probe: with the flip committed and
+               every hart quiescent, [smp_probe_iters] ticks on any hart
+               must add exactly 2 per call — a hart still decoding the
+               stale binding (a dropped flush or severed IPI channel)
+               adds 1 and is caught here *)
+            let probe hart =
+              let before = Image.read img acc_addr 8 in
+              Smp.start_call smp ~hart "__smp_worker" [ smp_probe_iters ];
+              while Smp.running smp hart do
+                ignore (Smp.step_hart smp hart)
+              done;
+              Image.read img acc_addr 8 - before
+            in
+            let rec check hart =
+              if hart < 0 then
+                Ok { ss_outcomes = outcomes; ss_finals = read_obs_machine img obs }
+              else
+                let delta = probe hart in
+                if delta <> 2 * smp_probe_iters then
+                  cfail
+                    "hart %d ran a stale __smp_tick after commit: probe delta \
+                     %d, expected %d"
+                    hart delta (2 * smp_probe_iters)
+                else check (hart - 1)
+            in
+            check (n_harts - 1)
+          end
+        end)
+  in
+  let results = List.map run_config smp_configs in
+  match List.find_map (function Error e -> Some e | Ok _ -> None) results with
+  | Some e -> fail "%s" e
+  | None -> (
+      let oks =
+        List.filter_map (function Ok s -> Some s | Error _ -> None) results
+      in
+      match (smp_configs, oks) with
+      | (rn, rs, _) :: rest_cfg, reference :: rest ->
+          List.fold_left
+            (fun acc ((n_harts, seed, _), s) ->
+              match acc with
+              | Some _ -> acc
+              | None -> (
+                  let mism =
+                    List.find_map
+                      (fun (i, (a, b)) ->
+                        if a <> b then
+                          Some
+                            (Printf.sprintf
+                               "driver(%d): %s under [%d harts, seed %d] vs %s \
+                                under [%d harts, seed %d]"
+                               (List.nth case.Gen.c_args i) (pp_outcome a) rn
+                               rs (pp_outcome b) n_harts seed)
+                        else None)
+                      (List.mapi
+                         (fun i p -> (i, p))
+                         (List.combine reference.ss_outcomes s.ss_outcomes))
+                  in
+                  match mism with
+                  | Some d -> fail "%s" d
+                  | None -> (
+                      match diff_states reference.ss_finals s.ss_finals with
+                      | Some d ->
+                          fail
+                            "final global %s ([%d harts, seed %d] vs [%d \
+                             harts, seed %d])"
+                            d rn rs n_harts seed
+                      | None -> None)))
+            None
+            (List.combine rest_cfg rest)
+      | _ -> None)
+
+(* ------------------------------------------------------------------ *)
 (* Dispatch                                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -436,6 +674,7 @@ let run_named ?chaos name case sched =
   | "commit-soundness" -> commit_soundness ?chaos case sched
   | "commit-idempotent" -> commit_idempotent ?chaos case sched
   | "schedule-equiv" -> schedule_equiv ?chaos case sched
+  | "smp-schedule-equiv" -> smp_schedule_equiv ?chaos case sched
   | _ -> invalid_arg ("Oracle.run_named: unknown oracle " ^ name)
 
 let run_all ?chaos ?(only = []) case sched =

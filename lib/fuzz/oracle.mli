@@ -14,9 +14,12 @@
 (** Fault injection for validating the oracles themselves: [Skip_flush]
     drops the runtime's icache flushes entirely, [Lost_flush] drops every
     other flush request (a lost invalidation IPI — the classic
-    cross-modifying-code bug).  A healthy pipeline diverges under both,
-    and the fuzzer must catch it. *)
-type chaos = No_chaos | Skip_flush | Lost_flush
+    cross-modifying-code bug), and [Drop_ack] severs one hart's IPI
+    channel in the multi-hart oracle (it is neither stopped by the
+    rendezvous nor re-flushed, so it keeps executing the stale variant).
+    A healthy pipeline diverges under each, and the fuzzer must catch
+    it. *)
+type chaos = No_chaos | Skip_flush | Lost_flush | Drop_ack
 
 type divergence = {
   d_oracle : string;
@@ -30,7 +33,10 @@ val oracle_names : string list
 
 (** Run one oracle by name ([Invalid_argument] on unknown names).
     [chaos] affects the oracles that patch ([commit-soundness],
-    [commit-idempotent], [schedule-equiv]). *)
+    [commit-idempotent], [schedule-equiv], [smp-schedule-equiv] —
+    [Drop_ack] bites only the last, which runs the case's driver against
+    a patched-under-load multi-hart workload and probes every hart's
+    icache coherence after the rendezvous). *)
 val run_named :
   ?chaos:chaos -> string -> Gen.case -> Schedule.t -> divergence option
 

@@ -32,6 +32,7 @@ let pp_insn fmt (i : Insn.t) =
   | Insn.Rdtsc rd -> p "rdtsc r%d" rd
   | Insn.Halt -> p "halt"
   | Insn.Nop -> p "nop"
+  | Insn.Brk -> p "brk"
 
 let insn_to_string i = Format.asprintf "%a" pp_insn i
 

@@ -60,6 +60,7 @@ let decode (b : Bytes.t) ~off : Insn.t * int =
     | 0x18 -> Insn.Hypercall (Char.code (Bytes.get b (off + 1)))
     | 0x19 -> Insn.Rdtsc (get_reg b off 1)
     | 0x1A -> Insn.Halt
+    | 0x1C -> Insn.Brk
     | 0x90 -> Insn.Nop
     | opc -> err off "unknown opcode 0x%02x" opc
   in

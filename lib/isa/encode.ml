@@ -113,7 +113,8 @@ let encode (insn : Insn.t) : bytes =
       if n < 0 || n > 255 then raise (Encode_error "hypercall number out of range");
       Bytes.set b 1 (Char.chr n)
   | Insn.Rdtsc rd -> reg 1 rd
-  | Insn.Ret | Insn.Cli | Insn.Sti | Insn.Pause | Insn.Fence | Insn.Halt | Insn.Nop ->
+  | Insn.Ret | Insn.Cli | Insn.Sti | Insn.Pause | Insn.Fence | Insn.Halt | Insn.Nop
+  | Insn.Brk ->
       ());
   b
 

@@ -53,6 +53,7 @@ type t =
   | Rdtsc of reg
   | Halt
   | Nop
+  | Brk  (** breakpoint trap byte, used by the cross-modifying text_poke *)
 
 (* opcode assignments; keep stable, the runtime recognizes Call/Jmp/Nop *)
 let opcode = function
@@ -83,6 +84,7 @@ let opcode = function
   | Hypercall _ -> 0x18
   | Rdtsc _ -> 0x19
   | Halt -> 0x1A
+  | Brk -> 0x1C
   | Nop -> 0x90
 
 (** Encoded size in bytes. *)
@@ -114,6 +116,7 @@ let size = function
   | Hypercall _ -> 2
   | Rdtsc _ -> 2
   | Halt -> 1
+  | Brk -> 1
   | Nop -> 1
 
 (** Size of a direct call instruction; the inlining threshold of the
@@ -158,4 +161,4 @@ let position_independent = function
   | Ret -> false  (* a ret would return from the caller instead *)
   | Mov_ri _ | Mov_ri32 _ | Mov_rr _ | Alu _ | Alu_ri _ | Un _ | Load _
   | Store _ | Loadg _ | Storeg _ | Lea _ | Call_ind _ | Push _ | Pop _ | Cli
-  | Sti | Pause | Fence | Xchg _ | Hypercall _ | Rdtsc _ | Halt | Nop -> true
+  | Sti | Pause | Fence | Xchg _ | Hypercall _ | Rdtsc _ | Halt | Nop | Brk -> true

@@ -52,6 +52,11 @@ type t =
   | Rdtsc of reg  (** read the cycle counter *)
   | Halt
   | Nop
+  | Brk
+      (** breakpoint trap byte (opcode [0x1C]): faults unless the machine
+          has a breakpoint handler installed.  The SMP text_poke protocol
+          writes it over the first byte of a patch range so concurrent
+          harts spin instead of decoding a torn instruction. *)
 
 (** Opcode byte (stable; the runtime recognizes [Call]/[Jmp]/[Nop]). *)
 val opcode : t -> int

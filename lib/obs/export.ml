@@ -25,14 +25,28 @@ let args_of_event (ev : Trace.event) : (string * Json.t) list =
       [ ("pset", Json.Int pset); ("actions", Json.Int actions) ]
   | Trace.Pending_rollback { pset } -> [ ("pset", Json.Int pset) ]
   | Trace.Safepoint_poll { pending } -> [ ("pending", Json.Int pending) ]
-  | Trace.Icache_flush { addr; len } ->
-      [ ("addr", Json.Int addr); ("len", Json.Int len) ]
+  | Trace.Icache_flush { hart; addr; len } ->
+      [ ("hart", Json.Int hart); ("addr", Json.Int addr); ("len", Json.Int len) ]
+  | Trace.Ipi_send { from_hart; to_hart } ->
+      [ ("from_hart", Json.Int from_hart); ("to_hart", Json.Int to_hart) ]
+  | Trace.Ipi_ack { hart; wait } ->
+      [ ("hart", Json.Int hart); ("wait", Json.Float wait) ]
+  | Trace.Rendezvous_begin { initiator; waiting } ->
+      [ ("initiator", Json.Int initiator); ("waiting", Json.Int waiting) ]
+  | Trace.Rendezvous_end { initiator; acks; latency } ->
+      [
+        ("initiator", Json.Int initiator);
+        ("acks", Json.Int acks);
+        ("latency", Json.Float latency);
+      ]
 
 let chrome_event ~pid (st : Trace.stamped) : Json.t =
   let phase, name =
     match st.Trace.ev with
     | Trace.Commit_begin { op; _ } -> ("B", op)
     | Trace.Commit_end { op; _ } -> ("E", op)
+    | Trace.Rendezvous_begin _ -> ("B", "rendezvous")
+    | Trace.Rendezvous_end _ -> ("E", "rendezvous")
     | ev -> ("i", Trace.event_name ev)
   in
   let base =

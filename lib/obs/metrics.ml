@@ -235,4 +235,12 @@ let trace_sink t ~clock : Trace.sink =
     | Trace.Safepoint_poll { pending } ->
         inc t "mv_safepoint_polls_total" [];
         set_gauge t "mv_pending_sets" [] (float_of_int pending)
-    | Trace.Icache_flush _ -> inc t "mv_icache_flushes_total" []
+    | Trace.Icache_flush { hart; _ } ->
+        inc t "mv_icache_flushes_total" [ ("hart", string_of_int hart) ]
+    | Trace.Ipi_send _ -> inc t "mv_ipis_total" [ ("dir", "send") ]
+    | Trace.Ipi_ack { wait; _ } ->
+        inc t "mv_ipis_total" [ ("dir", "ack") ];
+        observe t "mv_ipi_wait_cycles" [] wait
+    | Trace.Rendezvous_begin _ -> inc t "mv_rendezvous_total" []
+    | Trace.Rendezvous_end { latency; _ } ->
+        observe t "mv_rendezvous_latency_cycles" [] latency

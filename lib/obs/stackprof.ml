@@ -25,6 +25,7 @@ type t = {
   is_variant : string -> bool;
   frames : unit -> int list;
   now : unit -> float;
+  root : string option;  (* synthetic outermost frame, e.g. "hart0" *)
   interval : int;
   mutable countdown : int;
   mutable last : float;
@@ -35,14 +36,15 @@ type t = {
 
 let unknown = "<unknown>"
 
-let create ?(interval = 97) ?(is_variant = fun _ -> false) ~resolve ~frames ~now
-    () =
+let create ?(interval = 97) ?(is_variant = fun _ -> false) ?root ~resolve
+    ~frames ~now () =
   let interval = max 1 interval in
   {
     resolve;
     is_variant;
     frames;
     now;
+    root;
     interval;
     countdown = interval;
     last = now ();
@@ -60,9 +62,12 @@ let name_of t addr = match t.resolve addr with Some n -> n | None -> unknown
 let symbolize t pc =
   let callers = List.rev_map (name_of t) (t.frames ()) in
   let leaf = name_of t pc in
-  match List.rev callers with
-  | innermost :: _ when innermost = leaf -> callers
-  | _ -> callers @ [ leaf ]
+  let stack =
+    match List.rev callers with
+    | innermost :: _ when innermost = leaf -> callers
+    | _ -> callers @ [ leaf ]
+  in
+  match t.root with None -> stack | Some r -> r :: stack
 
 let sample t pc =
   t.countdown <- t.countdown - 1;

@@ -36,10 +36,14 @@ type t
     first (wire to [Machine.call_frames]); [now] reads the clock being
     attributed; [is_variant] classifies symbols as generated variants;
     [interval] is the sampling period in instructions (default 97, coprime
-    to common loop lengths). *)
+    to common loop lengths); [root], when given, is prepended to every
+    symbolized stack as a synthetic outermost frame — SMP sessions use it
+    for per-hart attribution (["hart0"], ["hart1"], ...), so merged folded
+    dumps keep each hart's stacks distinct. *)
 val create :
   ?interval:int ->
   ?is_variant:(string -> bool) ->
+  ?root:string ->
   resolve:(int -> string option) ->
   frames:(unit -> int list) ->
   now:(unit -> float) ->

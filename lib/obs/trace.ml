@@ -20,7 +20,11 @@ type event =
   | Pending_drained of { pset : int; actions : int }
   | Pending_rollback of { pset : int }
   | Safepoint_poll of { pending : int }
-  | Icache_flush of { addr : int; len : int }
+  | Icache_flush of { hart : int; addr : int; len : int }
+  | Ipi_send of { from_hart : int; to_hart : int }
+  | Ipi_ack of { hart : int; wait : float }
+  | Rendezvous_begin of { initiator : int; waiting : int }
+  | Rendezvous_end of { initiator : int; acks : int; latency : float }
 
 type stamped = { ts : float; seq : int; ev : event }
 type sink = event -> unit
@@ -84,6 +88,10 @@ let event_name = function
   | Pending_rollback _ -> "pending_rollback"
   | Safepoint_poll _ -> "safepoint_poll"
   | Icache_flush _ -> "icache_flush"
+  | Ipi_send _ -> "ipi_send"
+  | Ipi_ack _ -> "ipi_ack"
+  | Rendezvous_begin _ -> "rendezvous_begin"
+  | Rendezvous_end _ -> "rendezvous_end"
 
 let pp_event fmt = function
   | Commit_begin { op; switches } ->
@@ -106,8 +114,17 @@ let pp_event fmt = function
   | Pending_rollback { pset } -> Format.fprintf fmt "pending set #%d rolled back" pset
   | Safepoint_poll { pending } ->
       Format.fprintf fmt "safepoint poll (%d sets pending)" pending
-  | Icache_flush { addr; len } ->
-      if len = 0 then Format.fprintf fmt "icache flush (all)"
-      else Format.fprintf fmt "icache flush [0x%x, 0x%x)" addr (addr + len)
+  | Icache_flush { hart; addr; len } ->
+      if len = 0 then Format.fprintf fmt "hart%d icache flush (all)" hart
+      else Format.fprintf fmt "hart%d icache flush [0x%x, 0x%x)" hart addr (addr + len)
+  | Ipi_send { from_hart; to_hart } ->
+      Format.fprintf fmt "ipi hart%d -> hart%d" from_hart to_hart
+  | Ipi_ack { hart; wait } ->
+      Format.fprintf fmt "hart%d acked ipi after %.1f cycles" hart wait
+  | Rendezvous_begin { initiator; waiting } ->
+      Format.fprintf fmt "rendezvous by hart%d (%d hart(s) to park)" initiator waiting
+  | Rendezvous_end { initiator; acks; latency } ->
+      Format.fprintf fmt "rendezvous by hart%d complete (%d ack(s), %.1f cycles)"
+        initiator acks latency
 
 let pp fmt st = Format.fprintf fmt "[%10.1f/%d] %a" st.ts st.seq pp_event st.ev

@@ -45,9 +45,23 @@ type event =
       (** A safepoint inspected a non-empty journal of [pending] sets.
           Polls with an empty journal are not reported — they are the
           fast path and would flood the ring. *)
-  | Icache_flush of { addr : int; len : int }
-      (** The machine dropped decoded instructions over the range
-          ([len = 0] means a whole-cache flush). *)
+  | Icache_flush of { hart : int; addr : int; len : int }
+      (** Hart [hart] dropped decoded instructions over the range
+          ([len = 0] means a whole-cache flush).  Single-hart machines
+          report [hart = 0]. *)
+  | Ipi_send of { from_hart : int; to_hart : int }
+      (** The rendezvous initiator posted a stop request to [to_hart]. *)
+  | Ipi_ack of { hart : int; wait : float }
+      (** [hart] observed its pending IPI and parked; [wait] is the
+          simulated-cycle latency between post and ack (interrupts-off
+          sections delay the ack). *)
+  | Rendezvous_begin of { initiator : int; waiting : int }
+      (** A stop_machine-style rendezvous started; [waiting] harts must
+          ack before the patch thunk may run. *)
+  | Rendezvous_end of { initiator : int; acks : int; latency : float }
+      (** The matching end of a {!Rendezvous_begin} span: all [acks]
+          harts parked, the thunk ran, everyone was released.  [latency]
+          is the total simulated-cycle cost of gathering the acks. *)
 
 (** A recorded event: [ts] is the clock reading at record time (simulated
     cycles for the standard wiring) and [seq] a strictly increasing

@@ -21,6 +21,12 @@ type platform = Native | Xen
 
 type t = {
   image : Image.t;
+  hart_id : int;
+      (** which hart this context is, for event attribution; a plain
+          single-hart machine is hart 0 *)
+  stack_base : int;
+      (** top of this hart's stack region — the image's [stack_base] for
+          hart 0, lower disjoint slices for the others *)
   regs : int array;
   mutable pc : int;
   perf : Perf.t;
@@ -45,14 +51,22 @@ type t = {
           [call], popped on [ret].  Host-side bookkeeping like the perf
           counters: it charges no simulated cycles, and the stack profiler
           reads it through {!call_frames} to symbolize whole call stacks *)
+  mutable brk : (int -> bool) option;
+      (** breakpoint handler: called with the pc of a fetched [Brk].
+          Returning [true] means "spin here" (the pc does not advance and a
+          pause is charged — the text_poke wait loop); returning [false],
+          or having no handler, faults.  The SMP layer installs this. *)
 }
 
 let return_sentinel = 0
 
 let create ?(cost = Cost.default) ?(platform = Native) ?(max_steps = 2_000_000_000)
-    (image : Image.t) : t =
+    ?(hart_id = 0) ?stack_base (image : Image.t) : t =
   {
     image;
+    hart_id;
+    stack_base =
+      (match stack_base with None -> image.Image.stack_base | Some sb -> sb);
     regs = Array.make Insn.num_regs 0;
     pc = return_sentinel;
     perf = Perf.create ();
@@ -67,6 +81,7 @@ let create ?(cost = Cost.default) ?(platform = Native) ?(max_steps = 2_000_000_0
     tracer = None;
     sampler = None;
     frames = [];
+    brk = None;
   }
 
 (** Install (or remove) the safepoint hook.  While a hook is installed,
@@ -83,6 +98,12 @@ let set_tracer t sink = t.tracer <- sink
     cycle counts do not change. *)
 let set_sampler t hook = t.sampler <- hook
 
+(** Install (or remove) the breakpoint handler (see the [brk] field). *)
+let set_brk_handler t h = t.brk <- h
+
+(** Which hart this machine is (0 for plain single-hart machines). *)
+let hart_id t = t.hart_id
+
 let emit t ev = match t.tracer with None -> () | Some sink -> sink ev
 
 let text_base t = t.image.Image.text.Image.sr_base
@@ -92,7 +113,7 @@ let text_base t = t.image.Image.text.Image.sr_base
     patch. *)
 let flush_icache t ~addr ~len =
   t.perf.Perf.icache_flushes <- t.perf.Perf.icache_flushes + 1;
-  emit t (Mv_obs.Trace.Icache_flush { addr; len });
+  emit t (Mv_obs.Trace.Icache_flush { hart = t.hart_id; addr; len });
   let base = text_base t in
   let lo = max 0 (addr - base - 15) and hi = min (Array.length t.cache) (addr - base + len) in
   for i = lo to hi - 1 do
@@ -101,7 +122,7 @@ let flush_icache t ~addr ~len =
 
 let flush_all_icache t =
   t.perf.Perf.icache_flushes <- t.perf.Perf.icache_flushes + 1;
-  emit t (Mv_obs.Trace.Icache_flush { addr = 0; len = 0 });
+  emit t (Mv_obs.Trace.Icache_flush { hart = t.hart_id; addr = 0; len = 0 });
   Array.fill t.cache 0 (Array.length t.cache) None
 
 let fetch t pc : Insn.t * int =
@@ -291,7 +312,15 @@ let step t : bool =
       t.pc <- return_sentinel;
       t.frames <- [];
       poll_safepoint t
-  | Insn.Nop -> add_cycles t c.Cost.nop);
+  | Insn.Nop -> add_cycles t c.Cost.nop
+  | Insn.Brk -> (
+      match t.brk with
+      | Some handler when handler pc ->
+          (* an in-progress text_poke owns this address: spin in place,
+             modelling the wait loop a real hart performs on the trap *)
+          t.pc <- pc;
+          add_cycles t c.Cost.pause
+      | _ -> faultf "breakpoint at 0x%x" pc));
   t.pc <> return_sentinel
 
 (** Prepare a call to [addr] without running it: load argument registers,
@@ -301,7 +330,7 @@ let step t : bool =
 let start_call_addr t addr (args : int list) : unit =
   if List.length args > 6 then invalid_arg "start_call_addr: too many arguments";
   List.iteri (fun i v -> t.regs.(i) <- v) args;
-  t.regs.(Insn.sp) <- t.image.Image.stack_base;
+  t.regs.(Insn.sp) <- t.stack_base;
   push_word t return_sentinel;
   t.pc <- addr;
   t.frames <- [ addr ];
@@ -337,7 +366,7 @@ let call t name args = call_addr t (Image.symbol t.image name) args
     one.  The return sentinel and data words outside text are excluded. *)
 let live_code_addrs t : int list =
   let live = if Image.in_text t.image t.pc then [ t.pc ] else [] in
-  let sp = t.regs.(Insn.sp) and base = t.image.Image.stack_base in
+  let sp = t.regs.(Insn.sp) and base = t.stack_base in
   if sp <= 0 || sp > base then live
   else begin
     let acc = ref live in

@@ -19,6 +19,9 @@ type platform = Native | Xen
 
 type t = {
   image : Image.t;
+  hart_id : int;  (** event-attribution id; 0 for plain machines *)
+  stack_base : int;
+      (** top of this hart's stack region (the image default for hart 0) *)
   regs : int array;
   mutable pc : int;
   perf : Perf.t;
@@ -37,6 +40,8 @@ type t = {
       (** per-instruction pc observer; install via {!set_sampler} *)
   mutable frames : int list;
       (** live activation entries, innermost first; read via {!call_frames} *)
+  mutable brk : (int -> bool) option;
+      (** breakpoint handler; install via {!set_brk_handler} *)
 }
 
 (** The address a top-level call returns to; control reaching it ends
@@ -46,8 +51,19 @@ val return_sentinel : int
 
 (** Build a machine over a linked image.  [cost] selects the cycle model,
     [platform] whether privileged instructions or hypercalls fault, and
-    [max_steps] bounds each top-level call (runaway-loop protection). *)
-val create : ?cost:Cost.t -> ?platform:platform -> ?max_steps:int -> Image.t -> t
+    [max_steps] bounds each top-level call (runaway-loop protection).
+    [hart_id] (default 0) tags this context's events; [stack_base]
+    (default the image's) lets an SMP container give each hart a disjoint
+    stack slice.  The defaults reproduce the single-hart machine
+    bit-for-bit. *)
+val create :
+  ?cost:Cost.t ->
+  ?platform:platform ->
+  ?max_steps:int ->
+  ?hart_id:int ->
+  ?stack_base:int ->
+  Image.t ->
+  t
 
 (** Install (or remove, with [None]) the safepoint hook.  While installed,
     every [ret] and halt charges {!Cost.t.safepoint_poll} cycles and invokes
@@ -67,6 +83,16 @@ val set_tracer : t -> (Mv_obs.Trace.event -> unit) option -> unit
     is host-side only: it charges no simulated cycles, so guest cycle
     counts are bit-for-bit identical with and without it. *)
 val set_sampler : t -> (int -> unit) option -> unit
+
+(** Install (or remove, with [None]) the breakpoint handler.  When the
+    machine fetches a [Brk] the handler receives the pc; returning [true]
+    leaves the pc in place and charges one pause (the text_poke spin),
+    anything else faults.  With no handler every [Brk] faults — plain
+    machines never execute one. *)
+val set_brk_handler : t -> (int -> bool) option -> unit
+
+(** This machine's hart id (0 unless created by the SMP container). *)
+val hart_id : t -> int
 
 (** Drop decode-cache entries overlapping the range (icache flush). *)
 val flush_icache : t -> addr:int -> len:int -> unit

@@ -358,3 +358,107 @@ let measurement_json m : Json.t =
       ("samples", Json.Int m.m_samples);
       ("excluded", Json.Int m.m_excluded);
     ]
+
+(* ------------------------------------------------------------------ *)
+(* SMP sessions                                                        *)
+(* ------------------------------------------------------------------ *)
+
+module Smp = Mv_vm.Smp
+
+(** A built program on an N-hart container, with the runtime wired for
+    cross-modifying code: flushes reach every hart, live-activation scans
+    aggregate every hart's stack, every patching operation runs inside a
+    [stop_machine] rendezvous, and text mutations go through the
+    breakpoint-first [text_poke]. *)
+type smp_session = {
+  sm_program : Core.Compiler.program;
+  smp : Smp.t;
+  sm_runtime : Core.Runtime.t;
+  mutable sm_trace : Trace.ring option;
+  mutable sm_stackprofs : Stackprof.t array;  (** one per hart once enabled *)
+}
+
+let smp_session ?(n_harts = 2) ?policy ?seed ?platform ?cost
+    (sources : (string * string) list) : smp_session =
+  let program = Core.Compiler.build sources in
+  let image = program.Core.Compiler.p_image in
+  let smp = Smp.create ?policy ?seed ?cost ?platform ~n_harts image in
+  let runtime =
+    Core.Runtime.create image ~flush:(fun ~addr ~len ->
+        Smp.flush_icache smp ~addr ~len)
+  in
+  Core.Runtime.set_live_scanner runtime (fun () -> Smp.live_code_addrs smp);
+  Core.Runtime.set_patch_barrier runtime (Some (fun f -> Smp.stop_machine smp f));
+  Core.Runtime.set_text_writer runtime
+    (Some (fun ~addr b -> Smp.text_poke smp ~addr b));
+  Smp.set_safepoint smp (Some (fun () -> Core.Runtime.safepoint runtime));
+  { sm_program = program; smp; sm_runtime = runtime; sm_trace = None;
+    sm_stackprofs = [||] }
+
+let smp_session1 ?n_harts ?policy ?seed ?platform ?cost source =
+  smp_session ?n_harts ?policy ?seed ?platform ?cost [ ("main", source) ]
+
+let smp_set s name v = Smp.write_global s.smp name v ~width:8
+let smp_get s name = Smp.read_global s.smp name ~width:8
+let smp_commit s = Core.Runtime.commit s.sm_runtime
+let smp_revert s = Core.Runtime.revert s.sm_runtime
+let smp_commit_safe ?policy s = Core.Runtime.commit_safe ?policy s.sm_runtime
+let smp_revert_safe ?policy s = Core.Runtime.revert_safe ?policy s.sm_runtime
+let smp_start s ~hart fn args = Smp.start_call s.smp ~hart fn args
+let smp_step s = Smp.step s.smp
+let smp_run s = Smp.run s.smp
+let smp_result s ~hart = Smp.result s.smp ~hart
+
+(** Arm the structured-event recorder on the container: one ring, clocked
+    by the SMP clock (total cycles across harts), receiving the runtime's
+    patching events, every hart's icache flushes, and the IPI/rendezvous
+    lifecycle. *)
+let enable_smp_tracing ?capacity s =
+  let ring = Trace.ring ?capacity ~clock:(fun () -> Smp.clock s.smp) () in
+  s.sm_trace <- Some ring;
+  let sink = Some (Trace.sink ring) in
+  Core.Runtime.set_tracer s.sm_runtime sink;
+  Smp.set_tracer s.smp sink
+
+let smp_trace_events s =
+  match s.sm_trace with None -> [] | Some ring -> Trace.events ring
+
+let smp_trace_dump s = Mv_obs.Export.chrome_trace_string (smp_trace_events s)
+
+(** Attach a stack profiler to every hart, each rooted at a synthetic
+    ["hartN"] frame so the merged folded dump keeps per-hart attribution.
+    Each hart's sampler is clocked by its own cycle counter. *)
+let enable_smp_stack_profiling ?interval s =
+  let img = s.sm_program.Core.Compiler.p_image in
+  let variants = Hashtbl.create 32 in
+  List.iter
+    (fun (f : Core.Descriptor.function_record) ->
+      List.iter
+        (fun (v : Core.Descriptor.variant_record) ->
+          match Image.symbol_at img v.Core.Descriptor.va_addr with
+          | Some name -> Hashtbl.replace variants name ()
+          | None -> ())
+        f.Core.Descriptor.fd_variants)
+    (Core.Descriptor.parse_functions img);
+  s.sm_stackprofs <-
+    Array.init (Smp.n_harts s.smp) (fun i ->
+        let m = Smp.machine s.smp i in
+        let sp =
+          Stackprof.create ?interval
+            ~is_variant:(fun name -> Hashtbl.mem variants name)
+            ~root:(Printf.sprintf "hart%d" i)
+            ~resolve:(fun pc -> Image.symbol_at img pc)
+            ~frames:(fun () -> Machine.call_frames m)
+            ~now:(fun () -> m.Machine.perf.Perf.cycles)
+            ()
+        in
+        Machine.set_sampler m (Some (fun pc -> Stackprof.sample sp pc));
+        sp)
+
+(** Per-hart stack reports (empty until {!enable_smp_stack_profiling}). *)
+let smp_stack_reports s = Array.map Stackprof.report s.sm_stackprofs
+
+(** The merged folded dump: every hart's folded stacks concatenated; each
+    line starts with its hart's root frame. *)
+let smp_folded_dump s =
+  Array.to_list s.sm_stackprofs |> List.map Stackprof.folded |> String.concat ""

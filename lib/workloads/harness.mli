@@ -170,3 +170,86 @@ val pp_measurement : Format.formatter -> measurement -> unit
     ([mean]/[stddev]/[min]/[max]/[p50]/[p95]/[samples]/[excluded]) — the
     bench exporter's row payload. *)
 val measurement_json : measurement -> Mv_obs.Json.t
+
+(** {1 SMP sessions}
+
+    The same harness over an N-hart {!Mv_vm.Smp.t}: one shared image,
+    per-hart registers/stacks/icaches, a deterministic seeded scheduler,
+    and the runtime wired for cross-modifying code — every patching
+    operation runs inside a [stop_machine] rendezvous, every text
+    mutation goes through the breakpoint-first [text_poke], flushes reach
+    every hart, and quiescence scans aggregate every hart's stack. *)
+
+type smp_session = {
+  sm_program : Core.Compiler.program;
+  smp : Mv_vm.Smp.t;
+  sm_runtime : Core.Runtime.t;
+  mutable sm_trace : Mv_obs.Trace.ring option;
+  mutable sm_stackprofs : Mv_obs.Stackprof.t array;
+      (** one per hart once {!enable_smp_stack_profiling} ran *)
+}
+
+(** Build an SMP session ([n_harts] default 2; [policy]/[seed] as in
+    {!Mv_vm.Smp.create}).  Safe commit is wired end to end: per-hart
+    safepoints drain the runtime's journal, and the live scanner sees all
+    harts. *)
+val smp_session :
+  ?n_harts:int ->
+  ?policy:Mv_vm.Smp.policy ->
+  ?seed:int ->
+  ?platform:Mv_vm.Machine.platform ->
+  ?cost:Mv_vm.Cost.t ->
+  (string * string) list ->
+  smp_session
+
+val smp_session1 :
+  ?n_harts:int ->
+  ?policy:Mv_vm.Smp.policy ->
+  ?seed:int ->
+  ?platform:Mv_vm.Machine.platform ->
+  ?cost:Mv_vm.Cost.t ->
+  string ->
+  smp_session
+
+(** Read/write a word-sized global through the shared image. *)
+val smp_set : smp_session -> string -> int -> unit
+
+val smp_get : smp_session -> string -> int
+
+(** Whole-image commit/revert (runs under the rendezvous barrier). *)
+val smp_commit : smp_session -> int
+
+val smp_revert : smp_session -> int
+
+val smp_commit_safe : ?policy:Core.Runtime.safe_policy -> smp_session -> int
+val smp_revert_safe : ?policy:Core.Runtime.safe_policy -> smp_session -> int
+
+(** Prepare a call on one hart; drive with {!smp_step}/{!smp_run}. *)
+val smp_start : smp_session -> hart:int -> string -> int list -> unit
+
+(** One scheduler step; [false] when every hart halted. *)
+val smp_step : smp_session -> bool
+
+(** Drive until every hart halted. *)
+val smp_run : smp_session -> unit
+
+(** Hart [hart]'s return value (r0). *)
+val smp_result : smp_session -> hart:int -> int
+
+(** Arm the event ring on the container (clocked by the SMP clock):
+    patching events, per-hart icache flushes, IPI/rendezvous lifecycle. *)
+val enable_smp_tracing : ?capacity:int -> smp_session -> unit
+
+val smp_trace_events : smp_session -> Mv_obs.Trace.stamped list
+val smp_trace_dump : smp_session -> string
+
+(** Attach a stack profiler to every hart, each rooted at a synthetic
+    ["hartN"] frame (see [Mv_obs.Stackprof.create]'s [root]). *)
+val enable_smp_stack_profiling : ?interval:int -> smp_session -> unit
+
+(** Per-hart stack reports (empty until profiling is enabled). *)
+val smp_stack_reports : smp_session -> Mv_obs.Stackprof.row list array
+
+(** Every hart's folded stacks concatenated, each line rooted at its
+    hart frame. *)
+val smp_folded_dump : smp_session -> string

@@ -135,3 +135,29 @@ let functional_source c =
       return 0;
     }
   |}
+
+(** Run the irq workload on every hart of an SMP container concurrently:
+    per-hart interrupt flags are independent, so [n] disable/enable pairs
+    per hart must leave every hart's flag enabled and (on native) charge
+    each hart its own cli/sti work.  Returns the session after the run. *)
+let smp_stress ?(n_harts = 2) ?policy ?(seed = 1) ?(iters = 50)
+    (platform : Machine.platform) : Harness.smp_session =
+  let s =
+    Harness.smp_session1 ~n_harts ?policy ~seed ~platform
+      (functional_source Multiverse)
+  in
+  let img = s.Harness.sm_program.Core.Compiler.p_image in
+  let sym n = Mv_link.Image.symbol img n in
+  (match platform with
+  | Machine.Native ->
+      Harness.smp_set s "pv_irq_disable" (sym "native_cli");
+      Harness.smp_set s "pv_irq_enable" (sym "native_sti")
+  | Machine.Xen ->
+      Harness.smp_set s "pv_irq_disable" (sym "xen_cli");
+      Harness.smp_set s "pv_irq_enable" (sym "xen_sti"));
+  ignore (Harness.smp_commit s);
+  for h = 0 to n_harts - 1 do
+    Harness.smp_start s ~hart:h "stress" [ iters ]
+  done;
+  Harness.smp_run s;
+  s

@@ -26,3 +26,15 @@ val measure :
 
 (** Source with a [stress] driver for the functional tests. *)
 val functional_source : config -> string
+
+(** Run the [stress] irq workload on every hart of an [n_harts] container
+    concurrently (per-hart interrupt flags are independent); boots the
+    platform's backends, commits, drives every hart to completion and
+    returns the session for inspection. *)
+val smp_stress :
+  ?n_harts:int ->
+  ?policy:Mv_vm.Smp.policy ->
+  ?seed:int ->
+  ?iters:int ->
+  Mv_vm.Machine.platform ->
+  Harness.smp_session

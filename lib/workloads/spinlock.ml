@@ -199,3 +199,61 @@ let functional_source =
       return 0;
     }
   |}
+
+(* ------------------------------------------------------------------ *)
+(* Contended critical sections across harts (the SMP workload)         *)
+(* ------------------------------------------------------------------ *)
+
+(** The multiverse kernel plus a shared counter driven through the lock.
+    With [config_smp=1] committed the xchg spinlock serializes the
+    increments (the counter is exact: harts x iterations); with
+    [config_smp=0] on more than one hart the elided lock lets the
+    non-atomic read-modify-write race and lose updates — the torn state
+    the SMP tests use as a tamper indicator. *)
+let contended_source =
+  source Multiverse
+  ^ {|
+    int counter;
+    void worker(int n) {
+      for (int i = 0; i < n; i = i + 1) {
+        spin_irq_lock();
+        counter = counter + 1;
+        spin_irq_unlock();
+      }
+    }
+  |}
+
+(** Run [worker iters] on every hart of a fresh [n_harts] session and
+    return the session plus the final counter.  [commit_at] (scheduler
+    steps into the run) injects a whole-image [Runtime.commit] mid-run —
+    a rendezvous under real contention. *)
+let run_contended ?(n_harts = 2) ?policy ?(seed = 1) ?commit_at ~smp ~iters ()
+    : Harness.smp_session * int =
+  let s = Harness.smp_session1 ~n_harts ?policy ~seed contended_source in
+  Harness.smp_set s "config_smp" (Bool.to_int smp);
+  ignore (Harness.smp_commit s);
+  for h = 0 to n_harts - 1 do
+    Harness.smp_start s ~hart:h "worker" [ iters ]
+  done;
+  (match commit_at with
+  | None -> ()
+  | Some k ->
+      let steps = ref 0 in
+      let more = ref true in
+      while !more && !steps < k do
+        more := Harness.smp_step s;
+        incr steps
+      done;
+      (* the commit models a patch initiated on hart 0, so it must happen
+         at a point where hart 0 is schedulable (interrupts enabled) — a
+         rendezvous started while hart 0 holds the irq-protected lock
+         could never gather the spinners' acks (the stop_machine deadlock
+         real kernels avoid the same way) *)
+      let m0 = Mv_vm.Smp.machine s.Harness.smp 0 in
+      while !more && not m0.Mv_vm.Machine.irq_enabled do
+        more := Harness.smp_step s;
+        incr steps
+      done;
+      if !more then ignore (Harness.smp_commit s));
+  Harness.smp_run s;
+  (s, Harness.smp_get s "counter")

@@ -37,3 +37,21 @@ val figure1 :
 
 (** Source with a [stress] driver checking lock-word and IRQ invariants. *)
 val functional_source : string
+
+(** The multiverse kernel plus a lock-protected shared counter and a
+    per-hart [worker] driver: exact counts under [config_smp=1], lost
+    updates when the elided lock races on several harts. *)
+val contended_source : string
+
+(** Run [worker iters] on every hart; returns the session and the final
+    counter.  [commit_at] injects a whole-image commit after that many
+    scheduler steps (a rendezvous under contention). *)
+val run_contended :
+  ?n_harts:int ->
+  ?policy:Mv_vm.Smp.policy ->
+  ?seed:int ->
+  ?commit_at:int ->
+  smp:bool ->
+  iters:int ->
+  unit ->
+  Harness.smp_session * int

@@ -16,6 +16,16 @@ dune runtest
 dune exec bin/mvfuzz.exe -- --iters 500 --seed 1 --quiet \
   ${MVFUZZ_CORPUS:+--corpus "$MVFUZZ_CORPUS"}
 
+# SMP smoke: the multi-hart oracle must be clean on the real pipeline,
+# and a severed IPI channel (drop-ack) must be caught — if the chaos run
+# exits 0 the rendezvous/coherence oracle has lost its teeth.
+dune exec bin/mvfuzz.exe -- --iters 25 --seed 1 --quiet \
+  --oracle smp-schedule-equiv
+if dune exec bin/mvfuzz.exe -- --iters 5 --seed 1 --quiet --small \
+    --chaos drop-ack --oracle smp-schedule-equiv --shrink-budget 0 > /dev/null 2>&1; then
+  echo "mvfuzz: drop-ack chaos was NOT detected by smp-schedule-equiv"; exit 1
+fi
+
 # Smoke the machine-readable bench export: one fast experiment, then
 # check the document parses and carries the expected schema/rows.
 bench_json=$(mktemp /tmp/mv-bench-XXXXXX.json)

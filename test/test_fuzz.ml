@@ -17,6 +17,11 @@ module Machine = Mv_vm.Machine
 module Runtime = Core.Runtime
 module Trace = Mv_obs.Trace
 
+let string_contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
 (* ------------------------------------------------------------------ *)
 (* Generator                                                           *)
 (* ------------------------------------------------------------------ *)
@@ -107,6 +112,56 @@ let test_lost_flush_is_caught () =
     Driver.run ~chaos:Oracle.Lost_flush ~seed:1 ~iters:30 ~shrink_budget:0 ()
   in
   check_bool "lost-flush chaos detected" true (summary.Driver.s_reports <> [])
+
+(* The multi-hart oracle: every generated case, run with the driver on
+   hart 0 and a patched-under-load worker on the last hart, must behave
+   identically under two seeded 2-hart interleavings and the 1-hart
+   container. *)
+let test_smp_oracle_clean () =
+  List.iter
+    (fun seed ->
+      let case = Gen.case ~cfg:Gen.small_cfg seed in
+      let sched = Driver.schedule_for case seed in
+      match Oracle.run_named "smp-schedule-equiv" case sched with
+      | None -> ()
+      | Some d ->
+          Alcotest.failf "seed %d: %a" seed Oracle.pp_divergence d)
+    [ 1; 7; 42 ]
+
+(* A severed IPI channel (the victim hart is neither stopped by the
+   rendezvous nor re-flushed) must be caught — by the smp oracle
+   specifically, via its post-commit coherence probe — and the same
+   cases must be clean when the channel is healthy. *)
+let test_drop_ack_is_caught () =
+  List.iter
+    (fun seed ->
+      let case = Gen.case ~cfg:Gen.small_cfg seed in
+      let sched = Driver.schedule_for case seed in
+      match Oracle.run_named ~chaos:Oracle.Drop_ack "smp-schedule-equiv" case sched with
+      | None -> Alcotest.failf "seed %d: drop-ack chaos was not detected" seed
+      | Some d ->
+          check_string "caught by the smp oracle" "smp-schedule-equiv"
+            d.Oracle.d_oracle;
+          check_bool
+            (Printf.sprintf "divergence blames a stale hart (%s)" d.Oracle.d_detail)
+            true
+            (string_contains d.Oracle.d_detail "stale");
+          check_bool "same case is clean without chaos" true
+            (Oracle.run_named "smp-schedule-equiv" case sched = None))
+    [ 1; 7 ];
+  (* the other oracles ignore Drop_ack: a full sweep under it must blame
+     only the smp oracle, so the driver attributes the bug correctly *)
+  let summary =
+    Driver.run ~cfg:Gen.small_cfg ~chaos:Oracle.Drop_ack ~seed:1 ~iters:5
+      ~shrink_budget:0 ()
+  in
+  check_bool "driver sweep under drop-ack detects divergences" true
+    (summary.Driver.s_reports <> []);
+  List.iter
+    (fun r ->
+      check_string "every report names the smp oracle" "smp-schedule-equiv"
+        r.Driver.rp_entry.Corpus.e_oracle)
+    summary.Driver.s_reports
 
 (* ------------------------------------------------------------------ *)
 (* Corpus                                                              *)
@@ -275,6 +330,8 @@ let suite =
     tc "oracle sweep over seeds is clean" test_oracle_sweep_clean;
     tc_slow "skip-flush chaos is caught and shrinks small" test_chaos_is_caught_and_shrunk;
     tc_slow "lost-flush chaos is caught" test_lost_flush_is_caught;
+    tc "smp oracle is clean on the real pipeline" test_smp_oracle_clean;
+    tc_slow "drop-ack chaos is caught by the smp oracle" test_drop_ack_is_caught;
     tc "corpus entries round-trip (json, disk)" test_corpus_roundtrip;
     tc "check_corpus passes on a clean entry" test_corpus_check_clean;
     tc_slow "Pending_drained fires exactly once per drained set"
