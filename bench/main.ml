@@ -901,6 +901,113 @@ let smp_rendezvous () =
     [ 1; 2; 4; 8 ]
 
 (* ------------------------------------------------------------------ *)
+(* E18a: superblock interpreter vs the reference stepper               *)
+(* ------------------------------------------------------------------ *)
+
+let interp_superblock () =
+  header
+    "E18a / superblock interpreter: pre-decoded closure dispatch (finish) vs\n\
+     the reference fetch/decode interpreter (finish_ref).  Simulated cycles,\n\
+     instructions and results must be bit-identical; the wall-clock speedup\n\
+     is host-side and informational (excluded from the regression gate)";
+  (* not scaled down by --fast: the wall-clock comparison needs a window
+     well above timer noise, and 300 reps is still ~100 ms per arm *)
+  let reps = 300 in
+  (* Fresh session per arm so each interpreter starts from cold decode
+     state; the gated fields are the simulated counters, which must not
+     depend on which stepper ran. *)
+  let arm ~use_ref (src, switch, loop_fn, calls) =
+    let s = H.session1 src in
+    H.set s switch 0;
+    ignore (H.commit s);
+    let m = s.H.machine in
+    (* one untimed warm-up call so neither arm pays decode inside the
+       timed region (the warm-up is inside the perf window on purpose:
+       the gated cycle counts cover warm-up + timed reps identically) *)
+    let before = Mv_vm.Perf.snapshot m.Machine.perf in
+    Machine.start_call m loop_fn [ calls ];
+    ignore (if use_ref then Machine.finish_ref m else Machine.finish m);
+    let t0 = Unix.gettimeofday () in
+    let last = ref 0 in
+    for _ = 1 to reps do
+      Machine.start_call m loop_fn [ calls ];
+      last := (if use_ref then Machine.finish_ref m else Machine.finish m)
+    done;
+    let t1 = Unix.gettimeofday () in
+    let d = Mv_vm.Perf.diff before (Mv_vm.Perf.snapshot m.Machine.perf) in
+    (!last, d.Mv_vm.Perf.s_cycles, d.Mv_vm.Perf.s_instructions, (t1 -. t0) *. 1000.0)
+  in
+  row "%-22s %14s %14s %10s %10s %8s\n" "workload" "cycles" "instructions"
+    "sb ms" "ref ms" "speedup";
+  List.iter
+    (fun (name, spec) ->
+      let r_sb, cy_sb, in_sb, ms_sb = arm ~use_ref:false spec in
+      let r_ref, cy_ref, in_ref, ms_ref = arm ~use_ref:true spec in
+      if r_sb <> r_ref || cy_sb <> cy_ref || in_sb <> in_ref then
+        failwith
+          (Printf.sprintf
+             "interp-superblock: %s diverged (r %d/%d, cycles %.0f/%.0f, \
+              insns %d/%d)"
+             name r_sb r_ref cy_sb cy_ref in_sb in_ref);
+      row "%-22s %14.0f %14d %10.1f %10.1f %7.2fx\n" name cy_sb in_sb ms_sb
+        ms_ref (ms_ref /. ms_sb);
+      jrow name
+        [
+          ("result", Json.Int r_sb);
+          ("cycles", Json.Float cy_sb);
+          ("instructions", Json.Int in_sb);
+          ("ref_cycles", Json.Float cy_ref);
+          ("ref_instructions", Json.Int in_ref);
+        ];
+      jrow "host-ms"
+        [
+          ("workload", Json.String name);
+          ("superblock_ms", Json.Float ms_sb);
+          ("reference_ms", Json.Float ms_ref);
+          ("speedup", Json.Float (ms_ref /. ms_sb));
+        ])
+    [
+      ("spinlock-unicore", (Spinlock.source Spinlock.Multiverse, "config_smp", "bench_loop", 2000));
+      ("musl-malloc1", (Musl.source Musl.Multiversed, "threads_minus_1", "bench_malloc1", 400));
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* E18b: domain-parallel fuzzing throughput                            *)
+(* ------------------------------------------------------------------ *)
+
+let fuzz_throughput () =
+  header
+    "E18b / fuzz throughput: one campaign fanned out over 1/2/4 OCaml\n\
+     domains.  Cases tested and divergences are deterministic (gated);\n\
+     wall-clock and scaling are host-side and informational";
+  let iters = if !fast then 40 else 120 in
+  let campaign domains =
+    let t0 = Unix.gettimeofday () in
+    let s =
+      Mv_fuzz.Driver.run_parallel ~cfg:Mv_fuzz.Gen.small_cfg ~domains ~seed:1
+        ~iters ()
+    in
+    let ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
+    (s.Mv_fuzz.Driver.s_tested, List.length s.Mv_fuzz.Driver.s_reports, ms)
+  in
+  let base_ms = ref 0.0 in
+  row "%-10s %8s %12s %10s %9s\n" "domains" "cases" "divergences" "host ms" "scaling";
+  List.iter
+    (fun domains ->
+      let tested, divs, ms = campaign domains in
+      if domains = 1 then base_ms := ms;
+      row "%-10d %8d %12d %10.1f %8.2fx\n" domains tested divs ms (!base_ms /. ms);
+      jrow (Printf.sprintf "domains-%d" domains)
+        [ ("cases", Json.Int tested); ("divergences", Json.Int divs) ];
+      jrow "host-ms"
+        [
+          ("domains", Json.Int domains);
+          ("wall_ms", Json.Float ms);
+          ("scaling", Json.Float (!base_ms /. ms));
+        ])
+    [ 1; 2; 4 ]
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel wall-clock suites (one Test.make per table)                 *)
 (* ------------------------------------------------------------------ *)
 
@@ -981,6 +1088,8 @@ let experiments =
     ("ablation-padded-sites", ablation_padded_sites);
     ("obs-overhead", obs_overhead);
     ("smp-rendezvous", smp_rendezvous);
+    ("interp-superblock", interp_superblock);
+    ("fuzz-throughput", fuzz_throughput);
   ]
 
 let () =

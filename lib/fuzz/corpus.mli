@@ -13,19 +13,24 @@ type entry = {
   e_schedule : Schedule.t;
 }
 
+(** The persistable entry for a shrunk divergence. *)
 val of_shrunk : Shrink.result -> entry
 
 (** Rebuild the runnable case ([Gen.case_of_source]; raises front-end
     exceptions if the stored source no longer parses). *)
 val to_case : entry -> Gen.case
 
+(** On-disk (de)serialization; [of_json] reports malformed entries
+    instead of raising. *)
 val to_json : entry -> Mv_obs.Json.t
+
 val of_json : Mv_obs.Json.t -> (entry, string) result
 
 (** Write the entry to [dir] (created if missing) as
     [repro-seed<N>-<oracle>.json]; returns the path. *)
 val save : dir:string -> entry -> string
 
+(** Parse one reproducer file. *)
 val load_file : string -> (entry, string) result
 
 (** All [*.json] entries of a directory, sorted by filename; parse

@@ -55,6 +55,70 @@ let run ?cfg ?chaos ?only ?corpus_dir ?(keep_going = false) ?shrink_budget
    with Exit -> ());
   { s_tested = !tested; s_reports = List.rev !reports }
 
+(* Domain-parallel campaign.  The case-seed schedule is the single-domain
+   one — case i always runs under seed + i — and domain d owns the stripe
+   {d, d + domains, d + 2*domains, ...} of the iteration space (campaign
+   seed -> domain stripe -> case seed).  Because the tested seed set, the
+   generator, the oracles, and the shrinker are all deterministic
+   per-case, the merged corpus is byte-for-byte the corpus a single-domain
+   run with the same budget writes; only host wall-clock changes. *)
+let run_parallel ?cfg ?chaos ?only ?corpus_dir ?(keep_going = false)
+    ?shrink_budget ?(log = ignore) ~domains ~seed ~iters () : summary =
+  if domains < 1 then invalid_arg "Driver.run_parallel: domains must be >= 1";
+  if domains = 1 then
+    run ?cfg ?chaos ?only ?corpus_dir ~keep_going ?shrink_budget ~log ~seed
+      ~iters ()
+  else begin
+    let log_mutex = Mutex.create () in
+    let log_sync m =
+      Mutex.lock log_mutex;
+      Fun.protect ~finally:(fun () -> Mutex.unlock log_mutex) (fun () -> log m)
+    in
+    (* With [keep_going] every stripe runs to the end of the budget and the
+       seed set is exactly the single-domain one.  Without it, the flag
+       asks every stripe to wind down once any domain has found a
+       divergence — like the single-domain early exit, but the first
+       finding is whichever domain got there first on the host clock. *)
+    let stop = Atomic.make false in
+    let worker d () =
+      let reports = ref [] in
+      let tested = ref 0 in
+      let i = ref d in
+      (try
+         while !i < iters && not (Atomic.get stop) do
+           let s = seed + !i in
+           let case = Gen.case ?cfg s in
+           let sched = schedule_for case s in
+           incr tested;
+           (match Oracle.run_all ?chaos ?only case sched with
+           | None -> ()
+           | Some div ->
+               let r =
+                 handle_divergence ?chaos ?corpus_dir ?shrink_budget
+                   ~log:log_sync s case sched div
+               in
+               reports := r :: !reports;
+               if not keep_going then Atomic.set stop true);
+           i := !i + domains
+         done
+       with exn ->
+         log_sync
+           (Printf.sprintf "domain %d died: %s" d (Printexc.to_string exn)));
+      (!tested, !reports)
+    in
+    let handles = List.init domains (fun d -> Domain.spawn (worker d)) in
+    let results = List.map Domain.join handles in
+    let tested = List.fold_left (fun acc (n, _) -> acc + n) 0 results in
+    let reports =
+      List.concat_map snd results
+      |> List.sort (fun a b -> compare a.rp_seed b.rp_seed)
+    in
+    log
+      (Printf.sprintf "%d/%d cases across %d domains, %d divergence(s)" tested
+         iters domains (List.length reports));
+    { s_tested = tested; s_reports = reports }
+  end
+
 let replay ?cfg ?chaos ?only ?(log = ignore) ~seed () : summary =
   let case = Gen.case ?cfg seed in
   let sched = schedule_for case seed in

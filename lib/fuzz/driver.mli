@@ -20,6 +20,10 @@ val schedule_for : Gen.case -> int -> Schedule.t
 (** The schedule the fuzzing loop pairs with [Gen.case seed] — exposed so
     tests replaying a seed reconstruct the exact same run. *)
 
+(** The single-domain fuzzing loop: case [i] of the campaign runs under
+    seed [seed + i], in order.  [keep_going] collects every divergence
+    instead of stopping at the first; [corpus_dir] persists each shrunk
+    reproducer.  Progress and findings go through [log]. *)
 val run :
   ?cfg:Gen.cfg ->
   ?chaos:Oracle.chaos ->
@@ -28,6 +32,29 @@ val run :
   ?keep_going:bool ->
   ?shrink_budget:int ->
   ?log:(string -> unit) ->
+  seed:int ->
+  iters:int ->
+  unit ->
+  summary
+
+(** {!run} fanned out over [domains] OCaml domains.  The case-seed
+    schedule is unchanged — case [i] still runs under [seed + i] — and
+    domain [d] owns the stripe [{d, d+domains, ...}] of the iteration
+    space (campaign seed → domain stripe → case seed), so the tested seed
+    set is exactly the single-domain one and, with [keep_going], the
+    merged corpus is byte-for-byte what a single-domain run writes.
+    [domains = 1] (the default CLI mode) is literally {!run}: same code
+    path, same corpora, same log stream.  Reports are merged in seed
+    order; [log] may be called from any domain (serialized internally). *)
+val run_parallel :
+  ?cfg:Gen.cfg ->
+  ?chaos:Oracle.chaos ->
+  ?only:string list ->
+  ?corpus_dir:string ->
+  ?keep_going:bool ->
+  ?shrink_budget:int ->
+  ?log:(string -> unit) ->
+  domains:int ->
   seed:int ->
   iters:int ->
   unit ->

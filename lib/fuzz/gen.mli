@@ -67,6 +67,7 @@ type cfg = {
   work_budget : int;
 }
 
+(** The CLI's default sizes. *)
 val default_cfg : cfg
 
 (** Smaller programs for property tests and quick smokes. *)
@@ -93,4 +94,5 @@ val case_of_source :
     stored reproducer predates a switch). *)
 val gen_assignments : Rng.t -> int -> switch list -> assignment list
 
+(** Human-readable one-line rendering, for logs and replay output. *)
 val pp_assignment : Format.formatter -> assignment -> unit

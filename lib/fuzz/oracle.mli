@@ -21,11 +21,14 @@
     it. *)
 type chaos = No_chaos | Skip_flush | Lost_flush | Drop_ack
 
+(** A caught mismatch: which oracle fired and a human-readable account
+    of the first differing observation. *)
 type divergence = {
   d_oracle : string;
   d_detail : string;
 }
 
+(** [<oracle>: <detail>], one line. *)
 val pp_divergence : Format.formatter -> divergence -> unit
 
 (** All oracle names, in the order {!run_all} tries them. *)

@@ -20,6 +20,7 @@ val int : t -> int -> int
 (** Uniform in [\[lo, hi\]] (inclusive). *)
 val range : t -> int -> int -> int
 
+(** Fair coin. *)
 val bool : t -> bool
 
 (** [chance t num den] is true with probability [num/den]. *)

@@ -34,6 +34,8 @@ type round = {
   r_arg : int;  (** driver argument for this round's run *)
 }
 
+(** A whole campaign-case schedule: rounds run in order, each against a
+    fresh guest call. *)
 type t = round list
 
 (** Generate a schedule for a case (pure function of the stream).  Uses
@@ -46,8 +48,13 @@ val gen : Rng.t -> Gen.case -> t
     indices and arguments. *)
 val shrink_candidates : t -> t list
 
+(** Corpus (de)serialization; [of_json] reports malformed schedules
+    instead of raising. *)
 val to_json : t -> Mv_obs.Json.t
+
 val of_json : Mv_obs.Json.t -> (t, string) result
+
+(** Human-readable rendering, used by [mvfuzz --replay]. *)
 val pp : Format.formatter -> t -> unit
 
 (** Assignment (de)serialization, shared with the corpus format. *)

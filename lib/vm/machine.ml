@@ -1,11 +1,19 @@
 (* The machine simulator: fetch / decode / execute over a linked image, with
-   a cycle cost model, branch prediction, and a decode cache that models the
-   instruction cache.
+   a cycle cost model, branch prediction, and a superblock decode cache that
+   models the instruction cache.
 
-   The decode cache is the reason the multiverse runtime must flush after
-   patching (Section 4: "flush the instruction cache for the respective
-   locations"): until [flush_icache] is called for a patched range, the
-   machine keeps executing the stale decoded instructions. *)
+   Execution is driven from pre-decoded superblocks: straight-line runs of
+   instructions are decoded once into arrays of OCaml closures
+   (superinstructions) and dispatched through a cursor, so the hot path pays
+   one closure call per instruction instead of a fetch/decode/dispatch
+   cascade.  The decode cache is the reason the multiverse runtime must
+   flush after patching (Section 4: "flush the instruction cache for the
+   respective locations"): until [flush_icache] covers a patched range, the
+   machine keeps executing the stale pre-decoded closures.
+
+   The pre-refactor interpreter survives as [step_ref]; the test suite and
+   the [interp-superblock] bench row drive both and require bit-identical
+   simulated cycles, perf counters, and trace events. *)
 
 module Insn = Mv_isa.Insn
 module Image = Mv_link.Image
@@ -18,6 +26,15 @@ let faultf fmt = Printf.ksprintf (fun m -> raise (Fault m)) fmt
     privileged [cli]/[sti] instructions must not be executed directly — the
     kernel has to go through hypercalls (Section 6.1). *)
 type platform = Native | Xen
+
+(** Host-side decode-cache statistics.  None of these counters move the
+    simulated clock; the superblock tests assert on them to prove that
+    re-decode happens only after an invalidation. *)
+type decode_stats = {
+  mutable ds_blocks : int;  (** superblocks compiled since creation *)
+  mutable ds_insns : int;  (** instructions decoded into superblocks *)
+  mutable ds_invalidated : int;  (** superblocks dropped by icache flushes *)
+}
 
 type t = {
   image : Image.t;
@@ -33,7 +50,23 @@ type t = {
   bp : Branch_pred.t;
   cost : Cost.t;
   platform : platform;
-  cache : (Insn.t * int) option array;  (** decode cache, indexed by text offset *)
+  cache : (Insn.t * int) option array;
+      (** per-instruction decode cache, indexed by text offset — the
+          reference stepper's ({!step_ref}) icache model.  The superblock
+          path keeps it coherent but does not read it. *)
+  blocks : (int, superblock) Hashtbl.t;
+      (** pre-decoded superblocks keyed by entry text offset — the
+          enumeration side (invalidation walks it); lookups go through
+          [block_map] *)
+  block_map : superblock option array;
+      (** direct-mapped dispatch index: [block_map.(off)] is the live
+          superblock entered at text offset [off].  Same contents as
+          [blocks]; exists so the block-transition hot path is an array
+          read instead of a hash lookup *)
+  mutable sb_cur : superblock option;
+      (** dispatch cursor: the superblock expected to contain [pc] *)
+  mutable sb_ix : int;  (** index into [sb_cur] expected to execute next *)
+  dstats : decode_stats;
   mutable irq_enabled : bool;
   mutable steps_left : int;
   max_steps : int;
@@ -58,6 +91,21 @@ type t = {
           or having no handler, faults.  The SMP layer installs this. *)
 }
 
+(* A pre-decoded straight-line run of instructions.  Each closure is one
+   compiled instruction: it performs exactly the state transition the
+   matching [step_ref] arm performs, in the same order, so driving a block
+   is bit-identical to interpreting its bytes.  Blocks end at control
+   transfers ([call]/[jmp]/branches/[ret]/[halt]/[brk]) and are dropped —
+   never patched in place — when an icache flush overlaps their byte
+   range. *)
+and superblock = {
+  sb_start : int;  (** text offset of the first instruction *)
+  sb_end : int;  (** text offset one past the last decoded byte *)
+  sb_pcs : int array;  (** absolute pc of each instruction *)
+  sb_ops : (t -> unit) array;  (** compiled instructions, in order *)
+  mutable sb_live : bool;  (** cleared when an icache flush drops the block *)
+}
+
 let return_sentinel = 0
 
 let create ?(cost = Cost.default) ?(platform = Native) ?(max_steps = 2_000_000_000)
@@ -74,6 +122,11 @@ let create ?(cost = Cost.default) ?(platform = Native) ?(max_steps = 2_000_000_0
     cost;
     platform;
     cache = Array.make (max 1 image.Image.text.Image.sr_size) None;
+    blocks = Hashtbl.create 256;
+    block_map = Array.make (max 1 image.Image.text.Image.sr_size) None;
+    sb_cur = None;
+    sb_ix = 0;
+    dstats = { ds_blocks = 0; ds_insns = 0; ds_invalidated = 0 };
     irq_enabled = true;
     steps_left = max_steps;
     max_steps;
@@ -104,11 +157,40 @@ let set_brk_handler t h = t.brk <- h
 (** Which hart this machine is (0 for plain single-hart machines). *)
 let hart_id t = t.hart_id
 
+(** Host-side decode-cache statistics (superblock builds, instructions
+    decoded, invalidations).  Reading them never moves the simulated
+    clock. *)
+let decode_stats t = t.dstats
+
 let emit t ev = match t.tracer with None -> () | Some sink -> sink ev
 
 let text_base t = t.image.Image.text.Image.sr_base
 
-(** Drop decode-cache entries overlapping [addr, addr+len).  Mirrors an
+(* Drop every superblock whose byte range overlaps the text-offset window
+   [lo, hi).  A block is removed from the table and marked dead so the
+   dispatch cursor (which may still point at it mid-run) refuses it on the
+   next step.  Over-approximation is safe: dropping a block only forces a
+   re-decode, which costs nothing on the simulated clock. *)
+let invalidate_blocks t ~lo ~hi =
+  if hi > lo && Hashtbl.length t.blocks > 0 then begin
+    let doomed = ref [] in
+    Hashtbl.iter
+      (fun key b -> if b.sb_start < hi && b.sb_end > lo then doomed := (key, b) :: !doomed)
+      t.blocks;
+    List.iter
+      (fun (key, b) ->
+        b.sb_live <- false;
+        t.dstats.ds_invalidated <- t.dstats.ds_invalidated + 1;
+        Hashtbl.remove t.blocks key;
+        t.block_map.(key) <- None)
+      !doomed
+  end;
+  match t.sb_cur with
+  | Some b when not b.sb_live -> t.sb_cur <- None
+  | _ -> ()
+
+(** Drop decoded state overlapping [addr, addr+len): per-instruction cache
+    entries and every superblock touching the range.  Mirrors an
     instruction-cache flush; the multiverse runtime calls this after every
     patch. *)
 let flush_icache t ~addr ~len =
@@ -118,12 +200,14 @@ let flush_icache t ~addr ~len =
   let lo = max 0 (addr - base - 15) and hi = min (Array.length t.cache) (addr - base + len) in
   for i = lo to hi - 1 do
     t.cache.(i) <- None
-  done
+  done;
+  invalidate_blocks t ~lo ~hi
 
 let flush_all_icache t =
   t.perf.Perf.icache_flushes <- t.perf.Perf.icache_flushes + 1;
   emit t (Mv_obs.Trace.Icache_flush { hart = t.hart_id; addr = 0; len = 0 });
-  Array.fill t.cache 0 (Array.length t.cache) None
+  Array.fill t.cache 0 (Array.length t.cache) None;
+  invalidate_blocks t ~lo:0 ~hi:(Array.length t.cache)
 
 let fetch t pc : Insn.t * int =
   let off = pc - text_base t in
@@ -185,9 +269,342 @@ let poll_safepoint t =
       add_cycles t t.cost.Cost.safepoint_poll;
       hook ()
 
-(** Execute exactly one instruction at [t.pc].  Returns [false] when the
-    machine returned to the sentinel address (top-level return). *)
+(* ------------------------------------------------------------------ *)
+(* Superblock compilation                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Superblocks are straight-line: any instruction that transfers control —
+   or that may refuse to advance the pc ([Brk]) — ends its block. *)
+let ends_block = function
+  | Insn.Call _ | Insn.Call_ind _ | Insn.Jmp _ | Insn.Jnz _ | Insn.Jz _
+  | Insn.Ret | Insn.Halt | Insn.Brk ->
+      true
+  | _ -> false
+
+let max_block_insns = 64
+
+(* Compile one instruction at [pc] into a closure.  Every closure mirrors
+   its [step_ref] arm exactly — the same order of pc update, memory
+   traffic, perf counters, predictor queries, and cycle charges — so the
+   superblock path is bit-identical to the reference interpreter.  The
+   cycle-cost record is immutable per machine, so its floats are captured
+   at compile time. *)
+let compile (c : Cost.t) pc (insn : Insn.t) size : t -> unit =
+  let next = pc + size in
+  match insn with
+  | Insn.Mov_ri (rd, imm) | Insn.Mov_ri32 (rd, imm) ->
+      let cyc = c.Cost.mov_imm in
+      fun t ->
+        t.pc <- next;
+        t.regs.(rd) <- imm;
+        add_cycles t cyc
+  | Insn.Mov_rr (rd, rs) ->
+      let cyc = c.Cost.mov in
+      fun t ->
+        t.pc <- next;
+        t.regs.(rd) <- t.regs.(rs);
+        add_cycles t cyc
+  | Insn.Alu (op, rd, ra, rb) ->
+      let cyc =
+        match op with
+        | Insn.Mul -> c.Cost.mul
+        | Insn.Div | Insn.Mod -> c.Cost.div
+        | _ -> c.Cost.alu
+      in
+      fun t ->
+        t.pc <- next;
+        t.regs.(rd) <- alu_eval op t.regs.(ra) t.regs.(rb);
+        add_cycles t cyc
+  | Insn.Alu_ri (op, rd, ra, imm) ->
+      let cyc =
+        match op with
+        | Insn.Mul -> c.Cost.mul
+        | Insn.Div | Insn.Mod -> c.Cost.div
+        | _ -> c.Cost.alu
+      in
+      fun t ->
+        t.pc <- next;
+        t.regs.(rd) <- alu_eval op t.regs.(ra) imm;
+        add_cycles t cyc
+  | Insn.Un (op, rd, ra) ->
+      let cyc = c.Cost.alu in
+      fun t ->
+        t.pc <- next;
+        let a = t.regs.(ra) in
+        t.regs.(rd) <-
+          (match op with
+          | Insn.Neg -> -a
+          | Insn.Lnot -> Bool.to_int (a = 0)
+          | Insn.Bnot -> lnot a);
+        add_cycles t cyc
+  | Insn.Load (rd, ra, off, w) ->
+      let cyc = c.Cost.load in
+      fun t ->
+        t.pc <- next;
+        t.regs.(rd) <- Image.read t.image (t.regs.(ra) + off) w;
+        t.perf.Perf.loads <- t.perf.Perf.loads + 1;
+        add_cycles t cyc
+  | Insn.Store (ra, off, rs, w) ->
+      let cyc = c.Cost.store in
+      fun t ->
+        t.pc <- next;
+        Image.write t.image (t.regs.(ra) + off) t.regs.(rs) w;
+        t.perf.Perf.stores <- t.perf.Perf.stores + 1;
+        add_cycles t cyc
+  | Insn.Loadg (rd, addr, w) ->
+      let cyc = c.Cost.load_global in
+      fun t ->
+        t.pc <- next;
+        t.regs.(rd) <- Image.read t.image addr w;
+        t.perf.Perf.loads <- t.perf.Perf.loads + 1;
+        add_cycles t cyc
+  | Insn.Storeg (addr, rs, w) ->
+      let cyc = c.Cost.store in
+      fun t ->
+        t.pc <- next;
+        Image.write t.image addr t.regs.(rs) w;
+        t.perf.Perf.stores <- t.perf.Perf.stores + 1;
+        add_cycles t cyc
+  | Insn.Lea (rd, addr) ->
+      let cyc = c.Cost.lea in
+      fun t ->
+        t.pc <- next;
+        t.regs.(rd) <- addr;
+        add_cycles t cyc
+  | Insn.Call rel ->
+      let target = next + rel and cyc = c.Cost.call in
+      fun t ->
+        t.pc <- next;
+        push_word t next;
+        t.pc <- target;
+        t.frames <- target :: t.frames;
+        t.perf.Perf.calls <- t.perf.Perf.calls + 1;
+        add_cycles t cyc
+  | Insn.Call_ind addr ->
+      let cyc = c.Cost.call +. c.Cost.call_ind
+      and miss = c.Cost.btb_miss_penalty in
+      fun t ->
+        t.pc <- next;
+        let target = Image.read t.image addr 8 in
+        push_word t next;
+        t.pc <- target;
+        t.frames <- target :: t.frames;
+        t.perf.Perf.calls <- t.perf.Perf.calls + 1;
+        t.perf.Perf.indirect_calls <- t.perf.Perf.indirect_calls + 1;
+        add_cycles t cyc;
+        if not (Branch_pred.indirect t.bp ~pc ~target) then begin
+          t.perf.Perf.btb_misses <- t.perf.Perf.btb_misses + 1;
+          add_cycles t miss
+        end
+  | Insn.Jmp rel ->
+      let target = next + rel and cyc = c.Cost.jmp in
+      fun t ->
+        t.pc <- target;
+        add_cycles t cyc
+  | Insn.Jnz (r, rel) | Insn.Jz (r, rel) ->
+      let target = next + rel
+      and cyc = c.Cost.branch
+      and miss = c.Cost.mispredict_penalty
+      and test_nz = match insn with Insn.Jnz _ -> true | _ -> false in
+      fun t ->
+        let taken = if test_nz then t.regs.(r) <> 0 else t.regs.(r) = 0 in
+        t.pc <- (if taken then target else next);
+        t.perf.Perf.branches <- t.perf.Perf.branches + 1;
+        add_cycles t cyc;
+        if not (Branch_pred.conditional t.bp ~pc ~taken) then begin
+          t.perf.Perf.branch_mispredicts <- t.perf.Perf.branch_mispredicts + 1;
+          add_cycles t miss
+        end
+  | Insn.Ret ->
+      let cyc = c.Cost.ret in
+      fun t ->
+        t.pc <- next;
+        let target = pop_word t in
+        t.pc <- target;
+        (match t.frames with [] -> () | _ :: rest -> t.frames <- rest);
+        add_cycles t cyc;
+        poll_safepoint t
+  | Insn.Push r ->
+      let cyc = c.Cost.push in
+      fun t ->
+        t.pc <- next;
+        push_word t t.regs.(r);
+        add_cycles t cyc
+  | Insn.Pop r ->
+      let cyc = c.Cost.pop in
+      fun t ->
+        t.pc <- next;
+        t.regs.(r) <- pop_word t;
+        add_cycles t cyc
+  | Insn.Cli ->
+      let cyc = c.Cost.cli in
+      fun t ->
+        t.pc <- next;
+        if t.platform = Xen then faultf "privileged cli in PV guest at 0x%x" pc;
+        t.irq_enabled <- false;
+        add_cycles t cyc
+  | Insn.Sti ->
+      let cyc = c.Cost.sti in
+      fun t ->
+        t.pc <- next;
+        if t.platform = Xen then faultf "privileged sti in PV guest at 0x%x" pc;
+        t.irq_enabled <- true;
+        add_cycles t cyc
+  | Insn.Pause ->
+      let cyc = c.Cost.pause in
+      fun t ->
+        t.pc <- next;
+        add_cycles t cyc
+  | Insn.Fence ->
+      let cyc = c.Cost.fence in
+      fun t ->
+        t.pc <- next;
+        add_cycles t cyc
+  | Insn.Xchg (rd, ra, rs) ->
+      let cyc = c.Cost.atomic in
+      fun t ->
+        t.pc <- next;
+        let addr = t.regs.(ra) in
+        let old = Image.read t.image addr 8 in
+        Image.write t.image addr t.regs.(rs) 8;
+        t.regs.(rd) <- old;
+        t.perf.Perf.atomics <- t.perf.Perf.atomics + 1;
+        add_cycles t cyc
+  | Insn.Hypercall _n ->
+      let cyc = c.Cost.hypercall in
+      fun t ->
+        t.pc <- next;
+        if t.platform = Native then faultf "hypercall on native hardware at 0x%x" pc;
+        t.perf.Perf.hypercalls <- t.perf.Perf.hypercalls + 1;
+        add_cycles t cyc
+  | Insn.Rdtsc rd ->
+      let cyc = c.Cost.rdtsc in
+      fun t ->
+        t.pc <- next;
+        t.regs.(rd) <- int_of_float t.perf.Perf.cycles;
+        add_cycles t cyc
+  | Insn.Halt ->
+      fun t ->
+        t.pc <- return_sentinel;
+        t.frames <- [];
+        poll_safepoint t
+  | Insn.Nop ->
+      let cyc = c.Cost.nop in
+      fun t ->
+        t.pc <- next;
+        add_cycles t cyc
+  | Insn.Brk ->
+      let cyc = c.Cost.pause in
+      fun t ->
+        t.pc <- next;
+        (match t.brk with
+        | Some handler when handler pc ->
+            (* an in-progress text_poke owns this address: spin in place,
+               modelling the wait loop a real hart performs on the trap *)
+            t.pc <- pc;
+            add_cycles t cyc
+        | _ -> faultf "breakpoint at 0x%x" pc)
+
+(* Decode the instruction about to execute, with exactly the reference
+   stepper's fault behavior (bounds fault, protection fault, wrapped decode
+   error). *)
+let decode_strict t pc : Insn.t * int =
+  let off = pc - text_base t in
+  if off < 0 || off >= Array.length t.cache then
+    faultf "instruction fetch outside text at 0x%x" pc;
+  Image.check_exec t.image pc 1;
+  try Mv_isa.Decode.decode t.image.Image.mem ~off:pc
+  with Mv_isa.Decode.Decode_error (m, o) -> faultf "decode at 0x%x: %s" o m
+
+(* Build (and register) the superblock entered at [pc0].  The first
+   instruction decodes strictly — its faults belong to this step.  The
+   block then extends speculatively down the straight line; a speculative
+   decode failure (unmapped bytes, protection, torn encoding) silently
+   ends the block, because the reference interpreter would only fault when
+   execution actually reaches that instruction. *)
+let build_block t pc0 : superblock =
+  let c = t.cost in
+  let insn0, size0 = decode_strict t pc0 in
+  let text_end = text_base t + Array.length t.cache in
+  let pcs = ref [] and ops = ref [] in
+  let rec extend pc insn size n =
+    pcs := pc :: !pcs;
+    ops := compile c pc insn size :: !ops;
+    let next = pc + size in
+    if ends_block insn || n + 1 >= max_block_insns || next >= text_end then next
+    else
+      match decode_strict t next with
+      | insn', size' -> extend next insn' size' (n + 1)
+      | exception Fault _ -> next
+      | exception _ -> next
+  in
+  let end_pc = extend pc0 insn0 size0 0 in
+  let base = text_base t in
+  let b =
+    {
+      sb_start = pc0 - base;
+      sb_end = end_pc - base;
+      sb_pcs = Array.of_list (List.rev !pcs);
+      sb_ops = Array.of_list (List.rev !ops);
+      sb_live = true;
+    }
+  in
+  Hashtbl.replace t.blocks b.sb_start b;
+  t.block_map.(b.sb_start) <- Some b;
+  t.dstats.ds_blocks <- t.dstats.ds_blocks + 1;
+  t.dstats.ds_insns <- t.dstats.ds_insns + Array.length b.sb_ops;
+  b
+
+(* Find the block holding the compiled instruction for [pc] when the
+   dispatch cursor missed: the block table, else a fresh build.  Jumps
+   into the middle of an existing block build a new (overlapping) block —
+   blocks are keyed by entry offset only. *)
+let locate_slow t pc : superblock =
+  let off = pc - text_base t in
+  if off < 0 || off >= Array.length t.block_map then
+    faultf "instruction fetch outside text at 0x%x" pc;
+  match Array.unsafe_get t.block_map off with
+  | Some b -> b
+  | None -> build_block t pc
+
+(** Execute exactly one instruction at [t.pc] through the superblock
+    cache.  Returns [false] when the machine returned to the sentinel
+    address (top-level return).
+
+    The fast path — the cursor still points at a live block position whose
+    recorded pc matches — is allocation-free: field loads, two compares,
+    one closure call.  Only a cursor miss (block transition, invalidation,
+    or a jump the cursor did not predict) touches the block table, and
+    only there is the [Some] cursor box allocated. *)
 let step t : bool =
+  if t.steps_left <= 0 then faultf "step limit exceeded (pc=0x%x)" t.pc;
+  t.steps_left <- t.steps_left - 1;
+  let pc = t.pc in
+  (match t.sb_cur with
+  | Some b
+    when b.sb_live && t.sb_ix < Array.length b.sb_pcs
+         && Array.unsafe_get b.sb_pcs t.sb_ix = pc ->
+      t.perf.Perf.instructions <- t.perf.Perf.instructions + 1;
+      (match t.sampler with None -> () | Some observe -> observe pc);
+      let ix = t.sb_ix in
+      t.sb_ix <- ix + 1;
+      (Array.unsafe_get b.sb_ops ix) t
+  | _ ->
+      let b = locate_slow t pc in
+      t.perf.Perf.instructions <- t.perf.Perf.instructions + 1;
+      (match t.sampler with None -> () | Some observe -> observe pc);
+      t.sb_cur <- Some b;
+      t.sb_ix <- 1;
+      (Array.unsafe_get b.sb_ops 0) t);
+  t.pc <> return_sentinel
+
+(** Execute exactly one instruction at [t.pc] with the pre-superblock
+    fetch/decode/dispatch interpreter.  Kept as the differential reference:
+    the superblock tests and the [interp-superblock] bench row require
+    {!step} and [step_ref] to produce bit-identical simulated cycles, perf
+    counters, and trace events.  Do not mix [step] and [step_ref] on the
+    same machine mid-call — each maintains its own decode state. *)
+let step_ref t : bool =
   if t.steps_left <= 0 then faultf "step limit exceeded (pc=0x%x)" t.pc;
   t.steps_left <- t.steps_left - 1;
   let pc = t.pc in
@@ -338,9 +755,67 @@ let start_call_addr t addr (args : int list) : unit =
 
 let start_call t name args = start_call_addr t (Image.symbol t.image name) args
 
-(** Run the machine until control returns to the sentinel; returns r0. *)
+(** Run the machine until control returns to the sentinel; returns r0.
+
+    Dispatches whole superblocks: the per-instruction cursor guard of
+    {!step} is only needed when control can have moved unpredictably, and
+    inside a straight-line block it cannot — every instruction that can
+    transfer control, fault into a handler, or reach a runtime hook
+    (call/ret/halt/brk/jumps, where safepoints and therefore icache
+    flushes live) ends its block, so the inner loop runs the block tail
+    with just the step-limit check, the perf/sampler bookkeeping, and the
+    closure call per instruction.  Observable state transitions are the
+    exact {!step} sequence; only host-side dispatch overhead differs. *)
+let rec run_block_plain t perf ops n i =
+  if i < n then begin
+    if t.steps_left <= 0 then faultf "step limit exceeded (pc=0x%x)" t.pc;
+    t.steps_left <- t.steps_left - 1;
+    perf.Perf.instructions <- perf.Perf.instructions + 1;
+    t.sb_ix <- i + 1;
+    (Array.unsafe_get ops i) t;
+    run_block_plain t perf ops n (i + 1)
+  end
+
+let rec run_block_sampled t perf observe ops pcs n i =
+  if i < n then begin
+    if t.steps_left <= 0 then faultf "step limit exceeded (pc=0x%x)" t.pc;
+    t.steps_left <- t.steps_left - 1;
+    perf.Perf.instructions <- perf.Perf.instructions + 1;
+    observe (Array.unsafe_get pcs i);
+    t.sb_ix <- i + 1;
+    (Array.unsafe_get ops i) t;
+    run_block_sampled t perf observe ops pcs n (i + 1)
+  end
+
+let rec finish_loop t perf =
+  let pc = t.pc in
+  let b =
+    match t.sb_cur with
+    | Some b
+      when b.sb_live && t.sb_ix < Array.length b.sb_pcs
+           && Array.unsafe_get b.sb_pcs t.sb_ix = pc ->
+        b
+    | _ ->
+        let b = locate_slow t pc in
+        t.sb_cur <- Some b;
+        t.sb_ix <- 0;
+        b
+  in
+  let ops = b.sb_ops in
+  let n = Array.length ops in
+  (match t.sampler with
+  | None -> run_block_plain t perf ops n t.sb_ix
+  | Some observe -> run_block_sampled t perf observe ops b.sb_pcs n t.sb_ix);
+  if t.pc <> return_sentinel then finish_loop t perf
+
 let finish t : int =
-  while step t do
+  finish_loop t t.perf;
+  t.regs.(0)
+
+(** {!finish} driven by {!step_ref} — the reference interpreter's run
+    loop, for differential comparison against the superblock path. *)
+let finish_ref t : int =
+  while step_ref t do
     ()
   done;
   t.regs.(0)

@@ -1,6 +1,14 @@
 (** The machine simulator: fetch / decode / execute over a linked image,
     with a cycle cost model, branch prediction, per-page protection
-    enforcement, and a decode cache that models the instruction cache.
+    enforcement, and a superblock decode cache that models the instruction
+    cache.
+
+    Execution is driven from {e pre-decoded superblocks}: straight-line
+    basic blocks are decoded once into arrays of OCaml closures and
+    dispatched through a cursor, so the hot path pays one closure call per
+    instruction.  The pre-refactor fetch/decode/dispatch interpreter is
+    kept as {!step_ref}; both paths are required (and tested) to produce
+    bit-identical simulated cycles, perf counters, and trace events.
 
     The decode cache is why the multiverse runtime must flush after
     patching: until {!flush_icache} covers a patched range, the machine
@@ -17,6 +25,16 @@ exception Fault of string
     hardware [hypercall] faults. *)
 type platform = Native | Xen
 
+(** Host-side decode-cache statistics: superblocks compiled, instructions
+    decoded into them, and superblocks dropped by icache flushes.  None of
+    these counters move the simulated clock; the superblock tests assert
+    on them to prove re-decode happens only after an invalidation. *)
+type decode_stats = {
+  mutable ds_blocks : int;  (** superblocks compiled since creation *)
+  mutable ds_insns : int;  (** instructions decoded into superblocks *)
+  mutable ds_invalidated : int;  (** superblocks dropped by icache flushes *)
+}
+
 type t = {
   image : Image.t;
   hart_id : int;  (** event-attribution id; 0 for plain machines *)
@@ -29,6 +47,20 @@ type t = {
   cost : Cost.t;
   platform : platform;
   cache : (Insn.t * int) option array;
+      (** per-instruction decode cache — the reference stepper's
+          ({!step_ref}) icache model; the superblock path keeps it
+          coherent but does not read it *)
+  blocks : (int, superblock) Hashtbl.t;
+      (** pre-decoded superblocks keyed by entry text offset (enumeration
+          side; invalidation walks it) *)
+  block_map : superblock option array;
+      (** direct-mapped dispatch index over text offsets — the hot-path
+          view of [blocks]: block transitions cost one array read *)
+  mutable sb_cur : superblock option;
+      (** dispatch cursor: the superblock expected to contain [pc] *)
+  mutable sb_ix : int;
+      (** index into [sb_cur] expected to execute next *)
+  dstats : decode_stats;  (** read via {!decode_stats} *)
   mutable irq_enabled : bool;
   mutable steps_left : int;
   max_steps : int;
@@ -42,6 +74,22 @@ type t = {
       (** live activation entries, innermost first; read via {!call_frames} *)
   mutable brk : (int -> bool) option;
       (** breakpoint handler; install via {!set_brk_handler} *)
+}
+
+(** A pre-decoded straight-line run of instructions: one closure per
+    instruction, each performing exactly the state transition of the
+    matching {!step_ref} arm (same order of pc updates, memory traffic,
+    perf counters, predictor queries, and cycle charges).  Blocks end at
+    control transfers and are dropped — never patched in place — when an
+    icache flush overlaps their byte range; the {!text_poke}/{!flush_icache}
+    discipline the cross-modifying-code protocol already enforces is
+    therefore the complete invalidation contract (ARCHITECTURE §13). *)
+and superblock = {
+  sb_start : int;  (** text offset of the first instruction *)
+  sb_end : int;  (** text offset one past the last decoded byte *)
+  sb_pcs : int array;  (** absolute pc of each instruction *)
+  sb_ops : (t -> unit) array;  (** compiled instructions, in order *)
+  mutable sb_live : bool;  (** cleared when an icache flush drops the block *)
 }
 
 (** The address a top-level call returns to; control reaching it ends
@@ -94,15 +142,31 @@ val set_brk_handler : t -> (int -> bool) option -> unit
 (** This machine's hart id (0 unless created by the SMP container). *)
 val hart_id : t -> int
 
-(** Drop decode-cache entries overlapping the range (icache flush). *)
+(** Host-side decode-cache statistics (superblock builds, instructions
+    decoded, invalidations).  Reading them never moves the simulated
+    clock; asserting [ds_blocks] stays flat across repeated runs proves
+    re-decode only happens after an invalidation. *)
+val decode_stats : t -> decode_stats
+
+(** Drop decoded state overlapping the range (icache flush): both the
+    per-instruction cache entries and every superblock touching the
+    range. *)
 val flush_icache : t -> addr:int -> len:int -> unit
 
 (** Drop the whole decode cache (full icache flush). *)
 val flush_all_icache : t -> unit
 
-(** Execute one instruction; [false] once control returns to the
-    sentinel. *)
+(** Execute one instruction through the superblock cache; [false] once
+    control returns to the sentinel. *)
 val step : t -> bool
+
+(** Execute one instruction with the pre-superblock fetch/decode/dispatch
+    interpreter.  Kept as the differential reference: {!step} and
+    [step_ref] must produce bit-identical simulated cycles, perf counters,
+    and trace events (asserted by the superblock test suite and the
+    [interp-superblock] bench row).  Do not mix {!step} and [step_ref] on
+    the same machine mid-call — each maintains its own decode state. *)
+val step_ref : t -> bool
 
 (** Prepare a call without running it: argument registers, fresh stack with
     the return sentinel pushed, pc at the entry.  Drive the prepared call
@@ -115,6 +179,10 @@ val start_call : t -> string -> int list -> unit
 
 (** Run until control returns to the sentinel; returns r0. *)
 val finish : t -> int
+
+(** {!finish} driven by {!step_ref} — the reference interpreter's run
+    loop, for differential comparison against the superblock path. *)
+val finish_ref : t -> int
 
 (** Call the function at [addr] with up to 6 integer arguments; runs to
     completion and returns r0.  Memory (globals, heap) persists across

@@ -54,6 +54,7 @@ val create :
   Mv_link.Image.t ->
   t
 
+(** Number of harts in the container. *)
 val n_harts : t -> int
 
 (** Direct access to hart [i]'s machine (profiler feeds, per-hart perf). *)
@@ -151,9 +152,17 @@ val read_global : t -> string -> width:int -> int
 
 val write_global : t -> string -> int -> width:int -> unit
 
-(** Rendezvous statistics for the bench rows. *)
+(** {2 Rendezvous statistics} — the counters behind the bench rows. *)
+
+(** Stop requests posted across all rendezvous so far. *)
 val ipis_sent : t -> int
 
+(** Acks received (equals {!ipis_sent} once every rendezvous finished). *)
 val ipi_acks : t -> int
+
+(** Completed [stop_machine] rendezvous. *)
 val rendezvous_count : t -> int
+
+(** Simulated cycles spent between posting and gathering, summed over
+    every rendezvous — the latency E17 reports. *)
 val rendezvous_cycles : t -> float

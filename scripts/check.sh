@@ -65,4 +65,24 @@ grep -q 'spin_lock.config_smp=1' "$smoke_folded" \
 dune exec bin/mvtrace.exe -- diff --gate 5 BENCH_results.json "$bench_json" > /dev/null \
   || { echo "mvtrace diff: fig1 rows drifted from BENCH_results.json"; exit 1; }
 
+# Parallel fuzz smoke: a domain-striped campaign must write the exact
+# corpus a single-domain run writes (case seeds are domain-count
+# invariant).  Chaos skip-flush guarantees divergences, so both runs
+# exit 1 by contract and the compared corpora are non-empty.
+corpus_1dom=$(mktemp -d /tmp/mv-corpus1-XXXXXX)
+corpus_ndom=$(mktemp -d /tmp/mv-corpus2-XXXXXX)
+trap 'rm -f "$bench_json" "$smoke_mvc" "$smoke_folded"; rm -rf "$corpus_1dom" "$corpus_ndom"' EXIT
+run_striped_campaign() {
+  status=0
+  dune exec bin/mvfuzz.exe -- --iters 4 --seed 1 --small --quiet \
+    --chaos skip-flush --keep-going --shrink-budget 8 \
+    --domains "$1" --corpus "$2" > /dev/null 2>&1 || status=$?
+  [ "$status" -eq 1 ] \
+    || { echo "mvfuzz --domains $1: expected exit 1 under skip-flush, got $status"; exit 1; }
+}
+run_striped_campaign 1 "$corpus_1dom"
+run_striped_campaign 2 "$corpus_ndom"
+diff -r "$corpus_1dom" "$corpus_ndom" > /dev/null \
+  || { echo "mvfuzz: 2-domain corpus differs from the single-domain corpus"; exit 1; }
+
 echo "check.sh: all gates passed"

@@ -25,6 +25,7 @@ let () =
       ("obs", Test_obs.suite);
       ("json", Test_json.suite);
       ("fuzz", Test_fuzz.suite);
+      ("superblock", Test_superblock.suite);
       ("smp", Test_smp.suite);
       ("compiler", Test_compiler.suite);
       ("extensions", Test_extensions.suite);
