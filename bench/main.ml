@@ -826,18 +826,26 @@ let obs_overhead () =
   let profiled, profiled_ms = run H.enable_profiling in
   let stacked, stacked_ms = run H.enable_stack_profiling in
   let metered, metered_ms = run (fun s -> H.enable_metrics s) in
+  (* the flight recorder is always on — armed at session creation, before
+     any enable_* call — so this arm measures a fresh session with only
+     the flight sink live; its cycles must match the baseline exactly *)
+  let flighted, flighted_ms =
+    run (fun s -> assert (Mv_obs.Flight.capacity (H.flight s) > 0))
+  in
   row "%-36s %12s %10s\n" "spinlock unicore" "cycles/call" "host ms";
   row "%-36s %12.2f %10.1f\n" "no sinks (baseline)" base.H.m_mean base_ms;
   row "%-36s %12.2f %10.1f\n" "tracing armed" traced.H.m_mean traced_ms;
   row "%-36s %12.2f %10.1f\n" "profiling armed" profiled.H.m_mean profiled_ms;
   row "%-36s %12.2f %10.1f\n" "stack profiling armed" stacked.H.m_mean stacked_ms;
   row "%-36s %12.2f %10.1f\n" "metrics registry armed" metered.H.m_mean metered_ms;
+  row "%-36s %12.2f %10.1f\n" "flight recorder (always on)" flighted.H.m_mean
+    flighted_ms;
   let delta a = (a -. base.H.m_mean) /. base.H.m_mean *. 100.0 in
   row
     "=> simulated-cycle delta: tracing %+.2f%%, profiling %+.2f%%, stack \
-     profiling %+.2f%%, metrics %+.2f%%\n"
+     profiling %+.2f%%, metrics %+.2f%%, flight %+.2f%%\n"
     (delta traced.H.m_mean) (delta profiled.H.m_mean) (delta stacked.H.m_mean)
-    (delta metered.H.m_mean);
+    (delta metered.H.m_mean) (delta flighted.H.m_mean);
   jmeas "spinlock-unicore"
     [
       ("baseline", base);
@@ -845,6 +853,7 @@ let obs_overhead () =
       ("profiling", profiled);
       ("stackprof", stacked);
       ("metrics", metered);
+      ("flight", flighted);
     ];
   jrow "host-ms"
     [
@@ -853,6 +862,7 @@ let obs_overhead () =
       ("profiling", Json.Float profiled_ms);
       ("stackprof", Json.Float stacked_ms);
       ("metrics", Json.Float metered_ms);
+      ("flight", Json.Float flighted_ms);
     ]
 
 (* ------------------------------------------------------------------ *)

@@ -7,14 +7,24 @@
          --out prog.folded --chrome prog.trace.json
      mvtrace top prog.mvc --commit --run bench
      mvtrace spans prog.mvc --commit --run bench
+     mvtrace timeline prog.mvc --harts 3 --seed 7 --run worker --chrome t.json
+     mvtrace blame prog.mvc --harts 3 --seed 7 --run worker --slow-hart 2
+     mvtrace postmortem smp-artifacts/trap-1.flight.json
      mvtrace diff BENCH_results.json fresh.json --gate 5
 
    `flame` emits folded stacks (flamegraph.pl / speedscope input) and/or
    a Chrome trace_event JSON; `top` prints the hot-stack table; `spans`
    prints patching-span latency statistics and the event/metrics
-   summary; `diff` structurally compares two mv-bench-rows/1 documents
-   and, with --gate PCT, exits non-zero when any leaf drifts by more
-   than PCT percent. *)
+   summary; `timeline` drives a pinned-seed SMP patch storm and renders
+   per-hart event lanes (ASCII and/or Chrome trace, one lane per hart);
+   `blame` runs the same storm and attributes each stop_machine
+   rendezvous' latency to the hart that released it last (with optional
+   slow-ack chaos to inject a straggler); `postmortem` pretty-prints and
+   causally analyzes a mv-flight/1 flight-recorder dump; `diff`
+   structurally compares two mv-bench-rows/1 documents and, with --gate
+   PCT, exits non-zero when any leaf drifts by more than PCT percent
+   (writing a mv-flight/1 dump of the regressions when
+   MV_SMP_ARTIFACT_DIR is set). *)
 
 module Image = Mv_link.Image
 module Harness = Mv_workloads.Harness
@@ -216,6 +226,325 @@ let spans_cmd =
       const spans_main $ files_arg $ set_arg $ commit_arg $ run_arg $ args_arg
       $ padding_arg $ spans_metrics_arg)
 
+(* --- SMP runs: timeline / blame ------------------------------------- *)
+
+module Smp = Mv_vm.Smp
+module Trace = Mv_obs.Trace
+module Causal = Mv_obs.Causal
+module Json = Mv_obs.Json
+module Flight = Mv_obs.Flight
+
+let harts_arg =
+  Arg.(
+    value & opt int 2
+    & info [ "harts" ] ~docv:"N" ~doc:"Number of harts (default 2)")
+
+let seed_arg =
+  Arg.(
+    value & opt int 42
+    & info [ "seed" ] ~docv:"S" ~doc:"Scheduler seed (default 42)")
+
+let storms_arg =
+  Arg.(
+    value & opt int 3
+    & info [ "storms" ] ~docv:"N"
+        ~doc:
+          "Patch-storm rounds: each round steps the schedule, then runs a \
+           commit/revert under the stop_machine rendezvous (default 3)")
+
+let steps_arg =
+  Arg.(
+    value & opt int 120
+    & info [ "steps" ] ~docv:"N"
+        ~doc:"Scheduler steps between storm rounds (default 120)")
+
+let slow_hart_arg =
+  Arg.(
+    value & opt (some int) None
+    & info [ "slow-hart" ] ~docv:"H"
+        ~doc:
+          "Chaos: make hart $(docv) a straggler — it keeps executing instead \
+           of acking IPIs")
+
+let slow_acks_arg =
+  Arg.(
+    value & opt int 25
+    & info [ "slow-acks" ] ~docv:"N"
+        ~doc:
+          "How many ack opportunities the slow hart squanders per rendezvous \
+           window (default 25; needs --slow-hart)")
+
+(* Build an SMP session, arm tracing, and drive a pinned-seed patch
+   storm: every hart runs [fn args]; between rounds of scheduler steps
+   the initiator runs a commit (odd rounds) or revert (even rounds), each
+   inside a stop_machine rendezvous.  Deterministic per
+   (sources, sets, harts, seed, storms, steps, slow). *)
+let run_smp_workload ~files ~sets ~harts ~seed ~fn ~args ~storms ~steps ~slow =
+  let sources = List.map (fun f -> (Filename.basename f, read_file f)) files in
+  let s = Harness.smp_session ~n_harts:harts ~seed sources in
+  Harness.enable_smp_tracing s;
+  (match slow with
+  | Some (h, n) ->
+      if h < 0 || h >= harts then failwith "slow hart out of range";
+      Smp.set_slow_ack s.Harness.smp (Some (h, n))
+  | None -> ());
+  List.iter (fun (name, v) -> Harness.smp_set s name v) sets;
+  for h = 0 to harts - 1 do
+    Harness.smp_start s ~hart:h fn args
+  done;
+  let more = ref true in
+  for round = 1 to storms do
+    for _ = 1 to steps do
+      if !more then more := Harness.smp_step s
+    done;
+    if round mod 2 = 1 then ignore (Harness.smp_commit s)
+    else ignore (Harness.smp_revert s)
+  done;
+  Harness.smp_run s;
+  s
+
+let slow_of slow_hart slow_acks =
+  Option.map (fun h -> (h, slow_acks)) slow_hart
+
+(* --- timeline ------------------------------------------------------- *)
+
+let timeline_chrome_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "chrome" ] ~docv:"FILE"
+        ~doc:
+          "Write the run as a Chrome trace_event JSON (one lane per hart) to \
+           $(docv)")
+
+let timeline_limit_arg =
+  Arg.(
+    value & opt int 25
+    & info [ "limit"; "n" ] ~docv:"N"
+        ~doc:"Events to print per hart lane (default 25, newest kept)")
+
+let print_timelines ~limit events =
+  List.iter
+    (fun (hart, lane) ->
+      let n = List.length lane in
+      let shown =
+        if n <= limit then lane
+        else
+          (* keep the newest window; the dropped prefix is announced *)
+          List.filteri (fun i _ -> i >= n - limit) lane
+      in
+      Format.printf "── hart %d ── %d event(s)%s@." hart n
+        (if n > List.length shown then
+           Printf.sprintf " (showing last %d)" (List.length shown)
+         else "");
+      List.iter
+        (fun (st : Trace.stamped) ->
+          Format.printf "  [%10.1f] #%d %a@." st.Trace.ts st.Trace.hseq
+            Trace.pp_event st.Trace.ev)
+        shown)
+    (Causal.timelines events);
+  match Causal.edges events with
+  | [] -> ()
+  | edges ->
+      Format.printf "cross-hart edges:@.";
+      List.iter
+        (fun (e : Causal.edge) ->
+          Format.printf "  [%10.1f] %-10s id=%d  hart %d -> hart %d@."
+            e.Causal.e_ts e.Causal.e_kind e.Causal.e_id e.Causal.e_src
+            e.Causal.e_dst)
+        edges
+
+let timeline_main files sets harts seed fn args storms steps slow_hart slow_acks
+    limit chrome =
+  handle_errors (fun () ->
+      let s =
+        run_smp_workload ~files ~sets ~harts ~seed ~fn ~args ~storms ~steps
+          ~slow:(slow_of slow_hart slow_acks)
+      in
+      let events = Harness.smp_trace_events s in
+      print_timelines ~limit events;
+      (match chrome with
+      | Some path ->
+          write_file path (Harness.smp_trace_dump s);
+          Format.eprintf "chrome trace: %d event(s) -> %s@." (List.length events)
+            path
+      | None -> ());
+      0)
+
+let timeline_cmd =
+  let doc = "Per-hart event lanes for a pinned-seed SMP patch storm" in
+  Cmd.v
+    (Cmd.info "timeline" ~doc)
+    Term.(
+      const timeline_main $ files_arg $ set_arg $ harts_arg $ seed_arg $ run_arg
+      $ args_arg $ storms_arg $ steps_arg $ slow_hart_arg $ slow_acks_arg
+      $ timeline_limit_arg $ timeline_chrome_arg)
+
+(* --- blame ---------------------------------------------------------- *)
+
+let print_blame ~resolve events =
+  let rdvs = Causal.rendezvous events in
+  if rdvs = [] then Format.printf "no rendezvous in this run@."
+  else begin
+    Format.printf
+      "%-5s %-9s %-10s %-9s %-12s %-10s %s@." "rdv" "initiator" "latency"
+      "straggler" "waited" "share" "executing";
+    List.iter
+      (fun (r : Causal.rendezvous) ->
+        match (Causal.straggler r, r.Causal.r_latency) with
+        | Some a, Some lat ->
+            let share =
+              if lat > 0.0 then 100.0 *. a.Causal.a_wait /. lat else 0.0
+            in
+            Format.printf "%-5d %-9d %-10.1f %-9d %-12.1f %-9.1f%% %s@."
+              r.Causal.r_id r.Causal.r_initiator lat a.Causal.a_hart
+              a.Causal.a_wait share
+              (resolve a.Causal.a_at)
+        | _ ->
+            Format.printf "%-5d %-9d (uncontended or incomplete)@." r.Causal.r_id
+              r.Causal.r_initiator)
+      rdvs;
+    match Causal.rank_stragglers rdvs with
+    | [] -> ()
+    | ranks ->
+        Format.printf "@.straggler ranking:@.";
+        List.iter
+          (fun (h : Causal.hart_rank) ->
+            Format.printf
+              "  hart %d: straggled %d/%d rendezvous, total wait %.1f, max \
+               wait %.1f@."
+              h.Causal.h_hart h.Causal.h_straggled h.Causal.h_acks
+              h.Causal.h_total_wait h.Causal.h_max_wait)
+          ranks
+  end
+
+let blame_main files sets harts seed fn args storms steps slow_hart slow_acks =
+  handle_errors (fun () ->
+      let s =
+        run_smp_workload ~files ~sets ~harts ~seed ~fn ~args ~storms ~steps
+          ~slow:(slow_of slow_hart slow_acks)
+      in
+      let img = s.Harness.sm_program.Core.Compiler.p_image in
+      let resolve pc =
+        match Image.symbol_at img pc with
+        | Some name -> Printf.sprintf "%s (pc %d)" name pc
+        | None -> Printf.sprintf "pc %d" pc
+      in
+      print_blame ~resolve (Harness.smp_trace_events s);
+      0)
+
+let blame_cmd =
+  let doc = "Which hart delayed each stop_machine rendezvous, and by how much" in
+  Cmd.v
+    (Cmd.info "blame" ~doc)
+    Term.(
+      const blame_main $ files_arg $ set_arg $ harts_arg $ seed_arg $ run_arg
+      $ args_arg $ storms_arg $ steps_arg $ slow_hart_arg $ slow_acks_arg)
+
+(* --- postmortem ----------------------------------------------------- *)
+
+let dump_arg =
+  Arg.(
+    required & pos 0 (some file) None
+    & info [] ~docv:"DUMP" ~doc:"A $(b,mv-flight/1) dump (*.flight.json)")
+
+let postmortem_limit_arg =
+  Arg.(
+    value & opt int 25
+    & info [ "limit"; "n" ] ~docv:"N"
+        ~doc:"Events to print per hart lane (default 25, newest kept)")
+
+let postmortem_main dump limit =
+  handle_errors (fun () ->
+      match Json.parse (read_file dump) with
+      | Error m ->
+          Format.eprintf "error: %s does not parse: %s@." dump m;
+          2
+      | Ok doc ->
+          (match Json.member "schema" doc with
+          | Some (Json.String s) when s = Flight.schema -> ()
+          | Some (Json.String s) ->
+              failwith (Printf.sprintf "unsupported schema %S (want %s)" s Flight.schema)
+          | _ -> failwith "not a flight dump: no schema member");
+          let str k =
+            match Json.member k doc with
+            | Some (Json.String s) -> s
+            | _ -> "?"
+          in
+          let int k =
+            match Json.member k doc with Some (Json.Int n) -> n | _ -> 0
+          in
+          Format.printf "flight dump: reason=%s clock=%s@." (str "reason")
+            (match Json.member "clock" doc with
+            | Some (Json.Float f) -> Printf.sprintf "%.1f" f
+            | Some (Json.Int n) -> string_of_int n
+            | _ -> "?");
+          Format.printf "window: %d recorded, %d kept (capacity %d), %d dropped@."
+            (int "recorded")
+            (int "recorded" - int "dropped")
+            (int "capacity") (int "dropped");
+          (match Json.member "fault" doc with
+          | Some (Json.String m) when m <> "" -> Format.printf "fault: %s@." m
+          | _ -> ());
+          (match Json.member "harts" doc with
+          | Some (Json.List hs) ->
+              List.iter
+                (fun h ->
+                  match
+                    (Json.member "hart" h, Json.member "pc" h, Json.member "frames" h)
+                  with
+                  | Some (Json.Int i), Some (Json.Int pc), Some (Json.List fr) ->
+                      Format.printf "hart %d: pc=%d, %d live frame(s)@." i pc
+                        (List.length fr)
+                  | _ -> ())
+                hs
+          | _ -> ());
+          (match Flight.events_of_dump doc with
+          | [] -> Format.printf "no events in the recorded window@."
+          | events ->
+              Format.printf "@.";
+              print_timelines ~limit events;
+              let rdvs = Causal.rendezvous events in
+              if rdvs <> [] then begin
+                Format.printf "@.rendezvous blame:@.";
+                print_blame
+                  ~resolve:(fun pc -> Printf.sprintf "pc %d" pc)
+                  events
+              end;
+              (match Causal.chains events with
+              | [] -> ()
+              | chains ->
+                  Format.printf "@.commit chains:@.";
+                  List.iter
+                    (fun (c : Causal.chain) ->
+                      Format.printf
+                        "  cid %d: %s on hart %d, begin %.1f%s, %d defer(s), \
+                         %d denial(s)%s%s@."
+                        c.Causal.c_cid c.Causal.c_op c.Causal.c_hart
+                        c.Causal.c_begin_ts
+                        (match c.Causal.c_end_ts with
+                        | Some e -> Printf.sprintf ", end %.1f" e
+                        | None -> ", never ended")
+                        (List.length c.Causal.c_defers)
+                        (List.length c.Causal.c_denies)
+                        (match c.Causal.c_drained with
+                        | Some (h, ts) ->
+                            Printf.sprintf ", drained on hart %d @ %.1f" h ts
+                        | None -> "")
+                        (if c.Causal.c_rolled_back then ", ROLLED BACK" else ""))
+                    chains);
+              match Causal.check_send_ack_pairing events with
+              | [] -> ()
+              | violations ->
+                  Format.printf "@.causal invariant violations:@.";
+                  List.iter (fun v -> Format.printf "  %s@." v) violations);
+          0)
+
+let postmortem_cmd =
+  let doc = "Pretty-print and analyze a mv-flight/1 postmortem dump" in
+  Cmd.v
+    (Cmd.info "postmortem" ~doc)
+    Term.(const postmortem_main $ dump_arg $ postmortem_limit_arg)
+
 (* --- diff ----------------------------------------------------------- *)
 
 let base_arg =
@@ -292,6 +621,25 @@ let diff_main base fresh gate all no_skip json_out =
                       List.iter
                         (fun d -> Format.printf "  %a@." Mv_obs.Analyze.pp_delta d)
                         bad;
+                      (* postmortem artifact for CI: the offending deltas
+                         in the same schema every other failure dump
+                         uses (gated on MV_SMP_ARTIFACT_DIR) *)
+                      let flight =
+                        Flight.create ~capacity:1 ~clock:(fun () -> 0.0) ()
+                      in
+                      (match
+                         Flight.write_artifact flight ~reason:"bench-gate"
+                           ~name:"bench-gate"
+                           ~extra:
+                             [
+                               ("threshold", Json.Float threshold);
+                               ( "regressions",
+                                 Mv_obs.Analyze.deltas_json bad );
+                             ]
+                           ()
+                       with
+                      | Some p -> Format.eprintf "flight dump saved: %s@." p
+                      | None -> ());
                       1))))
 
 let diff_cmd =
@@ -306,6 +654,15 @@ let diff_cmd =
 
 let cmd =
   let doc = "Observability analysis for multiverse workloads" in
-  Cmd.group (Cmd.info "mvtrace" ~doc) [ flame_cmd; top_cmd; spans_cmd; diff_cmd ]
+  Cmd.group (Cmd.info "mvtrace" ~doc)
+    [
+      flame_cmd;
+      top_cmd;
+      spans_cmd;
+      timeline_cmd;
+      blame_cmd;
+      postmortem_cmd;
+      diff_cmd;
+    ]
 
 let () = exit (Cmd.eval' cmd)

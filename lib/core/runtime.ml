@@ -75,6 +75,10 @@ type pending_action =
 
 type pending_set = {
   pset_id : int;
+  pset_cid : int;
+      (** causality id of the commit/revert that journaled this set — the
+          [cid] its eventual [Pending_drained] event reports *)
+  pset_hart : int;  (** hart the journaling commit ran on *)
   pset_actions : pending_action list;
 }
 
@@ -103,6 +107,12 @@ type t = {
           addresses); wire to [Machine.live_code_addrs] *)
   mutable pending : pending_set list;  (** deferred patch sets, oldest first *)
   mutable next_pset_id : int;
+  mutable next_cid : int;  (** commit causality id generator *)
+  mutable cur_cid : int;  (** cid of the span currently open (-1: none) *)
+  mutable hart_src : (unit -> int) option;
+      (** reports the currently-executing hart for causal attribution of
+          commit/drain events; wire to [Smp.current_hart] (default:
+          hart 0) *)
   mutable in_safepoint : bool;  (** reentrancy guard for {!safepoint} *)
   safe : safe_counters;
   mutable tracer : (Trace.event -> unit) option;
@@ -229,6 +239,9 @@ let create (img : Image.t) ~flush : t =
     live_scanner = None;
     pending = [];
     next_pset_id = 0;
+    next_cid = 0;
+    cur_cid = -1;
+    hart_src = None;
     in_safepoint = false;
     safe =
       {
@@ -287,10 +300,22 @@ let switch_values t =
       (name_of t.image v.vr_addr, Image.read t.image v.vr_addr v.vr_width))
     t.variables
 
-let emit_span_begin t op =
-  if tracing t then emit t (Trace.Commit_begin { op; switches = switch_values t })
+(** Install (or remove) the hart source used to attribute commit and
+    drain events; wire to [Smp.current_hart].  Host-side only — never
+    charged simulated cycles. *)
+let set_hart_source t h = t.hart_src <- h
 
-let emit_span_end t op bound = emit t (Trace.Commit_end { op; bound })
+let cur_hart t = match t.hart_src with None -> 0 | Some f -> f ()
+
+(* Every commit/revert span gets a fresh causality id, traced or not, so
+   a sink attached mid-run still sees ids consistent with the journal. *)
+let emit_span_begin t op =
+  t.cur_cid <- t.next_cid;
+  t.next_cid <- t.next_cid + 1;
+  if tracing t then
+    emit t (Trace.Commit_begin { cid = t.cur_cid; op; switches = switch_values t })
+
+let emit_span_end t op bound = emit t (Trace.Commit_end { cid = t.cur_cid; op; bound })
 
 (* Fallback registration, with its event. *)
 let fallback t name =
@@ -742,17 +767,38 @@ let apply_set t (pset : pending_set) : bool =
       t.safe.sc_applied <- t.safe.sc_applied + List.length pset.pset_actions;
       emit t
         (Trace.Pending_drained
-           { pset = pset.pset_id; actions = List.length pset.pset_actions });
+           {
+             cid = pset.pset_cid;
+             pset = pset.pset_id;
+             actions = List.length pset.pset_actions;
+           });
+      (* close the cross-hart commit chain: the commit staged on
+         [pset_hart], the drain ran here *)
+      emit t
+        (Trace.Causal_edge
+           {
+             edge = "drain";
+             id = pset.pset_cid;
+             src_hart = pset.pset_hart;
+             dst_hart = cur_hart t;
+           });
       true
   | exception (Runtime_error _ | Patch.Patch_error _) ->
       List.iter (undo_action t) !applied;
       t.safe.sc_rolled_back <- t.safe.sc_rolled_back + 1;
-      emit t (Trace.Pending_rollback { pset = pset.pset_id });
+      emit t (Trace.Pending_rollback { cid = pset.pset_cid; pset = pset.pset_id });
       false
 
 let journal t actions =
   if actions <> [] then begin
-    let pset = { pset_id = t.next_pset_id; pset_actions = actions } in
+    let pset =
+      {
+        pset_id = t.next_pset_id;
+        pset_cid = t.cur_cid;
+        pset_hart = cur_hart t;
+        pset_actions = actions;
+      }
+    in
     t.next_pset_id <- t.next_pset_id + 1;
     t.pending <- t.pending @ [ pset ]
   end
@@ -778,10 +824,10 @@ let commit_safe ?(policy = Defer) t : int =
       | Defer ->
           deferred := action :: !deferred;
           t.safe.sc_deferred <- t.safe.sc_deferred + 1;
-          emit t (Trace.Safe_defer { fn = action_name action })
+          emit t (Trace.Safe_defer { cid = t.cur_cid; fn = action_name action })
       | Deny ->
           t.safe.sc_denied <- t.safe.sc_denied + 1;
-          emit t (Trace.Safe_deny { fn = action_name action })
+          emit t (Trace.Safe_deny { cid = t.cur_cid; fn = action_name action })
     else begin
       apply_action_lenient t action;
       incr bound
@@ -841,10 +887,10 @@ let revert_safe ?(policy = Defer) t : int =
       | Defer ->
           deferred := action :: !deferred;
           t.safe.sc_deferred <- t.safe.sc_deferred + 1;
-          emit t (Trace.Safe_defer { fn = action_name action })
+          emit t (Trace.Safe_defer { cid = t.cur_cid; fn = action_name action })
       | Deny ->
           t.safe.sc_denied <- t.safe.sc_denied + 1;
-          emit t (Trace.Safe_deny { fn = action_name action })
+          emit t (Trace.Safe_deny { cid = t.cur_cid; fn = action_name action })
     end
     else apply_action_lenient t action
   in

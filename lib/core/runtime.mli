@@ -70,6 +70,11 @@ type pending_action =
     is applied transactionally — all actions or none. *)
 type pending_set = {
   pset_id : int;
+  pset_cid : int;
+      (** causality id of the journaling commit — reported by the set's
+          eventual [Pending_drained] event *)
+  pset_hart : int;  (** hart the journaling commit ran on (see
+          {!set_hart_source}) *)
   pset_actions : pending_action list;
 }
 
@@ -96,6 +101,11 @@ type t = {
   mutable live_scanner : (unit -> int list) option;
   mutable pending : pending_set list;
   mutable next_pset_id : int;
+  mutable next_cid : int;  (** commit-causality id generator *)
+  mutable cur_cid : int;  (** cid of the commit span in flight (-1 outside) *)
+  mutable hart_src : (unit -> int) option;
+      (** current-hart source for event attribution; install via
+          {!set_hart_source} *)
   mutable in_safepoint : bool;
   safe : safe_counters;
   mutable tracer : (Mv_obs.Trace.event -> unit) option;
@@ -129,6 +139,16 @@ val set_inlining : t -> bool -> unit
     [Mv_obs.Trace.sink] over a ring clocked by the machine's cycle
     counter (see [Harness.enable_tracing]). *)
 val set_tracer : t -> (Mv_obs.Trace.event -> unit) option -> unit
+
+(** Install (or remove, with [None]) the hart source used to attribute
+    commit and drain events for causal tracing: the pending set journaled
+    by a commit remembers the hart the commit ran on, and the
+    [Pending_drained] of that set is followed by a ["drain"]
+    [Causal_edge] from that hart to the hart executing the draining
+    safepoint.  Wire to [Mv_vm.Smp.current_hart]; the default attributes
+    everything to hart 0 (right for a single-hart machine).  Host-side
+    only — never charged simulated cycles. *)
+val set_hart_source : t -> (unit -> int) option -> unit
 
 (** Install (or remove, with [None]) the cross-modifying-code barrier.
     When set, every patching operation — {!commit}, {!revert}, the

@@ -4,11 +4,46 @@ type report = {
   rp_shrunk : Shrink.result;
   rp_entry : Corpus.entry;
   rp_path : string option;
+  rp_flight : string option;
 }
 
 type summary = { s_tested : int; s_reports : report list }
 
 let schedule_for case seed = Schedule.gen (Rng.split (Rng.create seed) 3) case
+
+(* Postmortem artifact for a diverged seed: a [mv-flight/1] document
+   whose extra sections carry the oracle verdict and the shrunk
+   reproducer.  The oracles drive their own short-lived machines, so the
+   recorder window itself is empty here — the artifact's value is the
+   machine-readable failure context, in the same schema the VM trap and
+   bench-gate dumps use.  Gated on MV_SMP_ARTIFACT_DIR like every other
+   failure dump. *)
+let write_flight_artifact ~log seed (div : Oracle.divergence)
+    (shrunk : Shrink.result) : string option =
+  let module Json = Mv_obs.Json in
+  let flight = Mv_obs.Flight.create ~capacity:1 ~clock:(fun () -> 0.0) () in
+  let extra =
+    [
+      ("seed", Json.Int seed);
+      ("oracle", Json.String div.Oracle.d_oracle);
+      ("detail", Json.String div.Oracle.d_detail);
+      ( "reproducer",
+        Json.Obj
+          [
+            ("src", Json.String shrunk.Shrink.sh_case.Gen.c_src);
+            ("shrink_evals", Json.Int shrunk.Shrink.sh_evals);
+          ] );
+    ]
+  in
+  match
+    Mv_obs.Flight.write_artifact flight ~reason:"fuzz-oracle"
+      ~name:(Printf.sprintf "fuzz-seed-%d" seed)
+      ~extra ()
+  with
+  | Some p ->
+      log ("flight dump saved: " ^ p);
+      Some p
+  | None -> None
 
 let handle_divergence ?chaos ?corpus_dir ?(shrink_budget = 300) ~log seed case
     sched (div : Oracle.divergence) : report =
@@ -27,8 +62,9 @@ let handle_divergence ?chaos ?corpus_dir ?(shrink_budget = 300) ~log seed case
         log ("reproducer saved: " ^ p);
         Some p
   in
+  let flight = write_flight_artifact ~log seed div shrunk in
   { rp_seed = seed; rp_original = div; rp_shrunk = shrunk; rp_entry = entry;
-    rp_path = path }
+    rp_path = path; rp_flight = flight }
 
 let run ?cfg ?chaos ?only ?corpus_dir ?(keep_going = false) ?shrink_budget
     ?(log = ignore) ~seed ~iters () : summary =
@@ -185,6 +221,7 @@ let check_corpus ?chaos ?(log = ignore) ~dir () : summary =
                         };
                       rp_entry = entry;
                       rp_path = Some path;
+                      rp_flight = None;
                     }
                     :: !reports)))
     entries;

@@ -9,6 +9,9 @@ type report = {
   rp_shrunk : Shrink.result;
   rp_entry : Corpus.entry;
   rp_path : string option;  (** corpus file, when a directory was given *)
+  rp_flight : string option;
+      (** [mv-flight/1] postmortem dump (oracle verdict + shrunk
+          reproducer), when [MV_SMP_ARTIFACT_DIR] is set *)
 }
 
 type summary = {

@@ -1,0 +1,333 @@
+(* Causal analysis over a stamped event stream.
+
+   The stream is already causally annotated — every stamped event carries
+   its hart and per-hart sequence, the IPI/rendezvous lifecycle threads a
+   [rdv] correlation id, the commit lifecycle a [cid], and Causal_edge
+   events spell out the cross-hart happens-before links.  This module
+   reconstructs the per-hart timeline DAG from those annotations and
+   answers the two attribution questions the patch-storm roadmap item
+   needs: what was the critical path of each rendezvous (which hart's ack
+   released it, and how long after the post), and which harts are the
+   habitual stragglers. *)
+
+(* ------------------------------------------------------------------ *)
+(* Per-hart timelines (the DAG's lanes)                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Events per hart, each lane oldest-first, lanes sorted by hart id.
+   Within a lane, [hseq] is dense and monotonic: the lane IS the hart's
+   program-order edge chain. *)
+let timelines (events : Trace.stamped list) : (int * Trace.stamped list) list =
+  let tbl : (int, Trace.stamped list ref) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun st ->
+      match Hashtbl.find_opt tbl st.Trace.hart with
+      | Some l -> l := st :: !l
+      | None -> Hashtbl.add tbl st.Trace.hart (ref [ st ]))
+    events;
+  Hashtbl.fold (fun hart l acc -> (hart, List.rev !l) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+(* The cross-hart edges of the DAG, oldest-first (the per-hart lanes
+   supply the program-order edges; together they are the full DAG). *)
+type edge = {
+  e_kind : string;  (** ["ipi"], ["rendezvous"] or ["drain"] *)
+  e_id : int;  (** the correlation id: [rdv] or [cid] *)
+  e_src : int;
+  e_dst : int;
+  e_ts : float;  (** when the destination end materialized *)
+}
+
+let edges (events : Trace.stamped list) : edge list =
+  List.filter_map
+    (fun st ->
+      match st.Trace.ev with
+      | Trace.Causal_edge { edge; id; src_hart; dst_hart } ->
+          Some
+            { e_kind = edge; e_id = id; e_src = src_hart; e_dst = dst_hart;
+              e_ts = st.Trace.ts }
+      | _ -> None)
+    events
+
+(* ------------------------------------------------------------------ *)
+(* Rendezvous reconstruction                                            *)
+(* ------------------------------------------------------------------ *)
+
+(** One hart's participation in a rendezvous. *)
+type ack = {
+  a_hart : int;
+  a_ts : float;  (** clock at the ack *)
+  a_wait : float;  (** post-to-ack latency *)
+  a_at : int;  (** pc the hart was executing when it parked *)
+}
+
+(** A reconstructed stop_machine rendezvous, grouped by its [rdv] id. *)
+type rendezvous = {
+  r_id : int;
+  r_initiator : int;
+  r_begin_ts : float;  (** clock at [Rendezvous_begin] *)
+  r_sends : (int * float) list;  (** (target hart, send ts), send order *)
+  r_acks : ack list;  (** ack order *)
+  r_end_ts : float option;  (** [None]: never completed in this window *)
+  r_latency : float option;  (** [Rendezvous_end.latency] *)
+}
+
+let rendezvous (events : Trace.stamped list) : rendezvous list =
+  let tbl : (int, rendezvous) Hashtbl.t = Hashtbl.create 16 in
+  let order = ref [] in
+  let find id ~initiator ~ts =
+    match Hashtbl.find_opt tbl id with
+    | Some r -> r
+    | None ->
+        let r =
+          { r_id = id; r_initiator = initiator; r_begin_ts = ts; r_sends = [];
+            r_acks = []; r_end_ts = None; r_latency = None }
+        in
+        Hashtbl.add tbl id r;
+        order := id :: !order;
+        r
+  in
+  List.iter
+    (fun st ->
+      let ts = st.Trace.ts in
+      match st.Trace.ev with
+      | Trace.Rendezvous_begin { rdv; initiator; _ } ->
+          let r = find rdv ~initiator ~ts in
+          Hashtbl.replace tbl rdv { r with r_initiator = initiator; r_begin_ts = ts }
+      | Trace.Ipi_send { rdv; from_hart; to_hart } ->
+          let r = find rdv ~initiator:from_hart ~ts in
+          Hashtbl.replace tbl rdv { r with r_sends = r.r_sends @ [ (to_hart, ts) ] }
+      | Trace.Ipi_ack { rdv; hart; wait; at } ->
+          let r = find rdv ~initiator:(-1) ~ts in
+          Hashtbl.replace tbl rdv
+            { r with
+              r_acks = r.r_acks @ [ { a_hart = hart; a_ts = ts; a_wait = wait;
+                                      a_at = at } ] }
+      | Trace.Rendezvous_end { rdv; initiator; latency; _ } ->
+          let r = find rdv ~initiator ~ts in
+          Hashtbl.replace tbl rdv
+            { r with r_initiator = initiator; r_end_ts = Some ts;
+              r_latency = Some latency }
+      | _ -> ())
+    events;
+  List.rev_map (fun id -> Hashtbl.find tbl id) !order
+
+(** The straggler: the ack that took longest to arrive (the hart whose
+    critical path set the rendezvous latency).  [None] when no hart owed
+    an ack (uncontended rendezvous). *)
+let straggler (r : rendezvous) : ack option =
+  List.fold_left
+    (fun acc a ->
+      match acc with Some b when b.a_wait >= a.a_wait -> acc | _ -> Some a)
+    None r.r_acks
+
+(** One node of a rendezvous' critical path. *)
+type path_step = { p_hart : int; p_event : string; p_ts : float }
+
+(** The critical path of a completed rendezvous: the chain of events that
+    determined its end time — [Rendezvous_begin] on the initiator, the
+    [Ipi_send] to the straggler, the straggler's [Ipi_ack], and the
+    [Rendezvous_end] back on the initiator.  For an uncontended rendezvous
+    the path is begin -> end on the initiator alone.  Empty when the
+    rendezvous never completed inside the recorded window. *)
+let critical_path (r : rendezvous) : path_step list =
+  match r.r_end_ts with
+  | None -> []
+  | Some end_ts -> (
+      let fin = { p_hart = r.r_initiator; p_event = "rendezvous_end"; p_ts = end_ts } in
+      let start =
+        { p_hart = r.r_initiator; p_event = "rendezvous_begin"; p_ts = r.r_begin_ts }
+      in
+      match straggler r with
+      | None -> [ start; fin ]
+      | Some a ->
+          let send_ts =
+            match List.assoc_opt a.a_hart r.r_sends with
+            | Some ts -> ts
+            | None -> r.r_begin_ts
+          in
+          [
+            start;
+            { p_hart = r.r_initiator; p_event = "ipi_send"; p_ts = send_ts };
+            { p_hart = a.a_hart; p_event = "ipi_ack"; p_ts = a.a_ts };
+            fin;
+          ])
+
+(** Simulated-cycle length of the critical path (last minus first step);
+    0 for an incomplete rendezvous.  For a completed rendezvous this
+    equals [Rendezvous_end.latency]: sends are stamped at the same clock
+    reading as the begin, and the patch thunk itself charges no simulated
+    cycles. *)
+let critical_path_length (r : rendezvous) : float =
+  match critical_path r with
+  | [] -> 0.0
+  | steps ->
+      let first = List.hd steps and last = List.nth steps (List.length steps - 1) in
+      last.p_ts -. first.p_ts
+
+(* ------------------------------------------------------------------ *)
+(* Straggler ranking                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(** Aggregate wait profile of one hart across every rendezvous in the
+    window. *)
+type hart_rank = {
+  h_hart : int;
+  h_acks : int;  (** rendezvous this hart had to ack *)
+  h_straggled : int;  (** rendezvous where its ack arrived last *)
+  h_total_wait : float;
+  h_max_wait : float;
+}
+
+(** Rank harts by how much rendezvous latency they are responsible for:
+    the harts that cost the most wait first (by total wait, then straggle count). *)
+let rank_stragglers (rs : rendezvous list) : hart_rank list =
+  let tbl : (int, hart_rank) Hashtbl.t = Hashtbl.create 8 in
+  let get h =
+    match Hashtbl.find_opt tbl h with
+    | Some r -> r
+    | None ->
+        { h_hart = h; h_acks = 0; h_straggled = 0; h_total_wait = 0.0;
+          h_max_wait = 0.0 }
+  in
+  List.iter
+    (fun r ->
+      let worst = straggler r in
+      List.iter
+        (fun a ->
+          let hr = get a.a_hart in
+          let straggled =
+            match worst with Some w when w.a_hart = a.a_hart -> 1 | _ -> 0
+          in
+          Hashtbl.replace tbl a.a_hart
+            { hr with
+              h_acks = hr.h_acks + 1;
+              h_straggled = hr.h_straggled + straggled;
+              h_total_wait = hr.h_total_wait +. a.a_wait;
+              h_max_wait = max hr.h_max_wait a.a_wait })
+        r.r_acks)
+    rs;
+  Hashtbl.fold (fun _ hr acc -> hr :: acc) tbl []
+  |> List.sort (fun a b ->
+         match compare b.h_total_wait a.h_total_wait with
+         | 0 -> (
+             match compare b.h_straggled a.h_straggled with
+             | 0 -> compare a.h_hart b.h_hart
+             | c -> c)
+         | c -> c)
+
+(** Feed per-hart wait histograms and straggler counters into a metrics
+    registry: [mv_hart_wait_cycles{hart}] observes every ack wait,
+    [mv_stragglers_total{hart}] counts rendezvous the hart released
+    last. *)
+let to_metrics (m : Metrics.t) (rs : rendezvous list) : unit =
+  List.iter
+    (fun r ->
+      List.iter
+        (fun a ->
+          Metrics.observe m "mv_hart_wait_cycles"
+            [ ("hart", string_of_int a.a_hart) ]
+            a.a_wait)
+        r.r_acks;
+      match straggler r with
+      | Some a ->
+          Metrics.inc m "mv_stragglers_total" [ ("hart", string_of_int a.a_hart) ]
+      | None -> ())
+    rs
+
+(* ------------------------------------------------------------------ *)
+(* Commit chains                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(** A commit causality chain, grouped by [cid]: the span, the work it
+    deferred, and the eventual cross-hart drain. *)
+type chain = {
+  c_cid : int;
+  c_op : string;
+  c_hart : int;  (** hart the commit ran on *)
+  c_begin_ts : float;
+  c_end_ts : float option;
+  c_defers : string list;  (** functions journaled (defer order) *)
+  c_denies : string list;
+  c_drained : (int * float) option;  (** (draining hart, drain ts) *)
+  c_rolled_back : bool;
+}
+
+let chains (events : Trace.stamped list) : chain list =
+  let tbl : (int, chain) Hashtbl.t = Hashtbl.create 16 in
+  let order = ref [] in
+  let find cid ~ts ~hart =
+    match Hashtbl.find_opt tbl cid with
+    | Some c -> c
+    | None ->
+        let c =
+          { c_cid = cid; c_op = "?"; c_hart = hart; c_begin_ts = ts;
+            c_end_ts = None; c_defers = []; c_denies = []; c_drained = None;
+            c_rolled_back = false }
+        in
+        Hashtbl.add tbl cid c;
+        order := cid :: !order;
+        c
+  in
+  List.iter
+    (fun st ->
+      let ts = st.Trace.ts and hart = st.Trace.hart in
+      match st.Trace.ev with
+      | Trace.Commit_begin { cid; op; _ } ->
+          let c = find cid ~ts ~hart in
+          Hashtbl.replace tbl cid
+            { c with c_op = op; c_hart = hart; c_begin_ts = ts }
+      | Trace.Commit_end { cid; _ } ->
+          let c = find cid ~ts ~hart in
+          Hashtbl.replace tbl cid { c with c_end_ts = Some ts }
+      | Trace.Safe_defer { cid; fn } ->
+          let c = find cid ~ts ~hart in
+          Hashtbl.replace tbl cid { c with c_defers = c.c_defers @ [ fn ] }
+      | Trace.Safe_deny { cid; fn } ->
+          let c = find cid ~ts ~hart in
+          Hashtbl.replace tbl cid { c with c_denies = c.c_denies @ [ fn ] }
+      | Trace.Pending_drained { cid; _ } ->
+          let c = find cid ~ts ~hart in
+          Hashtbl.replace tbl cid { c with c_drained = Some (hart, ts) }
+      | Trace.Pending_rollback { cid; _ } ->
+          let c = find cid ~ts ~hart in
+          Hashtbl.replace tbl cid { c with c_rolled_back = true }
+      | _ -> ())
+    events;
+  List.rev_map (fun cid -> Hashtbl.find tbl cid) !order
+
+(* ------------------------------------------------------------------ *)
+(* Invariant checks (the causal-edge test surface)                      *)
+(* ------------------------------------------------------------------ *)
+
+(** Violations of the send/ack pairing invariant — every [Ipi_send] of a
+    completed rendezvous must have exactly one matching [Ipi_ack] from
+    its target hart, and no hart may ack without a send.  Returns
+    human-readable violation descriptions (empty = invariant holds). *)
+let check_send_ack_pairing (events : Trace.stamped list) : string list =
+  let problems = ref [] in
+  List.iter
+    (fun r ->
+      if r.r_end_ts <> None then begin
+        List.iter
+          (fun (target, _) ->
+            let acks =
+              List.length (List.filter (fun a -> a.a_hart = target) r.r_acks)
+            in
+            if acks <> 1 then
+              problems :=
+                Printf.sprintf "rdv #%d: send to hart%d has %d ack(s)" r.r_id
+                  target acks
+                :: !problems)
+          r.r_sends;
+        List.iter
+          (fun a ->
+            if not (List.mem_assoc a.a_hart r.r_sends) then
+              problems :=
+                Printf.sprintf "rdv #%d: hart%d acked without a send" r.r_id
+                  a.a_hart
+                :: !problems)
+          r.r_acks
+      end)
+    (rendezvous events);
+  List.rev !problems

@@ -9,9 +9,14 @@
 
 let args_of_event (ev : Trace.event) : (string * Json.t) list =
   match ev with
-  | Trace.Commit_begin { switches; _ } ->
-      [ ("switches", Json.Obj (List.map (fun (n, v) -> (n, Json.Int v)) switches)) ]
-  | Trace.Commit_end { bound; _ } -> [ ("bound", Json.Int bound) ]
+  | Trace.Commit_begin { cid; op; switches } ->
+      [
+        ("op", Json.String op);
+        ("switches", Json.Obj (List.map (fun (n, v) -> (n, Json.Int v)) switches));
+        ("cid", Json.Int cid);
+      ]
+  | Trace.Commit_end { cid; op; bound } ->
+      [ ("op", Json.String op); ("bound", Json.Int bound); ("cid", Json.Int cid) ]
   | Trace.Variant_selected { fn; variant } ->
       [ ("fn", Json.String fn); ("variant", Json.String variant) ]
   | Trace.Site_retargeted { fn; site; target } | Trace.Site_inlined { fn; site; target }
@@ -19,25 +24,48 @@ let args_of_event (ev : Trace.event) : (string * Json.t) list =
       [ ("fn", Json.String fn); ("site", Json.Int site); ("target", Json.Int target) ]
   | Trace.Prologue_patched { fn; target } ->
       [ ("fn", Json.String fn); ("target", Json.Int target) ]
-  | Trace.Fallback { fn } | Trace.Safe_defer { fn } | Trace.Safe_deny { fn } ->
-      [ ("fn", Json.String fn) ]
-  | Trace.Pending_drained { pset; actions } ->
-      [ ("pset", Json.Int pset); ("actions", Json.Int actions) ]
-  | Trace.Pending_rollback { pset } -> [ ("pset", Json.Int pset) ]
+  | Trace.Fallback { fn } -> [ ("fn", Json.String fn) ]
+  | Trace.Safe_defer { cid; fn } | Trace.Safe_deny { cid; fn } ->
+      [ ("fn", Json.String fn); ("cid", Json.Int cid) ]
+  | Trace.Pending_drained { cid; pset; actions } ->
+      [ ("pset", Json.Int pset); ("actions", Json.Int actions); ("cid", Json.Int cid) ]
+  | Trace.Pending_rollback { cid; pset } ->
+      [ ("pset", Json.Int pset); ("cid", Json.Int cid) ]
   | Trace.Safepoint_poll { pending } -> [ ("pending", Json.Int pending) ]
   | Trace.Icache_flush { hart; addr; len } ->
       [ ("hart", Json.Int hart); ("addr", Json.Int addr); ("len", Json.Int len) ]
-  | Trace.Ipi_send { from_hart; to_hart } ->
-      [ ("from_hart", Json.Int from_hart); ("to_hart", Json.Int to_hart) ]
-  | Trace.Ipi_ack { hart; wait } ->
-      [ ("hart", Json.Int hart); ("wait", Json.Float wait) ]
-  | Trace.Rendezvous_begin { initiator; waiting } ->
-      [ ("initiator", Json.Int initiator); ("waiting", Json.Int waiting) ]
-  | Trace.Rendezvous_end { initiator; acks; latency } ->
+  | Trace.Ipi_send { rdv; from_hart; to_hart } ->
+      [
+        ("from_hart", Json.Int from_hart);
+        ("to_hart", Json.Int to_hart);
+        ("rdv", Json.Int rdv);
+      ]
+  | Trace.Ipi_ack { rdv; hart; wait; at } ->
+      [
+        ("hart", Json.Int hart);
+        ("wait", Json.Float wait);
+        ("at", Json.Int at);
+        ("rdv", Json.Int rdv);
+      ]
+  | Trace.Rendezvous_begin { rdv; initiator; waiting } ->
+      [
+        ("initiator", Json.Int initiator);
+        ("waiting", Json.Int waiting);
+        ("rdv", Json.Int rdv);
+      ]
+  | Trace.Rendezvous_end { rdv; initiator; acks; latency } ->
       [
         ("initiator", Json.Int initiator);
         ("acks", Json.Int acks);
         ("latency", Json.Float latency);
+        ("rdv", Json.Int rdv);
+      ]
+  | Trace.Causal_edge { edge; id; src_hart; dst_hart } ->
+      [
+        ("edge", Json.String edge);
+        ("id", Json.Int id);
+        ("src_hart", Json.Int src_hart);
+        ("dst_hart", Json.Int dst_hart);
       ]
 
 let chrome_event ~pid (st : Trace.stamped) : Json.t =
@@ -55,14 +83,35 @@ let chrome_event ~pid (st : Trace.stamped) : Json.t =
       ("ph", Json.String phase);
       ("ts", Json.Float st.Trace.ts);
       ("pid", Json.Int pid);
-      ("tid", Json.Int 1);
+      (* one Perfetto lane per hart; hart 0 stays on tid 1, so single-hart
+         traces are unchanged *)
+      ("tid", Json.Int (st.Trace.hart + 1));
       ("args", Json.Obj (("seq", Json.Int st.Trace.seq) :: args_of_event st.Trace.ev));
     ]
   in
   (* instants need a scope; "t" = thread-scoped *)
   Json.Obj (if phase = "i" then base @ [ ("s", Json.String "t") ] else base)
 
-let chrome_trace ?(pid = 1) stamped = Json.List (List.map (chrome_event ~pid) stamped)
+(* Name each hart's lane so Perfetto labels them "hart 0", "hart 1", …
+   instead of bare tids. *)
+let thread_name_event ~pid ~hart : Json.t =
+  Json.Obj
+    [
+      ("name", Json.String "thread_name");
+      ("ph", Json.String "M");
+      ("ts", Json.Int 0);
+      ("pid", Json.Int pid);
+      ("tid", Json.Int (hart + 1));
+      ("args", Json.Obj [ ("name", Json.String (Printf.sprintf "hart %d" hart)) ]);
+    ]
+
+let chrome_trace ?(pid = 1) stamped =
+  let harts =
+    List.sort_uniq compare (List.map (fun st -> st.Trace.hart) stamped)
+  in
+  Json.List
+    (List.map (fun hart -> thread_name_event ~pid ~hart) harts
+    @ List.map (chrome_event ~pid) stamped)
 let chrome_trace_string ?pid stamped = Json.to_string_pretty (chrome_trace ?pid stamped)
 
 let profile_json rows =

@@ -189,14 +189,17 @@ let pp fmt t =
    safe-commit lifecycle becomes the drain-latency histogram, and the
    per-event counters fall out of the event names.  The closure carries
    the little state the durations need (open spans, outstanding defer
-   timestamps). *)
-let trace_sink t ~clock : Trace.sink =
+   timestamps).  [hart] names the hart an observation is attributed to
+   (default: constant 0) so per-hart drain skew shows up in the registry;
+   latencies are attributed to the hart that closed them. *)
+let trace_sink t ~clock ?(hart = fun () -> 0) () : Trace.sink =
   let open_spans : (string * float) list ref = ref [] in
   let defers : float list ref = ref [] in
+  let hart_label () = ("hart", string_of_int (hart ())) in
   fun ev ->
     inc t "mv_events_total" [ ("kind", Trace.event_name ev) ];
     match ev with
-    | Trace.Commit_begin { op; switches } ->
+    | Trace.Commit_begin { op; switches; _ } ->
         open_spans := (op, clock ()) :: !open_spans;
         List.iter
           (fun (n, v) ->
@@ -208,7 +211,9 @@ let trace_sink t ~clock : Trace.sink =
         match !open_spans with
         | (op', ts) :: rest when op' = op ->
             open_spans := rest;
-            observe t "mv_patch_latency_cycles" [ ("op", op) ] (clock () -. ts)
+            observe t "mv_patch_latency_cycles"
+              [ ("op", op); hart_label () ]
+              (clock () -. ts)
         | _ -> ())
     | Trace.Variant_selected { fn; variant } ->
         inc t "mv_variant_installs_total" [ ("fn", fn); ("variant", variant) ]
@@ -224,9 +229,10 @@ let trace_sink t ~clock : Trace.sink =
     | Trace.Pending_drained { actions; _ } ->
         inc t "mv_safe_total" [ ("outcome", "drained") ];
         let now = clock () in
+        let lbl = [ hart_label () ] in
         let rec drain n = function
           | ts :: rest when n > 0 ->
-              observe t "mv_safe_drain_latency_cycles" [] (now -. ts);
+              observe t "mv_safe_drain_latency_cycles" lbl (now -. ts);
               drain (n - 1) rest
           | rest -> rest
         in
@@ -238,9 +244,11 @@ let trace_sink t ~clock : Trace.sink =
     | Trace.Icache_flush { hart; _ } ->
         inc t "mv_icache_flushes_total" [ ("hart", string_of_int hart) ]
     | Trace.Ipi_send _ -> inc t "mv_ipis_total" [ ("dir", "send") ]
-    | Trace.Ipi_ack { wait; _ } ->
+    | Trace.Ipi_ack { hart; wait; _ } ->
         inc t "mv_ipis_total" [ ("dir", "ack") ];
-        observe t "mv_ipi_wait_cycles" [] wait
+        observe t "mv_ipi_wait_cycles" [ ("hart", string_of_int hart) ] wait
     | Trace.Rendezvous_begin _ -> inc t "mv_rendezvous_total" []
     | Trace.Rendezvous_end { latency; _ } ->
         observe t "mv_rendezvous_latency_cycles" [] latency
+    | Trace.Causal_edge { edge; _ } ->
+        inc t "mv_causal_edges_total" [ ("edge", edge) ]

@@ -71,8 +71,13 @@ val to_json : t -> Json.t
 (** Human-readable one-line-per-series rendering, sorted. *)
 val pp : Format.formatter -> t -> unit
 
-(** [trace_sink t ~clock] is a [Trace.sink] that feeds the registry from
+(** [trace_sink t ~clock ()] is a [Trace.sink] that feeds the registry from
     the existing event stream; [clock] supplies the timestamps the
     latency histograms are computed from (wire to the machine's cycle
-    counter).  Compose it with a recording sink to get both. *)
-val trace_sink : t -> clock:(unit -> float) -> Trace.sink
+    counter) and [hart] the hart observations are attributed to (default:
+    constant 0; wire to [Smp.current_hart] under SMP — the patch-latency
+    and drain-latency histograms then carry a ["hart"] label exposing
+    per-hart drain skew).  Compose it with a recording sink to get
+    both. *)
+val trace_sink :
+  t -> clock:(unit -> float) -> ?hart:(unit -> int) -> unit -> Trace.sink

@@ -7,18 +7,29 @@
     bit-for-bit identical to an untraced run — tracing is strictly
     pay-for-use, like the safepoint hook.  The usual sink is {!sink} over
     a {!ring}, which stamps each event with a clock reading (simulated
-    cycles) and a global sequence number and stores it in a fixed-capacity
-    ring buffer: tracing a long run costs bounded memory, and overflow
-    drops the {e oldest} events, keeping the most recent window. *)
+    cycles), a global sequence number, the hart it happened on, and a
+    per-hart sequence number, and stores it in a fixed-capacity ring
+    buffer: tracing a long run costs bounded memory, and overflow drops
+    the {e oldest} events, keeping the most recent window.
+
+    Causal correlation ids thread through the distributed protocols:
+    [rdv] ties the IPI/rendezvous events of one stop_machine together and
+    [cid] ties a commit span to the deferred work it journals, possibly
+    drained cycles later on a different hart.  {!Causal_edge} events make
+    the cross-hart happens-before links explicit; [Causal] reconstructs
+    the DAG from them. *)
 
 (** Everything the runtime and machine report.  Addresses are absolute
     image addresses; names are symbol names. *)
 type event =
-  | Commit_begin of { op : string; switches : (string * int) list }
-      (** A whole-image operation starts.  [op] is one of ["commit"],
-          ["revert"], ["commit_safe"], ["revert_safe"]; [switches] records
-          every configuration switch's value at decision time. *)
-  | Commit_end of { op : string; bound : int }
+  | Commit_begin of { cid : int; op : string; switches : (string * int) list }
+      (** A whole-image operation starts.  [cid] is the commit causality
+          id — every downstream event of this operation (the matching
+          end, deferrals, the eventual drain) carries it.  [op] is one of
+          ["commit"], ["revert"], ["commit_safe"], ["revert_safe"];
+          [switches] records every configuration switch's value at
+          decision time. *)
+  | Commit_end of { cid : int; op : string; bound : int }
       (** The matching end of a {!Commit_begin} span; [bound] is the
           operation's return value (entities bound or reverted). *)
   | Variant_selected of { fn : string; variant : string }
@@ -32,14 +43,17 @@ type event =
           [target] (the completeness path). *)
   | Fallback of { fn : string }
       (** No variant matched the switch values; [fn] stays generic. *)
-  | Safe_defer of { fn : string }
-      (** A safe commit/revert journaled [fn]'s patch (live activation). *)
-  | Safe_deny of { fn : string }
+  | Safe_defer of { cid : int; fn : string }
+      (** A safe commit/revert journaled [fn]'s patch (live activation).
+          [cid] names the commit that deferred it. *)
+  | Safe_deny of { cid : int; fn : string }
       (** A safe commit/revert refused [fn]'s patch under [Deny]. *)
-  | Pending_drained of { pset : int; actions : int }
+  | Pending_drained of { cid : int; pset : int; actions : int }
       (** Pending set [pset] applied in full ([actions] actions) at a
-          quiescent safepoint. *)
-  | Pending_rollback of { pset : int }
+          quiescent safepoint.  [cid] is the id of the commit that
+          journaled the set — the other end of the
+          [Commit_begin -> … -> Pending_drained] causal chain. *)
+  | Pending_rollback of { cid : int; pset : int }
       (** Pending set [pset] failed mid-apply and was rolled back. *)
   | Safepoint_poll of { pending : int }
       (** A safepoint inspected a non-empty journal of [pending] sets.
@@ -49,28 +63,47 @@ type event =
       (** Hart [hart] dropped decoded instructions over the range
           ([len = 0] means a whole-cache flush).  Single-hart machines
           report [hart = 0]. *)
-  | Ipi_send of { from_hart : int; to_hart : int }
-      (** The rendezvous initiator posted a stop request to [to_hart]. *)
-  | Ipi_ack of { hart : int; wait : float }
+  | Ipi_send of { rdv : int; from_hart : int; to_hart : int }
+      (** The rendezvous initiator posted a stop request to [to_hart].
+          [rdv] names the rendezvous; the matching {!Ipi_ack} carries the
+          same id. *)
+  | Ipi_ack of { rdv : int; hart : int; wait : float; at : int }
       (** [hart] observed its pending IPI and parked; [wait] is the
           simulated-cycle latency between post and ack (interrupts-off
-          sections delay the ack). *)
-  | Rendezvous_begin of { initiator : int; waiting : int }
+          sections delay the ack) and [at] the pc the hart was executing
+          when it finally parked — what the blame report shows for a
+          straggler. *)
+  | Rendezvous_begin of { rdv : int; initiator : int; waiting : int }
       (** A stop_machine-style rendezvous started; [waiting] harts must
           ack before the patch thunk may run. *)
-  | Rendezvous_end of { initiator : int; acks : int; latency : float }
+  | Rendezvous_end of { rdv : int; initiator : int; acks : int; latency : float }
       (** The matching end of a {!Rendezvous_begin} span: all [acks]
           harts parked, the thunk ran, everyone was released.  [latency]
           is the total simulated-cycle cost of gathering the acks. *)
+  | Causal_edge of { edge : string; id : int; src_hart : int; dst_hart : int }
+      (** An explicit cross-hart happens-before link.  [edge] is the link
+          kind: ["ipi"] (an {!Ipi_send} on [src_hart] caused the
+          {!Ipi_ack} on [dst_hart]; [id] is the [rdv]), ["rendezvous"]
+          (the {e last} ack — the straggler, on [src_hart] — released the
+          {!Rendezvous_end} on [dst_hart]), or ["drain"] (the commit
+          staged on [src_hart] was drained at a safepoint on [dst_hart];
+          [id] is the [cid]). *)
 
 (** A recorded event: [ts] is the clock reading at record time (simulated
-    cycles for the standard wiring) and [seq] a strictly increasing
-    per-ring sequence number (survives overflow, so gaps reveal drops). *)
-type stamped = { ts : float; seq : int; ev : event }
+    cycles for the standard wiring), [seq] a strictly increasing per-ring
+    sequence number (survives overflow, so gaps reveal drops), [hart] the
+    hart the event is attributed to, and [hseq] the event's position in
+    that hart's own timeline (dense per hart, also monotonic). *)
+type stamped = { ts : float; seq : int; hart : int; hseq : int; ev : event }
 
 (** An event consumer, installed into [Runtime.set_tracer] /
     [Machine.set_tracer]. *)
 type sink = event -> unit
+
+(** The hart an event intrinsically names ([Ipi_ack] happened on the
+    acking hart no matter which hart's slot recorded it), or [None] for
+    events attributed to whichever hart is currently executing. *)
+val hart_of_event : event -> int option
 
 (** The fixed-capacity recorder. *)
 type ring
@@ -78,8 +111,11 @@ type ring
 (** [ring ~clock ()] creates an empty recorder keeping the last
     [capacity] events (default 4096; at least 1).  [clock] supplies the
     timestamp for each recorded event — wire it to the machine's cycle
-    counter. *)
-val ring : ?capacity:int -> clock:(unit -> float) -> unit -> ring
+    counter.  [hart] supplies the currently-executing hart for events
+    that do not name one themselves (default: constant 0, right for a
+    single-hart machine; wire it to [Smp.current_hart] under SMP). *)
+val ring :
+  ?capacity:int -> ?hart:(unit -> int) -> clock:(unit -> float) -> unit -> ring
 
 (** The sink that stamps and records into the ring. *)
 val sink : ring -> sink
@@ -97,8 +133,9 @@ val recorded : ring -> int
 (** Events discarded by overflow. *)
 val dropped : ring -> int
 
-(** Forget all events and reset the drop counter (sequence numbers keep
-    increasing, so merged logs stay ordered). *)
+(** Forget all events and reset the drop counter (sequence numbers —
+    global and per-hart — keep increasing, so merged logs stay
+    ordered). *)
 val clear : ring -> unit
 
 (** Stable machine-readable tag of an event's constructor, e.g.
@@ -108,5 +145,5 @@ val event_name : event -> string
 (** One-line human rendering of an event. *)
 val pp_event : Format.formatter -> event -> unit
 
-(** [pp] renders a stamped event as ["[ts/seq] event"]. *)
+(** [pp] renders a stamped event as ["[ts/seq hN.hseq] event"]. *)
 val pp : Format.formatter -> stamped -> unit

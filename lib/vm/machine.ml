@@ -89,6 +89,12 @@ type t = {
           Returning [true] means "spin here" (the pc does not advance and a
           pause is charged — the text_poke wait loop); returning [false],
           or having no handler, faults.  The SMP layer installs this. *)
+  mutable on_trap : (string -> unit) option;
+      (** invoked with the fault message when a {!Fault} escapes the
+          execution entry points ({!step}, {!step_ref}, {!finish}) — the
+          flight recorder's dump trigger.  Host-side and exactly-once per
+          escaping fault; exceptions it raises itself are swallowed so a
+          failing dump never masks the original fault. *)
 }
 
 (* A pre-decoded straight-line run of instructions.  Each closure is one
@@ -135,6 +141,7 @@ let create ?(cost = Cost.default) ?(platform = Native) ?(max_steps = 2_000_000_0
     sampler = None;
     frames = [];
     brk = None;
+    on_trap = None;
   }
 
 (** Install (or remove) the safepoint hook.  While a hook is installed,
@@ -153,6 +160,18 @@ let set_sampler t hook = t.sampler <- hook
 
 (** Install (or remove) the breakpoint handler (see the [brk] field). *)
 let set_brk_handler t h = t.brk <- h
+
+(** Install (or remove) the trap hook (see the [on_trap] field). *)
+let set_trap_hook t h = t.on_trap <- h
+
+(* Report an escaping fault to the trap hook (once), then re-raise.  The
+   hook is host-side; anything it raises is swallowed so a broken dump
+   path cannot mask the machine fault being reported. *)
+let report_trap t e =
+  (match (t.on_trap, e) with
+  | Some hook, Fault msg -> ( try hook msg with _ -> ())
+  | _ -> ());
+  raise e
 
 (** Which hart this machine is (0 for plain single-hart machines). *)
 let hart_id t = t.hart_id
@@ -576,7 +595,7 @@ let locate_slow t pc : superblock =
     one closure call.  Only a cursor miss (block transition, invalidation,
     or a jump the cursor did not predict) touches the block table, and
     only there is the [Some] cursor box allocated. *)
-let step t : bool =
+let step_core t : bool =
   if t.steps_left <= 0 then faultf "step limit exceeded (pc=0x%x)" t.pc;
   t.steps_left <- t.steps_left - 1;
   let pc = t.pc in
@@ -598,13 +617,15 @@ let step t : bool =
       (Array.unsafe_get b.sb_ops 0) t);
   t.pc <> return_sentinel
 
+let step t : bool = try step_core t with Fault _ as e -> report_trap t e
+
 (** Execute exactly one instruction at [t.pc] with the pre-superblock
     fetch/decode/dispatch interpreter.  Kept as the differential reference:
     the superblock tests and the [interp-superblock] bench row require
     {!step} and [step_ref] to produce bit-identical simulated cycles, perf
     counters, and trace events.  Do not mix [step] and [step_ref] on the
     same machine mid-call — each maintains its own decode state. *)
-let step_ref t : bool =
+let step_ref_core t : bool =
   if t.steps_left <= 0 then faultf "step limit exceeded (pc=0x%x)" t.pc;
   t.steps_left <- t.steps_left - 1;
   let pc = t.pc in
@@ -740,6 +761,8 @@ let step_ref t : bool =
       | _ -> faultf "breakpoint at 0x%x" pc));
   t.pc <> return_sentinel
 
+let step_ref t : bool = try step_ref_core t with Fault _ as e -> report_trap t e
+
 (** Prepare a call to [addr] without running it: load argument registers,
     reset the stack, push the return sentinel, point the pc at the entry.
     Drive the prepared call with {!step} (or {!finish}); this is how the
@@ -809,7 +832,7 @@ let rec finish_loop t perf =
   if t.pc <> return_sentinel then finish_loop t perf
 
 let finish t : int =
-  finish_loop t t.perf;
+  (try finish_loop t t.perf with Fault _ as e -> report_trap t e);
   t.regs.(0)
 
 (** {!finish} driven by {!step_ref} — the reference interpreter's run

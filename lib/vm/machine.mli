@@ -74,6 +74,8 @@ type t = {
       (** live activation entries, innermost first; read via {!call_frames} *)
   mutable brk : (int -> bool) option;
       (** breakpoint handler; install via {!set_brk_handler} *)
+  mutable on_trap : (string -> unit) option;
+      (** trap observer; install via {!set_trap_hook} *)
 }
 
 (** A pre-decoded straight-line run of instructions: one closure per
@@ -138,6 +140,15 @@ val set_sampler : t -> (int -> unit) option -> unit
     anything else faults.  With no handler every [Brk] faults — plain
     machines never execute one. *)
 val set_brk_handler : t -> (int -> bool) option -> unit
+
+(** Install (or remove, with [None]) the trap observer.  The hook
+    receives the fault message whenever a {!Fault} escapes {!step},
+    {!step_ref} or {!finish} — exactly once per escaping fault, before it
+    propagates to the caller — and is where the flight recorder dumps its
+    postmortem snapshot.  Host-side only: no simulated cycles, and an
+    exception raised by the hook itself is swallowed so a failing dump
+    never masks the fault. *)
+val set_trap_hook : t -> (string -> unit) option -> unit
 
 (** This machine's hart id (0 unless created by the SMP container). *)
 val hart_id : t -> int

@@ -54,9 +54,19 @@ type t = {
   mutable rendezvous_active : bool;
   mutable rdv_begin_clock : float;
   mutable rdv_initiator : int;
+  mutable rdv_id : int;  (* correlation id of the active (or last) rendezvous *)
+  mutable next_rdv : int;  (* id generator *)
+  mutable rdv_last_ack : int;  (* straggler: hart whose ack arrived last *)
+  mutable cur : int;
+      (* the hart that last received a scheduling slot — the attribution
+         target for host-driven events (commits, flushes initiated by the
+         runtime) that do not name a hart themselves *)
   mutable drop_ack : int option;
       (* chaos: this hart's IPI channel is broken — it is never posted a
          stop request and text flushes skip its icache *)
+  mutable slow_ack : (int * int) option;
+      (* chaos: (hart, budget) — the victim burns [budget] scheduling
+         slots executing instead of acking, a deterministic straggler *)
   mutable poke : poke option;
   mutable tracer : Mv_obs.Trace.sink option;
   (* stats for the bench rows *)
@@ -105,7 +115,12 @@ let create ?(policy = Round_robin) ?(seed = 1) ?cost ?platform ?max_steps
       rendezvous_active = false;
       rdv_begin_clock = 0.0;
       rdv_initiator = 0;
+      rdv_id = 0;
+      next_rdv = 0;
+      rdv_last_ack = -1;
+      cur = 0;
       drop_ack = None;
+      slow_ack = None;
       poke = None;
       tracer = None;
       ipis_sent = 0;
@@ -128,6 +143,8 @@ let create ?(policy = Round_robin) ?(seed = 1) ?cost ?platform ?max_steps
   t
 
 let set_drop_ack t victim = t.drop_ack <- victim
+let set_slow_ack t victim = t.slow_ack <- victim
+let current_hart t = t.cur
 
 let set_tracer t sink =
   t.tracer <- sink;
@@ -194,7 +211,28 @@ let ack t i =
   t.ipi_pending.(i) <- false;
   t.parked.(i) <- true;
   t.ipi_acks <- t.ipi_acks + 1;
-  emit t (Mv_obs.Trace.Ipi_ack { hart = i; wait = clock t -. t.ipi_sent_at.(i) })
+  t.rdv_last_ack <- i;
+  emit t
+    (Mv_obs.Trace.Ipi_ack
+       {
+         rdv = t.rdv_id;
+         hart = i;
+         wait = clock t -. t.ipi_sent_at.(i);
+         at = t.harts.(i).Machine.pc;
+       });
+  emit t
+    (Mv_obs.Trace.Causal_edge
+       { edge = "ipi"; id = t.rdv_id; src_hart = t.rdv_initiator; dst_hart = i })
+
+(* The slow-ack chaos victim keeps executing for [budget] more slots
+   before acknowledging — a deterministic straggler for the blame
+   report. *)
+let slow_ack_defers t i =
+  match t.slow_ack with
+  | Some (victim, budget) when victim = i && budget > 0 ->
+      t.slow_ack <- Some (victim, budget - 1);
+      true
+  | _ -> false
 
 (** Give hart [i] one scheduling slot: if it owes a rendezvous ack and
     interrupts are enabled it acks (and parks) instead of executing;
@@ -203,8 +241,10 @@ let ack t i =
 let step_hart t i =
   if not (runnable t i) then false
   else begin
+    t.cur <- i;
     let m = t.harts.(i) in
-    if t.ipi_pending.(i) && m.Machine.irq_enabled then ack t i
+    if t.ipi_pending.(i) && m.Machine.irq_enabled && not (slow_ack_defers t i)
+    then ack t i
     else ignore (Machine.step m);
     true
   end
@@ -240,6 +280,9 @@ let rendezvous_post t ~initiator =
   t.rdv_initiator <- initiator;
   t.rdv_begin_clock <- clock t;
   t.rendezvous_count <- t.rendezvous_count + 1;
+  t.rdv_id <- t.next_rdv;
+  t.next_rdv <- t.next_rdv + 1;
+  t.rdv_last_ack <- -1;
   let waiting = ref 0 in
   Array.iteri
     (fun i _ ->
@@ -248,10 +291,11 @@ let rendezvous_post t ~initiator =
         t.ipi_sent_at.(i) <- clock t;
         t.ipis_sent <- t.ipis_sent + 1;
         incr waiting;
-        emit t (Mv_obs.Trace.Ipi_send { from_hart = initiator; to_hart = i })
+        emit t
+          (Mv_obs.Trace.Ipi_send { rdv = t.rdv_id; from_hart = initiator; to_hart = i })
       end)
     t.harts;
-  emit t (Mv_obs.Trace.Rendezvous_begin { initiator; waiting = !waiting });
+  emit t (Mv_obs.Trace.Rendezvous_begin { rdv = t.rdv_id; initiator; waiting = !waiting });
   !waiting
 
 (** Apply [f] at the gathered rendezvous and release every hart.  Raises
@@ -271,7 +315,18 @@ let rendezvous_finish t f =
       let latency = clock t -. t.rdv_begin_clock in
       t.rendezvous_cycles <- t.rendezvous_cycles +. latency;
       emit t
-        (Mv_obs.Trace.Rendezvous_end { initiator = t.rdv_initiator; acks = !acks; latency });
+        (Mv_obs.Trace.Rendezvous_end
+           { rdv = t.rdv_id; initiator = t.rdv_initiator; acks = !acks; latency });
+      (* the straggler's ack is what released the rendezvous *)
+      if !acks > 0 && t.rdv_last_ack >= 0 then
+        emit t
+          (Mv_obs.Trace.Causal_edge
+             {
+               edge = "rendezvous";
+               id = t.rdv_id;
+               src_hart = t.rdv_last_ack;
+               dst_hart = t.rdv_initiator;
+             });
       r)
 
 (* Harts still owing an ack are either executing (step them until they

@@ -72,6 +72,20 @@ val clock : t -> float
     fuzzer's [Drop_ack] mode; [None] restores correctness. *)
 val set_drop_ack : t -> int option -> unit
 
+(** Slow hart [h]'s ack path ([Some (h, budget)]): the victim burns
+    [budget] scheduling slots executing instructions before it
+    acknowledges a stop request — a deterministic straggler that inflates
+    its [Ipi_ack.wait] without breaking correctness (the rendezvous still
+    completes).  The chaos mode behind the blame tests; [None] restores
+    normal acking. *)
+val set_slow_ack : t -> (int * int) option -> unit
+
+(** The hart that last received a scheduling slot (0 before any step).
+    This is the attribution source trace rings and metrics sinks use for
+    host-driven events that do not name a hart themselves — wire it into
+    [Trace.ring]'s [hart] argument. *)
+val current_hart : t -> int
+
 (** Install (or remove) the event sink on the container {e and} every
     hart (per-hart [Icache_flush]es carry their hart id). *)
 val set_tracer : t -> Mv_obs.Trace.sink option -> unit

@@ -17,6 +17,7 @@ module Trace = Mv_obs.Trace
 module Profile = Mv_obs.Profile
 module Stackprof = Mv_obs.Stackprof
 module Metrics = Mv_obs.Metrics
+module Flight = Mv_obs.Flight
 module Json = Mv_obs.Json
 
 type measurement = {
@@ -36,6 +37,7 @@ type session = {
   program : Core.Compiler.program;
   machine : Machine.t;
   runtime : Core.Runtime.t;
+  flight : Flight.t;  (** always-on flight recorder, armed at creation *)
   mutable trace : Trace.ring option;  (** set by {!enable_tracing} *)
   mutable profile : Profile.t option;  (** set by {!enable_profiling} *)
   mutable stackprof : Stackprof.t option;  (** set by {!enable_stack_profiling} *)
@@ -43,19 +45,70 @@ type session = {
   mutable metrics_sink : Trace.sink option;  (** the registry's trace bridge *)
 }
 
+(* Sequence number for trap artifacts, so two faults in one process never
+   overwrite each other's dump. *)
+let trap_counter = ref 0
+
+(* Postmortem context for a flight dump: the fault, the runtime's
+   patching counters, and each hart's pc/stack summary. *)
+let trap_extra ~msg ~runtime ~machines : (string * Json.t) list =
+  [
+    ("fault", Json.String msg);
+    ("runtime", Core.Runtime.stats_json (Core.Runtime.stats runtime));
+    ( "harts",
+      Json.List
+        (List.mapi
+           (fun i (m : Machine.t) ->
+             Json.Obj
+               [
+                 ("hart", Json.Int i);
+                 ("pc", Json.Int m.Machine.pc);
+                 ( "frames",
+                   Json.List
+                     (List.map (fun a -> Json.Int a) (Machine.call_frames m)) );
+               ])
+           machines) );
+  ]
+
 (** Assemble a session from pre-built parts (for callers that need custom
-    build options, e.g. call-site padding). *)
-let of_parts program machine runtime : session =
-  {
-    program;
-    machine;
-    runtime;
-    trace = None;
-    profile = None;
-    stackprof = None;
-    metrics = None;
-    metrics_sink = None;
-  }
+    build options, e.g. call-site padding).  The flight recorder is armed
+    here — always-on, every session — and the machine's trap hook wired
+    to dump it (gated on [MV_SMP_ARTIFACT_DIR], so a plain test run
+    writes nothing). *)
+let of_parts ?(flight_capacity = 512) program machine runtime : session =
+  let flight =
+    Flight.create ~capacity:flight_capacity
+      ~clock:(fun () -> machine.Machine.perf.Perf.cycles)
+      ()
+  in
+  let s =
+    {
+      program;
+      machine;
+      runtime;
+      flight;
+      trace = None;
+      profile = None;
+      stackprof = None;
+      metrics = None;
+      metrics_sink = None;
+    }
+  in
+  Machine.set_trap_hook machine
+    (Some
+       (fun msg ->
+         incr trap_counter;
+         ignore
+           (Flight.write_artifact flight ~reason:"vm-trap"
+              ~name:(Printf.sprintf "trap-%d" !trap_counter)
+              ~extra:(trap_extra ~msg ~runtime ~machines:[ machine ])
+              ())));
+  (* the recorder listens from the first instruction; enable_tracing /
+     enable_metrics later tee their sinks in front of it *)
+  let fsink = Flight.sink flight in
+  Core.Runtime.set_tracer runtime (Some fsink);
+  Machine.set_tracer machine (Some fsink);
+  s
 
 let session ?platform ?cost (sources : (string * string) list) : session =
   let program = Core.Compiler.build sources in
@@ -102,17 +155,21 @@ let revert_safe ?policy s = Core.Runtime.revert_safe ?policy s.runtime
 
 let machine_clock s () = s.machine.Machine.perf.Perf.cycles
 
-(* One sink serves both emitters (runtime + machine); when the ring and
-   the metrics bridge are both armed, tee.  Re-run after any enable_* so
-   the installed chain always reflects the session's current state. *)
+(* One sink serves both emitters (runtime + machine); the always-on
+   flight recorder is in every chain, the ring and the metrics bridge
+   tee in front of it when armed.  Re-run after any enable_* so the
+   installed chain always reflects the session's current state. *)
 let install_tracers s =
   let sinks =
     List.filter_map Fun.id
-      [ Option.map Trace.sink s.trace; s.metrics_sink ]
+      [
+        Option.map Trace.sink s.trace;
+        s.metrics_sink;
+        Some (Flight.sink s.flight);
+      ]
   in
   let sink =
     match sinks with
-    | [] -> None
     | [ f ] -> Some f
     | fs -> Some (fun ev -> List.iter (fun f -> f ev) fs)
   in
@@ -153,7 +210,7 @@ let enable_tracing ?capacity s =
 let enable_metrics s =
   let m = Metrics.create () in
   s.metrics <- Some m;
-  s.metrics_sink <- Some (Metrics.trace_sink m ~clock:(machine_clock s));
+  s.metrics_sink <- Some (Metrics.trace_sink m ~clock:(machine_clock s) ());
   install_tracers s
 
 (* Symbol names of all generated variants, for profiler classification. *)
@@ -208,6 +265,20 @@ let enable_stack_profiling ?interval s =
 let trace_events s = match s.trace with None -> [] | Some ring -> Trace.events ring
 
 let trace_dump s = Mv_obs.Export.chrome_trace_string (trace_events s)
+
+(** The session's always-on flight recorder. *)
+let flight s = s.flight
+
+(** The flight recorder's surviving window, decoded (oldest first). *)
+let flight_events s = Flight.events s.flight
+
+(** Dump the session's flight recorder with full postmortem context
+    (runtime stats, hart pc/stack) — what the trap hook writes, callable
+    on demand. *)
+let flight_dump ?(reason = "manual") s =
+  Flight.dump_string s.flight ~reason
+    ~extra:(trap_extra ~msg:"" ~runtime:s.runtime ~machines:[ s.machine ])
+    ()
 
 let profile_report s = match s.profile with None -> [] | Some p -> Profile.report p
 
@@ -374,12 +445,35 @@ type smp_session = {
   sm_program : Core.Compiler.program;
   smp : Smp.t;
   sm_runtime : Core.Runtime.t;
+  sm_flight : Flight.t;  (** always-on flight recorder, armed at creation *)
   mutable sm_trace : Trace.ring option;
+  mutable sm_metrics : Metrics.t option;  (** set by {!enable_smp_metrics} *)
+  mutable sm_metrics_sink : Trace.sink option;
   mutable sm_stackprofs : Stackprof.t array;  (** one per hart once enabled *)
 }
 
+(* The container-wide sink chain: ring and metrics bridge (when armed)
+   tee in front of the always-on flight recorder, installed on both
+   emitters (runtime + container). *)
+let install_smp_tracers s =
+  let sinks =
+    List.filter_map Fun.id
+      [
+        Option.map Trace.sink s.sm_trace;
+        s.sm_metrics_sink;
+        Some (Flight.sink s.sm_flight);
+      ]
+  in
+  let sink =
+    match sinks with
+    | [ f ] -> Some f
+    | fs -> Some (fun ev -> List.iter (fun f -> f ev) fs)
+  in
+  Core.Runtime.set_tracer s.sm_runtime sink;
+  Smp.set_tracer s.smp sink
+
 let smp_session ?(n_harts = 2) ?policy ?seed ?platform ?cost
-    (sources : (string * string) list) : smp_session =
+    ?(flight_capacity = 512) (sources : (string * string) list) : smp_session =
   let program = Core.Compiler.build sources in
   let image = program.Core.Compiler.p_image in
   let smp = Smp.create ?policy ?seed ?cost ?platform ~n_harts image in
@@ -392,8 +486,35 @@ let smp_session ?(n_harts = 2) ?policy ?seed ?platform ?cost
   Core.Runtime.set_text_writer runtime
     (Some (fun ~addr b -> Smp.text_poke smp ~addr b));
   Smp.set_safepoint smp (Some (fun () -> Core.Runtime.safepoint runtime));
-  { sm_program = program; smp; sm_runtime = runtime; sm_trace = None;
-    sm_stackprofs = [||] }
+  (* causal attribution: commit-chain events carry the hart the runtime
+     is currently driven from *)
+  Core.Runtime.set_hart_source runtime (Some (fun () -> Smp.current_hart smp));
+  let flight =
+    Flight.create ~capacity:flight_capacity
+      ~clock:(fun () -> Smp.clock smp)
+      ~hart:(fun () -> Smp.current_hart smp)
+      ()
+  in
+  let machines = List.init n_harts (fun i -> Smp.machine smp i) in
+  List.iter
+    (fun m ->
+      Machine.set_trap_hook m
+        (Some
+           (fun msg ->
+             incr trap_counter;
+             ignore
+               (Flight.write_artifact flight ~reason:"vm-trap"
+                  ~name:(Printf.sprintf "trap-%d" !trap_counter)
+                  ~extra:(trap_extra ~msg ~runtime ~machines)
+                  ()))))
+    machines;
+  let s =
+    { sm_program = program; smp; sm_runtime = runtime; sm_flight = flight;
+      sm_trace = None; sm_metrics = None; sm_metrics_sink = None;
+      sm_stackprofs = [||] }
+  in
+  install_smp_tracers s;
+  s
 
 let smp_session1 ?n_harts ?policy ?seed ?platform ?cost source =
   smp_session ?n_harts ?policy ?seed ?platform ?cost [ ("main", source) ]
@@ -414,16 +535,51 @@ let smp_result s ~hart = Smp.result s.smp ~hart
     patching events, every hart's icache flushes, and the IPI/rendezvous
     lifecycle. *)
 let enable_smp_tracing ?capacity s =
-  let ring = Trace.ring ?capacity ~clock:(fun () -> Smp.clock s.smp) () in
+  let ring =
+    Trace.ring ?capacity
+      ~clock:(fun () -> Smp.clock s.smp)
+      ~hart:(fun () -> Smp.current_hart s.smp)
+      ()
+  in
   s.sm_trace <- Some ring;
-  let sink = Some (Trace.sink ring) in
-  Core.Runtime.set_tracer s.sm_runtime sink;
-  Smp.set_tracer s.smp sink
+  install_smp_tracers s
+
+(** Arm the metrics registry on the container: the same trace bridge as
+    {!enable_metrics}, with the hart source wired so patch/drain latency
+    histograms carry a [hart] label.  Composes with
+    {!enable_smp_tracing} in either order. *)
+let enable_smp_metrics s =
+  let m = Metrics.create () in
+  s.sm_metrics <- Some m;
+  s.sm_metrics_sink <-
+    Some
+      (Metrics.trace_sink m
+         ~clock:(fun () -> Smp.clock s.smp)
+         ~hart:(fun () -> Smp.current_hart s.smp)
+         ());
+  install_smp_tracers s
+
+(** The registry armed by {!enable_smp_metrics}, if any. *)
+let smp_metrics s = s.sm_metrics
 
 let smp_trace_events s =
   match s.sm_trace with None -> [] | Some ring -> Trace.events ring
 
 let smp_trace_dump s = Mv_obs.Export.chrome_trace_string (smp_trace_events s)
+
+(** The container's always-on flight recorder. *)
+let smp_flight s = s.sm_flight
+
+(** The container flight recorder's surviving window, decoded. *)
+let smp_flight_events s = Flight.events s.sm_flight
+
+(** Dump the container's flight recorder with per-hart postmortem
+    context — what the trap hooks write, callable on demand. *)
+let smp_flight_dump ?(reason = "manual") s =
+  let machines = List.init (Smp.n_harts s.smp) (fun i -> Smp.machine s.smp i) in
+  Flight.dump_string s.sm_flight ~reason
+    ~extra:(trap_extra ~msg:"" ~runtime:s.sm_runtime ~machines)
+    ()
 
 (** Attach a stack profiler to every hart, each rooted at a synthetic
     ["hartN"] frame so the merged folded dump keeps per-hart attribution.

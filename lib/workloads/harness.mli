@@ -20,6 +20,8 @@ type session = {
   program : Core.Compiler.program;
   machine : Mv_vm.Machine.t;
   runtime : Core.Runtime.t;
+  flight : Mv_obs.Flight.t;
+      (** the always-on flight recorder, armed at session creation *)
   mutable trace : Mv_obs.Trace.ring option;
   mutable profile : Mv_obs.Profile.t option;
   mutable stackprof : Mv_obs.Stackprof.t option;
@@ -29,10 +31,17 @@ type session = {
 }
 
 (** Assemble a session from pre-built parts (for callers that need custom
-    build options, e.g. call-site padding); observability starts
-    disabled. *)
+    build options, e.g. call-site padding); opt-in observability starts
+    disabled, but the flight recorder ([flight_capacity] events, default
+    512) is armed immediately and the machine's trap hook wired to dump a
+    [mv-flight/1] artifact on any escaping fault (gated on
+    [MV_SMP_ARTIFACT_DIR] — a plain test run writes nothing). *)
 val of_parts :
-  Core.Compiler.program -> Mv_vm.Machine.t -> Core.Runtime.t -> session
+  ?flight_capacity:int ->
+  Core.Compiler.program ->
+  Mv_vm.Machine.t ->
+  Core.Runtime.t ->
+  session
 
 val session :
   ?platform:Mv_vm.Machine.platform ->
@@ -110,6 +119,17 @@ val trace_events : session -> Mv_obs.Trace.stamped list
     loadable in [about:tracing] / Perfetto. *)
 val trace_dump : session -> string
 
+(** The session's always-on flight recorder. *)
+val flight : session -> Mv_obs.Flight.t
+
+(** The flight recorder's surviving window, decoded (oldest first). *)
+val flight_events : session -> Mv_obs.Trace.stamped list
+
+(** The session's flight recorder dumped as a [mv-flight/1] document
+    with full postmortem context (runtime stats, hart pc/stack) — what
+    the trap hook writes, callable on demand. *)
+val flight_dump : ?reason:string -> session -> string
+
 (** The profiler's hot-function table, hottest first ([[]] until
     {!enable_profiling}). *)
 val profile_report : session -> Mv_obs.Profile.row list
@@ -184,7 +204,11 @@ type smp_session = {
   sm_program : Core.Compiler.program;
   smp : Mv_vm.Smp.t;
   sm_runtime : Core.Runtime.t;
+  sm_flight : Mv_obs.Flight.t;
+      (** the always-on flight recorder, armed at session creation *)
   mutable sm_trace : Mv_obs.Trace.ring option;
+  mutable sm_metrics : Mv_obs.Metrics.t option;
+  mutable sm_metrics_sink : Mv_obs.Trace.sink option;
   mutable sm_stackprofs : Mv_obs.Stackprof.t array;
       (** one per hart once {!enable_smp_stack_profiling} ran *)
 }
@@ -192,13 +216,19 @@ type smp_session = {
 (** Build an SMP session ([n_harts] default 2; [policy]/[seed] as in
     {!Mv_vm.Smp.create}).  Safe commit is wired end to end: per-hart
     safepoints drain the runtime's journal, and the live scanner sees all
-    harts. *)
+    harts.  Causal attribution is wired too: the runtime's hart source is
+    the container's current hart, so commit-chain events carry the hart
+    they ran on.  The flight recorder ([flight_capacity], default 512) is
+    armed immediately, clocked by the SMP clock, with every hart's trap
+    hook dumping a [mv-flight/1] artifact on an escaping fault (gated on
+    [MV_SMP_ARTIFACT_DIR]). *)
 val smp_session :
   ?n_harts:int ->
   ?policy:Mv_vm.Smp.policy ->
   ?seed:int ->
   ?platform:Mv_vm.Machine.platform ->
   ?cost:Mv_vm.Cost.t ->
+  ?flight_capacity:int ->
   (string * string) list ->
   smp_session
 
@@ -236,12 +266,32 @@ val smp_run : smp_session -> unit
 (** Hart [hart]'s return value (r0). *)
 val smp_result : smp_session -> hart:int -> int
 
-(** Arm the event ring on the container (clocked by the SMP clock):
-    patching events, per-hart icache flushes, IPI/rendezvous lifecycle. *)
+(** Arm the event ring on the container (clocked by the SMP clock, hart
+    stamps from the container's current hart): patching events, per-hart
+    icache flushes, IPI/rendezvous lifecycle, causal edges. *)
 val enable_smp_tracing : ?capacity:int -> smp_session -> unit
+
+(** Arm the metrics registry on the container: the trace bridge with the
+    hart source wired, so patch/drain latency histograms carry a [hart]
+    label.  Composes with {!enable_smp_tracing} in either order. *)
+val enable_smp_metrics : smp_session -> unit
+
+(** The registry armed by {!enable_smp_metrics}, if any. *)
+val smp_metrics : smp_session -> Mv_obs.Metrics.t option
 
 val smp_trace_events : smp_session -> Mv_obs.Trace.stamped list
 val smp_trace_dump : smp_session -> string
+
+(** The container's always-on flight recorder. *)
+val smp_flight : smp_session -> Mv_obs.Flight.t
+
+(** The container flight recorder's surviving window, decoded. *)
+val smp_flight_events : smp_session -> Mv_obs.Trace.stamped list
+
+(** The container's flight recorder dumped as a [mv-flight/1] document
+    with per-hart postmortem context — what the trap hooks write,
+    callable on demand. *)
+val smp_flight_dump : ?reason:string -> smp_session -> string
 
 (** Attach a stack profiler to every hart, each rooted at a synthetic
     ["hartN"] frame (see [Mv_obs.Stackprof.create]'s [root]). *)

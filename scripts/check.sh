@@ -85,4 +85,35 @@ run_striped_campaign 2 "$corpus_ndom"
 diff -r "$corpus_1dom" "$corpus_ndom" > /dev/null \
   || { echo "mvfuzz: 2-domain corpus differs from the single-domain corpus"; exit 1; }
 
+# Flight-recorder smoke (must-fail): a guest that divides by zero must
+# make the run exit non-zero AND leave a mv-flight/1 dump that
+# `mvtrace postmortem` parses.  If either half breaks, the postmortem
+# story is dead even though every green-path test still passes.
+trap_mvc=$(mktemp /tmp/mv-trap-XXXXXX.mvc)
+flight_dir=$(mktemp -d /tmp/mv-flight-XXXXXX)
+trap 'rm -f "$bench_json" "$smoke_mvc" "$smoke_folded" "$trap_mvc"; rm -rf "$corpus_1dom" "$corpus_ndom" "$flight_dir"' EXIT
+cat > "$trap_mvc" <<'EOF'
+multiverse int config_smp;
+int lock_word;
+multiverse void spin_lock() {
+  if (config_smp) { lock_word = lock_word + 1; }
+}
+void bench_loop(int n) {
+  for (int i = 0; i < n; i = i + 1) {
+    spin_lock();
+    lock_word = lock_word / (n - 1 - i);
+  }
+}
+EOF
+if MV_SMP_ARTIFACT_DIR="$flight_dir" dune exec bin/mvtrace.exe -- \
+    flame "$trap_mvc" --set config_smp=1 --commit --run bench_loop --arg 5 \
+    > /dev/null 2>&1; then
+  echo "flight smoke: division by zero did NOT fail the run"; exit 1
+fi
+flight_dump=$(ls "$flight_dir"/*.flight.json 2> /dev/null | head -n 1) \
+  && [ -n "$flight_dump" ] \
+  || { echo "flight smoke: trap left no .flight.json in $flight_dir"; exit 1; }
+dune exec bin/mvtrace.exe -- postmortem "$flight_dump" > /dev/null \
+  || { echo "flight smoke: mvtrace postmortem cannot parse $flight_dump"; exit 1; }
+
 echo "check.sh: all gates passed"

@@ -27,6 +27,7 @@ let () =
       ("fuzz", Test_fuzz.suite);
       ("superblock", Test_superblock.suite);
       ("smp", Test_smp.suite);
+      ("causal", Test_causal.suite);
       ("compiler", Test_compiler.suite);
       ("extensions", Test_extensions.suite);
       ("properties", Test_props.suite);

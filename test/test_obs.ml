@@ -109,13 +109,13 @@ let test_commit_span_and_site_events () =
   check_string "span closes the log" "commit_end" (List.nth names (List.length names - 1));
   (* begin carries the switch values at decision time *)
   (match (List.hd evs).Trace.ev with
-  | Trace.Commit_begin { op; switches } ->
+  | Trace.Commit_begin { op; switches; _ } ->
       check_string "op tag" "commit" op;
       check_int "switch value recorded" 1 (List.assoc "config_smp" switches)
   | _ -> Alcotest.fail "expected Commit_begin first");
   (* end carries the return value *)
   match (List.nth evs (List.length evs - 1)).Trace.ev with
-  | Trace.Commit_end { op; bound } ->
+  | Trace.Commit_end { op; bound; _ } ->
       check_string "matching op tag" "commit" op;
       check_int "bound count" 1 bound
   | _ -> Alcotest.fail "expected Commit_end last"
@@ -235,8 +235,6 @@ let test_chrome_trace_parses_back () =
   let doc = parse_ok "chrome trace" (H.trace_dump s) in
   match doc with
   | Json.List entries ->
-      check_int "one entry per event" (List.length (H.trace_events s))
-        (List.length entries);
       let phases =
         List.filter_map
           (fun e -> match Json.member "ph" e with Some (Json.String p) -> Some p | _ -> None)
@@ -244,6 +242,11 @@ let test_chrome_trace_parses_back () =
       in
       check_int "every entry has a phase" (List.length entries) (List.length phases);
       let count p = List.length (List.filter (( = ) p) phases) in
+      (* a single-hart stream announces exactly one lane *)
+      check_int "one thread_name metadata entry" 1 (count "M");
+      check_int "one entry per event plus lane metadata"
+        (List.length (H.trace_events s) + count "M")
+        (List.length entries);
       check_int "balanced B/E spans" (count "B") (count "E");
       check_bool "at least one span" true (count "B" >= 1);
       List.iter
@@ -290,20 +293,22 @@ let test_chrome_trace_deep_nesting_parses_back () =
   let depth = 8 in
   for i = 1 to depth do
     clock := float_of_int i;
-    Trace.record ring (Trace.Commit_begin { op = "commit"; switches = [] })
+    Trace.record ring (Trace.Commit_begin { cid = 0; op = "commit"; switches = [] })
   done;
   for i = 1 to depth do
     clock := float_of_int (depth + i);
-    Trace.record ring (Trace.Commit_end { op = "commit"; bound = i })
+    Trace.record ring (Trace.Commit_end { cid = 0; op = "commit"; bound = i })
   done;
   let doc = parse_ok "nested chrome trace" (Export.chrome_trace_string (Trace.events ring)) in
   match doc with
   | Json.List entries ->
-      check_int "one entry per event" (2 * depth) (List.length entries);
       let phase e =
         match Json.member "ph" e with Some (Json.String p) -> p | _ -> "?"
       in
       let count p = List.length (List.filter (fun e -> phase e = p) entries) in
+      check_int "one entry per event plus lane metadata"
+        ((2 * depth) + count "M")
+        (List.length entries);
       check_int "depth B entries" depth (count "B");
       check_int "balanced E entries" depth (count "E")
   | _ -> Alcotest.fail "chrome trace must be a JSON array"
@@ -587,7 +592,7 @@ let test_metrics_trace_bridge_counts_commit () =
          + Metrics.counter_value m "mv_patches_total" [ ("kind", "site_inlined") ]
          + Metrics.counter_value m "mv_patches_total" [ ("kind", "prologue_patched") ]
          > 0);
-      (match Metrics.histogram_summary m "mv_patch_latency_cycles" [ ("op", "commit") ] with
+      (match Metrics.histogram_summary m "mv_patch_latency_cycles" [ ("op", "commit"); ("hart", "0") ] with
       | Some hs -> check_int "one commit latency observation" 1 hs.Metrics.hs_count
       | None -> Alcotest.fail "patch-latency histogram absent");
       (* the registry appears in the unified metrics snapshot *)
@@ -616,7 +621,7 @@ let test_metrics_safe_commit_outcomes () =
         (Metrics.counter_value m "mv_safe_total" [ ("outcome", "deferred") ]);
       check_int "drain counted" 1
         (Metrics.counter_value m "mv_safe_total" [ ("outcome", "drained") ]);
-      (match Metrics.histogram_summary m "mv_safe_drain_latency_cycles" [] with
+      (match Metrics.histogram_summary m "mv_safe_drain_latency_cycles" [ ("hart", "0") ] with
       | Some hs ->
           check_int "one drain latency observation" 1 hs.Metrics.hs_count;
           check_bool "cycles elapsed between defer and drain" true (hs.Metrics.hs_min > 0.0)
@@ -635,16 +640,16 @@ let test_analyze_span_stats () =
   let ring = Trace.ring ~capacity:64 ~clock:(fun () -> !clock) () in
   let span op t0 t1 =
     clock := t0;
-    Trace.record ring (Trace.Commit_begin { op; switches = [] });
+    Trace.record ring (Trace.Commit_begin { cid = 0; op; switches = [] });
     clock := t1;
-    Trace.record ring (Trace.Commit_end { op; bound = 0 })
+    Trace.record ring (Trace.Commit_end { cid = 0; op; bound = 0 })
   in
   span "commit" 0.0 10.0;
   span "commit" 20.0 50.0;
   span "revert" 60.0 64.0;
   (* an unmatched begin is dropped, not paired across ops *)
   clock := 70.0;
-  Trace.record ring (Trace.Commit_begin { op = "commit"; switches = [] });
+  Trace.record ring (Trace.Commit_begin { cid = 0; op = "commit"; switches = [] });
   let evs = Trace.events ring in
   let spans = Analyze.spans evs in
   check_int "three completed spans" 3 (List.length spans);

@@ -432,7 +432,7 @@ let test_cli_section_delays_ack () =
     List.exists
       (fun (st : Trace.stamped) ->
         match st.Trace.ev with
-        | Trace.Ipi_ack { hart = 1; wait } -> wait > 0.0
+        | Trace.Ipi_ack { hart = 1; wait; _ } -> wait > 0.0
         | _ -> false)
       (Harness.smp_trace_events s)
   in
