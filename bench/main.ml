@@ -529,6 +529,106 @@ let safe_commit_bench () =
     st.Core.Runtime.st_safe_rolled_back st.Core.Runtime.st_safepoint_polls
 
 (* ------------------------------------------------------------------ *)
+(* E20: extension — on-stack replacement drain latency                  *)
+(* ------------------------------------------------------------------ *)
+
+(* A deferred set bound to an activation that never returns: without OSR
+   the only drain opportunity is the frame unwinding, so drain latency
+   grows with the loop length; with OSR the parked frame is transferred
+   into the variant at the next safepoint and latency collapses to about
+   one safepoint interval, independent of the remaining iterations. *)
+let osr_drain () =
+  header
+    "E20 / extension: on-stack replacement — drain latency for\n\
+     non-quiescent activations (frame transfer at the next safepoint;\n\
+    \ gate: <= 2 safepoint intervals with OSR, any loop length)";
+  let src =
+    {|
+    multiverse bool m;
+    int w;
+    void tick() { w = w + 1; }
+    multiverse int spin(int n) {
+      int acc = 0;
+      int i = 0;
+      while (i < n) {
+        tick();
+        if (m) { acc = acc + 2; } else { acc = acc + 1; }
+        i = i + 1;
+      }
+      return acc;
+    }
+    int driver(int n) { return spin(n); }
+  |}
+  in
+  let park s =
+    let addr = Mv_link.Image.symbol s.H.program.Core.Compiler.p_image "spin" in
+    while s.H.machine.Machine.pc <> addr do
+      ignore (Machine.step s.H.machine)
+    done
+  in
+  (* One safepoint interval in machine steps: park inside the loop and
+     count the steps between two consecutive safepoint polls. *)
+  let interval =
+    let s = H.session1 src in
+    H.enable_safe_commit s;
+    H.set s "m" 1;
+    Machine.start_call s.H.machine "driver" [ 1000 ];
+    park s;
+    let polls () = (Core.Runtime.stats s.H.runtime).Core.Runtime.st_safepoint_polls in
+    let rec to_next_poll steps p0 =
+      if polls () > p0 then steps
+      else begin
+        ignore (Machine.step s.H.machine);
+        to_next_poll (steps + 1) p0
+      end
+    in
+    ignore (to_next_poll 0 (polls ()));
+    to_next_poll 0 (polls ())
+  in
+  row "safepoint interval inside the loop: %d steps\n\n" interval;
+  row "%-10s %16s %14s %12s %10s %8s\n" "[steps]" "w/o OSR drain" "w/ OSR drain"
+    "intervals" "transfers" "aborts";
+  let drain ~osr ~iters =
+    let s = H.session1 src in
+    H.enable_safe_commit s;
+    if osr then H.enable_osr s;
+    H.set s "m" 1;
+    Machine.start_call s.H.machine "driver" [ iters ];
+    park s;
+    ignore (H.commit_safe s);
+    let steps = ref 0 in
+    let running = ref true in
+    while Core.Runtime.pending s.H.runtime <> [] && !running do
+      incr steps;
+      running := Machine.step s.H.machine
+    done;
+    let st = Core.Runtime.stats s.H.runtime in
+    (!steps, st.Core.Runtime.st_osr_transfers, st.Core.Runtime.st_osr_aborts)
+  in
+  List.iter
+    (fun iters ->
+      let without, _, _ = drain ~osr:false ~iters in
+      let with_osr, transfers, aborts = drain ~osr:true ~iters in
+      let intervals = float_of_int with_osr /. float_of_int interval in
+      row "n=%-8d %16d %14d %12.2f %10d %8d\n" iters without with_osr intervals
+        transfers aborts;
+      jrow
+        (Printf.sprintf "n=%d" iters)
+        [
+          ("without_osr_steps", Json.Int without);
+          ("with_osr_steps", Json.Int with_osr);
+          ("safepoint_interval_steps", Json.Int interval);
+          ("osr_intervals", Json.Float intervals);
+          ("transfers", Json.Int transfers);
+          ("aborts", Json.Int aborts);
+        ];
+      if intervals > 2.0 then
+        row "!! OSR drain exceeded 2 safepoint intervals (%.2f)\n" intervals)
+    [ 200; 1000; 5000 ];
+  row "=> without OSR the drain waits for the frame to unwind (O(n));\n";
+  row "   with OSR it is pinned to the next safepoint, independent of n\n"
+
+(* ------------------------------------------------------------------ *)
 (* A1: ablation — completeness jump vs patched direct call              *)
 (* ------------------------------------------------------------------ *)
 
@@ -1090,6 +1190,7 @@ let experiments =
     ("fig23-worked-example", worked_example);
     ("tracing", tracing);
     ("safe-commit", safe_commit_bench);
+    ("osr-drain", osr_drain);
     ("ablation-jmp", ablation_jmp);
     ("ablation-btb", ablation_btb);
     ("ablation-inline", ablation_inline);

@@ -69,6 +69,7 @@ let chaos_arg =
         ("skip-flush", Oracle.Skip_flush);
         ("lost-flush", Oracle.Lost_flush);
         ("drop-ack", Oracle.Drop_ack);
+        ("corrupt-framemap", Oracle.Corrupt_framemap);
       ]
   in
   Arg.(
@@ -76,8 +77,9 @@ let chaos_arg =
     & info [ "chaos" ] ~docv:"MODE"
         ~doc:
           "Inject a fault into the patching machinery \
-           (none|skip-flush|lost-flush|drop-ack); see $(b,CHAOS MODES).  \
-           Used to validate that the oracles catch real patching bugs")
+           (none|skip-flush|lost-flush|drop-ack|corrupt-framemap); see \
+           $(b,CHAOS MODES).  Used to validate that the oracles catch \
+           real patching bugs")
 
 let oracle_arg =
   Arg.(
@@ -85,7 +87,7 @@ let oracle_arg =
     & info [ "oracle" ] ~docv:"NAME"
         ~doc:"Restrict to the named oracle(s); repeatable.  Known: interp-vs-vm, \
               opt-vs-unopt, commit-soundness, commit-idempotent, schedule-equiv, \
-              smp-schedule-equiv")
+              osr-state-equiv, smp-schedule-equiv")
 
 let small_arg =
   Arg.(value & flag & info [ "small" ] ~doc:"Generate smaller programs (quick smokes)")
@@ -197,7 +199,12 @@ let cmd =
          $(b,commit-idempotent): repeated commit/revert cycles leave \
          behavior and text bytes unchanged.  $(b,schedule-equiv): a \
          randomized patching schedule with mid-run safe commits vs the \
-         unpatched baseline.  $(b,smp-schedule-equiv): the same program \
+         unpatched baseline.  $(b,osr-state-equiv): an activation parked \
+         inside a non-returning multiversed loop and moved into the \
+         committed variant by on-stack replacement vs the same program \
+         run from scratch in the committed world — return value, \
+         observable globals, and the loop's progress counter must all \
+         match.  $(b,smp-schedule-equiv): the same program \
          on a multi-hart container with cross-modifying-code patching \
          (stop_machine + text_poke) vs single-hart execution.";
       `S "CHAOS MODES";
@@ -211,7 +218,11 @@ let cmd =
          the decode cache).  $(b,drop-ack): severs one hart's IPI channel \
          in the multi-hart oracle — it is never posted a stop request and \
          text flushes skip its icache (pair with \
-         $(b,--oracle smp-schedule-equiv)).";
+         $(b,--oracle smp-schedule-equiv)).  $(b,corrupt-framemap): bumps \
+         one live-entry location per safepoint in the OSR frame map, so \
+         the on-stack transfer rebuilds the parked frame from the wrong \
+         register or spill slot (pair with \
+         $(b,--oracle osr-state-equiv)).";
       `S Manpage.s_exit_status;
       `P
         "0 on a clean run; 1 when a divergence was found (or, with \

@@ -16,11 +16,26 @@ let errf fmt = Printf.ksprintf (fun m -> raise (Error m)) fmt
 
 type callsite = { cs_insn_offset : int; cs_callee : string; cs_indirect : bool }
 
+type safepoint = {
+  sp_id : int;  (** stable id shared by generic and variant bodies *)
+  sp_offset : int;
+      (** fragment offset of the poll pc: the end of the call instruction,
+          i.e. the return address a polling activation is parked at *)
+  sp_live : (int * Regalloc.assignment) list;
+      (** every IR vreg live across the safepoint and where its value
+          resides (callee-saved register or sp-relative spill slot); the
+          call's own result vreg is excluded — its value is still in r0 on
+          both sides of a transfer *)
+}
+
 type fragment = {
   fr_name : string;
   fr_code : bytes;
   fr_relocs : Objfile.reloc list;  (** offsets relative to the fragment *)
   fr_callsites : callsite list;  (** offsets relative to the fragment *)
+  fr_safepoints : safepoint list;  (** in fragment order *)
+  fr_frame_bytes : int;  (** spill area size ([sub sp] amount) *)
+  fr_saves : int list;  (** machine registers pushed in the prologue, in order *)
 }
 
 (* Pre-layout instruction templates: concrete instructions, or placeholders
@@ -36,9 +51,11 @@ type tmpl =
   | Tjmp_b of int  (* block id *)
   | Tjnz_b of int * int
   | Tjz_b of int * int
+  | Tsafepoint of int  (* zero-size marker: records the poll pc *)
 
 let tmpl_size = function
   | T i -> Insn.size i
+  | Tsafepoint _ -> 0
   | Tcall_sym _ -> Insn.size (Insn.Call 0)
   | Tcallp_sym _ -> Insn.size (Insn.Call_ind 0)
   | Tloadg_sym _ -> Insn.size (Insn.Loadg (0, 0, 8))
@@ -173,21 +190,25 @@ let rec emit_instr st (i : Ir.instr) =
       let dst, fin = def st d ~scratch:s0 in
       push st (Tlea_sym (dst, sym));
       fin ()
-  | Ir.Icall (d, callee, args) ->
-      emit_args st args;
-      push st (Tcall_sym callee);
-      for _ = 1 to st.pad callee do
-        push st (T Insn.Nop)
-      done;
-      emit_result st d
-  | Ir.Icallp (d, sym, args) ->
-      emit_args st args;
-      push st (Tcallp_sym sym);
-      for _ = 1 to st.pad sym do
-        push st (T Insn.Nop)
-      done;
-      emit_result st d
+  | Ir.Icall (d, callee, args) -> emit_call st d callee args ~indirect:false ~safepoint:None
+  | Ir.Icallp (d, sym, args) -> emit_call st d sym args ~indirect:true ~safepoint:None
   | Ir.Iintr (d, intr, args) -> emit_intrinsic st d intr args
+  | Ir.Isafepoint id ->
+      (* a safepoint that lost its call (it should be fused by emit_seq);
+         still record the program point so the id stays resolvable *)
+      push st (Tsafepoint id)
+
+(* The safepoint marker must land exactly at the call's return address —
+   before the nop padding and the result move — because that is the pc a
+   polling activation is parked at when [Machine.poll_safepoint] fires. *)
+and emit_call st d sym args ~indirect ~safepoint =
+  emit_args st args;
+  push st (if indirect then Tcallp_sym sym else Tcall_sym sym);
+  (match safepoint with Some id -> push st (Tsafepoint id) | None -> ());
+  for _ = 1 to st.pad sym do
+    push st (T Insn.Nop)
+  done;
+  emit_result st d
 
 and emit_args st args =
   if List.length args > Regalloc.max_reg_args then
@@ -239,6 +260,20 @@ and emit_intrinsic st d (intr : Minic.Ast.intrinsic) args =
           fin ()
       | None -> push st (T (Insn.Xchg (s0, ra, rv))))
   | _ -> errf "bad intrinsic application of %s" (Minic.Ast.intrinsic_name intr)
+
+(* Instruction walk that fuses an [Icall; Isafepoint] pair so the zero-size
+   marker is pushed between the call template and its nop padding. *)
+let rec emit_seq st = function
+  | [] -> ()
+  | Ir.Icall (d, callee, args) :: Ir.Isafepoint id :: rest ->
+      emit_call st d callee args ~indirect:false ~safepoint:(Some id);
+      emit_seq st rest
+  | Ir.Icallp (d, sym, args) :: Ir.Isafepoint id :: rest ->
+      emit_call st d sym args ~indirect:true ~safepoint:(Some id);
+      emit_seq st rest
+  | i :: rest ->
+      emit_instr st i;
+      emit_seq st rest
 
 let emit_terminator st ~next_block (t : Ir.terminator) =
   match t with
@@ -303,7 +338,7 @@ let emit_fn ?(call_pad = fun (_ : string) -> 0) (fn : Ir.fn) : fragment =
     | [] -> ()
     | (b : Ir.block) :: rest ->
         Hashtbl.replace block_starts b.b_id (List.length st.out);
-        List.iter (emit_instr st) b.b_instrs;
+        emit_seq st b.b_instrs;
         let next_block = match rest with b' :: _ -> Some b'.Ir.b_id | [] -> None in
         emit_terminator st ~next_block b.b_term;
         emit_blocks rest
@@ -318,8 +353,63 @@ let emit_fn ?(call_pad = fun (_ : string) -> 0) (fn : Ir.fn) : fragment =
     | Some tmpl_index -> offsets.(tmpl_index)
     | None -> errf "%s: branch to unknown block %d" fn.fn_name id
   in
+  (* Per-safepoint live-across sets: for each [Isafepoint id], the IR vregs
+     live immediately after it, by a backward walk from each block's
+     live-out.  The fused call's result vreg is excluded — at the recorded
+     pc its value is still in r0 on both sides of a transfer, not yet in
+     its home location. *)
+  let sp_live_of =
+    let module Iset = Mv_opt.Dce.Iset in
+    let module Imap = Mv_opt.Dce.Imap in
+    let live_in = Mv_opt.Dce.liveness fn in
+    let tbl : (int, Mv_opt.Dce.Iset.t) Hashtbl.t = Hashtbl.create 8 in
+    List.iter
+      (fun (b : Ir.block) ->
+        let live =
+          ref
+            (List.fold_left
+               (fun acc succ ->
+                 match Imap.find_opt succ live_in with
+                 | Some s -> Iset.union acc s
+                 | None -> acc)
+               Iset.empty
+               (Ir.successors b.b_term))
+        in
+        List.iter (fun r -> live := Iset.add r !live) (Mv_opt.Dce.term_uses b.b_term);
+        let pending_sp = ref None in
+        List.iter
+          (fun i ->
+            (match i with
+            | Ir.Isafepoint id ->
+                Hashtbl.replace tbl id !live;
+                pending_sp := Some id
+            | Ir.Icall (d, _, _) | Ir.Icallp (d, _, _) ->
+                (match !pending_sp, d with
+                | Some id, Some d -> Hashtbl.replace tbl id (Iset.remove d !live)
+                | _ -> ());
+                pending_sp := None
+            | _ -> pending_sp := None);
+            (match Ir.instr_def i with
+            | Some d -> live := Iset.remove d !live
+            | None -> ());
+            List.iter
+              (function Ir.Reg r -> live := Iset.add r !live | Ir.Imm _ -> ())
+              (Ir.instr_uses i))
+          (List.rev b.b_instrs))
+      fn.fn_blocks;
+    fun id ->
+      match Hashtbl.find_opt tbl id with
+      | None -> []
+      | Some set ->
+          List.filter_map
+            (fun v ->
+              match Regalloc.assignment_of ra v with
+              | Regalloc.Unused -> None
+              | a -> Some (v, a))
+            (Mv_opt.Dce.Iset.elements set)
+  in
   (* resolve *)
-  let relocs = ref [] and callsites = ref [] in
+  let relocs = ref [] and callsites = ref [] and safepoints = ref [] in
   let code = Buffer.create 128 in
   Array.iteri
     (fun i t ->
@@ -330,35 +420,45 @@ let emit_fn ?(call_pad = fun (_ : string) -> 0) (fn : Ir.fn) : fragment =
             r_sym = sym; r_addend = addend }
           :: !relocs
       in
-      let insn =
-        match t with
-        | T insn -> insn
-        | Tcall_sym sym ->
-            add_reloc Objfile.Rel32 (off + 1) sym (-4);
-            callsites := { cs_insn_offset = off; cs_callee = sym; cs_indirect = false } :: !callsites;
-            Insn.Call 0
-        | Tcallp_sym sym ->
-            add_reloc Objfile.Abs32 (off + 1) sym 0;
-            callsites := { cs_insn_offset = off; cs_callee = sym; cs_indirect = true } :: !callsites;
-            Insn.Call_ind 0
-        | Tloadg_sym (rd, sym, w) ->
-            add_reloc Objfile.Abs32 (off + 2) sym 0;
-            Insn.Loadg (rd, 0, w)
-        | Tstoreg_sym (sym, rs, w) ->
-            add_reloc Objfile.Abs32 (off + 1) sym 0;
-            Insn.Storeg (0, rs, w)
-        | Tlea_sym (rd, sym) ->
-            add_reloc Objfile.Abs64 (off + 2) sym 0;
-            Insn.Lea (rd, 0)
-        | Tjmp_b b -> Insn.Jmp (block_offset b - (off + Insn.size (Insn.Jmp 0)))
-        | Tjnz_b (r, b) -> Insn.Jnz (r, block_offset b - (off + Insn.size (Insn.Jnz (0, 0))))
-        | Tjz_b (r, b) -> Insn.Jz (r, block_offset b - (off + Insn.size (Insn.Jz (0, 0))))
-      in
-      Buffer.add_bytes code (Mv_isa.Encode.encode insn))
+      match t with
+      | Tsafepoint id ->
+          (* zero-size: contributes no bytes, only a frame-map record *)
+          safepoints :=
+            { sp_id = id; sp_offset = off; sp_live = sp_live_of id } :: !safepoints
+      | _ ->
+          let insn =
+            match t with
+            | T insn -> insn
+            | Tsafepoint _ -> assert false
+            | Tcall_sym sym ->
+                add_reloc Objfile.Rel32 (off + 1) sym (-4);
+                callsites := { cs_insn_offset = off; cs_callee = sym; cs_indirect = false } :: !callsites;
+                Insn.Call 0
+            | Tcallp_sym sym ->
+                add_reloc Objfile.Abs32 (off + 1) sym 0;
+                callsites := { cs_insn_offset = off; cs_callee = sym; cs_indirect = true } :: !callsites;
+                Insn.Call_ind 0
+            | Tloadg_sym (rd, sym, w) ->
+                add_reloc Objfile.Abs32 (off + 2) sym 0;
+                Insn.Loadg (rd, 0, w)
+            | Tstoreg_sym (sym, rs, w) ->
+                add_reloc Objfile.Abs32 (off + 1) sym 0;
+                Insn.Storeg (0, rs, w)
+            | Tlea_sym (rd, sym) ->
+                add_reloc Objfile.Abs64 (off + 2) sym 0;
+                Insn.Lea (rd, 0)
+            | Tjmp_b b -> Insn.Jmp (block_offset b - (off + Insn.size (Insn.Jmp 0)))
+            | Tjnz_b (r, b) -> Insn.Jnz (r, block_offset b - (off + Insn.size (Insn.Jnz (0, 0))))
+            | Tjz_b (r, b) -> Insn.Jz (r, block_offset b - (off + Insn.size (Insn.Jz (0, 0))))
+          in
+          Buffer.add_bytes code (Mv_isa.Encode.encode insn))
     tmpls;
   {
     fr_name = fn.fn_name;
     fr_code = Buffer.to_bytes code;
     fr_relocs = List.rev !relocs;
     fr_callsites = List.rev !callsites;
+    fr_safepoints = List.rev !safepoints;
+    fr_frame_bytes = st.frame_bytes;
+    fr_saves = saves;
   }

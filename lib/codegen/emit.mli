@@ -15,11 +15,31 @@ type callsite = {
   cs_indirect : bool;
 }
 
+type safepoint = {
+  sp_id : int;  (** stable id shared by the generic body and every variant *)
+  sp_offset : int;
+      (** fragment offset of the poll pc: the end of the call instruction,
+          i.e. the return address a polling activation is parked at *)
+  sp_live : (int * Regalloc.assignment) list;
+      (** every IR vreg live across the safepoint and where its value
+          resides (callee-saved register or sp-relative spill slot), sorted
+          by vreg; the fused call's own result vreg is excluded — its value
+          is still in r0 on both sides of a transfer *)
+}
+(** One OSR safepoint of a fragment: a zero-size program point recorded at
+    a call's return address, together with the frame map needed to read or
+    rebuild the activation's live state there. *)
+
 type fragment = {
   fr_name : string;
   fr_code : bytes;
   fr_relocs : Objfile.reloc list;  (** offsets relative to the fragment *)
   fr_callsites : callsite list;
+  fr_safepoints : safepoint list;  (** in fragment order *)
+  fr_frame_bytes : int;  (** spill-area size: the prologue's [sub sp] amount *)
+  fr_saves : int list;
+      (** machine registers pushed in the prologue, in push order —
+          [List.nth fr_saves i] lives at [sp_entry - 8*(i+1)] *)
 }
 
 (** Emit one function.

@@ -10,9 +10,9 @@
    Relocations are ELF-style: the linker stores [S + A] (absolute) or
    [S + A - P] (pc-relative) into the field at [r_offset]. *)
 
-type section = Text | Data | Mv_variables | Mv_functions | Mv_callsites
+type section = Text | Data | Mv_variables | Mv_functions | Mv_callsites | Mv_framemaps
 
-let all_sections = [ Text; Data; Mv_variables; Mv_functions; Mv_callsites ]
+let all_sections = [ Text; Data; Mv_variables; Mv_functions; Mv_callsites; Mv_framemaps ]
 
 let section_name = function
   | Text -> ".text"
@@ -20,6 +20,7 @@ let section_name = function
   | Mv_variables -> "multiverse.variables"
   | Mv_functions -> "multiverse.functions"
   | Mv_callsites -> "multiverse.callsites"
+  | Mv_framemaps -> "multiverse.framemaps"
 
 type reloc_kind = Abs64 | Abs32 | Rel32
 

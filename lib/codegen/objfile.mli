@@ -1,13 +1,15 @@
 (** Relocatable object files.
 
     Each translation unit compiles to one object with the sections the
-    paper describes (Section 5): [.text], [.data], and the three multiverse
-    descriptor sections.  The linker concatenates same-named sections, so
-    descriptors from different units can be addressed as one array.
+    paper describes (Section 5): [.text], [.data], and the multiverse
+    descriptor sections ([multiverse.variables], [multiverse.functions],
+    [multiverse.callsites], plus our OSR extension
+    [multiverse.framemaps]).  The linker concatenates same-named sections,
+    so descriptors from different units can be addressed as one array.
     Relocations are ELF-style ([S + A] absolute, [S + A - P]
     pc-relative). *)
 
-type section = Text | Data | Mv_variables | Mv_functions | Mv_callsites
+type section = Text | Data | Mv_variables | Mv_functions | Mv_callsites | Mv_framemaps
 
 val all_sections : section list
 val section_name : section -> string

@@ -151,6 +151,18 @@ let compile_unit ?(max_variants = Variantgen.default_max_variants)
               ~site_offset:cs.cs_insn_offset ~callee:cs.cs_callee)
         frag.Emit.fr_callsites)
     fragments;
+  (* 4. OSR frame maps: one record per body (generic and variant) of every
+        multiversed function defined in this unit *)
+  let osr_bodies =
+    List.concat_map
+      (fun (mf : Variantgen.mv_function) ->
+        mf.mf_name :: List.map (fun (v : Variantgen.variant) -> v.v_symbol) mf.mf_variants)
+      mv_fns
+  in
+  List.iter
+    (fun ((fn : Ir.fn), (frag : Emit.fragment), _off) ->
+      if List.mem fn.Ir.fn_name osr_bodies then Descriptor.emit_framemap obj frag)
+    fragments;
   {
     cu_name = u_name;
     cu_obj = obj;

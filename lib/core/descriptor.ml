@@ -37,7 +37,27 @@
    followed per guard by (16 B):
      0  u64  address of the guarded variable  (Abs64)
      8  i32  low bound (inclusive)
-     12 i32  high bound (inclusive)              *)
+     12 i32  high bound (inclusive)
+
+   Our OSR extension adds a fourth section, [multiverse.framemaps] — one
+   record per body (generic or variant) of a multiversed function:
+
+   framemap header (24 B):
+     0  u64  address of the body              (Abs64)
+     8  u32  number of safepoints
+     12 u32  spill-area size in bytes (the prologue's [sub sp] amount)
+     16 u32  number of saved registers
+     20 ..   reserved
+   followed by the saved-register list (u32 each, in push order, zero-padded
+   to 8-byte alignment), then per safepoint (16 B):
+     0  u32  stable safepoint id
+     4  u32  body-relative offset of the poll pc
+     8  u32  number of live entries
+     12 ..   reserved
+   followed per live entry by (8 B):
+     0  u32  IR virtual register
+     4  u32  location: bit 16 clear = machine register number,
+             bit 16 set = sp-relative spill slot index                  *)
 
 module Ir = Mv_ir.Ir
 module Objfile = Mv_codegen.Objfile
@@ -51,6 +71,10 @@ let guard_record_size = 16
 
 let function_record_size ~variants ~guards =
   function_header_size + (variants * variant_record_size) + (guards * guard_record_size)
+
+let framemap_header_size = 24
+let framemap_safepoint_header_size = 16
+let framemap_live_entry_size = 8
 
 (* ------------------------------------------------------------------ *)
 (* Serialization into an object file                                   *)
@@ -127,6 +151,45 @@ let emit_function (obj : Objfile.t) (mf : Variantgen.mv_function)
               r_kind = Objfile.Abs64; r_sym = r.g_var; r_addend = 0 })
         guard)
     mf'.mf_variants
+
+(** Emit the frame-map record for one emitted fragment (a generic body or a
+    variant body of a multiversed function). *)
+let emit_framemap (obj : Objfile.t) (fr : Mv_codegen.Emit.fragment) : unit =
+  let n_sp = List.length fr.fr_safepoints in
+  let n_saves = List.length fr.fr_saves in
+  let header = Bytes.make framemap_header_size '\000' in
+  u32 header 8 n_sp;
+  u32 header 12 fr.fr_frame_bytes;
+  u32 header 16 n_saves;
+  let off = Objfile.append obj Objfile.Mv_framemaps header in
+  Objfile.add_reloc obj
+    { Objfile.r_section = Objfile.Mv_framemaps; r_offset = off; r_kind = Objfile.Abs64;
+      r_sym = fr.fr_name; r_addend = 0 };
+  let padded = (n_saves + 1) / 2 * 2 in
+  let sb = Bytes.make (padded * 4) '\000' in
+  List.iteri (fun i r -> u32 sb (i * 4) r) fr.fr_saves;
+  ignore (Objfile.append obj Objfile.Mv_framemaps sb);
+  List.iter
+    (fun (sp : Mv_codegen.Emit.safepoint) ->
+      let n_live = List.length sp.sp_live in
+      let hb = Bytes.make framemap_safepoint_header_size '\000' in
+      u32 hb 0 sp.sp_id;
+      u32 hb 4 sp.sp_offset;
+      u32 hb 8 n_live;
+      ignore (Objfile.append obj Objfile.Mv_framemaps hb);
+      List.iter
+        (fun (vreg, (a : Mv_codegen.Regalloc.assignment)) ->
+          let eb = Bytes.make framemap_live_entry_size '\000' in
+          u32 eb 0 vreg;
+          (match a with
+          | Mv_codegen.Regalloc.Phys r -> u32 eb 4 r
+          | Mv_codegen.Regalloc.Slot s -> u32 eb 4 (0x10000 lor s)
+          | Mv_codegen.Regalloc.Unused ->
+              (* [Emit] filters unused vregs out of [sp_live] *)
+              assert false);
+          ignore (Objfile.append obj Objfile.Mv_framemaps eb))
+        sp.sp_live)
+    fr.fr_safepoints
 
 (* ------------------------------------------------------------------ *)
 (* Parsing from a linked image                                         *)
@@ -226,3 +289,73 @@ let parse_functions (img : Image.t) : function_record list =
         end
       in
       parse_fns sr_base []
+
+type frame_loc = Loc_reg of int | Loc_slot of int
+
+type safepoint_record = {
+  fs_id : int;
+  fs_pc : int;  (** absolute: body address + recorded offset *)
+  fs_live : (int * frame_loc) list;
+}
+
+type framemap_record = {
+  fm_addr : int;
+  fm_frame_bytes : int;
+  fm_saves : int list;
+  fm_safepoints : safepoint_record list;
+}
+
+let parse_framemaps (img : Image.t) : framemap_record list =
+  match Image.section_range img Objfile.Mv_framemaps with
+  | None -> []
+  | Some { Image.sr_base; sr_size } ->
+      let mem = img.Image.mem in
+      let limit = sr_base + sr_size in
+      let rec parse_maps off acc =
+        (* body addresses are never 0, so a zero word is alignment padding *)
+        if off + framemap_header_size > limit then List.rev acc
+        else begin
+          let addr = u64 mem off in
+          if addr = 0 then List.rev acc
+          else begin
+            let n_sp = i32 mem (off + 8) in
+            let frame_bytes = i32 mem (off + 12) in
+            let n_saves = i32 mem (off + 16) in
+            if n_sp < 0 || frame_bytes < 0 || n_saves < 0 then
+              raise (Parse_error "malformed framemap header");
+            let off = off + framemap_header_size in
+            let saves = List.init n_saves (fun i -> i32 mem (off + (i * 4))) in
+            let off = off + ((n_saves + 1) / 2 * 2 * 4) in
+            let rec parse_sps n off acc_s =
+              if n = 0 then (List.rev acc_s, off)
+              else begin
+                let id = i32 mem off in
+                let pc_off = i32 mem (off + 4) in
+                let n_live = i32 mem (off + 8) in
+                if n_live < 0 then raise (Parse_error "malformed framemap safepoint");
+                let off = off + framemap_safepoint_header_size in
+                let live =
+                  List.init n_live (fun i ->
+                      let e = off + (i * framemap_live_entry_size) in
+                      let vreg = i32 mem e in
+                      let loc = i32 mem (e + 4) in
+                      let loc =
+                        if loc land 0x10000 <> 0 then Loc_slot (loc land 0xFFFF)
+                        else Loc_reg (loc land 0xFFFF)
+                      in
+                      (vreg, loc))
+                in
+                parse_sps (n - 1)
+                  (off + (n_live * framemap_live_entry_size))
+                  ({ fs_id = id; fs_pc = addr + pc_off; fs_live = live } :: acc_s)
+              end
+            in
+            let sps, off' = parse_sps n_sp off [] in
+            parse_maps off'
+              ({ fm_addr = addr; fm_frame_bytes = frame_bytes; fm_saves = saves;
+                 fm_safepoints = sps }
+              :: acc)
+          end
+        end
+      in
+      parse_maps sr_base []

@@ -90,6 +90,33 @@ type safe_counters = {
   mutable sc_applied : int;  (** deferred actions applied at a safepoint *)
   mutable sc_rolled_back : int;  (** pending sets rolled back mid-apply *)
   mutable sc_polls : int;  (** safepoint invocations *)
+  mutable sc_osr_transfers : int;  (** live activations moved between bodies *)
+  mutable sc_osr_aborts : int;
+      (** transfers abandoned because the frame maps did not line up *)
+}
+
+(* --- On-stack replacement (the ROADMAP's unbounded-drain-latency fix) ----
+
+   A never-returning activation (event loop, scheduler) keeps its function's
+   body live forever, so a deferred patch for it would never drain.  With
+   frame maps ([multiverse.framemaps]) the safepoint can instead *move* the
+   activation: read every live virtual register out of the source frame,
+   rebuild the frame in the target body's layout, and resume at the
+   equivalent program point of the target.  The runtime stays VM-agnostic:
+   it manipulates the hart through a closure record the harness wires to
+   [Mv_vm.Machine]. *)
+
+(** Accessors for the hart currently parked at a safepoint.  [oh_mem] /
+    [oh_set_mem] operate on 8-byte words at absolute addresses. *)
+type osr_hart = {
+  oh_hart : int;
+  oh_pc : unit -> int;
+  oh_set_pc : int -> unit;
+  oh_reg : int -> int;
+  oh_set_reg : int -> int -> unit;
+  oh_mem : int -> int;
+  oh_set_mem : int -> int -> unit;
+  oh_set_top_frame : int -> unit;
 }
 
 type t = {
@@ -126,6 +153,12 @@ type t = {
           patches only land with every other hart parked at an
           interrupts-enabled instruction boundary.  Must be re-entrant:
           nested operations run their thunk directly. *)
+  framemaps : Descriptor.framemap_record list;
+      (** parsed [multiverse.framemaps] records, one per multiversed body *)
+  mutable osr : (unit -> osr_hart) option;
+      (** accessors for the hart currently polling a safepoint; the harness
+          wires them to [Mv_vm.Machine].  With [None] installed, safepoints
+          never attempt on-stack replacement. *)
 }
 
 (** How variants are installed.
@@ -251,9 +284,13 @@ let create (img : Image.t) ~flush : t =
         sc_applied = 0;
         sc_rolled_back = 0;
         sc_polls = 0;
+        sc_osr_transfers = 0;
+        sc_osr_aborts = 0;
       };
     tracer = None;
     barrier = None;
+    framemaps = Descriptor.parse_framemaps img;
+    osr = None;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -685,13 +722,236 @@ let fnptr_touched_ranges (fp : fnptr_entry) : (int * int) list =
 let ranges_live ranges live =
   List.exists (fun a -> List.exists (fun (lo, hi) -> a >= lo && a < hi) ranges) live
 
+let variant_of (fe : fn_entry) addr =
+  List.find_opt
+    (fun (v : Descriptor.variant_record) -> v.va_addr = addr)
+    fe.fe_record.fd_variants
+
+(* The body range of the currently installed variant.  Unbinding (or
+   rebinding to a different variant) while an activation executes *inside*
+   that body would leave it running code the runtime just declared stale,
+   so the range counts as live-blocked — and is exactly what on-stack
+   replacement transfers activations out of. *)
+let installed_body_range (fe : fn_entry) : (int * int) list =
+  match fe.fe_installed with
+  | None -> []
+  | Some addr -> (
+      match variant_of fe addr with
+      | Some v -> [ (addr, addr + max v.va_size 1) ]
+      | None -> [])
+
+(* The ranges an unbind would actually rewrite, given the entry's current
+   state: the saved prologue bytes, the saved generic body (body patching),
+   every non-pristine call site — plus the installed variant's body (see
+   above).  Unlike a bind, an unbind leaves the *generic* body semantically
+   current for every switch value, so a generic activation parked past the
+   prologue bytes does not block it; a pristine entry blocks on nothing,
+   because its unbind rewrites nothing. *)
+let fn_unbind_ranges (fe : fn_entry) : (int * int) list =
+  let generic = fe.fe_record.fd_generic in
+  let prologue =
+    match fe.fe_prologue with
+    | Some b -> [ (generic, generic + Bytes.length b) ]
+    | None -> []
+  in
+  let body =
+    match fe.fe_saved_body with
+    | Some b -> [ (generic, generic + Bytes.length b) ]
+    | None -> []
+  in
+  let sites =
+    List.filter_map
+      (fun s ->
+        match s.s_state with
+        | Site_original -> None
+        | Site_retargeted _ | Site_inlined _ -> Some (s.s_addr, s.s_addr + s.s_size))
+      fe.fe_sites
+  in
+  installed_body_range fe @ prologue @ body @ sites
+
 let action_ranges = function
-  | Act_bind (fe, _) | Act_unbind fe -> fn_touched_ranges fe
+  | Act_bind (fe, _) -> installed_body_range fe @ fn_touched_ranges fe
+  | Act_unbind fe -> fn_unbind_ranges fe
   | Act_bind_ptr (fp, _) | Act_unbind_ptr fp -> fnptr_touched_ranges fp
 
 let action_name = function
   | Act_bind (fe, _) | Act_unbind fe -> fe.fe_name
   | Act_bind_ptr (fp, _) | Act_unbind_ptr fp -> fp.fp_name
+
+(* ------------------------------------------------------------------ *)
+(* On-stack replacement                                                *)
+(* ------------------------------------------------------------------ *)
+
+(** Install (or remove) the OSR hart accessors.  Once installed, a
+    safepoint that finds a pending set blocked by a live activation of the
+    polling hart transfers that activation into the target body instead of
+    leaving the set journaled. *)
+let set_osr t ctx = t.osr <- ctx
+
+let framemap_of t addr =
+  List.find_opt
+    (fun (fm : Descriptor.framemap_record) -> fm.Descriptor.fm_addr = addr)
+    t.framemaps
+
+(* Transfer the polling hart's activation from the body at [src] (address,
+   size) to the equivalent program point of the body at [dst].  Succeeds
+   only when the hart is parked exactly at a safepoint the source frame map
+   records AND the target body kept a safepoint with the same stable id
+   (specialization can delete program points; a lost id means there is no
+   equivalent place to resume, and the set simply stays deferred).
+
+   Frame reconstruction: with [sp_entry] the stack pointer at function
+   entry, a body with [n] saved callee-saved registers and [frame_bytes] of
+   spill area runs with [sp = sp_entry - 8n - frame_bytes]; save slot [i]
+   (push order) lives at [sp_entry - 8(i+1)] and spill slot [s] at
+   [sp + 8s].  The caller's value of a callee-saved register is in the
+   source save area if the source pushed it, and still in the register
+   itself if it did not (an untouched register is never clobbered).  The
+   target spill area is zeroed before the live slots land so stale code
+   addresses cannot keep the conservative stack scanner believing the old
+   frame is still live. *)
+let try_osr_transfer t (ctx : osr_hart) ~cid ~(fe : fn_entry) ~src:(src_addr, src_size)
+    ~(dst : int) : bool =
+  let pc = ctx.oh_pc () in
+  if src_addr = dst || pc < src_addr || pc >= src_addr + src_size then false
+  else
+    match (framemap_of t src_addr, framemap_of t dst) with
+    | Some fm_s, Some fm_d -> (
+        match
+          List.find_opt
+            (fun (s : Descriptor.safepoint_record) -> s.Descriptor.fs_pc = pc)
+            fm_s.Descriptor.fm_safepoints
+        with
+        | None -> false (* live in the body, but not parked at a known point *)
+        | Some sp_s -> (
+            match
+              List.find_opt
+                (fun (s : Descriptor.safepoint_record) ->
+                  s.Descriptor.fs_id = sp_s.Descriptor.fs_id)
+                fm_d.Descriptor.fm_safepoints
+            with
+            | None ->
+                (* the target body lost this program point to specialization *)
+                t.safe.sc_osr_aborts <- t.safe.sc_osr_aborts + 1;
+                false
+            | Some sp_d ->
+                let sp_cur = ctx.oh_reg Insn.sp in
+                let n_saves_s = List.length fm_s.Descriptor.fm_saves in
+                let sp_entry = sp_cur + fm_s.Descriptor.fm_frame_bytes + (8 * n_saves_s) in
+                let read_loc = function
+                  | Descriptor.Loc_reg r -> ctx.oh_reg r
+                  | Descriptor.Loc_slot s -> ctx.oh_mem (sp_cur + (8 * s))
+                in
+                let src_vals =
+                  List.map (fun (v, loc) -> (v, read_loc loc)) sp_s.Descriptor.fs_live
+                in
+                if
+                  List.exists
+                    (fun (v, _) -> not (List.mem_assoc v src_vals))
+                    sp_d.Descriptor.fs_live
+                then begin
+                  (* a target-live vreg has no source value: maps disagree *)
+                  t.safe.sc_osr_aborts <- t.safe.sc_osr_aborts + 1;
+                  false
+                end
+                else begin
+                  let src_save_idx r =
+                    let rec go i = function
+                      | [] -> None
+                      | r' :: _ when r' = r -> Some i
+                      | _ :: rest -> go (i + 1) rest
+                    in
+                    go 0 fm_s.Descriptor.fm_saves
+                  in
+                  let caller_val r =
+                    match src_save_idx r with
+                    | Some i -> ctx.oh_mem (sp_entry - (8 * (i + 1)))
+                    | None -> ctx.oh_reg r
+                  in
+                  let caller_vals =
+                    List.map
+                      (fun r -> (r, caller_val r))
+                      (List.sort_uniq compare
+                         (fm_s.Descriptor.fm_saves @ fm_d.Descriptor.fm_saves))
+                  in
+                  let n_saves_d = List.length fm_d.Descriptor.fm_saves in
+                  let sp_new =
+                    sp_entry - (8 * n_saves_d) - fm_d.Descriptor.fm_frame_bytes
+                  in
+                  List.iteri
+                    (fun i r ->
+                      ctx.oh_set_mem (sp_entry - (8 * (i + 1))) (List.assoc r caller_vals))
+                    fm_d.Descriptor.fm_saves;
+                  for s = 0 to (fm_d.Descriptor.fm_frame_bytes / 8) - 1 do
+                    ctx.oh_set_mem (sp_new + (8 * s)) 0
+                  done;
+                  List.iter
+                    (fun (v, loc) ->
+                      let value = List.assoc v src_vals in
+                      match loc with
+                      | Descriptor.Loc_reg r -> ctx.oh_set_reg r value
+                      | Descriptor.Loc_slot s -> ctx.oh_set_mem (sp_new + (8 * s)) value)
+                    sp_d.Descriptor.fs_live;
+                  (* registers only the source saved: the target epilogue
+                     will not restore them, so the caller's value goes back
+                     into the register now *)
+                  List.iter
+                    (fun r ->
+                      if not (List.mem r fm_d.Descriptor.fm_saves) then
+                        ctx.oh_set_reg r (List.assoc r caller_vals))
+                    fm_s.Descriptor.fm_saves;
+                  ctx.oh_set_reg Insn.sp sp_new;
+                  ctx.oh_set_pc sp_d.Descriptor.fs_pc;
+                  ctx.oh_set_top_frame dst;
+                  t.safe.sc_osr_transfers <- t.safe.sc_osr_transfers + 1;
+                  emit t
+                    (Trace.Osr_transfer
+                       {
+                         cid;
+                         hart = ctx.oh_hart;
+                         fn = fe.fe_name;
+                         sp_id = sp_s.Descriptor.fs_id;
+                         from_pc = pc;
+                         to_pc = sp_d.Descriptor.fs_pc;
+                         slots = List.length sp_d.Descriptor.fs_live;
+                       });
+                  true
+                end))
+    | _ -> false
+
+(* Candidate (source, target) body pairs for one pending action: a bind
+   moves the activation out of the generic (or the previously installed
+   variant) into the variant being bound; an unbind moves it from the
+   installed variant back into the generic.  Function-pointer actions have
+   no frame maps — their sites are in foreign callers. *)
+let osr_for_action t (ctx : osr_hart) ~cid = function
+  | Act_bind (fe, v) ->
+      let g = fe.fe_record.fd_generic in
+      let moved =
+        try_osr_transfer t ctx ~cid ~fe
+          ~src:(g, fe.fe_record.fd_generic_size)
+          ~dst:v.va_addr
+      in
+      if not moved then (
+        match fe.fe_installed with
+        | Some addr when addr <> v.va_addr -> (
+            match variant_of fe addr with
+            | Some old ->
+                ignore
+                  (try_osr_transfer t ctx ~cid ~fe ~src:(addr, old.va_size) ~dst:v.va_addr)
+            | None -> ())
+        | _ -> ())
+  | Act_unbind fe -> (
+      match fe.fe_installed with
+      | Some addr -> (
+          match variant_of fe addr with
+          | Some v ->
+              ignore
+                (try_osr_transfer t ctx ~cid ~fe ~src:(addr, v.va_size)
+                   ~dst:fe.fe_record.fd_generic)
+          | None -> ())
+      | None -> ())
+  | Act_bind_ptr _ | Act_unbind_ptr _ -> ()
 
 (* Deferred application is strict where an interactive commit is lenient: a
    call site whose bytes diverged from what the runtime last wrote is a
@@ -917,7 +1177,28 @@ let safepoint t =
     Fun.protect
       ~finally:(fun () -> t.in_safepoint <- false)
       (fun () ->
+        (* Resolve the polling hart's accessors *before* entering the
+           rendezvous: parking the other harts advances the container's
+           current-hart cursor, and the transfer must target the hart
+           whose safepoint this is. *)
+        let osr_ctx =
+          match t.osr with
+          | Some ctx_of when t.strategy = Call_site_patching -> Some (ctx_of ())
+          | _ -> None
+        in
         with_barrier t @@ fun () ->
+        (* Before testing quiescence, try to *create* it: move the polling
+           hart's activation out of any body a pending action still needs
+           (on-stack replacement).  Only under call-site patching — body
+           patching relocates variant code over the generic body, which the
+           frame maps do not describe. *)
+        (match osr_ctx with
+        | Some ctx ->
+            List.iter
+              (fun pset ->
+                List.iter (osr_for_action t ctx ~cid:pset.pset_cid) pset.pset_actions)
+              t.pending
+        | None -> ());
         let live = live_addrs t in
         t.pending <-
           List.filter
@@ -967,6 +1248,8 @@ type stats = {
   st_safe_rolled_back : int;  (** pending sets rolled back mid-apply *)
   st_safepoint_polls : int;  (** safepoint invocations *)
   st_pending : int;  (** actions currently journaled *)
+  st_osr_transfers : int;  (** live activations moved by on-stack replacement *)
+  st_osr_aborts : int;  (** transfers abandoned (frame maps did not line up) *)
 }
 
 let stats t =
@@ -994,6 +1277,8 @@ let stats t =
     st_safepoint_polls = t.safe.sc_polls;
     st_pending =
       List.fold_left (fun acc pset -> acc + List.length pset.pset_actions) 0 t.pending;
+    st_osr_transfers = t.safe.sc_osr_transfers;
+    st_osr_aborts = t.safe.sc_osr_aborts;
   }
 
 (** The {!stats} record as a JSON object (field names without the [st_]
@@ -1015,6 +1300,8 @@ let stats_json (s : stats) : Mv_obs.Json.t =
       ("safe_rolled_back", Mv_obs.Json.Int s.st_safe_rolled_back);
       ("safepoint_polls", Mv_obs.Json.Int s.st_safepoint_polls);
       ("pending", Mv_obs.Json.Int s.st_pending);
+      ("osr_transfers", Mv_obs.Json.Int s.st_osr_transfers);
+      ("osr_aborts", Mv_obs.Json.Int s.st_osr_aborts);
     ]
 
 (** Export the {!stats} counters into a metrics registry as
@@ -1041,4 +1328,6 @@ let stats_metrics (s : stats) (m : Mv_obs.Metrics.t) : unit =
       ("safe_rolled_back", s.st_safe_rolled_back);
       ("safepoint_polls", s.st_safepoint_polls);
       ("pending", s.st_pending);
+      ("osr_transfers", s.st_osr_transfers);
+      ("osr_aborts", s.st_osr_aborts);
     ]

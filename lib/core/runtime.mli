@@ -86,6 +86,27 @@ type safe_counters = {
   mutable sc_applied : int;  (** deferred actions applied at a safepoint *)
   mutable sc_rolled_back : int;  (** pending sets rolled back mid-apply *)
   mutable sc_polls : int;  (** safepoint invocations *)
+  mutable sc_osr_transfers : int;  (** live activations moved between bodies *)
+  mutable sc_osr_aborts : int;
+      (** transfers abandoned because the frame maps did not line up *)
+}
+
+(** Accessors for the hart currently parked at a safepoint, used by
+    on-stack replacement to move its live activation between function
+    bodies.  The runtime stays VM-agnostic: a harness builds these
+    closures over [Mv_vm.Machine] ([Harness.enable_osr]).  [oh_mem] and
+    [oh_set_mem] operate on 8-byte words at absolute image addresses. *)
+type osr_hart = {
+  oh_hart : int;  (** hart id, for event attribution *)
+  oh_pc : unit -> int;
+  oh_set_pc : int -> unit;
+  oh_reg : int -> int;
+  oh_set_reg : int -> int -> unit;
+  oh_mem : int -> int;
+  oh_set_mem : int -> int -> unit;
+  oh_set_top_frame : int -> unit;
+      (** replace the entry address of the innermost activation record, so
+          stack symbolization follows the transferred frame *)
 }
 
 type t = {
@@ -111,6 +132,10 @@ type t = {
   mutable tracer : (Mv_obs.Trace.event -> unit) option;
   mutable barrier : ((unit -> unit) -> unit) option;
       (** cross-modifying-code barrier; install via {!set_patch_barrier} *)
+  framemaps : Descriptor.framemap_record list;
+      (** parsed [multiverse.framemaps] records, one per multiversed body *)
+  mutable osr : (unit -> osr_hart) option;
+      (** OSR hart accessors; install via {!set_osr} *)
 }
 
 (** Variant installation strategy.  [Call_site_patching] is the paper's
@@ -245,12 +270,29 @@ val commit_safe : ?policy:safe_policy -> t -> int
     entities in the pristine state when the call returns. *)
 val revert_safe : ?policy:safe_policy -> t -> int
 
+(** Install (or remove, with [None]) the on-stack-replacement hart
+    accessors.  Once installed, a {!safepoint} that finds a pending set
+    blocked by a live activation of the polling hart {e transfers} the
+    activation into the target body — reading every live virtual register
+    out of the source frame via the [multiverse.framemaps] descriptors,
+    rebuilding the frame in the target body's layout, and resuming at the
+    safepoint with the same stable id — instead of leaving the set
+    journaled until the frame unwinds.  A transfer that cannot be proven
+    equivalent (the target body lost the safepoint to specialization, or
+    a target-live value has no source) is abandoned ([sc_osr_aborts]) and
+    the set simply stays deferred.  Each transfer emits an [Osr_transfer]
+    event carrying the journaling commit's [cid].  Only attempted under
+    [Call_site_patching]. *)
+val set_osr : t -> (unit -> osr_hart) option -> unit
+
 (** The quiescence-point drain; wire to [Machine.set_safepoint].  Cheap
     when nothing is pending.  Each pending set whose touched ranges are all
     quiescent is applied transactionally — every action or, on a mid-set
     failure (e.g. a call site changed by another mechanism), a full
     rollback to the pre-set state — and removed either way, so a set is
-    applied at most once. *)
+    applied at most once.  With {!set_osr} wired, a set blocked only by
+    the polling hart's own parked activation is unblocked by transferring
+    that activation first. *)
 val safepoint : t -> unit
 
 (** Names of entities with journaled, not-yet-applied patches. *)
@@ -288,6 +330,8 @@ type stats = {
   st_safe_rolled_back : int;
   st_safepoint_polls : int;
   st_pending : int;  (** journaled actions not yet applied *)
+  st_osr_transfers : int;  (** activations moved by on-stack replacement *)
+  st_osr_aborts : int;  (** transfers abandoned (frame maps did not line up) *)
 }
 
 (** Aggregate counters for reporting (benches, examples). *)

@@ -51,6 +51,28 @@ let switch_globals (prog : Ir.prog) : (string * Ir.global) list =
 (* Specialization                                                      *)
 (* ------------------------------------------------------------------ *)
 
+(** Insert one stable OSR safepoint id after every call.  Ids are assigned
+    {e before} cloning so the generic body and every clone agree on which
+    program point each id names — the descriptor frame maps and the
+    runtime's transfer engine are keyed by them.  A clone may lose some ids
+    to dead-code elimination; the transfer engine treats a missing target
+    id as "stay deferred". *)
+let insert_safepoints (fn : Ir.fn) : unit =
+  let next = ref 0 in
+  List.iter
+    (fun (b : Ir.block) ->
+      b.b_instrs <-
+        List.concat_map
+          (fun i ->
+            match i with
+            | Ir.Icall _ | Ir.Icallp _ ->
+                let id = !next in
+                incr next;
+                [ i; Ir.Isafepoint id ]
+            | _ -> [ i ])
+          b.b_instrs)
+    fn.fn_blocks
+
 (** Replace every read of [switches] (an assignment) with its constant. *)
 let bind_switches (fn : Ir.fn) (assignment : (string * int) list) : unit =
   List.iter
@@ -192,6 +214,7 @@ let generate ?(max_variants = default_max_variants) (prog : Ir.prog) : result =
   List.iter
     (fun (fn : Ir.fn) ->
       if fn.fn_multiverse then begin
+        insert_safepoints fn;
         let mf, variants, w = generate_for_fn ~max_variants switches fn in
         mv_functions := mf :: !mv_functions;
         new_fns := List.rev_append variants !new_fns;

@@ -6,7 +6,7 @@ module Image = Mv_link.Image
 module Runtime = Core.Runtime
 module Compiler = Core.Compiler
 
-type chaos = No_chaos | Skip_flush | Lost_flush | Drop_ack
+type chaos = No_chaos | Skip_flush | Lost_flush | Drop_ack | Corrupt_framemap
 
 type divergence = { d_oracle : string; d_detail : string }
 
@@ -20,6 +20,7 @@ let oracle_names =
     "commit-soundness";
     "commit-idempotent";
     "schedule-equiv";
+    "osr-state-equiv";
     "smp-schedule-equiv";
   ]
 
@@ -128,8 +129,11 @@ let build_session ?(chaos = No_chaos) src =
   let flush ~addr ~len =
     match chaos with
     (* [Drop_ack] breaks a cross-hart IPI channel; on a single machine
-       there is no other hart, so it degenerates to a healthy flush *)
-    | No_chaos | Drop_ack -> Machine.flush_icache machine ~addr ~len
+       there is no other hart, so it degenerates to a healthy flush.
+       [Corrupt_framemap] bites only the OSR oracle, which corrupts the
+       section itself. *)
+    | No_chaos | Drop_ack | Corrupt_framemap ->
+        Machine.flush_icache machine ~addr ~len
     | Skip_flush -> ()
     | Lost_flush ->
         (* every other invalidation request is dropped on the floor *)
@@ -496,7 +500,7 @@ let build_smp_session ?(chaos = No_chaos) ~n_harts ~policy ~seed src =
   let lost = ref false in
   let flush ~addr ~len =
     match chaos with
-    | No_chaos | Drop_ack -> Smp.flush_icache smp ~addr ~len
+    | No_chaos | Drop_ack | Corrupt_framemap -> Smp.flush_icache smp ~addr ~len
     | Skip_flush -> ()
     | Lost_flush ->
         lost := not !lost;
@@ -664,6 +668,184 @@ let smp_schedule_equiv ?chaos (case : Gen.case) (_sched : Schedule.t) :
       | _ -> None)
 
 (* ------------------------------------------------------------------ *)
+(* Oracle: OSR-transferred state vs run-from-scratch                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Auxiliary OSR workload appended to the case: [__osr_spin] is a
+   multiversed outer loop that never quiesces while it runs — every
+   iteration polls a safepoint (the [__osr_tick] return) and calls the
+   case's driver.  The subject parks an activation k machine steps into
+   the loop and issues a safe commit, which must defer (the loop is
+   live); the only way the journal drains mid-run is an on-stack
+   transfer of the parked frame into the bound variant.  The baseline
+   commits the identical switch state while idle and runs from scratch.
+   [__osr_mode] stays 1 in memory on both sides, so the generic body and
+   the bound variant are semantically identical: any divergence in the
+   return value, the case's observable globals, or the tick counter is a
+   broken frame transfer, not program semantics. *)
+let osr_aux_src =
+  {|
+    multiverse int __osr_mode;
+    int __osr_sink;
+    void __osr_tick() { __osr_sink = __osr_sink + 1; }
+    multiverse int __osr_spin(int n, int a) {
+      int acc = 0;
+      for (int i = 0; i < n; i = i + 1) {
+        __osr_tick();
+        if (__osr_mode) { acc = acc + 2; } else { acc = acc + 1; }
+        acc = acc + driver(a);
+      }
+      return acc;
+    }
+  |}
+
+let osr_spin_iters = 6
+
+(* Two park offsets: just past the prologue and deep inside an
+   iteration, so the commit lands at different distances from the next
+   safepoint. *)
+let osr_park_steps = [ 3; 31 ]
+
+(* [Corrupt_framemap]: bump the low bits of the first live entry's
+   location word at every safepoint of [fn_addr]'s frame map.  The map
+   still parses and the vreg sets still line up, so the transfer goes
+   through — but it reads that value from the wrong register or spill
+   slot and reconstructs a wrong frame, which the oracle must catch. *)
+let corrupt_framemap img fn_addr =
+  let module D = Core.Descriptor in
+  match Image.section_range img Mv_codegen.Objfile.Mv_framemaps with
+  | None -> ()
+  | Some { Image.sr_base; sr_size } ->
+      let limit = sr_base + sr_size in
+      let rec maps off =
+        if off + D.framemap_header_size <= limit then begin
+          let addr = Image.read img off 8 in
+          if addr <> 0 then begin
+            let n_sp = Image.read img (off + 8) 4 in
+            let n_saves = Image.read img (off + 16) 4 in
+            let off' =
+              off + D.framemap_header_size + ((n_saves + 1) / 2 * 2 * 4)
+            in
+            let rec sps n off =
+              if n = 0 then off
+              else begin
+                let n_live = Image.read img (off + 8) 4 in
+                let off_e = off + D.framemap_safepoint_header_size in
+                if addr = fn_addr && n_live > 0 then begin
+                  let loc = Image.read img (off_e + 4) 4 in
+                  let loc' = loc land 0x10000 lor ((loc + 1) land 0xFFFF) in
+                  Image.write img (off_e + 4) loc' 4
+                end;
+                sps (n - 1) (off_e + (n_live * D.framemap_live_entry_size))
+              end
+            in
+            maps (sps n_sp off')
+          end
+        end
+      in
+      maps sr_base
+
+let osr_state_equiv ?(chaos = No_chaos) (case : Gen.case) (_sched : Schedule.t)
+    : divergence option =
+  let fail fmt =
+    Printf.ksprintf (fun d -> Some { d_oracle = "osr-state-equiv"; d_detail = d }) fmt
+  in
+  let src = case.Gen.c_src ^ osr_aux_src in
+  let obs = observables case in
+  let arg = match case.Gen.c_args with a :: _ -> a | [] -> 0 in
+  let prep case img =
+    (match case.Gen.c_assignments with
+    | [] -> ()
+    | a :: _ -> apply_machine case img a);
+    Image.write img (Image.symbol img "__osr_mode") 1 8
+  in
+  (* the baseline is always healthy: chaos is injected into the subject *)
+  let run_baseline () =
+    let program, machine, rt = build_session src in
+    let img = program.Compiler.p_image in
+    prep case img;
+    ignore (Runtime.commit rt);
+    let out =
+      match Machine.call machine "__osr_spin" [ osr_spin_iters; arg ] with
+      | v -> Ret v
+      | exception Machine.Fault m -> Fault m
+    in
+    (out, read_obs_machine img obs, Image.read img (Image.symbol img "__osr_sink") 8)
+  in
+  let run_subject k =
+    let program = Compiler.build_string src in
+    let img = program.Compiler.p_image in
+    let machine = Machine.create img in
+    let lost = ref false in
+    let flush ~addr ~len =
+      match chaos with
+      | No_chaos | Drop_ack | Corrupt_framemap ->
+          Machine.flush_icache machine ~addr ~len
+      | Skip_flush -> ()
+      | Lost_flush ->
+          lost := not !lost;
+          if not !lost then Machine.flush_icache machine ~addr ~len
+    in
+    (* corrupt the section before the runtime parses it *)
+    if chaos = Corrupt_framemap then
+      corrupt_framemap img (Image.symbol img "__osr_spin");
+    let rt = Runtime.create img ~flush in
+    Runtime.set_live_scanner rt (fun () -> Machine.live_code_addrs machine);
+    Machine.set_safepoint machine (Some (fun () -> Runtime.safepoint rt));
+    Runtime.set_osr rt
+      (Some
+         (fun () ->
+           {
+             Runtime.oh_hart = Machine.hart_id machine;
+             oh_pc = (fun () -> machine.Machine.pc);
+             oh_set_pc = (fun pc -> machine.Machine.pc <- pc);
+             oh_reg = (fun r -> machine.Machine.regs.(r));
+             oh_set_reg = (fun r v -> machine.Machine.regs.(r) <- v);
+             oh_mem = (fun addr -> Image.read img addr 8);
+             oh_set_mem = (fun addr v -> Image.write img addr v 8);
+             oh_set_top_frame =
+               (fun addr ->
+                 machine.Machine.frames <-
+                   (match machine.Machine.frames with
+                   | _ :: rest -> addr :: rest
+                   | [] -> [ addr ]));
+           }));
+    prep case img;
+    Machine.start_call machine "__osr_spin" [ osr_spin_iters; arg ];
+    let out =
+      try
+        for _ = 1 to k do
+          ignore (Machine.step machine)
+        done;
+        ignore (Runtime.commit_safe rt);
+        Ret (Machine.finish machine)
+      with Machine.Fault m -> Fault m
+    in
+    ( out,
+      read_obs_machine img obs,
+      Image.read img (Image.symbol img "__osr_sink") 8,
+      (Runtime.stats rt).Runtime.st_osr_transfers )
+  in
+  let b_out, b_obs, b_sink = run_baseline () in
+  List.fold_left
+    (fun acc k ->
+      match acc with
+      | Some _ -> acc
+      | None -> (
+          let s_out, s_obs, s_sink, transfers = run_subject k in
+          if s_out <> b_out then
+            fail "park %d: transferred=%s from-scratch=%s (%d transfers)" k
+              (pp_outcome s_out) (pp_outcome b_out) transfers
+          else if s_sink <> b_sink then
+            fail "park %d: __osr_sink %d vs %d (%d transfers)" k s_sink b_sink
+              transfers
+          else
+            match diff_states s_obs b_obs with
+            | Some d -> fail "park %d: global %s (OSR vs from-scratch)" k d
+            | None -> None))
+    None osr_park_steps
+
+(* ------------------------------------------------------------------ *)
 (* Dispatch                                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -674,6 +856,7 @@ let run_named ?chaos name case sched =
   | "commit-soundness" -> commit_soundness ?chaos case sched
   | "commit-idempotent" -> commit_idempotent ?chaos case sched
   | "schedule-equiv" -> schedule_equiv ?chaos case sched
+  | "osr-state-equiv" -> osr_state_equiv ?chaos case sched
   | "smp-schedule-equiv" -> smp_schedule_equiv ?chaos case sched
   | _ -> invalid_arg ("Oracle.run_named: unknown oracle " ^ name)
 

@@ -14,12 +14,14 @@
 (** Fault injection for validating the oracles themselves: [Skip_flush]
     drops the runtime's icache flushes entirely, [Lost_flush] drops every
     other flush request (a lost invalidation IPI — the classic
-    cross-modifying-code bug), and [Drop_ack] severs one hart's IPI
-    channel in the multi-hart oracle (it is neither stopped by the
-    rendezvous nor re-flushed, so it keeps executing the stale variant).
-    A healthy pipeline diverges under each, and the fuzzer must catch
-    it. *)
-type chaos = No_chaos | Skip_flush | Lost_flush | Drop_ack
+    cross-modifying-code bug), [Drop_ack] severs one hart's IPI channel
+    in the multi-hart oracle (it is neither stopped by the rendezvous nor
+    re-flushed, so it keeps executing the stale variant), and
+    [Corrupt_framemap] bumps one live-entry location per safepoint in the
+    OSR oracle's frame map, so the on-stack transfer reconstructs the
+    parked frame from the wrong register or spill slot.  A healthy
+    pipeline diverges under each, and the fuzzer must catch it. *)
+type chaos = No_chaos | Skip_flush | Lost_flush | Drop_ack | Corrupt_framemap
 
 (** A caught mismatch: which oracle fired and a human-readable account
     of the first differing observation. *)
@@ -36,10 +38,13 @@ val oracle_names : string list
 
 (** Run one oracle by name ([Invalid_argument] on unknown names).
     [chaos] affects the oracles that patch ([commit-soundness],
-    [commit-idempotent], [schedule-equiv], [smp-schedule-equiv] —
-    [Drop_ack] bites only the last, which runs the case's driver against
-    a patched-under-load multi-hart workload and probes every hart's
-    icache coherence after the rendezvous). *)
+    [commit-idempotent], [schedule-equiv], [osr-state-equiv],
+    [smp-schedule-equiv] — [Drop_ack] bites only the last, which runs
+    the case's driver against a patched-under-load multi-hart workload
+    and probes every hart's icache coherence after the rendezvous;
+    [Corrupt_framemap] bites only [osr-state-equiv], which compares a
+    frame transferred mid-loop by on-stack replacement against the same
+    program run from scratch in the committed world). *)
 val run_named :
   ?chaos:chaos -> string -> Gen.case -> Schedule.t -> divergence option
 

@@ -232,7 +232,8 @@ let rec call t name (args : int list) : int =
             Option.iter (fun d -> regs.(d) <- v) d
         | Ir.Iintr (d, intr, args) ->
             let v = intrinsic t intr (List.map operand args) in
-            Option.iter (fun d -> regs.(d) <- v) d)
+            Option.iter (fun d -> regs.(d) <- v) d
+        | Ir.Isafepoint _ -> ())
       b.b_instrs;
     match b.b_term with
     | Ir.Tjmp id -> run_block (Ir.find_block fn id)

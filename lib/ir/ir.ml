@@ -32,6 +32,10 @@ type instr =
   | Icallp of reg option * string * operand list
       (** indirect call through the fn-pointer *global* named by the symbol *)
   | Iintr of reg option * intrinsic * operand list
+  | Isafepoint of int
+      (** stable OSR safepoint id; inserted after every call in a
+          multiversed body {e before} variant cloning, so the generic and
+          each clone agree on which program point the id names *)
 
 type terminator =
   | Tjmp of int
@@ -104,17 +108,21 @@ let instr_uses = function
   | Istoreg (_, v, _) -> [ v ]
   | Iaddr _ -> []
   | Icall (_, _, args) | Icallp (_, _, args) | Iintr (_, _, args) -> args
+  | Isafepoint _ -> []
 
 let instr_def = function
   | Imov (d, _) | Iun (_, d, _) | Ibin (_, d, _, _) | Iload (d, _, _)
   | Iloadg (d, _, _) | Iaddr (d, _) -> Some d
   | Icall (d, _, _) | Icallp (d, _, _) | Iintr (d, _, _) -> d
-  | Istore _ | Istoreg _ -> None
+  | Istore _ | Istoreg _ | Isafepoint _ -> None
 
 (** Does the instruction have an effect beyond writing its destination
     register?  Such instructions must never be removed by DCE. *)
 let instr_has_side_effect = function
   | Istore _ | Istoreg _ | Icall _ | Icallp _ | Iintr _ -> true
+  (* a safepoint defines no register, so it must count as side-effecting
+     or DCE would delete the pinned program point *)
+  | Isafepoint _ -> true
   | Imov _ | Iun _ | Ibin _ | Iload _ | Iloadg _ | Iaddr _ -> false
 
 let map_instr_operands f = function
@@ -129,6 +137,7 @@ let map_instr_operands f = function
   | Icall (d, s, args) -> Icall (d, s, List.map f args)
   | Icallp (d, s, args) -> Icallp (d, s, List.map f args)
   | Iintr (d, i, args) -> Iintr (d, i, List.map f args)
+  | Isafepoint id -> Isafepoint id
 
 (** Global and function symbols referenced by a function body (reads, writes,
     address-taking, direct and indirect calls). *)
@@ -142,7 +151,8 @@ let referenced_symbols fn =
           match i with
           | Iloadg (_, s, _) | Istoreg (s, _, _) | Iaddr (_, s)
           | Icall (_, s, _) | Icallp (_, s, _) -> add s
-          | Imov _ | Iun _ | Ibin _ | Iload _ | Istore _ | Iintr _ -> ())
+          | Imov _ | Iun _ | Ibin _ | Iload _ | Istore _ | Iintr _
+          | Isafepoint _ -> ())
         b.b_instrs)
     fn.fn_blocks;
   Hashtbl.fold (fun s () acc -> s :: acc) syms []
@@ -157,7 +167,7 @@ let read_globals fn =
         (function
           | Iloadg (_, s, _) -> Hashtbl.replace syms s ()
           | Imov _ | Iun _ | Ibin _ | Iload _ | Istore _ | Istoreg _ | Iaddr _
-          | Icall _ | Icallp _ | Iintr _ -> ())
+          | Icall _ | Icallp _ | Iintr _ | Isafepoint _ -> ())
         b.b_instrs)
     fn.fn_blocks;
   Hashtbl.fold (fun s () acc -> s :: acc) syms []
@@ -171,7 +181,7 @@ let called_fnptrs fn =
         (function
           | Icallp (_, s, _) -> Hashtbl.replace syms s ()
           | Imov _ | Iun _ | Ibin _ | Iload _ | Istore _ | Iloadg _ | Istoreg _
-          | Iaddr _ | Icall _ | Iintr _ -> ())
+          | Iaddr _ | Icall _ | Iintr _ | Isafepoint _ -> ())
         b.b_instrs)
     fn.fn_blocks;
   Hashtbl.fold (fun s () acc -> s :: acc) syms []
@@ -224,6 +234,7 @@ let pp_instr fmt i =
   | Icallp (d, s, args) -> Format.fprintf fmt "%acallp [@%s](%a)" pp_dst d s pp_ops args
   | Iintr (d, intr, args) ->
       Format.fprintf fmt "%aintr %s(%a)" pp_dst d (Minic.Ast.intrinsic_name intr) pp_ops args
+  | Isafepoint id -> Format.fprintf fmt "safept %d" id
 
 let pp_terminator fmt = function
   | Tjmp t -> Format.fprintf fmt "jmp .L%d" t

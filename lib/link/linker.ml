@@ -19,7 +19,8 @@ let align_up v a = (v + a - 1) / a * a
 let section_align = function
   | Objfile.Text -> 16
   | Objfile.Data -> 16
-  | Objfile.Mv_variables | Objfile.Mv_functions | Objfile.Mv_callsites -> 8
+  | Objfile.Mv_variables | Objfile.Mv_functions | Objfile.Mv_callsites
+  | Objfile.Mv_framemaps -> 8
 
 (** Link objects into a runnable image. *)
 let link ?(mem_size = 1 lsl 22) (objs : Objfile.t list) : Image.t =

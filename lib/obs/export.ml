@@ -67,6 +67,16 @@ let args_of_event (ev : Trace.event) : (string * Json.t) list =
         ("src_hart", Json.Int src_hart);
         ("dst_hart", Json.Int dst_hart);
       ]
+  | Trace.Osr_transfer { cid; hart; fn; sp_id; from_pc; to_pc; slots } ->
+      [
+        ("hart", Json.Int hart);
+        ("fn", Json.String fn);
+        ("sp_id", Json.Int sp_id);
+        ("from_pc", Json.Int from_pc);
+        ("to_pc", Json.Int to_pc);
+        ("slots", Json.Int slots);
+        ("cid", Json.Int cid);
+      ]
 
 let chrome_event ~pid (st : Trace.stamped) : Json.t =
   let phase, name =

@@ -79,6 +79,7 @@ let tag_of : Trace.event -> int = function
   | Trace.Rendezvous_begin _ -> 15
   | Trace.Rendezvous_end _ -> 16
   | Trace.Causal_edge _ -> 17
+  | Trace.Osr_transfer _ -> 18
 
 (* Float fields (ack waits, rendezvous latencies — always non-negative)
    travel as the low 63 bits of their IEEE pattern in an int slot; the
@@ -110,6 +111,12 @@ let payload t : Trace.event -> int * int * int * int = function
       (rdv, initiator, acks, slot_of_float latency)
   | Trace.Causal_edge { edge; id; src_hart; dst_hart } ->
       (intern t edge, id, src_hart, dst_hart)
+  (* seven fields into four slots: pc pairs and small counters share one *)
+  | Trace.Osr_transfer { cid; hart; fn; sp_id; from_pc; to_pc; slots } ->
+      ( cid,
+        (hart lsl 32) lor intern t fn,
+        (sp_id lsl 32) lor slots,
+        (from_pc lsl 32) lor to_pc )
 
 let float_of_slot v = Int64.float_of_bits (Int64.logand (Int64.of_int v) Int64.max_int)
 
@@ -139,6 +146,17 @@ let decode t tag a b c d : Trace.event =
   | 17 ->
       Trace.Causal_edge
         { edge = name_of t a; id = b; src_hart = c; dst_hart = d }
+  | 18 ->
+      Trace.Osr_transfer
+        {
+          cid = a;
+          hart = b lsr 32;
+          fn = name_of t (b land 0xFFFFFFFF);
+          sp_id = c lsr 32;
+          slots = c land 0xFFFFFFFF;
+          from_pc = d lsr 32;
+          to_pc = d land 0xFFFFFFFF;
+        }
   | _ -> Trace.Safepoint_poll { pending = -1 }
 
 let record t ev =

@@ -252,3 +252,6 @@ let trace_sink t ~clock ?(hart = fun () -> 0) () : Trace.sink =
         observe t "mv_rendezvous_latency_cycles" [] latency
     | Trace.Causal_edge { edge; _ } ->
         inc t "mv_causal_edges_total" [ ("edge", edge) ]
+    | Trace.Osr_transfer { hart; fn; slots; _ } ->
+        inc t "mv_osr_transfers_total" [ ("fn", fn); ("hart", string_of_int hart) ];
+        observe t "mv_osr_slots" [ ("fn", fn) ] (float_of_int slots)

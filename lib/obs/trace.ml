@@ -36,6 +36,15 @@ type event =
   | Rendezvous_begin of { rdv : int; initiator : int; waiting : int }
   | Rendezvous_end of { rdv : int; initiator : int; acks : int; latency : float }
   | Causal_edge of { edge : string; id : int; src_hart : int; dst_hart : int }
+  | Osr_transfer of {
+      cid : int;
+      hart : int;
+      fn : string;
+      sp_id : int;
+      from_pc : int;
+      to_pc : int;
+      slots : int;
+    }
 
 type stamped = { ts : float; seq : int; hart : int; hseq : int; ev : event }
 type sink = event -> unit
@@ -50,6 +59,7 @@ let hart_of_event = function
   | Rendezvous_begin { initiator; _ } | Rendezvous_end { initiator; _ } ->
       Some initiator
   | Causal_edge { dst_hart; _ } -> Some dst_hart
+  | Osr_transfer { hart; _ } -> Some hart
   | _ -> None
 
 type ring = {
@@ -123,6 +133,7 @@ let event_name = function
   | Rendezvous_begin _ -> "rendezvous_begin"
   | Rendezvous_end _ -> "rendezvous_end"
   | Causal_edge _ -> "causal_edge"
+  | Osr_transfer _ -> "osr_transfer"
 
 let pp_event fmt = function
   | Commit_begin { cid; op; switches } ->
@@ -164,6 +175,10 @@ let pp_event fmt = function
         rdv initiator acks latency
   | Causal_edge { edge; id; src_hart; dst_hart } ->
       Format.fprintf fmt "edge %s #%d: hart%d ~> hart%d" edge id src_hart dst_hart
+  | Osr_transfer { cid; hart; fn; sp_id; from_pc; to_pc; slots } ->
+      Format.fprintf fmt
+        "hart%d osr %s: 0x%x -> 0x%x at safept %d (%d slot(s), commit #%d)" hart fn
+        from_pc to_pc sp_id slots cid
 
 let pp fmt st =
   Format.fprintf fmt "[%10.1f/%d h%d.%d] %a" st.ts st.seq st.hart st.hseq

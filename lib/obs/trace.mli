@@ -88,6 +88,22 @@ type event =
           {!Rendezvous_end} on [dst_hart]), or ["drain"] (the commit
           staged on [src_hart] was drained at a safepoint on [dst_hart];
           [id] is the [cid]). *)
+  | Osr_transfer of {
+      cid : int;
+      hart : int;
+      fn : string;
+      sp_id : int;
+      from_pc : int;
+      to_pc : int;
+      slots : int;
+    }
+      (** A live activation of [fn] was transferred between bodies by
+          on-stack replacement: hart [hart], parked at [from_pc] (the
+          safepoint with stable id [sp_id]), had [slots] live values
+          rewritten into the target body's frame layout and resumed at
+          [to_pc].  [cid] names the commit whose deferred patch the
+          transfer unblocked — the same id the eventual
+          {!Pending_drained} carries. *)
 
 (** A recorded event: [ts] is the clock reading at record time (simulated
     cycles for the standard wiring), [seq] a strictly increasing per-ring

@@ -85,7 +85,10 @@ let canonical_form (fn : Ir.fn) : string =
                   add " intr%s %s(%s)"
                     (match d with Some d -> Printf.sprintf " r%d" (canon_reg d) | None -> "")
                     (Minic.Ast.intrinsic_name intr)
-                    (String.concat "," (List.map operand args)));
+                    (String.concat "," (List.map operand args))
+              (* ids are inserted before cloning, so structurally equal
+                 clones carry identical ids and still merge *)
+              | Ir.Isafepoint id -> add " safept %d" id);
               Buffer.add_char buf '\n')
             b.b_instrs;
           (match b.b_term with

@@ -149,6 +149,35 @@ let enable_safe_commit s =
 let commit_safe ?policy s = Core.Runtime.commit_safe ?policy s.runtime
 let revert_safe ?policy s = Core.Runtime.revert_safe ?policy s.runtime
 
+(* The OSR accessor record over one machine: direct register/pc access,
+   8-byte stack words through the image, and top-frame replacement so the
+   stack profiler follows the transferred activation. *)
+let osr_hart_of_machine (m : Machine.t) : Core.Runtime.osr_hart =
+  let img = m.Machine.image in
+  {
+    Core.Runtime.oh_hart = Machine.hart_id m;
+    oh_pc = (fun () -> m.Machine.pc);
+    oh_set_pc = (fun pc -> m.Machine.pc <- pc);
+    oh_reg = (fun r -> m.Machine.regs.(r));
+    oh_set_reg = (fun r v -> m.Machine.regs.(r) <- v);
+    oh_mem = (fun addr -> Image.read img addr 8);
+    oh_set_mem = (fun addr v -> Image.write img addr v 8);
+    oh_set_top_frame =
+      (fun addr ->
+        m.Machine.frames <-
+          (match m.Machine.frames with
+          | _ :: rest -> addr :: rest
+          | [] -> [ addr ]));
+  }
+
+(* Arm on-stack replacement: the runtime gains accessors to the machine's
+   registers, stack words, and frame list, so a safepoint can transfer a
+   live activation into the newly selected body instead of waiting for
+   the frame to unwind.  Compose with enable_safe_commit. *)
+let enable_osr s =
+  let ctx = osr_hart_of_machine s.machine in
+  Core.Runtime.set_osr s.runtime (Some (fun () -> ctx))
+
 (* ------------------------------------------------------------------ *)
 (* Observability: tracing, profiling, metrics                          *)
 (* ------------------------------------------------------------------ *)
@@ -525,6 +554,17 @@ let smp_commit s = Core.Runtime.commit s.sm_runtime
 let smp_revert s = Core.Runtime.revert s.sm_runtime
 let smp_commit_safe ?policy s = Core.Runtime.commit_safe ?policy s.sm_runtime
 let smp_revert_safe ?policy s = Core.Runtime.revert_safe ?policy s.sm_runtime
+
+(** Arm on-stack replacement on the container: the runtime resolves the
+    accessors of whichever hart is currently polling, so each hart's
+    safepoint can transfer that hart's own activation. *)
+let enable_smp_osr s =
+  let ctxs =
+    Array.init (Smp.n_harts s.smp) (fun i ->
+        osr_hart_of_machine (Smp.machine s.smp i))
+  in
+  Core.Runtime.set_osr s.sm_runtime
+    (Some (fun () -> ctxs.(Smp.current_hart s.smp)))
 let smp_start s ~hart fn args = Smp.start_call s.smp ~hart fn args
 let smp_step s = Smp.step s.smp
 let smp_run s = Smp.run s.smp

@@ -77,6 +77,14 @@ val commit_safe : ?policy:Core.Runtime.safe_policy -> session -> int
 
 val revert_safe : ?policy:Core.Runtime.safe_policy -> session -> int
 
+(** Arm on-stack replacement ({!Core.Runtime.set_osr}): the runtime gains
+    accessors to the machine's registers, stack words, and frame list, so
+    a safepoint that finds a deferred patch blocked by a live activation
+    transfers the activation into the target body (via the image's frame
+    maps) instead of waiting for the frame to unwind.  Compose with
+    {!enable_safe_commit}. *)
+val enable_osr : session -> unit
+
 (** {1 Observability}
 
     Structured tracing, sampling profiling, and the unified metrics
@@ -253,6 +261,11 @@ val smp_revert : smp_session -> int
 
 val smp_commit_safe : ?policy:Core.Runtime.safe_policy -> smp_session -> int
 val smp_revert_safe : ?policy:Core.Runtime.safe_policy -> smp_session -> int
+
+(** {!enable_osr} for the container: the runtime resolves the accessors
+    of whichever hart is currently polling, so each hart's safepoint can
+    transfer that hart's own parked activation. *)
+val enable_smp_osr : smp_session -> unit
 
 (** Prepare a call on one hart; drive with {!smp_step}/{!smp_run}. *)
 val smp_start : smp_session -> hart:int -> string -> int list -> unit

@@ -26,6 +26,30 @@ if dune exec bin/mvfuzz.exe -- --iters 5 --seed 1 --quiet --small \
   echo "mvfuzz: drop-ack chaos was NOT detected by smp-schedule-equiv"; exit 1
 fi
 
+# OSR smoke (must-fail): a frame map with one live-entry location bumped
+# must trip the on-stack-replacement oracle — the transfer rebuilds the
+# parked frame from the wrong register or spill slot — and the diverged
+# case must leave an mv-flight/1 dump that `mvtrace postmortem` parses.
+# If the chaos run exits 0 the OSR oracle has lost its teeth.
+osr_flight_dir=$(mktemp -d /tmp/mv-osr-flight-XXXXXX)
+if MV_SMP_ARTIFACT_DIR="$osr_flight_dir" dune exec bin/mvfuzz.exe -- \
+    --iters 3 --seed 1 --quiet --small --chaos corrupt-framemap \
+    --oracle osr-state-equiv --shrink-budget 0 > /dev/null 2>&1; then
+  echo "mvfuzz: corrupt-framemap chaos was NOT detected by osr-state-equiv"; exit 1
+fi
+osr_dump=$(ls "$osr_flight_dir"/*.flight.json 2> /dev/null | head -n 1) \
+  && [ -n "$osr_dump" ] \
+  || { echo "osr smoke: divergence left no .flight.json in $osr_flight_dir"; exit 1; }
+dune exec bin/mvtrace.exe -- postmortem "$osr_dump" > /dev/null \
+  || { echo "osr smoke: mvtrace postmortem cannot parse $osr_dump"; exit 1; }
+# In CI the gate runs with MV_SMP_ARTIFACT_DIR set; park a copy of the
+# dump there so a failing run uploads the OSR postmortem with the rest.
+if [ -n "${MV_SMP_ARTIFACT_DIR:-}" ]; then
+  mkdir -p "$MV_SMP_ARTIFACT_DIR"
+  cp "$osr_dump" "$MV_SMP_ARTIFACT_DIR"/osr-chaos.flight.json
+fi
+rm -rf "$osr_flight_dir"
+
 # Smoke the machine-readable bench export: one fast experiment, then
 # check the document parses and carries the expected schema/rows.
 bench_json=$(mktemp /tmp/mv-bench-XXXXXX.json)

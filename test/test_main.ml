@@ -20,6 +20,7 @@ let () =
       ("descriptor", Test_descriptor.suite);
       ("runtime", Test_runtime.suite);
       ("safe-commit", Test_safe_commit.suite);
+      ("osr", Test_osr.suite);
       ("workloads", Test_workloads.suite);
       ("harness", Test_harness.suite);
       ("obs", Test_obs.suite);

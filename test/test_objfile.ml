@@ -58,7 +58,9 @@ let test_section_names () =
     (Objfile.section_name Objfile.Mv_functions);
   check_string "callsites section name" "multiverse.callsites"
     (Objfile.section_name Objfile.Mv_callsites);
-  check_int "five sections" 5 (List.length Objfile.all_sections)
+  check_string "framemaps section name" "multiverse.framemaps"
+    (Objfile.section_name Objfile.Mv_framemaps);
+  check_int "six sections" 6 (List.length Objfile.all_sections)
 
 let test_guard_pretty () =
   let g =

@@ -253,6 +253,7 @@ let prop_canonical_form_invariant =
                   Mv_ir.Ir.Icallp (Option.map shift_reg d, s, args)
               | Mv_ir.Ir.Iintr (d, intr, args) ->
                   Mv_ir.Ir.Iintr (Option.map shift_reg d, intr, args)
+              | Mv_ir.Ir.Isafepoint id -> Mv_ir.Ir.Isafepoint id
             in
             let shift_term = function
               | Mv_ir.Ir.Tjmp t -> Mv_ir.Ir.Tjmp (shift_block t)

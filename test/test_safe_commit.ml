@@ -210,6 +210,40 @@ let test_unsafe_commit_path_unchanged () =
   check_int "no safepoint polls without a hook" 0
     (Runtime.stats s.runtime).Runtime.st_safepoint_polls
 
+(* Drain-latency pinning for a never-returning body (approximated by a
+   loop far longer than the budget): without OSR the deferred set's drain
+   latency is unbounded — a 10x step budget leaves it journaled, because
+   the only drain opportunity is the frame unwinding.  With OSR it
+   collapses to about one safepoint interval: the steps from the parked
+   entry to the loop's first call return. *)
+let test_never_returning_drain_latency () =
+  let steps_to_drain ~osr ~budget =
+    let s = session Test_osr.spin_src in
+    if osr then Test_osr.enable s else enable s;
+    set_global s "m" 1;
+    Machine.start_call s.machine "driver" [ 1_000_000 ];
+    park s "spin";
+    ignore (Runtime.commit_safe s.runtime);
+    let steps = ref 0 in
+    while Runtime.pending s.runtime <> [] && !steps < budget do
+      incr steps;
+      ignore (Machine.step s.machine)
+    done;
+    if Runtime.pending s.runtime = [] then Some !steps else None
+  in
+  (* one safepoint interval = one loop iteration's worth of steps; 60 is
+     a generous bound on entry -> first tick return *)
+  (match steps_to_drain ~osr:true ~budget:60 with
+  | Some n ->
+      check_bool
+        (Printf.sprintf "drains within one safepoint interval (%d steps)" n)
+        true (n <= 60)
+  | None -> Alcotest.fail "with OSR the set must drain within one interval");
+  match steps_to_drain ~osr:false ~budget:600 with
+  | Some n ->
+      Alcotest.failf "without OSR the set drained mid-run after %d steps" n
+  | None -> ()
+
 let suite =
   [
     tc "commit inside live fn is deferred" test_commit_inside_live_fn_is_deferred;
@@ -222,4 +256,6 @@ let suite =
     tc "idle commit_safe acts like commit" test_idle_commit_safe_acts_like_commit;
     tc "commit_safe requires a scanner" test_commit_safe_requires_scanner;
     tc "unsafe commit path unchanged" test_unsafe_commit_path_unchanged;
+    tc "never-returning drain latency bounded only by OSR"
+      test_never_returning_drain_latency;
   ]

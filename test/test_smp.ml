@@ -824,6 +824,95 @@ let test_clock_and_seed_accessors () =
   check_bool "clock sums per-hart cycles" true (Smp.clock smp = sum);
   check_bool "clock advanced" true (Smp.clock smp > 0.0)
 
+(* ------------------------------------------------------------------ *)
+(* On-stack replacement under the rendezvous                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Hart 0 loops inside a multiversed body while hart 1 runs independent
+   work; a safe commit journaled mid-loop can only drain by *moving* hart
+   0's activation into the variant at one of its safepoints — and the
+   move runs inside the stop_machine rendezvous, with hart 1 parked
+   mid-handshake.  Swept over the pinned seed set: every schedule must
+   transfer, drain, and leave both harts' results exact. *)
+let osr_smp_src =
+  {|
+  multiverse bool m;
+  int w;
+  int z;
+  void tick() { w = w + 1; }
+  multiverse int spin(int n) {
+    int i = 0;
+    int acc = 0;
+    while (i < n) {
+      tick();
+      if (m) { acc = acc + 2; } else { acc = acc + 1; }
+      i = i + 1;
+    }
+    return acc;
+  }
+  int driver(int n) { w = 0; return spin(n); }
+  int other(int n) {
+    int i = 0;
+    while (i < n) { z = z + 1; i = i + 1; }
+    return z;
+  }
+|}
+
+let osr_run_once ~seed =
+  let s = Harness.smp_session1 ~n_harts:2 ~seed osr_smp_src in
+  Harness.enable_smp_osr s;
+  Harness.smp_set s "m" 1;
+  Harness.smp_start s ~hart:0 "driver" [ 30 ];
+  Harness.smp_start s ~hart:1 "other" [ 100 ];
+  let img = s.Harness.sm_program.Core.Compiler.p_image in
+  let spin_addr = Image.symbol img "spin" in
+  let spin_size = Image.symbol_size img "spin" in
+  let m0 = Smp.machine s.Harness.smp 0 in
+  let guard = ref 100_000 in
+  while
+    (m0.Machine.pc < spin_addr || m0.Machine.pc >= spin_addr + spin_size)
+    && !guard > 0
+  do
+    decr guard;
+    ignore (Harness.smp_step s)
+  done;
+  let bound = Harness.smp_commit_safe s in
+  Harness.smp_set s "m" 0;
+  Harness.smp_run s;
+  (s, bound)
+
+let test_osr_transfer_deterministic_per_seed () =
+  List.iter
+    (fun seed ->
+      with_artifact ~name:"osr-transfer" ~seed @@ fun dump ->
+      let s, bound = osr_run_once ~seed in
+      let smp = s.Harness.smp in
+      let st = Runtime.stats s.Harness.sm_runtime in
+      dump :=
+        (fun () ->
+          Printf.sprintf
+            "{\"seed\": %d, \"transfers\": %d, \"aborts\": %d, \"pending\": %d}"
+            seed st.Runtime.st_osr_transfers st.Runtime.st_osr_aborts
+            st.Runtime.st_pending);
+      check_int (Printf.sprintf "live spin deferred (seed %d)" seed) 0 bound;
+      check_bool (Printf.sprintf "transferred (seed %d)" seed) true
+        (st.Runtime.st_osr_transfers >= 1);
+      check_int (Printf.sprintf "journal drained (seed %d)" seed) 0
+        st.Runtime.st_pending;
+      check_bool (Printf.sprintf "rendezvous ran (seed %d)" seed) true
+        (Smp.rendezvous_count smp >= 1);
+      check_int (Printf.sprintf "hart 1 exact (seed %d)" seed) 100
+        (Harness.smp_result s ~hart:1);
+      let r0 = Harness.smp_result s ~hart:0 in
+      check_bool (Printf.sprintf "hart 0 in envelope (seed %d, %d)" seed r0) true
+        (r0 >= 30 && r0 <= 60);
+      (* the schedule — and so the transfer point and the result — is a
+         pure function of the seed *)
+      let s', _ = osr_run_once ~seed in
+      check_int (Printf.sprintf "replay is bit-equal (seed %d)" seed) r0
+        (Harness.smp_result s' ~hart:0))
+    seeds
+
 let suite =
   [
     tc "single-hart container is bit-identical" test_single_hart_bit_identity;
@@ -863,5 +952,7 @@ let suite =
     tc "flush events carry hart ids" test_flush_events_carry_hart_ids;
     tc "IPI sends pair with acks in the trace" test_send_ack_pairing_in_trace;
     tc "per-hart stack profile attribution" test_per_hart_stackprof_attribution;
+    tc_slow "OSR transfer is deterministic per seed"
+      test_osr_transfer_deterministic_per_seed;
     tc "clock and seed accessors" test_clock_and_seed_accessors;
   ]
