@@ -932,6 +932,10 @@ let obs_overhead () =
   let flighted, flighted_ms =
     run (fun s -> assert (Mv_obs.Flight.capacity (H.flight s) > 0))
   in
+  (* code-heat telemetry: block counters in the machine plus the residency
+     sink in the event chain — like the other arms, host-side only, so the
+     cycle column must match the baseline exactly *)
+  let heated, heated_ms = run (fun s -> H.enable_heat s) in
   row "%-36s %12s %10s\n" "spinlock unicore" "cycles/call" "host ms";
   row "%-36s %12.2f %10.1f\n" "no sinks (baseline)" base.H.m_mean base_ms;
   row "%-36s %12.2f %10.1f\n" "tracing armed" traced.H.m_mean traced_ms;
@@ -940,12 +944,13 @@ let obs_overhead () =
   row "%-36s %12.2f %10.1f\n" "metrics registry armed" metered.H.m_mean metered_ms;
   row "%-36s %12.2f %10.1f\n" "flight recorder (always on)" flighted.H.m_mean
     flighted_ms;
+  row "%-36s %12.2f %10.1f\n" "heat telemetry armed" heated.H.m_mean heated_ms;
   let delta a = (a -. base.H.m_mean) /. base.H.m_mean *. 100.0 in
   row
     "=> simulated-cycle delta: tracing %+.2f%%, profiling %+.2f%%, stack \
-     profiling %+.2f%%, metrics %+.2f%%, flight %+.2f%%\n"
+     profiling %+.2f%%, metrics %+.2f%%, flight %+.2f%%, heat %+.2f%%\n"
     (delta traced.H.m_mean) (delta profiled.H.m_mean) (delta stacked.H.m_mean)
-    (delta metered.H.m_mean) (delta flighted.H.m_mean);
+    (delta metered.H.m_mean) (delta flighted.H.m_mean) (delta heated.H.m_mean);
   jmeas "spinlock-unicore"
     [
       ("baseline", base);
@@ -954,6 +959,7 @@ let obs_overhead () =
       ("stackprof", stacked);
       ("metrics", metered);
       ("flight", flighted);
+      ("heat", heated);
     ];
   jrow "host-ms"
     [
@@ -963,6 +969,7 @@ let obs_overhead () =
       ("stackprof", Json.Float stacked_ms);
       ("metrics", Json.Float metered_ms);
       ("flight", Json.Float flighted_ms);
+      ("heat", Json.Float heated_ms);
     ]
 
 (* ------------------------------------------------------------------ *)

@@ -7,6 +7,9 @@
          --out prog.folded --chrome prog.trace.json
      mvtrace top prog.mvc --commit --run bench
      mvtrace spans prog.mvc --commit --run bench
+     mvtrace heat prog.mvc --set config_smp=1 --commit --run bench \
+         --budget 64 --json prog.heat.json
+     mvtrace variants prog.mvc --set config_smp=1 --commit --run bench
      mvtrace timeline prog.mvc --harts 3 --seed 7 --run worker --chrome t.json
      mvtrace blame prog.mvc --harts 3 --seed 7 --run worker --slow-hart 2
      mvtrace postmortem smp-artifacts/trap-1.flight.json
@@ -15,16 +18,25 @@
    `flame` emits folded stacks (flamegraph.pl / speedscope input) and/or
    a Chrome trace_event JSON; `top` prints the hot-stack table; `spans`
    prints patching-span latency statistics and the event/metrics
-   summary; `timeline` drives a pinned-seed SMP patch storm and renders
-   per-hart event lanes (ASCII and/or Chrome trace, one lane per hart);
-   `blame` runs the same storm and attributes each stop_machine
-   rendezvous' latency to the hart that released it last (with optional
-   slow-ack chaos to inject a straggler); `postmortem` pretty-prints and
-   causally analyzes a mv-flight/1 flight-recorder dump; `diff`
-   structurally compares two mv-bench-rows/1 documents and, with --gate
-   PCT, exits non-zero when any leaf drifts by more than PCT percent
-   (writing a mv-flight/1 dump of the regressions when
-   MV_SMP_ARTIFACT_DIR is set). *)
+   summary; `heat` prints the per-region code heatmap (block hits,
+   executed-byte coverage, decayed hotness with ASCII bars), optionally
+   the eviction advisor's keep/evict plan under --budget, and exports a
+   mv-heat/1 JSON with --json; `variants` prints the variant lifecycle
+   table (installs, residency, heat, advisor verdict); `timeline`
+   drives a pinned-seed SMP patch storm and renders per-hart event
+   lanes (ASCII and/or Chrome trace, one lane per hart); `blame` runs
+   the same storm and attributes each stop_machine rendezvous' latency
+   to the hart that released it last (with optional slow-ack chaos to
+   inject a straggler); `postmortem` pretty-prints and causally
+   analyzes a mv-flight/1 flight-recorder dump; `diff` structurally
+   compares two mv-bench-rows/1 documents and, with --gate PCT, exits
+   non-zero when any leaf drifts by more than PCT percent (writing a
+   mv-flight/1 dump of the regressions when MV_SMP_ARTIFACT_DIR is
+   set).
+
+   Unknown subcommands or flags exit 2 with a usage line naming every
+   subcommand (keep that list, this comment, and the Cmd.group below in
+   sync). *)
 
 module Image = Mv_link.Image
 module Harness = Mv_workloads.Harness
@@ -225,6 +237,98 @@ let spans_cmd =
     Term.(
       const spans_main $ files_arg $ set_arg $ commit_arg $ run_arg $ args_arg
       $ padding_arg $ spans_metrics_arg)
+
+(* --- heat / variants ------------------------------------------------- *)
+
+let budget_arg =
+  Arg.(
+    value & opt (some int) None
+    & info [ "budget" ] ~docv:"BYTES"
+        ~doc:
+          "Run the eviction advisor: rank resident variants by heat density \
+           and keep the densest prefix fitting $(docv) bytes of text")
+
+let heat_json_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "json" ] ~docv:"FILE"
+        ~doc:"Write the $(b,mv-heat/1) heat report to $(docv)")
+
+(* Shared by heat/variants: run the workload with heat telemetry armed,
+   then close one decay epoch so the reported hotness is the run's hit
+   counts (decayed scores only differ once a caller runs several
+   epochs). *)
+let run_heat_workload ~files ~sets ~padding ~commit ~fn ~args =
+  let session =
+    run_workload ~files ~sets ~padding ~commit ~fn ~args ~arm:(fun s ->
+        Harness.enable_heat s)
+  in
+  Harness.heat_epoch session;
+  session
+
+let session_now (s : Harness.session) =
+  s.Harness.machine.Mv_vm.Machine.perf.Mv_vm.Perf.cycles
+
+let heat_main files sets commit fn args padding budget json_out =
+  handle_errors (fun () ->
+      let session = run_heat_workload ~files ~sets ~padding ~commit ~fn ~args in
+      (match session.Harness.heat with
+      | Some h ->
+          Format.printf "%a" Mv_obs.Heat.pp h;
+          (match budget with
+          | Some budget ->
+              Format.printf "@.eviction plan (budget %d bytes):@." budget;
+              List.iter
+                (fun (a : Mv_obs.Heat.advice) ->
+                  Format.printf "  %-6s %-40s heat=%.1f bytes=%d@."
+                    (match a.Mv_obs.Heat.ad_verdict with
+                    | Mv_obs.Heat.Keep -> "keep"
+                    | Mv_obs.Heat.Evict -> "evict")
+                    a.Mv_obs.Heat.ad_region.Mv_obs.Heat.r_name
+                    a.Mv_obs.Heat.ad_heat a.Mv_obs.Heat.ad_bytes)
+                (Mv_obs.Heat.evict_plan h ~budget)
+          | None -> ())
+      | None -> ());
+      (match json_out with
+      | Some path ->
+          write_file path
+            (Mv_obs.Json.to_string_pretty (Harness.heat_json ?budget session));
+          Format.eprintf "heat report -> %s@." path
+      | None -> ());
+      0)
+
+let heat_cmd =
+  let doc = "Per-region code heatmap (block hits, coverage, decayed hotness)" in
+  Cmd.v
+    (Cmd.info "heat" ~doc)
+    Term.(
+      const heat_main $ files_arg $ set_arg $ commit_arg $ run_arg $ args_arg
+      $ padding_arg $ budget_arg $ heat_json_arg)
+
+let variants_main files sets commit fn args padding budget json_out =
+  handle_errors (fun () ->
+      let session = run_heat_workload ~files ~sets ~padding ~commit ~fn ~args in
+      (match session.Harness.heat with
+      | Some h ->
+          Format.printf "%a"
+            (Mv_obs.Heat.pp_variants ?budget ~now:(session_now session))
+            h
+      | None -> ());
+      (match json_out with
+      | Some path ->
+          write_file path
+            (Mv_obs.Json.to_string_pretty (Harness.heat_json ?budget session));
+          Format.eprintf "heat report -> %s@." path
+      | None -> ());
+      0)
+
+let variants_cmd =
+  let doc = "Variant lifecycle table: installs, residency, heat, advisor verdict" in
+  Cmd.v
+    (Cmd.info "variants" ~doc)
+    Term.(
+      const variants_main $ files_arg $ set_arg $ commit_arg $ run_arg $ args_arg
+      $ padding_arg $ budget_arg $ heat_json_arg)
 
 (* --- SMP runs: timeline / blame ------------------------------------- *)
 
@@ -652,17 +756,31 @@ let diff_cmd =
 
 (* ------------------------------------------------------------------ *)
 
+let subcommands =
+  [
+    flame_cmd;
+    top_cmd;
+    spans_cmd;
+    heat_cmd;
+    variants_cmd;
+    timeline_cmd;
+    blame_cmd;
+    postmortem_cmd;
+    diff_cmd;
+  ]
+
 let cmd =
   let doc = "Observability analysis for multiverse workloads" in
-  Cmd.group (Cmd.info "mvtrace" ~doc)
-    [
-      flame_cmd;
-      top_cmd;
-      spans_cmd;
-      timeline_cmd;
-      blame_cmd;
-      postmortem_cmd;
-      diff_cmd;
-    ]
+  Cmd.group (Cmd.info "mvtrace" ~doc) subcommands
 
-let () = exit (Cmd.eval' cmd)
+(* An unknown subcommand or flag must exit 2 (usage error) rather than
+   cmdliner's default 124, and the message must name every subcommand so
+   the caller can self-correct without opening the man page. *)
+let () =
+  let status = Cmd.eval' cmd in
+  if status = Cmd.Exit.cli_error then begin
+    Format.eprintf "usage: mvtrace COMMAND [OPTION]...@.commands: %s@."
+      (String.concat ", " (List.map Cmd.name subcommands));
+    exit 2
+  end
+  else exit status

@@ -1233,6 +1233,48 @@ let installed_variant t name =
   | Some fe -> Option.map (fun addr -> name_of t.image addr) fe.fe_installed
   | None -> None
 
+(** Every multiversed body as a named [Mv_obs.Heat.region]: the generic
+    body plus each variant, with address ranges from the descriptors and
+    the variant's switch binding rendered from its guard records
+    ([switch=v], ranges as [switch=lo..hi], comma-joined).  Registration
+    order is function order, generic before variants, so heat reports are
+    deterministic.  This is the region census [Harness.enable_heat]
+    feeds to the heat accumulator. *)
+let heat_regions t : Mv_obs.Heat.region list =
+  let switches_of (v : Descriptor.variant_record) =
+    String.concat ","
+      (List.map
+         (fun (g : Descriptor.guard_record) ->
+           let name = name_of t.image g.Descriptor.gr_var in
+           if g.Descriptor.gr_lo = g.Descriptor.gr_hi then
+             Printf.sprintf "%s=%d" name g.Descriptor.gr_lo
+           else Printf.sprintf "%s=%d..%d" name g.Descriptor.gr_lo g.Descriptor.gr_hi)
+         v.Descriptor.va_guards)
+  in
+  List.concat_map
+    (fun fe ->
+      let fd = fe.fe_record in
+      {
+        Mv_obs.Heat.r_name = fe.fe_name;
+        r_fn = fe.fe_name;
+        r_kind = Mv_obs.Heat.Generic;
+        r_switches = "";
+        r_lo = fd.Descriptor.fd_generic;
+        r_hi = fd.Descriptor.fd_generic + fd.Descriptor.fd_generic_size;
+      }
+      :: List.map
+           (fun (v : Descriptor.variant_record) ->
+             {
+               Mv_obs.Heat.r_name = name_of t.image v.Descriptor.va_addr;
+               r_fn = fe.fe_name;
+               r_kind = Mv_obs.Heat.Variant;
+               r_switches = switches_of v;
+               r_lo = v.Descriptor.va_addr;
+               r_hi = v.Descriptor.va_addr + v.Descriptor.va_size;
+             })
+           fd.Descriptor.fd_variants)
+    t.functions
+
 type stats = {
   st_functions : int;
   st_variants : int;

@@ -311,6 +311,15 @@ val skipped_sites : t -> (int * string) list
 (** Symbol of the variant currently installed for the named function. *)
 val installed_variant : t -> string -> string option
 
+(** Every multiversed body as a named text region for code-heat
+    telemetry: the generic body plus each variant, address ranges from
+    the descriptor records, and each variant's switch binding rendered
+    from its guards ([switch=v], ranges as [switch=lo..hi],
+    comma-joined).  Deterministic order (function order, generic before
+    variants).  [Harness.enable_heat] feeds this census to
+    [Mv_obs.Heat]. *)
+val heat_regions : t -> Mv_obs.Heat.region list
+
 (** Runtime-level statistics.  The [st_safe_*] block counts safe-commit
     outcomes: actions deferred/denied at commit time, journaled actions
     dropped by a superseding commit, actions applied at safepoints, sets

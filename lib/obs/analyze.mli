@@ -73,6 +73,7 @@ val bench_diff :
     longer describes the tree. *)
 val regressions : threshold:float -> delta list -> delta list
 
+(** Render one delta as a single table row. *)
 val pp_delta : Format.formatter -> delta -> unit
 
 (** Render a delta table; [only_changed] (default true) hides exact

@@ -25,8 +25,10 @@
 (** A label set; order does not matter (labels are canonicalized). *)
 type labels = (string * string) list
 
+(** A registry: an isolated collection of named, labeled series. *)
 type t
 
+(** An empty registry. *)
 val create : unit -> t
 
 (** Add [by] (default 1) to a counter, creating it at 0 first.
@@ -47,6 +49,8 @@ val counter_value : t -> string -> labels -> int
 (** Current gauge value; [None] when absent. *)
 val gauge_value : t -> string -> labels -> float option
 
+(** Aggregate view of one histogram (bucket counts live in the
+    {!to_json} export). *)
 type hist_summary = {
   hs_count : int;
   hs_sum : float;

@@ -22,6 +22,7 @@ type row = {
   r_variant : bool;  (** true when the symbol is a generated variant *)
 }
 
+(** A sampling profiler instance. *)
 type t
 
 (** [create ~resolve ~now ()] builds a profiler.  [resolve] maps a pc to

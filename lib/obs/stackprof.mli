@@ -28,6 +28,7 @@ type row = {
   s_variant : bool;  (** some frame of the stack is a generated variant *)
 }
 
+(** A stack-aware sampling profiler instance. *)
 type t
 
 (** [create ~resolve ~frames ~now ()] builds a stack profiler.  [resolve]

@@ -36,6 +36,18 @@ type decode_stats = {
   mutable ds_invalidated : int;  (** superblocks dropped by icache flushes *)
 }
 
+(** Host-side code-heat counters, indexed by superblock entry text
+    offset.  They live in the machine — outside the superblocks — so an
+    icache flush that drops a block never loses the hits already
+    charged to its entry; rebuilding the block resumes counting in the
+    same slot.  Like the perf counters, incrementing them charges zero
+    simulated cycles. *)
+type heat_counters = {
+  hh_hits : int array;  (** cumulative entries via the dispatch slow path *)
+  hh_insns : int array;  (** cumulative instructions dispatched from here *)
+  hh_ends : int array;  (** text offset one past the block's last byte *)
+}
+
 type t = {
   image : Image.t;
   hart_id : int;
@@ -95,6 +107,9 @@ type t = {
           flight recorder's dump trigger.  Host-side and exactly-once per
           escaping fault; exceptions it raises itself are swallowed so a
           failing dump never masks the original fault. *)
+  mutable heat : heat_counters option;
+      (** block-entry hit counters ({!enable_heat}); [None] means the
+          dispatch slow path skips heat accounting entirely *)
 }
 
 (* A pre-decoded straight-line run of instructions.  Each closure is one
@@ -142,6 +157,7 @@ let create ?(cost = Cost.default) ?(platform = Native) ?(max_steps = 2_000_000_0
     frames = [];
     brk = None;
     on_trap = None;
+    heat = None;
   }
 
 (** Install (or remove) the safepoint hook.  While a hook is installed,
@@ -227,6 +243,43 @@ let flush_all_icache t =
   emit t (Mv_obs.Trace.Icache_flush { hart = t.hart_id; addr = 0; len = 0 });
   Array.fill t.cache 0 (Array.length t.cache) None;
   invalidate_blocks t ~lo:0 ~hi:(Array.length t.cache)
+
+(** Arm the code-heat counters.  Idempotent: counts already accumulated
+    survive a second call.  Purely host-side — the dispatch slow path
+    gains three array writes and the simulated clock does not move, so
+    cycle counts are identical with and without it. *)
+let enable_heat t =
+  match t.heat with
+  | Some _ -> ()
+  | None ->
+      let n = Array.length t.block_map in
+      t.heat <-
+        Some
+          {
+            hh_hits = Array.make n 0;
+            hh_insns = Array.make n 0;
+            hh_ends = Array.make n 0;
+          }
+
+(** Snapshot the heat counters as [(lo, hi, hits, insns)] per superblock
+    entry with at least one hit — absolute byte range, cumulative entry
+    count, cumulative instructions dispatched.  Non-destructive (counts
+    keep accumulating) and ordered by address; [[]] when heat was never
+    enabled.  [hi] reflects the most recent shape of the block at [lo]
+    (a re-decode after patching may change its extent). *)
+let heat_blocks t : (int * int * int * int) list =
+  match t.heat with
+  | None -> []
+  | Some h ->
+      let base = text_base t in
+      let acc = ref [] in
+      for off = Array.length h.hh_hits - 1 downto 0 do
+        let n = Array.unsafe_get h.hh_hits off in
+        if n > 0 then
+          acc :=
+            (base + off, base + h.hh_ends.(off), n, h.hh_insns.(off)) :: !acc
+      done;
+      !acc
 
 let fetch t pc : Insn.t * int =
   let off = pc - text_base t in
@@ -582,9 +635,22 @@ let locate_slow t pc : superblock =
   let off = pc - text_base t in
   if off < 0 || off >= Array.length t.block_map then
     faultf "instruction fetch outside text at 0x%x" pc;
-  match Array.unsafe_get t.block_map off with
-  | Some b -> b
-  | None -> build_block t pc
+  let b =
+    match Array.unsafe_get t.block_map off with
+    | Some b -> b
+    | None -> build_block t pc
+  in
+  (* Code-heat hook: every fresh block entry passes through here exactly
+     once (cursor hits are mid-block continuations), so counting at this
+     point charges one hit per superblock execution.  Host-side only —
+     the simulated clock does not move. *)
+  (match t.heat with
+  | None -> ()
+  | Some h ->
+      h.hh_hits.(off) <- h.hh_hits.(off) + 1;
+      h.hh_insns.(off) <- h.hh_insns.(off) + Array.length b.sb_ops;
+      h.hh_ends.(off) <- b.sb_end);
+  b
 
 (** Execute exactly one instruction at [t.pc] through the superblock
     cache.  Returns [false] when the machine returned to the sentinel

@@ -35,6 +35,17 @@ type decode_stats = {
   mutable ds_invalidated : int;  (** superblocks dropped by icache flushes *)
 }
 
+(** Host-side code-heat counters, indexed by superblock entry text
+    offset.  They live in the machine — outside the superblocks — so an
+    icache flush that drops a block never loses the hits already charged
+    to its entry; rebuilding the block resumes counting in the same
+    slot.  Incrementing them charges zero simulated cycles. *)
+type heat_counters = {
+  hh_hits : int array;  (** cumulative entries via the dispatch slow path *)
+  hh_insns : int array;  (** cumulative instructions dispatched from here *)
+  hh_ends : int array;  (** text offset one past the block's last byte *)
+}
+
 type t = {
   image : Image.t;
   hart_id : int;  (** event-attribution id; 0 for plain machines *)
@@ -76,6 +87,8 @@ type t = {
       (** breakpoint handler; install via {!set_brk_handler} *)
   mutable on_trap : (string -> unit) option;
       (** trap observer; install via {!set_trap_hook} *)
+  mutable heat : heat_counters option;
+      (** block-entry hit counters; arm via {!enable_heat} *)
 }
 
 (** A pre-decoded straight-line run of instructions: one closure per
@@ -158,6 +171,26 @@ val hart_id : t -> int
     clock; asserting [ds_blocks] stays flat across repeated runs proves
     re-decode only happens after an invalidation. *)
 val decode_stats : t -> decode_stats
+
+(** Arm the code-heat counters: from now on every superblock entry
+    through the dispatch slow path increments a per-entry-offset hit
+    counter ({!type-heat_counters}).  Idempotent — a second call keeps the
+    counts already accumulated.  Host-side only: the simulated clock
+    does not move, so cycle counts are bit-identical with and without it
+    (pinned by the obs-overhead bench's [heat] arm).  Counting happens at
+    block granularity on the {!step}/{!finish} superblock path; the
+    reference interpreter ({!step_ref}) does not feed it. *)
+val enable_heat : t -> unit
+
+(** Snapshot the heat counters as [(lo, hi, hits, insns)] per superblock
+    entry with at least one hit: absolute byte range of the block,
+    cumulative entry count, cumulative instructions dispatched from it.
+    Non-destructive and address-ordered; [[]] when heat was never
+    enabled.  Because counters are cumulative, feed snapshots to
+    [Mv_obs.Heat.observe], which folds deltas.  [hi] reflects the
+    block's most recent shape (a re-decode after patching may change its
+    extent). *)
+val heat_blocks : t -> (int * int * int * int) list
 
 (** Drop decoded state overlapping the range (icache flush): both the
     per-instruction cache entries and every superblock touching the

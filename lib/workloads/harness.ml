@@ -18,6 +18,7 @@ module Profile = Mv_obs.Profile
 module Stackprof = Mv_obs.Stackprof
 module Metrics = Mv_obs.Metrics
 module Flight = Mv_obs.Flight
+module Heat = Mv_obs.Heat
 module Json = Mv_obs.Json
 
 type measurement = {
@@ -43,6 +44,7 @@ type session = {
   mutable stackprof : Stackprof.t option;  (** set by {!enable_stack_profiling} *)
   mutable metrics : Metrics.t option;  (** set by {!enable_metrics} *)
   mutable metrics_sink : Trace.sink option;  (** the registry's trace bridge *)
+  mutable heat : Heat.t option;  (** set by {!enable_heat} *)
 }
 
 (* Sequence number for trap artifacts, so two faults in one process never
@@ -92,6 +94,7 @@ let of_parts ?(flight_capacity = 512) program machine runtime : session =
       stackprof = None;
       metrics = None;
       metrics_sink = None;
+      heat = None;
     }
   in
   Machine.set_trap_hook machine
@@ -194,6 +197,7 @@ let install_tracers s =
       [
         Option.map Trace.sink s.trace;
         s.metrics_sink;
+        Option.map (fun h -> Heat.sink h ~clock:(machine_clock s)) s.heat;
         Some (Flight.sink s.flight);
       ]
   in
@@ -241,6 +245,51 @@ let enable_metrics s =
   s.metrics <- Some m;
   s.metrics_sink <- Some (Metrics.trace_sink m ~clock:(machine_clock s) ());
   install_tracers s
+
+(* Arm code-heat telemetry: the machine gains block-entry hit counters
+   (host-side, zero simulated cycles), the runtime's body census becomes
+   the region registry, and the residency sink joins the event chain so
+   variant lifecycles are tracked from the same trace stream everything
+   else consumes.  Composes with the other enable_* in any order. *)
+let enable_heat ?decay s =
+  let h = Heat.create ?decay () in
+  List.iter (Heat.register h) (Core.Runtime.heat_regions s.runtime);
+  s.heat <- Some h;
+  Machine.enable_heat s.machine;
+  install_tracers s
+
+(* Fold the machine's cumulative block counters into the accumulator
+   (delta-safe: calling it repeatedly never double-counts). *)
+let heat_sync s =
+  match s.heat with
+  | None -> ()
+  | Some h ->
+      Heat.observe ~source:(Machine.hart_id s.machine) h
+        (Machine.heat_blocks s.machine)
+
+(** The heat accumulator armed by {!enable_heat}, if any (synced first). *)
+let heat s =
+  heat_sync s;
+  s.heat
+
+(** Close a decay epoch: sync the machine counters, then apply the decay
+    step to every region's hotness score. *)
+let heat_epoch s =
+  heat_sync s;
+  Option.iter Heat.epoch s.heat
+
+(** Per-region heat accounting ([[]] until {!enable_heat}), synced. *)
+let heat_report s =
+  heat_sync s;
+  match s.heat with None -> [] | Some h -> Heat.region_stats h
+
+(** The [mv-heat/1] document for this session, synced; [budget] adds the
+    eviction advisor's plan.  [Json.Null] until {!enable_heat}. *)
+let heat_json ?budget s =
+  heat_sync s;
+  match s.heat with
+  | None -> Json.Null
+  | Some h -> Heat.to_json ?budget ~now:(machine_clock s ()) h
 
 (* Symbol names of all generated variants, for profiler classification. *)
 let variant_names s =
@@ -332,8 +381,14 @@ let metrics_json s : Json.t =
       | None -> [])
     @ (match s.metrics with
       | Some m ->
-          (* refresh the runtime-counter gauges at scrape time *)
+          (* refresh the runtime-counter (and, when armed, the code-heat)
+             gauges at scrape time *)
           Core.Runtime.stats_metrics (Core.Runtime.stats s.runtime) m;
+          (match s.heat with
+          | Some h ->
+              heat_sync s;
+              Heat.to_metrics h m
+          | None -> ());
           [ ("metrics", Metrics.to_json m) ]
       | None -> [])
     @
@@ -479,6 +534,7 @@ type smp_session = {
   mutable sm_metrics : Metrics.t option;  (** set by {!enable_smp_metrics} *)
   mutable sm_metrics_sink : Trace.sink option;
   mutable sm_stackprofs : Stackprof.t array;  (** one per hart once enabled *)
+  mutable sm_heat : Heat.t option;  (** set by {!enable_smp_heat} *)
 }
 
 (* The container-wide sink chain: ring and metrics bridge (when armed)
@@ -490,6 +546,9 @@ let install_smp_tracers s =
       [
         Option.map Trace.sink s.sm_trace;
         s.sm_metrics_sink;
+        Option.map
+          (fun h -> Heat.sink h ~clock:(fun () -> Smp.clock s.smp))
+          s.sm_heat;
         Some (Flight.sink s.sm_flight);
       ]
   in
@@ -540,7 +599,7 @@ let smp_session ?(n_harts = 2) ?policy ?seed ?platform ?cost
   let s =
     { sm_program = program; smp; sm_runtime = runtime; sm_flight = flight;
       sm_trace = None; sm_metrics = None; sm_metrics_sink = None;
-      sm_stackprofs = [||] }
+      sm_stackprofs = [||]; sm_heat = None }
   in
   install_smp_tracers s;
   s
@@ -601,6 +660,40 @@ let enable_smp_metrics s =
 
 (** The registry armed by {!enable_smp_metrics}, if any. *)
 let smp_metrics s = s.sm_metrics
+
+(** Arm code-heat telemetry on the container: every hart's machine gains
+    block counters, one shared accumulator holds the per-region heat
+    (per-hart deltas are folded by source, so harts sharing text offsets
+    never collide), and the residency sink is clocked by the SMP
+    clock. *)
+let enable_smp_heat ?decay s =
+  let h = Heat.create ?decay () in
+  List.iter (Heat.register h) (Core.Runtime.heat_regions s.sm_runtime);
+  s.sm_heat <- Some h;
+  for i = 0 to Smp.n_harts s.smp - 1 do
+    Machine.enable_heat (Smp.machine s.smp i)
+  done;
+  install_smp_tracers s
+
+(* Fold every hart's cumulative block counters into the accumulator,
+   keyed by hart id so cumulative deltas stay per-hart. *)
+let smp_heat_sync s =
+  match s.sm_heat with
+  | None -> ()
+  | Some h ->
+      for i = 0 to Smp.n_harts s.smp - 1 do
+        Heat.observe ~source:i h (Machine.heat_blocks (Smp.machine s.smp i))
+      done
+
+(** The container's heat accumulator, if any (synced first). *)
+let smp_heat s =
+  smp_heat_sync s;
+  s.sm_heat
+
+(** Per-region heat across all harts ([[]] until {!enable_smp_heat}). *)
+let smp_heat_report s =
+  smp_heat_sync s;
+  match s.sm_heat with None -> [] | Some h -> Heat.region_stats h
 
 let smp_trace_events s =
   match s.sm_trace with None -> [] | Some ring -> Trace.events ring

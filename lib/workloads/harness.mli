@@ -28,6 +28,8 @@ type session = {
   mutable metrics : Mv_obs.Metrics.t option;
   mutable metrics_sink : Mv_obs.Trace.sink option;
       (** the registry's event bridge, teed with the ring sink *)
+  mutable heat : Mv_obs.Heat.t option;
+      (** the code-heat accumulator, set by {!enable_heat} *)
 }
 
 (** Assemble a session from pre-built parts (for callers that need custom
@@ -119,6 +121,32 @@ val enable_stack_profiling : ?interval:int -> session -> unit
     Composes with {!enable_tracing} (both sinks tee off the single
     tracer slot). *)
 val enable_metrics : session -> unit
+
+(** Arm code-heat telemetry end to end: the machine's block-entry hit
+    counters ([Mv_vm.Machine.enable_heat] — host-side, zero simulated
+    cycles), the runtime's body census as the region registry
+    ([Core.Runtime.heat_regions]), and the residency sink
+    ([Mv_obs.Heat.sink]) teed into the session's event chain.  [decay]
+    is the per-epoch hotness multiplier (default 0.5).  Composes with
+    the other [enable_*] in any order. *)
+val enable_heat : ?decay:float -> session -> unit
+
+(** The heat accumulator armed by {!enable_heat}, if any, with the
+    machine's cumulative block counters folded in first (delta-safe:
+    reading repeatedly never double-counts). *)
+val heat : session -> Mv_obs.Heat.t option
+
+(** Close a decay epoch: fold the machine counters, then apply the decay
+    step to every region's hotness score. *)
+val heat_epoch : session -> unit
+
+(** Per-region heat accounting, synced ([[]] until {!enable_heat}). *)
+val heat_report : session -> Mv_obs.Heat.region_stat list
+
+(** The session's [mv-heat/1] document, synced, with open residency
+    intervals extended to the current machine clock; [budget] adds the
+    eviction advisor's plan.  [Json.Null] until {!enable_heat}. *)
+val heat_json : ?budget:int -> session -> Mv_obs.Json.t
 
 (** Recorded events, oldest first ([[]] until {!enable_tracing}). *)
 val trace_events : session -> Mv_obs.Trace.stamped list
@@ -219,6 +247,8 @@ type smp_session = {
   mutable sm_metrics_sink : Mv_obs.Trace.sink option;
   mutable sm_stackprofs : Mv_obs.Stackprof.t array;
       (** one per hart once {!enable_smp_stack_profiling} ran *)
+  mutable sm_heat : Mv_obs.Heat.t option;
+      (** the shared code-heat accumulator, set by {!enable_smp_heat} *)
 }
 
 (** Build an SMP session ([n_harts] default 2; [policy]/[seed] as in
@@ -291,6 +321,19 @@ val enable_smp_metrics : smp_session -> unit
 
 (** The registry armed by {!enable_smp_metrics}, if any. *)
 val smp_metrics : smp_session -> Mv_obs.Metrics.t option
+
+(** {!enable_heat} for the container: every hart's machine gains block
+    counters and one shared accumulator folds their deltas keyed by hart
+    id, so harts sharing text offsets never collide; the residency sink
+    is clocked by the SMP clock. *)
+val enable_smp_heat : ?decay:float -> smp_session -> unit
+
+(** The container's heat accumulator, if any, with every hart's counters
+    folded in first. *)
+val smp_heat : smp_session -> Mv_obs.Heat.t option
+
+(** Per-region heat across all harts ([[]] until {!enable_smp_heat}). *)
+val smp_heat_report : smp_session -> Mv_obs.Heat.region_stat list
 
 val smp_trace_events : smp_session -> Mv_obs.Trace.stamped list
 val smp_trace_dump : smp_session -> string

@@ -89,6 +89,20 @@ grep -q 'spin_lock.config_smp=1' "$smoke_folded" \
 dune exec bin/mvtrace.exe -- diff --gate 5 BENCH_results.json "$bench_json" > /dev/null \
   || { echo "mvtrace diff: fig1 rows drifted from BENCH_results.json"; exit 1; }
 
+# Heat smoke: the block-heat census on the same workload must attribute
+# nonzero heat to the committed variant's text region (if the variant
+# region reads 0 the dispatch-path hook or the region census is broken).
+smoke_heat=$(mktemp /tmp/mv-heat-XXXXXX.txt)
+trap 'rm -f "$bench_json" "$smoke_mvc" "$smoke_folded" "$smoke_heat"' EXIT
+dune exec bin/mvtrace.exe -- heat "$smoke_mvc" --set config_smp=1 --commit \
+  --run bench_loop --arg 200 > "$smoke_heat" 2> /dev/null
+grep -q 'spin_lock.config_smp=1' "$smoke_heat" \
+  || { echo "mvtrace heat: variant region missing"; exit 1; }
+# Columns: region kind bytes covered cover% hits heat [bar].
+awk '$1 == "spin_lock.config_smp=1" && $6 + 0 > 0 { found = 1 } END { exit !found }' \
+  "$smoke_heat" \
+  || { echo "mvtrace heat: variant region has zero heat"; exit 1; }
+
 # Parallel fuzz smoke: a domain-striped campaign must write the exact
 # corpus a single-domain run writes (case seeds are domain-count
 # invariant).  Chaos skip-flush guarantees divergences, so both runs

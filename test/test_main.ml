@@ -24,6 +24,7 @@ let () =
       ("workloads", Test_workloads.suite);
       ("harness", Test_harness.suite);
       ("obs", Test_obs.suite);
+      ("heat", Test_heat.suite);
       ("json", Test_json.suite);
       ("fuzz", Test_fuzz.suite);
       ("superblock", Test_superblock.suite);

@@ -784,6 +784,156 @@ let test_percentiles_and_measurement_fields () =
       | _ -> Alcotest.failf "measurement_json lacks %s" k)
     [ "mean"; "stddev"; "min"; "max"; "p50"; "p95"; "samples"; "excluded" ]
 
+(* ------------------------------------------------------------------ *)
+(* Metrics edge cases                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_metrics_label_canonicalization () =
+  let m = Metrics.create () in
+  (* Reordered labels address the same series. *)
+  Metrics.inc m "req" [ ("a", "1"); ("b", "2") ];
+  Metrics.inc m "req" [ ("b", "2"); ("a", "1") ];
+  check_int "reordered labels coincide" 2
+    (Metrics.counter_value m "req" [ ("b", "2"); ("a", "1") ]);
+  (* Canonicalization sorts but does not deduplicate: a duplicated
+     label pair is a distinct series from the single pair. *)
+  Metrics.inc m "dup" [ ("a", "1"); ("a", "1") ];
+  check_int "duplicated pair is its own series" 0
+    (Metrics.counter_value m "dup" [ ("a", "1") ]);
+  check_int "duplicated pair readable under itself" 1
+    (Metrics.counter_value m "dup" [ ("a", "1"); ("a", "1") ]);
+  (* Same key with two values: order still does not matter. *)
+  Metrics.inc m "multi" [ ("a", "1"); ("a", "2") ];
+  Metrics.inc m "multi" [ ("a", "2"); ("a", "1") ];
+  check_int "reordered duplicate keys coincide" 2
+    (Metrics.counter_value m "multi" [ ("a", "1"); ("a", "2") ])
+
+let test_metrics_histogram_bucket_boundaries () =
+  let m = Metrics.create () in
+  let bounds = [| 1.0; 2.0; 5.0 |] in
+  List.iter (Metrics.observe ~bounds m "lat" []) [ 1.0; 2.0; 5.0; 6.0 ];
+  (match Metrics.histogram_summary m "lat" [] with
+  | Some hs ->
+      check_int "all four observed" 4 hs.Metrics.hs_count;
+      check_float "min" 1.0 hs.Metrics.hs_min;
+      check_float "max" 6.0 hs.Metrics.hs_max
+  | None -> Alcotest.fail "histogram missing");
+  (* A value exactly on a bucket bound lands in that bucket (inclusive
+     upper edge), and anything past the last bound in the overflow
+     bucket.  Read the per-bucket counts back through the export. *)
+  let doc = parse_ok "registry" (Json.to_string_pretty (Metrics.to_json m)) in
+  let counts =
+    match Json.member "series" doc with
+    | Some (Json.List series) ->
+        List.filter_map
+          (fun s ->
+            match (Json.member "name" s, Json.member "counts" s) with
+            | Some (Json.String "lat"), Some (Json.List cs) ->
+                Some
+                  (List.map
+                     (function Json.Int n -> n | _ -> Alcotest.fail "count not int")
+                     cs)
+            | _ -> None)
+          series
+    | _ -> Alcotest.fail "no series"
+  in
+  (match counts with
+  | [ cs ] ->
+      check_int "one count per bound plus overflow" 4 (List.length cs);
+      List.iteri (fun i c -> check_int (Printf.sprintf "bucket %d" i) 1 c) cs
+  | _ -> Alcotest.fail "expected exactly one lat histogram")
+
+let test_metrics_empty_registry_export_stable () =
+  let a = Json.to_string (Metrics.to_json (Metrics.create ())) in
+  let b = Json.to_string (Metrics.to_json (Metrics.create ())) in
+  check_string "fresh registries export identically" a b;
+  let doc = parse_ok "empty registry" a in
+  check_bool "schema tagged" true
+    (Json.member "schema" doc = Some (Json.String "mv-metrics-registry/1"));
+  check_bool "series empty" true (Json.member "series" doc = Some (Json.List []))
+
+(* ------------------------------------------------------------------ *)
+(* Flight-recorder dump robustness                                     *)
+(* ------------------------------------------------------------------ *)
+
+module Flight = Mv_obs.Flight
+
+let flight_fixture () =
+  let t = ref 0.0 in
+  let f = Flight.create ~capacity:32 ~clock:(fun () -> t := !t +. 1.0; !t) () in
+  List.iter (Flight.record f)
+    [
+      Trace.Commit_begin { cid = 1; op = "commit"; switches = [ ("config_smp", 1) ] };
+      Trace.Variant_selected { fn = "spin_lock"; variant = "spin_lock.config_smp=1" };
+      Trace.Commit_end { cid = 1; op = "commit"; bound = 1 };
+      Trace.Fallback { fn = "other" };
+      Trace.Safepoint_poll { pending = 2 };
+    ];
+  f
+
+let test_flight_dump_truncation_is_clean () =
+  let f = flight_fixture () in
+  let s = Flight.dump_string f ~reason:"unit-test" () in
+  let whole = List.length (Flight.events_of_dump (parse_ok "whole dump" s)) in
+  check_int "fixture events decode" 5 whole;
+  (* Every proper prefix either fails to parse with a clean [Error] or
+     parses to a document whose events decode without raising. *)
+  for len = 0 to String.length s - 1 do
+    match Json.parse (String.sub s 0 len) with
+    | Error _ -> ()
+    | Ok doc ->
+        let n = List.length (Flight.events_of_dump doc) in
+        check_bool "prefix decodes at most the whole window" true (n <= whole)
+  done
+
+let test_flight_dump_bitflips_never_raise () =
+  let f = flight_fixture () in
+  let s = Flight.dump_string f ~reason:"unit-test" () in
+  let b = Bytes.of_string s in
+  for i = 0 to Bytes.length b - 1 do
+    let orig = Bytes.get b i in
+    Bytes.set b i (Char.chr (Char.code orig lxor 0x04));
+    (match Json.parse (Bytes.to_string b) with
+    | Error _ -> ()
+    | Ok doc -> ignore (Flight.events_of_dump doc : Trace.stamped list));
+    Bytes.set b i orig
+  done
+
+let test_flight_dump_corrupt_entry_skipped () =
+  let f = flight_fixture () in
+  let doc = Flight.dump f ~reason:"unit-test" () in
+  let n = List.length (Flight.events_of_dump doc) in
+  (* Corrupt the first event's name: that entry is skipped, the rest of
+     the window still decodes. *)
+  let corrupted =
+    match doc with
+    | Json.Obj fields ->
+        Json.Obj
+          (List.map
+             (function
+               | ("events", Json.List (e :: rest)) ->
+                   let e' =
+                     match e with
+                     | Json.Obj fs ->
+                         Json.Obj
+                           (List.map
+                              (function
+                                | ("name", _) -> ("name", Json.String "no_such_event")
+                                | kv -> kv)
+                              fs)
+                     | other -> other
+                   in
+                   ("events", Json.List (e' :: rest))
+               | kv -> kv)
+             fields)
+    | other -> other
+  in
+  check_int "corrupt entry skipped, remainder decodes" (n - 1)
+    (List.length (Flight.events_of_dump corrupted));
+  (* A dump with no events member at all decodes to the empty list. *)
+  check_int "missing events member" 0
+    (List.length (Flight.events_of_dump (Json.Obj [ ("schema", Json.String "x") ])))
+
 let suite =
   [
     tc "ring preserves order and seq" test_ring_order_and_seq;
@@ -819,4 +969,12 @@ let suite =
     tc "bench diff: foreign schema rejected" test_bench_diff_rejects_foreign_schema;
     tc "derived perf metrics" test_perf_derived_metrics;
     tc "percentiles and measurement fields" test_percentiles_and_measurement_fields;
+    tc "label canonicalization sorts without deduping"
+      test_metrics_label_canonicalization;
+    tc "histogram bucket boundaries are inclusive"
+      test_metrics_histogram_bucket_boundaries;
+    tc "empty registry export is stable" test_metrics_empty_registry_export_stable;
+    tc "flight dump truncation is clean" test_flight_dump_truncation_is_clean;
+    tc "flight dump bit flips never raise" test_flight_dump_bitflips_never_raise;
+    tc "flight dump corrupt entry skipped" test_flight_dump_corrupt_entry_skipped;
   ]
