@@ -1178,6 +1178,186 @@ let bechamel_suites () =
     tests
 
 (* ------------------------------------------------------------------ *)
+(* E22: lazy materialization — the variant cache                       *)
+(* ------------------------------------------------------------------ *)
+
+(* A function over [n] independent boolean switches: 2^n valuations,
+   every subset specializing to a distinct body.  The shape the eager
+   pipeline cannot pre-expand past the explosion cap and the lazy
+   pipeline covers on demand. *)
+let switch_farm_src n =
+  let b = Buffer.create 1024 in
+  for i = 0 to n - 1 do
+    Buffer.add_string b (Printf.sprintf "multiverse bool s%d;\n" i)
+  done;
+  Buffer.add_string b "int w;\nmultiverse void f() {\n";
+  for i = 0 to n - 1 do
+    Buffer.add_string b
+      (Printf.sprintf "  if (s%d) { w = w + %d; w = w + %d; }\n" i (i + 1)
+         (100 * (i + 1)))
+  done;
+  Buffer.add_string b "}\nint driver() { w = 0; f(); return w; }\n";
+  Buffer.contents b
+
+(* drand48-style LCG, masked to 46 bits so it stays a native OCaml int *)
+let lazy_lcg seed =
+  let state = ref (seed lor 1) in
+  fun bound ->
+    state := ((!state * 0x5DEECE66D) + 0xB) land 0x3FFFFFFFFFFF;
+    (!state lsr 17) mod bound
+
+let set_valuation s n bits =
+  for i = 0 to n - 1 do
+    H.set s (Printf.sprintf "s%d" i) ((bits lsr i) land 1)
+  done
+
+(* E22a: first-commit latency — specialize, optimize, assemble and link
+   one unseen valuation into the variant-text region.  The wall-clock
+   column is host time (skipped by the diff gate); the materialization
+   counts and resident bytes are simulator-deterministic and gated. *)
+let lazy_first_commit () =
+  header
+    "E22a / extension: lazy materialization — first-commit latency\n\
+     (demand-driven specialize+optimize+assemble+link of one unseen\n\
+    \ switch valuation; eager pre-expansion pays this for the whole\n\
+    \ cross product at compile time)";
+  row "%-10s %12s %16s %14s %12s\n" "[switches]" "commits" "mean ms/commit"
+    "materialized" "bytes";
+  List.iter
+    (fun n ->
+      let s = H.lazy_session1 (switch_farm_src n) in
+      let commits = min (1 lsl n) 16 in
+      let t0 = Unix.gettimeofday () in
+      for bits = 0 to commits - 1 do
+        set_valuation s n bits;
+        ignore (H.commit s)
+      done;
+      let ms = (Unix.gettimeofday () -. t0) *. 1000.0 /. float_of_int commits in
+      let st = Core.Runtime.stats s.H.runtime in
+      row "%-10d %12d %16.3f %14d %12d\n" n commits ms
+        st.Core.Runtime.st_materialized st.Core.Runtime.st_variant_bytes;
+      jrow (Printf.sprintf "%d-switches" n)
+        [
+          ("commits", Json.Int commits);
+          ("commit_ms", Json.Float ms);
+          ("materialized", Json.Int st.Core.Runtime.st_materialized);
+          ("dedup_hits", Json.Int st.Core.Runtime.st_dedup_hits);
+          ("variant_bytes", Json.Int st.Core.Runtime.st_variant_bytes);
+        ])
+    [ 2; 4; 6; 20 ]
+
+(* E22b: cache-hit commit latency — re-committing an already-resident
+   valuation touches the LRU and relinks the descriptor alias but
+   assembles nothing. *)
+let lazy_cache_hit () =
+  header
+    "E22b / extension: lazy materialization — cache-hit commit latency\n\
+     (the structural-hash cache makes a re-commit of a resident\n\
+    \ valuation patch-only: no specialization, no new bytes)";
+  row "%-10s %12s %16s %14s %12s\n" "[switches]" "recommits" "mean ms/commit"
+    "cache hits" "bytes";
+  List.iter
+    (fun n ->
+      let s = H.lazy_session1 (switch_farm_src n) in
+      set_valuation s n 1;
+      ignore (H.commit s);
+      let bytes0 = Core.Runtime.variant_bytes s.H.runtime in
+      let recommits = 100 in
+      let t0 = Unix.gettimeofday () in
+      for _ = 1 to recommits do
+        ignore (H.commit s)
+      done;
+      let ms = (Unix.gettimeofday () -. t0) *. 1000.0 /. float_of_int recommits in
+      let st = Core.Runtime.stats s.H.runtime in
+      assert (Core.Runtime.variant_bytes s.H.runtime = bytes0);
+      row "%-10d %12d %16.3f %14d %12d\n" n recommits ms
+        st.Core.Runtime.st_cache_hits st.Core.Runtime.st_variant_bytes;
+      jrow (Printf.sprintf "%d-switches" n)
+        [
+          ("recommits", Json.Int recommits);
+          ("commit_ms", Json.Float ms);
+          ("cache_hits", Json.Int st.Core.Runtime.st_cache_hits);
+          ("materialized", Json.Int st.Core.Runtime.st_materialized);
+          ("variant_bytes", Json.Int st.Core.Runtime.st_variant_bytes);
+        ])
+    [ 2; 6; 20 ]
+
+(* E22c: variant-memory footprint — eager pre-expansion burns text for
+   the whole cross product; the lazy cache holds only what ran, and the
+   20-switch (~1M valuation) storm stays inside a 256 KiB budget. *)
+let lazy_footprint () =
+  header
+    "E22c / extension: lazy materialization — variant-memory footprint\n\
+     (eager: text for every valuation up front; lazy: resident bytes\n\
+    \ track the committed working set under a byte budget)";
+  row "%-10s %16s %16s %14s\n" "[switches]" "eager bytes" "lazy bytes"
+    "lazy commits";
+  List.iter
+    (fun n ->
+      let src = switch_farm_src n in
+      let eager = H.session1 src in
+      let eimg = eager.H.program.Core.Compiler.p_image in
+      let eager_bytes =
+        Hashtbl.fold
+          (fun name size acc ->
+            if String.contains name '.' then acc + size else acc)
+          eimg.Mv_link.Image.symbol_sizes 0
+      in
+      let s = H.lazy_session1 src in
+      let commits = min (1 lsl n) 8 in
+      for bits = 0 to commits - 1 do
+        set_valuation s n bits;
+        ignore (H.commit s)
+      done;
+      let lazy_bytes = Core.Runtime.variant_bytes s.H.runtime in
+      row "%-10d %16d %16d %14d\n" n eager_bytes lazy_bytes commits;
+      jrow (Printf.sprintf "%d-switches" n)
+        [
+          ("eager_bytes", Json.Int eager_bytes);
+          ("lazy_bytes", Json.Int lazy_bytes);
+          ("commits", Json.Int commits);
+        ])
+    [ 2; 4; 6 ];
+  (* the acceptance storm: 20 switches (~1M valuations), 1000 pinned-seed
+     commits, 256 KiB budget — residency must never exceed the budget *)
+  let n = 20 in
+  let budget = 256 * 1024 in
+  let s = H.lazy_session1 ~budget (switch_farm_src n) in
+  let rand = lazy_lcg 0xC0FFEE in
+  let peak = ref 0 in
+  let ok = ref true in
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to 1000 do
+    set_valuation s n (rand (1 lsl n));
+    ignore (H.commit s);
+    let b = Core.Runtime.variant_bytes s.H.runtime in
+    if b > !peak then peak := b;
+    if b > budget then ok := false
+  done;
+  let storm_ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
+  let st = Core.Runtime.stats s.H.runtime in
+  row
+    "\nstorm: 20 switches, 1000 commits, 256 KiB budget — peak %d B, %d\n\
+     materialized, %d evictions, %d denials, budget %s (%.0f ms host)\n"
+    !peak st.Core.Runtime.st_materialized st.Core.Runtime.st_evictions
+    st.Core.Runtime.st_budget_denials
+    (if !ok then "held" else "EXCEEDED")
+    storm_ms;
+  jrow "storm-20-switches"
+    [
+      ("commits", Json.Int 1000);
+      ("budget_bytes", Json.Int budget);
+      ("peak_bytes", Json.Int !peak);
+      ("within_budget", Json.Bool !ok);
+      ("materialized", Json.Int st.Core.Runtime.st_materialized);
+      ("dedup_hits", Json.Int st.Core.Runtime.st_dedup_hits);
+      ("cache_hits", Json.Int st.Core.Runtime.st_cache_hits);
+      ("evictions", Json.Int st.Core.Runtime.st_evictions);
+      ("budget_denials", Json.Int st.Core.Runtime.st_budget_denials);
+      ("commit_ms", Json.Float storm_ms);
+    ]
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -1208,6 +1388,9 @@ let experiments =
     ("smp-rendezvous", smp_rendezvous);
     ("interp-superblock", interp_superblock);
     ("fuzz-throughput", fuzz_throughput);
+    ("lazy-first-commit", lazy_first_commit);
+    ("lazy-cache-hit", lazy_cache_hit);
+    ("lazy-footprint", lazy_footprint);
   ]
 
 let () =

@@ -70,6 +70,7 @@ let chaos_arg =
         ("lost-flush", Oracle.Lost_flush);
         ("drop-ack", Oracle.Drop_ack);
         ("corrupt-framemap", Oracle.Corrupt_framemap);
+        ("stale-cache", Oracle.Stale_cache);
       ]
   in
   Arg.(
@@ -77,7 +78,7 @@ let chaos_arg =
     & info [ "chaos" ] ~docv:"MODE"
         ~doc:
           "Inject a fault into the patching machinery \
-           (none|skip-flush|lost-flush|drop-ack|corrupt-framemap); see \
+           (none|skip-flush|lost-flush|drop-ack|corrupt-framemap|stale-cache); see \
            $(b,CHAOS MODES).  Used to validate that the oracles catch \
            real patching bugs")
 

@@ -55,9 +55,13 @@ let write_file path contents =
 
 (* Build a session and run the workload function under whatever
    recorders the subcommand armed via [arm].  Shared by flame/top/spans. *)
-let run_workload ~files ~sets ~padding ~commit ~fn ~args ~arm =
+let run_workload ~files ~sets ~padding ~lazy_budget ~commit ~fn ~args ~arm =
   let sources = List.map (fun f -> (Filename.basename f, read_file f)) files in
-  let program = Core.Compiler.build ~callsite_padding:padding sources in
+  let program =
+    Core.Compiler.build ~callsite_padding:padding
+      ~lazy_variants:(lazy_budget <> None)
+      sources
+  in
   List.iter (fun w -> Format.eprintf "%s@." w) (Core.Compiler.warnings program);
   let img = program.p_image in
   let machine = Mv_vm.Machine.create img in
@@ -65,6 +69,14 @@ let run_workload ~files ~sets ~padding ~commit ~fn ~args ~arm =
     Core.Runtime.create img ~flush:(fun ~addr ~len ->
         Mv_vm.Machine.flush_icache machine ~addr ~len)
   in
+  (* --lazy: demand-driven materialization; 0 means the whole region *)
+  (match lazy_budget with
+  | None -> ()
+  | Some b ->
+      let budget = if b = 0 then None else Some b in
+      Core.Runtime.enable_lazy ?budget runtime
+        ~recipes:(Core.Compiler.recipes program)
+        ~call_pad:(Core.Compiler.call_pad program));
   let session = Harness.of_parts program machine runtime in
   arm session;
   List.iter (fun (name, v) -> Image.write img (Image.symbol img name) v 8) sets;
@@ -106,6 +118,16 @@ let padding_arg =
     value & opt int 0
     & info [ "padding" ] ~docv:"N" ~doc:"Nop-pad call sites of multiversed symbols")
 
+let lazy_arg =
+  Arg.(
+    value
+    & opt ~vopt:(Some 0) (some int) None
+    & info [ "lazy" ] ~docv:"BYTES"
+        ~doc:
+          "Materialize variants on demand instead of pre-expanding them, \
+           under a resident byte budget of $(docv) (0 or omitted value: \
+           the whole variant-text region)")
+
 let interval_arg =
   Arg.(
     value & opt int 97
@@ -141,10 +163,11 @@ let chrome_arg =
     & info [ "chrome" ] ~docv:"FILE"
         ~doc:"Also record trace events and write a Chrome trace_event JSON to $(docv)")
 
-let flame_main files sets commit fn args padding interval out chrome =
+let flame_main files sets commit fn args padding lazy_budget interval out chrome =
   handle_errors (fun () ->
       let session =
-        run_workload ~files ~sets ~padding ~commit ~fn ~args ~arm:(fun s ->
+        run_workload ~files ~sets ~padding ~lazy_budget ~commit ~fn ~args
+          ~arm:(fun s ->
             Harness.enable_stack_profiling ~interval s;
             if chrome <> None then Harness.enable_tracing s)
       in
@@ -169,7 +192,7 @@ let flame_cmd =
     (Cmd.info "flame" ~doc)
     Term.(
       const flame_main $ files_arg $ set_arg $ commit_arg $ run_arg $ args_arg
-      $ padding_arg $ interval_arg $ flame_out_arg $ chrome_arg)
+      $ padding_arg $ lazy_arg $ interval_arg $ flame_out_arg $ chrome_arg)
 
 (* --- top ------------------------------------------------------------ *)
 
@@ -178,11 +201,11 @@ let limit_arg =
     value & opt int 10
     & info [ "limit"; "n" ] ~docv:"N" ~doc:"Rows to print (default 10)")
 
-let top_main files sets commit fn args padding interval limit =
+let top_main files sets commit fn args padding lazy_budget interval limit =
   handle_errors (fun () ->
       let session =
-        run_workload ~files ~sets ~padding ~commit ~fn ~args ~arm:(fun s ->
-            Harness.enable_stack_profiling ~interval s)
+        run_workload ~files ~sets ~padding ~lazy_budget ~commit ~fn ~args
+          ~arm:(fun s -> Harness.enable_stack_profiling ~interval s)
       in
       (match session.Harness.stackprof with
       | Some sp ->
@@ -198,7 +221,7 @@ let top_cmd =
     (Cmd.info "top" ~doc)
     Term.(
       const top_main $ files_arg $ set_arg $ commit_arg $ run_arg $ args_arg
-      $ padding_arg $ interval_arg $ limit_arg)
+      $ padding_arg $ lazy_arg $ interval_arg $ limit_arg)
 
 (* --- spans ---------------------------------------------------------- *)
 
@@ -208,10 +231,11 @@ let spans_metrics_arg =
     & info [ "metrics" ] ~docv:"FILE"
         ~doc:"Also write the metrics-registry JSON ($(b,mv-metrics-registry/1)) to $(docv)")
 
-let spans_main files sets commit fn args padding metrics_out =
+let spans_main files sets commit fn args padding lazy_budget metrics_out =
   handle_errors (fun () ->
       let session =
-        run_workload ~files ~sets ~padding ~commit ~fn ~args ~arm:(fun s ->
+        run_workload ~files ~sets ~padding ~lazy_budget ~commit ~fn ~args
+          ~arm:(fun s ->
             Harness.enable_tracing s;
             Harness.enable_metrics s)
       in
@@ -236,7 +260,7 @@ let spans_cmd =
     (Cmd.info "spans" ~doc)
     Term.(
       const spans_main $ files_arg $ set_arg $ commit_arg $ run_arg $ args_arg
-      $ padding_arg $ spans_metrics_arg)
+      $ padding_arg $ lazy_arg $ spans_metrics_arg)
 
 (* --- heat / variants ------------------------------------------------- *)
 
@@ -258,10 +282,10 @@ let heat_json_arg =
    then close one decay epoch so the reported hotness is the run's hit
    counts (decayed scores only differ once a caller runs several
    epochs). *)
-let run_heat_workload ~files ~sets ~padding ~commit ~fn ~args =
+let run_heat_workload ~files ~sets ~padding ~lazy_budget ~commit ~fn ~args =
   let session =
-    run_workload ~files ~sets ~padding ~commit ~fn ~args ~arm:(fun s ->
-        Harness.enable_heat s)
+    run_workload ~files ~sets ~padding ~lazy_budget ~commit ~fn ~args
+      ~arm:(fun s -> Harness.enable_heat s)
   in
   Harness.heat_epoch session;
   session
@@ -269,9 +293,11 @@ let run_heat_workload ~files ~sets ~padding ~commit ~fn ~args =
 let session_now (s : Harness.session) =
   s.Harness.machine.Mv_vm.Machine.perf.Mv_vm.Perf.cycles
 
-let heat_main files sets commit fn args padding budget json_out =
+let heat_main files sets commit fn args padding lazy_budget budget json_out =
   handle_errors (fun () ->
-      let session = run_heat_workload ~files ~sets ~padding ~commit ~fn ~args in
+      let session =
+        run_heat_workload ~files ~sets ~padding ~lazy_budget ~commit ~fn ~args
+      in
       (match session.Harness.heat with
       | Some h ->
           Format.printf "%a" Mv_obs.Heat.pp h;
@@ -303,15 +329,17 @@ let heat_cmd =
     (Cmd.info "heat" ~doc)
     Term.(
       const heat_main $ files_arg $ set_arg $ commit_arg $ run_arg $ args_arg
-      $ padding_arg $ budget_arg $ heat_json_arg)
+      $ padding_arg $ lazy_arg $ budget_arg $ heat_json_arg)
 
-let variants_main files sets commit fn args padding budget json_out =
+let variants_main files sets commit fn args padding lazy_budget budget json_out =
   handle_errors (fun () ->
-      let session = run_heat_workload ~files ~sets ~padding ~commit ~fn ~args in
+      let session =
+        run_heat_workload ~files ~sets ~padding ~lazy_budget ~commit ~fn ~args
+      in
       (match session.Harness.heat with
       | Some h ->
           Format.printf "%a"
-            (Mv_obs.Heat.pp_variants ?budget ~now:(session_now session))
+            (Mv_obs.Heat.pp_variants ?budget ~exclude:[] ~now:(session_now session))
             h
       | None -> ());
       (match json_out with
@@ -328,7 +356,7 @@ let variants_cmd =
     (Cmd.info "variants" ~doc)
     Term.(
       const variants_main $ files_arg $ set_arg $ commit_arg $ run_arg $ args_arg
-      $ padding_arg $ budget_arg $ heat_json_arg)
+      $ padding_arg $ lazy_arg $ budget_arg $ heat_json_arg)
 
 (* --- SMP runs: timeline / blame ------------------------------------- *)
 

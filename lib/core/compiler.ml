@@ -29,6 +29,8 @@ type compiled_unit = {
   cu_obj : Objfile.t;
   cu_prog : Ir.prog;  (** after variant generation and optimization *)
   cu_mv : Variantgen.mv_function list;
+  cu_recipes : Variantgen.recipe list;  (** lazy builds only *)
+  cu_call_pad : string -> int;  (** the unit's call-site padding rule *)
   cu_warnings : string list;
 }
 
@@ -63,7 +65,8 @@ let emit_global (obj : Objfile.t) (g : Ir.global) : unit =
 (* ------------------------------------------------------------------ *)
 
 let compile_unit ?(max_variants = Variantgen.default_max_variants)
-    ?(callsite_padding = 0) { u_name; u_source } : compiled_unit =
+    ?(callsite_padding = 0) ?(lazy_variants = false) { u_name; u_source } :
+    compiled_unit =
   if callsite_padding < 0 || callsite_padding > 10 then
     errf "%s: callsite_padding must be in 0..10" u_name;
   let tu, env, diags =
@@ -75,8 +78,8 @@ let compile_unit ?(max_variants = Variantgen.default_max_variants)
     | Minic.Typecheck.Error (m, loc) -> errf "%s:%a: error: %s" u_name Ast.pp_loc loc m
   in
   let prog = Mv_ir.Lower.lower_tunit tu env in
-  let { Variantgen.r_prog = prog; r_functions = mv_fns; r_warnings } =
-    Variantgen.generate ~max_variants prog
+  let { Variantgen.r_prog = prog; r_functions = mv_fns; r_recipes; r_warnings } =
+    Variantgen.generate ~max_variants ~lazy_variants prog
   in
   let obj = Objfile.create u_name in
   (* padded call sites (Section 7.1 extension): nop-pad calls to multiverse
@@ -168,6 +171,8 @@ let compile_unit ?(max_variants = Variantgen.default_max_variants)
     cu_obj = obj;
     cu_prog = prog;
     cu_mv = mv_fns;
+    cu_recipes = r_recipes;
+    cu_call_pad = call_pad;
     cu_warnings =
       List.map
         (fun (d : Minic.Typecheck.diagnostic) ->
@@ -180,23 +185,35 @@ let compile_unit ?(max_variants = Variantgen.default_max_variants)
 (* Whole programs                                                      *)
 (* ------------------------------------------------------------------ *)
 
-let link ?mem_size (units : compiled_unit list) : Image.t =
-  try Mv_link.Linker.link ?mem_size (List.map (fun u -> u.cu_obj) units)
+let link ?mem_size ?vtext_size (units : compiled_unit list) : Image.t =
+  try Mv_link.Linker.link ?mem_size ?vtext_size (List.map (fun u -> u.cu_obj) units)
   with Mv_link.Linker.Link_error m -> errf "link error: %s" m
 
 (** Compile and link a list of (unit name, source) pairs. *)
-let build ?max_variants ?callsite_padding ?mem_size (sources : (string * string) list) :
-    program =
+let build ?max_variants ?callsite_padding ?lazy_variants ?mem_size ?vtext_size
+    (sources : (string * string) list) : program =
   let units =
     List.map
       (fun (name, src) ->
-        compile_unit ?max_variants ?callsite_padding { u_name = name; u_source = src })
+        compile_unit ?max_variants ?callsite_padding ?lazy_variants
+          { u_name = name; u_source = src })
       sources
   in
-  { p_image = link ?mem_size units; p_units = units }
+  { p_image = link ?mem_size ?vtext_size units; p_units = units }
 
 (** Compile and link a single source string (unit name "main"). *)
-let build_string ?max_variants ?callsite_padding ?mem_size src : program =
-  build ?max_variants ?callsite_padding ?mem_size [ ("main", src) ]
+let build_string ?max_variants ?callsite_padding ?lazy_variants ?mem_size
+    ?vtext_size src : program =
+  build ?max_variants ?callsite_padding ?lazy_variants ?mem_size ?vtext_size
+    [ ("main", src) ]
 
 let warnings p = List.concat_map (fun u -> u.cu_warnings) p.p_units
+
+(** Every unit's specialization recipes (lazy builds; [[]] otherwise). *)
+let recipes p = List.concat_map (fun u -> u.cu_recipes) p.p_units
+
+(** The program-wide call-site padding rule: the widest padding any unit
+    applies to the symbol (used when materializing variant bodies at
+    runtime, so their call sites match the eager pipeline's). *)
+let call_pad p sym =
+  List.fold_left (fun acc u -> max acc (u.cu_call_pad sym)) 0 p.p_units

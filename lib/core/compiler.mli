@@ -20,6 +20,11 @@ type compiled_unit = {
   cu_obj : Mv_codegen.Objfile.t;
   cu_prog : Mv_ir.Ir.prog;  (** after variant generation and optimization *)
   cu_mv : Variantgen.mv_function list;
+  cu_recipes : Variantgen.recipe list;
+      (** specialization recipes for lazy builds; [[]] under eager
+          generation *)
+  cu_call_pad : string -> int;
+      (** the call-site padding rule the unit's text was emitted with *)
   cu_warnings : string list;
 }
 
@@ -35,26 +40,52 @@ type program = {
     @param callsite_padding nop bytes (0..10, default 0) appended to every
       call site of a multiversed symbol, widening the runtime's inlining
       budget (the Section 7.1 "adjusting the sizes of call sites"
-      extension). *)
+      extension).
+    @param lazy_variants suppress ahead-of-time variant expansion: the
+      unit's descriptors carry zero variants and [cu_recipes] records the
+      per-function specialization recipes for demand-driven
+      materialization ({!Runtime.enable_lazy}). *)
 val compile_unit :
-  ?max_variants:int -> ?callsite_padding:int -> unit_input -> compiled_unit
+  ?max_variants:int ->
+  ?callsite_padding:int ->
+  ?lazy_variants:bool ->
+  unit_input ->
+  compiled_unit
 
 (** Link compiled units into an image (raises {!Compile_error} on link
-    errors). *)
-val link : ?mem_size:int -> compiled_unit list -> Mv_link.Image.t
+    errors).  [vtext_size] is forwarded to {!Mv_link.Linker.link}. *)
+val link : ?mem_size:int -> ?vtext_size:int -> compiled_unit list -> Mv_link.Image.t
 
 (** Compile and link a list of (unit name, source text) pairs. *)
 val build :
   ?max_variants:int ->
   ?callsite_padding:int ->
+  ?lazy_variants:bool ->
   ?mem_size:int ->
+  ?vtext_size:int ->
   (string * string) list ->
   program
 
 (** Compile and link a single source string (unit name ["main"]). *)
 val build_string :
-  ?max_variants:int -> ?callsite_padding:int -> ?mem_size:int -> string -> program
+  ?max_variants:int ->
+  ?callsite_padding:int ->
+  ?lazy_variants:bool ->
+  ?mem_size:int ->
+  ?vtext_size:int ->
+  string ->
+  program
 
 (** All warnings across the program's units (front-end diagnostics and
     variant-generation warnings). *)
 val warnings : program -> string list
+
+(** Every unit's specialization recipes, concatenated — the input to
+    {!Runtime.enable_lazy} for a [lazy_variants] build ([[]] for eager
+    builds). *)
+val recipes : program -> Variantgen.recipe list
+
+(** The program-wide call-site padding rule for a symbol: the widest
+    padding any unit emitted.  Materialized variant bodies are assembled
+    with this rule so their call sites match the eager pipeline's. *)
+val call_pad : program -> string -> int

@@ -28,6 +28,8 @@
 module Image = Mv_link.Image
 module Insn = Mv_isa.Insn
 module Trace = Mv_obs.Trace
+module Objfile = Mv_codegen.Objfile
+module Emit = Mv_codegen.Emit
 
 type site_state =
   | Site_original
@@ -45,6 +47,10 @@ type site = {
 type fn_entry = {
   fe_name : string;
   fe_record : Descriptor.function_record;
+  mutable fe_variants : Descriptor.variant_record list;
+      (** the selectable variants: the parsed descriptor records, plus —
+          under lazy materialization — every alias the runtime has linked
+          so far (and minus the evicted ones) *)
   fe_sites : site list;
   mutable fe_prologue : bytes option;  (** saved generic prologue *)
   mutable fe_saved_body : bytes option;  (** saved generic body (body patching) *)
@@ -119,6 +125,68 @@ type osr_hart = {
   oh_set_top_frame : int -> unit;
 }
 
+(* --- Lazy variant materialization (demand-driven specialization) ---------
+
+   With [enable_lazy] the image carries no pre-expanded variants; instead
+   the compiler hands over one specialization recipe per multiversed
+   function.  The first commit of an unseen switch valuation specializes
+   the recipe, optimizes and assembles the body, and links it into the
+   image's reserved variant-text region.  Bodies are cached under their
+   post-optimization canonical form — the same key the eager pipeline
+   merges equal clones by — so a structurally equal body is never stored
+   twice: a hash hit adds only a descriptor alias.  A configurable byte
+   budget bounds residency; eviction drops cold aliases (advisor-ordered,
+   least-recently-selected as the deterministic fallback) and routes
+   installed victims through the existing revert / safe-commit / OSR
+   machinery. *)
+
+(** One resident variant body, shared by every alias whose specialized
+    clone has the same canonical form. *)
+type dedup_entry = {
+  de_addr : int;  (** body address in the variant-text region *)
+  de_size : int;  (** encoded body size *)
+  de_alloc : int;  (** allocated block size (16-aligned) *)
+  mutable de_refs : int;  (** descriptor aliases sharing the body *)
+}
+
+(** Book-keeping for one materialized descriptor alias. *)
+type mat_info = {
+  mi_fn : fn_entry;
+  mi_key : string;  (** the body's canonical form — its dedup key *)
+  mi_record : Descriptor.variant_record;
+}
+
+type lazy_state = {
+  lz_recipes : (string, Variantgen.recipe) Hashtbl.t;  (** by function symbol *)
+  lz_call_pad : string -> int;
+      (** the program's call-site padding rule, so materialized bodies are
+          assembled byte-compatible with the eager pipeline's *)
+  mutable lz_budget : int;  (** resident variant-text byte budget *)
+  mutable lz_cursor : int;  (** bump pointer into the variant-text region *)
+  mutable lz_free : (int * int) list;
+      (** freed (addr, size) blocks, address-sorted and coalesced *)
+  lz_dedup : (string, dedup_entry) Hashtbl.t;  (** canonical form -> body *)
+  lz_variants : (string, mat_info) Hashtbl.t;  (** by variant symbol *)
+  mutable lz_bytes : int;  (** resident bytes (unique blocks, alloc-sized) *)
+  mutable lz_tick : int;  (** LRU clock, bumped per selection *)
+  lz_lru : (string, int) Hashtbl.t;  (** variant symbol -> last-selected tick *)
+  mutable lz_evict_pending : string list;
+      (** victims whose body still has a live activation (or an undrained
+          unbind): freed at a later safepoint, oldest first *)
+  mutable lz_advisor : (unit -> string list) option;
+      (** preferred eviction order (e.g. [Heat.evict_plan] victims) *)
+  mutable lz_stale_cache : bool;
+      (** fuzzing chaos: skip the dedup-table invalidation on free, so a
+          later hash hit links a recycled block (must be caught by the
+          lazy-eager-equiv oracle) *)
+  (* counters, surfaced through [stats] *)
+  mutable lz_materialized : int;
+  mutable lz_dedup_hits : int;
+  mutable lz_cache_hits : int;
+  mutable lz_evictions : int;
+  mutable lz_budget_denials : int;
+}
+
 type t = {
   image : Image.t;
   patch : Patch.t;
@@ -153,12 +221,15 @@ type t = {
           patches only land with every other hart parked at an
           interrupts-enabled instruction boundary.  Must be re-entrant:
           nested operations run their thunk directly. *)
-  framemaps : Descriptor.framemap_record list;
-      (** parsed [multiverse.framemaps] records, one per multiversed body *)
+  mutable framemaps : Descriptor.framemap_record list;
+      (** parsed [multiverse.framemaps] records, one per multiversed body;
+          lazy materialization appends a host-built record per fresh body
+          (and drops it again on eviction) *)
   mutable osr : (unit -> osr_hart) option;
       (** accessors for the hart currently polling a safepoint; the harness
           wires them to [Mv_vm.Machine].  With [None] installed, safepoints
           never attempt on-stack replacement. *)
+  mutable lazy_st : lazy_state option;  (** demand-driven variant cache *)
 }
 
 (** How variants are installed.
@@ -232,6 +303,7 @@ let create (img : Image.t) ~flush : t =
         {
           fe_name = name_of img fr.fd_generic;
           fe_record = fr;
+          fe_variants = fr.fd_variants;
           fe_sites = sites;
           fe_prologue = None;
           fe_saved_body = None;
@@ -291,6 +363,7 @@ let create (img : Image.t) ~flush : t =
     barrier = None;
     framemaps = Descriptor.parse_framemaps img;
     osr = None;
+    lazy_st = None;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -344,6 +417,23 @@ let set_hart_source t h = t.hart_src <- h
 
 let cur_hart t = match t.hart_src with None -> 0 | Some f -> f ()
 
+(* Journal a deferred patch set (used by the safe-commit paths, and by the
+   variant cache when an eviction victim's body still has live
+   activations). *)
+let journal t actions =
+  if actions <> [] then begin
+    let pset =
+      {
+        pset_id = t.next_pset_id;
+        pset_cid = t.cur_cid;
+        pset_hart = cur_hart t;
+        pset_actions = actions;
+      }
+    in
+    t.next_pset_id <- t.next_pset_id + 1;
+    t.pending <- t.pending @ [ pset ]
+  end
+
 (* Every commit/revert span gets a fresh causality id, traced or not, so
    a sink attached mid-run still sees ids consistent with the journal. *)
 let emit_span_begin t op =
@@ -396,7 +486,7 @@ let guards_satisfied t (guards : Descriptor.guard_record list) : bool =
 let select_variant t (fe : fn_entry) : Descriptor.variant_record option =
   List.find_opt
     (fun (v : Descriptor.variant_record) -> guards_satisfied t v.va_guards)
-    fe.fe_record.fd_variants
+    fe.fe_variants
 
 (* ------------------------------------------------------------------ *)
 (* Site patching with verification                                     *)
@@ -512,19 +602,435 @@ let install_variant t (fe : fn_entry) (v : Descriptor.variant_record) =
     fe.fe_installed <- Some v.va_addr
   end
 
+(* ------------------------------------------------------------------ *)
+(* Lazy materialization: the demand-driven variant cache               *)
+(* ------------------------------------------------------------------ *)
+
+(** Enable demand-driven materialization: [recipes] are the compiler's
+    per-function specialization recipes ([Compiler.recipes]), [call_pad]
+    the program-wide call-site padding rule ([Compiler.call_pad]), and
+    [budget] the resident variant-text byte budget (default: the whole
+    variant-text region). *)
+let enable_lazy ?budget t ~recipes ~call_pad =
+  let vt = t.image.Image.vtext in
+  if vt.Image.sr_size = 0 then
+    errf "lazy materialization needs a variant-text region (link with vtext_size > 0)";
+  let budget = match budget with Some b -> b | None -> vt.Image.sr_size in
+  if budget <= 0 then errf "variant budget must be positive";
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun (r : Variantgen.recipe) -> Hashtbl.replace tbl r.Variantgen.rc_name r)
+    recipes;
+  t.lazy_st <-
+    Some
+      {
+        lz_recipes = tbl;
+        lz_call_pad = call_pad;
+        lz_budget = budget;
+        lz_cursor = vt.Image.sr_base;
+        lz_free = [];
+        lz_dedup = Hashtbl.create 16;
+        lz_variants = Hashtbl.create 16;
+        lz_bytes = 0;
+        lz_tick = 0;
+        lz_lru = Hashtbl.create 16;
+        lz_evict_pending = [];
+        lz_advisor = None;
+        lz_stale_cache = false;
+        lz_materialized = 0;
+        lz_dedup_hits = 0;
+        lz_cache_hits = 0;
+        lz_evictions = 0;
+        lz_budget_denials = 0;
+      }
+
+let lazy_required t =
+  match t.lazy_st with
+  | Some lz -> lz
+  | None -> errf "lazy materialization is not enabled (Runtime.enable_lazy)"
+
+(** Install (or remove) the eviction advisor: a thunk returning variant
+    symbols in preferred eviction order (harnesses wire the [Evict]
+    verdicts of [Heat.evict_plan] here).  Symbols the cache cannot evict
+    — unknown, journaled for a pending bind, or already draining — are
+    skipped; least-recently-selected order covers whatever the advisor
+    does not. *)
+let set_evict_advisor t adv = (lazy_required t).lz_advisor <- adv
+
+(** Fuzzing chaos: make eviction skip the dedup-table invalidation, so a
+    later structural-hash hit links a freed (and possibly recycled)
+    block.  The lazy-eager-equiv oracle must catch the divergence. *)
+let set_stale_cache_chaos t flag = (lazy_required t).lz_stale_cache <- flag
+
+(** Whether the variant cache would specialize [fe] at all — it has
+    resident variants, or a recipe to materialize one from. *)
+let specializable t (fe : fn_entry) =
+  fe.fe_variants <> []
+  ||
+  match t.lazy_st with
+  | Some lz -> Hashtbl.mem lz.lz_recipes fe.fe_name
+  | None -> false
+
+(* The current point assignment of a recipe's switches, or [None] when
+   any switch value is outside its specialization domain (the generic
+   fallback covers those, exactly as under eager generation). *)
+let recipe_assignment t (r : Variantgen.recipe) : (string * int) list option =
+  let ok = ref true in
+  let a =
+    List.map
+      (fun (name, dom) ->
+        match Image.symbol_opt t.image name with
+        | None ->
+            ok := false;
+            (name, 0)
+        | Some addr ->
+            let v = read_switch t addr in
+            if not (List.mem v dom) then ok := false;
+            (name, v))
+      r.Variantgen.rc_switches
+  in
+  if !ok then Some a else None
+
+(* First-fit allocation from the free list, else from the bump cursor;
+   blocks are 16-aligned like the static text layout. *)
+let vtext_alloc t lz size : (int * int) option =
+  let size = (size + 15) / 16 * 16 in
+  let rec take acc = function
+    | [] -> None
+    | (a, s) :: rest when s >= size ->
+        let rest' = if s > size then (a + size, s - size) :: rest else rest in
+        Some (a, List.rev_append acc rest')
+    | blk :: rest -> take (blk :: acc) rest
+  in
+  match take [] lz.lz_free with
+  | Some (a, free') ->
+      lz.lz_free <- free';
+      Some (a, size)
+  | None ->
+      let vt = t.image.Image.vtext in
+      let a = lz.lz_cursor in
+      if a + size <= vt.Image.sr_base + vt.Image.sr_size then begin
+        lz.lz_cursor <- a + size;
+        Some (a, size)
+      end
+      else None
+
+let vtext_free lz ~addr ~size =
+  let rec insert = function
+    | [] -> [ (addr, size) ]
+    | (a, s) :: rest when addr < a -> (addr, size) :: (a, s) :: rest
+    | blk :: rest -> blk :: insert rest
+  in
+  let rec coalesce = function
+    | (a1, s1) :: (a2, s2) :: rest when a1 + s1 = a2 -> coalesce ((a1, s1 + s2) :: rest)
+    | blk :: rest -> blk :: coalesce rest
+    | [] -> []
+  in
+  lz.lz_free <- coalesce (insert lz.lz_free)
+
+(* Variant addresses a journaled Act_bind still needs: their bodies must
+   survive until the set drains (or is superseded). *)
+let pending_variant_addrs t =
+  List.concat_map
+    (fun pset ->
+      List.filter_map
+        (function
+          | Act_bind (_, (v : Descriptor.variant_record)) -> Some v.va_addr
+          | _ -> None)
+        pset.pset_actions)
+    t.pending
+
+let touch_lru lz sym =
+  lz.lz_tick <- lz.lz_tick + 1;
+  Hashtbl.replace lz.lz_lru sym lz.lz_tick
+
+(* Is any live activation inside [addr, addr+size)?  Without a scanner
+   the paper's model applies — the caller guarantees a patchable state —
+   and victims are treated as quiescent. *)
+let victim_live t ~addr ~size =
+  match t.live_scanner with
+  | None -> false
+  | Some scan -> List.exists (fun a -> a >= addr && a < addr + size) (scan ())
+
+(* Drop the descriptor alias [sym]; release its body block when it was
+   the last alias.  Returns the bytes returned to the allocator. *)
+let drop_alias t lz sym (mi : mat_info) : int =
+  let fe = mi.mi_fn in
+  fe.fe_variants <-
+    List.filter (fun (v : Descriptor.variant_record) -> v != mi.mi_record) fe.fe_variants;
+  Hashtbl.remove lz.lz_variants sym;
+  Hashtbl.remove lz.lz_lru sym;
+  Image.remove_symbol t.image sym;
+  let freed =
+    match Hashtbl.find_opt lz.lz_dedup mi.mi_key with
+    | Some de when de.de_addr = mi.mi_record.Descriptor.va_addr ->
+        de.de_refs <- de.de_refs - 1;
+        if de.de_refs > 0 then 0
+        else begin
+          (* last alias gone: release the block.  The stale-cache chaos
+             mode skips the dedup invalidation — a later hash hit would
+             link the recycled block, which the lazy-eager-equiv fuzz
+             oracle exists to catch. *)
+          if not lz.lz_stale_cache then Hashtbl.remove lz.lz_dedup mi.mi_key;
+          t.framemaps <-
+            List.filter
+              (fun (fm : Descriptor.framemap_record) -> fm.Descriptor.fm_addr <> de.de_addr)
+              t.framemaps;
+          vtext_free lz ~addr:de.de_addr ~size:de.de_alloc;
+          lz.lz_bytes <- lz.lz_bytes - de.de_alloc;
+          de.de_alloc
+        end
+    | _ -> 0
+  in
+  lz.lz_evictions <- lz.lz_evictions + 1;
+  emit t (Trace.Variant_evicted { fn = fe.fe_name; variant = sym; freed });
+  freed
+
+(* Evict one victim.  An installed victim whose body is quiescent is
+   reverted to generic on the spot (the existing revert machinery); one
+   with a live activation is journaled as an Act_unbind — drained, with
+   OSR's help, at a later safepoint — and its bytes are released only
+   once the unbind lands. *)
+let evict_one t lz sym (mi : mat_info) : unit =
+  let fe = mi.mi_fn in
+  let addr = mi.mi_record.Descriptor.va_addr in
+  let size = max mi.mi_record.Descriptor.va_size 1 in
+  let defer () =
+    if not (List.mem sym lz.lz_evict_pending) then
+      lz.lz_evict_pending <- lz.lz_evict_pending @ [ sym ]
+  in
+  if fe.fe_installed = Some addr then
+    if victim_live t ~addr ~size then begin
+      journal t [ Act_unbind fe ];
+      defer ()
+    end
+    else begin
+      revert_fn_entry t fe;
+      ignore (drop_alias t lz sym mi)
+    end
+  else if victim_live t ~addr ~size then defer ()
+  else ignore (drop_alias t lz sym mi)
+
+(* Make room for [need] more resident bytes: evict candidates — advisor
+   order first, then least-recently-selected — until the budget fits.
+   Aliases journaled for a pending bind and victims already draining are
+   never candidates.  Returns [false] when the budget still does not fit
+   (deferred victims free their bytes only at a safepoint). *)
+let make_room t lz ~need : bool =
+  if lz.lz_bytes + need <= lz.lz_budget then true
+  else begin
+    let protected_addrs = pending_variant_addrs t in
+    let evictable sym (mi : mat_info) =
+      (not (List.mem sym lz.lz_evict_pending))
+      && not (List.mem mi.mi_record.Descriptor.va_addr protected_addrs)
+    in
+    let by_lru =
+      Hashtbl.fold (fun sym mi acc -> (sym, mi) :: acc) lz.lz_variants []
+      |> List.filter (fun (sym, mi) -> evictable sym mi)
+      |> List.sort (fun (a, _) (b, _) ->
+             compare
+               (Option.value ~default:0 (Hashtbl.find_opt lz.lz_lru a), a)
+               (Option.value ~default:0 (Hashtbl.find_opt lz.lz_lru b), b))
+    in
+    let advised =
+      match lz.lz_advisor with
+      | None -> []
+      | Some f ->
+          List.filter_map
+            (fun sym ->
+              match Hashtbl.find_opt lz.lz_variants sym with
+              | Some mi when evictable sym mi -> Some (sym, mi)
+              | _ -> None)
+            (f ())
+    in
+    let rec go seen = function
+      | _ when lz.lz_bytes + need <= lz.lz_budget -> true
+      | [] -> lz.lz_bytes + need <= lz.lz_budget
+      | (sym, mi) :: rest ->
+          if List.mem sym seen then go seen rest
+          else begin
+            evict_one t lz sym mi;
+            go (sym :: seen) rest
+          end
+    in
+    go [] (advised @ by_lru)
+  end
+
+(** Shrink (or grow) the resident byte budget.  Shrinking evicts down to
+    the new budget immediately where possible; victims with live
+    activations drain at later safepoints, so residency may exceed a
+    just-shrunk budget until then — new materializations are denied in
+    the meantime. *)
+let set_variant_budget t b =
+  let lz = lazy_required t in
+  if b <= 0 then errf "variant budget must be positive";
+  lz.lz_budget <- b;
+  ignore (make_room t lz ~need:0)
+
+(* Link one alias: append the descriptor record, register the symbol and
+   the book-keeping, stamp the LRU, report the materialization. *)
+let link_alias t lz (fe : fn_entry) ~symbol ~key ~addr ~size ~guards ~dedup =
+  let record = { Descriptor.va_addr = addr; va_size = size; va_guards = guards } in
+  fe.fe_variants <- fe.fe_variants @ [ record ];
+  Image.add_symbol t.image symbol ~addr ~size;
+  Hashtbl.replace lz.lz_variants symbol { mi_fn = fe; mi_key = key; mi_record = record };
+  touch_lru lz symbol;
+  lz.lz_materialized <- lz.lz_materialized + 1;
+  emit t (Trace.Variant_materialized { fn = fe.fe_name; variant = symbol; addr; size; dedup })
+
+(* Materialize the variant for [assignment]: specialize the recipe,
+   optimize, then either link the structurally-equal resident body (hash
+   hit: no new bytes) or assemble the fragment, apply its relocations
+   against the image's symbols, and write it into the variant-text
+   region.  A budget (or region-capacity) miss denies the
+   materialization: no alias is linked, the function stays generic, and
+   a later commit retries. *)
+let materialize t lz (fe : fn_entry) (recipe : Variantgen.recipe)
+    (assignment : (string * int) list) : unit =
+  let v = Variantgen.specialize_recipe recipe assignment in
+  let key = Mv_opt.Merge.canonical_form v.Variantgen.v_fn in
+  let guards =
+    List.concat_map
+      (fun box ->
+        List.map
+          (fun (r : Guard.range) ->
+            {
+              Descriptor.gr_var = Image.symbol t.image r.Guard.g_var;
+              gr_lo = r.Guard.g_lo;
+              gr_hi = r.Guard.g_hi;
+            })
+          box)
+      v.Variantgen.v_guards
+  in
+  match Hashtbl.find_opt lz.lz_dedup key with
+  | Some de ->
+      (* structural-hash hit: the body is already resident *)
+      de.de_refs <- de.de_refs + 1;
+      lz.lz_dedup_hits <- lz.lz_dedup_hits + 1;
+      link_alias t lz fe ~symbol:v.Variantgen.v_symbol ~key ~addr:de.de_addr
+        ~size:de.de_size ~guards ~dedup:true
+  | None -> (
+      let frag =
+        try Emit.emit_fn ~call_pad:lz.lz_call_pad v.Variantgen.v_fn
+        with Emit.Error m -> errf "materialize %s: %s" v.Variantgen.v_symbol m
+      in
+      let code = Bytes.copy frag.Emit.fr_code in
+      let size = Bytes.length code in
+      let alloc_size = (size + 15) / 16 * 16 in
+      if not (make_room t lz ~need:alloc_size) then
+        lz.lz_budget_denials <- lz.lz_budget_denials + 1
+      else
+        match vtext_alloc t lz size with
+        | None ->
+            (* the region itself is exhausted (or too fragmented) *)
+            lz.lz_budget_denials <- lz.lz_budget_denials + 1
+        | Some (addr, alloc) ->
+            List.iter
+              (fun (r : Objfile.reloc) ->
+                let s =
+                  match Image.symbol_opt t.image r.Objfile.r_sym with
+                  | Some a -> a
+                  | None ->
+                      errf "materialize %s: undefined symbol %s" v.Variantgen.v_symbol
+                        r.Objfile.r_sym
+                in
+                let p = addr + r.Objfile.r_offset in
+                match r.Objfile.r_kind with
+                | Objfile.Abs64 ->
+                    Bytes.set_int64_le code r.Objfile.r_offset
+                      (Int64.of_int (s + r.Objfile.r_addend))
+                | Objfile.Abs32 ->
+                    let x = s + r.Objfile.r_addend in
+                    if x < 0 || x > 0xFFFF_FFFF then
+                      errf "materialize %s: Abs32 overflow for %s" v.Variantgen.v_symbol
+                        r.Objfile.r_sym;
+                    Bytes.set_int32_le code r.Objfile.r_offset (Int32.of_int x)
+                | Objfile.Rel32 ->
+                    let x = s + r.Objfile.r_addend - p in
+                    if
+                      x < Int32.to_int Int32.min_int || x > Int32.to_int Int32.max_int
+                    then
+                      errf "materialize %s: Rel32 overflow for %s" v.Variantgen.v_symbol
+                        r.Objfile.r_sym;
+                    Bytes.set_int32_le code r.Objfile.r_offset (Int32.of_int x))
+              frag.Emit.fr_relocs;
+            Patch.write_text t.patch ~addr code;
+            (* host-built frame map, so OSR can transfer activations in
+               and out of the materialized body *)
+            t.framemaps <-
+              t.framemaps
+              @ [
+                  {
+                    Descriptor.fm_addr = addr;
+                    fm_frame_bytes = frag.Emit.fr_frame_bytes;
+                    fm_saves = frag.Emit.fr_saves;
+                    fm_safepoints =
+                      List.map
+                        (fun (sp : Emit.safepoint) ->
+                          {
+                            Descriptor.fs_id = sp.Emit.sp_id;
+                            fs_pc = addr + sp.Emit.sp_offset;
+                            fs_live =
+                              List.map
+                                (fun (vreg, (a : Mv_codegen.Regalloc.assignment)) ->
+                                  match a with
+                                  | Mv_codegen.Regalloc.Phys r ->
+                                      (vreg, Descriptor.Loc_reg r)
+                                  | Mv_codegen.Regalloc.Slot s ->
+                                      (vreg, Descriptor.Loc_slot s)
+                                  | Mv_codegen.Regalloc.Unused -> assert false)
+                                sp.Emit.sp_live;
+                          })
+                        frag.Emit.fr_safepoints;
+                  }
+                ];
+            Hashtbl.replace lz.lz_dedup key
+              { de_addr = addr; de_size = size; de_alloc = alloc; de_refs = 1 };
+            lz.lz_bytes <- lz.lz_bytes + alloc;
+            link_alias t lz fe ~symbol:v.Variantgen.v_symbol ~key ~addr ~size ~guards
+              ~dedup:false)
+
+(* The commit-side hook: make sure the variant the current valuation
+   needs is resident before selection runs.  One [option] match when
+   lazy materialization is off — pay-for-use, like the tracer. *)
+let ensure_variant t (fe : fn_entry) : unit =
+  match t.lazy_st with
+  | None -> ()
+  | Some lz -> (
+      match Hashtbl.find_opt lz.lz_recipes fe.fe_name with
+      | None -> ()
+      | Some recipe -> (
+          match recipe_assignment t recipe with
+          | None -> () (* out of domain: the generic fallback handles it *)
+          | Some assignment -> (
+              match
+                List.find_opt
+                  (fun (v : Descriptor.variant_record) -> guards_satisfied t v.va_guards)
+                  fe.fe_variants
+              with
+              | Some v ->
+                  lz.lz_cache_hits <- lz.lz_cache_hits + 1;
+                  Hashtbl.iter
+                    (fun sym (mi : mat_info) ->
+                      if mi.mi_record == v then touch_lru lz sym)
+                    lz.lz_variants
+              | None -> materialize t lz fe recipe assignment)))
+
 (** Commit one multiversed function: bind it to the variant matching the
     current switch values, or revert to generic (with a fallback signal)
     when no variant matches.  Returns [true] when a variant was bound. *)
 let commit_fn_entry t (fe : fn_entry) : bool =
+  ensure_variant t fe;
   match select_variant t fe with
   | Some v ->
       install_variant t fe v;
       true
   | None ->
       revert_fn_entry t fe;
-      (* only signal when the function actually has specialized variants:
-         a variant-less function is trivially bound to its generic body *)
-      if fe.fe_record.fd_variants <> [] then fallback t fe.fe_name;
+      (* only signal when the function actually has (or could materialize)
+         specialized variants: a variant-less function is trivially bound
+         to its generic body *)
+      if specializable t fe then fallback t fe.fe_name;
       false
 
 (* ------------------------------------------------------------------ *)
@@ -635,14 +1141,28 @@ let revert_func t name =
   | Some addr -> revert_func_addr t addr
   | None -> -1
 
-(** Functions whose variants guard on the switch at [var_addr]. *)
+(** Functions whose variants guard on the switch at [var_addr] — under
+    lazy materialization, also functions whose {e recipe} specializes on
+    it (their variants may not be resident yet). *)
 let functions_referencing t var_addr =
+  let recipe_refs fe =
+    match t.lazy_st with
+    | None -> false
+    | Some lz -> (
+        match Hashtbl.find_opt lz.lz_recipes fe.fe_name with
+        | None -> false
+        | Some r ->
+            List.exists
+              (fun (name, _) -> Image.symbol_opt t.image name = Some var_addr)
+              r.Variantgen.rc_switches)
+  in
   List.filter
     (fun fe ->
       List.exists
         (fun (v : Descriptor.variant_record) ->
           List.exists (fun (g : Descriptor.guard_record) -> g.gr_var = var_addr) v.va_guards)
-        fe.fe_record.fd_variants)
+        fe.fe_variants
+      || recipe_refs fe)
     t.functions
 
 (** [multiverse_commit_refs(&var)]: commit every function that references
@@ -725,7 +1245,7 @@ let ranges_live ranges live =
 let variant_of (fe : fn_entry) addr =
   List.find_opt
     (fun (v : Descriptor.variant_record) -> v.va_addr = addr)
-    fe.fe_record.fd_variants
+    fe.fe_variants
 
 (* The body range of the currently installed variant.  Unbinding (or
    rebinding to a different variant) while an activation executes *inside*
@@ -1002,7 +1522,7 @@ let undo_action t = function
           match
             List.find_opt
               (fun (v : Descriptor.variant_record) -> v.va_addr = addr)
-              fe.fe_record.fd_variants
+              fe.fe_variants
           with
           | Some v -> install_variant t fe v
           | None -> ()))
@@ -1049,20 +1569,6 @@ let apply_set t (pset : pending_set) : bool =
       emit t (Trace.Pending_rollback { cid = pset.pset_cid; pset = pset.pset_id });
       false
 
-let journal t actions =
-  if actions <> [] then begin
-    let pset =
-      {
-        pset_id = t.next_pset_id;
-        pset_cid = t.cur_cid;
-        pset_hart = cur_hart t;
-        pset_actions = actions;
-      }
-    in
-    t.next_pset_id <- t.next_pset_id + 1;
-    t.pending <- t.pending @ [ pset ]
-  end
-
 (** [multiverse_commit], made safe: bind every entity whose patch ranges
     have no live activation; journal (policy [Defer], the default) or
     refuse (policy [Deny]) the rest.  Returns the number of entities in the
@@ -1095,6 +1601,10 @@ let commit_safe ?(policy = Defer) t : int =
   in
   List.iter
     (fun fe ->
+      (* under lazy materialization the variant the valuation needs may
+         not be resident yet: materialize (or dedup-link) it first, so
+         selection below sees the same candidates an eager image carries *)
+      ensure_variant t fe;
       match select_variant t fe with
       | Some v ->
           if fe.fe_installed = Some v.va_addr then incr bound else stage (Act_bind (fe, v))
@@ -1109,7 +1619,7 @@ let commit_safe ?(policy = Defer) t : int =
             stage (Act_unbind fe);
             bound := before
           end;
-          if fe.fe_record.fd_variants <> [] then fallback t fe.fe_name)
+          if specializable t fe then fallback t fe.fe_name)
     t.functions;
   List.iter
     (fun fp ->
@@ -1161,18 +1671,54 @@ let revert_safe ?(policy = Defer) t : int =
   emit_span_end t "revert_safe" n;
   n
 
+(* Sweep the variant cache's deferred eviction victims: a victim on the
+   evict-pending list releases its alias (and, for the last alias, its
+   body bytes) once the body is neither installed — its journaled unbind
+   drained, or a newer commit re-bound the function elsewhere — nor home
+   to a live activation (OSR may have just moved one out). *)
+let sweep_evictions t =
+  match t.lazy_st with
+  | None -> ()
+  | Some lz ->
+      if lz.lz_evict_pending <> [] then begin
+        let live = match t.live_scanner with Some scan -> scan () | None -> [] in
+        lz.lz_evict_pending <-
+          List.filter
+            (fun sym ->
+              match Hashtbl.find_opt lz.lz_variants sym with
+              | None -> false (* already gone *)
+              | Some mi ->
+                  let addr = mi.mi_record.Descriptor.va_addr in
+                  let size = max mi.mi_record.Descriptor.va_size 1 in
+                  if
+                    mi.mi_fn.fe_installed = Some addr
+                    || List.exists (fun a -> a >= addr && a < addr + size) live
+                  then true
+                  else begin
+                    ignore (drop_alias t lz sym mi);
+                    false
+                  end)
+            lz.lz_evict_pending
+      end
+
 (** The quiescence-point drain, wired to the machine's safepoint hook.
     Cheap when nothing is pending (one list check).  Otherwise each pending
     set whose touched ranges are all quiescent is applied transactionally
     and removed — applied exactly once, or rolled back and dropped if an
     application fails mid-set.  Sets whose targets are still live stay
-    journaled for a later safepoint. *)
+    journaled for a later safepoint.  The variant cache's deferred
+    eviction victims are swept here too: their bytes come free once the
+    unbind has landed and no activation remains in the body. *)
 let safepoint t =
   t.safe.sc_polls <- t.safe.sc_polls + 1;
-  if t.pending <> [] && not t.in_safepoint then begin
+  let evict_waiting =
+    match t.lazy_st with Some lz -> lz.lz_evict_pending <> [] | None -> false
+  in
+  if (t.pending <> [] || evict_waiting) && not t.in_safepoint then begin
     (* only polls that actually inspect a journal are reported: the
        empty-journal fast path would flood the ring with noise *)
-    emit t (Trace.Safepoint_poll { pending = List.length t.pending });
+    if t.pending <> [] then
+      emit t (Trace.Safepoint_poll { pending = List.length t.pending });
     t.in_safepoint <- true;
     Fun.protect
       ~finally:(fun () -> t.in_safepoint <- false)
@@ -1199,22 +1745,25 @@ let safepoint t =
                 List.iter (osr_for_action t ctx ~cid:pset.pset_cid) pset.pset_actions)
               t.pending
         | None -> ());
-        let live = live_addrs t in
-        t.pending <-
-          List.filter
-            (fun pset ->
-              let quiescent =
-                not
-                  (List.exists
-                     (fun a -> ranges_live (action_ranges a) live)
-                     pset.pset_actions)
-              in
-              if quiescent then begin
-                ignore (apply_set t pset);
-                false (* applied or rolled back: either way the set is done *)
-              end
-              else true)
-            t.pending)
+        if t.pending <> [] then begin
+          let live = live_addrs t in
+          t.pending <-
+            List.filter
+              (fun pset ->
+                let quiescent =
+                  not
+                    (List.exists
+                       (fun a -> ranges_live (action_ranges a) live)
+                       pset.pset_actions)
+                in
+                if quiescent then begin
+                  ignore (apply_set t pset);
+                  false (* applied or rolled back: either way the set is done *)
+                end
+                else true)
+              t.pending
+        end;
+        sweep_evictions t)
   end
 
 (** Names of entities with journaled (not yet applied) patches. *)
@@ -1272,8 +1821,45 @@ let heat_regions t : Mv_obs.Heat.region list =
                r_lo = v.Descriptor.va_addr;
                r_hi = v.Descriptor.va_addr + v.Descriptor.va_size;
              })
-           fd.Descriptor.fd_variants)
+           fe.fe_variants)
     t.functions
+
+(** Whether demand-driven materialization is enabled. *)
+let lazy_enabled t = t.lazy_st <> None
+
+(** Materialized variants currently resident: (symbol, body address,
+    body size), symbol-sorted.  Dedup aliases appear individually (same
+    address, distinct symbols); empty when lazy materialization is off. *)
+let materialized_variants t : (string * int * int) list =
+  match t.lazy_st with
+  | None -> []
+  | Some lz ->
+      Hashtbl.fold
+        (fun sym (mi : mat_info) acc ->
+          (sym, mi.mi_record.Descriptor.va_addr, mi.mi_record.Descriptor.va_size) :: acc)
+        lz.lz_variants []
+      |> List.sort compare
+
+(** Variant symbols the cache must keep resident for the journal's sake:
+    each journaled (not yet drained) bind still needs its variant's body
+    bytes, so [Heat.evict_plan] advisors must exclude these.  Sorted;
+    empty when lazy materialization is off. *)
+let pending_variants t : string list =
+  match t.lazy_st with
+  | None -> []
+  | Some lz ->
+      let addrs = pending_variant_addrs t in
+      Hashtbl.fold
+        (fun sym (mi : mat_info) acc ->
+          if List.mem mi.mi_record.Descriptor.va_addr addrs then sym :: acc else acc)
+        lz.lz_variants []
+      |> List.sort_uniq compare
+
+(** Resident variant-text bytes (unique bodies, allocation-sized) — the
+    quantity the byte budget bounds.  [0] when lazy materialization is
+    off. *)
+let variant_bytes t =
+  match t.lazy_st with None -> 0 | Some lz -> lz.lz_bytes
 
 type stats = {
   st_functions : int;
@@ -1292,6 +1878,12 @@ type stats = {
   st_pending : int;  (** actions currently journaled *)
   st_osr_transfers : int;  (** live activations moved by on-stack replacement *)
   st_osr_aborts : int;  (** transfers abandoned (frame maps did not line up) *)
+  st_materialized : int;  (** variants materialized on demand (dedup hits included) *)
+  st_dedup_hits : int;  (** materializations satisfied by a structural-hash hit *)
+  st_cache_hits : int;  (** commits that found the needed variant already resident *)
+  st_evictions : int;  (** aliases dropped under the byte budget *)
+  st_budget_denials : int;  (** materializations refused (budget or region full) *)
+  st_variant_bytes : int;  (** resident variant-text bytes (unique bodies) *)
 }
 
 let stats t =
@@ -1299,10 +1891,11 @@ let stats t =
     List.concat_map (fun fe -> fe.fe_sites) t.functions
     @ List.concat_map (fun fp -> fp.fp_sites) t.fnptrs
   in
+  let lzc f = match t.lazy_st with None -> 0 | Some lz -> f lz in
   {
     st_functions = List.length t.functions;
     st_variants =
-      List.fold_left (fun acc fe -> acc + List.length fe.fe_record.fd_variants) 0 t.functions;
+      List.fold_left (fun acc fe -> acc + List.length fe.fe_variants) 0 t.functions;
     st_callsites = List.length all_sites;
     st_sites_inlined =
       List.length (List.filter (fun s -> match s.s_state with Site_inlined _ -> true | _ -> false) all_sites);
@@ -1321,6 +1914,12 @@ let stats t =
       List.fold_left (fun acc pset -> acc + List.length pset.pset_actions) 0 t.pending;
     st_osr_transfers = t.safe.sc_osr_transfers;
     st_osr_aborts = t.safe.sc_osr_aborts;
+    st_materialized = lzc (fun lz -> lz.lz_materialized);
+    st_dedup_hits = lzc (fun lz -> lz.lz_dedup_hits);
+    st_cache_hits = lzc (fun lz -> lz.lz_cache_hits);
+    st_evictions = lzc (fun lz -> lz.lz_evictions);
+    st_budget_denials = lzc (fun lz -> lz.lz_budget_denials);
+    st_variant_bytes = lzc (fun lz -> lz.lz_bytes);
   }
 
 (** The {!stats} record as a JSON object (field names without the [st_]
@@ -1344,6 +1943,12 @@ let stats_json (s : stats) : Mv_obs.Json.t =
       ("pending", Mv_obs.Json.Int s.st_pending);
       ("osr_transfers", Mv_obs.Json.Int s.st_osr_transfers);
       ("osr_aborts", Mv_obs.Json.Int s.st_osr_aborts);
+      ("materialized", Mv_obs.Json.Int s.st_materialized);
+      ("dedup_hits", Mv_obs.Json.Int s.st_dedup_hits);
+      ("cache_hits", Mv_obs.Json.Int s.st_cache_hits);
+      ("evictions", Mv_obs.Json.Int s.st_evictions);
+      ("budget_denials", Mv_obs.Json.Int s.st_budget_denials);
+      ("variant_bytes", Mv_obs.Json.Int s.st_variant_bytes);
     ]
 
 (** Export the {!stats} counters into a metrics registry as
@@ -1372,4 +1977,10 @@ let stats_metrics (s : stats) (m : Mv_obs.Metrics.t) : unit =
       ("pending", s.st_pending);
       ("osr_transfers", s.st_osr_transfers);
       ("osr_aborts", s.st_osr_aborts);
+      ("materialized", s.st_materialized);
+      ("dedup_hits", s.st_dedup_hits);
+      ("cache_hits", s.st_cache_hits);
+      ("evictions", s.st_evictions);
+      ("budget_denials", s.st_budget_denials);
+      ("variant_bytes", s.st_variant_bytes);
     ]

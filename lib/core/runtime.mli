@@ -43,6 +43,10 @@ type site = {
 type fn_entry = {
   fe_name : string;
   fe_record : Descriptor.function_record;
+  mutable fe_variants : Descriptor.variant_record list;
+      (** the selectable variants: the parsed descriptor records plus —
+          under lazy materialization ({!enable_lazy}) — every alias the
+          runtime has linked so far, minus the evicted ones *)
   fe_sites : site list;
   mutable fe_prologue : bytes option;  (** saved generic prologue bytes *)
   mutable fe_saved_body : bytes option;  (** saved body (body patching) *)
@@ -109,6 +113,12 @@ type osr_hart = {
           stack symbolization follows the transferred frame *)
 }
 
+(** The demand-driven variant cache ({!enable_lazy}): recipes, the
+    variant-text allocator, the structural-hash dedup table, and the
+    eviction book-keeping.  Opaque — inspect it through {!stats},
+    {!materialized_variants} and {!pending_variants}. *)
+type lazy_state
+
 type t = {
   image : Mv_link.Image.t;
   patch : Patch.t;
@@ -132,10 +142,14 @@ type t = {
   mutable tracer : (Mv_obs.Trace.event -> unit) option;
   mutable barrier : ((unit -> unit) -> unit) option;
       (** cross-modifying-code barrier; install via {!set_patch_barrier} *)
-  framemaps : Descriptor.framemap_record list;
-      (** parsed [multiverse.framemaps] records, one per multiversed body *)
+  mutable framemaps : Descriptor.framemap_record list;
+      (** parsed [multiverse.framemaps] records, one per multiversed body;
+          lazy materialization appends a host-built record per fresh body
+          (and drops it again on eviction) *)
   mutable osr : (unit -> osr_hart) option;
       (** OSR hart accessors; install via {!set_osr} *)
+  mutable lazy_st : lazy_state option;
+      (** demand-driven variant cache; install via {!enable_lazy} *)
 }
 
 (** Variant installation strategy.  [Call_site_patching] is the paper's
@@ -298,6 +312,84 @@ val safepoint : t -> unit
 (** Names of entities with journaled, not-yet-applied patches. *)
 val pending : t -> string list
 
+(** {1 Lazy variant materialization (beyond the paper)}
+
+    With {!enable_lazy} the image carries {e no} pre-expanded variants;
+    the compiler instead hands over one specialization recipe per
+    multiversed function ([Compiler.recipes], from a [lazy_variants]
+    build).  The first commit of an unseen switch valuation specializes
+    the recipe, optimizes and assembles the body, links it into the
+    image's reserved variant-text region, and selection proceeds exactly
+    as if the variant had been there all along.  Bodies are cached by
+    their post-optimization canonical form — the key the eager pipeline
+    merges equal clones under — so a structurally equal body is never
+    stored twice: a hash hit links only a descriptor alias ([dedup] in
+    the [Variant_materialized] event, zero new bytes).  A byte budget
+    bounds residency; eviction drops cold aliases and routes installed
+    victims through the existing revert / safe-commit / OSR machinery,
+    releasing their bytes once the body is quiescent.  A re-commit of an
+    evicted valuation simply re-materializes — bit-identically, since
+    recipes are deterministic. *)
+
+(** Enable demand-driven materialization.  [recipes] are the program's
+    specialization recipes ([Compiler.recipes]); [call_pad] the
+    program-wide call-site padding rule ([Compiler.call_pad]), so
+    materialized bodies are assembled byte-compatible with the eager
+    pipeline's; [budget] the resident variant-text byte budget (default:
+    the whole variant-text region).  Raises {!Runtime_error} when the
+    image was linked without a variant-text region or the budget is not
+    positive. *)
+val enable_lazy :
+  ?budget:int ->
+  t ->
+  recipes:Variantgen.recipe list ->
+  call_pad:(string -> int) ->
+  unit
+
+(** Whether demand-driven materialization is enabled. *)
+val lazy_enabled : t -> bool
+
+(** Change the resident byte budget.  Shrinking evicts down to the new
+    budget immediately where possible; victims with live activations
+    drain at later safepoints, and new materializations are denied until
+    residency fits.  Raises {!Runtime_error} when lazy materialization is
+    not enabled or the budget is not positive. *)
+val set_variant_budget : t -> int -> unit
+
+(** Install (or remove, with [None]) the eviction advisor: a thunk
+    returning variant symbols in preferred eviction order — harnesses
+    wire the [Evict] verdicts of [Mv_obs.Heat.evict_plan] here, excluding
+    {!pending_variants}.  Symbols the cache cannot evict (unknown,
+    needed by a journaled bind, already draining) are skipped;
+    least-recently-selected order covers whatever the advisor does not.
+    Raises {!Runtime_error} when lazy materialization is not enabled. *)
+val set_evict_advisor : t -> (unit -> string list) option -> unit
+
+(** Fuzzing chaos: make eviction skip the dedup-table invalidation, so a
+    later structural-hash hit links a freed (and possibly recycled)
+    block.  Exists to prove the lazy-eager-equiv fuzz oracle catches the
+    resulting divergence; never set this outside a chaos campaign.
+    Raises {!Runtime_error} when lazy materialization is not enabled. *)
+val set_stale_cache_chaos : t -> bool -> unit
+
+(** Materialized variants currently resident: (symbol, body address,
+    body size), symbol-sorted.  Dedup aliases appear individually (same
+    address, distinct symbols).  Empty when lazy materialization is
+    off. *)
+val materialized_variants : t -> (string * int * int) list
+
+(** Variant symbols the cache must keep resident for the journal's sake:
+    each journaled (not yet drained) bind still needs its variant's
+    body, so eviction advisors must exclude these (pass them to
+    [Heat.evict_plan]'s [exclude]).  Sorted; empty when lazy
+    materialization is off. *)
+val pending_variants : t -> string list
+
+(** Resident variant-text bytes (unique bodies, allocation-sized) — the
+    quantity the byte budget bounds.  [0] when lazy materialization is
+    off. *)
+val variant_bytes : t -> int
+
 (** {1 Introspection} *)
 
 (** Functions left generic by the last commit because no variant matched
@@ -341,6 +433,19 @@ type stats = {
   st_pending : int;  (** journaled actions not yet applied *)
   st_osr_transfers : int;  (** activations moved by on-stack replacement *)
   st_osr_aborts : int;  (** transfers abandoned (frame maps did not line up) *)
+  st_materialized : int;
+      (** variants materialized on demand (dedup hits included) *)
+  st_dedup_hits : int;
+      (** materializations satisfied by a structural-hash hit (alias only,
+          zero new bytes) *)
+  st_cache_hits : int;
+      (** commits that found the needed variant already resident *)
+  st_evictions : int;  (** aliases dropped under the byte budget *)
+  st_budget_denials : int;
+      (** materializations refused because the budget (or the region)
+          could not fit the body *)
+  st_variant_bytes : int;
+      (** resident variant-text bytes (unique bodies, allocation-sized) *)
 }
 
 (** Aggregate counters for reporting (benches, examples). *)

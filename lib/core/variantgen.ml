@@ -30,9 +30,19 @@ type mv_function = {
   mf_variants : variant list;
 }
 
+(** Everything the runtime needs to specialize one multiversed function
+    on demand: the safepointed but unoptimized generic body and the bound
+    switches with their domains. *)
+type recipe = {
+  rc_name : string;
+  rc_body : Ir.fn;
+  rc_switches : (string * int list) list;  (** sorted by name *)
+}
+
 type result = {
   r_prog : Ir.prog;  (** input program with variant functions appended *)
   r_functions : mv_function list;
+  r_recipes : recipe list;  (** lazy mode only; [[]] under eager generation *)
   r_warnings : string list;
 }
 
@@ -113,9 +123,18 @@ let specialize_one (fn : Ir.fn) (assignment : (string * int) list) : Ir.fn =
   Mv_opt.Pass.optimize_fn clone;
   clone
 
-(** Generate variants for one multiversed function. *)
-let generate_for_fn ~max_variants (switches : (string * Ir.global) list) (fn : Ir.fn) :
-    mv_function * Ir.fn list * string list =
+(** Structural hash of a function body: hex digest of the canonical form
+    (blocks in RPO, registers renamed by first occurrence), so equal
+    bodies collide across functions and the value is stable across runs —
+    no physical equality or address dependence anywhere. *)
+let structural_hash (fn : Ir.fn) : string =
+  Digest.to_hex (Digest.string (Mv_opt.Merge.canonical_form fn))
+
+(** The switches [fn] reads (restricted by [bind(..)]) together with
+    their specialization domains, sorted by name; function-pointer
+    switches are dropped with a warning (bound at commit time). *)
+let bound_domains (switches : (string * Ir.global) list) (fn : Ir.fn) :
+    (string * int list) list * string list =
   let warnings = ref [] in
   let read = Ir.read_globals fn in
   let bound =
@@ -143,7 +162,6 @@ let generate_for_fn ~max_variants (switches : (string * Ir.global) list) (fn : I
       bound
   in
   let bound = List.sort (fun (a, _) (b, _) -> compare a b) bound in
-  let names = List.map fst bound in
   let domains =
     List.map
       (fun ((name, g) : string * Ir.global) ->
@@ -152,6 +170,28 @@ let generate_for_fn ~max_variants (switches : (string * Ir.global) list) (fn : I
         | Domain.Fnptr -> assert false)
       bound
   in
+  (domains, List.rev !warnings)
+
+(** Specialize one recipe for one point assignment (first-commit
+    materialization).  The caller guarantees the assignment covers
+    exactly [rc_switches]. *)
+let specialize_recipe (r : recipe) (assignment : (string * int) list) : variant =
+  let clone = specialize_one r.rc_body assignment in
+  let names = List.map fst r.rc_switches in
+  let symbol = variant_symbol r.rc_name names [ assignment ] in
+  {
+    v_symbol = symbol;
+    v_fn = { clone with Ir.fn_name = symbol };
+    v_guards = Guard.boxes_of_assignments [ assignment ];
+    v_assignments = [ assignment ];
+  }
+
+(** Generate variants for one multiversed function. *)
+let generate_for_fn ~max_variants (switches : (string * Ir.global) list) (fn : Ir.fn) :
+    mv_function * Ir.fn list * string list =
+  let domains, dwarnings = bound_domains switches fn in
+  let warnings = ref (List.rev dwarnings) in
+  let names = List.map fst domains in
   if domains = [] then
     ({ mf_name = fn.fn_name; mf_switches = []; mf_variants = [] }, [], !warnings)
   else if Domain.cross_product_size domains > max_variants then begin
@@ -205,20 +245,46 @@ let generate_for_fn ~max_variants (switches : (string * Ir.global) list) (fn : I
 
 (** Run variant generation over a whole translation unit.  The generic
     functions are optimized in place; variant functions are appended to the
-    program so they are emitted like ordinary code. *)
-let generate ?(max_variants = default_max_variants) (prog : Ir.prog) : result =
+    program so they are emitted like ordinary code.
+
+    With [lazy_variants] the cross product is never expanded: no variant
+    functions are generated or appended, and instead each multiversed
+    function yields a {!recipe} — a clone of its safepointed,
+    {e unoptimized} body plus the bound switch domains — from which the
+    runtime materializes single-assignment variants on first commit.  The
+    per-function descriptor records are emitted with zero variants. *)
+let generate ?(max_variants = default_max_variants) ?(lazy_variants = false)
+    (prog : Ir.prog) : result =
   let switches = switch_globals prog in
   let warnings = ref [] in
   let mv_functions = ref [] in
+  let recipes = ref [] in
   let new_fns = ref [] in
   List.iter
     (fun (fn : Ir.fn) ->
       if fn.fn_multiverse then begin
         insert_safepoints fn;
-        let mf, variants, w = generate_for_fn ~max_variants switches fn in
-        mv_functions := mf :: !mv_functions;
-        new_fns := List.rev_append variants !new_fns;
-        warnings := List.rev_append w !warnings
+        if lazy_variants then begin
+          (* clone before the in-place optimization below: specialization
+             must bind switch reads before constant propagation sees them *)
+          let pristine = Ir.copy_fn fn in
+          let domains, w = bound_domains switches fn in
+          mv_functions :=
+            { mf_name = fn.fn_name; mf_switches = List.map fst domains;
+              mf_variants = [] }
+            :: !mv_functions;
+          if domains <> [] then
+            recipes :=
+              { rc_name = fn.fn_name; rc_body = pristine; rc_switches = domains }
+              :: !recipes;
+          warnings := List.rev_append w !warnings
+        end
+        else begin
+          let mf, variants, w = generate_for_fn ~max_variants switches fn in
+          mv_functions := mf :: !mv_functions;
+          new_fns := List.rev_append variants !new_fns;
+          warnings := List.rev_append w !warnings
+        end
       end)
     prog.p_fns;
   (* optimize the generic functions too — all passes except inlining apply
@@ -228,5 +294,6 @@ let generate ?(max_variants = default_max_variants) (prog : Ir.prog) : result =
   {
     r_prog = prog;
     r_functions = List.rev !mv_functions;
+    r_recipes = List.rev !recipes;
     r_warnings = List.rev !warnings;
   }

@@ -26,9 +26,26 @@ type mv_function = {
   mf_variants : variant list;
 }
 
+(** A per-function specialization recipe — what lazy (demand-driven)
+    variant generation records instead of expanding the switch cross
+    product ahead of time.  [rc_body] is a clone of the generic body
+    taken after safepoint insertion but {e before} optimization, so a
+    later [bind_switches]+optimize materializes exactly the body the
+    eager pipeline would have produced for the same assignment. *)
+type recipe = {
+  rc_name : string;  (** the generic function's symbol *)
+  rc_body : Mv_ir.Ir.fn;  (** safepointed, unoptimized generic clone *)
+  rc_switches : (string * int list) list;
+      (** bound switches with their specialization domains, sorted by
+          name *)
+}
+
 type result = {
   r_prog : Mv_ir.Ir.prog;  (** input program with variants appended *)
   r_functions : mv_function list;
+  r_recipes : recipe list;
+      (** one per multiversed function with bound switches when
+          [lazy_variants] was set; [[]] under eager generation *)
   r_warnings : string list;
 }
 
@@ -51,7 +68,38 @@ val bind_switches : Mv_ir.Ir.fn -> (string * int) list -> unit
     comma-joined otherwise. *)
 val variant_symbol : string -> string list -> (string * int) list list -> string
 
+(** Structural hash of a function body: a hex digest of
+    [Mv_opt.Merge.canonical_form] — blocks in reverse post-order,
+    registers renamed by first occurrence — so structurally equal bodies
+    collide across functions, any instruction change alters the digest,
+    and the value is stable across runs (no physical equality or address
+    dependence).  This is the variant cache's dedup key. *)
+val structural_hash : Mv_ir.Ir.fn -> string
+
+(** The switches [fn] reads (restricted by its [bind(..)] attribute),
+    paired with their specialization domains and sorted by name, plus
+    warnings for function-pointer switches (which are bound at commit
+    time, never specialized). *)
+val bound_domains :
+  (string * Mv_ir.Ir.global) list ->
+  Mv_ir.Ir.fn ->
+  (string * int list) list * string list
+
+(** Specialize one {!recipe} for a single point assignment — the
+    materialization step the runtime runs on the first commit of an
+    unseen switch valuation.  The assignment must cover exactly
+    [rc_switches]; the result carries one guard box per switch with
+    [lo = hi = value]. *)
+val specialize_recipe : recipe -> (string * int) list -> variant
+
 (** Run variant generation over a translation unit.  Generic functions are
     optimized in place; variant functions are appended to the returned
-    program so the back end emits them like ordinary code. *)
-val generate : ?max_variants:int -> Mv_ir.Ir.prog -> result
+    program so the back end emits them like ordinary code.
+
+    With [lazy_variants] (default false) the cross product is never
+    expanded: the returned program gains no variant functions, every
+    multiversed function's descriptor is emitted with zero variants, and
+    [r_recipes] carries the specialization recipes the runtime
+    materializes variants from on demand. *)
+val generate :
+  ?max_variants:int -> ?lazy_variants:bool -> Mv_ir.Ir.prog -> result

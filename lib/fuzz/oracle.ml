@@ -6,7 +6,13 @@ module Image = Mv_link.Image
 module Runtime = Core.Runtime
 module Compiler = Core.Compiler
 
-type chaos = No_chaos | Skip_flush | Lost_flush | Drop_ack | Corrupt_framemap
+type chaos =
+  | No_chaos
+  | Skip_flush
+  | Lost_flush
+  | Drop_ack
+  | Corrupt_framemap
+  | Stale_cache
 
 type divergence = { d_oracle : string; d_detail : string }
 
@@ -22,6 +28,7 @@ let oracle_names =
     "schedule-equiv";
     "osr-state-equiv";
     "smp-schedule-equiv";
+    "lazy-eager-equiv";
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -132,7 +139,7 @@ let build_session ?(chaos = No_chaos) src =
        there is no other hart, so it degenerates to a healthy flush.
        [Corrupt_framemap] bites only the OSR oracle, which corrupts the
        section itself. *)
-    | No_chaos | Drop_ack | Corrupt_framemap ->
+    | No_chaos | Drop_ack | Corrupt_framemap | Stale_cache ->
         Machine.flush_icache machine ~addr ~len
     | Skip_flush -> ()
     | Lost_flush ->
@@ -500,7 +507,7 @@ let build_smp_session ?(chaos = No_chaos) ~n_harts ~policy ~seed src =
   let lost = ref false in
   let flush ~addr ~len =
     match chaos with
-    | No_chaos | Drop_ack | Corrupt_framemap -> Smp.flush_icache smp ~addr ~len
+    | No_chaos | Drop_ack | Corrupt_framemap | Stale_cache -> Smp.flush_icache smp ~addr ~len
     | Skip_flush -> ()
     | Lost_flush ->
         lost := not !lost;
@@ -779,7 +786,7 @@ let osr_state_equiv ?(chaos = No_chaos) (case : Gen.case) (_sched : Schedule.t)
     let lost = ref false in
     let flush ~addr ~len =
       match chaos with
-      | No_chaos | Drop_ack | Corrupt_framemap ->
+      | No_chaos | Drop_ack | Corrupt_framemap | Stale_cache ->
           Machine.flush_icache machine ~addr ~len
       | Skip_flush -> ()
       | Lost_flush ->
@@ -845,6 +852,154 @@ let osr_state_equiv ?(chaos = No_chaos) (case : Gen.case) (_sched : Schedule.t)
             | None -> None))
     None osr_park_steps
 
+
+(* ------------------------------------------------------------------ *)
+(* Oracle: eager pre-expansion vs demand-driven materialization        *)
+(* ------------------------------------------------------------------ *)
+
+(* Auxiliary workload appended to the case: a multiversed tick whose two
+   bodies are the same size but semantically distinct.  Under the
+   one-block budget below, flipping [__lz_mode] back and forth forces
+   the variant cache to evict the resident body and recycle its block
+   for the other valuation on every commit — exactly the traffic a
+   stale dedup entry ([Stale_cache]) turns into a wrong-code link. *)
+let lazy_aux_src =
+  {|
+    multiverse int __lz_mode;
+    int __lz_acc;
+    multiverse void __lz_tick() {
+      if (__lz_mode) {
+        __lz_acc = __lz_acc + 2;
+      } else {
+        __lz_acc = __lz_acc + 1;
+      }
+    }
+    void __lz_probe(int n) {
+      for (int i = 0; i < n; i = i + 1) {
+        __lz_tick();
+      }
+    }
+  |}
+
+(* One 32-byte allocation — just enough for a single [__lz_tick] body
+   (23 bytes) — so every distinct valuation evicts its predecessor and
+   first-fit hands the freed block straight to the next materialization.
+   Case variants that do not fit are denied and fall back to the generic
+   body, which is observationally equivalent. *)
+let lazy_budget = 32
+let lazy_probe_iters = 6
+
+(* The lazy counterpart of [build_session]: recipes recorded at compile
+   time, zero variants at link time, demand-driven materialization into
+   the variant-text region.  Flush-path chaos applies to the lazy
+   subject like everywhere else; [Stale_cache] additionally makes
+   eviction skip the dedup-table invalidation. *)
+let build_lazy_session ?(chaos = No_chaos) src =
+  let program = Compiler.build_string ~lazy_variants:true src in
+  let machine = Machine.create program.Compiler.p_image in
+  let lost = ref false in
+  let flush ~addr ~len =
+    match chaos with
+    | No_chaos | Drop_ack | Corrupt_framemap | Stale_cache ->
+        Machine.flush_icache machine ~addr ~len
+    | Skip_flush -> ()
+    | Lost_flush ->
+        lost := not !lost;
+        if not !lost then Machine.flush_icache machine ~addr ~len
+  in
+  let runtime = Runtime.create program.Compiler.p_image ~flush in
+  Runtime.enable_lazy ~budget:lazy_budget runtime
+    ~recipes:(Compiler.recipes program)
+    ~call_pad:(Compiler.call_pad program);
+  if chaos = Stale_cache then Runtime.set_stale_cache_chaos runtime true;
+  (program, machine, runtime)
+
+let lazy_eager_equiv ?(chaos = No_chaos) (case : Gen.case) (_sched : Schedule.t)
+    : divergence option =
+  let fail fmt =
+    Printf.ksprintf
+      (fun d -> Some { d_oracle = "lazy-eager-equiv"; d_detail = d })
+      fmt
+  in
+  let src = case.Gen.c_src ^ lazy_aux_src in
+  let obs = observables case in
+  let _eprog, eager_machine, eager_rt = build_session src in
+  let eimg = _eprog.Compiler.p_image in
+  let _lprog, lazy_machine, lazy_rt = build_lazy_session ~chaos src in
+  let limg = _lprog.Compiler.p_image in
+  (* phase A: the case's own switch assignments and drivers — every
+     committed valuation must behave identically whether its variant was
+     pre-expanded, materialized on demand, or denied for budget *)
+  let main =
+    List.fold_left
+      (fun acc (ai, a) ->
+        match acc with
+        | Some _ -> acc
+        | None ->
+            apply_machine case eimg a;
+            apply_machine case limg a;
+            ignore (Runtime.commit eager_rt);
+            ignore (Runtime.commit lazy_rt);
+            List.fold_left
+              (fun acc arg ->
+                match acc with
+                | Some _ -> acc
+                | None -> (
+                    let re = run_machine eager_machine case.Gen.c_entry arg in
+                    let rl = run_machine lazy_machine case.Gen.c_entry arg in
+                    if re <> rl then
+                      fail "assignment #%d, driver(%d): eager=%s lazy=%s" ai
+                        arg (pp_outcome re) (pp_outcome rl)
+                    else
+                      match
+                        diff_states
+                          (read_obs_machine eimg obs)
+                          (read_obs_machine limg obs)
+                      with
+                      | Some d ->
+                          fail "assignment #%d, driver(%d): global %s (eager \
+                                vs lazy)"
+                            ai arg d
+                      | None -> None))
+              None case.Gen.c_args)
+      None
+      (List.mapi (fun i a -> (i, a)) case.Gen.c_assignments)
+  in
+  match main with
+  | Some _ -> main
+  | None ->
+      (* phase B, the churn probe: flip the aux mode so each commit
+         evicts the resident tick body and recycles its block; a stale
+         dedup entry links the recycled bytes on the second mode=1
+         commit and the probe delta (2 per tick vs 1) exposes it *)
+      let probe img machine : (int, string) result =
+        let acc_addr = Image.symbol img "__lz_acc" in
+        let before = Image.read img acc_addr 8 in
+        match run_machine machine "__lz_probe" lazy_probe_iters with
+        | Fault m -> Error m
+        | Ret _ -> Ok (Image.read img acc_addr 8 - before)
+      in
+      List.fold_left
+        (fun acc mode ->
+          match acc with
+          | Some _ -> acc
+          | None -> (
+              Image.write eimg (Image.symbol eimg "__lz_mode") mode 8;
+              Image.write limg (Image.symbol limg "__lz_mode") mode 8;
+              ignore (Runtime.commit eager_rt);
+              ignore (Runtime.commit lazy_rt);
+              match (probe eimg eager_machine, probe limg lazy_machine) with
+              | Ok de, Ok dl when de <> dl ->
+                  fail
+                    "mode %d: probe delta eager=%d lazy=%d (stale variant \
+                     body linked)"
+                    mode de dl
+              | Ok _, Ok _ -> None
+              | Error m, _ -> fail "mode %d: eager probe faulted: %s" mode m
+              | _, Error m -> fail "mode %d: lazy probe faulted: %s" mode m))
+        None
+        [ 1; 0; 1; 0; 1 ]
+
 (* ------------------------------------------------------------------ *)
 (* Dispatch                                                            *)
 (* ------------------------------------------------------------------ *)
@@ -858,6 +1013,7 @@ let run_named ?chaos name case sched =
   | "schedule-equiv" -> schedule_equiv ?chaos case sched
   | "osr-state-equiv" -> osr_state_equiv ?chaos case sched
   | "smp-schedule-equiv" -> smp_schedule_equiv ?chaos case sched
+  | "lazy-eager-equiv" -> lazy_eager_equiv ?chaos case sched
   | _ -> invalid_arg ("Oracle.run_named: unknown oracle " ^ name)
 
 let run_all ?chaos ?(only = []) case sched =

@@ -19,9 +19,19 @@
     re-flushed, so it keeps executing the stale variant), and
     [Corrupt_framemap] bumps one live-entry location per safepoint in the
     OSR oracle's frame map, so the on-stack transfer reconstructs the
-    parked frame from the wrong register or spill slot.  A healthy
-    pipeline diverges under each, and the fuzzer must catch it. *)
-type chaos = No_chaos | Skip_flush | Lost_flush | Drop_ack | Corrupt_framemap
+    parked frame from the wrong register or spill slot, and
+    [Stale_cache] makes variant-cache eviction skip the dedup-table
+    invalidation in the lazy oracle, so a later structural-hash hit
+    links a freed-and-recycled block holding some other variant's body.
+    A healthy pipeline diverges under each, and the fuzzer must catch
+    it. *)
+type chaos =
+  | No_chaos
+  | Skip_flush
+  | Lost_flush
+  | Drop_ack
+  | Corrupt_framemap
+  | Stale_cache
 
 (** A caught mismatch: which oracle fired and a human-readable account
     of the first differing observation. *)
@@ -39,12 +49,17 @@ val oracle_names : string list
 (** Run one oracle by name ([Invalid_argument] on unknown names).
     [chaos] affects the oracles that patch ([commit-soundness],
     [commit-idempotent], [schedule-equiv], [osr-state-equiv],
-    [smp-schedule-equiv] — [Drop_ack] bites only the last, which runs
-    the case's driver against a patched-under-load multi-hart workload
-    and probes every hart's icache coherence after the rendezvous;
-    [Corrupt_framemap] bites only [osr-state-equiv], which compares a
-    frame transferred mid-loop by on-stack replacement against the same
-    program run from scratch in the committed world). *)
+    [smp-schedule-equiv], [lazy-eager-equiv] — [Drop_ack] bites only
+    the multi-hart oracle, which runs the case's driver against a
+    patched-under-load multi-hart workload and probes every hart's
+    icache coherence after the rendezvous; [Corrupt_framemap] bites only
+    [osr-state-equiv], which compares a frame transferred mid-loop by
+    on-stack replacement against the same program run from scratch in
+    the committed world; [Stale_cache] bites only [lazy-eager-equiv],
+    which runs every committed valuation through an eager pre-expansion
+    session and a demand-driven session whose one-block byte budget
+    forces continual evict-and-recycle churn — results and observable
+    globals must match, cycle counts aside). *)
 val run_named :
   ?chaos:chaos -> string -> Gen.case -> Schedule.t -> divergence option
 

@@ -29,6 +29,8 @@ type t = {
   symbol_sizes : (string, int) Hashtbl.t;
   sections : (Objfile.section * section_range) list;
   text : section_range;
+  vtext : section_range;
+      (** reserved variant-text region: code the image can gain after load *)
   heap_base : int;
   stack_base : int;  (** initial stack pointer (grows down) *)
 }
@@ -134,6 +136,21 @@ let symbol_at t addr =
     t.symbols None
   |> Option.map fst
 
+(** Register (or move) a symbol at runtime — how materialized variant
+    bodies join the symbol table after load. *)
+let add_symbol t name ~addr ~size =
+  Hashtbl.replace t.symbols name addr;
+  Hashtbl.replace t.symbol_sizes name size
+
+(** Drop a runtime-registered symbol (variant eviction). *)
+let remove_symbol t name =
+  Hashtbl.remove t.symbols name;
+  Hashtbl.remove t.symbol_sizes name
+
 let section_range t sec = List.assoc_opt sec t.sections
 
-let in_text t addr = addr >= t.text.sr_base && addr < t.text.sr_base + t.text.sr_size
+let in_range (r : section_range) addr = addr >= r.sr_base && addr < r.sr_base + r.sr_size
+
+(* The variant-text region counts as text: live-activation scanners must
+   see activations inside materialized variants. *)
+let in_text t addr = in_range t.text addr || in_range t.vtext addr

@@ -28,6 +28,10 @@ type t = {
   symbol_sizes : (string, int) Hashtbl.t;
   sections : (Objfile.section * section_range) list;
   text : section_range;
+  vtext : section_range;
+      (** reserved, initially empty variant-text region the runtime may
+          fill with materialized variant bodies after load; pages are
+          mapped r-x like the static text segment *)
   heap_base : int;  (** first page after all sections *)
   stack_base : int;  (** initial stack pointer (grows down) *)
 }
@@ -62,5 +66,19 @@ val symbol_size : t -> string -> int
 (** Symbol whose [base, base+size) range contains the address. *)
 val symbol_at : t -> int -> string option
 
+(** [add_symbol t name ~addr ~size] registers (or moves) a symbol after
+    load — how a lazily materialized variant body joins the symbol
+    table so profilers and {!symbol_at} can attribute its addresses. *)
+val add_symbol : t -> string -> addr:int -> size:int -> unit
+
+(** Remove a runtime-registered symbol (used when a materialized variant
+    is evicted from the variant-text region). *)
+val remove_symbol : t -> string -> unit
+
 val section_range : t -> Objfile.section -> section_range option
+
+(** Is the address inside executable code — the static text segment or
+    the runtime-growable variant-text region ({!t.vtext})?  Live
+    activation scanners use this, so activations inside materialized
+    variants are visible to the safe-commit machinery. *)
 val in_text : t -> int -> bool

@@ -22,8 +22,12 @@ let section_align = function
   | Objfile.Mv_variables | Objfile.Mv_functions | Objfile.Mv_callsites
   | Objfile.Mv_framemaps -> 8
 
+(** Default capacity of the runtime-growable variant-text region. *)
+let default_vtext_size = 1 lsl 19
+
 (** Link objects into a runnable image. *)
-let link ?(mem_size = 1 lsl 22) (objs : Objfile.t list) : Image.t =
+let link ?(mem_size = 1 lsl 22) ?(vtext_size = default_vtext_size)
+    (objs : Objfile.t list) : Image.t =
   if objs = [] then errf "no input objects";
   (* 1. place sections: all text first, then data, then descriptor sections,
         each segment starting on a page boundary *)
@@ -43,6 +47,11 @@ let link ?(mem_size = 1 lsl 22) (objs : Objfile.t list) : Image.t =
       (sec, { Image.sr_base = seg_base; sr_size = !cursor - seg_base }) :: !section_ranges
   in
   List.iter place_section Objfile.all_sections;
+  (* reserve the variant-text region: page-aligned, after every static
+     section, so the image can gain code after load *)
+  let vtext_base = align_up !cursor Image.page_size in
+  let vtext_size = align_up (max 0 vtext_size) Image.page_size in
+  cursor := vtext_base + vtext_size;
   let end_of_sections = !cursor in
   if end_of_sections >= mem_size - 65536 then
     errf "image does not fit in %d bytes" mem_size;
@@ -109,6 +118,15 @@ let link ?(mem_size = 1 lsl 22) (objs : Objfile.t list) : Image.t =
   for page = first to last do
     prot.(page) <- Image.prot_rx
   done;
+  (* the variant-text region is executable from the start; the runtime
+     opens mprotect windows to write bodies into it, exactly like text *)
+  if vtext_size > 0 then begin
+    let first = vtext_base / Image.page_size in
+    let last = (vtext_base + vtext_size - 1) / Image.page_size in
+    for page = first to last do
+      prot.(page) <- Image.prot_rx
+    done
+  end;
   let heap_base = align_up end_of_sections Image.page_size in
   {
     Image.mem;
@@ -117,6 +135,7 @@ let link ?(mem_size = 1 lsl 22) (objs : Objfile.t list) : Image.t =
     symbol_sizes;
     sections = List.rev !section_ranges;
     text = text_range;
+    vtext = { Image.sr_base = vtext_base; sr_size = vtext_size };
     heap_base;
     stack_base = mem_size - 16;
   }

@@ -15,7 +15,13 @@ val text_base : int
 
 val align_up : int -> int -> int
 
+(** Default capacity of the variant-text region (512 KiB). *)
+val default_vtext_size : int
+
 (** Link the objects into a runnable image of [mem_size] bytes (default
     4 MiB): place sections, build the global symbol table, apply
-    relocations, and set page protections (text r-x, the rest rw-). *)
-val link : ?mem_size:int -> Objfile.t list -> Image.t
+    relocations, and set page protections (text r-x, the rest rw-).
+    [vtext_size] bytes (default {!default_vtext_size}, rounded up to a
+    page) are reserved after the static sections as the r-x variant-text
+    region lazily materialized variant bodies are linked into. *)
+val link : ?mem_size:int -> ?vtext_size:int -> Objfile.t list -> Image.t

@@ -77,6 +77,20 @@ let args_of_event (ev : Trace.event) : (string * Json.t) list =
         ("slots", Json.Int slots);
         ("cid", Json.Int cid);
       ]
+  | Trace.Variant_materialized { fn; variant; addr; size; dedup } ->
+      [
+        ("fn", Json.String fn);
+        ("variant", Json.String variant);
+        ("addr", Json.Int addr);
+        ("size", Json.Int size);
+        ("dedup", Json.Bool dedup);
+      ]
+  | Trace.Variant_evicted { fn; variant; freed } ->
+      [
+        ("fn", Json.String fn);
+        ("variant", Json.String variant);
+        ("freed", Json.Int freed);
+      ]
 
 let chrome_event ~pid (st : Trace.stamped) : Json.t =
   let phase, name =

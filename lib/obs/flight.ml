@@ -80,6 +80,8 @@ let tag_of : Trace.event -> int = function
   | Trace.Rendezvous_end _ -> 16
   | Trace.Causal_edge _ -> 17
   | Trace.Osr_transfer _ -> 18
+  | Trace.Variant_materialized _ -> 19
+  | Trace.Variant_evicted _ -> 20
 
 (* Float fields (ack waits, rendezvous latencies — always non-negative)
    travel as the low 63 bits of their IEEE pattern in an int slot; the
@@ -117,6 +119,14 @@ let payload t : Trace.event -> int * int * int * int = function
         (hart lsl 32) lor intern t fn,
         (sp_id lsl 32) lor slots,
         (from_pc lsl 32) lor to_pc )
+  (* the dedup flag rides the size slot's top bit *)
+  | Trace.Variant_materialized { fn; variant; addr; size; dedup } ->
+      ( intern t fn,
+        intern t variant,
+        addr,
+        (if dedup then 1 lsl 62 else 0) lor size )
+  | Trace.Variant_evicted { fn; variant; freed } ->
+      (intern t fn, intern t variant, freed, 0)
 
 let float_of_slot v = Int64.float_of_bits (Int64.logand (Int64.of_int v) Int64.max_int)
 
@@ -157,6 +167,16 @@ let decode t tag a b c d : Trace.event =
           from_pc = d lsr 32;
           to_pc = d land 0xFFFFFFFF;
         }
+  | 19 ->
+      Trace.Variant_materialized
+        {
+          fn = name_of t a;
+          variant = name_of t b;
+          addr = c;
+          size = d land ((1 lsl 62) - 1);
+          dedup = d land (1 lsl 62) <> 0;
+        }
+  | 20 -> Trace.Variant_evicted { fn = name_of t a; variant = name_of t b; freed = c }
   | _ -> Trace.Safepoint_poll { pending = -1 }
 
 let record t ev =
@@ -335,6 +355,18 @@ let event_of_json name (args : Json.t) : Trace.event option =
       match (str "edge", int "id", int "src_hart", int "dst_hart") with
       | Some edge, Some id, Some src_hart, Some dst_hart ->
           Some (Trace.Causal_edge { edge; id; src_hart; dst_hart })
+      | _ -> None)
+  | "variant_materialized", _, Some fn -> (
+      let dedup =
+        match Json.member "dedup" args with Some (Json.Bool b) -> b | _ -> false
+      in
+      match (str "variant", int "addr", int "size") with
+      | Some variant, Some addr, Some size ->
+          Some (Trace.Variant_materialized { fn; variant; addr; size; dedup })
+      | _ -> None)
+  | "variant_evicted", _, Some fn -> (
+      match (str "variant", int "freed") with
+      | Some variant, Some freed -> Some (Trace.Variant_evicted { fn; variant; freed })
       | _ -> None)
   | _ -> None
 

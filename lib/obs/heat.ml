@@ -197,6 +197,12 @@ let sink t ~clock : Trace.sink =
   | Trace.Commit_end { op = "revert" | "revert_safe"; _ } ->
       close_all t (clock ())
   | Trace.Fallback { fn } -> close_fn t fn (clock ())
+  | Trace.Variant_evicted { fn; variant; _ } ->
+      (* the lazy evictor dropped this body; if it was the resident one,
+         close its interval so the advisor stops ranking freed bytes *)
+      (match Hashtbl.find_opt t.current fn with
+      | Some v when v = variant -> close_fn t fn (clock ())
+      | _ -> ())
   | _ -> ()
 
 type stay = {
@@ -238,12 +244,17 @@ let resident t ~fn ~variant = Hashtbl.find_opt t.current fn = Some variant
 type verdict = Keep | Evict
 type advice = { ad_region : region; ad_heat : float; ad_bytes : int; ad_verdict : verdict }
 
-let evict_plan t ~budget =
+let evict_plan ?(exclude = []) t ~budget =
   let candidates =
     List.filter
       (fun s ->
         let r = s.s_region in
-        r.r_kind = Variant && resident t ~fn:r.r_fn ~variant:r.r_name)
+        r.r_kind = Variant
+        && resident t ~fn:r.r_fn ~variant:r.r_name
+        (* a variant a journaled-but-undrained patch set still needs must
+           not be advised away: its body has to survive until the bind
+           lands (callers pass [Runtime.pending_variants]) *)
+        && not (List.mem r.r_name exclude))
       (ordered t)
   in
   let density s =
@@ -277,7 +288,7 @@ let schema = "mv-heat/1"
 
 let kind_name = function Generic -> "generic" | Variant -> "variant"
 
-let to_json ?budget ?now t =
+let to_json ?budget ?(exclude = []) ?now t =
   let region_json st =
     let r = st.rs_region in
     Json.Obj
@@ -327,7 +338,7 @@ let to_json ?budget ?now t =
             Json.Obj
               [
                 ("budget_bytes", Json.Int budget);
-                ("entries", Json.List (List.map entry (evict_plan t ~budget)));
+                ("entries", Json.List (List.map entry (evict_plan ~exclude t ~budget)));
               ] );
         ]
   in
@@ -389,12 +400,14 @@ let pp ppf t =
         s.rs_heat (bar s.rs_heat max_heat))
     stats
 
-let pp_variants ?budget ?now ppf t =
+let pp_variants ?budget ?(exclude = []) ?now ppf t =
   let verdicts =
     match budget with
     | None -> []
     | Some budget ->
-        List.map (fun a -> (a.ad_region.r_name, a.ad_verdict)) (evict_plan t ~budget)
+        List.map
+          (fun a -> (a.ad_region.r_name, a.ad_verdict))
+          (evict_plan ~exclude t ~budget)
   in
   let verdict_name variant active =
     match List.assoc_opt variant verdicts with

@@ -100,7 +100,9 @@ val region_stats : t -> region_stat list
     variant lifecycle edges.  [Variant_selected] opens a residency
     interval for (fn, variant), closing the function's previous one; a
     [Commit_end] whose op is ["revert"]/["revert_safe"] closes every
-    open interval; [Fallback] closes the function's.  [clock] supplies
+    open interval; [Fallback] closes the function's, and so does
+    [Variant_evicted] when the evicted body is the resident one (the
+    lazy evictor reclaimed its bytes).  [clock] supplies
     interval endpoints (wire to the machine's cycle counter).  Tee it
     into the session's sink chain ([Harness.enable_heat] does).
     Targeted reverts ([revert_func]) emit no event and are not
@@ -140,15 +142,19 @@ type advice = {
     and keep the densest prefix whose cumulative size fits [budget]
     bytes; everything past the budget is marked [Evict].  Report-only:
     nothing is patched.  A [budget] of 0 or less keeps nothing;
-    non-resident variants do not appear (there is nothing to evict). *)
-val evict_plan : t -> budget:int -> advice list
+    non-resident variants do not appear (there is nothing to evict).
+    [exclude] removes variants (by region name) from the candidate set
+    entirely — pass [Core.Runtime.pending_variants] so a variant a
+    journaled-but-undrained bind still needs is never advised away; an
+    excluded variant neither appears in the plan nor consumes budget. *)
+val evict_plan : ?exclude:string list -> t -> budget:int -> advice list
 
 (** The accumulator as a [mv-heat/1] document: decay/epoch parameters,
     a [regions] array (extent, switches, hits, insns, heat, coverage),
     a [variants] array (installs, residency, active flag), and — when
     [budget] is given — the advisor's [plan].  [now] is threaded to
-    {!stays}. *)
-val to_json : ?budget:int -> ?now:float -> t -> Json.t
+    {!stays} and [exclude] to {!evict_plan}. *)
+val to_json : ?budget:int -> ?exclude:string list -> ?now:float -> t -> Json.t
 
 (** Bridge the current state into a metrics registry:
     [mv_region_heat{region}] gauges carry each region's hotness, and
@@ -163,5 +169,6 @@ val pp : Format.formatter -> t -> unit
 
 (** The variant lifecycle table: installs, residency, heat, and — when
     [budget] is given — the advisor verdict (the [mvtrace variants]
-    rendering). *)
-val pp_variants : ?budget:int -> ?now:float -> Format.formatter -> t -> unit
+    rendering).  [exclude] is threaded to {!evict_plan}. *)
+val pp_variants :
+  ?budget:int -> ?exclude:string list -> ?now:float -> Format.formatter -> t -> unit

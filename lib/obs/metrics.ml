@@ -255,3 +255,11 @@ let trace_sink t ~clock ?(hart = fun () -> 0) () : Trace.sink =
     | Trace.Osr_transfer { hart; fn; slots; _ } ->
         inc t "mv_osr_transfers_total" [ ("fn", fn); ("hart", string_of_int hart) ];
         observe t "mv_osr_slots" [ ("fn", fn) ] (float_of_int slots)
+    | Trace.Variant_materialized { fn; size; dedup; _ } ->
+        inc t "mv_variant_cache_materializations_total"
+          [ ("fn", fn); ("dedup", if dedup then "hit" else "miss") ];
+        if not dedup then
+          observe t "mv_variant_cache_body_bytes" [ ("fn", fn) ] (float_of_int size)
+    | Trace.Variant_evicted { fn; freed; _ } ->
+        inc t "mv_variant_cache_evictions_total" [ ("fn", fn) ];
+        observe t "mv_variant_cache_freed_bytes" [ ("fn", fn) ] (float_of_int freed)

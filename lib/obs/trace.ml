@@ -45,6 +45,14 @@ type event =
       to_pc : int;
       slots : int;
     }
+  | Variant_materialized of {
+      fn : string;
+      variant : string;
+      addr : int;
+      size : int;
+      dedup : bool;
+    }
+  | Variant_evicted of { fn : string; variant : string; freed : int }
 
 type stamped = { ts : float; seq : int; hart : int; hseq : int; ev : event }
 type sink = event -> unit
@@ -134,6 +142,8 @@ let event_name = function
   | Rendezvous_end _ -> "rendezvous_end"
   | Causal_edge _ -> "causal_edge"
   | Osr_transfer _ -> "osr_transfer"
+  | Variant_materialized _ -> "variant_materialized"
+  | Variant_evicted _ -> "variant_evicted"
 
 let pp_event fmt = function
   | Commit_begin { cid; op; switches } ->
@@ -179,6 +189,13 @@ let pp_event fmt = function
       Format.fprintf fmt
         "hart%d osr %s: 0x%x -> 0x%x at safept %d (%d slot(s), commit #%d)" hart fn
         from_pc to_pc sp_id slots cid
+  | Variant_materialized { fn; variant; addr; size; dedup } ->
+      Format.fprintf fmt "materialize %s for %s at 0x%x (%d bytes%s)" variant fn addr
+        size
+        (if dedup then ", dedup" else "")
+  | Variant_evicted { fn; variant; freed } ->
+      if freed = 0 then Format.fprintf fmt "evict %s of %s (body shared, 0 bytes)" variant fn
+      else Format.fprintf fmt "evict %s of %s (%d bytes freed)" variant fn freed
 
 let pp fmt st =
   Format.fprintf fmt "[%10.1f/%d h%d.%d] %a" st.ts st.seq st.hart st.hseq

@@ -104,6 +104,24 @@ type event =
           [to_pc].  [cid] names the commit whose deferred patch the
           transfer unblocked — the same id the eventual
           {!Pending_drained} carries. *)
+  | Variant_materialized of {
+      fn : string;
+      variant : string;
+      addr : int;
+      size : int;
+      dedup : bool;
+    }
+      (** The lazy variant cache materialized [variant] for [fn] at
+          [addr] on the first commit of an unseen switch valuation.
+          [size] is the encoded body size; with [dedup] set the
+          post-optimization structural hash matched an already-resident
+          body, so no new bytes were linked — the descriptor alias simply
+          points at the existing block. *)
+  | Variant_evicted of { fn : string; variant : string; freed : int }
+      (** The variant cache evicted [variant] of [fn] under its byte
+          budget.  [freed] is the number of variant-text bytes returned
+          to the allocator — [0] when other descriptor aliases still
+          share the body, so only the alias was dropped. *)
 
 (** A recorded event: [ts] is the clock reading at record time (simulated
     cycles for the standard wiring), [seq] a strictly increasing per-ring

@@ -131,6 +131,20 @@ let return_sentinel = 0
 
 let create ?(cost = Cost.default) ?(platform = Native) ?(max_steps = 2_000_000_000)
     ?(hart_id = 0) ?stack_base (image : Image.t) : t =
+  (* the decode caches span every executable byte: the static text plus —
+     when the image reserves one — the variant-text region the lazy
+     materializer writes into, so freshly materialized bodies fetch and
+     superblock-compile like any AOT code *)
+  let code_span =
+    let text = image.Image.text in
+    let text_end = text.Image.sr_base + text.Image.sr_size in
+    let vt = image.Image.vtext in
+    let code_end =
+      if vt.Image.sr_size > 0 then max text_end (vt.Image.sr_base + vt.Image.sr_size)
+      else text_end
+    in
+    code_end - text.Image.sr_base
+  in
   {
     image;
     hart_id;
@@ -142,9 +156,9 @@ let create ?(cost = Cost.default) ?(platform = Native) ?(max_steps = 2_000_000_0
     bp = Branch_pred.create ();
     cost;
     platform;
-    cache = Array.make (max 1 image.Image.text.Image.sr_size) None;
+    cache = Array.make (max 1 code_span) None;
     blocks = Hashtbl.create 256;
-    block_map = Array.make (max 1 image.Image.text.Image.sr_size) None;
+    block_map = Array.make (max 1 code_span) None;
     sb_cur = None;
     sb_ix = 0;
     dstats = { ds_blocks = 0; ds_insns = 0; ds_invalidated = 0 };

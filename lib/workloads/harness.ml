@@ -124,6 +124,27 @@ let session ?platform ?cost (sources : (string * string) list) : session =
 
 let session1 ?platform ?cost source = session ?platform ?cost [ ("main", source) ]
 
+(** A session built in lazy-materialization mode: the compiler records
+    recipes instead of pre-expanding the switch product, and the runtime
+    specializes on first commit into the image's vtext region.
+    [vtext_size] sizes that region at link time; [budget] caps resident
+    variant bytes (default: the whole region). *)
+let lazy_session ?platform ?cost ?vtext_size ?budget
+    (sources : (string * string) list) : session =
+  let program = Core.Compiler.build ~lazy_variants:true ?vtext_size sources in
+  let machine = Machine.create ?platform ?cost program.Core.Compiler.p_image in
+  let runtime =
+    Core.Runtime.create program.Core.Compiler.p_image ~flush:(fun ~addr ~len ->
+        Machine.flush_icache machine ~addr ~len)
+  in
+  Core.Runtime.enable_lazy ?budget runtime
+    ~recipes:(Core.Compiler.recipes program)
+    ~call_pad:(Core.Compiler.call_pad program);
+  of_parts program machine runtime
+
+let lazy_session1 ?platform ?cost ?vtext_size ?budget source =
+  lazy_session ?platform ?cost ?vtext_size ?budget [ ("main", source) ]
+
 let set s name v =
   let img = s.program.Core.Compiler.p_image in
   Image.write img (Image.symbol img name) v 8
@@ -259,11 +280,16 @@ let enable_heat ?decay s =
   install_tracers s
 
 (* Fold the machine's cumulative block counters into the accumulator
-   (delta-safe: calling it repeatedly never double-counts). *)
+   (delta-safe: calling it repeatedly never double-counts).  Under lazy
+   materialization the body census changes as variants come and go, so
+   re-register the runtime's current regions first — Heat.register
+   replaces extents by name, keeping registration order for survivors. *)
 let heat_sync s =
   match s.heat with
   | None -> ()
   | Some h ->
+      if Core.Runtime.lazy_enabled s.runtime then
+        List.iter (Heat.register h) (Core.Runtime.heat_regions s.runtime);
       Heat.observe ~source:(Machine.hart_id s.machine) h
         (Machine.heat_blocks s.machine)
 
@@ -289,7 +315,36 @@ let heat_json ?budget s =
   heat_sync s;
   match s.heat with
   | None -> Json.Null
-  | Some h -> Heat.to_json ?budget ~now:(machine_clock s ()) h
+  | Some h ->
+      Heat.to_json ?budget
+        ~exclude:(Core.Runtime.pending_variants s.runtime)
+        ~now:(machine_clock s ()) h
+
+(** Wire the byte-budget eviction advisor into the runtime: when the lazy
+    materializer needs room, it asks the heat accumulator's
+    {!Heat.evict_plan} (freshly synced) which resident variants to shed
+    first — coldest heat-per-byte first — excluding any a
+    journaled-but-undrained bind still needs.  [budget] is the advisor's
+    keep-budget: variants whose cumulative (densest-first) size fits are
+    never advised away; the default 0 makes every resident variant
+    eligible, ranked.  Requires {!enable_heat}; composes with
+    {!lazy_session}. *)
+let enable_evict_advisor ?(budget = 0) s =
+  Core.Runtime.set_evict_advisor s.runtime
+    (Some
+       (fun () ->
+         heat_sync s;
+         match s.heat with
+         | None -> []
+         | Some h ->
+             Heat.evict_plan
+               ~exclude:(Core.Runtime.pending_variants s.runtime)
+               h ~budget
+             |> List.filter_map (fun (a : Heat.advice) ->
+                    if a.Heat.ad_verdict = Heat.Evict then
+                      Some a.Heat.ad_region.Heat.r_name
+                    else None)
+             |> List.rev))
 
 (* Symbol names of all generated variants, for profiler classification. *)
 let variant_names s =
@@ -306,6 +361,17 @@ let variant_names s =
     (Core.Descriptor.parse_functions img);
   tbl
 
+(* Variant classifier for the profilers.  The descriptor-derived table is
+   complete for eager builds but empty under lazy ones (variants do not
+   exist at link time), so fall back to asking the runtime about bodies
+   it has materialized since. *)
+let is_variant_sym s tbl name =
+  Hashtbl.mem tbl name
+  || (Core.Runtime.lazy_enabled s.runtime
+     && List.exists
+          (fun (sym, _, _) -> sym = name)
+          (Core.Runtime.materialized_variants s.runtime))
+
 (* Attach the sampling profiler to the machine's step loop.  Resolution
    goes through the image symbol map, so generic bodies and installed
    variants (whose symbols carry the assignment suffix) are attributed
@@ -315,7 +381,7 @@ let enable_profiling ?interval s =
   let variants = variant_names s in
   let prof =
     Profile.create ?interval
-      ~is_variant:(fun name -> Hashtbl.mem variants name)
+      ~is_variant:(fun name -> is_variant_sym s variants name)
       ~resolve:(fun pc -> Image.symbol_at img pc)
       ~now:(machine_clock s) ()
   in
@@ -332,7 +398,7 @@ let enable_stack_profiling ?interval s =
   let variants = variant_names s in
   let sp =
     Stackprof.create ?interval
-      ~is_variant:(fun name -> Hashtbl.mem variants name)
+      ~is_variant:(fun name -> is_variant_sym s variants name)
       ~resolve:(fun pc -> Image.symbol_at img pc)
       ~frames:(fun () -> Machine.call_frames s.machine)
       ~now:(machine_clock s) ()
@@ -561,14 +627,19 @@ let install_smp_tracers s =
   Smp.set_tracer s.smp sink
 
 let smp_session ?(n_harts = 2) ?policy ?seed ?platform ?cost
-    ?(flight_capacity = 512) (sources : (string * string) list) : smp_session =
-  let program = Core.Compiler.build sources in
+    ?(flight_capacity = 512) ?(lazy_variants = false) ?vtext_size ?budget
+    (sources : (string * string) list) : smp_session =
+  let program = Core.Compiler.build ~lazy_variants ?vtext_size sources in
   let image = program.Core.Compiler.p_image in
   let smp = Smp.create ?policy ?seed ?cost ?platform ~n_harts image in
   let runtime =
     Core.Runtime.create image ~flush:(fun ~addr ~len ->
         Smp.flush_icache smp ~addr ~len)
   in
+  if lazy_variants then
+    Core.Runtime.enable_lazy ?budget runtime
+      ~recipes:(Core.Compiler.recipes program)
+      ~call_pad:(Core.Compiler.call_pad program);
   Core.Runtime.set_live_scanner runtime (fun () -> Smp.live_code_addrs smp);
   Core.Runtime.set_patch_barrier runtime (Some (fun f -> Smp.stop_machine smp f));
   Core.Runtime.set_text_writer runtime
@@ -606,6 +677,19 @@ let smp_session ?(n_harts = 2) ?policy ?seed ?platform ?cost
 
 let smp_session1 ?n_harts ?policy ?seed ?platform ?cost source =
   smp_session ?n_harts ?policy ?seed ?platform ?cost [ ("main", source) ]
+
+(** An N-hart container in lazy-materialization mode: first commit of an
+    unseen valuation specializes inside the [stop_machine] rendezvous and
+    writes the body through [text_poke]. *)
+let lazy_smp_session ?n_harts ?policy ?seed ?platform ?cost ?flight_capacity
+    ?vtext_size ?budget sources =
+  smp_session ?n_harts ?policy ?seed ?platform ?cost ?flight_capacity
+    ~lazy_variants:true ?vtext_size ?budget sources
+
+let lazy_smp_session1 ?n_harts ?policy ?seed ?platform ?cost ?vtext_size
+    ?budget source =
+  lazy_smp_session ?n_harts ?policy ?seed ?platform ?cost ?vtext_size ?budget
+    [ ("main", source) ]
 
 let smp_set s name v = Smp.write_global s.smp name v ~width:8
 let smp_get s name = Smp.read_global s.smp name ~width:8
@@ -681,9 +765,31 @@ let smp_heat_sync s =
   match s.sm_heat with
   | None -> ()
   | Some h ->
+      if Core.Runtime.lazy_enabled s.sm_runtime then
+        List.iter (Heat.register h) (Core.Runtime.heat_regions s.sm_runtime);
       for i = 0 to Smp.n_harts s.smp - 1 do
         Heat.observe ~source:i h (Machine.heat_blocks (Smp.machine s.smp i))
       done
+
+(** The SMP analogue of {!enable_evict_advisor}: the advisor syncs every
+    hart's counters before ranking, and still excludes variants a pending
+    bind needs. *)
+let enable_smp_evict_advisor ?(budget = 0) s =
+  Core.Runtime.set_evict_advisor s.sm_runtime
+    (Some
+       (fun () ->
+         smp_heat_sync s;
+         match s.sm_heat with
+         | None -> []
+         | Some h ->
+             Heat.evict_plan
+               ~exclude:(Core.Runtime.pending_variants s.sm_runtime)
+               h ~budget
+             |> List.filter_map (fun (a : Heat.advice) ->
+                    if a.Heat.ad_verdict = Heat.Evict then
+                      Some a.Heat.ad_region.Heat.r_name
+                    else None)
+             |> List.rev))
 
 (** The container's heat accumulator, if any (synced first). *)
 let smp_heat s =
@@ -732,9 +838,16 @@ let enable_smp_stack_profiling ?interval s =
   s.sm_stackprofs <-
     Array.init (Smp.n_harts s.smp) (fun i ->
         let m = Smp.machine s.smp i in
+        let is_variant name =
+          Hashtbl.mem variants name
+          || (Core.Runtime.lazy_enabled s.sm_runtime
+             && List.exists
+                  (fun (sym, _, _) -> sym = name)
+                  (Core.Runtime.materialized_variants s.sm_runtime))
+        in
         let sp =
           Stackprof.create ?interval
-            ~is_variant:(fun name -> Hashtbl.mem variants name)
+            ~is_variant
             ~root:(Printf.sprintf "hart%d" i)
             ~resolve:(fun pc -> Image.symbol_at img pc)
             ~frames:(fun () -> Machine.call_frames m)

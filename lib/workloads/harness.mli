@@ -54,6 +54,31 @@ val session :
 val session1 :
   ?platform:Mv_vm.Machine.platform -> ?cost:Mv_vm.Cost.t -> string -> session
 
+(** Build a session in lazy-materialization mode: the compiler records
+    per-function specialization recipes instead of pre-expanding the
+    switch product ([Core.Compiler.build ~lazy_variants:true]), the link
+    reserves a [vtext_size]-byte growable text region, and the runtime's
+    lazy materializer is armed ([Core.Runtime.enable_lazy]) with a
+    resident-variant byte [budget] (default: the whole region).  The
+    first commit of an unseen valuation specializes, assembles and links
+    the needed variant on demand; structurally identical bodies dedup to
+    one copy; cold variants are evicted when the budget runs out. *)
+val lazy_session :
+  ?platform:Mv_vm.Machine.platform ->
+  ?cost:Mv_vm.Cost.t ->
+  ?vtext_size:int ->
+  ?budget:int ->
+  (string * string) list ->
+  session
+
+val lazy_session1 :
+  ?platform:Mv_vm.Machine.platform ->
+  ?cost:Mv_vm.Cost.t ->
+  ?vtext_size:int ->
+  ?budget:int ->
+  string ->
+  session
+
 (** Read/write a word-sized global by symbol. *)
 val set : session -> string -> int -> unit
 
@@ -145,8 +170,21 @@ val heat_report : session -> Mv_obs.Heat.region_stat list
 
 (** The session's [mv-heat/1] document, synced, with open residency
     intervals extended to the current machine clock; [budget] adds the
-    eviction advisor's plan.  [Json.Null] until {!enable_heat}. *)
+    eviction advisor's plan (with variants a journaled-but-undrained
+    bind still needs excluded from it).  [Json.Null] until
+    {!enable_heat}. *)
 val heat_json : ?budget:int -> session -> Mv_obs.Json.t
+
+(** Wire the heat accumulator in as the lazy materializer's eviction
+    advisor ({!Core.Runtime.set_evict_advisor}): when the runtime needs
+    room in the variant cache, {!Mv_obs.Heat.evict_plan} (freshly
+    synced, pending variants excluded) ranks the resident variants and
+    the [Evict] verdicts are offered coldest-first.  [budget] is the
+    advisor's keep-budget — variants whose cumulative densest-first
+    size fits are never advised away; the default [0] makes every
+    resident variant eligible.  Requires {!enable_heat}; composes with
+    {!lazy_session}. *)
+val enable_evict_advisor : ?budget:int -> session -> unit
 
 (** Recorded events, oldest first ([[]] until {!enable_tracing}). *)
 val trace_events : session -> Mv_obs.Trace.stamped list
@@ -267,6 +305,9 @@ val smp_session :
   ?platform:Mv_vm.Machine.platform ->
   ?cost:Mv_vm.Cost.t ->
   ?flight_capacity:int ->
+  ?lazy_variants:bool ->
+  ?vtext_size:int ->
+  ?budget:int ->
   (string * string) list ->
   smp_session
 
@@ -276,6 +317,32 @@ val smp_session1 :
   ?seed:int ->
   ?platform:Mv_vm.Machine.platform ->
   ?cost:Mv_vm.Cost.t ->
+  string ->
+  smp_session
+
+(** {!lazy_session} on an N-hart container: the first commit of an
+    unseen valuation specializes inside the [stop_machine] rendezvous
+    and writes the body through the breakpoint-first [text_poke]. *)
+val lazy_smp_session :
+  ?n_harts:int ->
+  ?policy:Mv_vm.Smp.policy ->
+  ?seed:int ->
+  ?platform:Mv_vm.Machine.platform ->
+  ?cost:Mv_vm.Cost.t ->
+  ?flight_capacity:int ->
+  ?vtext_size:int ->
+  ?budget:int ->
+  (string * string) list ->
+  smp_session
+
+val lazy_smp_session1 :
+  ?n_harts:int ->
+  ?policy:Mv_vm.Smp.policy ->
+  ?seed:int ->
+  ?platform:Mv_vm.Machine.platform ->
+  ?cost:Mv_vm.Cost.t ->
+  ?vtext_size:int ->
+  ?budget:int ->
   string ->
   smp_session
 
@@ -334,6 +401,11 @@ val smp_heat : smp_session -> Mv_obs.Heat.t option
 
 (** Per-region heat across all harts ([[]] until {!enable_smp_heat}). *)
 val smp_heat_report : smp_session -> Mv_obs.Heat.region_stat list
+
+(** {!enable_evict_advisor} for the container: the advisor syncs every
+    hart's counters before ranking, and still excludes variants a
+    pending bind needs. *)
+val enable_smp_evict_advisor : ?budget:int -> smp_session -> unit
 
 val smp_trace_events : smp_session -> Mv_obs.Trace.stamped list
 val smp_trace_dump : smp_session -> string

@@ -12,9 +12,42 @@ dune runtest
 
 # Differential fuzz smoke: 500 seed-pinned cases through every oracle.
 # On divergence mvfuzz exits 1 after printing (and, with MVFUZZ_CORPUS
-# set, saving) the shrunk reproducer.
+# set, saving) the shrunk reproducer.  A lazy-eager-equiv divergence
+# additionally parks an mv-heat/1 dump of the lazy variant cache in
+# MV_SMP_ARTIFACT_DIR (uploaded by CI with the reproducers), so the
+# materialization/eviction state behind the diverging cache can be
+# inspected with `mvtrace heat`'s JSON offline.
+fuzz_status=0
+fuzz_log=$(mktemp /tmp/mv-fuzz-XXXXXX.log)
 dune exec bin/mvfuzz.exe -- --iters 500 --seed 1 --quiet \
-  ${MVFUZZ_CORPUS:+--corpus "$MVFUZZ_CORPUS"}
+  ${MVFUZZ_CORPUS:+--corpus "$MVFUZZ_CORPUS"} > "$fuzz_log" 2>&1 \
+  || fuzz_status=$?
+cat "$fuzz_log"
+if [ "$fuzz_status" -ne 0 ]; then
+  if [ -n "${MV_SMP_ARTIFACT_DIR:-}" ] \
+      && grep -q "lazy-eager-equiv" "$fuzz_log"; then
+    mkdir -p "$MV_SMP_ARTIFACT_DIR"
+    lazy_heat_mvc=$(mktemp /tmp/mv-lazy-heat-XXXXXX.mvc)
+    cat > "$lazy_heat_mvc" <<'EOF'
+multiverse int config_smp;
+int lock_word;
+multiverse void spin_lock() {
+  if (config_smp) { lock_word = lock_word + 1; }
+}
+void bench_loop(int n) {
+  for (int i = 0; i < n; i = i + 1) { spin_lock(); }
+}
+EOF
+    dune exec bin/mvtrace.exe -- heat "$lazy_heat_mvc" --lazy \
+      --set config_smp=1 --commit --run bench_loop --arg 200 \
+      --json "$MV_SMP_ARTIFACT_DIR"/lazy-cache.heat.json > /dev/null 2>&1 \
+      || echo "note: could not produce the lazy mv-heat/1 dump"
+    rm -f "$lazy_heat_mvc"
+  fi
+  rm -f "$fuzz_log"
+  exit "$fuzz_status"
+fi
+rm -f "$fuzz_log"
 
 # SMP smoke: the multi-hart oracle must be clean on the real pipeline,
 # and a severed IPI channel (drop-ack) must be caught — if the chaos run
@@ -24,6 +57,16 @@ dune exec bin/mvfuzz.exe -- --iters 25 --seed 1 --quiet \
 if dune exec bin/mvfuzz.exe -- --iters 5 --seed 1 --quiet --small \
     --chaos drop-ack --oracle smp-schedule-equiv --shrink-budget 0 > /dev/null 2>&1; then
   echo "mvfuzz: drop-ack chaos was NOT detected by smp-schedule-equiv"; exit 1
+fi
+
+# Lazy-cache smoke (must-fail): an eviction that forgets to invalidate
+# the structural-hash dedup table must trip the lazy-vs-eager oracle —
+# a later hash hit links a freed-and-recycled block holding some other
+# variant's body.  If the chaos run exits 0 the lazy oracle has lost
+# its teeth.
+if dune exec bin/mvfuzz.exe -- --iters 5 --seed 1 --quiet --small \
+    --chaos stale-cache --oracle lazy-eager-equiv --shrink-budget 0 > /dev/null 2>&1; then
+  echo "mvfuzz: stale-cache chaos was NOT detected by lazy-eager-equiv"; exit 1
 fi
 
 # OSR smoke (must-fail): a frame map with one live-entry location bumped

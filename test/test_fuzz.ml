@@ -163,6 +163,46 @@ let test_drop_ack_is_caught () =
         r.Driver.rp_entry.Corpus.e_oracle)
     summary.Driver.s_reports
 
+(* A variant-cache eviction that forgets to invalidate the dedup table
+   (so a later structural-hash hit links a freed-and-recycled block)
+   must be caught — by the lazy oracle specifically, via its
+   evict-and-recycle churn probe — and the same cases must be clean
+   when the cache is healthy. *)
+let test_stale_cache_is_caught () =
+  List.iter
+    (fun seed ->
+      let case = Gen.case ~cfg:Gen.small_cfg seed in
+      let sched = Driver.schedule_for case seed in
+      match
+        Oracle.run_named ~chaos:Oracle.Stale_cache "lazy-eager-equiv" case
+          sched
+      with
+      | None -> Alcotest.failf "seed %d: stale-cache chaos was not detected" seed
+      | Some d ->
+          check_string "caught by the lazy oracle" "lazy-eager-equiv"
+            d.Oracle.d_oracle;
+          check_bool
+            (Printf.sprintf "divergence blames a stale body (%s)" d.Oracle.d_detail)
+            true
+            (string_contains d.Oracle.d_detail "stale");
+          check_bool "same case is clean without chaos" true
+            (Oracle.run_named "lazy-eager-equiv" case sched = None))
+    [ 1; 7 ];
+  (* the other oracles never enable lazy materialization: a full sweep
+     under stale-cache must blame only the lazy oracle, so the driver
+     attributes the bug correctly *)
+  let summary =
+    Driver.run ~cfg:Gen.small_cfg ~chaos:Oracle.Stale_cache ~seed:1 ~iters:5
+      ~shrink_budget:0 ()
+  in
+  check_bool "driver sweep under stale-cache detects divergences" true
+    (summary.Driver.s_reports <> []);
+  List.iter
+    (fun r ->
+      check_string "every report names the lazy oracle" "lazy-eager-equiv"
+        r.Driver.rp_entry.Corpus.e_oracle)
+    summary.Driver.s_reports
+
 (* ------------------------------------------------------------------ *)
 (* Corpus                                                              *)
 (* ------------------------------------------------------------------ *)
@@ -332,6 +372,7 @@ let suite =
     tc_slow "lost-flush chaos is caught" test_lost_flush_is_caught;
     tc "smp oracle is clean on the real pipeline" test_smp_oracle_clean;
     tc_slow "drop-ack chaos is caught by the smp oracle" test_drop_ack_is_caught;
+    tc_slow "stale-cache chaos is caught by the lazy oracle" test_stale_cache_is_caught;
     tc "corpus entries round-trip (json, disk)" test_corpus_roundtrip;
     tc "check_corpus passes on a clean entry" test_corpus_check_clean;
     tc_slow "Pending_drained fires exactly once per drained set"

@@ -221,6 +221,34 @@ let test_evict_plan_keeps_hot () =
   check_int "non-resident variants drop out" 1
     (List.length (Heat.evict_plan h ~budget:80))
 
+(* Journaled-but-not-yet-applied variants (a pending safe-commit bind)
+   must be excludable from the plan: evicting one would invalidate the
+   journal entry.  An excluded variant neither appears in the advice
+   list nor consumes budget, so its bytes go to the remaining
+   candidates. *)
+let test_evict_plan_exclude_pending () =
+  let h = two_variant_fixture () in
+  (* excluded: gone from the plan entirely *)
+  (match Heat.evict_plan ~exclude:[ "f1.x=1" ] h ~budget:40 with
+  | [ only ] ->
+      check_string "only the other variant is planned" "f2.y=1"
+        only.Heat.ad_region.Heat.r_name;
+      (* ...and the budget the hot variant would have eaten is free for
+         the cold one *)
+      check_bool "freed budget keeps the survivor" true
+        (only.Heat.ad_verdict = Heat.Keep)
+  | l -> Alcotest.failf "expected 1 advice, got %d" (List.length l));
+  (* without the exclusion the same budget evicts the cold variant *)
+  (match Heat.evict_plan h ~budget:40 with
+  | [ _; second ] ->
+      check_bool "cold evicted when nothing is excluded" true
+        (second.Heat.ad_verdict = Heat.Evict)
+  | l -> Alcotest.failf "expected 2 advices, got %d" (List.length l));
+  (* excluding everything yields the empty plan *)
+  check_int "excluding every resident empties the plan" 0
+    (List.length
+       (Heat.evict_plan ~exclude:[ "f1.x=1"; "f2.y=1" ] h ~budget:40))
+
 (* ------------------------------------------------------------------ *)
 (* Export                                                              *)
 (* ------------------------------------------------------------------ *)
@@ -307,6 +335,7 @@ let suite =
     tc "epoch decay math" test_epoch_decay_math;
     tc "residency intervals" test_residency_intervals;
     tc "evict_plan keeps hot, evicts cold" test_evict_plan_keeps_hot;
+    tc "evict_plan excludes journaled binds" test_evict_plan_exclude_pending;
     tc "mv-heat/1 parse-back" test_heat_json_parse_back;
     tc "deterministic export" test_heat_deterministic;
     tc "metrics gauges" test_heat_metrics_gauges;

@@ -1,0 +1,552 @@
+(* The lazy-vs-eager battery: demand-driven variant materialization must
+   be observationally identical to the eager pre-expansion (results,
+   fallback behavior), while holding the cache invariants — first commit
+   materializes exactly once, structural-hash hits link no new bytes,
+   evict/re-commit round trips are bit-identical, live victims drain
+   through the safe-commit/OSR paths, and the byte budget is never
+   exceeded, including across a randomized pinned-seed commit storm and
+   a 20-switch (~1M valuation) workload. *)
+
+open Util
+module H = Mv_workloads.Harness
+module Runtime = Core.Runtime
+module Machine = Mv_vm.Machine
+module Image = Mv_link.Image
+module Trace = Mv_obs.Trace
+
+(* The paper's Figure 2 shape: one multiversed function over two
+   switches, four in-domain valuations. *)
+let fig2 =
+  {|
+  multiverse bool A;
+  multiverse int B;
+  int effects;
+  void calc() { effects = effects + 10; }
+  void log_() { effects = effects + 100; }
+  multiverse void multi() { if (A) { calc(); if (B) { log_(); } } }
+  int foo() { effects = 0; multi(); return effects; }
+|}
+
+let expected a b = (if a <> 0 then 10 else 0) + (if a <> 0 && b <> 0 then 100 else 0)
+
+let commit_vals s a b =
+  H.set s "A" a;
+  H.set s "B" b;
+  ignore (H.commit s)
+
+let stats s = Runtime.stats s.H.runtime
+
+(* ------------------------------------------------------------------ *)
+(* Link-time shape and eager/lazy agreement                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_lazy_link_carries_no_variants () =
+  let s = H.lazy_session1 fig2 in
+  check_bool "lazy mode armed" true (Runtime.lazy_enabled s.H.runtime);
+  check_int "no variants at link time" 0
+    (List.length (Runtime.materialized_variants s.H.runtime));
+  check_int "no resident bytes" 0 (Runtime.variant_bytes s.H.runtime);
+  check_int "descriptors carry zero variants" 0 (stats s).Runtime.st_variants;
+  (* the generic program is fully functional before any commit *)
+  H.set s "A" 1;
+  H.set s "B" 1;
+  check_int "generic semantics" 110 (H.call s "foo" []);
+  let e = H.session1 fig2 in
+  check_bool "eager session is not lazy" false (Runtime.lazy_enabled e.H.runtime)
+
+let test_lazy_matches_eager_all_valuations () =
+  List.iter
+    (fun (a, b) ->
+      let eager = H.session1 fig2 in
+      let lazy_ = H.lazy_session1 fig2 in
+      commit_vals eager a b;
+      commit_vals lazy_ a b;
+      let re = H.call eager "foo" [] in
+      let rl = H.call lazy_ "foo" [] in
+      check_int (Printf.sprintf "eager A=%d B=%d" a b) (expected a b) re;
+      check_int (Printf.sprintf "lazy agrees A=%d B=%d" a b) re rl)
+    [ (0, 0); (0, 1); (1, 0); (1, 1) ]
+
+(* ------------------------------------------------------------------ *)
+(* First-commit materialization and the cache                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_first_commit_materializes_exactly_once () =
+  let s = H.lazy_session1 fig2 in
+  commit_vals s 1 1;
+  check_int "one materialization" 1 (stats s).Runtime.st_materialized;
+  check_int "one resident alias" 1
+    (List.length (Runtime.materialized_variants s.H.runtime));
+  check_bool "bytes accounted" true (Runtime.variant_bytes s.H.runtime > 0);
+  check_int "specialized result" 110 (H.call s "foo" [])
+
+let test_recommit_hits_cache () =
+  let s = H.lazy_session1 fig2 in
+  commit_vals s 1 1;
+  let bytes = Runtime.variant_bytes s.H.runtime in
+  commit_vals s 1 1;
+  commit_vals s 1 1;
+  let st = stats s in
+  check_int "still one materialization" 1 st.Runtime.st_materialized;
+  check_bool "cache hits recorded" true (st.Runtime.st_cache_hits >= 2);
+  check_int "no new bytes" bytes (Runtime.variant_bytes s.H.runtime);
+  check_int "result stable" 110 (H.call s "foo" [])
+
+let test_distinct_valuations_distinct_bodies () =
+  let s = H.lazy_session1 fig2 in
+  commit_vals s 1 1;
+  check_int "after (1,1)" 110 (H.call s "foo" []);
+  commit_vals s 1 0;
+  check_int "after (1,0)" 10 (H.call s "foo" []);
+  let st = stats s in
+  check_int "two materializations" 2 st.Runtime.st_materialized;
+  check_int "no dedup between distinct bodies" 0 st.Runtime.st_dedup_hits;
+  match Runtime.materialized_variants s.H.runtime with
+  | [ (s1, a1, _); (s2, a2, _) ] ->
+      check_bool "distinct symbols" true (s1 <> s2);
+      check_bool "distinct addresses" true (a1 <> a2)
+  | vs -> Alcotest.failf "expected 2 resident variants, got %d" (List.length vs)
+
+(* ------------------------------------------------------------------ *)
+(* Structural-hash dedup                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* f and g are byte-for-byte clones: their m=1 bodies must share one
+   resident copy. *)
+let clones =
+  {|
+  multiverse int m;
+  int w;
+  multiverse void f() { if (m) { w = w + 1; } }
+  multiverse void g() { if (m) { w = w + 1; } }
+  int foo() { w = 0; f(); g(); return w; }
+|}
+
+let test_dedup_across_function_clones () =
+  let s = H.lazy_session1 clones in
+  H.set s "m" 1;
+  ignore (H.commit s);
+  let st = stats s in
+  check_int "both functions materialized" 2 st.Runtime.st_materialized;
+  check_int "second was a hash hit" 1 st.Runtime.st_dedup_hits;
+  (match Runtime.materialized_variants s.H.runtime with
+  | [ (_, a1, z1); (_, a2, z2) ] ->
+      check_int "aliases share the body" a1 a2;
+      check_int "same extent" z1 z2;
+      (* exactly one body's worth of bytes is resident *)
+      check_int "one allocation" ((z1 + 15) / 16 * 16)
+        (Runtime.variant_bytes s.H.runtime)
+  | vs -> Alcotest.failf "expected 2 aliases, got %d" (List.length vs));
+  check_int "both calls specialized" 2 (H.call s "foo" [])
+
+let test_dedup_across_valuations_of_one_function () =
+  (* with a=1 the b-branch is dead: (a=1,b=0) and (a=1,b=1) specialize
+     to the same body and must dedup *)
+  let src =
+    {|
+    multiverse bool a;
+    multiverse bool b;
+    int w;
+    multiverse void f() { if (a) { w = w + 1; } else { if (b) { w = w + 2; } } }
+    int foo() { w = 0; f(); return w; }
+  |}
+  in
+  let s = H.lazy_session1 src in
+  H.set s "a" 1;
+  H.set s "b" 0;
+  ignore (H.commit s);
+  let bytes = Runtime.variant_bytes s.H.runtime in
+  check_int "first valuation" 1 (H.call s "foo" []);
+  H.set s "b" 1;
+  ignore (H.commit s);
+  check_int "second valuation" 1 (H.call s "foo" []);
+  let st = stats s in
+  check_int "two aliases materialized" 2 st.Runtime.st_materialized;
+  check_int "one structural-hash hit" 1 st.Runtime.st_dedup_hits;
+  check_int "hash hit linked no new bytes" bytes (Runtime.variant_bytes s.H.runtime);
+  match Runtime.materialized_variants s.H.runtime with
+  | [ (s1, a1, _); (s2, a2, _) ] ->
+      check_bool "distinct descriptor aliases" true (s1 <> s2);
+      check_int "one shared body" a1 a2
+  | vs -> Alcotest.failf "expected 2 aliases, got %d" (List.length vs)
+
+(* ------------------------------------------------------------------ *)
+(* Eviction                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_eviction_reverts_installed_variant () =
+  let s = H.lazy_session1 fig2 in
+  commit_vals s 1 1;
+  check_int "specialized" 110 (H.call s "foo" []);
+  (* shrink the budget below the resident body (bodies are tiny, so go
+     all the way to 1 byte): the installed, quiescent victim is reverted
+     to generic on the spot *)
+  Runtime.set_variant_budget s.H.runtime 1;
+  check_int "variant evicted" 0
+    (List.length (Runtime.materialized_variants s.H.runtime));
+  check_int "bytes released" 0 (Runtime.variant_bytes s.H.runtime);
+  check_bool "eviction counted" true ((stats s).Runtime.st_evictions >= 1);
+  check_bool "function back to generic" true
+    (Runtime.installed_variant s.H.runtime "multi" = None);
+  check_int "generic still correct" 110 (H.call s "foo" [])
+
+let test_evict_recommit_roundtrip_bit_identical () =
+  let s = H.lazy_session1 fig2 in
+  let img = s.H.program.Core.Compiler.p_image in
+  commit_vals s 1 1;
+  let sym, addr, size =
+    match Runtime.materialized_variants s.H.runtime with
+    | [ v ] -> v
+    | _ -> Alcotest.fail "expected one variant"
+  in
+  let before = Image.read_bytes img addr size in
+  ignore (H.revert s);
+  Runtime.set_variant_budget s.H.runtime 1;
+  check_int "evicted" 0 (List.length (Runtime.materialized_variants s.H.runtime));
+  Runtime.set_variant_budget s.H.runtime (1 lsl 19);
+  ignore (H.commit s);
+  let sym', addr', size' =
+    match Runtime.materialized_variants s.H.runtime with
+    | [ v ] -> v
+    | _ -> Alcotest.fail "expected one re-materialized variant"
+  in
+  check_string "same symbol" sym sym';
+  check_int "deterministic allocator reuses the block" addr addr';
+  check_int "same size" size size';
+  check_string "bit-identical body" (Bytes.to_string before)
+    (Bytes.to_string (Image.read_bytes img addr' size'));
+  check_int "still correct" 110 (H.call s "foo" [])
+
+(* The safe-commit deferral workload from the safe-commit suite: spacers
+   give the machine quiescent safepoints between the two calls. *)
+let defer_src =
+  {|
+  multiverse bool m;
+  int w;
+  multiverse void f() { if (m) { w = w + 100; } }
+  void spacer() { w = w + 1; }
+  int driver() { w = 0; f(); spacer(); spacer(); f(); return w; }
+|}
+
+let park s addr =
+  let guard = ref 1_000_000 in
+  while s.H.machine.Machine.pc <> addr && !guard > 0 do
+    decr guard;
+    ignore (Machine.step s.H.machine)
+  done;
+  check_bool "parked" true (s.H.machine.Machine.pc = addr)
+
+let test_live_victim_defers_to_safepoint () =
+  let s = H.lazy_session1 defer_src in
+  H.enable_safe_commit s;
+  H.set s "m" 1;
+  ignore (H.commit_safe s);
+  let _, vaddr, _ =
+    match Runtime.materialized_variants s.H.runtime with
+    | [ v ] -> v
+    | _ -> Alcotest.fail "expected one variant"
+  in
+  (* park the machine at the variant's entry: its body is now live *)
+  Machine.start_call s.H.machine "driver" [];
+  park s vaddr;
+  let bytes = Runtime.variant_bytes s.H.runtime in
+  Runtime.set_variant_budget s.H.runtime 1;
+  (* the victim is live: eviction must defer, not free under the pc *)
+  check_int "body still resident" 1
+    (List.length (Runtime.materialized_variants s.H.runtime));
+  check_int "bytes not freed yet" bytes (Runtime.variant_bytes s.H.runtime);
+  check_bool "unbind journaled" true (List.mem "f" (Runtime.pending s.H.runtime));
+  (* run to completion: the safepoint drains the unbind and the sweep
+     frees the body once no activation sits inside it *)
+  let r = Machine.finish s.H.machine in
+  (* first f ran the variant (+100), spacers +2, second f ran generic
+     with m=1 (+100) *)
+  check_int "result correct across the eviction" 202 r;
+  check_int "victim gone after drain" 0
+    (List.length (Runtime.materialized_variants s.H.runtime));
+  check_int "bytes freed" 0 (Runtime.variant_bytes s.H.runtime);
+  check_bool "eviction completed" true ((stats s).Runtime.st_evictions >= 1)
+
+let test_pending_bind_variant_is_protected () =
+  let s = H.lazy_session1 defer_src in
+  H.enable_safe_commit s;
+  H.set s "m" 1;
+  (* park inside the generic f, then commit_safe: the variant
+     materializes now but its bind is journaled *)
+  Machine.start_call s.H.machine "driver" [];
+  park s (Image.symbol s.H.program.Core.Compiler.p_image "f");
+  ignore (H.commit_safe s);
+  check_int "materialized while deferred" 1 (stats s).Runtime.st_materialized;
+  (match Runtime.pending_variants s.H.runtime with
+  | [ sym ] ->
+      check_bool "journaled variant reported" true
+        (String.length sym > 0)
+  | vs -> Alcotest.failf "expected 1 pending variant, got %d" (List.length vs));
+  ignore (Machine.finish s.H.machine);
+  check_int "drained" 0 (List.length (Runtime.pending_variants s.H.runtime));
+  check_bool "variant bound after drain" true
+    (Runtime.installed_variant s.H.runtime "f" <> None)
+
+let test_budget_denial_falls_back_and_retries () =
+  let s = H.lazy_session1 ~budget:1 fig2 in
+  commit_vals s 1 1;
+  let st = stats s in
+  check_bool "denied under a 1-byte budget" true (st.Runtime.st_budget_denials >= 1);
+  check_int "nothing resident" 0 (Runtime.variant_bytes s.H.runtime);
+  check_bool "fallback signaled" true
+    (List.mem "multi" (Runtime.fallbacks s.H.runtime));
+  check_int "generic semantics preserved" 110 (H.call s "foo" []);
+  (* raising the budget lets the next commit of the same valuation
+     materialize: denial is a retryable condition, not a poison state *)
+  Runtime.set_variant_budget s.H.runtime (1 lsl 16);
+  ignore (H.commit s);
+  check_int "materialized on retry" 1 (stats s).Runtime.st_materialized;
+  check_int "specialized now" 110 (H.call s "foo" [])
+
+let test_out_of_domain_stays_generic () =
+  let s = H.lazy_session1 fig2 in
+  H.set s "A" 1;
+  H.set s "B" 7;
+  ignore (H.commit s);
+  let st = stats s in
+  check_int "nothing materialized out of domain" 0 st.Runtime.st_materialized;
+  check_bool "fallback signaled" true
+    (List.mem "multi" (Runtime.fallbacks s.H.runtime));
+  check_int "generic handles the odd value" 110 (H.call s "foo" [])
+
+let test_enable_lazy_requires_vtext_region () =
+  let program = Core.Compiler.build_string ~vtext_size:0 fig2 in
+  let machine = Machine.create program.Core.Compiler.p_image in
+  let runtime =
+    Core.Runtime.create program.Core.Compiler.p_image ~flush:(fun ~addr ~len ->
+        Machine.flush_icache machine ~addr ~len)
+  in
+  match
+    Runtime.enable_lazy runtime ~recipes:[] ~call_pad:(fun _ -> 0)
+  with
+  | exception Runtime.Runtime_error _ -> ()
+  | () -> Alcotest.fail "enable_lazy without a vtext region must fail"
+
+(* ------------------------------------------------------------------ *)
+(* The advisor and observability                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_advisor_overrides_lru_order () =
+  let s = H.lazy_session1 fig2 in
+  commit_vals s 1 1;
+  commit_vals s 1 0;
+  let syms = List.map (fun (n, _, _) -> n) (Runtime.materialized_variants s.H.runtime) in
+  check_int "two resident" 2 (List.length syms);
+  (* LRU would shed the (1,1) alias first (older tick); the advisor names
+     the most recent one instead, and must win *)
+  let victim =
+    match Runtime.installed_variant s.H.runtime "multi" with
+    | Some v -> v
+    | None -> Alcotest.fail "expected an installed variant"
+  in
+  Runtime.set_evict_advisor s.H.runtime (Some (fun () -> [ victim ]));
+  let keep = List.find (fun n -> n <> victim) syms in
+  let _, _, keep_size =
+    List.find
+      (fun (n, _, _) -> n = keep)
+      (Runtime.materialized_variants s.H.runtime)
+  in
+  Runtime.set_variant_budget s.H.runtime ((keep_size + 15) / 16 * 16);
+  let left = List.map (fun (n, _, _) -> n) (Runtime.materialized_variants s.H.runtime) in
+  check_bool "advised victim evicted" false (List.mem victim left);
+  check_bool "colder-by-LRU survivor kept" true (List.mem keep left)
+
+let test_materialize_and_evict_trace_events () =
+  let s = H.lazy_session1 fig2 in
+  H.enable_tracing s;
+  commit_vals s 1 1;
+  Runtime.set_variant_budget s.H.runtime 1;
+  let evs = List.map (fun st -> st.Trace.ev) (H.trace_events s) in
+  let mat =
+    List.exists
+      (function
+        | Trace.Variant_materialized { fn = "multi"; dedup = false; size; _ } ->
+            size > 0
+        | _ -> false)
+      evs
+  in
+  let ev =
+    List.exists
+      (function
+        | Trace.Variant_evicted { fn = "multi"; freed; _ } -> freed > 0
+        | _ -> false)
+      evs
+  in
+  check_bool "Variant_materialized traced" true mat;
+  check_bool "Variant_evicted traced" true ev
+
+let test_metrics_count_cache_traffic () =
+  let s = H.lazy_session1 clones in
+  H.enable_metrics s;
+  H.set s "m" 1;
+  ignore (H.commit s);
+  let m = match H.metrics s with Some m -> m | None -> Alcotest.fail "metrics" in
+  check_int "one miss for f" 1
+    (Mv_obs.Metrics.counter_value m "mv_variant_cache_materializations_total"
+       [ ("fn", "f"); ("dedup", "miss") ]);
+  check_int "one hit for g" 1
+    (Mv_obs.Metrics.counter_value m "mv_variant_cache_materializations_total"
+       [ ("fn", "g"); ("dedup", "hit") ])
+
+let test_stats_surface_cache_counters () =
+  let s = H.lazy_session1 fig2 in
+  commit_vals s 1 1;
+  commit_vals s 1 1;
+  commit_vals s 1 0;
+  Runtime.set_variant_budget s.H.runtime 1;
+  let st = stats s in
+  check_int "st_materialized" 2 st.Runtime.st_materialized;
+  check_bool "st_cache_hits" true (st.Runtime.st_cache_hits >= 1);
+  check_int "st_evictions" 2 st.Runtime.st_evictions;
+  check_int "st_variant_bytes" 0 st.Runtime.st_variant_bytes;
+  (* the JSON snapshot carries the same counters *)
+  let j = Mv_obs.Json.to_string (Runtime.stats_json st) in
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  List.iter
+    (fun key -> check_bool (key ^ " exported") true (contains j key))
+    [ "materialized"; "dedup_hits"; "cache_hits"; "evictions"; "variant_bytes" ]
+
+(* ------------------------------------------------------------------ *)
+(* Storms: the budget is an invariant, not a suggestion                *)
+(* ------------------------------------------------------------------ *)
+
+let lcg seed =
+  let state = ref (seed lor 1) in
+  fun bound ->
+    state := ((!state * 0x5DEECE66D) + 0xB) land 0x3FFFFFFFFFFF;
+    (!state lsr 17) mod bound
+
+let test_budget_invariant_under_commit_storm () =
+  (* a budget of ~2 bodies over 4 valuations forces continual eviction;
+     residency must never exceed the budget and every committed valuation
+     must execute correctly *)
+  let s = H.lazy_session1 fig2 in
+  commit_vals s 1 1;
+  let body = Runtime.variant_bytes s.H.runtime in
+  (* fig2 has three distinct bodies after dedup; room for only two of
+     them forces continual churn *)
+  let budget = 2 * body in
+  Runtime.set_variant_budget s.H.runtime budget;
+  let rand = lcg 0xC0FFEE in
+  for _ = 1 to 400 do
+    let a = rand 2 and b = rand 2 in
+    commit_vals s a b;
+    check_bool "budget invariant" true (Runtime.variant_bytes s.H.runtime <= budget);
+    check_int "correct result" (expected a b) (H.call s "foo" [])
+  done;
+  let st = stats s in
+  check_bool "storm exercised eviction" true (st.Runtime.st_evictions > 0);
+  check_bool "storm exercised the cache" true (st.Runtime.st_cache_hits > 0)
+
+(* 20 switches: ~1M valuations, impossible to pre-expand, trivially
+   covered on demand inside a 256 KiB budget. *)
+let twenty_switch_src =
+  let b = Buffer.create 1024 in
+  for i = 0 to 19 do
+    Buffer.add_string b (Printf.sprintf "multiverse bool s%d;\n" i)
+  done;
+  Buffer.add_string b "int w;\nmultiverse void f() {\n";
+  for i = 0 to 19 do
+    Buffer.add_string b
+      (Printf.sprintf "  if (s%d) { w = w + %d; w = w + %d; w = w + %d; }\n" i
+         (i + 1) (100 * (i + 1)) (10000 * (i + 1)))
+  done;
+  Buffer.add_string b "}\nint foo() { w = 0; f(); return w; }\n";
+  Buffer.contents b
+
+let test_twenty_switches_bounded_storm () =
+  let budget = 256 * 1024 in
+  let s = H.lazy_session1 ~budget twenty_switch_src in
+  let rand = lcg 0xBEEF in
+  let commits = 1000 in
+  for _ = 1 to commits do
+    let bits = Array.init 20 (fun _ -> rand 2) in
+    Array.iteri (fun i v -> H.set s (Printf.sprintf "s%d" i) v) bits;
+    ignore (H.commit s);
+    check_bool "budget invariant" true (Runtime.variant_bytes s.H.runtime <= budget);
+    let exp =
+      Array.to_list bits
+      |> List.mapi (fun i v -> if v <> 0 then 10101 * (i + 1) else 0)
+      |> List.fold_left ( + ) 0
+    in
+    check_int "20-switch result" exp (H.call s "foo" [])
+  done;
+  let st = stats s in
+  check_bool "storm materialized variants" true (st.Runtime.st_materialized > 0);
+  check_bool "bounded memory forced eviction" true (st.Runtime.st_evictions > 0)
+
+(* ------------------------------------------------------------------ *)
+(* SMP                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let smp_src =
+  {|
+  multiverse bool mode;
+  multiverse int tick() { if (mode) { return 10; } return 1; }
+  int work(int n) {
+    int acc = 0;
+    for (int i = 0; i < n; i = i + 1) { acc = acc + tick(); }
+    return acc;
+  }
+|}
+
+let test_smp_materialization_under_rendezvous () =
+  let s = H.lazy_smp_session1 ~n_harts:2 ~seed:7 smp_src in
+  H.enable_smp_tracing s;
+  H.smp_set s "mode" 1;
+  ignore (H.smp_commit s);
+  check_int "materialized once for the container" 1
+    (Runtime.stats s.H.sm_runtime).Runtime.st_materialized;
+  H.smp_start s ~hart:0 "work" [ 5 ];
+  H.smp_start s ~hart:1 "work" [ 5 ];
+  H.smp_run s;
+  (* each hart ran the specialized body: 5 ticks of 10 *)
+  check_int "hart 0 specialized" 50 (H.smp_result s ~hart:0);
+  check_int "hart 1 specialized" 50 (H.smp_result s ~hart:1);
+  let evs = List.map (fun st -> st.Trace.ev) (H.smp_trace_events s) in
+  check_bool "materialization traced" true
+    (List.exists
+       (function Trace.Variant_materialized _ -> true | _ -> false)
+       evs);
+  check_bool "patching ran under the rendezvous" true
+    (List.exists (function Trace.Rendezvous_begin _ -> true | _ -> false) evs)
+
+let suite =
+  [
+    tc "lazy: link carries no variants" test_lazy_link_carries_no_variants;
+    tc "lazy: matches eager on all valuations" test_lazy_matches_eager_all_valuations;
+    tc "lazy: first commit materializes exactly once"
+      test_first_commit_materializes_exactly_once;
+    tc "lazy: re-commit hits the cache" test_recommit_hits_cache;
+    tc "lazy: distinct valuations get distinct bodies"
+      test_distinct_valuations_distinct_bodies;
+    tc "dedup: function clones share one body" test_dedup_across_function_clones;
+    tc "dedup: valuations with equal bodies share one body"
+      test_dedup_across_valuations_of_one_function;
+    tc "evict: installed quiescent victim reverts" test_eviction_reverts_installed_variant;
+    tc "evict: re-commit round trip is bit-identical"
+      test_evict_recommit_roundtrip_bit_identical;
+    tc "evict: live victim defers to the safepoint" test_live_victim_defers_to_safepoint;
+    tc "evict: journaled bind protects its variant" test_pending_bind_variant_is_protected;
+    tc "budget: denial falls back, retry succeeds"
+      test_budget_denial_falls_back_and_retries;
+    tc "domain: out-of-domain valuation stays generic" test_out_of_domain_stays_generic;
+    tc "enable_lazy requires a vtext region" test_enable_lazy_requires_vtext_region;
+    tc "advisor: overrides LRU order" test_advisor_overrides_lru_order;
+    tc "obs: materialize/evict trace events" test_materialize_and_evict_trace_events;
+    tc "obs: metrics count cache traffic" test_metrics_count_cache_traffic;
+    tc "obs: stats surface the cache counters" test_stats_surface_cache_counters;
+    tc_slow "storm: budget invariant holds" test_budget_invariant_under_commit_storm;
+    tc_slow "storm: 20 switches in 256 KiB" test_twenty_switches_bounded_storm;
+    tc "smp: materialization under the rendezvous"
+      test_smp_materialization_under_rendezvous;
+  ]

@@ -21,6 +21,7 @@ let () =
       ("runtime", Test_runtime.suite);
       ("safe-commit", Test_safe_commit.suite);
       ("osr", Test_osr.suite);
+      ("lazy", Test_lazy.suite);
       ("workloads", Test_workloads.suite);
       ("harness", Test_harness.suite);
       ("obs", Test_obs.suite);

@@ -282,6 +282,83 @@ let test_mutual_mv_calls () =
       check_bool (v.v_symbol ^ " calls inner") true calls_inner)
     outer.mf_variants
 
+(* ------------------------------------------------------------------ *)
+(* Structural hash (the variant cache's dedup key)                     *)
+(* ------------------------------------------------------------------ *)
+
+let fn_named (prog : Ir.prog) name =
+  List.find (fun (f : Ir.fn) -> String.equal f.Ir.fn_name name) prog.Ir.p_fns
+
+(* Byte-for-byte clones hash identically even though the functions have
+   different names — the hash covers the canonical body only, so the
+   cache can share one resident copy across functions. *)
+let test_hash_collides_across_equal_clones () =
+  let prog =
+    lower
+      {|
+      int w;
+      void f() { w = w + 1; }
+      void g() { w = w + 1; }
+      void h() { w = w + 2; }
+    |}
+  in
+  let hash name = Vg.structural_hash (fn_named prog name) in
+  check_string "clone bodies collide" (hash "f") (hash "g");
+  check_bool "distinct bodies do not" true (hash "f" <> hash "h")
+
+(* Any single-instruction difference — a constant, an operator, an
+   operand — must change the hash: the dedup key may never alias two
+   semantically distinct bodies. *)
+let test_hash_sensitive_to_single_instruction () =
+  let base = "int w; int g; void f() { w = (w + 1) * 3; }" in
+  let mutants =
+    [
+      "int w; int g; void f() { w = (w + 2) * 3; }";  (* constant *)
+      "int w; int g; void f() { w = (w - 1) * 3; }";  (* operator *)
+      "int w; int g; void f() { w = (g + 1) * 3; }";  (* operand *)
+      "int w; int g; void f() { w = (w + 1) * 3; g = 0; }";  (* extra store *)
+    ]
+  in
+  let hash src = Vg.structural_hash (fn_named (lower src) "f") in
+  let h0 = hash base in
+  check_string "hash is a hex digest" h0 (hash base);
+  List.iteri
+    (fun i m ->
+      check_bool (Printf.sprintf "mutant %d changes the hash" i) true
+        (hash m <> h0))
+    mutants
+
+(* The hash is a pure function of the body: re-lowering and re-hashing
+   the same source (fresh Ir.fn values, fresh registers, fresh physical
+   identities) reproduces the same digest, and lazily specializing the
+   same recipe twice yields colliding bodies — which is what makes the
+   dedup key meaningful across materializations. *)
+let test_hash_stable_across_runs () =
+  let src =
+    {|
+    multiverse bool a;
+    int w;
+    multiverse void f() { if (a) { w = w + 1; } else { w = w * 2; } }
+  |}
+  in
+  let hash_of_run () =
+    let result = Vg.generate ~lazy_variants:true (lower src) in
+    let recipe =
+      List.find (fun (r : Vg.recipe) -> r.Vg.rc_name = "f") result.Vg.r_recipes
+    in
+    Vg.structural_hash (Vg.specialize_recipe recipe [ ("a", 1) ]).Vg.v_fn
+  in
+  let h1 = hash_of_run () in
+  let h2 = hash_of_run () in
+  check_string "same digest on independent runs" h1 h2;
+  (* and the digest differs for a different point of the same recipe *)
+  let result = Vg.generate ~lazy_variants:true (lower src) in
+  let recipe =
+    List.find (fun (r : Vg.recipe) -> r.Vg.rc_name = "f") result.Vg.r_recipes
+  in
+  let h0 = Vg.structural_hash (Vg.specialize_recipe recipe [ ("a", 0) ]).Vg.v_fn in
+  check_bool "distinct valuations hash apart" true (h0 <> h1)
+
 let suite =
   [
     tc "default domain {0,1}" test_default_domain;
@@ -304,4 +381,9 @@ let suite =
     tc "enum switch generation" test_enum_switch_generation;
     tc "variant semantic equivalence (Section 7.4)" test_variant_semantic_equivalence;
     tc "multiversed calling multiversed" test_mutual_mv_calls;
+    tc "structural hash: clones collide across functions"
+      test_hash_collides_across_equal_clones;
+    tc "structural hash: single-instruction sensitivity"
+      test_hash_sensitive_to_single_instruction;
+    tc "structural hash: stable across runs" test_hash_stable_across_runs;
   ]
